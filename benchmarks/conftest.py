@@ -1,0 +1,46 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+``report`` fixture collects the reproduced rows and writes them to
+``benchmarks/results/<test>.txt`` so the artifacts survive the run (the
+same lines are also printed, visible with ``pytest -s``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+class Report:
+    """Accumulates the reproduced table for one benchmark."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.lines: list[str] = []
+
+    def line(self, text: str = "") -> None:
+        self.lines.append(text)
+        print(text)
+
+    def table(self, header: str, rows: list[str]) -> None:
+        self.line(header)
+        self.line("-" * len(header))
+        for row in rows:
+            self.line(row)
+
+    def flush(self) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{self.name}.txt"
+        path.write_text("\n".join(self.lines) + "\n", encoding="utf-8")
+
+
+@pytest.fixture
+def report(request):
+    rep = Report(request.node.name.replace("/", "_"))
+    rep.line(f"== {request.node.nodeid} ==")
+    yield rep
+    rep.flush()

@@ -1,0 +1,80 @@
+"""Section 5.1 runtime claim: O(peaks*n) interpolation vs O(n^2) DP.
+
+"The algorithm's run time is O(number_of_peaks * n) ... It is much
+faster than another approach we have taken, using dynamic programming
+... which runs in time O(n^2)."  This benchmark sweeps the sequence
+length and reports wall-clock for both breakers, asserting the
+asymmetry at the largest size.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.sequence import Sequence
+from repro.segmentation import DynamicProgrammingBreaker, InterpolationBreaker
+
+
+def wavy_sequence(n: int, seed: int = 51) -> Sequence:
+    rng = np.random.default_rng(seed)
+    t = np.arange(n, dtype=float)
+    values = 10.0 * np.sin(2 * np.pi * t / (n / 6)) + rng.normal(0, 0.3, n)
+    return Sequence(t, values)
+
+
+def test_breaker_runtime_scaling(benchmark, report):
+    interpolation = InterpolationBreaker(epsilon=1.0)
+    dp = DynamicProgrammingBreaker(segment_penalty=1.0, error_weight=1.0)
+
+    benchmark(interpolation.break_indices, wavy_sequence(2000))
+
+    rows = []
+    ratios = {}
+    for n in (200, 400, 800, 1600):
+        seq = wavy_sequence(n)
+        start = time.perf_counter()
+        interpolation.break_indices(seq)
+        t_interp = time.perf_counter() - start
+        start = time.perf_counter()
+        dp.break_indices(seq)
+        t_dp = time.perf_counter() - start
+        ratios[n] = t_dp / t_interp
+        rows.append(f"{n:>6} {t_interp * 1e3:>14.2f} {t_dp * 1e3:>12.1f} {ratios[n]:>9.1f}x")
+    report.line("runtime scaling, six-peaked noisy sine:")
+    report.table(f"{'n':>6} {'interp (ms)':>14} {'DP (ms)':>12} {'DP/interp':>9}", rows)
+
+    # Paper shape: the DP is much slower and the gap widens with n.
+    assert ratios[1600] > 20.0
+    assert ratios[1600] > ratios[200]
+    report.line(f"\nat n=1600 the DP baseline is {ratios[1600]:.0f}x slower — "
+                f"the gap the paper's 'much faster' refers to")
+
+
+def test_interpolation_near_linear_growth(benchmark, report):
+    """Interpolation breaking grows near-linearly in n for fixed peak
+    count (O(peaks * n))."""
+    breaker = InterpolationBreaker(epsilon=1.0)
+
+    def fixed_peak_sequence(n):
+        t = np.arange(n, dtype=float)
+        # Always exactly 4 humps regardless of n.
+        return Sequence(t, 10.0 * np.sin(2 * np.pi * 4 * t / n))
+
+    benchmark(breaker.break_indices, fixed_peak_sequence(4000))
+
+    times = {}
+    for n in (1000, 2000, 4000, 8000):
+        seq = fixed_peak_sequence(n)
+        start = time.perf_counter()
+        breaker.break_indices(seq)
+        times[n] = time.perf_counter() - start
+    report.table(
+        f"{'n':>6} {'time (ms)':>12} {'time/n (us)':>12}",
+        [f"{n:>6} {t * 1e3:>12.2f} {t / n * 1e6:>12.2f}" for n, t in times.items()],
+    )
+    # Doubling n should far less than quadruple the time (not quadratic).
+    growth = times[8000] / times[1000]
+    report.line(f"\n8x data -> {growth:.1f}x time (quadratic would be 64x)")
+    assert growth < 32.0

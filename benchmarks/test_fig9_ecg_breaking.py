@@ -1,0 +1,52 @@
+"""Figure 9: two 500-point ECG segments broken with distance eps=10.
+
+The paper's figure shows both ECGs broken by the interpolation
+algorithm, the prominent R peaks falling on segment boundaries, and the
+segment functions (near-flat baselines vs steep R flanks).  This
+benchmark regenerates the segment tables and times the breaking of one
+500-point ECG.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.features import raw_peak_indices
+from repro.segmentation import InterpolationBreaker, is_partition
+from repro.workloads import figure9_pair
+
+
+def test_fig9_ecg_breaking(benchmark, report):
+    top, bottom = figure9_pair()
+    breaker = InterpolationBreaker(epsilon=10.0)
+
+    rep_top = benchmark(breaker.represent, top, "regression")
+    rep_bottom = breaker.represent(bottom, curve_kind="regression")
+
+    for name, seq, rep in (("top", top, rep_top), ("bottom", bottom, rep_bottom)):
+        boundaries = [(s.start_index, s.end_index) for s in rep]
+        assert is_partition(boundaries, len(seq))
+        r_peaks = raw_peak_indices(seq, prominence=100.0)
+        report.line(f"\nECG {name}: n={len(seq)}, eps=10 -> {len(rep)} segments; "
+                    f"R peaks at {r_peaks}")
+        steep = [s for s in rep if abs(s.mean_slope()) > 10.0]
+        report.table(
+            f"{'indices':<14} {'function':<22} {'slope':>9}",
+            [
+                f"[{s.start_index:>3}..{s.end_index:>3}]    {s.function.format_equation():<22} {s.mean_slope():>9.2f}"
+                for s in rep
+                if abs(s.mean_slope()) > 10.0 or s.point_count > 25
+            ],
+        )
+        # Shape assertions: every R peak near a boundary; steep flanks exist
+        # (the paper's 21.3 / -14.8 style slopes vs 0.096 baselines).
+        boundary_points = {b for se in boundaries for b in se}
+        for r in r_peaks:
+            assert any(abs(r - b) <= 2 for b in boundary_points), f"R at {r} missed in {name}"
+        assert len(steep) >= 2 * len(r_peaks) - 1
+        flat = [s for s in rep if abs(s.mean_slope()) < 1.0]
+        assert flat, "baseline stretches should fit near-flat lines"
+
+    # Paper ballpark: ~10-45 segments per 500-point ECG at eps=10.
+    assert 8 <= len(rep_top) <= 45
+    assert 8 <= len(rep_bottom) <= 45

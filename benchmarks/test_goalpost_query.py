@@ -1,0 +1,94 @@
+"""Section 4.4: the goal-post fever query over a mixed corpus.
+
+Benchmarks the regular-expression query over the slope alphabet on a
+corpus of 1/2/3-peak temperature logs, scoring precision and recall
+against the generator's ground truth and sweeping the flatness
+threshold theta (the paper: "the correctness of the results depends on
+theta ... and the distance tolerated").
+"""
+
+from __future__ import annotations
+
+from repro.core.features import count_peaks_in_symbols
+from repro.query import PatternQuery, SequenceDatabase
+from repro.segmentation import InterpolationBreaker
+from repro.workloads import fever_corpus
+
+GOALPOST = "(0|-)* + (0|-)^+ + (0|-)*"
+
+
+def score(db, matches):
+    found = {m.name for m in matches}
+    positives = {db.name_of(i) for i in db.ids() if "2p" in db.name_of(i)}
+    negatives = {db.name_of(i) for i in db.ids()} - positives
+    tp = len(found & positives)
+    fp = len(found & negatives)
+    fn = len(positives - found)
+    precision = tp / max(tp + fp, 1)
+    recall = tp / max(tp + fn, 1)
+    return precision, recall
+
+
+def test_goalpost_pattern_query(benchmark, report):
+    db = SequenceDatabase(breaker=InterpolationBreaker(0.5))
+    db.insert_all(fever_corpus(n_two_peak=25, n_one_peak=15, n_three_peak=15, noise=0.15))
+
+    matches = benchmark(db.query, PatternQuery(GOALPOST))
+
+    precision, recall = score(db, matches)
+    report.line(f"corpus: {len(db)} temperature logs (25 two-peak / 15 one-peak / 15 three-peak)")
+    report.line(f"query {GOALPOST!r}: {len(matches)} matches")
+    report.line(f"precision={precision:.3f} recall={recall:.3f}")
+    # Shape: near-perfect classification through the representation.
+    assert precision >= 0.95
+    assert recall >= 0.9
+
+    # Every match is an exact member of the query's equivalence class.
+    assert all(m.is_exact for m in matches)
+
+
+def test_goalpost_theta_sensitivity(benchmark, report):
+    corpus = fever_corpus(n_two_peak=15, n_one_peak=10, n_three_peak=10, noise=0.15, seed=9)
+
+    def classify_at(theta):
+        db = SequenceDatabase(breaker=InterpolationBreaker(0.5), theta=theta)
+        db.insert_all(corpus)
+        return db, db.query(PatternQuery(GOALPOST))
+
+    __, ___ = benchmark(classify_at, 0.05)
+
+    rows = []
+    for theta in (0.0, 0.02, 0.05, 0.2, 1.0, 5.0):
+        db, matches = classify_at(theta)
+        precision, recall = score(db, matches)
+        rows.append(f"{theta:>6.2f} {len(matches):>8} {precision:>10.2f} {recall:>8.2f}")
+    report.line("theta sensitivity (slope-flatness threshold of the symbol alphabet):")
+    report.table(f"{'theta':>6} {'matches':>8} {'precision':>10} {'recall':>8}", rows)
+
+    # Shape: moderate theta classifies well; an absurdly large theta
+    # flattens every slope and kills recall.
+    db_mid, matches_mid = classify_at(0.05)
+    __, matches_huge = classify_at(5.0)
+    p_mid, r_mid = score(db_mid, matches_mid)
+    assert p_mid >= 0.9 and r_mid >= 0.85
+    assert len(matches_huge) == 0
+
+
+def test_goalpost_symbol_counting_agrees(benchmark, report):
+    """The symbolic peak counter and the pattern query agree on the
+    collapsed behaviour strings."""
+    db = SequenceDatabase(breaker=InterpolationBreaker(0.5))
+    db.insert_all(fever_corpus(n_two_peak=10, n_one_peak=5, n_three_peak=5, noise=0.1, seed=4))
+
+    def cross_check():
+        agreements = 0
+        for sequence_id in db.ids():
+            symbols = db.behavior_index.symbols_of(sequence_id)
+            by_symbols = count_peaks_in_symbols(symbols) == 2
+            by_pattern = PatternQuery(GOALPOST).grade(db, sequence_id).is_exact
+            agreements += by_symbols == by_pattern
+        return agreements
+
+    agreements = benchmark(cross_check)
+    report.line(f"symbol-count vs pattern-query agreement: {agreements}/{len(db)}")
+    assert agreements == len(db)

@@ -1,0 +1,90 @@
+"""Section 7 ablation: preprocessing before breaking.
+
+The paper filters (noise elimination), normalizes (mean 0 / variance 1,
+removing linear transforms), and experiments with wavelet compression
+that preserves features.  This benchmark quantifies each step's effect
+on the segmentation and on query answers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.features import count_peaks
+from repro.preprocessing import compress_wavelet, median_filter, moving_average, znormalize
+from repro.segmentation import InterpolationBreaker
+from repro.workloads import goalpost_fever
+
+
+def test_filtering_before_breaking(benchmark, report):
+    noisy = goalpost_fever(noise=0.6, seed=71)
+    breaker = InterpolationBreaker(epsilon=0.5)
+
+    benchmark(lambda: breaker.break_indices(moving_average(noisy, 3)))
+
+    variants = {
+        "raw (noise 0.6)": noisy,
+        "moving average(3)": moving_average(noisy, 3),
+        "median(3)": median_filter(noisy, 3),
+        "moving average(5)": moving_average(noisy, 5),
+    }
+    rows = []
+    segment_counts = {}
+    for label, seq in variants.items():
+        rep = breaker.represent(seq, curve_kind="regression")
+        segment_counts[label] = len(rep)
+        rows.append(f"{label:<20} {len(rep):>9} {count_peaks(rep, 0.05):>6}")
+    report.line("filtering ablation (two-peak curve, uniform noise 0.6, eps=0.5):")
+    report.table(f"{'preprocessing':<20} {'segments':>9} {'peaks':>6}", rows)
+
+    # Shape: smoothing reduces the segment count and both smoothed
+    # variants still find the two peaks.
+    assert segment_counts["moving average(3)"] <= segment_counts["raw (noise 0.6)"]
+    assert count_peaks(breaker.represent(variants["moving average(3)"]), 0.05) == 2
+
+
+def test_normalization_removes_linear_transforms(benchmark, report):
+    base = goalpost_fever(noise=0.0)
+    scaled = goalpost_fever(noise=0.0)
+    scaled_values = 2.5 * scaled.values - 100.0
+    from repro.core.sequence import Sequence
+
+    transformed = Sequence(scaled.times, scaled_values, name="scaled")
+
+    benchmark(znormalize, base)
+
+    norm_base = znormalize(base)
+    norm_transformed = znormalize(transformed)
+    max_diff = float(np.abs(norm_base.values - norm_transformed.values).max())
+    report.line(f"max |z(base) - z(2.5*base - 100)| = {max_diff:.2e}")
+    assert max_diff < 1e-9
+
+    # After normalization a single epsilon works across both; the same
+    # breaker finds the same breakpoints.
+    breaker = InterpolationBreaker(epsilon=0.1)
+    assert breaker.break_indices(norm_base) == breaker.break_indices(norm_transformed)
+    report.line("identical breakpoints after normalization — the paper's robustness argument")
+
+
+def test_wavelet_compression_preserves_features(benchmark, report):
+    seq = goalpost_fever(noise=0.1, seed=72, n_points=48)
+    breaker = InterpolationBreaker(epsilon=0.5)
+
+    benchmark(compress_wavelet, seq, 0.25, "db4")
+
+    rows = []
+    for keep in (1.0, 0.5, 0.25, 0.15):
+        comp = compress_wavelet(seq, keep_fraction=keep, wavelet="db4")
+        recon = comp.reconstruct()
+        rep = breaker.represent(recon, curve_kind="regression")
+        err = float(np.abs(recon.values - seq.values).max())
+        rows.append(
+            f"{keep:>6.2f} {comp.compression_ratio:>8.1f}x {err:>10.3f} {count_peaks(rep, 0.05):>6}"
+        )
+    report.line("wavelet (db4) compression of the two-peak curve:")
+    report.table(f"{'keep':>6} {'ratio':>9} {'max err':>10} {'peaks':>6}", rows)
+
+    # Shape: down to 25% of coefficients the two peaks survive.
+    comp = compress_wavelet(seq, keep_fraction=0.25, wavelet="db4")
+    rep = breaker.represent(comp.reconstruct(), curve_kind="regression")
+    assert count_peaks(rep, 0.05) == 2

@@ -1,0 +1,69 @@
+"""A tour of every breaking algorithm on the same data.
+
+Run:  python examples/breaking_algorithms_tour.py
+
+Compares the offline template instantiations (interpolation, regression,
+Bezier), the dynamic-programming optimum, and the online sliding-window
+family on one noisy two-peak sequence — segment counts, fragmentation,
+fidelity and the paper's qualitative ranking.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import (
+    BezierBreaker,
+    DynamicProgrammingBreaker,
+    InterpolationBreaker,
+    RegressionBreaker,
+    SlidingWindowBreaker,
+)
+from repro.segmentation import fragmentation_ratio
+from repro.workloads import goalpost_fever, seismic_sequence, stock_sequence
+
+
+def describe(name, breaker, sequence, represent_kind="regression"):
+    start = time.perf_counter()
+    boundaries = breaker.break_indices(sequence)
+    elapsed_ms = (time.perf_counter() - start) * 1e3
+    rep = breaker.represent(sequence, curve_kind=represent_kind)
+    error = rep.reconstruction_error(sequence)
+    print(
+        f"  {name:<22} segments={len(boundaries):<4} "
+        f"frag={fragmentation_ratio(boundaries):<5.2f} "
+        f"max_err={error:<7.3f} time={elapsed_ms:7.2f} ms"
+    )
+    return rep
+
+
+def main() -> None:
+    fever = goalpost_fever(noise=0.3, seed=5)
+    print(f"two-peak fever curve, n={len(fever)}, breaker tolerance 0.5:")
+    describe("interpolation (paper)", InterpolationBreaker(0.5), fever)
+    describe("regression", RegressionBreaker(0.5), fever)
+    describe("bezier (Schneider)", BezierBreaker(0.5), fever, represent_kind="bezier")
+    describe("dynamic programming", DynamicProgrammingBreaker(0.5, 2.0), fever)
+    describe("online sliding window", SlidingWindowBreaker(0.5, window=8), fever)
+
+    # Online streaming mode: feed one sample at a time.
+    print("\nstreaming session (online breaker) on a stock series:")
+    stock = stock_sequence(n_points=120, seed=3)
+    session = SlidingWindowBreaker(1.5, window=10).session()
+    closed = 0
+    for t, v in stock:
+        if session.feed(t, v):
+            closed += 1
+    boundaries = session.finish()
+    print(f"  {closed} segments closed mid-stream, {len(boundaries)} total after finish()")
+
+    # A longer seismic trace: where the O(peaks * n) vs O(n^2) gap shows.
+    seismic, events = seismic_sequence(n_points=3000, event_positions=[1200], seed=8)
+    print(f"\nseismic trace, n={len(seismic)} (one burst at 1200):")
+    describe("interpolation (paper)", InterpolationBreaker(3.0), seismic)
+    describe("online sliding window", SlidingWindowBreaker(3.0, window=12), seismic)
+    print("  (dynamic programming at this length is the benchmark suite's job)")
+
+
+if __name__ == "__main__":
+    main()

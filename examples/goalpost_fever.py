@@ -1,0 +1,72 @@
+"""The paper's running example: goal-post fever (Sections 2 and 4.4).
+
+Run:  python examples/goalpost_fever.py
+
+Reproduces the argument of Figures 3-5 head to head:
+
+* a value-based epsilon band accepts a pointwise-fluctuated copy of the
+  exemplar but rejects every feature-preserving transformation;
+* the divide-and-conquer representation classifies all transformed
+  variants as *exact* matches of the two-peak pattern, because the
+  pattern constrains behaviour, not values.
+"""
+
+from __future__ import annotations
+
+from repro import InterpolationBreaker, PatternQuery, SequenceDatabase
+from repro.baselines.euclidean import EpsilonMatcher
+from repro.baselines.shift_scale import ShiftScaleMatcher
+from repro.workloads import figure3_sequence, figure4_fluctuated, figure5_variants
+
+GOALPOST = "(0|-)* + (0|-)^+ + (0|-)*"
+
+
+def main() -> None:
+    exemplar = figure3_sequence()
+    fluctuated = figure4_fluctuated(delta=1.0)
+    variants = figure5_variants(exemplar)
+
+    print("candidate sequences:")
+    print(f"  figure-4 copy: exemplar + pointwise noise within +/-1")
+    for label, transform, __ in variants:
+        print(f"  {label:<18} {transform!r}")
+
+    # --- the old notion: values within an epsilon band ----------------
+    value_matcher = EpsilonMatcher(exemplar, epsilon=1.0, align="time")
+    shift_scale = ShiftScaleMatcher(exemplar, epsilon=0.25)
+
+    print("\nvalue-based epsilon matching (Figure 1 notion, eps=1):")
+    print(f"  figure-4 noisy copy : {'MATCH' if value_matcher.matches(fluctuated) else 'reject'}")
+    for label, __, variant in variants:
+        verdict = "MATCH" if value_matcher.matches(variant) else "reject"
+        print(f"  {label:<18}: {verdict}")
+
+    print("\nshift/scale-normalized matching ([GK95]/[ALSS95] notion):")
+    for label, __, variant in variants:
+        verdict = "MATCH" if shift_scale.matches(variant) else "reject"
+        print(f"  {label:<18}: {verdict}")
+
+    # --- the paper's notion: behaviour patterns -----------------------
+    db = SequenceDatabase(breaker=InterpolationBreaker(epsilon=0.5))
+    db.insert(exemplar.with_name("exemplar"))
+    db.insert(fluctuated.with_name("figure-4-noisy"))
+    for label, __, variant in variants:
+        db.insert(variant)
+
+    print(f"\ngeneralized approximate query {GOALPOST!r}:")
+    matched = {m.name for m in db.query(PatternQuery(GOALPOST))}
+    for sequence_id in db.ids():
+        name = db.name_of(sequence_id)
+        symbols = db.behavior_index.symbols_of(sequence_id)
+        verdict = "EXACT MATCH" if name in matched else "reject"
+        print(f"  {name:<18} symbols={symbols:<12} {verdict}")
+
+    print(
+        "\nevery feature-preserving transform is an exact member of the"
+        "\nquery's equivalence class, while none survives value matching —"
+        "\nthe paper's Figures 3-5 in one table."
+    )
+
+
+if __name__ == "__main__":
+    main()

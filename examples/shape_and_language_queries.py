@@ -1,0 +1,57 @@
+"""Exemplar queries and the textual query language.
+
+Run:  python examples/shape_and_language_queries.py
+
+Paper Section 2.2: "the query can be an exemplar or an expression
+denoting a pattern."  This example drives both: a ShapeQuery built from
+an exemplar sequence (drawn, measured, or pulled from the database) and
+the same questions phrased in the textual query language of
+`repro.query.language`.
+"""
+
+from __future__ import annotations
+
+from repro import InterpolationBreaker, SequenceDatabase, ShapeQuery, parse_query
+from repro.core.transformations import AmplitudeScale, Compose, TimeScale, TimeShift
+from repro.workloads import goalpost_fever, k_peak_sequence
+
+
+def main() -> None:
+    db = SequenceDatabase(breaker=InterpolationBreaker(0.1), theta=0.0, normalize=True)
+
+    base = goalpost_fever(noise=0.0, name="patient-a")
+    db.insert(base)
+    db.insert(TimeShift(6.0)(base).with_name("patient-b (shifted)"))
+    db.insert(TimeScale(2.0)(base).with_name("patient-c (dilated)"))
+    db.insert(
+        Compose([TimeScale(0.5), AmplitudeScale(2.2, baseline=98.0)])(base).with_name(
+            "patient-d (contracted+scaled)"
+        )
+    )
+    db.insert(k_peak_sequence([12.0], noise=0.0, name="patient-e (one spike)"))
+    db.insert(k_peak_sequence([4.0, 12.0, 20.0], noise=0.0, name="patient-f (three spikes)"))
+
+    # --- query by exemplar --------------------------------------------
+    exemplar = goalpost_fever(noise=0.0)  # "a fever curve that looks like this"
+    query = ShapeQuery(exemplar, duration_tolerance=0.05, amplitude_tolerance=0.05)
+    print("exemplar query (two-peak fever curve, any shift/scale/tempo):")
+    for match in db.query(query):
+        dur = match.deviation_in("shape_duration").amount
+        print(f"  {match.name:<30} {match.grade.value:<12} duration dev {dur:.4f}")
+
+    # --- the same questions in the textual language --------------------
+    print("\ntextual query language:")
+    for text in (
+        "PATTERN '(0|-)* + (0|-)^+ + (0|-)*'",
+        "PEAKS 2 TOLERANCE 1",
+        "INTERVAL 12 +/- 2",
+        "SHAPE OF 0 DURATION 0.05 AMPLITUDE 0.05",
+    ):
+        matches = db.query(parse_query(text, db))
+        names = [m.name for m in matches]
+        print(f"  {text}")
+        print(f"    -> {len(matches)} matches: {names[:4]}{' ...' if len(names) > 4 else ''}")
+
+
+if __name__ == "__main__":
+    main()

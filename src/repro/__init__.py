@@ -1,0 +1,85 @@
+"""repro — a reproduction of Shatkay & Zdonik (ICDE 1996),
+"Approximate Queries and Representations for Large Data Sequences".
+
+The library stores large data sequences as series of fitted real-valued
+functions (the paper's divide-and-conquer representation), extracts
+domain features (peaks, slopes, R-R intervals) from the functions, and
+answers *generalized approximate queries* — queries closed under
+feature-preserving transformations — through pattern and inverted-file
+indexes, without touching the raw data.
+
+Quickstart
+----------
+>>> from repro import SequenceDatabase, InterpolationBreaker, PatternQuery
+>>> from repro.workloads import goalpost_fever
+>>> db = SequenceDatabase(breaker=InterpolationBreaker(epsilon=0.5))
+>>> db.insert(goalpost_fever())
+0
+>>> [m.name for m in db.query(PatternQuery("(0|-)* + (0|-)^+ + (0|-)*"))]
+['goalpost']
+"""
+
+from repro.core import (
+    FunctionSeriesRepresentation,
+    MatchGrade,
+    Segment,
+    Sequence,
+    Tolerance,
+    count_peaks,
+    find_peaks,
+    peak_table,
+    rr_intervals,
+)
+from repro.patterns import TWO_PEAKS, SymbolPattern, matches_pattern
+from repro.query import (
+    ExemplarQuery,
+    IntervalQuery,
+    PatternQuery,
+    PeakCountQuery,
+    QueryMatch,
+    SequenceDatabase,
+    ShapeQuery,
+    SteepnessQuery,
+    parse_query,
+)
+from repro.segmentation import (
+    BezierBreaker,
+    DynamicProgrammingBreaker,
+    InterpolationBreaker,
+    RecursiveCurveFitBreaker,
+    RegressionBreaker,
+    SlidingWindowBreaker,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Sequence",
+    "Segment",
+    "FunctionSeriesRepresentation",
+    "find_peaks",
+    "count_peaks",
+    "peak_table",
+    "rr_intervals",
+    "MatchGrade",
+    "Tolerance",
+    "SymbolPattern",
+    "TWO_PEAKS",
+    "matches_pattern",
+    "SequenceDatabase",
+    "PatternQuery",
+    "PeakCountQuery",
+    "IntervalQuery",
+    "SteepnessQuery",
+    "ShapeQuery",
+    "ExemplarQuery",
+    "QueryMatch",
+    "parse_query",
+    "InterpolationBreaker",
+    "RegressionBreaker",
+    "BezierBreaker",
+    "RecursiveCurveFitBreaker",
+    "DynamicProgrammingBreaker",
+    "SlidingWindowBreaker",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Baseline matchers the paper compares against (Sections 1 and 3)."""
+
+from repro.baselines.dft import (
+    FIndex,
+    SubsequenceIndex,
+    dft_features,
+    dominant_frequency,
+    feature_distance,
+)
+from repro.baselines.euclidean import EpsilonMatcher, l2_distance, linf_distance
+from repro.baselines.shift_scale import ShiftScaleMatcher, normalized_distance
+
+__all__ = [
+    "EpsilonMatcher",
+    "linf_distance",
+    "l2_distance",
+    "FIndex",
+    "SubsequenceIndex",
+    "dft_features",
+    "feature_distance",
+    "dominant_frequency",
+    "ShiftScaleMatcher",
+    "normalized_distance",
+]

@@ -1,0 +1,181 @@
+"""DFT-based similarity search — the [AFS93] / [FRM94] comparator.
+
+The related work the paper positions itself against: map (sub)sequences
+to the first ``k`` coefficients of the Discrete Fourier Transform, index
+the resulting k-dimensional points, and answer epsilon-range queries in
+feature space.  With the orthonormal DFT, Parseval's theorem gives the
+*lower-bounding lemma*: distance in the truncated feature space never
+exceeds true Euclidean distance, so the index returns no false
+dismissals (candidates are verified against the raw data).
+
+The paper's criticism (Section 3), reproduced in
+``benchmarks/test_baseline_dft_dilation.py``: proximity of main
+frequencies cannot detect similarity under dilation or contraction —
+"none of the sequences of Figure 5 matches the sequence given in
+Figure 3 if main frequencies are compared".
+
+``FIndex`` implements whole-sequence matching ([AFS93]) and
+``SubsequenceIndex`` the FRM-style sliding-window variant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import QueryError
+from repro.core.sequence import Sequence
+
+__all__ = [
+    "dft_features",
+    "feature_distance",
+    "dominant_frequency",
+    "FIndex",
+    "SubsequenceIndex",
+]
+
+
+def dft_features(values: np.ndarray, k: int) -> np.ndarray:
+    """First ``k`` orthonormal DFT coefficients as a real vector.
+
+    Each complex coefficient contributes its real and imaginary parts,
+    so the result has ``2k`` entries.  The ``1/sqrt(n)`` normalization
+    makes the full transform an isometry (Parseval), which is what the
+    lower-bounding guarantee rests on.
+    """
+    if k < 1:
+        raise QueryError("k must be at least 1")
+    values = np.asarray(values, dtype=float)
+    n = len(values)
+    coeffs = np.fft.fft(values) / np.sqrt(n)
+    k = min(k, n)
+    first = coeffs[:k]
+    return np.concatenate([first.real, first.imag])
+
+
+def feature_distance(fa: np.ndarray, fb: np.ndarray) -> float:
+    """Euclidean distance in DFT-feature space."""
+    if fa.shape != fb.shape:
+        raise QueryError("feature vectors must have equal length")
+    diff = fa - fb
+    return float(np.sqrt(np.dot(diff, diff)))
+
+
+def dominant_frequency(sequence: Sequence) -> float:
+    """The non-DC frequency with the largest spectral magnitude.
+
+    Expressed in cycles per time unit using the sequence's uniform
+    sampling step.  This is the "main frequency" whose comparison the
+    paper shows to be dilation-blind.
+    """
+    values = sequence.values - sequence.values.mean()
+    step = sequence.sampling_step()
+    spectrum = np.abs(np.fft.rfft(values))
+    freqs = np.fft.rfftfreq(len(values), d=step)
+    if len(spectrum) < 2:
+        return 0.0
+    peak = int(spectrum[1:].argmax()) + 1
+    return float(freqs[peak])
+
+
+class FIndex:
+    """Whole-sequence epsilon matching in truncated DFT space ([AFS93]).
+
+    Sequences must share a common length ``n`` (the original work maps
+    everything onto fixed-length windows for the same reason).
+    """
+
+    def __init__(self, k: int = 3) -> None:
+        if k < 1:
+            raise QueryError("k must be at least 1")
+        self.k = int(k)
+        self._features: dict[int, np.ndarray] = {}
+        self._raw: dict[int, Sequence] = {}
+        self._length: "int | None" = None
+
+    def add(self, sequence_id: int, sequence: Sequence) -> None:
+        if self._length is None:
+            self._length = len(sequence)
+        elif len(sequence) != self._length:
+            raise QueryError(
+                f"FIndex holds length-{self._length} sequences; got {len(sequence)}"
+            )
+        if sequence_id in self._features:
+            raise QueryError(f"sequence {sequence_id} already indexed")
+        self._features[sequence_id] = dft_features(sequence.values, self.k)
+        self._raw[sequence_id] = sequence
+
+    def __len__(self) -> int:
+        return len(self._features)
+
+    def candidates(self, query: Sequence, epsilon: float) -> list[int]:
+        """Ids passing the feature-space filter (no false dismissals)."""
+        if epsilon < 0:
+            raise QueryError("epsilon must be non-negative")
+        q = dft_features(query.values, self.k)
+        return sorted(
+            sid for sid, f in self._features.items() if feature_distance(q, f) <= epsilon
+        )
+
+    def query(self, query: Sequence, epsilon: float) -> list[int]:
+        """Ids whose true Euclidean distance is within epsilon.
+
+        Feature-space filtering followed by exact verification — the
+        classic two-phase plan whose correctness the lower-bounding
+        lemma guarantees.
+        """
+        hits = []
+        for sid in self.candidates(query, epsilon):
+            raw = self._raw[sid]
+            diff = raw.values - query.values
+            if float(np.sqrt(np.dot(diff, diff))) <= epsilon:
+                hits.append(sid)
+        return hits
+
+
+class SubsequenceIndex:
+    """FRM-style subsequence matching over sliding windows.
+
+    Every length-``window`` subsequence of every stored sequence is
+    mapped to its DFT features ("indexing over all fixed-length
+    subsequences of each sequence" — the design the paper argues wastes
+    effort on uninteresting subsequences, but implemented faithfully as
+    the comparator).
+    """
+
+    def __init__(self, window: int, k: int = 3) -> None:
+        if window < 2:
+            raise QueryError("window must cover at least two samples")
+        self.window = int(window)
+        self.k = int(k)
+        #: (sequence_id, offset) -> feature vector
+        self._entries: list[tuple[int, int, np.ndarray]] = []
+        self._raw: dict[int, Sequence] = {}
+
+    def add(self, sequence_id: int, sequence: Sequence) -> None:
+        if sequence_id in self._raw:
+            raise QueryError(f"sequence {sequence_id} already indexed")
+        if len(sequence) < self.window:
+            raise QueryError("sequence shorter than the window")
+        self._raw[sequence_id] = sequence
+        values = sequence.values
+        for offset in range(len(values) - self.window + 1):
+            feats = dft_features(values[offset : offset + self.window], self.k)
+            self._entries.append((sequence_id, offset, feats))
+
+    def window_count(self) -> int:
+        return len(self._entries)
+
+    def query(self, pattern: Sequence, epsilon: float) -> list[tuple[int, int]]:
+        """``(sequence_id, offset)`` pairs truly within epsilon (L2)."""
+        if len(pattern) != self.window:
+            raise QueryError(f"pattern must have window length {self.window}")
+        q = dft_features(pattern.values, self.k)
+        matches = []
+        for sid, offset, feats in self._entries:
+            if feature_distance(q, feats) > epsilon:
+                continue
+            raw = self._raw[sid].values[offset : offset + self.window]
+            diff = raw - pattern.values
+            if float(np.sqrt(np.dot(diff, diff))) <= epsilon:
+                matches.append((sid, offset))
+        return sorted(matches)

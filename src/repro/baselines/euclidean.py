@@ -1,0 +1,118 @@
+"""Value-based approximate matching — the prior notion of Figures 1-5.
+
+"The query defines an exact result in terms of specific values ... the
+actual results are within some measurable distance from the desired
+one."  A query sequence plus a tolerance ``epsilon`` defines a band
+(paper Figure 1); a stored sequence matches if it never leaves the band
+(the L-infinity metric) or if its overall Euclidean distance is within
+``epsilon`` (the L2 metric used by the DFT line of work).
+
+The point of carrying this baseline is the paper's negative result: a
+value-based match accepts pointwise fluctuations of the exemplar
+(Figure 4) but rejects *every* feature-preserving transformation of it
+(Figure 5) — reproduced in ``benchmarks/test_fig3_5_valuebased_vs_transforms.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import QueryError
+from repro.core.sequence import Sequence
+
+__all__ = ["linf_distance", "l2_distance", "time_aligned_distance", "EpsilonMatcher"]
+
+
+def _aligned_values(a: Sequence, b: Sequence) -> tuple[np.ndarray, np.ndarray]:
+    if len(a) != len(b):
+        raise QueryError(
+            f"value-based distance needs equal lengths, got {len(a)} and {len(b)}"
+        )
+    return a.values, b.values
+
+
+def linf_distance(a: Sequence, b: Sequence) -> float:
+    """Largest pointwise amplitude difference (the Figure 1 band)."""
+    va, vb = _aligned_values(a, b)
+    return float(np.abs(va - vb).max())
+
+
+def l2_distance(a: Sequence, b: Sequence) -> float:
+    """Euclidean distance between the value vectors."""
+    va, vb = _aligned_values(a, b)
+    diff = va - vb
+    return float(np.sqrt(np.dot(diff, diff)))
+
+
+def time_aligned_distance(exemplar: Sequence, candidate: Sequence, metric: str = "linf") -> float:
+    """Distance after sampling the candidate at the exemplar's clock times.
+
+    This is how a stored fixed-grid log is compared against a query
+    exemplar in the paper's Figures 3-5: both are read at the same
+    clock positions (hours 0..24), so transformations that move the
+    pattern in time produce genuinely different values.  The candidate
+    is linearly interpolated (and clamped at its ends).
+    """
+    resampled = np.interp(exemplar.times, candidate.times, candidate.values)
+    diff = exemplar.values - resampled
+    if metric == "linf":
+        return float(np.abs(diff).max())
+    if metric == "l2":
+        return float(np.sqrt(np.dot(diff, diff)))
+    raise QueryError(f"unknown metric {metric!r}")
+
+
+class EpsilonMatcher:
+    """The value-based query of paper Figure 1.
+
+    Parameters
+    ----------
+    exemplar:
+        The query sequence (the solid curve).
+    epsilon:
+        The band half-width (the dashed curves).
+    metric:
+        ``"linf"`` for the pointwise band, ``"l2"`` for Euclidean.
+    align:
+        ``"index"`` compares values position by position (the classic
+        fixed-length formulation; candidates of a different length are
+        rejected outright).  ``"time"`` samples the candidate at the
+        exemplar's clock times first, which is how the paper's 24-hour
+        temperature grids are compared.
+    """
+
+    def __init__(
+        self, exemplar: Sequence, epsilon: float, metric: str = "linf", align: str = "index"
+    ) -> None:
+        if epsilon < 0:
+            raise QueryError("epsilon must be non-negative")
+        if metric not in ("linf", "l2"):
+            raise QueryError(f"unknown metric {metric!r}")
+        if align not in ("index", "time"):
+            raise QueryError(f"unknown alignment {align!r}")
+        self.exemplar = exemplar
+        self.epsilon = float(epsilon)
+        self.metric = metric
+        self.align = align
+
+    def distance(self, candidate: Sequence) -> float:
+        if self.align == "time":
+            return time_aligned_distance(self.exemplar, candidate, self.metric)
+        if self.metric == "linf":
+            return linf_distance(self.exemplar, candidate)
+        return l2_distance(self.exemplar, candidate)
+
+    def matches(self, candidate: Sequence) -> bool:
+        """Whether the candidate stays within the epsilon band/ball.
+
+        In index alignment, candidates of a different length cannot be
+        compared value-by-value at all — they are rejected, which is
+        precisely the failure mode the paper's dilation/contraction
+        examples exhibit.
+        """
+        if self.align == "index" and len(candidate) != len(self.exemplar):
+            return False
+        return self.distance(candidate) <= self.epsilon
+
+    def filter(self, candidates: "list[Sequence]") -> "list[Sequence]":
+        return [c for c in candidates if self.matches(c)]

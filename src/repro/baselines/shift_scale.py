@@ -1,0 +1,53 @@
+"""Shift/scale-invariant matching — the [GK95] / [ALSS95] comparator.
+
+The intermediate notion between raw value matching and the paper's
+feature-based similarity: normalize away amplitude translation and
+scaling before comparing values.  [GK95] extends the DFT approach with
+shifting and scaling of sequence amplitude; [ALSS95] does the same with
+the L-infinity metric and no DFT.  Both still compare values position
+by position, so time dilation and contraction defeat them — the gap the
+paper's transformation-closure notion fills.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import QueryError
+from repro.core.sequence import Sequence
+from repro.preprocessing.normalization import znormalize
+
+__all__ = ["normalized_distance", "ShiftScaleMatcher"]
+
+
+def normalized_distance(a: Sequence, b: Sequence, metric: str = "linf") -> float:
+    """Distance between z-normalized value vectors."""
+    if len(a) != len(b):
+        raise QueryError("normalized distance needs equal lengths")
+    va = znormalize(a).values
+    vb = znormalize(b).values
+    if metric == "linf":
+        return float(np.abs(va - vb).max())
+    if metric == "l2":
+        diff = va - vb
+        return float(np.sqrt(np.dot(diff, diff)))
+    raise QueryError(f"unknown metric {metric!r}")
+
+
+class ShiftScaleMatcher:
+    """Epsilon matching modulo amplitude shift and scale."""
+
+    def __init__(self, exemplar: Sequence, epsilon: float, metric: str = "linf") -> None:
+        if epsilon < 0:
+            raise QueryError("epsilon must be non-negative")
+        self.exemplar = exemplar
+        self.epsilon = float(epsilon)
+        self.metric = metric
+
+    def matches(self, candidate: Sequence) -> bool:
+        if len(candidate) != len(self.exemplar):
+            return False
+        return normalized_distance(self.exemplar, candidate, self.metric) <= self.epsilon
+
+    def filter(self, candidates: "list[Sequence]") -> "list[Sequence]":
+        return [c for c in candidates if self.matches(c)]

@@ -1,0 +1,83 @@
+"""Core data model: sequences, segments, representations, features.
+
+This package holds the paper's primary contribution — the
+divide-and-conquer representation of sequences as series of fitted
+functions, with features, transformations and tolerances layered on
+top.
+"""
+
+from repro.core.errors import (
+    FittingError,
+    IndexError_,
+    PatternSyntaxError,
+    QueryError,
+    ReproError,
+    SegmentationError,
+    SequenceError,
+    StorageError,
+    TransformationError,
+)
+from repro.core.features import (
+    Peak,
+    PeakTableRow,
+    count_peaks,
+    count_peaks_in_symbols,
+    find_peaks,
+    peak_table,
+    raw_peak_indices,
+    rr_intervals,
+)
+from repro.core.representation import FunctionSeriesRepresentation
+from repro.core.segment import Segment
+from repro.core.sequence import Sequence
+from repro.core.shape import ShapeSignature, shape_signature
+from repro.core.tolerance import DimensionDeviation, MatchGrade, Tolerance, grade_deviations
+from repro.core.transformations import (
+    AmplitudeScale,
+    AmplitudeShift,
+    BoundedNoise,
+    Compose,
+    TimeScale,
+    TimeShift,
+    Transformation,
+    contraction,
+    dilation,
+)
+
+__all__ = [
+    "Sequence",
+    "Segment",
+    "FunctionSeriesRepresentation",
+    "ShapeSignature",
+    "shape_signature",
+    "Peak",
+    "PeakTableRow",
+    "find_peaks",
+    "count_peaks",
+    "count_peaks_in_symbols",
+    "peak_table",
+    "rr_intervals",
+    "raw_peak_indices",
+    "Transformation",
+    "TimeShift",
+    "AmplitudeShift",
+    "AmplitudeScale",
+    "TimeScale",
+    "dilation",
+    "contraction",
+    "BoundedNoise",
+    "Compose",
+    "MatchGrade",
+    "Tolerance",
+    "DimensionDeviation",
+    "grade_deviations",
+    "ReproError",
+    "SequenceError",
+    "FittingError",
+    "SegmentationError",
+    "PatternSyntaxError",
+    "QueryError",
+    "IndexError_",
+    "StorageError",
+    "TransformationError",
+]

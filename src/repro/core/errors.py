@@ -1,0 +1,51 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library errors derive from :class:`ReproError` so that callers can
+catch every library-specific failure with a single ``except`` clause
+while letting genuine programming errors (``TypeError`` and friends)
+propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class SequenceError(ReproError):
+    """Raised for malformed sequences (empty, unordered, NaN values)."""
+
+
+class FittingError(ReproError):
+    """Raised when a function cannot be fitted to a subsequence."""
+
+
+class SegmentationError(ReproError):
+    """Raised when a breaking algorithm cannot segment a sequence."""
+
+
+class PatternSyntaxError(ReproError):
+    """Raised for malformed pattern expressions over the slope alphabet."""
+
+
+class QueryError(ReproError):
+    """Raised for ill-specified queries (unknown dimension, bad tolerance)."""
+
+
+class IndexError_(ReproError):
+    """Raised for index integrity violations (duplicate keys where unique
+    keys are required, lookups on a closed index, etc.).
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    ``IndexError``.
+    """
+
+
+class StorageError(ReproError):
+    """Raised by the archival store and the serialization codec."""
+
+
+class TransformationError(ReproError):
+    """Raised when a transformation receives parameters outside its domain
+    (for example a non-positive dilation factor)."""

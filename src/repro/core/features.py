@@ -1,0 +1,222 @@
+"""Feature extraction from function-series representations.
+
+The representation is "centered around features of interest" so that
+queries can address features directly (paper Section 4.1).  For the
+medical domains of the paper the features are *peaks* and the derived
+*R-R intervals*; this module extracts them from representations the way
+Section 5.2 prescribes:
+
+* a peak is a rising segment followed by a descending segment;
+* the peak's position is whichever of the rising segment's end point
+  (``REnd``) or the descending segment's start point (``DStart``) has
+  the larger amplitude (the two can differ because the breakpoint
+  belongs to exactly one side);
+* per-sequence peak tables reproduce the paper's Table 1 and R-R
+  interval sequences are first differences of the peak times.
+
+A raw-data peak finder with a prominence threshold is included so tests
+can validate the representation-level extraction against ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.representation import FunctionSeriesRepresentation
+from repro.core.segment import Segment
+from repro.core.sequence import Sequence
+
+__all__ = [
+    "Peak",
+    "PeakTableRow",
+    "find_peaks",
+    "count_peaks",
+    "count_peaks_in_symbols",
+    "peak_table",
+    "rr_intervals",
+    "raw_peak_indices",
+]
+
+
+@dataclass(frozen=True)
+class Peak:
+    """A detected peak: the rise/fall segment pair plus its apex."""
+
+    rising: Segment
+    descending: Segment
+    time: float
+    amplitude: float
+
+
+@dataclass(frozen=True)
+class PeakTableRow:
+    """One row of the paper's Table 1."""
+
+    rising_equation: str
+    rise_start: tuple[float, float]
+    rise_end: tuple[float, float]
+    descending_equation: str
+    descent_start: tuple[float, float]
+    descent_end: tuple[float, float]
+
+    def format(self) -> str:
+        def point(p: tuple[float, float]) -> str:
+            return f"({p[0]:.0f}, {p[1]:.1f})"
+
+        return (
+            f"{self.rising_equation:>16}  {point(self.rise_start):>14} {point(self.rise_end):>14}  "
+            f"{self.descending_equation:>16}  {point(self.descent_start):>14} {point(self.descent_end):>14}"
+        )
+
+
+def _segment_label(segment: Segment) -> str:
+    formatter = getattr(segment.function, "format_equation", None)
+    if callable(formatter):
+        return formatter()
+    return repr(segment.function)
+
+
+def find_peaks(
+    representation: FunctionSeriesRepresentation,
+    theta: float = 0.0,
+    skip_flats: bool = True,
+) -> list[Peak]:
+    """Peaks of a representation: rising segment then descending segment.
+
+    Parameters
+    ----------
+    theta:
+        Flatness threshold for the slope-sign classification; slopes in
+        ``[-theta, theta]`` count as flat.
+    skip_flats:
+        When true, flat segments between a rise and the following fall
+        do not break the peak (a temperature plateau at the top of a
+        fever spike is still one peak); the apex is then taken from the
+        rise end / fall start as usual.
+    """
+    peaks: list[Peak] = []
+    segments = representation.segments
+    i = 0
+    while i < len(segments):
+        if not segments[i].is_rising(theta):
+            i += 1
+            continue
+        # Coalesce consecutive rising segments into one logical rise.
+        rise_idx = i
+        while rise_idx + 1 < len(segments) and segments[rise_idx + 1].is_rising(theta):
+            rise_idx += 1
+        j = rise_idx + 1
+        if skip_flats:
+            while j < len(segments) and segments[j].is_flat(theta):
+                j += 1
+        if j < len(segments) and segments[j].is_falling(theta):
+            rising = segments[rise_idx]
+            descending = segments[j]
+            # Paper step 3: the apex is the higher of REnd and DStart.
+            if rising.end_point[1] >= descending.start_point[1]:
+                time, amplitude = rising.end_point
+            else:
+                time, amplitude = descending.start_point
+            peaks.append(Peak(rising=rising, descending=descending, time=time, amplitude=amplitude))
+            i = j
+        else:
+            i = rise_idx + 1
+    return peaks
+
+
+def count_peaks(representation: FunctionSeriesRepresentation, theta: float = 0.0) -> int:
+    """Number of peaks in a representation."""
+    return len(find_peaks(representation, theta))
+
+
+def count_peaks_in_symbols(symbols: str) -> int:
+    """Peak count from a slope-sign string alone.
+
+    A peak is a maximal run of ``'+'`` later followed by a ``'-'`` with
+    only ``'0'`` in between — the symbolic counterpart of
+    :func:`find_peaks`, used by the pattern-index query path.
+    """
+    count = 0
+    state = "idle"  # idle -> rising -> (fall seen => peak)
+    for symbol in symbols:
+        if symbol == "+":
+            state = "rising"
+        elif symbol == "-":
+            if state == "rising":
+                count += 1
+            state = "idle"
+        # '0' preserves the current state (plateaus do not end a rise).
+    return count
+
+
+def peak_table(
+    representation: FunctionSeriesRepresentation,
+    theta: float = 0.0,
+) -> list[PeakTableRow]:
+    """The paper's Table 1 for one sequence: per-peak segment data."""
+    rows = []
+    for peak in find_peaks(representation, theta):
+        rows.append(
+            PeakTableRow(
+                rising_equation=_segment_label(peak.rising),
+                rise_start=peak.rising.start_point,
+                rise_end=peak.rising.end_point,
+                descending_equation=_segment_label(peak.descending),
+                descent_start=peak.descending.start_point,
+                descent_end=peak.descending.end_point,
+            )
+        )
+    return rows
+
+
+def rr_intervals(
+    representation: FunctionSeriesRepresentation,
+    theta: float = 0.0,
+) -> np.ndarray:
+    """Distances in time between successive peaks (the R-R sequence)."""
+    times = [peak.time for peak in find_peaks(representation, theta)]
+    return np.diff(np.asarray(times, dtype=float))
+
+
+def raw_peak_indices(sequence: Sequence, prominence: float) -> list[int]:
+    """Ground-truth local maxima with at least ``prominence`` of relief.
+
+    Topographic prominence: from each local maximum walk outward on both
+    sides until strictly higher ground (or the sequence edge); the lower
+    of the two intervening minima is the peak's base, and the peak
+    qualifies if it rises at least ``prominence`` above that base.  Used
+    by tests to validate representation-level peaks — the library itself
+    never needs raw data at query time.
+    """
+    values = sequence.values
+    n = len(values)
+    peaks = []
+    i = 1
+    while i < n - 1:
+        if values[i] < values[i - 1]:
+            i += 1
+            continue
+        # Walk a plateau to its right edge.
+        j = i
+        while j + 1 < n and values[j + 1] == values[j]:
+            j += 1
+        if j + 1 < n and values[j + 1] < values[j]:
+            apex = float(values[i])
+            # Left saddle: lowest point before strictly higher ground.
+            left_base = apex
+            k = i - 1
+            while k >= 0 and values[k] <= apex:
+                left_base = min(left_base, float(values[k]))
+                k -= 1
+            # Right saddle, symmetric.
+            right_base = apex
+            k = j + 1
+            while k < n and values[k] <= apex:
+                right_base = min(right_base, float(values[k]))
+                k += 1
+            if apex - max(left_base, right_base) >= prominence:
+                peaks.append(int(i + np.argmax(values[i : j + 1])))
+        i = j + 1
+    return peaks

@@ -1,0 +1,130 @@
+"""Segments: one broken-out subsequence plus its representing function.
+
+A :class:`Segment` is the atom of the paper's representation: the
+breaking algorithm decides where a subsequence starts and ends, a curve
+fitter supplies the representing function, and everything the query
+layer needs later — endpoints, slope behaviour, symbol classification —
+is derived from those two ingredients.  The raw samples are *not*
+retained (that is the point of the compression); only the start/end
+points survive, exactly as in the paper's Table 1 where each peak row
+carries ``(RStart, REnd, DStart, DEnd)`` point pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import SequenceError
+from repro.core.sequence import Sequence
+from repro.functions.base import FittedFunction
+
+__all__ = ["Segment"]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A subsequence summarized by a fitted function.
+
+    Attributes
+    ----------
+    function:
+        The representing function (line, polynomial, ...).
+    start_index, end_index:
+        Positional indices (inclusive) of the subsequence within the
+        original sequence.
+    start_point, end_point:
+        ``(time, amplitude)`` of the first and last raw samples.  Kept
+        verbatim because the paper's peak table and R-R machinery use
+        the *sampled* endpoint amplitudes, not the fitted ones.
+    """
+
+    function: FittedFunction
+    start_index: int
+    end_index: int
+    start_point: tuple[float, float]
+    end_point: tuple[float, float]
+
+    def __post_init__(self) -> None:
+        if self.end_index < self.start_index:
+            raise SequenceError(
+                f"segment end index {self.end_index} precedes start index {self.start_index}"
+            )
+        if self.end_point[0] < self.start_point[0]:
+            raise SequenceError("segment end time precedes start time")
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+
+    @property
+    def point_count(self) -> int:
+        """Number of raw samples the segment stands for."""
+        return self.end_index - self.start_index + 1
+
+    @property
+    def start_time(self) -> float:
+        return self.start_point[0]
+
+    @property
+    def end_time(self) -> float:
+        return self.end_point[0]
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+    # ------------------------------------------------------------------
+    # Behaviour
+    # ------------------------------------------------------------------
+
+    def mean_slope(self) -> float:
+        """Average slope of the representing function over the segment.
+
+        For a linear function this is simply its slope; for other
+        families it is the secant slope, which is what the slope-sign
+        alphabet quantizes.
+        """
+        return self.function.mean_slope(self.start_time, self.end_time)
+
+    def is_rising(self, theta: float = 0.0) -> bool:
+        return self.mean_slope() > theta
+
+    def is_falling(self, theta: float = 0.0) -> bool:
+        return self.mean_slope() < -theta
+
+    def is_flat(self, theta: float = 0.0) -> bool:
+        return abs(self.mean_slope()) <= theta
+
+    def value_at(self, t: float) -> float:
+        """Representing-function amplitude at time ``t`` inside the span."""
+        if not (self.start_time <= t <= self.end_time):
+            raise SequenceError(
+                f"time {t} outside segment span [{self.start_time}, {self.end_time}]"
+            )
+        return float(self.function(t))
+
+    def reconstruct(self, points_per_segment: int = 0) -> Sequence:
+        """Sample the representing function back into a sequence.
+
+        With ``points_per_segment == 0`` the original sample count is
+        used, supporting the paper's "predict/deduce unsampled points"
+        requirement on representations (Section 3).
+        """
+        n = points_per_segment if points_per_segment > 1 else max(self.point_count, 2)
+        times = np.linspace(self.start_time, self.end_time, n)
+        return Sequence(times, self.function.sample(times))
+
+    def max_deviation_from(self, sequence: Sequence) -> float:
+        """Max pointwise error against the matching slice of the raw data."""
+        return self.function.max_deviation(sequence.subsequence(self.start_index, self.end_index))
+
+    def describe(self) -> str:
+        """One-line description used by the benchmark tables."""
+        fn = getattr(self.function, "format_equation", None)
+        label = fn() if callable(fn) else repr(self.function)
+        return (
+            f"[{self.start_index:4d}..{self.end_index:4d}] "
+            f"t=[{self.start_time:8.2f}, {self.end_time:8.2f}]  f(t)={label}"
+        )

@@ -1,0 +1,257 @@
+"""The :class:`Sequence` data model.
+
+A :class:`Sequence` is the library's unit of stored data: an ordered
+series of ``(time, value)`` samples backed by numpy arrays.  It mirrors
+the paper's notion of a *large data sequence* (Section 1): a time series
+whose individual values "just happened to be what they are" and whose
+interesting content lies in its shape.
+
+Sequences are immutable by convention: every operation returns a new
+``Sequence`` and the underlying arrays are flagged non-writeable so that
+representations derived from a sequence can never be silently
+invalidated.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.core.errors import SequenceError
+
+__all__ = ["Sequence"]
+
+
+class Sequence:
+    """An ordered series of ``(time, value)`` samples.
+
+    Parameters
+    ----------
+    times:
+        Strictly increasing sample timestamps.
+    values:
+        Sample amplitudes, one per timestamp.
+    name:
+        Optional identifier used by the database and index layers.
+
+    Raises
+    ------
+    SequenceError
+        If the sequence is empty, the arrays disagree in length, any
+        entry is non-finite, or the timestamps are not strictly
+        increasing.
+    """
+
+    __slots__ = ("_times", "_values", "name")
+
+    def __init__(
+        self,
+        times: Iterable[float],
+        values: Iterable[float],
+        name: str = "",
+    ) -> None:
+        times_arr = np.asarray(list(times) if not isinstance(times, np.ndarray) else times, dtype=float)
+        values_arr = np.asarray(list(values) if not isinstance(values, np.ndarray) else values, dtype=float)
+        if times_arr.ndim != 1 or values_arr.ndim != 1:
+            raise SequenceError("times and values must be one-dimensional")
+        if times_arr.size == 0:
+            raise SequenceError("a sequence must contain at least one sample")
+        if times_arr.size != values_arr.size:
+            raise SequenceError(
+                f"times ({times_arr.size}) and values ({values_arr.size}) disagree in length"
+            )
+        if not (np.isfinite(times_arr).all() and np.isfinite(values_arr).all()):
+            raise SequenceError("sequences must not contain NaN or infinite samples")
+        if times_arr.size > 1 and not (np.diff(times_arr) > 0).all():
+            raise SequenceError("timestamps must be strictly increasing")
+        times_arr = times_arr.copy()
+        values_arr = values_arr.copy()
+        times_arr.flags.writeable = False
+        values_arr.flags.writeable = False
+        self._times = times_arr
+        self._values = values_arr
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_values(cls, values: Iterable[float], name: str = "", start: float = 0.0, step: float = 1.0) -> "Sequence":
+        """Build a sequence from values alone, on a uniform time grid."""
+        values_arr = np.asarray(list(values) if not isinstance(values, np.ndarray) else values, dtype=float)
+        times = start + step * np.arange(values_arr.size, dtype=float)
+        return cls(times, values_arr, name=name)
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[float, float]], name: str = "") -> "Sequence":
+        """Build a sequence from an iterable of ``(time, value)`` pairs."""
+        pair_list = list(pairs)
+        if not pair_list:
+            raise SequenceError("a sequence must contain at least one sample")
+        times = [p[0] for p in pair_list]
+        values = [p[1] for p in pair_list]
+        return cls(times, values, name=name)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def times(self) -> np.ndarray:
+        """Read-only array of timestamps."""
+        return self._times
+
+    @property
+    def values(self) -> np.ndarray:
+        """Read-only array of amplitudes."""
+        return self._values
+
+    @property
+    def start_time(self) -> float:
+        return float(self._times[0])
+
+    @property
+    def end_time(self) -> float:
+        return float(self._times[-1])
+
+    @property
+    def duration(self) -> float:
+        """Elapsed time between the first and last samples."""
+        return self.end_time - self.start_time
+
+    def __len__(self) -> int:
+        return int(self._times.size)
+
+    def __iter__(self) -> Iterator[tuple[float, float]]:
+        for t, v in zip(self._times, self._values):
+            yield float(t), float(v)
+
+    def __getitem__(self, index: int | slice) -> "tuple[float, float] | Sequence":
+        if isinstance(index, slice):
+            times = self._times[index]
+            values = self._values[index]
+            if times.size == 0:
+                raise SequenceError("slicing produced an empty sequence")
+            return Sequence(times, values, name=self.name)
+        return float(self._times[index]), float(self._values[index])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Sequence):
+            return NotImplemented
+        return (
+            self._times.shape == other._times.shape
+            and bool(np.array_equal(self._times, other._times))
+            and bool(np.array_equal(self._values, other._values))
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._times.tobytes(), self._values.tobytes()))
+
+    def __repr__(self) -> str:
+        label = f" name={self.name!r}" if self.name else ""
+        return (
+            f"Sequence(n={len(self)},{label} t=[{self.start_time:g}, {self.end_time:g}], "
+            f"v=[{self._values.min():g}, {self._values.max():g}])"
+        )
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+
+    def mean(self) -> float:
+        return float(self._values.mean())
+
+    def variance(self) -> float:
+        """Population variance of the amplitudes."""
+        return float(self._values.var())
+
+    def amplitude_range(self) -> tuple[float, float]:
+        return float(self._values.min()), float(self._values.max())
+
+    def is_uniform(self, rel_tol: float = 1e-9) -> bool:
+        """Whether samples fall on a uniform time grid."""
+        if len(self) < 3:
+            return True
+        steps = np.diff(self._times)
+        return bool(np.allclose(steps, steps[0], rtol=rel_tol, atol=0.0))
+
+    def sampling_step(self) -> float:
+        """The grid step of a uniform sequence.
+
+        Raises
+        ------
+        SequenceError
+            If the sequence is not uniformly sampled.
+        """
+        if len(self) < 2:
+            raise SequenceError("a single sample has no sampling step")
+        if not self.is_uniform():
+            raise SequenceError("sequence is not uniformly sampled")
+        return float(self._times[1] - self._times[0])
+
+    # ------------------------------------------------------------------
+    # Shape-preserving operations (each returns a new Sequence)
+    # ------------------------------------------------------------------
+
+    def with_name(self, name: str) -> "Sequence":
+        return Sequence(self._times, self._values, name=name)
+
+    def slice_time(self, t_lo: float, t_hi: float) -> "Sequence":
+        """Samples with ``t_lo <= time <= t_hi``."""
+        mask = (self._times >= t_lo) & (self._times <= t_hi)
+        if not mask.any():
+            raise SequenceError(f"no samples in time window [{t_lo}, {t_hi}]")
+        return Sequence(self._times[mask], self._values[mask], name=self.name)
+
+    def subsequence(self, i_lo: int, i_hi: int) -> "Sequence":
+        """Samples with positional index ``i_lo <= i <= i_hi`` (inclusive)."""
+        if i_lo < 0 or i_hi >= len(self) or i_lo > i_hi:
+            raise SequenceError(f"invalid index window [{i_lo}, {i_hi}] for length {len(self)}")
+        return Sequence(self._times[i_lo : i_hi + 1], self._values[i_lo : i_hi + 1], name=self.name)
+
+    def shifted_to_origin(self) -> "Sequence":
+        """The same shape re-based to start at time 0.
+
+        The paper requires every subsequence to be "shifted and regarded
+        as if starting from time 0" before its representing functions are
+        compared (Section 4.2, footnote).
+        """
+        return Sequence(self._times - self._times[0], self._values, name=self.name)
+
+    def concatenate(self, other: "Sequence") -> "Sequence":
+        """Append ``other``; its timestamps must all follow ours."""
+        if other.start_time <= self.end_time:
+            raise SequenceError(
+                f"cannot concatenate: other starts at {other.start_time} "
+                f"which does not follow {self.end_time}"
+            )
+        return Sequence(
+            np.concatenate([self._times, other._times]),
+            np.concatenate([self._values, other._values]),
+            name=self.name,
+        )
+
+    def insert(self, time: float, value: float) -> "Sequence":
+        """A new sequence with one extra sample (used by robustness tests)."""
+        if np.any(self._times == time):
+            raise SequenceError(f"a sample at time {time} already exists")
+        idx = int(np.searchsorted(self._times, time))
+        return Sequence(
+            np.insert(self._times, idx, time),
+            np.insert(self._values, idx, value),
+            name=self.name,
+        )
+
+    def interpolate_at(self, time: float) -> float:
+        """Linearly interpolated amplitude at ``time`` (clamped at ends)."""
+        return float(np.interp(time, self._times, self._values))
+
+    def resample(self, n: int) -> "Sequence":
+        """Linear resampling onto ``n`` uniform points across the span."""
+        if n < 2:
+            raise SequenceError("resampling needs at least two target points")
+        new_times = np.linspace(self.start_time, self.end_time, n)
+        new_values = np.interp(new_times, self._times, self._values)
+        return Sequence(new_times, new_values, name=self.name)

@@ -1,0 +1,128 @@
+"""Shape signatures: transformation-invariant descriptions of behaviour.
+
+Paper Section 2.2: "the query can be an exemplar or an expression
+denoting a pattern."  Pattern expressions are handled by
+:mod:`repro.patterns`; this module supplies the *exemplar* side.  A
+:class:`ShapeSignature` condenses a function-series representation into
+
+* the collapsed slope-sign string (one symbol per behavioural run), and
+* per-run *relative* extents: each run's share of the total duration
+  and of the total amplitude travel.
+
+Relative extents are exactly invariant under the paper's
+feature-preserving transformations — time/amplitude translation scales
+nothing, amplitude scaling multiplies every rise and fall alike, and
+dilation/contraction multiplies every duration alike — so two sequences
+related by those transformations have *identical* signatures, and the
+residual differences between two signatures are honest per-dimension
+deviations (``shape_duration``, ``shape_amplitude``) for approximate
+grading.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import QueryError
+from repro.core.representation import FunctionSeriesRepresentation
+
+__all__ = ["ShapeSignature", "shape_signature"]
+
+
+@dataclass(frozen=True)
+class ShapeSignature:
+    """Scale-free behavioural fingerprint of a representation.
+
+    Attributes
+    ----------
+    symbols:
+        Collapsed slope-sign string (``"+-+-"`` for a two-peak curve).
+    duration_profile:
+        Per-run fraction of the total time span (sums to 1).
+    amplitude_profile:
+        Per-run fraction of the total absolute amplitude travel (sums
+        to 1 when any run moves; all zeros for a dead-flat sequence).
+    """
+
+    symbols: str
+    duration_profile: tuple[float, ...]
+    amplitude_profile: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not (len(self.symbols) == len(self.duration_profile) == len(self.amplitude_profile)):
+            raise QueryError("signature components disagree in length")
+
+    # ------------------------------------------------------------------
+    # Comparison
+    # ------------------------------------------------------------------
+
+    def matches_symbols(self, other: "ShapeSignature") -> bool:
+        return self.symbols == other.symbols
+
+    def duration_deviation(self, other: "ShapeSignature") -> float:
+        """Largest per-run difference in duration share (0 when shapes
+        are pure time-scalings of one another)."""
+        self._require_comparable(other)
+        a = np.asarray(self.duration_profile)
+        b = np.asarray(other.duration_profile)
+        return float(np.abs(a - b).max()) if len(a) else 0.0
+
+    def amplitude_deviation(self, other: "ShapeSignature") -> float:
+        """Largest per-run difference in amplitude share."""
+        self._require_comparable(other)
+        a = np.asarray(self.amplitude_profile)
+        b = np.asarray(other.amplitude_profile)
+        return float(np.abs(a - b).max()) if len(a) else 0.0
+
+    def _require_comparable(self, other: "ShapeSignature") -> None:
+        if self.symbols != other.symbols:
+            raise QueryError(
+                f"signatures are structurally different ({self.symbols!r} vs {other.symbols!r})"
+            )
+
+    def __str__(self) -> str:
+        return self.symbols
+
+
+def shape_signature(
+    representation: FunctionSeriesRepresentation,
+    theta: float = 0.0,
+) -> ShapeSignature:
+    """Build the scale-free signature of a representation.
+
+    Consecutive segments with the same slope symbol merge into one run;
+    each run contributes its time span and its absolute amplitude change
+    (sum of per-segment endpoint deltas, so plateaus inside a rise do
+    not cancel the rise).
+    """
+    runs: list[tuple[str, float, float]] = []  # (symbol, duration, travel)
+    for segment in representation.segments:
+        slope = segment.mean_slope()
+        if slope > theta:
+            symbol = "+"
+        elif slope < -theta:
+            symbol = "-"
+        else:
+            symbol = "0"
+        duration = max(segment.duration, 0.0)
+        travel = abs(segment.end_point[1] - segment.start_point[1])
+        if runs and runs[-1][0] == symbol:
+            prev_symbol, prev_duration, prev_travel = runs[-1]
+            runs[-1] = (prev_symbol, prev_duration + duration, prev_travel + travel)
+        else:
+            runs.append((symbol, duration, travel))
+
+    symbols = "".join(symbol for symbol, __, ___ in runs)
+    total_duration = sum(duration for __, duration, ___ in runs)
+    total_travel = sum(travel for __, ___, travel in runs)
+    if total_duration <= 0:
+        duration_profile = tuple(0.0 for __ in runs)
+    else:
+        duration_profile = tuple(duration / total_duration for __, duration, ___ in runs)
+    if total_travel <= 0:
+        amplitude_profile = tuple(0.0 for __ in runs)
+    else:
+        amplitude_profile = tuple(travel / total_travel for __, ___, travel in runs)
+    return ShapeSignature(symbols, duration_profile, amplitude_profile)

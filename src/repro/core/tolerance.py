@@ -1,0 +1,95 @@
+"""Per-dimension error tolerances and match grading (paper Section 2.2).
+
+A generalized approximate query accepts results that "deviate from the
+specified pattern in any of the dimensions which correspond to the
+specified features ... within a domain-dependent error tolerance"
+measured by "a metric function defined over each dimension".  A result
+is therefore graded:
+
+``EXACT``
+    A member of the query's equivalence class — zero deviation in every
+    feature dimension.
+``APPROXIMATE``
+    Non-zero deviation in at least one dimension but within every
+    dimension's tolerance.
+``REJECT``
+    Deviation beyond tolerance in some dimension.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.core.errors import QueryError
+
+__all__ = ["MatchGrade", "Tolerance", "DimensionDeviation", "grade_deviations"]
+
+
+class MatchGrade(enum.Enum):
+    """How a candidate relates to a query's equivalence class."""
+
+    EXACT = "exact"
+    APPROXIMATE = "approximate"
+    REJECT = "reject"
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """A metric tolerance on one feature dimension.
+
+    Attributes
+    ----------
+    dimension:
+        Feature name ("peak_count", "rr_interval", "slope", ...).
+    bound:
+        Largest acceptable deviation along this dimension.
+    metric:
+        Distance between the queried and observed feature values;
+        defaults to absolute difference, which is a metric on the reals.
+    """
+
+    dimension: str
+    bound: float
+    metric: Callable[[float, float], float] = lambda a, b: abs(a - b)
+
+    def __post_init__(self) -> None:
+        if self.bound < 0:
+            raise QueryError(f"tolerance bound for {self.dimension!r} must be non-negative")
+
+    def deviation(self, wanted: float, observed: float) -> "DimensionDeviation":
+        return DimensionDeviation(self.dimension, float(self.metric(wanted, observed)), self.bound)
+
+
+@dataclass(frozen=True)
+class DimensionDeviation:
+    """Observed deviation along one dimension, with its allowance."""
+
+    dimension: str
+    amount: float
+    bound: float
+
+    @property
+    def within(self) -> bool:
+        return self.amount <= self.bound + 1e-12
+
+    @property
+    def exact(self) -> bool:
+        """Zero deviation up to floating-point dust.
+
+        Deviations are computed from float arithmetic over transformed
+        copies of the same data; residues at the 1e-12 scale are
+        numerical noise, not behavioural difference.
+        """
+        return self.amount <= 1e-12
+
+
+def grade_deviations(deviations: Iterable[DimensionDeviation]) -> MatchGrade:
+    """Combine per-dimension deviations into a single grade."""
+    deviations = list(deviations)
+    if any(not d.within for d in deviations):
+        return MatchGrade.REJECT
+    if all(d.exact for d in deviations):
+        return MatchGrade.EXACT
+    return MatchGrade.APPROXIMATE

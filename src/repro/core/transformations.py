@@ -1,0 +1,189 @@
+"""Feature-preserving transformations (paper Section 2.2).
+
+A generalized approximate query denotes a set of sequences *closed
+under behaviour-preserving transformations*.  The paper's examples —
+all implemented here — are:
+
+* translation in time and amplitude,
+* dilation and contraction (frequency changes),
+* bounded deviations in time, amplitude and frequency, and
+* any composition of the above.
+
+Each transformation reports whether it preserves peak structure
+(`preserves_peaks`), which is what the goal-post fever and R-R interval
+queries rely on.  Bounded noise is *approximately* preserving: it keeps
+peaks only while its bound stays below the breaker's tolerance.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.core.errors import TransformationError
+from repro.core.sequence import Sequence
+
+__all__ = [
+    "Transformation",
+    "TimeShift",
+    "AmplitudeShift",
+    "AmplitudeScale",
+    "TimeScale",
+    "dilation",
+    "contraction",
+    "BoundedNoise",
+    "Compose",
+]
+
+
+class Transformation(abc.ABC):
+    """A mapping from sequences to sequences."""
+
+    #: Whether peak structure (count and ordering) survives exactly.
+    preserves_peaks: bool = True
+
+    @abc.abstractmethod
+    def apply(self, sequence: Sequence) -> Sequence:
+        """Transform ``sequence`` into a new sequence."""
+
+    def __call__(self, sequence: Sequence) -> Sequence:
+        return self.apply(sequence)
+
+    def then(self, other: "Transformation") -> "Compose":
+        """``other`` applied after this transformation."""
+        return Compose([self, other])
+
+
+class TimeShift(Transformation):
+    """Translation in time: ``(t, v) -> (t + dt, v)``."""
+
+    def __init__(self, dt: float) -> None:
+        self.dt = float(dt)
+
+    def apply(self, sequence: Sequence) -> Sequence:
+        return Sequence(sequence.times + self.dt, sequence.values, name=sequence.name)
+
+    def __repr__(self) -> str:
+        return f"TimeShift({self.dt:g})"
+
+
+class AmplitudeShift(Transformation):
+    """Translation in amplitude: ``(t, v) -> (t, v + dv)``."""
+
+    def __init__(self, dv: float) -> None:
+        self.dv = float(dv)
+
+    def apply(self, sequence: Sequence) -> Sequence:
+        return Sequence(sequence.times, sequence.values + self.dv, name=sequence.name)
+
+    def __repr__(self) -> str:
+        return f"AmplitudeShift({self.dv:g})"
+
+
+class AmplitudeScale(Transformation):
+    """Scaling in amplitude about a baseline: ``v -> baseline + k*(v - baseline)``.
+
+    A positive factor preserves peaks; zero or negative factors would
+    flatten or invert them and are rejected.
+    """
+
+    def __init__(self, factor: float, baseline: float = 0.0) -> None:
+        if factor <= 0:
+            raise TransformationError("amplitude scale factor must be positive")
+        self.factor = float(factor)
+        self.baseline = float(baseline)
+
+    def apply(self, sequence: Sequence) -> Sequence:
+        values = self.baseline + self.factor * (sequence.values - self.baseline)
+        return Sequence(sequence.times, values, name=sequence.name)
+
+    def __repr__(self) -> str:
+        return f"AmplitudeScale({self.factor:g}, baseline={self.baseline:g})"
+
+
+class TimeScale(Transformation):
+    """Dilation (factor > 1) or contraction (factor < 1) of time.
+
+    Frequency changes in the paper's terms: dilation lowers frequency,
+    contraction raises it.  Anchored at ``origin`` so composition with
+    shifts is predictable.
+    """
+
+    def __init__(self, factor: float, origin: float = 0.0) -> None:
+        if factor <= 0:
+            raise TransformationError("time scale factor must be positive")
+        self.factor = float(factor)
+        self.origin = float(origin)
+
+    def apply(self, sequence: Sequence) -> Sequence:
+        times = self.origin + self.factor * (sequence.times - self.origin)
+        return Sequence(times, sequence.values, name=sequence.name)
+
+    def __repr__(self) -> str:
+        return f"TimeScale({self.factor:g}, origin={self.origin:g})"
+
+
+def dilation(factor: float, origin: float = 0.0) -> TimeScale:
+    """A time dilation (slows the sequence down); requires factor > 1."""
+    if factor <= 1:
+        raise TransformationError("a dilation needs factor > 1")
+    return TimeScale(factor, origin)
+
+
+def contraction(factor: float, origin: float = 0.0) -> TimeScale:
+    """A time contraction (speeds the sequence up); requires factor < 1."""
+    if not 0 < factor < 1:
+        raise TransformationError("a contraction needs 0 < factor < 1")
+    return TimeScale(factor, origin)
+
+
+class BoundedNoise(Transformation):
+    """Pointwise amplitude deviations bounded by ``bound``.
+
+    This is the paper's "deviation" transformation: it is only
+    *approximately* feature-preserving, so ``preserves_peaks`` is False
+    — peaks survive only while ``bound`` stays below the prominence of
+    the features and the breaker's epsilon.
+    """
+
+    preserves_peaks = False
+
+    def __init__(self, bound: float, seed: int = 0) -> None:
+        if bound < 0:
+            raise TransformationError("noise bound must be non-negative")
+        self.bound = float(bound)
+        self.seed = int(seed)
+
+    def apply(self, sequence: Sequence) -> Sequence:
+        rng = np.random.default_rng(self.seed)
+        noise = rng.uniform(-self.bound, self.bound, size=len(sequence))
+        return Sequence(sequence.times, sequence.values + noise, name=sequence.name)
+
+    def __repr__(self) -> str:
+        return f"BoundedNoise({self.bound:g}, seed={self.seed})"
+
+
+class Compose(Transformation):
+    """Apply transformations left to right."""
+
+    def __init__(self, steps: "list[Transformation] | tuple[Transformation, ...]") -> None:
+        if not steps:
+            raise TransformationError("a composition needs at least one step")
+        self.steps = tuple(steps)
+
+    @property
+    def preserves_peaks(self) -> bool:  # type: ignore[override]
+        return all(step.preserves_peaks for step in self.steps)
+
+    def apply(self, sequence: Sequence) -> Sequence:
+        for step in self.steps:
+            sequence = step.apply(sequence)
+        return sequence
+
+    def then(self, other: Transformation) -> "Compose":
+        return Compose(self.steps + (other,))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(s) for s in self.steps)
+        return f"Compose([{inner}])"

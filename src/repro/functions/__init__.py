@@ -1,0 +1,30 @@
+"""Families of real-valued functions used to represent subsequences.
+
+See paper Section 4.2 ("Function Sequences"): sequences are mapped to
+sequences of continuous, differentiable functions, each family with a
+lexicographic order that makes representations indexable.
+"""
+
+from repro.functions.base import FittedFunction
+from repro.functions.bezier import CubicBezier, fit_bezier
+from repro.functions.fitting import CurveFitter, available_kinds, get_fitter, register_fitter
+from repro.functions.linear import LinearFunction, fit_interpolation_line, fit_regression_line
+from repro.functions.polynomial import PolynomialFunction, fit_polynomial
+from repro.functions.sinusoid import Sinusoid, fit_sinusoid
+
+__all__ = [
+    "FittedFunction",
+    "LinearFunction",
+    "PolynomialFunction",
+    "Sinusoid",
+    "CubicBezier",
+    "fit_interpolation_line",
+    "fit_regression_line",
+    "fit_polynomial",
+    "fit_sinusoid",
+    "fit_bezier",
+    "CurveFitter",
+    "get_fitter",
+    "register_fitter",
+    "available_kinds",
+]

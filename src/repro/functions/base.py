@@ -1,0 +1,124 @@
+"""Abstract base for the real-valued function families.
+
+The paper (Section 4.2) represents each subsequence by a "well behaved"
+real-valued function and relies on three properties of functions:
+
+* significant compression — a function is a handful of parameters;
+* simple lexicographic ordering *within a single family*, which makes
+  representations indexable;
+* behaviour capture — slopes, extrema and inflection points of the
+  function stand in for the behaviour of the raw subsequence.
+
+:class:`FittedFunction` encodes exactly those obligations: parameters,
+evaluation, differentiation, residual computation against a sequence,
+and a lexicographic sort key.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence as TypingSequence
+
+import numpy as np
+
+from repro.core.sequence import Sequence
+
+__all__ = ["FittedFunction"]
+
+
+class FittedFunction(abc.ABC):
+    """A continuous, differentiable function fitted to a subsequence."""
+
+    #: Short family tag (``"linear"``, ``"poly"``, ...) used by the codec
+    #: and by lexicographic comparison across representations.
+    family: str = "abstract"
+
+    # ------------------------------------------------------------------
+    # Core protocol
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def __call__(self, t: "float | np.ndarray") -> "float | np.ndarray":
+        """Evaluate the function at scalar or vector ``t``."""
+
+    @abc.abstractmethod
+    def derivative_at(self, t: "float | np.ndarray") -> "float | np.ndarray":
+        """First derivative at ``t``."""
+
+    @abc.abstractmethod
+    def parameters(self) -> tuple[float, ...]:
+        """The parameters that fully determine the function.
+
+        The tuple is what the storage codec persists; its length is the
+        per-segment storage cost the paper counts ("about 3 parameters"
+        for a line plus breakpoint).
+        """
+
+    @abc.abstractmethod
+    def lexicographic_key(self) -> tuple[float, ...]:
+        """Sort key giving the family's lexicographic order.
+
+        For polynomials the paper orders by degree first, then by
+        coefficients from most to least significant (Section 4.2).
+        """
+
+    # ------------------------------------------------------------------
+    # Shared behaviour
+    # ------------------------------------------------------------------
+
+    @property
+    def parameter_count(self) -> int:
+        return len(self.parameters())
+
+    def residuals(self, sequence: Sequence) -> np.ndarray:
+        """Signed pointwise errors ``value - f(time)`` over a sequence."""
+        return sequence.values - np.asarray(self(sequence.times), dtype=float)
+
+    def max_deviation(self, sequence: Sequence) -> float:
+        """Largest absolute pointwise error over the sequence.
+
+        This is the deviation the breaking template (paper Figure 8,
+        step 2) compares against the error tolerance ``epsilon``.
+        """
+        return float(np.abs(self.residuals(sequence)).max())
+
+    def argmax_deviation(self, sequence: Sequence) -> int:
+        """Index of the sample farthest from the function."""
+        return int(np.abs(self.residuals(sequence)).argmax())
+
+    def rmse(self, sequence: Sequence) -> float:
+        """Root-mean-square pointwise error over the sequence."""
+        res = self.residuals(sequence)
+        return float(np.sqrt(np.mean(res * res)))
+
+    def mean_slope(self, t_lo: float, t_hi: float) -> float:
+        """Average slope over ``[t_lo, t_hi]`` (secant of the function)."""
+        if t_hi == t_lo:
+            return float(self.derivative_at(t_lo))
+        return float((self(t_hi) - self(t_lo)) / (t_hi - t_lo))
+
+    def sample(self, times: TypingSequence[float]) -> np.ndarray:
+        """Vectorized evaluation over an iterable of times."""
+        return np.asarray(self(np.asarray(times, dtype=float)), dtype=float)
+
+    # ------------------------------------------------------------------
+    # Comparison
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FittedFunction):
+            return NotImplemented
+        return self.family == other.family and self.parameters() == other.parameters()
+
+    def __hash__(self) -> int:
+        return hash((self.family, self.parameters()))
+
+    def __lt__(self, other: "FittedFunction") -> bool:
+        """Lexicographic order; cross-family order falls back to the tag."""
+        if self.family != other.family:
+            return self.family < other.family
+        return self.lexicographic_key() < other.lexicographic_key()
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{p:.6g}" for p in self.parameters())
+        return f"{type(self).__name__}({params})"

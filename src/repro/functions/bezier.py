@@ -1,0 +1,252 @@
+"""Cubic Bézier curves and Schneider's automatic fitting algorithm.
+
+The paper's offline breaking template (Figure 8) is "a generalization of
+an algorithm for Bezier curve fitting [Sch90]" — Schneider's
+*An Algorithm for Automatically Fitting Digitized Curves* from Graphic
+Gems.  We implement the fitting core from scratch: chord-length
+parameterization, least-squares placement of the two interior control
+points along the end tangents, and Newton–Raphson reparameterization.
+
+The paper modified the original algorithm in two ways (Section 5.1),
+both honoured here and in :mod:`repro.segmentation`:
+
+* no continuity is imposed between consecutive curves, and
+* the split point belongs to exactly one of the two subsequences.
+
+Because our sequences are functions of time, a fitted curve whose ``x``
+component is monotone can be evaluated at a time ``t`` by inverting
+``x(u) = t``; :meth:`CubicBezier.__call__` does so by bisection, which
+lets Bézier segments share the :class:`~repro.functions.base.FittedFunction`
+protocol with the other families.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import FittingError
+from repro.core.sequence import Sequence
+from repro.functions.base import FittedFunction
+
+__all__ = ["CubicBezier", "fit_bezier"]
+
+
+def _bernstein_matrix(u: np.ndarray) -> np.ndarray:
+    """Rows of cubic Bernstein weights ``[B0(u), B1(u), B2(u), B3(u)]``."""
+    u = np.asarray(u, dtype=float)
+    v = 1.0 - u
+    return np.column_stack([v**3, 3.0 * u * v**2, 3.0 * u**2 * v, u**3])
+
+
+class CubicBezier(FittedFunction):
+    """A cubic Bézier curve defined by four ``(x, y)`` control points."""
+
+    family = "bezier"
+
+    __slots__ = ("control_points",)
+
+    def __init__(self, control_points: "np.ndarray | list[tuple[float, float]]") -> None:
+        pts = np.asarray(control_points, dtype=float)
+        if pts.shape != (4, 2):
+            raise FittingError("a cubic Bezier needs exactly four (x, y) control points")
+        self.control_points = pts
+
+    # ------------------------------------------------------------------
+    # Parametric form
+    # ------------------------------------------------------------------
+
+    def point_at(self, u: "float | np.ndarray") -> np.ndarray:
+        """Point(s) on the curve at parameter ``u`` in ``[0, 1]``."""
+        weights = _bernstein_matrix(np.atleast_1d(u))
+        pts = weights @ self.control_points
+        if np.ndim(u) == 0:
+            return pts[0]
+        return pts
+
+    def tangent_at(self, u: "float | np.ndarray") -> np.ndarray:
+        """Derivative ``dP/du`` of the parametric curve."""
+        u_arr = np.atleast_1d(np.asarray(u, dtype=float))
+        diffs = 3.0 * np.diff(self.control_points, axis=0)
+        v = 1.0 - u_arr
+        weights = np.column_stack([v**2, 2.0 * u_arr * v, u_arr**2])
+        tangents = weights @ diffs
+        if np.ndim(u) == 0:
+            return tangents[0]
+        return tangents
+
+    # ------------------------------------------------------------------
+    # FittedFunction protocol (time-series view)
+    # ------------------------------------------------------------------
+
+    def _solve_parameter(self, x: float, tol: float = 1e-10) -> float:
+        """Invert ``x(u) = x`` by bisection; assumes x(u) is monotone."""
+        x0 = float(self.control_points[0, 0])
+        x3 = float(self.control_points[3, 0])
+        if x <= min(x0, x3):
+            return 0.0 if x0 <= x3 else 1.0
+        if x >= max(x0, x3):
+            return 1.0 if x0 <= x3 else 0.0
+        ascending = x3 >= x0
+        lo, hi = 0.0, 1.0
+        for _ in range(80):
+            mid = 0.5 * (lo + hi)
+            x_mid = float(self.point_at(mid)[0])
+            if abs(x_mid - x) < tol:
+                return mid
+            if (x_mid < x) == ascending:
+                lo = mid
+            else:
+                hi = mid
+        return 0.5 * (lo + hi)
+
+    def __call__(self, t: "float | np.ndarray") -> "float | np.ndarray":
+        if np.ndim(t) == 0:
+            return float(self.point_at(self._solve_parameter(float(t)))[1])
+        t_arr = np.asarray(t, dtype=float)
+        return np.array([float(self.point_at(self._solve_parameter(float(x)))[1]) for x in t_arr])
+
+    def derivative_at(self, t: "float | np.ndarray") -> "float | np.ndarray":
+        def scalar(x: float) -> float:
+            u = self._solve_parameter(x)
+            dx, dy = (float(c) for c in self.tangent_at(u))
+            if dx == 0.0:
+                return float("inf") if dy > 0 else float("-inf") if dy < 0 else 0.0
+            return dy / dx
+
+        if np.ndim(t) == 0:
+            return scalar(float(t))
+        return np.array([scalar(float(x)) for x in np.asarray(t, dtype=float)])
+
+    def parameters(self) -> tuple[float, ...]:
+        return tuple(float(v) for v in self.control_points.ravel())
+
+    def lexicographic_key(self) -> tuple[float, ...]:
+        return self.parameters()
+
+
+# ----------------------------------------------------------------------
+# Schneider's fitting algorithm
+# ----------------------------------------------------------------------
+
+
+def _chord_length_parameterize(points: np.ndarray) -> np.ndarray:
+    """Initial parameter assignment proportional to chord length."""
+    deltas = np.linalg.norm(np.diff(points, axis=0), axis=1)
+    cumulative = np.concatenate([[0.0], np.cumsum(deltas)])
+    total = cumulative[-1]
+    if total == 0.0:
+        return np.linspace(0.0, 1.0, len(points))
+    return cumulative / total
+
+
+def _estimate_tangents(points: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Unit tangents at the two endpoints of the digitized points."""
+    left = points[min(1, len(points) - 1)] - points[0]
+    right = points[-min(2, len(points)) if len(points) > 1 else -1] - points[-1]
+    norm_left = np.linalg.norm(left)
+    norm_right = np.linalg.norm(right)
+    if norm_left == 0.0:
+        left = np.array([1.0, 0.0])
+        norm_left = 1.0
+    if norm_right == 0.0:
+        right = np.array([-1.0, 0.0])
+        norm_right = 1.0
+    return left / norm_left, right / norm_right
+
+
+def _generate_bezier(points: np.ndarray, params: np.ndarray, tan_left: np.ndarray, tan_right: np.ndarray) -> CubicBezier:
+    """Least-squares interior control points along the end tangents.
+
+    Standard Schneider formulation: with ``P1 = P0 + a1*t1`` and
+    ``P2 = P3 + a2*t2``, solve the 2x2 normal equations for
+    ``(a1, a2)``; fall back to the Wu/Barsky heuristic (a third of the
+    chord) when the system is singular or produces non-forward alphas.
+    """
+    first, last = points[0], points[-1]
+    u = params
+    v = 1.0 - u
+    b0 = v**3
+    b1 = 3.0 * u * v**2
+    b2 = 3.0 * u**2 * v
+    b3 = u**3
+
+    a1 = tan_left[None, :] * b1[:, None]
+    a2 = tan_right[None, :] * b2[:, None]
+
+    c00 = float(np.sum(a1 * a1))
+    c01 = float(np.sum(a1 * a2))
+    c11 = float(np.sum(a2 * a2))
+
+    base = (b0 + b1)[:, None] * first[None, :] + (b2 + b3)[:, None] * last[None, :]
+    rhs = points - base
+    x0 = float(np.sum(a1 * rhs))
+    x1 = float(np.sum(a2 * rhs))
+
+    det = c00 * c11 - c01 * c01
+    chord = float(np.linalg.norm(last - first))
+    fallback = chord / 3.0
+    if abs(det) < 1e-12:
+        alpha1 = alpha2 = fallback
+    else:
+        alpha1 = (x0 * c11 - x1 * c01) / det
+        alpha2 = (c00 * x1 - c01 * x0) / det
+        epsilon = 1e-6 * chord
+        if alpha1 < epsilon or alpha2 < epsilon:
+            alpha1 = alpha2 = fallback
+
+    controls = np.vstack(
+        [first, first + alpha1 * tan_left, last + alpha2 * tan_right, last]
+    )
+    return CubicBezier(controls)
+
+
+def _reparameterize(points: np.ndarray, params: np.ndarray, curve: CubicBezier) -> np.ndarray:
+    """One Newton–Raphson step improving each point's parameter."""
+    new_params = params.copy()
+    diffs1 = 3.0 * np.diff(curve.control_points, axis=0)
+    diffs2 = 2.0 * np.diff(diffs1, axis=0)
+    for i, (point, u) in enumerate(zip(points, params)):
+        p = curve.point_at(u)
+        v = 1.0 - u
+        w1 = np.array([v**2, 2.0 * u * v, u**2])
+        d1 = w1 @ diffs1
+        w2 = np.array([v, u])
+        d2 = w2 @ diffs2
+        delta = p - point
+        numerator = float(np.dot(delta, d1))
+        denominator = float(np.dot(d1, d1) + np.dot(delta, d2))
+        if denominator == 0.0:
+            continue
+        new_params[i] = min(1.0, max(0.0, u - numerator / denominator))
+    return new_params
+
+
+def fit_bezier(sequence: Sequence, reparameterize_iterations: int = 4) -> CubicBezier:
+    """Fit one cubic Bézier segment to a sequence, Schneider-style.
+
+    Raises
+    ------
+    FittingError
+        If the sequence has fewer than two points.
+    """
+    if len(sequence) < 2:
+        raise FittingError("a Bezier fit needs at least two points")
+    points = np.column_stack([sequence.times, sequence.values])
+    if len(points) == 2:
+        # Degenerate: the curve is the straight chord.
+        first, last = points
+        third = (last - first) / 3.0
+        return CubicBezier(np.vstack([first, first + third, last - third, last]))
+
+    params = _chord_length_parameterize(points)
+    tan_left, tan_right = _estimate_tangents(points)
+    curve = _generate_bezier(points, params, tan_left, tan_right)
+    best = curve
+    best_err = float(np.max(np.linalg.norm(curve.point_at(params) - points, axis=1)))
+    for _ in range(reparameterize_iterations):
+        params = _reparameterize(points, params, curve)
+        curve = _generate_bezier(points, params, tan_left, tan_right)
+        err = float(np.max(np.linalg.norm(curve.point_at(params) - points, axis=1)))
+        if err < best_err:
+            best, best_err = curve, err
+    return best

@@ -1,0 +1,82 @@
+"""Curve-fitter registry.
+
+The offline breaking template (paper Figure 8) is parameterized by "a
+type of curve ``c``"; this module is the place where curve types are
+named, looked up, and instantiated.  A *fitter* is any callable mapping
+a :class:`~repro.core.sequence.Sequence` to a
+:class:`~repro.functions.base.FittedFunction`.
+
+Built-in curve kinds
+--------------------
+
+``"interpolation"``
+    Endpoint interpolation line (the paper's preferred breaker curve).
+``"regression"``
+    Least-squares regression line (the paper's representation choice).
+``"poly:<d>"``
+    Least-squares polynomial of degree ``d`` (e.g. ``"poly:3"``).
+``"bezier"``
+    Cubic Bézier via Schneider's algorithm.
+``"sinusoid"``
+    Single sinusoid, FFT-seeded.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.core.errors import FittingError
+from repro.core.sequence import Sequence
+from repro.functions.base import FittedFunction
+from repro.functions.bezier import fit_bezier
+from repro.functions.linear import fit_interpolation_line, fit_regression_line
+from repro.functions.polynomial import fit_polynomial
+from repro.functions.sinusoid import fit_sinusoid
+
+__all__ = ["CurveFitter", "register_fitter", "get_fitter", "available_kinds"]
+
+CurveFitter = Callable[[Sequence], FittedFunction]
+
+_REGISTRY: Dict[str, CurveFitter] = {
+    "interpolation": fit_interpolation_line,
+    "regression": fit_regression_line,
+    "bezier": fit_bezier,
+    "sinusoid": fit_sinusoid,
+}
+
+
+def register_fitter(kind: str, fitter: CurveFitter) -> None:
+    """Register a custom curve kind.
+
+    Raises
+    ------
+    FittingError
+        If the kind name is already taken (overwriting silently would
+        invalidate stored representations that reference the kind).
+    """
+    if kind in _REGISTRY or kind.startswith("poly:"):
+        raise FittingError(f"curve kind {kind!r} is already registered")
+    _REGISTRY[kind] = fitter
+
+
+def get_fitter(kind: str) -> CurveFitter:
+    """Look up a fitter by kind name (supports ``"poly:<degree>"``)."""
+    if kind.startswith("poly:"):
+        try:
+            degree = int(kind.split(":", 1)[1])
+        except ValueError as exc:
+            raise FittingError(f"bad polynomial kind {kind!r}; expected 'poly:<int>'") from exc
+        if degree < 0:
+            raise FittingError("polynomial degree must be non-negative")
+        return lambda seq: fit_polynomial(seq, degree)
+    try:
+        return _REGISTRY[kind]
+    except KeyError as exc:
+        raise FittingError(
+            f"unknown curve kind {kind!r}; available: {', '.join(available_kinds())}"
+        ) from exc
+
+
+def available_kinds() -> list[str]:
+    """All registered kind names (``poly:<d>`` kinds are implicit)."""
+    return sorted(_REGISTRY) + ["poly:<degree>"]

@@ -1,0 +1,106 @@
+"""Linear functions: the workhorse representation of the paper.
+
+The paper's implemented system breaks sequences with the *endpoint
+interpolation line* and represents the resulting subsequences with the
+*linear regression line* (Sections 4.4 and 5.1).  Both fits live here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import FittingError
+from repro.core.sequence import Sequence
+from repro.functions.base import FittedFunction
+
+__all__ = [
+    "LinearFunction",
+    "fit_interpolation_line",
+    "fit_regression_line",
+]
+
+
+class LinearFunction(FittedFunction):
+    """The line ``f(t) = slope * t + intercept``."""
+
+    family = "linear"
+
+    __slots__ = ("slope", "intercept")
+
+    def __init__(self, slope: float, intercept: float) -> None:
+        self.slope = float(slope)
+        self.intercept = float(intercept)
+
+    def __call__(self, t: "float | np.ndarray") -> "float | np.ndarray":
+        return self.slope * t + self.intercept
+
+    def derivative_at(self, t: "float | np.ndarray") -> "float | np.ndarray":
+        if isinstance(t, np.ndarray):
+            return np.full_like(np.asarray(t, dtype=float), self.slope)
+        return self.slope
+
+    def parameters(self) -> tuple[float, ...]:
+        return (self.slope, self.intercept)
+
+    def lexicographic_key(self) -> tuple[float, ...]:
+        # Slope is the behaviourally significant parameter: it determines
+        # the slope-sign symbol used by the pattern index.
+        return (self.slope, self.intercept)
+
+    def shifted(self, dt: float) -> "LinearFunction":
+        """The same line expressed in a time frame shifted by ``dt``.
+
+        If ``g = f.shifted(dt)`` then ``g(t) == f(t + dt)``; used to
+        re-base a segment's line to start at time 0 for comparison.
+        """
+        return LinearFunction(self.slope, self.intercept + self.slope * dt)
+
+    def format_equation(self, digits: int = 3) -> str:
+        """Human-readable ``"a*x+b"`` form as printed in paper Figures 6-9."""
+        sign = "+" if self.intercept >= 0 else "-"
+        return f"{self.slope:.{digits}g}x{sign}{abs(self.intercept):.{digits}g}"
+
+
+def fit_interpolation_line(sequence: Sequence) -> LinearFunction:
+    """The line through the first and last points of ``sequence``.
+
+    This is the curve used by the paper's preferred breaking algorithm:
+    "finding an interpolation line through two points does not require
+    complicated processing of the whole sequence.  Only endpoints need
+    to be considered" (Section 5.1).
+
+    Raises
+    ------
+    FittingError
+        If the sequence is a single point (no line is determined) —
+        callers treat one-point subsequences as already-converged.
+    """
+    if len(sequence) < 2:
+        raise FittingError("an interpolation line needs at least two points")
+    t0, v0 = sequence[0]
+    t1, v1 = sequence[-1]
+    if t1 == t0:
+        raise FittingError("degenerate time span")
+    slope = (v1 - v0) / (t1 - t0)
+    return LinearFunction(slope, v0 - slope * t0)
+
+
+def fit_regression_line(sequence: Sequence) -> LinearFunction:
+    """Ordinary least-squares regression line through the sequence.
+
+    For single-point input the fit degenerates to the constant function
+    at that value, which is the natural zero-error representation.
+    """
+    if len(sequence) == 1:
+        __, v = sequence[0]
+        return LinearFunction(0.0, v)
+    times = sequence.times
+    values = sequence.values
+    t_mean = times.mean()
+    v_mean = values.mean()
+    t_centered = times - t_mean
+    denom = float(np.dot(t_centered, t_centered))
+    if denom == 0.0:
+        raise FittingError("degenerate time span")
+    slope = float(np.dot(t_centered, values - v_mean)) / denom
+    return LinearFunction(slope, v_mean - slope * t_mean)

@@ -1,0 +1,101 @@
+"""Polynomial function family.
+
+The paper lists polynomials as the canonical lexicographically-ordered
+family: "by degrees and coefficients, where degrees are more
+significant" (Section 4.2).  Degree-``d`` least-squares fits are used by
+the offline breaking template and by the online sliding-window breaker.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import FittingError
+from repro.core.sequence import Sequence
+from repro.functions.base import FittedFunction
+
+__all__ = ["PolynomialFunction", "fit_polynomial"]
+
+
+class PolynomialFunction(FittedFunction):
+    """``f(t) = c[0]*t^d + c[1]*t^(d-1) + ... + c[d]`` (highest first)."""
+
+    family = "poly"
+
+    __slots__ = ("coefficients",)
+
+    def __init__(self, coefficients: "tuple[float, ...] | list[float] | np.ndarray") -> None:
+        coeffs = tuple(float(c) for c in coefficients)
+        if not coeffs:
+            raise FittingError("a polynomial needs at least one coefficient")
+        # Normalize away leading zeros so degree is well defined (but keep
+        # the constant polynomial as a single coefficient).
+        while len(coeffs) > 1 and coeffs[0] == 0.0:
+            coeffs = coeffs[1:]
+        self.coefficients = coeffs
+
+    @property
+    def degree(self) -> int:
+        return len(self.coefficients) - 1
+
+    def __call__(self, t: "float | np.ndarray") -> "float | np.ndarray":
+        result = np.polyval(self.coefficients, t)
+        if np.ndim(result) == 0:
+            return float(result)
+        return result
+
+    def derivative_at(self, t: "float | np.ndarray") -> "float | np.ndarray":
+        deriv = np.polyder(np.asarray(self.coefficients, dtype=float))
+        result = np.polyval(deriv, t)
+        if np.ndim(result) == 0:
+            return float(result)
+        return result
+
+    def derivative(self) -> "PolynomialFunction":
+        """The derivative as a polynomial of its own."""
+        if self.degree == 0:
+            return PolynomialFunction((0.0,))
+        return PolynomialFunction(np.polyder(np.asarray(self.coefficients, dtype=float)))
+
+    def real_roots(self) -> list[float]:
+        """Real roots of the polynomial, ascending."""
+        if self.degree == 0:
+            return []
+        roots = np.roots(np.asarray(self.coefficients, dtype=float))
+        real = sorted(float(r.real) for r in roots if abs(r.imag) < 1e-9)
+        return real
+
+    def extrema_in(self, t_lo: float, t_hi: float) -> list[float]:
+        """Interior critical points within ``[t_lo, t_hi]``.
+
+        The paper relies on "behavior of functions ... captured by
+        derivatives, inflection points, extrema" (Section 4.2); this is
+        the concrete hook for that.
+        """
+        return [r for r in self.derivative().real_roots() if t_lo < r < t_hi]
+
+    def parameters(self) -> tuple[float, ...]:
+        return self.coefficients
+
+    def lexicographic_key(self) -> tuple[float, ...]:
+        return (float(self.degree),) + self.coefficients
+
+
+def fit_polynomial(sequence: Sequence, degree: int) -> PolynomialFunction:
+    """Least-squares polynomial of the given degree.
+
+    The requested degree is capped at ``len(sequence) - 1`` so that the
+    fit is always determined; an exactly-interpolating polynomial is the
+    correct degenerate answer for tiny subsequences.
+    """
+    if degree < 0:
+        raise FittingError("degree must be non-negative")
+    effective = min(degree, len(sequence) - 1)
+    if effective == 0:
+        return PolynomialFunction((float(sequence.values.mean()),))
+    # Fit in a time frame centred on the segment to keep the normal
+    # equations well conditioned for high-degree fits on long spans.
+    t0 = sequence.times.mean()
+    coeffs = np.polyfit(sequence.times - t0, sequence.values, effective)
+    shifted = np.poly1d(coeffs)(np.poly1d([1.0, -t0]))
+    return PolynomialFunction(np.atleast_1d(shifted.coeffs))

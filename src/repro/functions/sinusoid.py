@@ -1,0 +1,116 @@
+"""Sinusoid function family.
+
+The paper lists sinusoids (ordered "by amplitude, frequency, phase") as
+a second lexicographically-ordered family suitable for periodic domains
+(Section 4.2).  Fitting uses an FFT-seeded frequency estimate refined by
+a golden-section search, with amplitude/phase/offset solved exactly by
+linear least squares at each candidate frequency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import FittingError
+from repro.core.sequence import Sequence
+from repro.functions.base import FittedFunction
+
+__all__ = ["Sinusoid", "fit_sinusoid"]
+
+
+class Sinusoid(FittedFunction):
+    """``f(t) = amplitude * sin(2*pi*frequency*t + phase) + offset``."""
+
+    family = "sin"
+
+    __slots__ = ("amplitude", "frequency", "phase", "offset")
+
+    def __init__(self, amplitude: float, frequency: float, phase: float, offset: float = 0.0) -> None:
+        if frequency < 0:
+            raise FittingError("frequency must be non-negative")
+        self.amplitude = float(amplitude)
+        self.frequency = float(frequency)
+        self.phase = float(phase) % (2.0 * np.pi)
+        self.offset = float(offset)
+
+    def __call__(self, t: "float | np.ndarray") -> "float | np.ndarray":
+        result = self.amplitude * np.sin(2.0 * np.pi * self.frequency * t + self.phase) + self.offset
+        if np.ndim(result) == 0:
+            return float(result)
+        return result
+
+    def derivative_at(self, t: "float | np.ndarray") -> "float | np.ndarray":
+        omega = 2.0 * np.pi * self.frequency
+        result = self.amplitude * omega * np.cos(omega * t + self.phase)
+        if np.ndim(result) == 0:
+            return float(result)
+        return result
+
+    def parameters(self) -> tuple[float, ...]:
+        return (self.amplitude, self.frequency, self.phase, self.offset)
+
+    def lexicographic_key(self) -> tuple[float, ...]:
+        # Paper order: amplitude, frequency, phase.
+        return (self.amplitude, self.frequency, self.phase, self.offset)
+
+    def period(self) -> float:
+        if self.frequency == 0.0:
+            return float("inf")
+        return 1.0 / self.frequency
+
+
+def _lstsq_at_frequency(times: np.ndarray, values: np.ndarray, freq: float) -> tuple[Sinusoid, float]:
+    """Best sinusoid at a fixed frequency, and its residual SSE."""
+    omega = 2.0 * np.pi * freq
+    design = np.column_stack([np.sin(omega * times), np.cos(omega * times), np.ones_like(times)])
+    coeffs, *_ = np.linalg.lstsq(design, values, rcond=None)
+    a, b, c = (float(x) for x in coeffs)
+    amplitude = float(np.hypot(a, b))
+    phase = float(np.arctan2(b, a))
+    model = Sinusoid(amplitude, freq, phase, c)
+    resid = values - model.sample(times)
+    return model, float(np.dot(resid, resid))
+
+
+def fit_sinusoid(sequence: Sequence, refine_iterations: int = 40) -> Sinusoid:
+    """Fit a single sinusoid to a (uniformly sampled) sequence.
+
+    The dominant FFT bin seeds the frequency; a golden-section search in
+    a one-bin neighbourhood refines it.  For constant data the fit
+    degenerates to a zero-amplitude sinusoid at the mean.
+    """
+    if len(sequence) < 4:
+        raise FittingError("a sinusoid fit needs at least four points")
+    times = sequence.times
+    values = sequence.values
+    if float(values.var()) == 0.0:
+        return Sinusoid(0.0, 0.0, 0.0, float(values.mean()))
+
+    resampled = sequence if sequence.is_uniform() else sequence.resample(len(sequence))
+    step = resampled.sampling_step()
+    centered = resampled.values - resampled.values.mean()
+    spectrum = np.abs(np.fft.rfft(centered))
+    freqs = np.fft.rfftfreq(len(resampled), d=step)
+    peak_bin = int(spectrum[1:].argmax()) + 1  # skip the DC bin
+    seed = float(freqs[peak_bin])
+    bin_width = float(freqs[1]) if len(freqs) > 1 else seed or 1.0
+
+    lo = max(seed - bin_width, 1e-12)
+    hi = seed + bin_width
+    golden = (np.sqrt(5.0) - 1.0) / 2.0
+    x1 = hi - golden * (hi - lo)
+    x2 = lo + golden * (hi - lo)
+    _, f1 = _lstsq_at_frequency(times, values, x1)
+    _, f2 = _lstsq_at_frequency(times, values, x2)
+    for _ in range(refine_iterations):
+        if f1 <= f2:
+            hi, x2, f2 = x2, x1, f1
+            x1 = hi - golden * (hi - lo)
+            _, f1 = _lstsq_at_frequency(times, values, x1)
+        else:
+            lo, x1, f1 = x1, x2, f2
+            x2 = lo + golden * (hi - lo)
+            _, f2 = _lstsq_at_frequency(times, values, x2)
+    best_freq = x1 if f1 <= f2 else x2
+    model, _ = _lstsq_at_frequency(times, values, best_freq)
+    return model

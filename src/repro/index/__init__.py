@@ -1,0 +1,17 @@
+"""Index substrates: B-tree, inverted file (paper Figure 10), trie and
+slope-pattern index (paper Section 4.4)."""
+
+from repro.index.btree import BTree
+from repro.index.inverted import InvertedFileIndex, Posting, PostingBucket
+from repro.index.pattern_index import PatternIndex
+from repro.index.trie import Occurrence, SymbolTrie
+
+__all__ = [
+    "BTree",
+    "InvertedFileIndex",
+    "Posting",
+    "PostingBucket",
+    "PatternIndex",
+    "SymbolTrie",
+    "Occurrence",
+]

@@ -1,0 +1,319 @@
+"""An order-``t`` B-tree built from scratch.
+
+Paper Figure 10's inverted-file structure "consists of a B-Tree
+structure which points to the postings file"; this module supplies that
+B-tree.  It is a classic CLRS-style B-tree with minimum degree ``t``:
+every node except the root holds between ``t - 1`` and ``2t - 1`` keys,
+all leaves sit at the same depth, and search / insert / delete are all
+logarithmic.  Keys are ordered scalars; each key carries one value slot
+(the inverted file stores a posting bucket there).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.core.errors import IndexError_
+
+__all__ = ["BTree"]
+
+
+class _Node:
+    __slots__ = ("keys", "values", "children")
+
+    def __init__(self) -> None:
+        self.keys: list[Any] = []
+        self.values: list[Any] = []
+        self.children: list["_Node"] = []
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class BTree:
+    """A B-tree mapping ordered keys to single values.
+
+    Parameters
+    ----------
+    min_degree:
+        The CLRS ``t``; nodes hold at most ``2t - 1`` keys.  The default
+        keeps nodes small enough that tests exercise splits and merges
+        with modest data volumes.
+    """
+
+    def __init__(self, min_degree: int = 4) -> None:
+        if min_degree < 2:
+            raise IndexError_("B-tree minimum degree must be at least 2")
+        self._t = min_degree
+        self._root = _Node()
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: Any) -> bool:
+        return self._find(self._root, key) is not None
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        found = self._find(self._root, key)
+        if found is None:
+            return default
+        node, idx = found
+        return node.values[idx]
+
+    def _find(self, node: _Node, key: Any) -> "tuple[_Node, int] | None":
+        while True:
+            idx = _lower_bound(node.keys, key)
+            if idx < len(node.keys) and node.keys[idx] == key:
+                return node, idx
+            if node.is_leaf:
+                return None
+            node = node.children[idx]
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+
+    def insert(self, key: Any, value: Any) -> None:
+        """Insert or overwrite ``key``."""
+        found = self._find(self._root, key)
+        if found is not None:
+            node, idx = found
+            node.values[idx] = value
+            return
+        root = self._root
+        if len(root.keys) == 2 * self._t - 1:
+            new_root = _Node()
+            new_root.children.append(root)
+            self._split_child(new_root, 0)
+            self._root = new_root
+        self._insert_nonfull(self._root, key, value)
+        self._size += 1
+
+    def setdefault(self, key: Any, factory: Any) -> Any:
+        """Return the value at ``key``, inserting ``factory()`` if absent."""
+        found = self._find(self._root, key)
+        if found is not None:
+            node, idx = found
+            return node.values[idx]
+        value = factory()
+        self.insert(key, value)
+        return value
+
+    def _split_child(self, parent: _Node, index: int) -> None:
+        t = self._t
+        child = parent.children[index]
+        sibling = _Node()
+        sibling.keys = child.keys[t:]
+        sibling.values = child.values[t:]
+        if not child.is_leaf:
+            sibling.children = child.children[t:]
+            child.children = child.children[:t]
+        parent.keys.insert(index, child.keys[t - 1])
+        parent.values.insert(index, child.values[t - 1])
+        parent.children.insert(index + 1, sibling)
+        child.keys = child.keys[: t - 1]
+        child.values = child.values[: t - 1]
+
+    def _insert_nonfull(self, node: _Node, key: Any, value: Any) -> None:
+        while not node.is_leaf:
+            idx = _lower_bound(node.keys, key)
+            child = node.children[idx]
+            if len(child.keys) == 2 * self._t - 1:
+                self._split_child(node, idx)
+                if key > node.keys[idx]:
+                    idx += 1
+                child = node.children[idx]
+            node = child
+        idx = _lower_bound(node.keys, key)
+        node.keys.insert(idx, key)
+        node.values.insert(idx, value)
+
+    # ------------------------------------------------------------------
+    # Deletion (full CLRS algorithm)
+    # ------------------------------------------------------------------
+
+    def delete(self, key: Any) -> None:
+        """Remove ``key``; raises if it is absent."""
+        if self._find(self._root, key) is None:
+            raise IndexError_(f"key {key!r} not in B-tree")
+        self._delete(self._root, key)
+        if not self._root.keys and self._root.children:
+            self._root = self._root.children[0]
+        self._size -= 1
+
+    def _delete(self, node: _Node, key: Any) -> None:
+        t = self._t
+        idx = _lower_bound(node.keys, key)
+        if idx < len(node.keys) and node.keys[idx] == key:
+            if node.is_leaf:
+                node.keys.pop(idx)
+                node.values.pop(idx)
+                return
+            left, right = node.children[idx], node.children[idx + 1]
+            if len(left.keys) >= t:
+                pred_key, pred_val = self._max_entry(left)
+                node.keys[idx], node.values[idx] = pred_key, pred_val
+                self._delete(left, pred_key)
+            elif len(right.keys) >= t:
+                succ_key, succ_val = self._min_entry(right)
+                node.keys[idx], node.values[idx] = succ_key, succ_val
+                self._delete(right, succ_key)
+            else:
+                self._merge_children(node, idx)
+                self._delete(left, key)
+            return
+        if node.is_leaf:
+            raise IndexError_(f"key {key!r} not in B-tree")
+        child = node.children[idx]
+        if len(child.keys) == t - 1:
+            self._grow_child(node, idx)
+            # The tree shape changed; restart from this node.
+            self._delete(node, key)
+            return
+        self._delete(child, key)
+
+    def _grow_child(self, node: _Node, idx: int) -> None:
+        """Ensure ``node.children[idx]`` has at least ``t`` keys."""
+        t = self._t
+        child = node.children[idx]
+        if idx > 0 and len(node.children[idx - 1].keys) >= t:
+            left = node.children[idx - 1]
+            child.keys.insert(0, node.keys[idx - 1])
+            child.values.insert(0, node.values[idx - 1])
+            node.keys[idx - 1] = left.keys.pop()
+            node.values[idx - 1] = left.values.pop()
+            if not left.is_leaf:
+                child.children.insert(0, left.children.pop())
+        elif idx < len(node.children) - 1 and len(node.children[idx + 1].keys) >= t:
+            right = node.children[idx + 1]
+            child.keys.append(node.keys[idx])
+            child.values.append(node.values[idx])
+            node.keys[idx] = right.keys.pop(0)
+            node.values[idx] = right.values.pop(0)
+            if not right.is_leaf:
+                child.children.append(right.children.pop(0))
+        elif idx > 0:
+            self._merge_children(node, idx - 1)
+        else:
+            self._merge_children(node, idx)
+
+    def _merge_children(self, node: _Node, idx: int) -> None:
+        left = node.children[idx]
+        right = node.children.pop(idx + 1)
+        left.keys.append(node.keys.pop(idx))
+        left.values.append(node.values.pop(idx))
+        left.keys.extend(right.keys)
+        left.values.extend(right.values)
+        left.children.extend(right.children)
+
+    def _max_entry(self, node: _Node) -> tuple[Any, Any]:
+        while not node.is_leaf:
+            node = node.children[-1]
+        return node.keys[-1], node.values[-1]
+
+    def _min_entry(self, node: _Node) -> tuple[Any, Any]:
+        while not node.is_leaf:
+            node = node.children[0]
+        return node.keys[0], node.values[0]
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        """All entries in ascending key order."""
+        yield from self._walk(self._root)
+
+    def _walk(self, node: _Node) -> Iterator[tuple[Any, Any]]:
+        if node.is_leaf:
+            yield from zip(node.keys, node.values)
+            return
+        for i, (key, value) in enumerate(zip(node.keys, node.values)):
+            yield from self._walk(node.children[i])
+            yield key, value
+        yield from self._walk(node.children[-1])
+
+    def range(self, lo: Any, hi: Any) -> Iterator[tuple[Any, Any]]:
+        """Entries with ``lo <= key <= hi``, ascending.
+
+        Follows the tree structure (only subtrees overlapping the range
+        are visited), which is what makes the paper's "values between
+        130 and 140" query cheap.
+        """
+        yield from self._range(self._root, lo, hi)
+
+    def _range(self, node: _Node, lo: Any, hi: Any) -> Iterator[tuple[Any, Any]]:
+        idx = _lower_bound(node.keys, lo)
+        if node.is_leaf:
+            for i in range(idx, len(node.keys)):
+                if node.keys[i] > hi:
+                    return
+                yield node.keys[i], node.values[i]
+            return
+        for i in range(idx, len(node.keys)):
+            yield from self._range(node.children[i], lo, hi)
+            if node.keys[i] > hi:
+                return
+            if node.keys[i] >= lo:
+                yield node.keys[i], node.values[i]
+        yield from self._range(node.children[len(node.keys)], lo, hi)
+
+    # ------------------------------------------------------------------
+    # Integrity checking (used by property tests)
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise :class:`IndexError_` if any B-tree invariant is violated."""
+        depths: set[int] = set()
+        self._check(self._root, None, None, True, 0, depths)
+        if len(depths) > 1:
+            raise IndexError_(f"leaves at different depths: {sorted(depths)}")
+
+    def _check(self, node: _Node, lo: Any, hi: Any, is_root: bool, depth: int, depths: set[int]) -> None:
+        t = self._t
+        if not is_root and len(node.keys) < t - 1:
+            raise IndexError_(f"underfull node: {len(node.keys)} keys")
+        if len(node.keys) > 2 * t - 1:
+            raise IndexError_(f"overfull node: {len(node.keys)} keys")
+        for a, b in zip(node.keys, node.keys[1:]):
+            if not a < b:
+                raise IndexError_(f"keys out of order: {a!r} !< {b!r}")
+        if node.keys:
+            if lo is not None and node.keys[0] <= lo:
+                raise IndexError_("subtree violates lower separator")
+            if hi is not None and node.keys[-1] >= hi:
+                raise IndexError_("subtree violates upper separator")
+        if node.is_leaf:
+            depths.add(depth)
+            return
+        if len(node.children) != len(node.keys) + 1:
+            raise IndexError_("child count must be keys + 1")
+        bounds = [lo] + node.keys + [hi]
+        for child, (child_lo, child_hi) in zip(node.children, zip(bounds, bounds[1:])):
+            self._check(child, child_lo, child_hi, False, depth + 1, depths)
+
+    def height(self) -> int:
+        node = self._root
+        h = 0
+        while not node.is_leaf:
+            node = node.children[0]
+            h += 1
+        return h
+
+
+def _lower_bound(keys: list[Any], key: Any) -> int:
+    """First index whose key is >= ``key`` (binary search)."""
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if keys[mid] < key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo

@@ -1,0 +1,100 @@
+"""Slope-sign pattern index over stored representations.
+
+Paper Section 4.4: "An index structure that supports pattern matching
+... is maintained on the positiveness of the functions' slopes.  For a
+fixed small number theta there are 3 possible index values: slope >
+theta, slope < -theta, or slope is between -theta and theta. ... by
+using the index we get the positions of the first point of all stored
+sequences that match that pattern."
+
+:class:`PatternIndex` stores each representation's symbol string in a
+positional suffix trie and answers
+
+* exact symbol-substring lookups straight from the trie, and
+* regular-expression pattern queries by running the NFA matcher over
+  candidate strings (whole-string match for queries like goal-post
+  fever, or substring search returning first-point positions).
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import IndexError_
+from repro.core.representation import FunctionSeriesRepresentation
+from repro.index.trie import Occurrence, SymbolTrie
+from repro.patterns.regex import SymbolPattern
+
+__all__ = ["PatternIndex"]
+
+
+class PatternIndex:
+    """Index of slope-sign strings supporting substring and regex search."""
+
+    def __init__(self, theta: float = 0.0, trie_depth: int = 12, collapse_runs: bool = False) -> None:
+        if theta < 0:
+            raise IndexError_("theta must be non-negative")
+        self.theta = float(theta)
+        self.collapse_runs = collapse_runs
+        self._trie = SymbolTrie(max_depth=trie_depth)
+
+    # ------------------------------------------------------------------
+    # Building
+    # ------------------------------------------------------------------
+
+    def add(self, sequence_id: int, representation: FunctionSeriesRepresentation) -> None:
+        """Index the representation's slope-sign string."""
+        self._trie.add(
+            sequence_id,
+            representation.symbol_string(self.theta, collapse_runs=self.collapse_runs),
+        )
+
+    def remove(self, sequence_id: int) -> None:
+        """Unindex one sequence."""
+        self._trie.remove(sequence_id)
+
+    def __len__(self) -> int:
+        return len(self._trie)
+
+    def __contains__(self, sequence_id: int) -> bool:
+        return sequence_id in self._trie
+
+    def symbols_of(self, sequence_id: int) -> str:
+        return self._trie.symbols_of(sequence_id)
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+
+    def find_exact(self, symbols: str) -> list[Occurrence]:
+        """Positions of an exact symbol substring across all sequences."""
+        return self._trie.find(symbols)
+
+    def match_full(self, pattern: "SymbolPattern | str") -> list[int]:
+        """Sequence ids whose whole symbol string matches the pattern.
+
+        This is the goal-post fever query shape: the pattern constrains
+        the entire 24-hour sequence, so a full match is required.
+        """
+        compiled = SymbolPattern.compile(pattern) if isinstance(pattern, str) else pattern
+        return sorted(
+            sequence_id
+            for sequence_id in self._sequence_ids()
+            if compiled.fullmatch(self._trie.symbols_of(sequence_id))
+        )
+
+    def search(self, pattern: "SymbolPattern | str") -> list[Occurrence]:
+        """First-point positions of pattern occurrences in any sequence.
+
+        Returns one occurrence per ``(sequence, start)`` at which some
+        match of the pattern begins — the paper's "positions of the
+        first point of all stored sequences that match that pattern".
+        """
+        compiled = SymbolPattern.compile(pattern) if isinstance(pattern, str) else pattern
+        hits: list[Occurrence] = []
+        for sequence_id in self._sequence_ids():
+            symbols = self._trie.symbols_of(sequence_id)
+            for start, __ in compiled.finditer(symbols):
+                hits.append(Occurrence(sequence_id, start))
+        return sorted(set(hits))
+
+    def _sequence_ids(self) -> list[int]:
+        return sorted(self._trie._strings)

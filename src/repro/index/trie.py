@@ -1,0 +1,140 @@
+"""A positional suffix trie over symbol strings.
+
+The paper maintains "an index structure that supports pattern matching,
+like the ones discussed in [Fre60, AHU74, Sub95] ... on the positiveness
+of the functions' slopes" and uses it to "get the positions of the first
+point of all stored sequences that match that pattern".  [Fre60] is
+Fredkin's trie memory; this module provides a trie over the slope-sign
+alphabet that records, for every indexed substring, the sequence it came
+from and the segment position where it starts.
+
+Depth is bounded: substrings longer than ``max_depth`` fall back to
+verification by the caller (a standard trade-off that keeps the trie
+linear in total symbol volume for fixed depth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import IndexError_
+
+__all__ = ["SymbolTrie", "Occurrence"]
+
+
+@dataclass(frozen=True, order=True)
+class Occurrence:
+    """A substring occurrence: owning sequence and start position."""
+
+    sequence_id: int
+    position: int
+
+
+@dataclass
+class _TrieNode:
+    children: dict[str, "_TrieNode"] = field(default_factory=dict)
+    occurrences: list[Occurrence] = field(default_factory=list)
+
+
+class SymbolTrie:
+    """Suffix trie with per-node occurrence lists.
+
+    Every suffix of every indexed string is inserted up to
+    ``max_depth`` symbols; a node's occurrence list holds every
+    ``(sequence, position)`` whose substring spells the path to it.
+    """
+
+    def __init__(self, max_depth: int = 12) -> None:
+        if max_depth < 1:
+            raise IndexError_("max_depth must be at least 1")
+        self.max_depth = int(max_depth)
+        self._root = _TrieNode()
+        self._strings: dict[int, str] = {}
+
+    # ------------------------------------------------------------------
+    # Building
+    # ------------------------------------------------------------------
+
+    def add(self, sequence_id: int, symbols: str) -> None:
+        """Index every suffix of ``symbols`` (trimmed to max_depth)."""
+        if sequence_id in self._strings:
+            raise IndexError_(f"sequence {sequence_id} already indexed")
+        self._strings[sequence_id] = symbols
+        for start in range(len(symbols)):
+            node = self._root
+            node.occurrences.append(Occurrence(sequence_id, start))
+            for depth, symbol in enumerate(symbols[start:]):
+                if depth >= self.max_depth:
+                    break
+                node = node.children.setdefault(symbol, _TrieNode())
+                node.occurrences.append(Occurrence(sequence_id, start))
+
+    def remove(self, sequence_id: int) -> None:
+        """Unindex one sequence: drop its occurrences everywhere.
+
+        Nodes left without occurrences are pruned so the trie does not
+        accumulate dead branches across insert/remove churn.
+        """
+        if sequence_id not in self._strings:
+            raise IndexError_(f"sequence {sequence_id} not indexed")
+        del self._strings[sequence_id]
+        self._prune(self._root, sequence_id)
+
+    def _prune(self, node: _TrieNode, sequence_id: int) -> bool:
+        """Remove occurrences below ``node``; True if the node is dead."""
+        node.occurrences = [o for o in node.occurrences if o.sequence_id != sequence_id]
+        dead_children = []
+        for symbol, child in node.children.items():
+            if self._prune(child, sequence_id):
+                dead_children.append(symbol)
+        for symbol in dead_children:
+            del node.children[symbol]
+        return not node.occurrences and not node.children
+
+    def __contains__(self, sequence_id: int) -> bool:
+        return sequence_id in self._strings
+
+    def __len__(self) -> int:
+        return len(self._strings)
+
+    def symbols_of(self, sequence_id: int) -> str:
+        try:
+            return self._strings[sequence_id]
+        except KeyError as exc:
+            raise IndexError_(f"sequence {sequence_id} not indexed") from exc
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+
+    def find(self, substring: str) -> list[Occurrence]:
+        """All occurrences of an exact symbol substring.
+
+        Substrings within ``max_depth`` are answered from the trie
+        alone; longer ones descend as far as the trie goes and then
+        verify the tail against the stored strings.
+        """
+        node = self._root
+        for symbol in substring[: self.max_depth]:
+            child = node.children.get(symbol)
+            if child is None:
+                return []
+            node = child
+        hits = node.occurrences
+        if len(substring) <= self.max_depth:
+            return sorted(hits)
+        verified = [
+            occ
+            for occ in hits
+            if self._strings[occ.sequence_id][occ.position : occ.position + len(substring)] == substring
+        ]
+        return sorted(verified)
+
+    def node_count(self) -> int:
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            stack.extend(node.children.values())
+        return count

@@ -1,0 +1,19 @@
+"""Pattern language over the slope-sign alphabet (paper Section 4.4)."""
+
+from repro.patterns.alphabet import FALLING, FLAT, RISING, SYMBOLS, classify_slope, validate_symbols
+from repro.patterns.matcher import SegmentMatch, find_pattern_spans, matches_pattern
+from repro.patterns.regex import TWO_PEAKS, SymbolPattern
+
+__all__ = [
+    "SYMBOLS",
+    "RISING",
+    "FALLING",
+    "FLAT",
+    "classify_slope",
+    "validate_symbols",
+    "SymbolPattern",
+    "TWO_PEAKS",
+    "SegmentMatch",
+    "matches_pattern",
+    "find_pattern_spans",
+]

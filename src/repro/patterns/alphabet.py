@@ -1,0 +1,43 @@
+"""The slope-sign alphabet ``{+, -, 0}`` (paper Section 4.4).
+
+For a fixed small threshold ``theta`` a segment's mean slope is
+classified as rising (``'+'``, slope > theta), falling (``'-'``,
+slope < -theta) or flat (``'0'``, otherwise).  "The correctness of the
+results depends on theta (the steepness of the slopes) and the distance
+tolerated between the linear approximation and the subsequences" — both
+are explicit parameters throughout this library.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import PatternSyntaxError
+
+__all__ = ["SYMBOLS", "RISING", "FALLING", "FLAT", "classify_slope", "validate_symbols"]
+
+RISING = "+"
+FALLING = "-"
+FLAT = "0"
+
+#: The full alphabet, in display order.
+SYMBOLS = (RISING, FALLING, FLAT)
+
+
+def classify_slope(slope: float, theta: float = 0.0) -> str:
+    """Map a slope to its symbol under flatness threshold ``theta``."""
+    if theta < 0:
+        raise PatternSyntaxError("theta must be non-negative")
+    if slope > theta:
+        return RISING
+    if slope < -theta:
+        return FALLING
+    return FLAT
+
+
+def validate_symbols(symbols: str) -> str:
+    """Check that a string uses only alphabet symbols; returns it back."""
+    for i, ch in enumerate(symbols):
+        if ch not in SYMBOLS:
+            raise PatternSyntaxError(
+                f"invalid symbol {ch!r} at position {i}; alphabet is {SYMBOLS}"
+            )
+    return symbols

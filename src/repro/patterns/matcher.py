@@ -1,0 +1,72 @@
+"""Matching patterns directly against representations.
+
+Convenience layer tying :class:`~repro.patterns.regex.SymbolPattern` to
+:class:`~repro.core.representation.FunctionSeriesRepresentation`:
+classify a representation's segments into the slope alphabet, then run
+the pattern, mapping symbol positions back to segments and times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.representation import FunctionSeriesRepresentation
+from repro.core.segment import Segment
+from repro.patterns.regex import SymbolPattern
+
+__all__ = ["SegmentMatch", "matches_pattern", "find_pattern_spans"]
+
+
+@dataclass(frozen=True)
+class SegmentMatch:
+    """A pattern occurrence mapped back onto segments and times."""
+
+    first_segment: int
+    last_segment: int
+    start_time: float
+    end_time: float
+    segments: tuple[Segment, ...]
+
+
+def matches_pattern(
+    representation: FunctionSeriesRepresentation,
+    pattern: "SymbolPattern | str",
+    theta: float = 0.0,
+    collapse_runs: bool = True,
+) -> bool:
+    """Whether the whole representation matches the pattern.
+
+    Full-string semantics, as in the goal-post fever query: the pattern
+    constrains the entire sequence's behaviour.  Collapsed runs are the
+    default because patterns are written against logical rises and
+    falls, not against the incidental number of linear pieces.
+    """
+    compiled = SymbolPattern.compile(pattern)
+    return compiled.fullmatch(representation.symbol_string(theta, collapse_runs=collapse_runs))
+
+
+def find_pattern_spans(
+    representation: FunctionSeriesRepresentation,
+    pattern: "SymbolPattern | str",
+    theta: float = 0.0,
+) -> list[SegmentMatch]:
+    """Occurrences of a pattern inside one representation.
+
+    Works on the uncollapsed symbol string so every symbol position is
+    a segment index, giving exact time spans for each occurrence.
+    """
+    compiled = SymbolPattern.compile(pattern)
+    symbols = representation.symbol_string(theta)
+    spans = []
+    for start, end in compiled.finditer(symbols):
+        segs = representation.segments[start:end]
+        spans.append(
+            SegmentMatch(
+                first_segment=start,
+                last_segment=end - 1,
+                start_time=segs[0].start_time,
+                end_time=segs[-1].end_time,
+                segments=tuple(segs),
+            )
+        )
+    return spans

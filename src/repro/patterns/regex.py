@@ -1,0 +1,400 @@
+"""A regular-expression engine over the slope-sign alphabet.
+
+The paper poses the goal-post fever query "as a regular expression over
+the alphabet {+, -, 0}":
+
+    ``(0|-)* + (0|-)+ + (0|-)*``
+
+i.e. anything non-rising, a rise, something descending, another rise,
+anything non-rising — exactly two upward excursions.  (The paper "does
+not depend on this particular choice of pattern language", and neither
+does the library: patterns compile to plain NFAs that any caller can
+run over symbol strings.)
+
+Supported syntax
+----------------
+* literal symbols — any character that is not an operator
+  (``+`` ``-`` ``0`` here, but the engine is alphabet-agnostic);
+* ``.`` — any single symbol;
+* ``[abc]`` — character class, with ``[^abc]`` negation;
+* concatenation, ``|`` alternation, ``( )`` grouping;
+* postfix ``*`` (zero or more), ``^+`` (one or more), ``?`` (optional),
+  and ``{m}`` / ``{m,n}`` bounded repetition.
+
+One wrinkle: ``+`` is both an alphabet symbol and the usual "one or
+more" operator.  Because the paper writes its query with ``+`` as a
+*literal* symbol, this engine treats bare ``+`` as a literal and spells
+"one or more" as ``^+`` (postfix).  ``\\+``, ``\\-`` etc. also work as
+explicit literals.  Whitespace is ignored everywhere.
+
+Implementation: recursive-descent parser to an AST, Thompson
+construction to an epsilon-NFA, and subset simulation for matching —
+linear in pattern size times input length, no backtracking blowups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.errors import PatternSyntaxError
+
+__all__ = ["SymbolPattern"]
+
+# ----------------------------------------------------------------------
+# AST
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Literal:
+    symbol: str
+
+
+@dataclass(frozen=True)
+class _AnySymbol:
+    pass
+
+
+@dataclass(frozen=True)
+class _CharClass:
+    symbols: frozenset
+    negated: bool
+
+
+@dataclass(frozen=True)
+class _Concat:
+    parts: tuple
+
+
+@dataclass(frozen=True)
+class _Alternate:
+    options: tuple
+
+
+@dataclass(frozen=True)
+class _Repeat:
+    inner: object
+    lo: int
+    hi: "int | None"  # None = unbounded
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+_POSTFIX = {"*", "?"}
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def parse(self) -> object:
+        node = self._alternation()
+        if self.pos != len(self.text):
+            raise PatternSyntaxError(
+                f"unexpected {self.text[self.pos]!r} at position {self.pos}"
+            )
+        return node
+
+    # -- grammar -------------------------------------------------------
+
+    def _alternation(self) -> object:
+        options = [self._concatenation()]
+        while self._peek() == "|":
+            self._take()
+            options.append(self._concatenation())
+        if len(options) == 1:
+            return options[0]
+        return _Alternate(tuple(options))
+
+    def _concatenation(self) -> object:
+        parts = []
+        while True:
+            ch = self._peek()
+            if ch is None or ch in ")|":
+                break
+            parts.append(self._repetition())
+        if not parts:
+            return _Concat(())
+        if len(parts) == 1:
+            return parts[0]
+        return _Concat(tuple(parts))
+
+    def _repetition(self) -> object:
+        node = self._atom()
+        while True:
+            ch = self._peek()
+            if ch == "*":
+                self._take()
+                node = _Repeat(node, 0, None)
+            elif ch == "?":
+                self._take()
+                node = _Repeat(node, 0, 1)
+            elif ch == "^":
+                self._take()
+                if self._peek() != "+":
+                    raise PatternSyntaxError("'^' must be followed by '+' (one-or-more)")
+                self._take()
+                node = _Repeat(node, 1, None)
+            elif ch == "{":
+                node = self._braces(node)
+            else:
+                return node
+
+    def _braces(self, node: object) -> object:
+        self._expect("{")
+        lo = self._integer()
+        hi: "int | None" = lo
+        if self._peek() == ",":
+            self._take()
+            if self._peek() == "}":
+                hi = None
+            else:
+                hi = self._integer()
+        self._expect("}")
+        if hi is not None and hi < lo:
+            raise PatternSyntaxError(f"bad repetition bounds {{{lo},{hi}}}")
+        return _Repeat(node, lo, hi)
+
+    def _atom(self) -> object:
+        ch = self._peek()
+        if ch is None:
+            raise PatternSyntaxError("unexpected end of pattern")
+        if ch == "(":
+            self._take()
+            node = self._alternation()
+            self._expect(")")
+            return node
+        if ch == "[":
+            return self._char_class()
+        if ch == ".":
+            self._take()
+            return _AnySymbol()
+        if ch == "\\":
+            self._take()
+            escaped = self._take()
+            if escaped is None:
+                raise PatternSyntaxError("dangling escape at end of pattern")
+            return _Literal(escaped)
+        if ch in "*?^{}]":
+            raise PatternSyntaxError(f"unexpected operator {ch!r} at position {self.pos}")
+        self._take()
+        return _Literal(ch)
+
+    def _char_class(self) -> object:
+        self._expect("[")
+        negated = False
+        if self._peek() == "^":
+            self._take()
+            negated = True
+        symbols = set()
+        while True:
+            ch = self._take()
+            if ch is None:
+                raise PatternSyntaxError("unterminated character class")
+            if ch == "]":
+                break
+            if ch == "\\":
+                escaped = self._take()
+                if escaped is None:
+                    raise PatternSyntaxError("dangling escape in character class")
+                ch = escaped
+            symbols.add(ch)
+        if not symbols:
+            raise PatternSyntaxError("empty character class")
+        return _CharClass(frozenset(symbols), negated)
+
+    def _integer(self) -> int:
+        digits = ""
+        while (ch := self._peek()) is not None and ch.isdigit():
+            digits += self._take()  # type: ignore[operator]
+        if not digits:
+            raise PatternSyntaxError(f"expected integer at position {self.pos}")
+        return int(digits)
+
+    # -- low-level -----------------------------------------------------
+
+    def _peek(self) -> "str | None":
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+        if self.pos >= len(self.text):
+            return None
+        return self.text[self.pos]
+
+    def _take(self) -> "str | None":
+        ch = self._peek()
+        if ch is not None:
+            self.pos += 1
+        return ch
+
+    def _expect(self, ch: str) -> None:
+        if self._take() != ch:
+            raise PatternSyntaxError(f"expected {ch!r} near position {self.pos}")
+
+
+# ----------------------------------------------------------------------
+# Thompson NFA
+# ----------------------------------------------------------------------
+
+
+class _State:
+    __slots__ = ("epsilon", "edges")
+
+    def __init__(self) -> None:
+        self.epsilon: list["_State"] = []
+        #: (predicate-kind, payload, target); kinds: "sym", "any", "class"
+        self.edges: list[tuple[str, object, "_State"]] = []
+
+
+def _build(node: object) -> tuple[_State, _State]:
+    """Thompson construction: returns (start, accept)."""
+    start, accept = _State(), _State()
+    if isinstance(node, _Literal):
+        start.edges.append(("sym", node.symbol, accept))
+    elif isinstance(node, _AnySymbol):
+        start.edges.append(("any", None, accept))
+    elif isinstance(node, _CharClass):
+        start.edges.append(("class", (node.symbols, node.negated), accept))
+    elif isinstance(node, _Concat):
+        if not node.parts:
+            start.epsilon.append(accept)
+        else:
+            current = start
+            for part in node.parts:
+                s, a = _build(part)
+                current.epsilon.append(s)
+                current = a
+            current.epsilon.append(accept)
+    elif isinstance(node, _Alternate):
+        for option in node.options:
+            s, a = _build(option)
+            start.epsilon.append(s)
+            a.epsilon.append(accept)
+    elif isinstance(node, _Repeat):
+        current = start
+        # Mandatory copies.
+        for _ in range(node.lo):
+            s, a = _build(node.inner)
+            current.epsilon.append(s)
+            current = a
+        if node.hi is None:
+            s, a = _build(node.inner)
+            current.epsilon.append(s)
+            a.epsilon.append(s)
+            a.epsilon.append(accept)
+            current.epsilon.append(accept)
+        else:
+            for _ in range(node.hi - node.lo):
+                s, a = _build(node.inner)
+                current.epsilon.append(s)
+                current.epsilon.append(accept)
+                current = a
+            current.epsilon.append(accept)
+    else:  # pragma: no cover - parser produces only the types above
+        raise PatternSyntaxError(f"unknown AST node {node!r}")
+    return start, accept
+
+
+def _closure(states: set) -> frozenset:
+    stack = list(states)
+    seen = set(states)
+    while stack:
+        state = stack.pop()
+        for nxt in state.epsilon:
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append(nxt)
+    return frozenset(seen)
+
+
+def _step(states: frozenset, symbol: str) -> frozenset:
+    out = set()
+    for state in states:
+        for kind, payload, target in state.edges:
+            if kind == "sym":
+                if payload == symbol:
+                    out.add(target)
+            elif kind == "any":
+                out.add(target)
+            else:  # class
+                symbols, negated = payload  # type: ignore[misc]
+                if (symbol in symbols) != negated:
+                    out.add(target)
+    if not out:
+        return frozenset()
+    return _closure(out)
+
+
+# ----------------------------------------------------------------------
+# Public API
+# ----------------------------------------------------------------------
+
+
+class SymbolPattern:
+    """A compiled pattern over symbol strings."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        ast = _Parser(source).parse()
+        self._start, self._accept = _build(ast)
+        self._initial = _closure({self._start})
+
+    @classmethod
+    def compile(cls, source: "str | SymbolPattern") -> "SymbolPattern":
+        if isinstance(source, SymbolPattern):
+            return source
+        return cls(source)
+
+    # -- matching ------------------------------------------------------
+
+    def fullmatch(self, symbols: str) -> bool:
+        """Whether the entire string is in the pattern's language."""
+        states = self._initial
+        for symbol in symbols:
+            states = _step(states, symbol)
+            if not states:
+                return False
+        return self._accept in states
+
+    def match_prefix(self, symbols: str) -> "int | None":
+        """Length of the longest matching prefix, or None if none matches."""
+        states = self._initial
+        best = 0 if self._accept in states else None
+        for i, symbol in enumerate(symbols):
+            states = _step(states, symbol)
+            if not states:
+                break
+            if self._accept in states:
+                best = i + 1
+        return best
+
+    def finditer(self, symbols: str) -> Iterator[tuple[int, int]]:
+        """Yield ``(start, end)`` of the longest match at each viable start.
+
+        The pattern index uses the starts ("positions of the first
+        point"); ends are provided for callers that need spans.
+        Zero-length matches are suppressed — a query for "nothing" at
+        every position carries no information.
+        """
+        for start in range(len(symbols) + 1):
+            length = self.match_prefix(symbols[start:])
+            if length is not None and length > 0:
+                yield start, start + length
+
+    def search(self, symbols: str) -> "tuple[int, int] | None":
+        """First (leftmost-longest) non-empty match, or None."""
+        for span in self.finditer(symbols):
+            return span
+        return None
+
+    def __repr__(self) -> str:
+        return f"SymbolPattern({self.source!r})"
+
+
+#: The paper's goal-post fever pattern: exactly two rises separated and
+#: surrounded by non-rising stretches (Section 4.4).
+TWO_PEAKS = "(0|-)* \\+ (0|-)^+ \\+ (0|-)*"
+__all__.append("TWO_PEAKS")

@@ -1,0 +1,34 @@
+"""Preprocessing applied before breaking (paper Sections 4.3 and 7):
+filtering, normalization, and wavelet compression."""
+
+from repro.preprocessing.filters import exponential_smoothing, median_filter, moving_average
+from repro.preprocessing.multiresolution import MultiresolutionPyramid
+from repro.preprocessing.normalization import (
+    min_max_normalize,
+    normalization_parameters,
+    znormalize,
+)
+from repro.preprocessing.wavelets import (
+    WaveletCompression,
+    compress_wavelet,
+    dwt_level,
+    idwt_level,
+    wavedec,
+    waverec,
+)
+
+__all__ = [
+    "moving_average",
+    "median_filter",
+    "exponential_smoothing",
+    "znormalize",
+    "min_max_normalize",
+    "normalization_parameters",
+    "dwt_level",
+    "idwt_level",
+    "wavedec",
+    "waverec",
+    "compress_wavelet",
+    "WaveletCompression",
+    "MultiresolutionPyramid",
+]

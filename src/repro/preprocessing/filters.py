@@ -1,0 +1,72 @@
+"""Noise-elimination filters (paper Section 4.3 footnote and Section 7).
+
+"To achieve robustness, various kinds of preprocessing are applied to
+the sequences prior to breaking, such as filtering for eliminating
+noise."  These are the standard smoothing filters used for that step;
+each maps a sequence to a new sequence on the same time grid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import SequenceError
+from repro.core.sequence import Sequence
+
+__all__ = ["moving_average", "median_filter", "exponential_smoothing"]
+
+
+def _check_window(window: int, n: int) -> None:
+    if window < 1:
+        raise SequenceError("filter window must be at least 1")
+    if window > n:
+        raise SequenceError(f"filter window {window} exceeds sequence length {n}")
+
+
+def moving_average(sequence: Sequence, window: int) -> Sequence:
+    """Centered moving average with edge shrinking.
+
+    Near the boundaries the window shrinks symmetrically so the output
+    has the same length and no phantom boundary values.
+    """
+    _check_window(window, len(sequence))
+    values = sequence.values
+    n = len(values)
+    half = window // 2
+    prefix = np.concatenate([[0.0], np.cumsum(values)])
+    out = np.empty(n)
+    for i in range(n):
+        lo = max(0, i - half)
+        hi = min(n - 1, i + half)
+        out[i] = (prefix[hi + 1] - prefix[lo]) / (hi - lo + 1)
+    return Sequence(sequence.times, out, name=sequence.name)
+
+
+def median_filter(sequence: Sequence, window: int) -> Sequence:
+    """Centered running median; robust to impulse (spike) noise."""
+    _check_window(window, len(sequence))
+    values = sequence.values
+    n = len(values)
+    half = window // 2
+    out = np.empty(n)
+    for i in range(n):
+        lo = max(0, i - half)
+        hi = min(n - 1, i + half)
+        out[i] = np.median(values[lo : hi + 1])
+    return Sequence(sequence.times, out, name=sequence.name)
+
+
+def exponential_smoothing(sequence: Sequence, alpha: float) -> Sequence:
+    """First-order exponential smoothing (a simple low-pass).
+
+    ``alpha`` in ``(0, 1]`` is the update weight: 1 leaves the sequence
+    unchanged, smaller values smooth harder.
+    """
+    if not 0 < alpha <= 1:
+        raise SequenceError("alpha must be in (0, 1]")
+    values = sequence.values
+    out = np.empty_like(values)
+    out[0] = values[0]
+    for i in range(1, len(values)):
+        out[i] = alpha * values[i] + (1.0 - alpha) * out[i - 1]
+    return Sequence(sequence.times, out, name=sequence.name)

@@ -1,0 +1,93 @@
+"""Multiresolution analysis of sequences (paper Section 6 future work).
+
+"Currently we are experimenting with multiresolution analysis and
+applying the wavelet transform for compressing the sequences in a way
+that allows extracting features from the compressed data rather than
+from the original sequences."
+
+:class:`MultiresolutionPyramid` realizes that experiment: level ``k``
+holds the wavelet approximation of the signal at a ``2^k``-coarser
+grid, rescaled back to the signal's amplitude (orthonormal analysis
+multiplies local averages by ``sqrt(2)`` per level, which is divided
+out), so each level is itself a :class:`~repro.core.sequence.Sequence`
+that the breaking algorithms and feature extractors consume directly.
+Features extracted at a coarse level come from ``2^k`` times fewer
+samples — the compressed-domain feature extraction the paper aims for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import SequenceError
+from repro.core.sequence import Sequence
+from repro.preprocessing.wavelets import dwt_level
+
+__all__ = ["MultiresolutionPyramid"]
+
+
+class MultiresolutionPyramid:
+    """Dyadic pyramid of amplitude-true approximations of one sequence."""
+
+    def __init__(self, levels: list[Sequence], wavelet: str) -> None:
+        if not levels:
+            raise SequenceError("a pyramid needs at least the base level")
+        self._levels = levels
+        self.wavelet = wavelet
+
+    @classmethod
+    def build(cls, sequence: Sequence, depth: int, wavelet: str = "db4") -> "MultiresolutionPyramid":
+        """Decompose ``sequence`` into ``depth`` coarser levels.
+
+        Level 0 is the sequence itself; level ``k`` has
+        ``len(sequence) // 2^k`` samples.  The sequence must be
+        uniformly sampled and long enough for the requested depth
+        (each level halves an even length).
+        """
+        if depth < 0:
+            raise SequenceError("depth must be non-negative")
+        if not sequence.is_uniform():
+            raise SequenceError("multiresolution analysis needs a uniform grid")
+        levels = [sequence]
+        values = sequence.values.copy()
+        step = sequence.sampling_step() if len(sequence) > 1 else 1.0
+        start = sequence.start_time
+        for k in range(1, depth + 1):
+            if len(values) < 2 or len(values) % 2 != 0:
+                raise SequenceError(
+                    f"cannot build level {k}: length {len(values)} is not an even number >= 2"
+                )
+            approx, __ = dwt_level(values, wavelet)
+            values = approx
+            # Undo the per-level sqrt(2) gain of the orthonormal filters
+            # so amplitudes stay comparable across levels.
+            rescaled = values / (2.0 ** (k / 2.0))
+            level_step = step * 2**k
+            times = start + level_step * (np.arange(len(values)) + 0.5) - step / 2.0
+            levels.append(Sequence(times, rescaled, name=f"{sequence.name}@L{k}"))
+        return cls(levels, wavelet)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Number of coarse levels (excluding the base)."""
+        return len(self._levels) - 1
+
+    def level(self, k: int) -> Sequence:
+        """The sequence at level ``k`` (0 = original)."""
+        if not 0 <= k < len(self._levels):
+            raise SequenceError(f"level {k} outside [0, {self.depth}]")
+        return self._levels[k]
+
+    def __iter__(self):
+        return iter(self._levels)
+
+    def sample_counts(self) -> list[int]:
+        return [len(level) for level in self._levels]
+
+    def compression_at(self, k: int) -> float:
+        """Sample-count reduction of level ``k`` vs the base."""
+        return len(self.level(0)) / len(self.level(k))

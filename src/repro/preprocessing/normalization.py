@@ -1,0 +1,57 @@
+"""Normalization (paper Section 7).
+
+"Normalization (to have mean 0 and variance 1) ... is important both
+for maintaining robustness of our breaking algorithms and also for
+enhancing similarity and eliminating the differences between sequences
+that are linear transformations (scaling and translation) of each
+other."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.sequence import Sequence
+
+__all__ = ["znormalize", "min_max_normalize", "normalization_parameters"]
+
+
+def znormalize(sequence: Sequence) -> Sequence:
+    """Rescale amplitudes to mean 0 and variance 1.
+
+    A constant sequence (zero variance) maps to all zeros — the unique
+    mean-0 answer — rather than dividing by zero.
+    """
+    values = sequence.values
+    mean = values.mean()
+    std = values.std()
+    if std == 0.0:
+        normalized = np.zeros_like(values)
+    else:
+        normalized = (values - mean) / std
+    return Sequence(sequence.times, normalized, name=sequence.name)
+
+
+def min_max_normalize(sequence: Sequence, lo: float = 0.0, hi: float = 1.0) -> Sequence:
+    """Rescale amplitudes linearly onto ``[lo, hi]``.
+
+    A constant sequence maps to the midpoint of the target range.
+    """
+    values = sequence.values
+    v_min = values.min()
+    v_max = values.max()
+    if v_max == v_min:
+        normalized = np.full_like(values, 0.5 * (lo + hi))
+    else:
+        normalized = lo + (hi - lo) * (values - v_min) / (v_max - v_min)
+    return Sequence(sequence.times, normalized, name=sequence.name)
+
+
+def normalization_parameters(sequence: Sequence) -> tuple[float, float]:
+    """The ``(mean, std)`` a z-normalization would remove.
+
+    Kept alongside a normalized representation these two scalars let
+    the original amplitudes be recovered, so normalization costs two
+    parameters per sequence in the storage accounting.
+    """
+    return float(sequence.values.mean()), float(sequence.values.std())

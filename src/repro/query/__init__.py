@@ -1,0 +1,27 @@
+"""Generalized approximate query engine (paper Sections 2, 4.4, 5.2)."""
+
+from repro.query.database import SequenceDatabase
+from repro.query.language import parse_query
+from repro.query.queries import (
+    ExemplarQuery,
+    IntervalQuery,
+    PatternQuery,
+    PeakCountQuery,
+    Query,
+    ShapeQuery,
+    SteepnessQuery,
+)
+from repro.query.results import QueryMatch
+
+__all__ = [
+    "SequenceDatabase",
+    "Query",
+    "PatternQuery",
+    "PeakCountQuery",
+    "IntervalQuery",
+    "SteepnessQuery",
+    "ShapeQuery",
+    "ExemplarQuery",
+    "QueryMatch",
+    "parse_query",
+]

@@ -1,0 +1,269 @@
+"""The sequence database: ingest, represent, index, query.
+
+This is the system of paper Section 4.4 assembled end to end:
+
+1. raw sequences are archived (slow tier, latency-accounted);
+2. each sequence is broken by a breaking algorithm and represented as a
+   series of functions (regression lines by default — the paper's
+   choice), stored compactly on the local tier;
+3. indexes are maintained over the representation: the slope-sign
+   pattern index (positional and behavioural views) and the
+   inverted-file R-R interval index of Figure 10;
+4. generalized approximate queries run against representations and
+   indexes alone — raw data is touched only by explicit baseline
+   queries or ``raw_sequence`` calls.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.errors import QueryError
+from repro.core.features import count_peaks, find_peaks, peak_table, rr_intervals
+from repro.core.representation import FunctionSeriesRepresentation
+from repro.core.sequence import Sequence
+from repro.index.inverted import InvertedFileIndex
+from repro.index.pattern_index import PatternIndex
+from repro.query.queries import Query
+from repro.query.results import QueryMatch
+from repro.segmentation.base import Breaker
+from repro.segmentation.interpolation import InterpolationBreaker
+from repro.storage.archive import ArchivalStore, LocalStore
+from repro.storage.catalog import RepresentationCatalog
+
+__all__ = ["SequenceDatabase"]
+
+
+class SequenceDatabase:
+    """Store sequences as function series; answer approximate queries.
+
+    Parameters
+    ----------
+    breaker:
+        Breaking algorithm; defaults to the paper's interpolation
+        breaker with ``epsilon = 0.5``.
+    curve_kind:
+        Representation curve fitted at the breaker's boundaries
+        (``"regression"`` in the paper's experiments).
+    theta:
+        Slope-flatness threshold for the symbol alphabet and peak
+        detection.
+    rr_bucket_width:
+        Bucket width of the inverted R-R index (Figure 10).
+    keep_raw:
+        Whether to archive raw sequences for finer-resolution access.
+    normalize:
+        Z-normalize (mean 0, variance 1) before breaking — the paper's
+        Section 7 preprocessing that eliminates "differences between
+        sequences that are linear transformations (scaling and
+        translation) of each other".  The archive keeps the original
+        amplitudes either way.
+    """
+
+    def __init__(
+        self,
+        breaker: "Breaker | None" = None,
+        curve_kind: str = "regression",
+        theta: float = 0.05,
+        rr_bucket_width: float = 1.0,
+        keep_raw: bool = True,
+        normalize: bool = False,
+        trie_depth: int = 12,
+    ) -> None:
+        self.breaker = breaker if breaker is not None else InterpolationBreaker(0.5)
+        self.curve_kind = curve_kind
+        self.theta = float(theta)
+        self.keep_raw = keep_raw
+        self.normalize = normalize
+
+        self.archive = ArchivalStore()
+        self.local_store = LocalStore()
+        self.catalog = RepresentationCatalog()
+        #: Positional view: one symbol per segment.
+        self.pattern_index = PatternIndex(theta=theta, trie_depth=trie_depth, collapse_runs=False)
+        #: Behavioural view: runs collapsed, for full-pattern queries.
+        self.behavior_index = PatternIndex(theta=theta, trie_depth=trie_depth, collapse_runs=True)
+        #: Figure 10: inverted file over R-R interval lengths.
+        self.rr_index = InvertedFileIndex(bucket_width=rr_bucket_width)
+
+        self._representations: dict[int, FunctionSeriesRepresentation] = {}
+        self._names: dict[int, str] = {}
+        self._peak_counts: dict[int, int] = {}
+        self._rr_lists: dict[int, np.ndarray] = {}
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+
+    def insert(self, sequence: Sequence) -> int:
+        """Archive, break, represent and index one sequence."""
+        sequence_id = self._next_id
+        self._next_id += 1
+
+        if self.keep_raw:
+            self.archive.store(sequence_id, sequence)
+
+        if self.normalize:
+            from repro.preprocessing.normalization import znormalize
+
+            sequence = znormalize(sequence)
+        representation = self.breaker.represent(sequence, curve_kind=self.curve_kind)
+        self._representations[sequence_id] = representation
+        self._names[sequence_id] = sequence.name or f"seq-{sequence_id}"
+        self.local_store.store(sequence_id, representation)
+        self.catalog.put(sequence_id, "default", representation)
+
+        self.pattern_index.add(sequence_id, representation)
+        self.behavior_index.add(sequence_id, representation)
+
+        self._peak_counts[sequence_id] = count_peaks(representation, self.theta)
+        intervals = rr_intervals(representation, self.theta)
+        self._rr_lists[sequence_id] = intervals
+        for position, interval in enumerate(intervals):
+            self.rr_index.add(float(interval), sequence_id, position)
+        return sequence_id
+
+    def insert_all(self, sequences: Iterable[Sequence]) -> list[int]:
+        return [self.insert(sequence) for sequence in sequences]
+
+    def add_variant(
+        self,
+        sequence_id: int,
+        variant: str,
+        breaker: "Breaker",
+        curve_kind: "str | None" = None,
+    ) -> FunctionSeriesRepresentation:
+        """Store an additional representation of an ingested sequence.
+
+        Paper Section 5.2: "it would be possible to compute and store
+        multiple representations and indices for the same data ...
+        useful for simultaneously supporting several common query
+        forms."  The variant is built from the archived raw data (one
+        simulated slow read), stored in the catalog and the local tier
+        under its own tag, and returned.
+        """
+        self._require(sequence_id)
+        raw = self.raw_sequence(sequence_id)
+        if self.normalize:
+            from repro.preprocessing.normalization import znormalize
+
+            raw = znormalize(raw)
+        representation = breaker.represent(raw, curve_kind=curve_kind or breaker.curve_kind)
+        self.catalog.put(sequence_id, variant, representation)
+        self.local_store.store(sequence_id, representation, tag=variant)
+        return representation
+
+    def variant_of(self, sequence_id: int, variant: str) -> FunctionSeriesRepresentation:
+        """A previously stored representation variant."""
+        return self.catalog.get(sequence_id, variant)
+
+    def delete(self, sequence_id: int) -> None:
+        """Remove a sequence from the database and every index.
+
+        The raw blob stays in the archive (archival media are
+        append-only in the paper's setting); everything queryable —
+        representation, pattern indexes, R-R postings — is removed, so
+        subsequent queries never see the sequence.
+        """
+        self._require(sequence_id)
+        del self._representations[sequence_id]
+        del self._names[sequence_id]
+        del self._peak_counts[sequence_id]
+        del self._rr_lists[sequence_id]
+        self.pattern_index.remove(sequence_id)
+        self.behavior_index.remove(sequence_id)
+        self.rr_index.remove_sequence(sequence_id)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._representations)
+
+    def ids(self) -> list[int]:
+        return sorted(self._representations)
+
+    def name_of(self, sequence_id: int) -> str:
+        self._require(sequence_id)
+        return self._names[sequence_id]
+
+    def representation_of(self, sequence_id: int) -> FunctionSeriesRepresentation:
+        self._require(sequence_id)
+        return self._representations[sequence_id]
+
+    def peak_count_of(self, sequence_id: int) -> int:
+        self._require(sequence_id)
+        return self._peak_counts[sequence_id]
+
+    def rr_intervals_of(self, sequence_id: int) -> np.ndarray:
+        self._require(sequence_id)
+        return self._rr_lists[sequence_id]
+
+    def peaks_of(self, sequence_id: int):
+        """Peak records of one sequence (see :func:`find_peaks`)."""
+        return find_peaks(self.representation_of(sequence_id), self.theta)
+
+    def peak_table_of(self, sequence_id: int):
+        """The paper's Table 1 rows for one sequence."""
+        return peak_table(self.representation_of(sequence_id), self.theta)
+
+    def raw_sequence(self, sequence_id: int) -> Sequence:
+        """Raw data from the archive — pays the simulated slow-tier cost."""
+        self._require(sequence_id)
+        if not self.keep_raw:
+            raise QueryError("database was built with keep_raw=False")
+        return self.archive.retrieve(sequence_id)
+
+    def _require(self, sequence_id: int) -> None:
+        if sequence_id not in self._representations:
+            raise QueryError(f"unknown sequence id {sequence_id}")
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+
+    def query(self, query: Query, include_approximate: bool = True) -> list[QueryMatch]:
+        """Evaluate a query; exact matches first, then by deviation."""
+        candidate_ids = query.candidates(self)
+        if candidate_ids is None:
+            candidate_ids = self.ids()
+        matches = []
+        for sequence_id in candidate_ids:
+            match = query.grade(self, sequence_id)
+            if match.is_exact or (include_approximate and match.grade.value == "approximate"):
+                matches.append(match)
+        return sorted(matches, key=QueryMatch.sort_key)
+
+    def scan_rr(self, target: float, delta: float) -> list[int]:
+        """Linear-scan answer to the R-R query (index validation path)."""
+        hits = []
+        for sequence_id, intervals in self._rr_lists.items():
+            if len(intervals) and bool((np.abs(intervals - target) <= delta).any()):
+                hits.append(sequence_id)
+        return sorted(hits)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    def storage_report(self) -> dict:
+        """Byte totals and compression for the storage benchmarks."""
+        raw_bytes = self.archive.total_bytes()
+        rep_bytes = self.local_store.total_bytes()
+        total_segments = sum(len(r) for r in self._representations.values())
+        total_points = sum(r.source_length for r in self._representations.values())
+        return {
+            "sequences": len(self),
+            "total_points": total_points,
+            "total_segments": total_segments,
+            "raw_bytes": raw_bytes,
+            "representation_bytes": rep_bytes,
+            "byte_compression": raw_bytes / rep_bytes if rep_bytes else float("inf"),
+            "paper_convention_compression": (
+                total_points / (3 * total_segments) if total_segments else float("inf")
+            ),
+        }

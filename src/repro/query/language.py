@@ -1,0 +1,115 @@
+"""A small textual query language for generalized approximate queries.
+
+The paper's future work (Section 6) calls for "a query language that
+supports generalized approximate queries"; this module provides a
+minimal, keyword-based one covering every query type in
+:mod:`repro.query.queries`:
+
+.. code-block:: text
+
+    PATTERN '(0|-)* + (0|-)^+ + (0|-)*'
+    PEAKS 2
+    PEAKS 2 TOLERANCE 1
+    INTERVAL 135 +/- 5
+    STEEPNESS 5
+    STEEPNESS 5 TOLERANCE 1.5
+    SHAPE OF 3
+    SHAPE OF 3 DURATION 0.15 AMPLITUDE 0.2
+
+Keywords are case-insensitive; pattern text sits inside single or
+double quotes.  ``SHAPE OF <id>`` uses the stored representation of an
+already-ingested sequence as the exemplar, so it needs the database at
+parse time; the other forms are database-independent.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import TYPE_CHECKING
+
+from repro.core.errors import QueryError
+from repro.query.queries import (
+    IntervalQuery,
+    PatternQuery,
+    PeakCountQuery,
+    Query,
+    ShapeQuery,
+    SteepnessQuery,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.query.database import SequenceDatabase
+
+__all__ = ["parse_query"]
+
+_PATTERN_RE = re.compile(r"^PATTERN\s+(?P<quote>['\"])(?P<pattern>.*)(?P=quote)\s*$", re.IGNORECASE)
+_PEAKS_RE = re.compile(
+    r"^PEAKS\s+(?P<count>\d+)(?:\s+TOLERANCE\s+(?P<tol>\d+))?\s*$", re.IGNORECASE
+)
+_NUMBER = r"[-+]?\d+(?:\.\d+)?"
+_INTERVAL_RE = re.compile(
+    rf"^INTERVAL\s+(?P<target>{_NUMBER})\s*\+/-\s*(?P<delta>{_NUMBER})\s*$", re.IGNORECASE
+)
+_STEEPNESS_RE = re.compile(
+    rf"^STEEPNESS\s+(?P<slope>{_NUMBER})(?:\s+TOLERANCE\s+(?P<tol>{_NUMBER}))?\s*$",
+    re.IGNORECASE,
+)
+_SHAPE_RE = re.compile(
+    rf"^SHAPE\s+OF\s+(?P<sid>\d+)"
+    rf"(?:\s+DURATION\s+(?P<dur>{_NUMBER}))?"
+    rf"(?:\s+AMPLITUDE\s+(?P<amp>{_NUMBER}))?\s*$",
+    re.IGNORECASE,
+)
+
+
+def parse_query(text: str, database: "SequenceDatabase | None" = None) -> Query:
+    """Parse one query statement into a :class:`Query` object.
+
+    Raises
+    ------
+    QueryError
+        On syntax errors, or for ``SHAPE OF`` without a database.
+    """
+    statement = text.strip()
+    if not statement:
+        raise QueryError("empty query")
+
+    match = _PATTERN_RE.match(statement)
+    if match:
+        return PatternQuery(match.group("pattern"))
+
+    match = _PEAKS_RE.match(statement)
+    if match:
+        tolerance = int(match.group("tol")) if match.group("tol") else 0
+        return PeakCountQuery(int(match.group("count")), count_tolerance=tolerance)
+
+    match = _INTERVAL_RE.match(statement)
+    if match:
+        return IntervalQuery(float(match.group("target")), float(match.group("delta")))
+
+    match = _STEEPNESS_RE.match(statement)
+    if match:
+        tolerance = float(match.group("tol")) if match.group("tol") else 0.0
+        return SteepnessQuery(float(match.group("slope")), slope_tolerance=tolerance)
+
+    match = _SHAPE_RE.match(statement)
+    if match:
+        if database is None:
+            raise QueryError("SHAPE OF queries need the database to resolve the exemplar")
+        sequence_id = int(match.group("sid"))
+        duration_tol = float(match.group("dur")) if match.group("dur") else 0.1
+        amplitude_tol = float(match.group("amp")) if match.group("amp") else 0.1
+        exemplar = database.representation_of(sequence_id)
+        return ShapeQuery(
+            exemplar,
+            duration_tolerance=duration_tol,
+            amplitude_tolerance=amplitude_tol,
+        )
+
+    keyword = statement.split()[0].upper()
+    known = ("PATTERN", "PEAKS", "INTERVAL", "STEEPNESS", "SHAPE")
+    if keyword in known:
+        raise QueryError(f"malformed {keyword} query: {statement!r}")
+    raise QueryError(
+        f"unknown query keyword {keyword!r}; expected one of {', '.join(known)}"
+    )

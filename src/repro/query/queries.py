@@ -1,0 +1,287 @@
+"""Generalized approximate query types (paper Sections 2.2 and 5.2).
+
+Each query denotes a *set* of sequences closed under feature-preserving
+transformations; evaluation grades every candidate as exact (a member
+of the set), approximate (within per-dimension tolerances) or rejected.
+The concrete types:
+
+:class:`PatternQuery`
+    A regular expression over the slope alphabet — the goal-post fever
+    query shape.  Membership is exact by construction; there is no
+    metric dimension.
+:class:`PeakCountQuery`
+    "Exactly k peaks", with an optional count tolerance — the explicit
+    feature-dimension version of the same query, graded along the
+    ``peak_count`` dimension.
+:class:`IntervalQuery`
+    "R-R interval of length n ± delta" (Section 5.2), answered through
+    the inverted-file index and graded along the ``rr_interval``
+    dimension.
+:class:`SteepnessQuery`
+    "Sudden vigorous activity": at least one rising segment of slope >=
+    ``min_slope``, graded along the ``steepness`` dimension — the
+    paper's "steepness of the slopes" approximation dimension.
+:class:`ShapeQuery`
+    Query *by exemplar* — "the query can be an exemplar or an
+    expression" (Section 2.2).  The exemplar is broken and reduced to a
+    scale-free shape signature; candidates with the same behavioural
+    structure match, graded along the ``shape_duration`` and
+    ``shape_amplitude`` dimensions (both zero for candidates related to
+    the exemplar by shift / scale / dilation / contraction).
+:class:`ExemplarQuery`
+    The old value-based notion (Figure 1), kept for head-to-head
+    comparisons; graded along the ``value_distance`` dimension.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.errors import QueryError
+from repro.core.sequence import Sequence
+from repro.core.tolerance import DimensionDeviation, MatchGrade, Tolerance, grade_deviations
+from repro.patterns.regex import SymbolPattern
+from repro.query.results import QueryMatch
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.query.database import SequenceDatabase
+
+__all__ = [
+    "Query",
+    "PatternQuery",
+    "PeakCountQuery",
+    "IntervalQuery",
+    "SteepnessQuery",
+    "ShapeQuery",
+    "ExemplarQuery",
+]
+
+
+class Query(abc.ABC):
+    """A generalized approximate query."""
+
+    def candidates(self, database: "SequenceDatabase") -> "list[int] | None":
+        """Index-assisted candidate ids, or None to scan everything.
+
+        Candidate sets must have no false dismissals for the query's
+        tolerance; grading re-checks every candidate anyway.
+        """
+        return None
+
+    @abc.abstractmethod
+    def grade(self, database: "SequenceDatabase", sequence_id: int) -> QueryMatch:
+        """Grade one stored sequence against this query."""
+
+
+class PatternQuery(Query):
+    """Full-sequence behaviour pattern over the slope alphabet."""
+
+    def __init__(self, pattern: "str | SymbolPattern", collapse_runs: bool = True) -> None:
+        self.pattern = SymbolPattern.compile(pattern)
+        self.collapse_runs = collapse_runs
+
+    def candidates(self, database: "SequenceDatabase") -> "list[int] | None":
+        index = database.behavior_index if self.collapse_runs else database.pattern_index
+        return index.match_full(self.pattern)
+
+    def grade(self, database: "SequenceDatabase", sequence_id: int) -> QueryMatch:
+        index = database.behavior_index if self.collapse_runs else database.pattern_index
+        symbols = index.symbols_of(sequence_id)
+        grade = MatchGrade.EXACT if self.pattern.fullmatch(symbols) else MatchGrade.REJECT
+        return QueryMatch(sequence_id, database.name_of(sequence_id), grade)
+
+
+class PeakCountQuery(Query):
+    """Sequences with a prescribed number of peaks."""
+
+    def __init__(self, count: int, count_tolerance: int = 0) -> None:
+        if count < 0:
+            raise QueryError("peak count must be non-negative")
+        self.count = int(count)
+        self.tolerance = Tolerance("peak_count", float(count_tolerance))
+
+    def grade(self, database: "SequenceDatabase", sequence_id: int) -> QueryMatch:
+        observed = database.peak_count_of(sequence_id)
+        deviation = self.tolerance.deviation(float(self.count), float(observed))
+        return QueryMatch(
+            sequence_id,
+            database.name_of(sequence_id),
+            grade_deviations([deviation]),
+            (deviation,),
+        )
+
+
+class IntervalQuery(Query):
+    """Some inter-peak (R-R) interval within ``target ± delta``.
+
+    Exact means an interval of exactly ``target``; anything else within
+    ``delta`` is an approximate match along the ``rr_interval``
+    dimension — "a result is an approximate match if the distance
+    between its peaks is within delta distance from n" (Section 5.2).
+    """
+
+    def __init__(self, target: float, delta: float) -> None:
+        if target <= 0:
+            raise QueryError("interval target must be positive")
+        self.target = float(target)
+        self.tolerance = Tolerance("rr_interval", float(delta))
+
+    def candidates(self, database: "SequenceDatabase") -> "list[int] | None":
+        return database.rr_index.sequences_near(self.target, self.tolerance.bound)
+
+    def grade(self, database: "SequenceDatabase", sequence_id: int) -> QueryMatch:
+        intervals = database.rr_intervals_of(sequence_id)
+        if len(intervals) == 0:
+            deviation = DimensionDeviation("rr_interval", float("inf"), self.tolerance.bound)
+        else:
+            best = float(np.abs(np.asarray(intervals) - self.target).min())
+            deviation = DimensionDeviation("rr_interval", best, self.tolerance.bound)
+        return QueryMatch(
+            sequence_id,
+            database.name_of(sequence_id),
+            grade_deviations([deviation]),
+            (deviation,),
+        )
+
+
+class SteepnessQuery(Query):
+    """At least one rise at least ``min_slope`` steep.
+
+    The ``steepness`` deviation is the shortfall of the steepest
+    observed rise; sequences whose steepest rise is within
+    ``slope_tolerance`` of the requirement match approximately.
+    """
+
+    def __init__(self, min_slope: float, slope_tolerance: float = 0.0) -> None:
+        if min_slope <= 0:
+            raise QueryError("min_slope must be positive")
+        self.min_slope = float(min_slope)
+        self.tolerance = Tolerance("steepness", float(slope_tolerance))
+
+    def grade(self, database: "SequenceDatabase", sequence_id: int) -> QueryMatch:
+        representation = database.representation_of(sequence_id)
+        rising = [s for s in representation.slopes() if s > 0]
+        steepest = max(rising) if rising else 0.0
+        shortfall = max(0.0, self.min_slope - steepest)
+        deviation = DimensionDeviation("steepness", shortfall, self.tolerance.bound)
+        return QueryMatch(
+            sequence_id,
+            database.name_of(sequence_id),
+            grade_deviations([deviation]),
+            (deviation,),
+        )
+
+
+class ShapeQuery(Query):
+    """Query by exemplar: same behavioural shape, any scale.
+
+    The exemplar (a raw sequence or a prebuilt representation) is
+    reduced to a :class:`~repro.core.shape.ShapeSignature`.  A candidate
+    is an *exact* match when its signature has the same symbols and
+    identical relative duration/amplitude profiles — which is precisely
+    membership in the exemplar's equivalence class under the paper's
+    feature-preserving transformations.  Candidates with the same
+    symbols but profile differences within the tolerances are
+    approximate matches along ``shape_duration`` / ``shape_amplitude``.
+    """
+
+    def __init__(
+        self,
+        exemplar: "Sequence | object",
+        duration_tolerance: float = 0.1,
+        amplitude_tolerance: float = 0.1,
+    ) -> None:
+        from repro.core.representation import FunctionSeriesRepresentation
+        from repro.core.shape import shape_signature
+
+        self.duration_tolerance = Tolerance("shape_duration", float(duration_tolerance))
+        self.amplitude_tolerance = Tolerance("shape_amplitude", float(amplitude_tolerance))
+        if not isinstance(exemplar, (Sequence, FunctionSeriesRepresentation)):
+            raise QueryError("exemplar must be a Sequence or a FunctionSeriesRepresentation")
+        self._exemplar = exemplar
+        self._signature_builder = shape_signature
+        self._cache_key: "tuple[int, float] | None" = None
+        self._signature = None
+
+    def _signature_for(self, database: "SequenceDatabase"):
+        """Exemplar signature under the database's own pipeline.
+
+        A raw exemplar sequence goes through exactly the preprocessing
+        and breaking the database applies to stored sequences, so the
+        comparison is apples to apples; a prebuilt representation is
+        trusted as-is.
+        """
+        from repro.core.representation import FunctionSeriesRepresentation
+
+        key = (id(database), database.theta)
+        if self._signature is not None and self._cache_key == key:
+            return self._signature
+        if isinstance(self._exemplar, FunctionSeriesRepresentation):
+            representation = self._exemplar
+        else:
+            exemplar = self._exemplar
+            if database.normalize:
+                from repro.preprocessing.normalization import znormalize
+
+                exemplar = znormalize(exemplar)
+            representation = database.breaker.represent(exemplar, curve_kind=database.curve_kind)
+        self._signature = self._signature_builder(representation, database.theta)
+        self._cache_key = key
+        return self._signature
+
+    def grade(self, database: "SequenceDatabase", sequence_id: int) -> QueryMatch:
+        wanted = self._signature_for(database)
+        observed = self._signature_builder(
+            database.representation_of(sequence_id), database.theta
+        )
+        name = database.name_of(sequence_id)
+        if not wanted.matches_symbols(observed):
+            # Structurally different behaviour: out of the class entirely.
+            infinite = (
+                DimensionDeviation("shape_duration", float("inf"), self.duration_tolerance.bound),
+                DimensionDeviation("shape_amplitude", float("inf"), self.amplitude_tolerance.bound),
+            )
+            return QueryMatch(sequence_id, name, MatchGrade.REJECT, infinite)
+        deviations = (
+            DimensionDeviation(
+                "shape_duration", wanted.duration_deviation(observed), self.duration_tolerance.bound
+            ),
+            DimensionDeviation(
+                "shape_amplitude",
+                wanted.amplitude_deviation(observed),
+                self.amplitude_tolerance.bound,
+            ),
+        )
+        return QueryMatch(sequence_id, name, grade_deviations(deviations), deviations)
+
+
+class ExemplarQuery(Query):
+    """Value-based epsilon matching against raw data (the old notion).
+
+    Retrieves raw sequences from the archive (paying the simulated
+    latency the paper's architecture avoids) and compares values
+    pointwise; used by benchmarks as the Figure 1 baseline.
+    """
+
+    def __init__(self, exemplar: Sequence, epsilon: float) -> None:
+        if epsilon < 0:
+            raise QueryError("epsilon must be non-negative")
+        self.exemplar = exemplar
+        self.tolerance = Tolerance("value_distance", float(epsilon))
+
+    def grade(self, database: "SequenceDatabase", sequence_id: int) -> QueryMatch:
+        raw = database.raw_sequence(sequence_id)
+        if len(raw) != len(self.exemplar):
+            deviation = DimensionDeviation("value_distance", float("inf"), self.tolerance.bound)
+        else:
+            distance = float(np.abs(raw.values - self.exemplar.values).max())
+            deviation = DimensionDeviation("value_distance", distance, self.tolerance.bound)
+        return QueryMatch(
+            sequence_id,
+            database.name_of(sequence_id),
+            grade_deviations([deviation]),
+            (deviation,),
+        )

@@ -1,0 +1,42 @@
+"""Query results: graded matches with per-dimension deviations.
+
+The paper's generalized approximate queries produce results that are
+either *exact* (members of the query's equivalence class) or
+*approximate* (deviating within per-feature tolerances) — see
+Section 2.2.  A :class:`QueryMatch` records the grade and every
+dimension's measured deviation so callers can rank or explain results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.tolerance import DimensionDeviation, MatchGrade
+
+__all__ = ["QueryMatch"]
+
+
+@dataclass(frozen=True)
+class QueryMatch:
+    """One matching sequence with its grade and deviations."""
+
+    sequence_id: int
+    name: str
+    grade: MatchGrade
+    deviations: tuple[DimensionDeviation, ...] = ()
+
+    @property
+    def is_exact(self) -> bool:
+        return self.grade is MatchGrade.EXACT
+
+    def deviation_in(self, dimension: str) -> "DimensionDeviation | None":
+        for deviation in self.deviations:
+            if deviation.dimension == dimension:
+                return deviation
+        return None
+
+    def sort_key(self) -> tuple[int, float, int]:
+        """Exact first, then by total deviation, then by id."""
+        grade_rank = 0 if self.grade is MatchGrade.EXACT else 1
+        total = sum(d.amount for d in self.deviations)
+        return (grade_rank, total, self.sequence_id)

@@ -1,0 +1,43 @@
+"""Breaking algorithms (paper Sections 4.3 and 5).
+
+The offline family instantiates the recursive curve-fitting template of
+paper Figure 8 with different curve types; the online family slides a
+window polynomial; the dynamic-programming breaker is the slow optimal
+baseline the paper compares against.
+"""
+
+from repro.segmentation.base import (
+    Boundaries,
+    Breaker,
+    breakpoints_correspond,
+    fragmentation_ratio,
+    is_partition,
+    verify_tolerance,
+)
+from repro.segmentation.bezier_breaker import BezierBreaker
+from repro.segmentation.dynamic import DynamicProgrammingBreaker
+from repro.segmentation.interpolation import InterpolationBreaker
+from repro.segmentation.offline import RecursiveCurveFitBreaker
+from repro.segmentation.online import (
+    IncrementalRegressionBreaker,
+    OnlineSession,
+    SlidingWindowBreaker,
+)
+from repro.segmentation.regression import RegressionBreaker
+
+__all__ = [
+    "Boundaries",
+    "Breaker",
+    "RecursiveCurveFitBreaker",
+    "InterpolationBreaker",
+    "RegressionBreaker",
+    "BezierBreaker",
+    "DynamicProgrammingBreaker",
+    "SlidingWindowBreaker",
+    "IncrementalRegressionBreaker",
+    "OnlineSession",
+    "is_partition",
+    "fragmentation_ratio",
+    "verify_tolerance",
+    "breakpoints_correspond",
+]

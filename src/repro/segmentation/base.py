@@ -1,0 +1,137 @@
+"""Breaker interface and the paper's required breaker properties.
+
+Section 4.3 of the paper demands three properties of any beneficial
+breaking algorithm; this module gives them executable form so tests and
+benchmarks can check them on every implementation:
+
+*consistency*
+    Similar sequences break at corresponding breakpoints — checked by
+    :func:`breakpoints_correspond` across feature-preserving transforms.
+*robustness*
+    Adding a behaviour-preserving element shifts breakpoints by at most
+    the number of added elements — checked by tests via
+    :func:`breakpoints_correspond` with an index budget.
+*avoids fragmentation*
+    Most segments have length > 2 — quantified by
+    :func:`fragmentation_ratio`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence as TypingSequence
+
+from repro.core.errors import SegmentationError
+from repro.core.representation import FunctionSeriesRepresentation
+from repro.core.sequence import Sequence
+from repro.functions.fitting import get_fitter
+
+__all__ = [
+    "Breaker",
+    "Boundaries",
+    "is_partition",
+    "fragmentation_ratio",
+    "verify_tolerance",
+    "breakpoints_correspond",
+]
+
+#: Inclusive ``(start_index, end_index)`` windows covering a sequence.
+Boundaries = list[tuple[int, int]]
+
+
+class Breaker(abc.ABC):
+    """A breaking algorithm: sequence in, segment boundaries out."""
+
+    #: Curve kind the breaker itself fits while deciding where to break.
+    curve_kind: str = "interpolation"
+
+    def __init__(self, epsilon: float) -> None:
+        if epsilon < 0:
+            raise SegmentationError("error tolerance epsilon must be non-negative")
+        self.epsilon = float(epsilon)
+
+    @abc.abstractmethod
+    def break_indices(self, sequence: Sequence) -> Boundaries:
+        """Partition ``sequence`` into inclusive index windows."""
+
+    def represent(
+        self, sequence: Sequence, curve_kind: str | None = None
+    ) -> FunctionSeriesRepresentation:
+        """Break and then fit the stored representation.
+
+        ``curve_kind`` defaults to the breaker's own curve; the paper's
+        pipeline breaks with ``"interpolation"`` and represents with
+        ``"regression"`` — pass the latter explicitly to mirror it.
+        """
+        boundaries = self.break_indices(sequence)
+        return FunctionSeriesRepresentation.from_breakpoints(
+            sequence,
+            boundaries,
+            curve_kind=curve_kind or self.curve_kind,
+            epsilon=self.epsilon,
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(epsilon={self.epsilon:g})"
+
+
+# ----------------------------------------------------------------------
+# Property checkers
+# ----------------------------------------------------------------------
+
+
+def is_partition(boundaries: Boundaries, length: int) -> bool:
+    """Whether windows tile ``range(length)`` exactly, in order."""
+    if not boundaries:
+        return False
+    if boundaries[0][0] != 0 or boundaries[-1][1] != length - 1:
+        return False
+    for (_, prev_end), (next_start, _) in zip(boundaries, boundaries[1:]):
+        if next_start != prev_end + 1:
+            return False
+    return all(start <= end for start, end in boundaries)
+
+
+def fragmentation_ratio(boundaries: Boundaries) -> float:
+    """Fraction of segments of length <= 2 (lower is better).
+
+    The paper requires "most resulting subsequences should be of length
+    > 2" for the representation to compress at all.
+    """
+    if not boundaries:
+        raise SegmentationError("no segments")
+    short = sum(1 for start, end in boundaries if end - start + 1 <= 2)
+    return short / len(boundaries)
+
+
+def verify_tolerance(
+    sequence: Sequence,
+    boundaries: Boundaries,
+    curve_kind: str,
+    epsilon: float,
+) -> bool:
+    """Whether every window is within ``epsilon`` of its fitted curve."""
+    fitter = get_fitter(curve_kind)
+    for start, end in boundaries:
+        piece = sequence.subsequence(start, end)
+        if len(piece) < 2:
+            continue
+        if fitter(piece).max_deviation(piece) > epsilon + 1e-9:
+            return False
+    return True
+
+
+def breakpoints_correspond(
+    first: TypingSequence[int],
+    second: TypingSequence[int],
+    index_budget: int,
+) -> bool:
+    """Whether two breakpoint lists align within ``index_budget`` positions.
+
+    Encodes the paper's robustness condition: adding or deleting
+    behaviour-preserving elements "does no more than shift the
+    breakpoints by at most the number of elements added/deleted".
+    """
+    if len(first) != len(second):
+        return False
+    return all(abs(a - b) <= index_budget for a, b in zip(first, second))

@@ -1,0 +1,24 @@
+"""Bézier-curve breaker — the paper's modified Schneider algorithm.
+
+The Figure-8 template instantiated with cubic Bézier curves fitted by
+Schneider's algorithm (chord-length parameterization plus
+Newton–Raphson refinement), with the paper's two modifications: no
+continuity between consecutive curves, and the split point assigned to
+exactly one side.  Bézier segments suit graphics-flavoured queries about
+"the way sequences look" and generalize to non-functional and
+multidimensional sequences; for plain time series the linear breakers
+are faster and were preferred by the paper.
+"""
+
+from __future__ import annotations
+
+from repro.segmentation.offline import RecursiveCurveFitBreaker
+
+__all__ = ["BezierBreaker"]
+
+
+class BezierBreaker(RecursiveCurveFitBreaker):
+    """Break where a fitted cubic Bézier deviates beyond epsilon."""
+
+    def __init__(self, epsilon: float, split_side: str = "closer") -> None:
+        super().__init__(epsilon, curve_kind="bezier", split_side=split_side)

@@ -1,0 +1,121 @@
+"""Dynamic-programming segmentation — the paper's slow optimal baseline.
+
+Section 5.1 mentions "another approach we have taken, using dynamic
+programming, minimizing a cost function of the form
+``a * (#segments) + b * (distance from approximating line)``" and notes
+it is much slower than the interpolation breaker.  This module
+implements that baseline exactly:
+
+* the per-segment distance is the sum of squared errors against the
+  segment's least-squares regression line, computed in O(1) per
+  candidate window from prefix sums, giving an O(n^2) algorithm overall
+  (already asymptotically slower than the interpolation breaker's
+  ``O(peaks * n)``);
+* the DP chooses the partition minimizing the total cost, so it is an
+  *optimal* reference against which the greedy breakers' segment counts
+  and errors can be compared.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import SegmentationError
+from repro.core.sequence import Sequence
+from repro.segmentation.base import Boundaries, Breaker
+
+__all__ = ["DynamicProgrammingBreaker", "regression_sse_table_prefix"]
+
+
+class _PrefixSums:
+    """Prefix sums enabling O(1) regression SSE for any index window."""
+
+    def __init__(self, times: np.ndarray, values: np.ndarray) -> None:
+        self.n = len(times)
+        self.s_t = np.concatenate([[0.0], np.cumsum(times)])
+        self.s_v = np.concatenate([[0.0], np.cumsum(values)])
+        self.s_tt = np.concatenate([[0.0], np.cumsum(times * times)])
+        self.s_tv = np.concatenate([[0.0], np.cumsum(times * values)])
+        self.s_vv = np.concatenate([[0.0], np.cumsum(values * values)])
+
+    def sse(self, i: int, j: int) -> float:
+        """Regression-line SSE over the inclusive window ``[i, j]``."""
+        n = j - i + 1
+        if n < 2:
+            return 0.0
+        st = self.s_t[j + 1] - self.s_t[i]
+        sv = self.s_v[j + 1] - self.s_v[i]
+        stt = self.s_tt[j + 1] - self.s_tt[i]
+        stv = self.s_tv[j + 1] - self.s_tv[i]
+        svv = self.s_vv[j + 1] - self.s_vv[i]
+        t_var = stt - st * st / n
+        v_var = svv - sv * sv / n
+        covar = stv - st * sv / n
+        if t_var <= 0.0:
+            return max(v_var, 0.0)
+        residual = v_var - covar * covar / t_var
+        return max(float(residual), 0.0)
+
+
+def regression_sse_table_prefix(sequence: Sequence) -> _PrefixSums:
+    """Expose the prefix-sum helper (used by tests to validate the SSE)."""
+    return _PrefixSums(sequence.times, sequence.values)
+
+
+class DynamicProgrammingBreaker(Breaker):
+    """Optimal segmentation under ``a * segments + b * error``.
+
+    Parameters
+    ----------
+    segment_penalty:
+        The ``a`` coefficient — cost charged per segment; larger values
+        produce fewer, coarser segments.
+    error_weight:
+        The ``b`` coefficient multiplying the summed regression SSE.
+    epsilon:
+        Retained for interface parity with the greedy breakers and used
+        when converting the result into a representation; the DP itself
+        optimizes the explicit cost, not a max-deviation bound.
+    """
+
+    curve_kind = "regression"
+
+    def __init__(self, segment_penalty: float = 1.0, error_weight: float = 1.0, epsilon: float = 0.0) -> None:
+        super().__init__(epsilon)
+        if segment_penalty <= 0:
+            raise SegmentationError("segment_penalty must be positive")
+        if error_weight < 0:
+            raise SegmentationError("error_weight must be non-negative")
+        self.segment_penalty = float(segment_penalty)
+        self.error_weight = float(error_weight)
+
+    def break_indices(self, sequence: Sequence) -> Boundaries:
+        n = len(sequence)
+        if n == 1:
+            return [(0, 0)]
+        prefix = _PrefixSums(sequence.times, sequence.values)
+        # best[j] = minimal cost of segmenting samples [0, j-1];
+        # choice[j] = start index of the last segment in that optimum.
+        best = np.full(n + 1, np.inf)
+        best[0] = 0.0
+        choice = np.zeros(n + 1, dtype=int)
+        for j in range(1, n + 1):
+            for i in range(j):
+                cost = best[i] + self.segment_penalty + self.error_weight * prefix.sse(i, j - 1)
+                if cost < best[j]:
+                    best[j] = cost
+                    choice[j] = i
+        boundaries: Boundaries = []
+        j = n
+        while j > 0:
+            i = int(choice[j])
+            boundaries.append((i, j - 1))
+            j = i
+        boundaries.reverse()
+        return boundaries
+
+    def total_cost(self, sequence: Sequence, boundaries: Boundaries) -> float:
+        """Evaluate the DP objective for any candidate partition."""
+        prefix = _PrefixSums(sequence.times, sequence.values)
+        error = sum(prefix.sse(i, j) for i, j in boundaries)
+        return self.segment_penalty * len(boundaries) + self.error_weight * error

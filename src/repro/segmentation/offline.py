@@ -1,0 +1,129 @@
+"""The offline recursive curve-fitting template (paper Figure 8).
+
+This is the paper's generalization of Schneider's Bézier-fitting
+algorithm to an arbitrary curve type ``c``:
+
+1. Fit a curve of type ``c`` to ``S``.
+2. Find the point of maximum deviation from the curve.
+3. If the deviation is below the tolerance, ``S`` is one segment.
+4. Otherwise fit curves to the subsequences on either side of the
+   point, associate the point with whichever side's curve it is closer
+   to (the paper's adjustment — steps 4a–4c), and recurse.
+
+Unlike the original Schneider algorithm, no continuity is imposed
+between neighbouring curves and the split point belongs to exactly one
+subsequence (both modifications are called out in Section 5.1).
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import FittingError, SegmentationError
+from repro.core.sequence import Sequence
+from repro.functions.fitting import get_fitter
+from repro.segmentation.base import Boundaries, Breaker
+
+__all__ = ["RecursiveCurveFitBreaker"]
+
+
+class RecursiveCurveFitBreaker(Breaker):
+    """Figure-8 template parameterized by a registered curve kind.
+
+    Parameters
+    ----------
+    epsilon:
+        Maximum tolerated pointwise deviation between a subsequence and
+        its fitted curve (the ``delta`` of paper Figure 8).
+    curve_kind:
+        Any kind accepted by :func:`repro.functions.fitting.get_fitter`.
+    split_side:
+        ``"closer"`` applies the paper's steps 4a–4c (the split point
+        joins whichever side fits it better); ``"left"`` and ``"right"``
+        are ablation modes that always assign it to one side.
+    """
+
+    def __init__(self, epsilon: float, curve_kind: str = "interpolation", split_side: str = "closer") -> None:
+        super().__init__(epsilon)
+        if split_side not in ("closer", "left", "right"):
+            raise SegmentationError(f"unknown split_side {split_side!r}")
+        self.curve_kind = curve_kind
+        self.split_side = split_side
+        self._fitter = get_fitter(curve_kind)
+
+    def break_indices(self, sequence: Sequence) -> Boundaries:
+        segments: Boundaries = []
+        # Explicit stack instead of recursion: ECG-scale inputs with a
+        # tight epsilon can split thousands of times.
+        stack = [(0, len(sequence) - 1)]
+        resolved: list[tuple[int, int]] = []
+        while stack:
+            start, end = stack.pop()
+            split = self._split_point(sequence, start, end)
+            if split is None:
+                resolved.append((start, end))
+                continue
+            left_end, right_start = split
+            # Push right first so the left half is processed first,
+            # keeping the traversal in index order is not required —
+            # resolved windows are sorted below.
+            stack.append((right_start, end))
+            stack.append((start, left_end))
+        segments = sorted(resolved)
+        return segments
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _split_point(self, sequence: Sequence, start: int, end: int) -> "tuple[int, int] | None":
+        """Where to split ``[start, end]``, or ``None`` if it converged.
+
+        Returns ``(left_end, right_start)`` index pair; the split sample
+        belongs to exactly one side.
+        """
+        n = end - start + 1
+        if n <= 2:
+            return None
+        piece = sequence.subsequence(start, end)
+        try:
+            curve = self._fitter(piece)
+        except FittingError:
+            return None
+        deviation = curve.max_deviation(piece)
+        if deviation <= self.epsilon:
+            return None
+
+        worst = start + curve.argmax_deviation(piece)
+        # The worst point must be interior so both sides are non-empty.
+        worst = min(max(worst, start + 1), end - 1)
+        side = self._choose_side(sequence, start, end, worst)
+        if side == "left":
+            return worst, worst + 1
+        return worst - 1, worst
+
+    def _choose_side(self, sequence: Sequence, start: int, end: int, worst: int) -> str:
+        """Paper steps 4a–4c: which subsequence owns the split sample."""
+        if self.split_side != "closer":
+            return self.split_side
+        t, v = sequence[worst]
+        left_fit = self._try_fit(sequence, start, worst - 1)
+        right_fit = self._try_fit(sequence, worst, end)
+        if left_fit is None and right_fit is None:
+            return "right"
+        if left_fit is None:
+            return "right"
+        if right_fit is None:
+            return "left"
+        dist_left = abs(float(left_fit(t)) - v)
+        dist_right = abs(float(right_fit(t)) - v)
+        return "left" if dist_left <= dist_right else "right"
+
+    def _try_fit(self, sequence: Sequence, start: int, end: int):
+        if end < start:
+            return None
+        piece = sequence.subsequence(start, end)
+        if len(piece) < 2:
+            return None
+        try:
+            return self._fitter(piece)
+        except FittingError:
+            return None

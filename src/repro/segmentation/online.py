@@ -1,0 +1,156 @@
+"""Online breaking algorithms (paper Section 5.1, "Online algorithms").
+
+The paper studied "one family of online algorithms, based on sliding a
+window, interpolating a polynomial through it, and breaking the
+sequence whenever it deviates significantly from the polynomial", noting
+their merit (no post-processing pass) and their deficiency (possible
+loss of accuracy versus the offline algorithms).
+
+:class:`SlidingWindowBreaker` is that family: it consumes samples one at
+a time, keeps a polynomial fitted over a trailing window of the current
+segment, and closes the segment when the incoming sample deviates from
+the polynomial's extrapolation by more than ``epsilon``.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import SegmentationError
+from repro.core.sequence import Sequence
+from repro.functions.polynomial import fit_polynomial
+from repro.segmentation.base import Boundaries, Breaker
+
+__all__ = ["SlidingWindowBreaker", "OnlineSession", "IncrementalRegressionBreaker"]
+
+
+class OnlineSession:
+    """Incremental state for one pass over a stream of samples."""
+
+    def __init__(self, breaker: "SlidingWindowBreaker") -> None:
+        self._breaker = breaker
+        self._times: list[float] = []
+        self._values: list[float] = []
+        self._segment_start = 0
+        self._closed: Boundaries = []
+        self._count = 0
+
+    def feed(self, time: float, value: float) -> bool:
+        """Consume one sample; returns True when a segment just closed."""
+        breaker = self._breaker
+        closed = False
+        window_len = len(self._times)
+        if window_len >= breaker.min_points:
+            window_seq = Sequence(self._times, self._values)
+            poly = fit_polynomial(window_seq, breaker.degree)
+            predicted = float(poly(time))
+            if abs(predicted - value) > breaker.epsilon:
+                self._closed.append((self._segment_start, self._count - 1))
+                self._segment_start = self._count
+                self._times = []
+                self._values = []
+                closed = True
+        self._times.append(time)
+        self._values.append(value)
+        if len(self._times) > breaker.window:
+            # Slide: the polynomial tracks only the trailing window.
+            self._times.pop(0)
+            self._values.pop(0)
+        self._count += 1
+        return closed
+
+    def finish(self) -> Boundaries:
+        """Close the trailing segment and return all boundaries."""
+        if self._count == 0:
+            raise SegmentationError("no samples were fed")
+        if self._segment_start <= self._count - 1:
+            self._closed.append((self._segment_start, self._count - 1))
+        return list(self._closed)
+
+
+class IncrementalRegressionBreaker(Breaker):
+    """Online breaking with an exact running regression line.
+
+    The second member of the paper's online family ("we are still
+    studying algorithms using a related approach"): instead of a
+    trailing window, the regression line over the *entire current
+    segment* is maintained incrementally from running sums (O(1) per
+    sample).  A segment closes when the incoming sample deviates from
+    the current line's extrapolation by more than ``epsilon``.
+
+    Compared with :class:`SlidingWindowBreaker` this never forgets the
+    segment's early samples, so slow drifts accumulate into a break
+    instead of being tracked window by window.
+    """
+
+    curve_kind = "regression"
+
+    def __init__(self, epsilon: float, min_points: int = 2) -> None:
+        super().__init__(epsilon)
+        if min_points < 2:
+            raise SegmentationError("min_points must be at least 2")
+        self.min_points = int(min_points)
+
+    def break_indices(self, sequence: Sequence) -> Boundaries:
+        boundaries: Boundaries = []
+        start = 0
+        # Running sums over the current segment.
+        n = 0
+        s_t = s_v = s_tt = s_tv = 0.0
+        for i, (t, v) in enumerate(sequence):
+            if n >= self.min_points:
+                denom = n * s_tt - s_t * s_t
+                if denom != 0.0:
+                    slope = (n * s_tv - s_t * s_v) / denom
+                    intercept = (s_v - slope * s_t) / n
+                else:
+                    slope = 0.0
+                    intercept = s_v / n
+                predicted = slope * t + intercept
+                if abs(predicted - v) > self.epsilon:
+                    boundaries.append((start, i - 1))
+                    start = i
+                    n = 0
+                    s_t = s_v = s_tt = s_tv = 0.0
+            n += 1
+            s_t += t
+            s_v += v
+            s_tt += t * t
+            s_tv += t * v
+        boundaries.append((start, len(sequence) - 1))
+        return boundaries
+
+
+class SlidingWindowBreaker(Breaker):
+    """Break online when a sample escapes the window polynomial.
+
+    Parameters
+    ----------
+    epsilon:
+        Deviation tolerance between the incoming sample and the value
+        extrapolated from the window polynomial.
+    window:
+        Number of trailing samples the polynomial is fitted over.
+    degree:
+        Polynomial degree (1 reproduces the paper's linear experiments).
+    """
+
+    curve_kind = "regression"
+
+    def __init__(self, epsilon: float, window: int = 8, degree: int = 1) -> None:
+        super().__init__(epsilon)
+        if window < 2:
+            raise SegmentationError("window must cover at least two samples")
+        if degree < 0:
+            raise SegmentationError("degree must be non-negative")
+        self.window = int(window)
+        self.degree = int(degree)
+        self.min_points = max(degree + 1, 2)
+
+    def session(self) -> OnlineSession:
+        """Start an incremental session (streaming API)."""
+        return OnlineSession(self)
+
+    def break_indices(self, sequence: Sequence) -> Boundaries:
+        session = self.session()
+        for time, value in sequence:
+            session.feed(time, value)
+        return session.finish()

@@ -1,0 +1,21 @@
+"""Linear-regression breaker.
+
+The Figure-8 template instantiated with least-squares regression lines.
+The paper implemented this variant alongside interpolation and found the
+interpolation version "simpler and produces better results"
+(Section 5.1); this implementation exists both for completeness and so
+benchmarks can reproduce that comparison.
+"""
+
+from __future__ import annotations
+
+from repro.segmentation.offline import RecursiveCurveFitBreaker
+
+__all__ = ["RegressionBreaker"]
+
+
+class RegressionBreaker(RecursiveCurveFitBreaker):
+    """Break where the least-squares line deviates beyond epsilon."""
+
+    def __init__(self, epsilon: float, split_side: str = "closer") -> None:
+        super().__init__(epsilon, curve_kind="regression", split_side=split_side)

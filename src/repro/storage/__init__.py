@@ -1,0 +1,26 @@
+"""Storage substrates: binary codec, archival/local tiers with latency
+accounting, and the multi-representation catalog."""
+
+from repro.storage.archive import AccessLog, ArchivalStore, LocalStore
+from repro.storage.catalog import RepresentationCatalog
+from repro.storage.serialization import (
+    decode_representation,
+    decode_sequence,
+    encode_representation,
+    encode_sequence,
+    raw_size_bytes,
+    representation_size_bytes,
+)
+
+__all__ = [
+    "ArchivalStore",
+    "LocalStore",
+    "AccessLog",
+    "RepresentationCatalog",
+    "encode_sequence",
+    "decode_sequence",
+    "encode_representation",
+    "decode_representation",
+    "raw_size_bytes",
+    "representation_size_bytes",
+]

@@ -1,0 +1,60 @@
+"""Catalog of multiple representations per sequence.
+
+"Since our representation is quite compact, it would be possible to
+compute and store multiple representations and indices for the same
+data.  This would be useful for simultaneously supporting several
+common query forms" (Section 5.2).  The catalog names each
+representation variant (e.g. ``"regression-eps0.5"`` vs
+``"bezier-eps2"``) and tracks per-variant byte totals.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import StorageError
+from repro.core.representation import FunctionSeriesRepresentation
+from repro.storage.serialization import representation_size_bytes
+
+__all__ = ["RepresentationCatalog"]
+
+
+class RepresentationCatalog:
+    """Named representation variants keyed by ``(sequence_id, variant)``."""
+
+    def __init__(self) -> None:
+        self._entries: dict[int, dict[str, FunctionSeriesRepresentation]] = {}
+
+    def put(self, sequence_id: int, variant: str, representation: FunctionSeriesRepresentation) -> None:
+        if not variant:
+            raise StorageError("variant name must be non-empty")
+        slots = self._entries.setdefault(sequence_id, {})
+        if variant in slots:
+            raise StorageError(f"variant {variant!r} already exists for sequence {sequence_id}")
+        slots[variant] = representation
+
+    def get(self, sequence_id: int, variant: str) -> FunctionSeriesRepresentation:
+        try:
+            return self._entries[sequence_id][variant]
+        except KeyError as exc:
+            raise StorageError(f"no {variant!r} representation for sequence {sequence_id}") from exc
+
+    def variants_of(self, sequence_id: int) -> list[str]:
+        return sorted(self._entries.get(sequence_id, {}))
+
+    def sequences_with(self, variant: str) -> list[int]:
+        return sorted(sid for sid, slots in self._entries.items() if variant in slots)
+
+    def __contains__(self, key: "tuple[int, str]") -> bool:
+        sequence_id, variant = key
+        return variant in self._entries.get(sequence_id, {})
+
+    def __len__(self) -> int:
+        return sum(len(slots) for slots in self._entries.values())
+
+    def total_bytes(self, variant: "str | None" = None) -> int:
+        """Encoded byte total, overall or for one variant."""
+        total = 0
+        for slots in self._entries.values():
+            for name, rep in slots.items():
+                if variant is None or name == variant:
+                    total += representation_size_bytes(rep)
+        return total

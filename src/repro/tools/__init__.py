@@ -1,0 +1,6 @@
+"""Operational tooling: the standalone reproduction report.
+
+Import :mod:`repro.tools.report` directly (or run
+``python -m repro.tools.report``); nothing is re-exported here so that
+``-m`` execution does not double-import the module.
+"""

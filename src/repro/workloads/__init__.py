@@ -1,0 +1,30 @@
+"""Deterministic workload generators standing in for the paper's data
+(medical ECGs and fever logs, seismic traces, stock series)."""
+
+from repro.workloads.ecg import ecg_corpus, figure9_pair, synthetic_ecg
+from repro.workloads.fever import (
+    fever_corpus,
+    figure3_sequence,
+    figure4_fluctuated,
+    figure5_variants,
+    goalpost_fever,
+    k_peak_sequence,
+)
+from repro.workloads.seismic import seismic_corpus, seismic_sequence
+from repro.workloads.stocks import stock_corpus, stock_sequence
+
+__all__ = [
+    "synthetic_ecg",
+    "ecg_corpus",
+    "figure9_pair",
+    "goalpost_fever",
+    "k_peak_sequence",
+    "figure3_sequence",
+    "figure4_fluctuated",
+    "figure5_variants",
+    "fever_corpus",
+    "seismic_sequence",
+    "seismic_corpus",
+    "stock_sequence",
+    "stock_corpus",
+]

@@ -1,0 +1,219 @@
+"""Goal-post fever temperature workloads (paper Section 2.1 / Figures 2-7).
+
+"One of the symptoms of Hodgkin's disease is a temperature pattern
+known as goal-post fever, that peaks exactly twice within 24 hours."
+The paper's fever figures are synthetic; these generators rebuild them
+deterministically:
+
+* :func:`goalpost_fever` — smooth two-peak 24-hour temperature logs
+  with controllable peak positions, widths and amplitudes;
+* :func:`k_peak_sequence` — the same machinery for any peak count
+  (one-peak and three-peak negatives for the query benchmarks);
+* :func:`figure3_sequence` — the fixed triangular exemplar of Figure 3
+  (peaks at hours 6 and 18, range roughly 95-107);
+* :func:`figure5_variants` — the transformation suite of Figure 5
+  (time/amplitude shifts, scaling, dilation, contraction) applied to an
+  exemplar, all of which must remain exact matches for the two-peak
+  query while failing value-based matching.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import SequenceError
+from repro.core.sequence import Sequence
+from repro.core.transformations import (
+    AmplitudeScale,
+    AmplitudeShift,
+    Compose,
+    TimeScale,
+    TimeShift,
+    Transformation,
+)
+
+__all__ = [
+    "goalpost_fever",
+    "k_peak_sequence",
+    "figure3_sequence",
+    "figure4_fluctuated",
+    "figure5_variants",
+    "fever_corpus",
+]
+
+_BODY_TEMP = 98.0  # baseline body temperature, Fahrenheit
+
+
+def k_peak_sequence(
+    peak_hours: "list[float]",
+    n_points: int = 49,
+    duration_hours: float = 24.0,
+    baseline: float = _BODY_TEMP,
+    amplitudes: "list[float] | None" = None,
+    widths: "list[float] | None" = None,
+    noise: float = 0.0,
+    seed: int = 0,
+    name: str = "",
+) -> Sequence:
+    """A temperature log with Gaussian bumps at the given hours."""
+    if not peak_hours:
+        raise SequenceError("at least one peak position is required")
+    if amplitudes is None:
+        amplitudes = [7.0] * len(peak_hours)
+    if widths is None:
+        widths = [1.6] * len(peak_hours)
+    if not (len(peak_hours) == len(amplitudes) == len(widths)):
+        raise SequenceError("peak_hours, amplitudes and widths must align")
+    times = np.linspace(0.0, duration_hours, n_points)
+    values = np.full(n_points, baseline)
+    for center, amp, width in zip(peak_hours, amplitudes, widths):
+        if width <= 0:
+            raise SequenceError("peak widths must be positive")
+        values = values + amp * np.exp(-0.5 * ((times - center) / width) ** 2)
+    if noise > 0:
+        rng = np.random.default_rng(seed)
+        values = values + rng.uniform(-noise, noise, size=n_points)
+    return Sequence(times, values, name=name or f"{len(peak_hours)}-peak-fever")
+
+
+def goalpost_fever(
+    first_peak: float = 6.0,
+    second_peak: float = 18.0,
+    n_points: int = 49,
+    amplitude: float = 7.0,
+    width: float = 1.6,
+    noise: float = 0.0,
+    seed: int = 0,
+    name: str = "goalpost",
+) -> Sequence:
+    """The canonical two-peak 24-hour fever log."""
+    if not 0 < first_peak < second_peak < 24.0:
+        raise SequenceError("peaks must be ordered inside the 24-hour window")
+    return k_peak_sequence(
+        [first_peak, second_peak],
+        n_points=n_points,
+        amplitudes=[amplitude, amplitude * 0.9],
+        widths=[width, width * 1.2],
+        noise=noise,
+        seed=seed,
+        name=name,
+    )
+
+
+def figure3_sequence(n_points: int = 49) -> Sequence:
+    """The fixed exemplar of paper Figure 3.
+
+    Piecewise-linear: climbs 95 -> 107 to a peak at hour 6, returns to
+    95 at hour 12, peaks again at hour 18, and returns by hour 24.
+    """
+    times = np.linspace(0.0, 24.0, n_points)
+    knots_t = np.array([0.0, 6.0, 12.0, 18.0, 24.0])
+    knots_v = np.array([95.0, 107.0, 95.0, 107.0, 95.0])
+    values = np.interp(times, knots_t, knots_v)
+    return Sequence(times, values, name="figure3")
+
+
+def figure4_fluctuated(delta: float = 1.0, seed: int = 4) -> Sequence:
+    """Figure 4: the exemplar with pointwise fluctuations within ±delta.
+
+    Value-based matching accepts this sequence (it never leaves the
+    band) even though the fluctuations corrupt the clean two-peak
+    behaviour; the feature-based approach judges it on its peaks.
+    """
+    base = figure3_sequence()
+    rng = np.random.default_rng(seed)
+    noise = rng.uniform(-delta, delta, size=len(base))
+    return Sequence(base.times, base.values + noise, name="figure4")
+
+
+def figure5_variants(exemplar: Sequence) -> "list[tuple[str, Transformation, Sequence]]":
+    """The transformation suite of paper Figure 5.
+
+    Returns ``(label, transformation, transformed sequence)`` triples:
+    every entry preserves the two-peak property (so each is an *exact*
+    match for the goal-post query) while moving far outside any
+    value-based epsilon band.
+    """
+    variants: list[tuple[str, Transformation, Sequence]] = []
+    suite: list[tuple[str, Transformation]] = [
+        ("time-shift", TimeShift(3.0)),
+        ("amplitude-shift", AmplitudeShift(-6.0)),
+        ("amplitude-scale", AmplitudeScale(1.8, baseline=float(exemplar.values.min()))),
+        ("dilation", TimeScale(2.0, origin=exemplar.start_time)),
+        ("contraction", TimeScale(0.5, origin=exemplar.start_time)),
+        (
+            "shift+scale+dilate",
+            Compose(
+                [
+                    TimeShift(1.5),
+                    AmplitudeScale(1.4, baseline=float(exemplar.values.min())),
+                    TimeScale(1.5, origin=exemplar.start_time),
+                ]
+            ),
+        ),
+    ]
+    for label, transform in suite:
+        variants.append((label, transform, transform(exemplar).with_name(label)))
+    return variants
+
+
+def fever_corpus(
+    n_two_peak: int = 20,
+    n_one_peak: int = 10,
+    n_three_peak: int = 10,
+    n_points: int = 49,
+    noise: float = 0.15,
+    seed: int = 7,
+) -> "list[Sequence]":
+    """A mixed corpus for the goal-post query benchmarks.
+
+    Peak positions, amplitudes and widths vary per sequence; names
+    encode the ground-truth peak count (``"fever-2p-<i>"`` etc.) so
+    benchmarks can score precision and recall.
+    """
+    rng = np.random.default_rng(seed)
+    corpus: list[Sequence] = []
+    for i in range(n_two_peak):
+        first = float(rng.uniform(4.0, 9.0))
+        second = float(rng.uniform(14.0, 20.0))
+        corpus.append(
+            k_peak_sequence(
+                [first, second],
+                n_points=n_points,
+                amplitudes=[float(rng.uniform(5.0, 9.0)) for _ in range(2)],
+                widths=[float(rng.uniform(1.2, 2.2)) for _ in range(2)],
+                noise=noise,
+                seed=int(rng.integers(1 << 30)),
+                name=f"fever-2p-{i}",
+            )
+        )
+    for i in range(n_one_peak):
+        corpus.append(
+            k_peak_sequence(
+                [float(rng.uniform(8.0, 16.0))],
+                n_points=n_points,
+                amplitudes=[float(rng.uniform(5.0, 9.0))],
+                widths=[float(rng.uniform(1.5, 2.5))],
+                noise=noise,
+                seed=int(rng.integers(1 << 30)),
+                name=f"fever-1p-{i}",
+            )
+        )
+    for i in range(n_three_peak):
+        # Separation of at least 5.5 hours with widths <= 1.4 keeps the
+        # three bumps from merging into fewer prominent peaks.
+        centers = sorted(float(c) for c in rng.uniform(3.0, 21.0, size=3))
+        while min(b - a for a, b in zip(centers, centers[1:])) < 5.5:
+            centers = sorted(float(c) for c in rng.uniform(3.0, 21.0, size=3))
+        corpus.append(
+            k_peak_sequence(
+                centers,
+                n_points=n_points,
+                amplitudes=[float(rng.uniform(5.0, 9.0)) for _ in range(3)],
+                widths=[float(rng.uniform(1.0, 1.4)) for _ in range(3)],
+                noise=noise,
+                seed=int(rng.integers(1 << 30)),
+                name=f"fever-3p-{i}",
+            )
+        )
+    return corpus

@@ -1,0 +1,65 @@
+"""Stock-price workloads (the paper's market motivation).
+
+"In a stock market database we look at rises and drops of stock values"
+(Section 1).  The generator emits piecewise-trend random walks: regimes
+of rising, falling or sideways drift with noise — data on which the
+slope-sign pattern queries ("rise then drop then rise") are natural.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import SequenceError
+from repro.core.sequence import Sequence
+
+__all__ = ["stock_sequence", "stock_corpus"]
+
+
+def stock_sequence(
+    n_points: int = 250,
+    start_price: float = 100.0,
+    regimes: "list[tuple[int, float]] | None" = None,
+    volatility: float = 0.4,
+    seed: int = 0,
+    name: str = "stock",
+) -> Sequence:
+    """A price series with explicit trend regimes.
+
+    ``regimes`` is a list of ``(length, drift-per-step)`` pairs; when
+    omitted, regimes are drawn at random.  Volatility is the standard
+    deviation of the per-step noise.
+    """
+    if start_price <= 0:
+        raise SequenceError("start price must be positive")
+    rng = np.random.default_rng(seed)
+    if regimes is None:
+        regimes = []
+        remaining = n_points
+        while remaining > 0:
+            length = int(min(remaining, rng.integers(20, 60)))
+            drift = float(rng.choice([-0.5, -0.2, 0.0, 0.2, 0.5]))
+            regimes.append((length, drift))
+            remaining -= length
+    steps = []
+    for length, drift in regimes:
+        if length <= 0:
+            raise SequenceError("regime lengths must be positive")
+        steps.append(drift + rng.normal(0.0, volatility, size=length))
+    increments = np.concatenate(steps)[: n_points - 1]
+    prices = start_price + np.concatenate([[0.0], np.cumsum(increments)])
+    prices = np.maximum(prices, 1.0)  # prices stay positive
+    return Sequence.from_values(prices[:n_points], name=name)
+
+
+def stock_corpus(n_sequences: int = 30, n_points: int = 250, seed: int = 17) -> "list[Sequence]":
+    rng = np.random.default_rng(seed)
+    return [
+        stock_sequence(
+            n_points=n_points,
+            start_price=float(rng.uniform(20.0, 300.0)),
+            seed=int(rng.integers(1 << 30)),
+            name=f"stock-{i}",
+        )
+        for i in range(n_sequences)
+    ]

@@ -1,0 +1,161 @@
+"""Tests for the DFT F-index baseline, including the lower-bounding
+lemma that guarantees no false dismissals."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.dft import (
+    FIndex,
+    SubsequenceIndex,
+    dft_features,
+    dominant_frequency,
+    feature_distance,
+)
+from repro.core.errors import QueryError
+from repro.core.sequence import Sequence
+from repro.core.transformations import TimeScale
+
+
+class TestFeatures:
+    def test_feature_vector_shape(self):
+        feats = dft_features(np.arange(32, dtype=float), k=3)
+        assert feats.shape == (6,)
+
+    def test_k_capped_at_length(self):
+        feats = dft_features(np.arange(4, dtype=float), k=100)
+        assert feats.shape == (8,)
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(QueryError):
+            dft_features(np.zeros(8), k=0)
+
+    def test_full_transform_is_isometry(self):
+        """Parseval with the 1/sqrt(n) convention."""
+        rng = np.random.default_rng(71)
+        values = rng.normal(0, 1, 64)
+        coeffs = np.fft.fft(values) / np.sqrt(64)
+        assert np.dot(values, values) == pytest.approx(float(np.sum(np.abs(coeffs) ** 2)))
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=-50, max_value=50, allow_nan=False), min_size=8, max_size=8),
+        st.lists(st.floats(min_value=-50, max_value=50, allow_nan=False), min_size=8, max_size=8),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_lower_bounding_lemma(self, a, b, k):
+        """Feature distance never exceeds true Euclidean distance."""
+        fa = dft_features(np.asarray(a), k)
+        fb = dft_features(np.asarray(b), k)
+        true = float(np.linalg.norm(np.asarray(a) - np.asarray(b)))
+        assert feature_distance(fa, fb) <= true + 1e-9
+
+    def test_feature_shape_mismatch_rejected(self):
+        with pytest.raises(QueryError):
+            feature_distance(np.zeros(4), np.zeros(6))
+
+
+class TestFIndex:
+    def make_corpus(self, n=20, length=64, seed=72):
+        rng = np.random.default_rng(seed)
+        return [Sequence.from_values(np.cumsum(rng.normal(0, 1, length))) for __ in range(n)]
+
+    def test_no_false_dismissals(self):
+        corpus = self.make_corpus()
+        index = FIndex(k=4)
+        for i, seq in enumerate(corpus):
+            index.add(i, seq)
+        query = corpus[3]
+        for epsilon in (0.5, 2.0, 10.0):
+            exact = [
+                i
+                for i, seq in enumerate(corpus)
+                if float(np.linalg.norm(seq.values - query.values)) <= epsilon
+            ]
+            assert index.query(query, epsilon) == exact
+            # Candidates are a superset of true hits.
+            assert set(exact) <= set(index.candidates(query, epsilon))
+
+    def test_candidate_filter_prunes(self):
+        corpus = self.make_corpus(n=50)
+        index = FIndex(k=2)
+        for i, seq in enumerate(corpus):
+            index.add(i, seq)
+        candidates = index.candidates(corpus[0], epsilon=1.0)
+        assert len(candidates) < len(corpus)
+
+    def test_length_mismatch_rejected(self):
+        index = FIndex()
+        index.add(0, Sequence.from_values(np.zeros(16)))
+        with pytest.raises(QueryError):
+            index.add(1, Sequence.from_values(np.zeros(8)))
+
+    def test_duplicate_id_rejected(self):
+        index = FIndex()
+        index.add(0, Sequence.from_values(np.zeros(16)))
+        with pytest.raises(QueryError):
+            index.add(0, Sequence.from_values(np.ones(16)))
+
+
+class TestDominantFrequency:
+    def test_pure_tone(self):
+        t = np.arange(128, dtype=float)
+        seq = Sequence(t, np.sin(2 * np.pi * t / 16))
+        assert dominant_frequency(seq) == pytest.approx(1.0 / 16.0, rel=0.05)
+
+    def test_dilation_changes_dominant_frequency(self):
+        """The paper's Section 3 argument: main frequencies are not
+        dilation-invariant, so frequency-domain similarity misses
+        dilated/contracted variants."""
+        t = np.arange(128, dtype=float)
+        seq = Sequence(t, np.sin(2 * np.pi * t / 16))
+        dilated = TimeScale(2.0)(seq)
+        f_base = dominant_frequency(seq)
+        f_dilated = dominant_frequency(dilated)
+        assert f_dilated == pytest.approx(f_base / 2.0, rel=0.1)
+        assert abs(f_dilated - f_base) / f_base > 0.4
+
+
+class TestSubsequenceIndex:
+    def test_exact_window_found(self):
+        rng = np.random.default_rng(73)
+        seq = Sequence.from_values(np.cumsum(rng.normal(0, 1, 100)))
+        index = SubsequenceIndex(window=16, k=3)
+        index.add(0, seq)
+        pattern = seq.subsequence(20, 35).shifted_to_origin()
+        hits = index.query(pattern, epsilon=1e-9)
+        assert (0, 20) in hits
+
+    def test_window_count(self):
+        seq = Sequence.from_values(np.zeros(50))
+        index = SubsequenceIndex(window=10)
+        index.add(0, seq)
+        assert index.window_count() == 41
+
+    def test_no_false_dismissals_on_windows(self):
+        rng = np.random.default_rng(74)
+        seq = Sequence.from_values(np.cumsum(rng.normal(0, 1, 80)))
+        index = SubsequenceIndex(window=8, k=2)
+        index.add(0, seq)
+        pattern = Sequence.from_values(rng.normal(0, 1, 8))
+        epsilon = 5.0
+        expected = []
+        for offset in range(len(seq) - 8 + 1):
+            window = seq.values[offset : offset + 8]
+            if float(np.linalg.norm(window - pattern.values)) <= epsilon:
+                expected.append((0, offset))
+        assert index.query(pattern, epsilon) == expected
+
+    def test_bad_pattern_length_rejected(self):
+        index = SubsequenceIndex(window=8)
+        index.add(0, Sequence.from_values(np.zeros(20)))
+        with pytest.raises(QueryError):
+            index.query(Sequence.from_values(np.zeros(9)), 1.0)
+
+    def test_short_sequence_rejected(self):
+        index = SubsequenceIndex(window=30)
+        with pytest.raises(QueryError):
+            index.add(0, Sequence.from_values(np.zeros(10)))

@@ -1,0 +1,90 @@
+"""Tests for value-based epsilon matching (the Figure 1 baseline)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.euclidean import EpsilonMatcher, l2_distance, linf_distance
+from repro.core.errors import QueryError
+from repro.core.sequence import Sequence
+from repro.workloads import figure3_sequence, figure4_fluctuated, figure5_variants
+
+
+class TestDistances:
+    def test_linf(self):
+        a = Sequence.from_values([0.0, 0.0, 0.0])
+        b = Sequence.from_values([1.0, -3.0, 2.0])
+        assert linf_distance(a, b) == 3.0
+
+    def test_l2(self):
+        a = Sequence.from_values([0.0, 0.0])
+        b = Sequence.from_values([3.0, 4.0])
+        assert l2_distance(a, b) == 5.0
+
+    def test_length_mismatch_rejected(self):
+        a = Sequence.from_values([0.0, 0.0])
+        b = Sequence.from_values([0.0])
+        with pytest.raises(QueryError):
+            linf_distance(a, b)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(61)
+        a = Sequence.from_values(rng.normal(0, 1, 20))
+        b = Sequence.from_values(rng.normal(0, 1, 20))
+        assert linf_distance(a, b) == linf_distance(b, a)
+        assert l2_distance(a, b) == l2_distance(b, a)
+
+    def test_identity(self):
+        a = Sequence.from_values([1.0, 2.0])
+        assert linf_distance(a, a) == 0.0
+        assert l2_distance(a, a) == 0.0
+
+
+class TestEpsilonMatcher:
+    def test_band_acceptance(self):
+        exemplar = figure3_sequence()
+        matcher = EpsilonMatcher(exemplar, epsilon=1.0)
+        assert matcher.matches(exemplar)
+        assert matcher.matches(figure4_fluctuated(delta=1.0))
+
+    def test_figure5_variants_all_rejected(self):
+        """The paper's central negative result for the value-based notion.
+
+        Time alignment reads both the exemplar and the candidate on the
+        same 24-hour clock, as the paper's temperature grids do.
+        """
+        exemplar = figure3_sequence()
+        matcher = EpsilonMatcher(exemplar, epsilon=1.0, align="time")
+        for label, __, variant in figure5_variants(exemplar):
+            assert not matcher.matches(variant), f"{label} should not match value-wise"
+
+    def test_time_alignment_accepts_unmoved_copy(self):
+        exemplar = figure3_sequence()
+        matcher = EpsilonMatcher(exemplar, epsilon=1.0, align="time")
+        assert matcher.matches(figure4_fluctuated(delta=1.0))
+
+    def test_bad_align_rejected(self):
+        with pytest.raises(QueryError):
+            EpsilonMatcher(figure3_sequence(), 1.0, align="dtw")
+
+    def test_metric_choice(self):
+        exemplar = Sequence.from_values(np.zeros(100))
+        near = Sequence.from_values(np.full(100, 0.2))
+        assert EpsilonMatcher(exemplar, 0.5, metric="linf").matches(near)
+        # Accumulated L2 distance is 2.0 > 0.5.
+        assert not EpsilonMatcher(exemplar, 0.5, metric="l2").matches(near)
+
+    def test_filter(self):
+        exemplar = figure3_sequence()
+        matcher = EpsilonMatcher(exemplar, epsilon=0.5)
+        candidates = [exemplar, figure4_fluctuated(delta=0.4), figure4_fluctuated(delta=5.0, seed=9)]
+        kept = matcher.filter(candidates)
+        assert exemplar in kept
+        assert len(kept) <= 2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(QueryError):
+            EpsilonMatcher(figure3_sequence(), -1.0)
+        with pytest.raises(QueryError):
+            EpsilonMatcher(figure3_sequence(), 1.0, metric="cosine")

@@ -1,0 +1,75 @@
+"""Tests for the shift/scale-invariant baseline ([GK95]/[ALSS95])."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.shift_scale import ShiftScaleMatcher, normalized_distance
+from repro.core.errors import QueryError
+from repro.core.sequence import Sequence
+from repro.core.transformations import AmplitudeScale, AmplitudeShift, TimeScale
+from repro.workloads import figure3_sequence
+
+
+class TestNormalizedDistance:
+    def test_shift_and_scale_invariant(self):
+        base = figure3_sequence()
+        moved = AmplitudeShift(25.0)(AmplitudeScale(3.0)(base))
+        assert normalized_distance(base, moved) < 1e-9
+
+    def test_different_shapes_distant(self):
+        rng = np.random.default_rng(81)
+        a = Sequence.from_values(np.sin(np.linspace(0, 6, 50)))
+        b = Sequence.from_values(rng.normal(0, 1, 50))
+        assert normalized_distance(a, b) > 0.5
+
+    def test_metrics(self):
+        a = figure3_sequence()
+        b = AmplitudeShift(1.0)(a)
+        assert normalized_distance(a, b, "linf") == pytest.approx(0.0, abs=1e-9)
+        assert normalized_distance(a, b, "l2") == pytest.approx(0.0, abs=1e-9)
+        with pytest.raises(QueryError):
+            normalized_distance(a, b, "manhattan")
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(QueryError):
+            normalized_distance(figure3_sequence(49), figure3_sequence(48))
+
+
+class TestShiftScaleMatcher:
+    def test_accepts_amplitude_transforms(self):
+        base = figure3_sequence()
+        matcher = ShiftScaleMatcher(base, epsilon=0.01)
+        assert matcher.matches(AmplitudeShift(-6.0)(base))
+        assert matcher.matches(AmplitudeScale(1.8)(base))
+
+    def test_still_fails_on_dilation(self):
+        """The gap the paper fills: normalization does not make matching
+        dilation-invariant (sample counts and positions change)."""
+        base = figure3_sequence()
+        matcher = ShiftScaleMatcher(base, epsilon=0.2)
+        dilated_values = np.interp(
+            np.linspace(0, 24, len(base)) / 2.0,  # half the support: contraction view
+            base.times,
+            base.values,
+        )
+        contracted = Sequence(base.times, dilated_values)
+        assert not matcher.matches(contracted)
+
+    def test_length_mismatch_rejected_quietly(self):
+        base = figure3_sequence()
+        matcher = ShiftScaleMatcher(base, epsilon=1.0)
+        assert not matcher.matches(figure3_sequence(25))
+
+    def test_filter(self):
+        base = figure3_sequence()
+        matcher = ShiftScaleMatcher(base, epsilon=0.01)
+        shifted = AmplitudeShift(5.0)(base)
+        rng = np.random.default_rng(82)
+        noise = Sequence(base.times, rng.normal(0, 1, len(base)))
+        assert matcher.filter([shifted, noise]) == [shifted]
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(QueryError):
+            ShiftScaleMatcher(figure3_sequence(), -0.5)

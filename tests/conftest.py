@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.sequence import Sequence
+from repro.segmentation import InterpolationBreaker
+from repro.workloads import figure9_pair, goalpost_fever
+
+
+@pytest.fixture
+def two_peak_sequence() -> Sequence:
+    """A clean 49-point, two-peak fever curve."""
+    return goalpost_fever()
+
+
+@pytest.fixture
+def ramp_sequence() -> Sequence:
+    """A noiseless straight ramp — one segment under any tolerance."""
+    return Sequence.from_values(np.linspace(0.0, 10.0, 21), name="ramp")
+
+
+@pytest.fixture
+def triangle_sequence() -> Sequence:
+    """Rise then fall with a single apex at index 10."""
+    values = np.concatenate([np.linspace(0.0, 10.0, 11), np.linspace(9.0, 0.0, 10)])
+    return Sequence.from_values(values, name="triangle")
+
+
+@pytest.fixture
+def noisy_sine() -> Sequence:
+    rng = np.random.default_rng(42)
+    t = np.arange(128, dtype=float)
+    return Sequence(t, np.sin(2 * np.pi * t / 32) + rng.normal(0, 0.05, 128), name="sine")
+
+
+@pytest.fixture
+def ecg_pair():
+    """The Figure-9-shaped synthetic ECG pair (top, bottom)."""
+    return figure9_pair()
+
+
+@pytest.fixture
+def fever_representation(two_peak_sequence):
+    """The paper's pipeline on the fever curve: break with interpolation,
+    represent with regression."""
+    return InterpolationBreaker(epsilon=0.5).represent(two_peak_sequence, curve_kind="regression")

@@ -1,0 +1,106 @@
+"""Edge-case coverage for public API corners not hit elsewhere."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import SegmentationError
+from repro.core.representation import FunctionSeriesRepresentation
+from repro.core.sequence import Sequence
+from repro.core.tolerance import DimensionDeviation, MatchGrade
+from repro.functions.linear import LinearFunction
+from repro.functions.polynomial import PolynomialFunction
+from repro.query.results import QueryMatch
+from repro.segmentation.base import fragmentation_ratio, is_partition
+
+
+class TestFunctionOrdering:
+    def test_cross_family_order_by_tag(self):
+        line = LinearFunction(1.0, 0.0)
+        poly = PolynomialFunction((1.0, 0.0, 0.0))
+        # "linear" < "poly" alphabetically.
+        assert line < poly
+        assert not poly < line
+
+    def test_sample_matches_call(self):
+        line = LinearFunction(2.0, -1.0)
+        times = [0.0, 0.5, 1.0]
+        assert np.allclose(line.sample(times), [line(t) for t in times])
+
+    def test_equality_cross_family_false(self):
+        assert LinearFunction(1.0, 0.0) != PolynomialFunction((1.0, 0.0))
+
+
+class TestPartitionHelpers:
+    def test_empty_boundaries_not_partition(self):
+        assert not is_partition([], 5)
+
+    def test_gap_not_partition(self):
+        assert not is_partition([(0, 1), (3, 4)], 5)
+
+    def test_overlap_not_partition(self):
+        assert not is_partition([(0, 2), (2, 4)], 5)
+
+    def test_reversed_window_not_partition(self):
+        assert not is_partition([(0, 4), (5, 4)], 5)
+
+    def test_fragmentation_empty_rejected(self):
+        with pytest.raises(SegmentationError):
+            fragmentation_ratio([])
+
+    def test_fragmentation_all_short(self):
+        assert fragmentation_ratio([(0, 0), (1, 2)]) == 1.0
+
+
+class TestQueryMatchSorting:
+    def test_exact_sorts_before_approximate(self):
+        exact = QueryMatch(5, "e", MatchGrade.EXACT, (DimensionDeviation("d", 0.0, 1.0),))
+        approx = QueryMatch(1, "a", MatchGrade.APPROXIMATE, (DimensionDeviation("d", 0.5, 1.0),))
+        assert sorted([approx, exact], key=QueryMatch.sort_key)[0] is exact
+
+    def test_smaller_total_deviation_first(self):
+        close = QueryMatch(2, "c", MatchGrade.APPROXIMATE, (DimensionDeviation("d", 0.1, 1.0),))
+        far = QueryMatch(1, "f", MatchGrade.APPROXIMATE, (DimensionDeviation("d", 0.9, 1.0),))
+        assert sorted([far, close], key=QueryMatch.sort_key)[0] is close
+
+    def test_id_breaks_ties(self):
+        a = QueryMatch(1, "a", MatchGrade.EXACT)
+        b = QueryMatch(2, "b", MatchGrade.EXACT)
+        assert sorted([b, a], key=QueryMatch.sort_key) == [a, b]
+
+    def test_deviation_in_missing_dimension(self):
+        match = QueryMatch(0, "x", MatchGrade.EXACT, (DimensionDeviation("d", 0.0, 1.0),))
+        assert match.deviation_in("other") is None
+
+
+class TestRepresentationGaps:
+    def test_segment_at_gap_resolves_to_earlier(self):
+        # Two segments with a one-sample gap in between (breakpoint owned
+        # by the right segment leaves times (10, 11) uncovered).
+        seq = Sequence.from_values(np.concatenate([np.linspace(0, 10, 11), np.linspace(9, 0, 10)]))
+        rep = FunctionSeriesRepresentation.from_breakpoints(
+            seq, [(0, 9), (11, 20)], curve_kind="interpolation"
+        )
+        segment = rep.segment_at(10.0)  # inside the gap
+        assert segment.start_index == 0
+
+    def test_interpolate_in_gap_clamps(self):
+        seq = Sequence.from_values(np.concatenate([np.linspace(0, 10, 11), np.linspace(9, 0, 10)]))
+        rep = FunctionSeriesRepresentation.from_breakpoints(
+            seq, [(0, 9), (11, 20)], curve_kind="interpolation"
+        )
+        value = rep.interpolate_at(10.5)
+        assert np.isfinite(value)
+
+
+class TestSequenceReprAndEdges:
+    def test_repr_without_name(self):
+        assert "Sequence(" in repr(Sequence.from_values([1.0, 2.0]))
+
+    def test_getitem_negative_index(self):
+        seq = Sequence.from_values([1.0, 2.0, 3.0])
+        assert seq[-1] == (2.0, 3.0)
+
+    def test_variance_single_point(self):
+        assert Sequence([0.0], [5.0]).variance() == 0.0

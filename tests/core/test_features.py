@@ -1,0 +1,165 @@
+"""Tests for feature extraction (peaks, peak tables, R-R intervals)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.features import (
+    count_peaks,
+    count_peaks_in_symbols,
+    find_peaks,
+    peak_table,
+    raw_peak_indices,
+    rr_intervals,
+)
+from repro.core.representation import FunctionSeriesRepresentation
+from repro.core.sequence import Sequence
+from repro.segmentation import InterpolationBreaker
+from repro.workloads import goalpost_fever, k_peak_sequence
+
+
+def represent(seq, epsilon=0.5):
+    return InterpolationBreaker(epsilon).represent(seq, curve_kind="regression")
+
+
+class TestFindPeaks:
+    def test_two_peak_fever(self, fever_representation):
+        peaks = find_peaks(fever_representation, theta=0.05)
+        assert len(peaks) == 2
+        # Generator places peaks at hours 6 and 18.
+        assert peaks[0].time == pytest.approx(6.0, abs=1.0)
+        assert peaks[1].time == pytest.approx(18.0, abs=1.0)
+
+    def test_apex_is_higher_endpoint(self, fever_representation):
+        for peak in find_peaks(fever_representation, theta=0.05):
+            rise_end = peak.rising.end_point[1]
+            fall_start = peak.descending.start_point[1]
+            assert peak.amplitude == max(rise_end, fall_start)
+
+    def test_monotone_sequence_has_no_peaks(self):
+        seq = Sequence.from_values(np.linspace(0, 10, 30))
+        assert count_peaks(represent(seq)) == 0
+
+    def test_single_triangle_is_one_peak(self, triangle_sequence):
+        assert count_peaks(represent(triangle_sequence, epsilon=0.2)) == 1
+
+    def test_k_peaks_recovered(self):
+        for k, centers in [(1, [12.0]), (2, [6.0, 18.0]), (3, [4.0, 12.0, 20.0])]:
+            seq = k_peak_sequence(centers, noise=0.0)
+            assert count_peaks(represent(seq), theta=0.05) == k
+
+    def test_plateau_between_rise_and_fall_counts_once(self):
+        # rise, flat plateau, fall: one logical peak.
+        values = np.concatenate(
+            [np.linspace(0, 10, 11), np.full(8, 10.0), np.linspace(10, 0, 11)]
+        )
+        seq = Sequence.from_values(values)
+        rep = represent(seq, epsilon=0.3)
+        assert count_peaks(rep, theta=0.05) == 1
+
+    def test_skip_flats_disabled_breaks_plateau_peak(self):
+        values = np.concatenate(
+            [np.linspace(0, 10, 11), np.full(8, 10.0), np.linspace(10, 0, 11)]
+        )
+        rep = represent(Sequence.from_values(values), epsilon=0.3)
+        symbols = rep.symbol_string(theta=0.05)
+        if "0" in symbols:  # plateau produced a flat segment
+            assert len(find_peaks(rep, theta=0.05, skip_flats=False)) == 0
+
+    def test_consecutive_rises_coalesce(self):
+        # A convex rise split into two + segments, then a fall: one peak.
+        values = np.concatenate([np.linspace(0, 3, 10), np.linspace(3.5, 20, 10), np.linspace(19, 0, 12)])
+        rep = represent(Sequence.from_values(values), epsilon=0.4)
+        assert count_peaks(rep, theta=0.05) == 1
+
+
+class TestSymbolCounting:
+    @pytest.mark.parametrize(
+        "symbols,expected",
+        [
+            ("", 0),
+            ("+", 0),  # a rise alone is not a peak
+            ("+-", 1),
+            ("+-+-", 2),
+            ("+0-", 1),  # plateau at the top
+            ("0+000-0", 1),
+            ("-+-", 1),
+            ("++--", 1),
+            ("+-+", 1),
+            ("0-0", 0),
+        ],
+    )
+    def test_counts(self, symbols, expected):
+        assert count_peaks_in_symbols(symbols) == expected
+
+    def test_agrees_with_find_peaks_on_fever(self, fever_representation):
+        symbols = fever_representation.symbol_string(theta=0.05)
+        assert count_peaks_in_symbols(symbols) == count_peaks(fever_representation, theta=0.05)
+
+
+class TestPeakTable:
+    def test_table_rows_match_peaks(self, fever_representation):
+        rows = peak_table(fever_representation, theta=0.05)
+        assert len(rows) == 2
+        for row in rows:
+            # Rising segment precedes the descending one in time.
+            assert row.rise_end[0] <= row.descent_start[0]
+            assert row.rise_start[0] < row.rise_end[0]
+            assert row.descent_start[0] < row.descent_end[0]
+
+    def test_table_row_formatting(self, fever_representation):
+        rows = peak_table(fever_representation, theta=0.05)
+        line = rows[0].format()
+        assert "(" in line and ")" in line
+
+    def test_equations_present(self, fever_representation):
+        rows = peak_table(fever_representation, theta=0.05)
+        assert all("x" in row.rising_equation for row in rows)
+
+
+class TestRRIntervals:
+    def test_two_peaks_one_interval(self, fever_representation):
+        intervals = rr_intervals(fever_representation, theta=0.05)
+        assert len(intervals) == 1
+        assert intervals[0] == pytest.approx(12.0, abs=1.5)
+
+    def test_no_peaks_no_intervals(self):
+        seq = Sequence.from_values(np.linspace(0, 5, 20))
+        assert len(rr_intervals(represent(seq))) == 0
+
+    def test_intervals_positive(self, ecg_pair):
+        top, __ = ecg_pair
+        rep = InterpolationBreaker(10.0).represent(top, curve_kind="regression")
+        intervals = rr_intervals(rep, theta=2.0)
+        assert (intervals > 0).all()
+
+
+class TestRawPeakIndices:
+    def test_simple_triangle(self, triangle_sequence):
+        assert raw_peak_indices(triangle_sequence, prominence=2.0) == [10]
+
+    def test_prominence_filters_wiggles(self):
+        t = np.arange(60, dtype=float)
+        base = 10 * np.exp(-0.5 * ((t - 30) / 6) ** 2)
+        wiggle = 0.3 * np.sin(t)
+        seq = Sequence(t, base + wiggle)
+        big = raw_peak_indices(seq, prominence=3.0)
+        assert len(big) == 1
+        assert abs(big[0] - 30) <= 2
+        small = raw_peak_indices(seq, prominence=0.01)
+        assert len(small) > 1
+
+    def test_goalpost_ground_truth(self):
+        seq = goalpost_fever(noise=0.0)
+        peaks = raw_peak_indices(seq, prominence=2.0)
+        assert len(peaks) == 2
+
+    def test_flat_sequence_no_peaks(self):
+        seq = Sequence.from_values(np.full(20, 5.0))
+        assert raw_peak_indices(seq, prominence=0.1) == []
+
+    def test_plateau_peak_found_once(self):
+        values = np.concatenate([np.linspace(0, 5, 6), np.full(4, 5.0), np.linspace(5, 0, 6)])
+        peaks = raw_peak_indices(Sequence.from_values(values), prominence=1.0)
+        assert len(peaks) == 1

@@ -1,0 +1,153 @@
+"""Tests for FunctionSeriesRepresentation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import SequenceError
+from repro.core.representation import FunctionSeriesRepresentation
+from repro.core.segment import Segment
+from repro.core.sequence import Sequence
+from repro.functions.linear import LinearFunction
+
+
+def vee_sequence() -> Sequence:
+    """Down then up: two clean linear segments."""
+    values = np.concatenate([np.linspace(10.0, 0.0, 11), np.linspace(1.0, 10.0, 10)])
+    return Sequence.from_values(values, name="vee")
+
+
+class TestConstruction:
+    def test_from_breakpoints(self):
+        seq = vee_sequence()
+        rep = FunctionSeriesRepresentation.from_breakpoints(seq, [(0, 10), (11, 20)])
+        assert len(rep) == 2
+        assert rep.source_length == 21
+        assert rep.curve_kind == "regression"
+
+    def test_empty_rejected(self):
+        with pytest.raises(SequenceError):
+            FunctionSeriesRepresentation([])
+
+    def test_overlapping_segments_rejected(self):
+        seq = vee_sequence()
+        with pytest.raises(SequenceError):
+            FunctionSeriesRepresentation.from_breakpoints(seq, [(0, 10), (10, 20)])
+
+    def test_single_point_window_fits_constant(self):
+        seq = vee_sequence()
+        rep = FunctionSeriesRepresentation.from_breakpoints(seq, [(0, 0), (1, 20)])
+        assert rep[0].function.parameters()[0] == 0.0  # zero slope
+
+    def test_interpolation_kind(self):
+        seq = vee_sequence()
+        rep = FunctionSeriesRepresentation.from_breakpoints(
+            seq, [(0, 10), (11, 20)], curve_kind="interpolation"
+        )
+        # Interpolation lines hit the endpoints exactly.
+        assert rep[0].value_at(0.0) == pytest.approx(10.0)
+        assert rep[0].value_at(10.0) == pytest.approx(0.0)
+
+    def test_refit_changes_kind_not_breaks(self):
+        seq = vee_sequence()
+        rep = FunctionSeriesRepresentation.from_breakpoints(seq, [(0, 10), (11, 20)])
+        refit = rep.refit(seq, "interpolation")
+        assert refit.curve_kind == "interpolation"
+        assert refit.breakpoints() == rep.breakpoints()
+
+
+class TestGeometry:
+    def test_breakpoints(self):
+        seq = vee_sequence()
+        rep = FunctionSeriesRepresentation.from_breakpoints(seq, [(0, 10), (11, 20)])
+        assert rep.breakpoints() == [11]
+        assert rep.breakpoint_times() == [11.0]
+
+    def test_segment_at(self):
+        seq = vee_sequence()
+        rep = FunctionSeriesRepresentation.from_breakpoints(seq, [(0, 10), (11, 20)])
+        assert rep.segment_at(5.0).start_index == 0
+        assert rep.segment_at(15.0).start_index == 11
+
+    def test_segment_at_outside_rejected(self):
+        seq = vee_sequence()
+        rep = FunctionSeriesRepresentation.from_breakpoints(seq, [(0, 20)])
+        with pytest.raises(SequenceError):
+            rep.segment_at(-1.0)
+
+    def test_container_protocol(self):
+        seq = vee_sequence()
+        rep = FunctionSeriesRepresentation.from_breakpoints(seq, [(0, 10), (11, 20)])
+        assert len(list(iter(rep))) == 2
+        assert rep[0].start_index == 0
+        assert "segments=2" in repr(rep)
+
+
+class TestSymbols:
+    def test_symbol_string(self):
+        seq = vee_sequence()
+        rep = FunctionSeriesRepresentation.from_breakpoints(seq, [(0, 10), (11, 20)])
+        assert rep.symbol_string() == "-+"
+
+    def test_theta_flattens(self):
+        seq = vee_sequence()
+        rep = FunctionSeriesRepresentation.from_breakpoints(seq, [(0, 10), (11, 20)])
+        assert rep.symbol_string(theta=100.0) == "00"
+
+    def test_collapse_runs(self):
+        seq = Sequence.from_values(np.arange(30, dtype=float))
+        rep = FunctionSeriesRepresentation.from_breakpoints(seq, [(0, 9), (10, 19), (20, 29)])
+        assert rep.symbol_string() == "+++"
+        assert rep.symbol_string(collapse_runs=True) == "+"
+
+    def test_slopes_ordering(self):
+        seq = vee_sequence()
+        rep = FunctionSeriesRepresentation.from_breakpoints(seq, [(0, 10), (11, 20)])
+        slopes = rep.slopes()
+        assert slopes[0] < 0 < slopes[1]
+
+
+class TestReconstruction:
+    def test_interpolate_at(self):
+        seq = vee_sequence()
+        rep = FunctionSeriesRepresentation.from_breakpoints(
+            seq, [(0, 10), (11, 20)], curve_kind="interpolation"
+        )
+        assert rep.interpolate_at(5.0) == pytest.approx(5.0)
+
+    def test_reconstruct_close_to_source(self):
+        seq = vee_sequence()
+        rep = FunctionSeriesRepresentation.from_breakpoints(
+            seq, [(0, 10), (11, 20)], curve_kind="interpolation"
+        )
+        recon = rep.reconstruct()
+        assert recon.start_time == seq.start_time
+        assert recon.end_time == seq.end_time
+        # Linear data reconstructs essentially exactly.
+        assert rep.reconstruction_error(seq) < 1e-9
+
+    def test_reconstruction_error_positive_for_lossy_fit(self):
+        rng = np.random.default_rng(0)
+        seq = Sequence.from_values(rng.normal(0, 1, 40))
+        rep = FunctionSeriesRepresentation.from_breakpoints(seq, [(0, 39)])
+        assert rep.reconstruction_error(seq) > 0
+
+
+class TestStorageAccounting:
+    def test_paper_convention(self):
+        seq = vee_sequence()
+        rep = FunctionSeriesRepresentation.from_breakpoints(seq, [(0, 10), (11, 20)])
+        assert rep.parameter_count("paper") == 6  # 3 per segment
+        assert rep.compression_ratio("paper") == pytest.approx(21 / 6)
+
+    def test_full_convention_larger(self):
+        seq = vee_sequence()
+        rep = FunctionSeriesRepresentation.from_breakpoints(seq, [(0, 10), (11, 20)])
+        assert rep.parameter_count("full") > rep.parameter_count("paper")
+
+    def test_unknown_convention_rejected(self):
+        seq = vee_sequence()
+        rep = FunctionSeriesRepresentation.from_breakpoints(seq, [(0, 20)])
+        with pytest.raises(SequenceError):
+            rep.parameter_count("bogus")

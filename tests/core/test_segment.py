@@ -1,0 +1,87 @@
+"""Tests for Segment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import SequenceError
+from repro.core.segment import Segment
+from repro.core.sequence import Sequence
+from repro.functions.linear import LinearFunction
+
+
+def make_segment(slope=1.0, intercept=0.0, start=0, end=4):
+    return Segment(
+        function=LinearFunction(slope, intercept),
+        start_index=start,
+        end_index=end,
+        start_point=(float(start), slope * start + intercept),
+        end_point=(float(end), slope * end + intercept),
+    )
+
+
+class TestConstruction:
+    def test_basic(self):
+        seg = make_segment()
+        assert seg.point_count == 5
+        assert seg.duration == 4.0
+
+    def test_reversed_indices_rejected(self):
+        with pytest.raises(SequenceError):
+            Segment(LinearFunction(1, 0), 4, 2, (4.0, 4.0), (2.0, 2.0))
+
+    def test_reversed_times_rejected(self):
+        with pytest.raises(SequenceError):
+            Segment(LinearFunction(1, 0), 0, 2, (5.0, 0.0), (2.0, 2.0))
+
+    def test_single_point_segment(self):
+        seg = Segment(LinearFunction(0, 3.0), 2, 2, (2.0, 3.0), (2.0, 3.0))
+        assert seg.point_count == 1
+        assert seg.duration == 0.0
+
+
+class TestBehaviour:
+    def test_mean_slope_linear(self):
+        assert make_segment(slope=2.5).mean_slope() == pytest.approx(2.5)
+
+    def test_rising_falling_flat(self):
+        assert make_segment(slope=1.0).is_rising()
+        assert make_segment(slope=-1.0).is_falling()
+        assert make_segment(slope=0.0).is_flat()
+
+    def test_theta_reclassifies(self):
+        seg = make_segment(slope=0.05)
+        assert seg.is_rising(theta=0.0)
+        assert seg.is_flat(theta=0.1)
+        assert not seg.is_rising(theta=0.1)
+
+    def test_value_at_inside(self):
+        seg = make_segment(slope=2.0, intercept=1.0)
+        assert seg.value_at(2.0) == pytest.approx(5.0)
+
+    def test_value_at_outside_rejected(self):
+        with pytest.raises(SequenceError):
+            make_segment().value_at(100.0)
+
+
+class TestReconstruction:
+    def test_reconstruct_matches_function(self):
+        seg = make_segment(slope=3.0, intercept=-1.0)
+        recon = seg.reconstruct()
+        assert len(recon) == seg.point_count
+        expected = 3.0 * recon.times - 1.0
+        assert np.allclose(recon.values, expected)
+
+    def test_reconstruct_custom_density(self):
+        recon = make_segment().reconstruct(points_per_segment=11)
+        assert len(recon) == 11
+
+    def test_max_deviation_from_source(self):
+        seq = Sequence.from_values([0.0, 1.0, 2.5, 3.0, 4.0])
+        seg = Segment(LinearFunction(1.0, 0.0), 0, 4, (0.0, 0.0), (4.0, 4.0))
+        # Worst error is at index 2: |2.5 - 2.0| = 0.5
+        assert seg.max_deviation_from(seq) == pytest.approx(0.5)
+
+    def test_describe_contains_equation(self):
+        assert "f(t)=" in make_segment().describe()

@@ -1,0 +1,228 @@
+"""Tests for the Sequence data model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import SequenceError
+from repro.core.sequence import Sequence
+
+
+class TestConstruction:
+    def test_from_arrays(self):
+        seq = Sequence([0.0, 1.0, 2.0], [5.0, 6.0, 7.0])
+        assert len(seq) == 3
+        assert seq.start_time == 0.0
+        assert seq.end_time == 2.0
+
+    def test_from_values_uniform_grid(self):
+        seq = Sequence.from_values([1.0, 2.0, 3.0], start=10.0, step=0.5)
+        assert list(seq.times) == [10.0, 10.5, 11.0]
+
+    def test_from_pairs(self):
+        seq = Sequence.from_pairs([(0.0, 1.0), (1.0, 4.0)])
+        assert seq[1] == (1.0, 4.0)
+
+    def test_from_pairs_empty_rejected(self):
+        with pytest.raises(SequenceError):
+            Sequence.from_pairs([])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SequenceError):
+            Sequence([], [])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(SequenceError):
+            Sequence([0.0, 1.0], [1.0])
+
+    def test_nan_rejected(self):
+        with pytest.raises(SequenceError):
+            Sequence([0.0, 1.0], [1.0, float("nan")])
+
+    def test_infinite_time_rejected(self):
+        with pytest.raises(SequenceError):
+            Sequence([0.0, float("inf")], [1.0, 2.0])
+
+    def test_non_increasing_times_rejected(self):
+        with pytest.raises(SequenceError):
+            Sequence([0.0, 0.0], [1.0, 2.0])
+        with pytest.raises(SequenceError):
+            Sequence([1.0, 0.0], [1.0, 2.0])
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(SequenceError):
+            Sequence(np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_single_sample_allowed(self):
+        seq = Sequence([3.0], [4.0])
+        assert len(seq) == 1
+        assert seq.duration == 0.0
+
+
+class TestImmutability:
+    def test_times_not_writeable(self):
+        seq = Sequence([0.0, 1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            seq.times[0] = 99.0
+
+    def test_values_not_writeable(self):
+        seq = Sequence([0.0, 1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            seq.values[0] = 99.0
+
+    def test_source_array_mutation_does_not_leak(self):
+        times = np.array([0.0, 1.0])
+        values = np.array([1.0, 2.0])
+        seq = Sequence(times, values)
+        times[0] = -5.0
+        values[0] = -5.0
+        assert seq.times[0] == 0.0
+        assert seq.values[0] == 1.0
+
+
+class TestEqualityAndHash:
+    def test_equal_sequences(self):
+        a = Sequence([0.0, 1.0], [1.0, 2.0])
+        b = Sequence([0.0, 1.0], [1.0, 2.0], name="other-name")
+        assert a == b  # names do not participate in equality
+        assert hash(a) == hash(b)
+
+    def test_unequal_values(self):
+        a = Sequence([0.0, 1.0], [1.0, 2.0])
+        b = Sequence([0.0, 1.0], [1.0, 3.0])
+        assert a != b
+
+    def test_unequal_lengths(self):
+        a = Sequence([0.0, 1.0], [1.0, 2.0])
+        b = Sequence([0.0, 1.0, 2.0], [1.0, 2.0, 3.0])
+        assert a != b
+
+    def test_non_sequence_comparison(self):
+        assert Sequence([0.0], [1.0]) != "not a sequence"
+
+
+class TestAccessors:
+    def test_iteration_yields_pairs(self):
+        seq = Sequence([0.0, 1.0], [5.0, 6.0])
+        assert list(seq) == [(0.0, 5.0), (1.0, 6.0)]
+
+    def test_slice_returns_sequence(self):
+        seq = Sequence.from_values([1.0, 2.0, 3.0, 4.0])
+        sliced = seq[1:3]
+        assert isinstance(sliced, Sequence)
+        assert list(sliced.values) == [2.0, 3.0]
+
+    def test_empty_slice_rejected(self):
+        seq = Sequence.from_values([1.0, 2.0])
+        with pytest.raises(SequenceError):
+            seq[5:9]
+
+    def test_amplitude_range(self):
+        seq = Sequence.from_values([3.0, -1.0, 7.0])
+        assert seq.amplitude_range() == (-1.0, 7.0)
+
+    def test_mean_and_variance(self):
+        seq = Sequence.from_values([1.0, 2.0, 3.0])
+        assert seq.mean() == pytest.approx(2.0)
+        assert seq.variance() == pytest.approx(2.0 / 3.0)
+
+    def test_repr_contains_name(self):
+        seq = Sequence.from_values([1.0, 2.0], name="mylabel")
+        assert "mylabel" in repr(seq)
+
+
+class TestUniformity:
+    def test_uniform_grid_detected(self):
+        assert Sequence.from_values([1.0, 2.0, 3.0]).is_uniform()
+
+    def test_non_uniform_grid_detected(self):
+        seq = Sequence([0.0, 1.0, 3.0], [1.0, 2.0, 3.0])
+        assert not seq.is_uniform()
+
+    def test_sampling_step(self):
+        assert Sequence.from_values([1.0, 2.0], step=0.25).sampling_step() == 0.25
+
+    def test_sampling_step_non_uniform_rejected(self):
+        seq = Sequence([0.0, 1.0, 3.0], [1.0, 2.0, 3.0])
+        with pytest.raises(SequenceError):
+            seq.sampling_step()
+
+    def test_sampling_step_single_point_rejected(self):
+        with pytest.raises(SequenceError):
+            Sequence([0.0], [1.0]).sampling_step()
+
+
+class TestOperations:
+    def test_slice_time(self):
+        seq = Sequence.from_values([1.0, 2.0, 3.0, 4.0, 5.0])
+        window = seq.slice_time(1.0, 3.0)
+        assert list(window.values) == [2.0, 3.0, 4.0]
+
+    def test_slice_time_empty_window_rejected(self):
+        seq = Sequence.from_values([1.0, 2.0])
+        with pytest.raises(SequenceError):
+            seq.slice_time(10.0, 20.0)
+
+    def test_subsequence_inclusive(self):
+        seq = Sequence.from_values([1.0, 2.0, 3.0, 4.0])
+        sub = seq.subsequence(1, 2)
+        assert list(sub.values) == [2.0, 3.0]
+
+    def test_subsequence_bad_window_rejected(self):
+        seq = Sequence.from_values([1.0, 2.0])
+        with pytest.raises(SequenceError):
+            seq.subsequence(1, 0)
+        with pytest.raises(SequenceError):
+            seq.subsequence(0, 5)
+        with pytest.raises(SequenceError):
+            seq.subsequence(-1, 1)
+
+    def test_shifted_to_origin(self):
+        seq = Sequence([5.0, 6.0, 7.0], [1.0, 2.0, 3.0])
+        shifted = seq.shifted_to_origin()
+        assert shifted.start_time == 0.0
+        assert list(shifted.values) == [1.0, 2.0, 3.0]
+
+    def test_concatenate(self):
+        a = Sequence([0.0, 1.0], [1.0, 2.0])
+        b = Sequence([2.0, 3.0], [3.0, 4.0])
+        joined = a.concatenate(b)
+        assert len(joined) == 4
+        assert joined.end_time == 3.0
+
+    def test_concatenate_overlap_rejected(self):
+        a = Sequence([0.0, 2.0], [1.0, 2.0])
+        b = Sequence([1.0, 3.0], [3.0, 4.0])
+        with pytest.raises(SequenceError):
+            a.concatenate(b)
+
+    def test_insert_keeps_order(self):
+        seq = Sequence([0.0, 2.0], [1.0, 3.0])
+        inserted = seq.insert(1.0, 2.0)
+        assert list(inserted.times) == [0.0, 1.0, 2.0]
+        assert list(inserted.values) == [1.0, 2.0, 3.0]
+
+    def test_insert_duplicate_time_rejected(self):
+        seq = Sequence([0.0, 2.0], [1.0, 3.0])
+        with pytest.raises(SequenceError):
+            seq.insert(2.0, 9.0)
+
+    def test_interpolate_at_midpoint(self):
+        seq = Sequence([0.0, 2.0], [0.0, 4.0])
+        assert seq.interpolate_at(1.0) == pytest.approx(2.0)
+
+    def test_resample_preserves_endpoints(self):
+        seq = Sequence.from_values([0.0, 1.0, 4.0, 9.0])
+        resampled = seq.resample(7)
+        assert len(resampled) == 7
+        assert resampled.values[0] == pytest.approx(0.0)
+        assert resampled.values[-1] == pytest.approx(9.0)
+
+    def test_resample_too_few_points_rejected(self):
+        with pytest.raises(SequenceError):
+            Sequence.from_values([1.0, 2.0]).resample(1)
+
+    def test_with_name(self):
+        seq = Sequence.from_values([1.0, 2.0]).with_name("renamed")
+        assert seq.name == "renamed"

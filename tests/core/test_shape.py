@@ -1,0 +1,115 @@
+"""Tests for shape signatures (exemplar-side of generalized queries)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import QueryError
+from repro.core.shape import ShapeSignature, shape_signature
+from repro.core.transformations import AmplitudeScale, AmplitudeShift, TimeScale, TimeShift
+from repro.segmentation import InterpolationBreaker
+from repro.workloads import goalpost_fever, k_peak_sequence
+
+
+def signature_of(seq, theta=0.05, epsilon=0.5):
+    rep = InterpolationBreaker(epsilon).represent(seq, curve_kind="regression")
+    return shape_signature(rep, theta)
+
+
+class TestConstruction:
+    def test_two_peak_symbols(self):
+        sig = signature_of(goalpost_fever(noise=0.0))
+        assert sig.symbols.count("+") == 2
+        assert sig.symbols.count("-") == 2
+
+    def test_profiles_normalized(self):
+        sig = signature_of(goalpost_fever(noise=0.0))
+        assert sum(sig.duration_profile) == pytest.approx(1.0)
+        assert sum(sig.amplitude_profile) == pytest.approx(1.0)
+        assert len(sig.symbols) == len(sig.duration_profile) == len(sig.amplitude_profile)
+
+    def test_runs_collapsed(self):
+        sig = signature_of(goalpost_fever(noise=0.0))
+        for a, b in zip(sig.symbols, sig.symbols[1:]):
+            assert a != b  # no adjacent duplicates after collapsing
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(QueryError):
+            ShapeSignature("+-", (1.0,), (0.5, 0.5))
+
+
+class TestInvariance:
+    """The signature is the paper's equivalence-class fingerprint: exact
+    under shift / scale / dilation / contraction.
+
+    Two provisos, both the paper's own: slope *sign* is the
+    scale-invariant classifier (theta = 0 here; a fixed positive theta
+    is a unit-bearing threshold that time scaling legitimately crosses),
+    and amplitude scaling by k must scale the breaking tolerance by k
+    (or sequences are normalized first — Section 7)."""
+
+    @pytest.mark.parametrize(
+        "transform,epsilon",
+        [
+            (TimeShift(4.0), 0.5),
+            (AmplitudeShift(-7.0), 0.5),
+            (AmplitudeScale(2.0, baseline=98.0), 1.0),  # eps scaled with amplitude
+            (TimeScale(2.0), 0.5),
+            (TimeScale(0.5), 0.5),
+        ],
+        ids=["tshift", "ashift", "ascale", "dilate", "contract"],
+    )
+    def test_exact_invariance(self, transform, epsilon):
+        base = signature_of(goalpost_fever(noise=0.0), theta=0.0, epsilon=0.5)
+        moved = signature_of(transform(goalpost_fever(noise=0.0)), theta=0.0, epsilon=epsilon)
+        assert base.matches_symbols(moved)
+        assert base.duration_deviation(moved) == pytest.approx(0.0, abs=1e-9)
+        assert base.amplitude_deviation(moved) == pytest.approx(0.0, abs=1e-9)
+
+    def test_normalization_restores_invariance_at_fixed_epsilon(self):
+        """The paper's Section 7 route: z-normalize first, then one
+        epsilon fits all amplitude scalings."""
+        from repro.preprocessing import znormalize
+
+        base = signature_of(znormalize(goalpost_fever(noise=0.0)), theta=0.0, epsilon=0.1)
+        scaled = AmplitudeScale(3.7, baseline=98.0)(goalpost_fever(noise=0.0))
+        moved = signature_of(znormalize(scaled), theta=0.0, epsilon=0.1)
+        assert base.matches_symbols(moved)
+        assert base.duration_deviation(moved) == pytest.approx(0.0, abs=1e-6)
+
+    def test_different_structure_not_comparable(self):
+        two = signature_of(k_peak_sequence([6.0, 18.0], noise=0.0))
+        three = signature_of(k_peak_sequence([4.0, 12.0, 20.0], noise=0.0))
+        assert not two.matches_symbols(three)
+        with pytest.raises(QueryError):
+            two.duration_deviation(three)
+
+    def test_same_structure_different_proportions(self):
+        narrow = signature_of(k_peak_sequence([6.0, 18.0], widths=[1.0, 1.0], noise=0.0))
+        wide = signature_of(k_peak_sequence([6.0, 18.0], widths=[2.5, 2.5], noise=0.0))
+        if narrow.matches_symbols(wide):
+            assert narrow.duration_deviation(wide) > 0.0
+
+
+class TestDegenerateShapes:
+    def test_flat_sequence(self):
+        from repro.core.sequence import Sequence
+        import numpy as np
+
+        rep = InterpolationBreaker(0.5).represent(
+            Sequence.from_values(np.full(20, 3.0)), curve_kind="regression"
+        )
+        sig = shape_signature(rep, 0.05)
+        assert sig.symbols == "0"
+        assert sig.amplitude_profile == (0.0,)
+
+    def test_monotone_ramp(self):
+        from repro.core.sequence import Sequence
+        import numpy as np
+
+        rep = InterpolationBreaker(0.5).represent(
+            Sequence.from_values(np.linspace(0, 10, 20)), curve_kind="regression"
+        )
+        sig = shape_signature(rep, 0.05)
+        assert sig.symbols == "+"
+        assert sig.duration_profile == (1.0,)

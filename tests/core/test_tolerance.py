@@ -1,0 +1,61 @@
+"""Tests for per-dimension tolerances and match grading."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import QueryError
+from repro.core.tolerance import DimensionDeviation, MatchGrade, Tolerance, grade_deviations
+
+
+class TestTolerance:
+    def test_default_metric_is_absolute_difference(self):
+        tol = Tolerance("peak_count", 1.0)
+        dev = tol.deviation(2.0, 3.0)
+        assert dev.amount == 1.0
+        assert dev.dimension == "peak_count"
+        assert dev.bound == 1.0
+
+    def test_custom_metric(self):
+        tol = Tolerance("ratio", 0.5, metric=lambda a, b: abs(a - b) / max(abs(a), 1e-9))
+        dev = tol.deviation(10.0, 11.0)
+        assert dev.amount == pytest.approx(0.1)
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(QueryError):
+            Tolerance("x", -1.0)
+
+
+class TestDimensionDeviation:
+    def test_within(self):
+        assert DimensionDeviation("d", 0.5, 1.0).within
+        assert not DimensionDeviation("d", 1.5, 1.0).within
+
+    def test_boundary_is_within(self):
+        assert DimensionDeviation("d", 1.0, 1.0).within
+
+    def test_exact(self):
+        assert DimensionDeviation("d", 0.0, 1.0).exact
+        assert not DimensionDeviation("d", 0.1, 1.0).exact
+
+
+class TestGrading:
+    def test_all_zero_is_exact(self):
+        devs = [DimensionDeviation("a", 0.0, 1.0), DimensionDeviation("b", 0.0, 0.0)]
+        assert grade_deviations(devs) is MatchGrade.EXACT
+
+    def test_within_tolerance_is_approximate(self):
+        devs = [DimensionDeviation("a", 0.5, 1.0)]
+        assert grade_deviations(devs) is MatchGrade.APPROXIMATE
+
+    def test_any_violation_rejects(self):
+        devs = [DimensionDeviation("a", 0.0, 1.0), DimensionDeviation("b", 2.0, 1.0)]
+        assert grade_deviations(devs) is MatchGrade.REJECT
+
+    def test_empty_is_exact(self):
+        # No constrained dimensions: trivially a member of the class.
+        assert grade_deviations([]) is MatchGrade.EXACT
+
+    def test_mixed_zero_and_small(self):
+        devs = [DimensionDeviation("a", 0.0, 1.0), DimensionDeviation("b", 0.2, 1.0)]
+        assert grade_deviations(devs) is MatchGrade.APPROXIMATE

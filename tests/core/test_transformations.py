@@ -1,0 +1,138 @@
+"""Tests for feature-preserving transformations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import TransformationError
+from repro.core.sequence import Sequence
+from repro.core.transformations import (
+    AmplitudeScale,
+    AmplitudeShift,
+    BoundedNoise,
+    Compose,
+    TimeScale,
+    TimeShift,
+    contraction,
+    dilation,
+)
+
+
+@pytest.fixture
+def base_sequence():
+    return Sequence.from_values([1.0, 3.0, 2.0, 5.0, 4.0], name="base")
+
+
+class TestTimeShift:
+    def test_shifts_times_only(self, base_sequence):
+        out = TimeShift(2.5)(base_sequence)
+        assert np.allclose(out.times, base_sequence.times + 2.5)
+        assert np.array_equal(out.values, base_sequence.values)
+
+    def test_negative_shift(self, base_sequence):
+        out = TimeShift(-1.0)(base_sequence)
+        assert out.start_time == pytest.approx(-1.0)
+
+    def test_preserves_peaks_flag(self):
+        assert TimeShift(1.0).preserves_peaks
+
+
+class TestAmplitudeShift:
+    def test_shifts_values_only(self, base_sequence):
+        out = AmplitudeShift(-2.0)(base_sequence)
+        assert np.allclose(out.values, base_sequence.values - 2.0)
+        assert np.array_equal(out.times, base_sequence.times)
+
+
+class TestAmplitudeScale:
+    def test_scales_about_baseline(self, base_sequence):
+        out = AmplitudeScale(2.0, baseline=1.0)(base_sequence)
+        assert np.allclose(out.values, 1.0 + 2.0 * (base_sequence.values - 1.0))
+
+    def test_zero_factor_rejected(self):
+        with pytest.raises(TransformationError):
+            AmplitudeScale(0.0)
+
+    def test_negative_factor_rejected(self):
+        with pytest.raises(TransformationError):
+            AmplitudeScale(-1.0)
+
+
+class TestTimeScale:
+    def test_dilation_stretches(self, base_sequence):
+        out = TimeScale(2.0)(base_sequence)
+        assert out.duration == pytest.approx(2.0 * base_sequence.duration)
+
+    def test_contraction_shrinks(self, base_sequence):
+        out = TimeScale(0.5)(base_sequence)
+        assert out.duration == pytest.approx(0.5 * base_sequence.duration)
+
+    def test_origin_anchoring(self):
+        seq = Sequence([10.0, 11.0, 12.0], [0.0, 1.0, 2.0])
+        out = TimeScale(2.0, origin=10.0)(seq)
+        assert out.start_time == pytest.approx(10.0)
+        assert out.end_time == pytest.approx(14.0)
+
+    def test_non_positive_factor_rejected(self):
+        with pytest.raises(TransformationError):
+            TimeScale(0.0)
+
+    def test_dilation_helper_validates(self):
+        assert dilation(2.0).factor == 2.0
+        with pytest.raises(TransformationError):
+            dilation(0.9)
+
+    def test_contraction_helper_validates(self):
+        assert contraction(0.5).factor == 0.5
+        with pytest.raises(TransformationError):
+            contraction(1.5)
+        with pytest.raises(TransformationError):
+            contraction(0.0)
+
+
+class TestBoundedNoise:
+    def test_noise_within_bound(self, base_sequence):
+        out = BoundedNoise(0.2, seed=1)(base_sequence)
+        assert np.abs(out.values - base_sequence.values).max() <= 0.2
+
+    def test_deterministic_by_seed(self, base_sequence):
+        a = BoundedNoise(0.2, seed=5)(base_sequence)
+        b = BoundedNoise(0.2, seed=5)(base_sequence)
+        assert a == b
+
+    def test_different_seeds_differ(self, base_sequence):
+        a = BoundedNoise(0.2, seed=5)(base_sequence)
+        b = BoundedNoise(0.2, seed=6)(base_sequence)
+        assert a != b
+
+    def test_not_peak_preserving(self):
+        assert not BoundedNoise(1.0).preserves_peaks
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(TransformationError):
+            BoundedNoise(-0.1)
+
+
+class TestCompose:
+    def test_applies_in_order(self, base_sequence):
+        composed = Compose([TimeShift(1.0), TimeScale(2.0, origin=0.0)])
+        out = composed(base_sequence)
+        # shift first, then scale: t -> 2*(t+1)
+        assert np.allclose(out.times, 2.0 * (base_sequence.times + 1.0))
+
+    def test_then_chains(self, base_sequence):
+        pipeline = TimeShift(1.0).then(AmplitudeShift(2.0)).then(TimeScale(2.0))
+        out = pipeline(base_sequence)
+        assert out.values[0] == pytest.approx(base_sequence.values[0] + 2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(TransformationError):
+            Compose([])
+
+    def test_peak_preservation_is_conjunction(self):
+        assert Compose([TimeShift(1.0), TimeScale(2.0)]).preserves_peaks
+        assert not Compose([TimeShift(1.0), BoundedNoise(1.0)]).preserves_peaks
+
+    def test_repr_lists_steps(self):
+        assert "TimeShift" in repr(Compose([TimeShift(1.0)]))

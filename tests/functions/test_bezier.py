@@ -1,0 +1,93 @@
+"""Tests for cubic Bézier curves and Schneider fitting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import FittingError
+from repro.core.sequence import Sequence
+from repro.functions.bezier import CubicBezier, fit_bezier
+
+
+def straight_controls():
+    return np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0], [3.0, 3.0]])
+
+
+class TestCubicBezier:
+    def test_needs_four_points(self):
+        with pytest.raises(FittingError):
+            CubicBezier(np.zeros((3, 2)))
+
+    def test_endpoints_interpolated(self):
+        curve = CubicBezier(straight_controls())
+        assert np.allclose(curve.point_at(0.0), [0.0, 0.0])
+        assert np.allclose(curve.point_at(1.0), [3.0, 3.0])
+
+    def test_straight_controls_give_line(self):
+        curve = CubicBezier(straight_controls())
+        for u in np.linspace(0, 1, 9):
+            x, y = curve.point_at(float(u))
+            assert y == pytest.approx(x, abs=1e-9)
+
+    def test_time_series_evaluation(self):
+        curve = CubicBezier(straight_controls())
+        assert curve(1.5) == pytest.approx(1.5, abs=1e-6)
+        out = curve(np.array([0.5, 2.5]))
+        assert np.allclose(out, [0.5, 2.5], atol=1e-6)
+
+    def test_evaluation_clamps_outside(self):
+        curve = CubicBezier(straight_controls())
+        assert curve(-1.0) == pytest.approx(0.0)
+        assert curve(10.0) == pytest.approx(3.0)
+
+    def test_derivative_of_line_is_one(self):
+        curve = CubicBezier(straight_controls())
+        assert curve.derivative_at(1.5) == pytest.approx(1.0, abs=1e-6)
+
+    def test_parameters_roundtrip(self):
+        curve = CubicBezier(straight_controls())
+        assert len(curve.parameters()) == 8
+
+    def test_tangent_at_endpoints(self):
+        curve = CubicBezier(straight_controls())
+        tan = curve.tangent_at(0.0)
+        assert tan[0] == pytest.approx(3.0)  # 3 * (P1 - P0)
+        assert tan[1] == pytest.approx(3.0)
+
+
+class TestFitBezier:
+    def test_two_points_chord(self):
+        seq = Sequence([0.0, 4.0], [0.0, 8.0])
+        curve = fit_bezier(seq)
+        assert curve(2.0) == pytest.approx(4.0, abs=1e-6)
+
+    def test_single_point_rejected(self):
+        with pytest.raises(FittingError):
+            fit_bezier(Sequence([0.0], [1.0]))
+
+    def test_fits_smooth_arc_tightly(self):
+        t = np.linspace(0, np.pi, 30)
+        seq = Sequence(t, np.sin(t))
+        curve = fit_bezier(seq)
+        assert curve.max_deviation(seq) < 0.05
+
+    def test_fits_cubic_exactly_shaped_data(self):
+        t = np.linspace(0, 1, 25)
+        seq = Sequence(t, t**3)
+        curve = fit_bezier(seq)
+        assert curve.max_deviation(seq) < 0.02
+
+    def test_endpoint_anchoring(self):
+        t = np.linspace(0, 2, 20)
+        seq = Sequence(t, np.cos(t))
+        curve = fit_bezier(seq)
+        assert float(curve.control_points[0, 0]) == pytest.approx(0.0)
+        assert float(curve.control_points[3, 0]) == pytest.approx(2.0)
+
+    def test_reparameterization_improves_or_keeps(self):
+        t = np.linspace(0, np.pi, 40)
+        seq = Sequence(t, np.sin(t) + 0.1 * np.sin(3 * t))
+        base = fit_bezier(seq, reparameterize_iterations=0)
+        refined = fit_bezier(seq, reparameterize_iterations=4)
+        assert refined.max_deviation(seq) <= base.max_deviation(seq) + 1e-9

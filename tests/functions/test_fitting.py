@@ -1,0 +1,63 @@
+"""Tests for the curve-fitter registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import FittingError
+from repro.core.sequence import Sequence
+from repro.functions.fitting import available_kinds, get_fitter, register_fitter
+from repro.functions.linear import LinearFunction
+
+
+@pytest.fixture
+def seq():
+    return Sequence.from_values([1.0, 2.0, 4.0, 8.0, 16.0])
+
+
+class TestRegistry:
+    def test_builtin_kinds_resolve(self, seq):
+        for kind in ("interpolation", "regression", "bezier", "sinusoid"):
+            assert callable(get_fitter(kind))
+
+    def test_poly_kind_parsing(self, seq):
+        fitter = get_fitter("poly:2")
+        fitted = fitter(seq)
+        assert fitted.family == "poly"
+
+    def test_poly_bad_degree_rejected(self):
+        with pytest.raises(FittingError):
+            get_fitter("poly:x")
+        with pytest.raises(FittingError):
+            get_fitter("poly:-1")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FittingError):
+            get_fitter("splines")
+
+    def test_available_kinds_mentions_poly(self):
+        kinds = available_kinds()
+        assert "interpolation" in kinds
+        assert "poly:<degree>" in kinds
+
+    def test_register_custom(self, seq):
+        def constant_fitter(sequence):
+            return LinearFunction(0.0, float(sequence.values.mean()))
+
+        register_fitter("test-constant", constant_fitter)
+        try:
+            fitted = get_fitter("test-constant")(seq)
+            assert fitted.slope == 0.0
+        finally:
+            # Clean up the global registry for other tests.
+            from repro.functions import fitting
+
+            del fitting._REGISTRY["test-constant"]
+
+    def test_register_duplicate_rejected(self):
+        with pytest.raises(FittingError):
+            register_fitter("regression", lambda s: None)
+
+    def test_register_poly_prefix_rejected(self):
+        with pytest.raises(FittingError):
+            register_fitter("poly:9", lambda s: None)

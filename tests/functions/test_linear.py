@@ -1,0 +1,106 @@
+"""Tests for linear functions and their fitters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import FittingError
+from repro.core.sequence import Sequence
+from repro.functions.linear import LinearFunction, fit_interpolation_line, fit_regression_line
+
+
+class TestLinearFunction:
+    def test_evaluation(self):
+        f = LinearFunction(2.0, 1.0)
+        assert f(3.0) == 7.0
+        assert np.allclose(f(np.array([0.0, 1.0])), [1.0, 3.0])
+
+    def test_derivative_constant(self):
+        f = LinearFunction(2.0, 1.0)
+        assert f.derivative_at(100.0) == 2.0
+        assert np.allclose(f.derivative_at(np.array([0.0, 1.0])), [2.0, 2.0])
+
+    def test_parameters_and_key(self):
+        f = LinearFunction(2.0, 1.0)
+        assert f.parameters() == (2.0, 1.0)
+        assert f.lexicographic_key() == (2.0, 1.0)
+        assert f.parameter_count == 2
+
+    def test_ordering_by_slope_first(self):
+        assert LinearFunction(1.0, 100.0) < LinearFunction(2.0, 0.0)
+        assert LinearFunction(1.0, 0.0) < LinearFunction(1.0, 1.0)
+
+    def test_equality_and_hash(self):
+        assert LinearFunction(1.0, 2.0) == LinearFunction(1.0, 2.0)
+        assert hash(LinearFunction(1.0, 2.0)) == hash(LinearFunction(1.0, 2.0))
+        assert LinearFunction(1.0, 2.0) != LinearFunction(1.0, 3.0)
+
+    def test_shifted_identity(self):
+        f = LinearFunction(2.0, 1.0)
+        g = f.shifted(3.0)
+        for t in (0.0, 1.5, -2.0):
+            assert g(t) == pytest.approx(f(t + 3.0))
+
+    def test_format_equation(self):
+        assert LinearFunction(0.94, 97.66).format_equation() == "0.94x+97.7"
+        assert "-" in LinearFunction(1.0, -5.0).format_equation()
+
+    def test_mean_slope_equals_slope(self):
+        f = LinearFunction(3.0, 0.0)
+        assert f.mean_slope(0.0, 10.0) == 3.0
+        assert f.mean_slope(5.0, 5.0) == 3.0  # degenerate span -> derivative
+
+
+class TestInterpolationFit:
+    def test_passes_through_endpoints(self):
+        seq = Sequence([0.0, 1.0, 2.0], [5.0, 9.0, 7.0])
+        f = fit_interpolation_line(seq)
+        assert f(0.0) == pytest.approx(5.0)
+        assert f(2.0) == pytest.approx(7.0)
+
+    def test_single_point_rejected(self):
+        with pytest.raises(FittingError):
+            fit_interpolation_line(Sequence([0.0], [1.0]))
+
+    def test_extremum_is_farthest(self):
+        # The property the breaker relies on: for a vee, the apex is the
+        # point of maximum deviation from the endpoint chord.
+        values = np.concatenate([np.linspace(0, 10, 11), np.linspace(9, 0, 10)])
+        seq = Sequence.from_values(values)
+        f = fit_interpolation_line(seq)
+        assert f.argmax_deviation(seq) == 10
+
+
+class TestRegressionFit:
+    def test_exact_on_linear_data(self):
+        seq = Sequence([0.0, 1.0, 2.0, 3.0], [1.0, 3.0, 5.0, 7.0])
+        f = fit_regression_line(seq)
+        assert f.slope == pytest.approx(2.0)
+        assert f.intercept == pytest.approx(1.0)
+
+    def test_least_squares_optimality(self):
+        rng = np.random.default_rng(3)
+        seq = Sequence.from_values(rng.normal(0, 1, 50))
+        f = fit_regression_line(seq)
+        base_sse = float(np.sum(f.residuals(seq) ** 2))
+        for ds, di in [(0.01, 0.0), (-0.01, 0.0), (0.0, 0.01), (0.0, -0.01)]:
+            perturbed = LinearFunction(f.slope + ds, f.intercept + di)
+            assert float(np.sum(perturbed.residuals(seq) ** 2)) >= base_sse
+
+    def test_single_point_constant(self):
+        f = fit_regression_line(Sequence([5.0], [42.0]))
+        assert f.slope == 0.0
+        assert f(99.0) == 42.0
+
+    def test_residual_mean_zero(self):
+        rng = np.random.default_rng(4)
+        seq = Sequence.from_values(rng.normal(5, 2, 30))
+        f = fit_regression_line(seq)
+        assert float(f.residuals(seq).mean()) == pytest.approx(0.0, abs=1e-9)
+
+    def test_rmse_leq_max_deviation(self):
+        rng = np.random.default_rng(5)
+        seq = Sequence.from_values(rng.normal(0, 1, 30))
+        f = fit_regression_line(seq)
+        assert f.rmse(seq) <= f.max_deviation(seq) + 1e-12

@@ -1,0 +1,94 @@
+"""Tests for the polynomial family."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import FittingError
+from repro.core.sequence import Sequence
+from repro.functions.polynomial import PolynomialFunction, fit_polynomial
+
+
+class TestPolynomialFunction:
+    def test_evaluation_highest_first(self):
+        p = PolynomialFunction((1.0, -2.0, 3.0))  # t^2 - 2t + 3
+        assert p(0.0) == 3.0
+        assert p(2.0) == 3.0
+
+    def test_leading_zeros_normalized(self):
+        p = PolynomialFunction((0.0, 0.0, 1.0, 5.0))
+        assert p.degree == 1
+        assert p.coefficients == (1.0, 5.0)
+
+    def test_constant_keeps_single_zero(self):
+        p = PolynomialFunction((0.0,))
+        assert p.degree == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(FittingError):
+            PolynomialFunction(())
+
+    def test_derivative(self):
+        p = PolynomialFunction((1.0, -2.0, 3.0))
+        assert p.derivative_at(1.0) == pytest.approx(0.0)  # 2t - 2 at t=1
+        d = p.derivative()
+        assert d.coefficients == (2.0, -2.0)
+
+    def test_derivative_of_constant_is_zero(self):
+        assert PolynomialFunction((5.0,)).derivative().coefficients == (0.0,)
+
+    def test_real_roots(self):
+        p = PolynomialFunction((1.0, 0.0, -4.0))  # t^2 - 4
+        assert p.real_roots() == pytest.approx([-2.0, 2.0])
+
+    def test_complex_roots_filtered(self):
+        p = PolynomialFunction((1.0, 0.0, 4.0))  # t^2 + 4: no real roots
+        assert p.real_roots() == []
+
+    def test_extrema_in_window(self):
+        # t^3 - 3t has critical points at ±1.
+        p = PolynomialFunction((1.0, 0.0, -3.0, 0.0))
+        assert p.extrema_in(-2.0, 2.0) == pytest.approx([-1.0, 1.0])
+        assert p.extrema_in(0.0, 2.0) == pytest.approx([1.0])
+
+    def test_lexicographic_degree_first(self):
+        quadratic = PolynomialFunction((1.0, 0.0, 0.0))
+        line = PolynomialFunction((100.0, 100.0))
+        assert line < quadratic  # degree dominates coefficients
+
+
+class TestFitPolynomial:
+    def test_exact_quadratic_recovery(self):
+        t = np.linspace(0, 5, 20)
+        seq = Sequence(t, 2.0 * t**2 - 3.0 * t + 1.0)
+        p = fit_polynomial(seq, 2)
+        assert p.max_deviation(seq) < 1e-8
+        assert p.coefficients == pytest.approx((2.0, -3.0, 1.0), abs=1e-8)
+
+    def test_degree_capped_by_points(self):
+        seq = Sequence([0.0, 1.0], [1.0, 2.0])
+        p = fit_polynomial(seq, 5)
+        assert p.degree <= 1
+
+    def test_degree_zero_is_mean(self):
+        seq = Sequence.from_values([1.0, 2.0, 3.0])
+        p = fit_polynomial(seq, 0)
+        assert p(0.0) == pytest.approx(2.0)
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(FittingError):
+            fit_polynomial(Sequence.from_values([1.0, 2.0]), -1)
+
+    def test_conditioning_far_from_origin(self):
+        # Fitting far from t=0 must not blow up numerically.
+        t = np.linspace(10_000.0, 10_010.0, 50)
+        seq = Sequence(t, 0.5 * (t - 10_005.0) ** 2)
+        p = fit_polynomial(seq, 2)
+        assert p.max_deviation(seq) < 1e-4
+
+    def test_cubic_on_cubic_data(self):
+        t = np.linspace(-2, 2, 30)
+        seq = Sequence(t, t**3 - t)
+        p = fit_polynomial(seq, 3)
+        assert p.max_deviation(seq) < 1e-8

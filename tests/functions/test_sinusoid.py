@@ -1,0 +1,77 @@
+"""Tests for the sinusoid family."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import FittingError
+from repro.core.sequence import Sequence
+from repro.functions.sinusoid import Sinusoid, fit_sinusoid
+
+
+class TestSinusoid:
+    def test_evaluation(self):
+        s = Sinusoid(2.0, 0.25, 0.0, 1.0)  # period 4
+        assert s(0.0) == pytest.approx(1.0)
+        assert s(1.0) == pytest.approx(3.0)  # sin(pi/2) = 1 -> 2*1 + 1
+
+    def test_derivative(self):
+        s = Sinusoid(1.0, 1.0, 0.0, 0.0)
+        # derivative at 0: A * 2*pi*f * cos(0) = 2*pi
+        assert s.derivative_at(0.0) == pytest.approx(2.0 * np.pi)
+
+    def test_phase_normalized(self):
+        s = Sinusoid(1.0, 1.0, 7.0)
+        assert 0.0 <= s.phase < 2.0 * np.pi
+
+    def test_negative_frequency_rejected(self):
+        with pytest.raises(FittingError):
+            Sinusoid(1.0, -1.0, 0.0)
+
+    def test_period(self):
+        assert Sinusoid(1.0, 0.5, 0.0).period() == 2.0
+        assert Sinusoid(1.0, 0.0, 0.0).period() == float("inf")
+
+    def test_lexicographic_amplitude_first(self):
+        a = Sinusoid(1.0, 100.0, 0.0)
+        b = Sinusoid(2.0, 1.0, 0.0)
+        assert a < b
+
+
+class TestFitSinusoid:
+    def test_recovers_known_signal(self):
+        t = np.arange(200, dtype=float)
+        true = Sinusoid(3.0, 0.05, 1.2, 10.0)
+        seq = Sequence(t, true.sample(t))
+        fitted = fit_sinusoid(seq)
+        assert fitted.max_deviation(seq) < 0.05
+        assert fitted.frequency == pytest.approx(0.05, rel=0.05)
+        assert fitted.amplitude == pytest.approx(3.0, rel=0.05)
+        assert fitted.offset == pytest.approx(10.0, abs=0.1)
+
+    def test_noisy_recovery(self):
+        rng = np.random.default_rng(8)
+        t = np.arange(256, dtype=float)
+        clean = 2.0 * np.sin(2 * np.pi * t / 32 + 0.5)
+        seq = Sequence(t, clean + rng.normal(0, 0.1, len(t)))
+        fitted = fit_sinusoid(seq)
+        assert fitted.frequency == pytest.approx(1.0 / 32.0, rel=0.05)
+
+    def test_constant_degenerates(self):
+        seq = Sequence.from_values(np.full(16, 7.0))
+        fitted = fit_sinusoid(seq)
+        assert fitted.amplitude == 0.0
+        assert fitted(3.0) == pytest.approx(7.0)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(FittingError):
+            fit_sinusoid(Sequence.from_values([1.0, 2.0, 3.0]))
+
+    def test_non_uniform_input_handled(self):
+        rng = np.random.default_rng(9)
+        t = np.sort(rng.uniform(0, 100, 120))
+        t = np.unique(t)
+        seq = Sequence(t, np.sin(2 * np.pi * t / 25.0))
+        fitted = fit_sinusoid(seq)
+        assert fitted.rmse(seq) < 0.2

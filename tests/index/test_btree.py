@@ -1,0 +1,170 @@
+"""Tests for the B-tree, including model-based property tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import IndexError_
+from repro.index.btree import BTree
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = BTree()
+        assert len(tree) == 0
+        assert 5 not in tree
+        assert tree.get(5) is None
+        assert tree.get(5, "fallback") == "fallback"
+
+    def test_insert_and_get(self):
+        tree = BTree()
+        tree.insert(3, "c")
+        tree.insert(1, "a")
+        tree.insert(2, "b")
+        assert len(tree) == 3
+        assert tree.get(1) == "a"
+        assert tree.get(2) == "b"
+        assert tree.get(3) == "c"
+
+    def test_overwrite_keeps_size(self):
+        tree = BTree()
+        tree.insert(1, "a")
+        tree.insert(1, "z")
+        assert len(tree) == 1
+        assert tree.get(1) == "z"
+
+    def test_setdefault(self):
+        tree = BTree()
+        bucket = tree.setdefault(7, list)
+        bucket.append("x")
+        assert tree.setdefault(7, list) == ["x"]
+
+    def test_min_degree_validation(self):
+        with pytest.raises(IndexError_):
+            BTree(min_degree=1)
+
+    def test_items_sorted(self):
+        tree = BTree(min_degree=2)
+        for key in [9, 3, 7, 1, 5, 8, 2, 6, 4, 0]:
+            tree.insert(key, key * 10)
+        assert [k for k, __ in tree.items()] == list(range(10))
+        assert [v for __, v in tree.items()] == [k * 10 for k in range(10)]
+
+
+class TestSplitsAndHeight:
+    def test_many_inserts_stay_balanced(self):
+        tree = BTree(min_degree=2)
+        for key in range(200):
+            tree.insert(key, key)
+        tree.check_invariants()
+        assert tree.height() <= 8  # log-ish for t=2
+
+    def test_descending_inserts(self):
+        tree = BTree(min_degree=3)
+        for key in reversed(range(150)):
+            tree.insert(key, key)
+        tree.check_invariants()
+        assert [k for k, __ in tree.items()] == list(range(150))
+
+
+class TestRange:
+    @pytest.fixture
+    def tree(self):
+        tree = BTree(min_degree=2)
+        for key in range(0, 100, 3):  # 0, 3, 6, ..., 99
+            tree.insert(key, f"v{key}")
+        return tree
+
+    def test_inner_range(self, tree):
+        assert [k for k, __ in tree.range(10, 20)] == [12, 15, 18]
+
+    def test_inclusive_bounds(self, tree):
+        assert [k for k, __ in tree.range(12, 18)] == [12, 15, 18]
+
+    def test_full_range(self, tree):
+        assert len(list(tree.range(-100, 1000))) == len(tree)
+
+    def test_empty_range(self, tree):
+        assert list(tree.range(13, 14)) == []
+        assert list(tree.range(200, 300)) == []
+
+    def test_range_matches_filter(self, tree):
+        everything = dict(tree.items())
+        lo, hi = 21, 60
+        expected = sorted(k for k in everything if lo <= k <= hi)
+        assert [k for k, __ in tree.range(lo, hi)] == expected
+
+
+class TestDelete:
+    def test_delete_leaf_key(self):
+        tree = BTree(min_degree=2)
+        for key in range(20):
+            tree.insert(key, key)
+        tree.delete(7)
+        assert 7 not in tree
+        assert len(tree) == 19
+        tree.check_invariants()
+
+    def test_delete_all(self):
+        tree = BTree(min_degree=2)
+        keys = list(range(50))
+        for key in keys:
+            tree.insert(key, key)
+        for key in keys:
+            tree.delete(key)
+            tree.check_invariants()
+        assert len(tree) == 0
+
+    def test_delete_missing_rejected(self):
+        tree = BTree()
+        tree.insert(1, "a")
+        with pytest.raises(IndexError_):
+            tree.delete(99)
+
+    def test_delete_interleaved_with_insert(self):
+        tree = BTree(min_degree=2)
+        for key in range(30):
+            tree.insert(key, key)
+        for key in range(0, 30, 2):
+            tree.delete(key)
+        for key in range(100, 110):
+            tree.insert(key, key)
+        tree.check_invariants()
+        expected = sorted(set(range(1, 30, 2)) | set(range(100, 110)))
+        assert [k for k, __ in tree.items()] == expected
+
+
+class TestModelBased:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["insert", "delete"]), st.integers(min_value=0, max_value=50)),
+            max_size=120,
+        ),
+        st.integers(min_value=2, max_value=4),
+    )
+    def test_against_dict_model(self, operations, degree):
+        tree = BTree(min_degree=degree)
+        model: dict[int, int] = {}
+        for op, key in operations:
+            if op == "insert":
+                tree.insert(key, key * 2)
+                model[key] = key * 2
+            elif key in model:
+                tree.delete(key)
+                del model[key]
+        tree.check_invariants()
+        assert len(tree) == len(model)
+        assert dict(tree.items()) == model
+        for key in range(51):
+            assert tree.get(key) == model.get(key)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), unique=True, max_size=80))
+    def test_float_keys_sorted(self, keys):
+        tree = BTree(min_degree=3)
+        for key in keys:
+            tree.insert(key, None)
+        assert [k for k, __ in tree.items()] == sorted(keys)

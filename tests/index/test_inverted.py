@@ -1,0 +1,116 @@
+"""Tests for the inverted-file index (paper Figure 10)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import IndexError_
+from repro.index.inverted import InvertedFileIndex, Posting
+
+
+class TestBasics:
+    def test_add_and_query(self):
+        index = InvertedFileIndex()
+        index.add(135.0, sequence_id=1)
+        index.add(175.0, sequence_id=1)
+        index.add(135.0, sequence_id=2)
+        assert index.sequences_near(135.0, 0.0) == [1, 2]
+        assert index.sequences_near(175.0, 0.0) == [1]
+        assert index.sequences_near(300.0, 10.0) == []
+
+    def test_paper_query_shape(self):
+        """The Section 5.2 example: RR = 135 ± 5 finds the right ECG."""
+        index = InvertedFileIndex()
+        index.add_all([150.0, 150.0, 150.0], sequence_id=0)  # steady rhythm
+        index.add_all([115.0, 135.0, 120.0], sequence_id=1)  # paper's bottom ECG
+        assert index.sequences_near(135.0, 5.0) == [1]
+
+    def test_postings_sorted_by_value(self):
+        index = InvertedFileIndex(bucket_width=10.0)
+        for v in [19.0, 12.0, 15.0, 11.0]:
+            index.add(v, sequence_id=int(v))
+        postings = list(index.postings_in_range(10.0, 20.0))
+        values = [p.value for p in postings]
+        assert values == sorted(values)
+
+    def test_positions_recorded(self):
+        index = InvertedFileIndex()
+        index.add_all([100.0, 110.0, 120.0], sequence_id=5)
+        postings = list(index.postings_in_range(0.0, 200.0))
+        assert [(p.sequence_id, p.position) for p in postings] == [(5, 0), (5, 1), (5, 2)]
+
+    def test_len_counts_postings(self):
+        index = InvertedFileIndex()
+        index.add_all([1.0, 2.0, 3.0], sequence_id=0)
+        assert len(index) == 3
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(IndexError_):
+            InvertedFileIndex(bucket_width=0.0)
+        index = InvertedFileIndex()
+        with pytest.raises(IndexError_):
+            index.sequences_near(5.0, -1.0)
+
+    def test_empty_range(self):
+        index = InvertedFileIndex()
+        index.add(5.0, 0)
+        assert list(index.postings_in_range(10.0, 1.0)) == []
+
+
+class TestBucketing:
+    def test_bucket_boundaries_inclusive(self):
+        index = InvertedFileIndex(bucket_width=10.0)
+        index.add(10.0, 1)
+        index.add(19.999, 2)
+        index.add(20.0, 3)
+        assert index.sequences_in_range(10.0, 19.999) == [1, 2]
+        assert index.sequences_in_range(10.0, 20.0) == [1, 2, 3]
+
+    def test_negative_values_bucket_correctly(self):
+        index = InvertedFileIndex(bucket_width=1.0)
+        index.add(-1.5, 1)
+        index.add(-0.5, 2)
+        assert index.sequences_in_range(-2.0, -1.0) == [1]
+        assert index.sequences_in_range(-1.0, 0.0) == [2]
+
+    def test_bucket_count_grows_with_spread(self):
+        index = InvertedFileIndex(bucket_width=1.0)
+        for v in range(0, 100, 10):
+            index.add(float(v), v)
+        assert index.bucket_count() == 10
+
+
+class TestInvariantsAndModel:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+                st.integers(min_value=0, max_value=20),
+            ),
+            max_size=150,
+        ),
+        st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+    )
+    def test_range_query_matches_brute_force(self, entries, target, delta):
+        index = InvertedFileIndex(bucket_width=7.0)
+        for value, sid in entries:
+            index.add(value, sid)
+        index.check_invariants()
+        expected = sorted({sid for value, sid in entries if abs(value - target) <= delta})
+        assert index.sequences_near(target, delta) == expected
+
+    def test_check_invariants_on_large_build(self):
+        rng = np.random.default_rng(51)
+        index = InvertedFileIndex(bucket_width=2.5)
+        for __ in range(1000):
+            index.add(float(rng.uniform(0, 300)), int(rng.integers(0, 40)))
+        index.check_invariants()
+
+    def test_posting_ordering(self):
+        assert Posting(1.0, 2) < Posting(2.0, 1)
+        assert Posting(1.0, 1) < Posting(1.0, 2)

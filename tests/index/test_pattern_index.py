@@ -1,0 +1,73 @@
+"""Tests for the slope-sign pattern index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import IndexError_
+from repro.index.pattern_index import PatternIndex
+from repro.index.trie import Occurrence
+from repro.segmentation import InterpolationBreaker
+from repro.workloads import k_peak_sequence
+
+
+@pytest.fixture
+def index_with_fevers():
+    """Index three sequences: 1, 2 and 3 peaks (collapsed view)."""
+    index = PatternIndex(theta=0.05, collapse_runs=True)
+    breaker = InterpolationBreaker(0.5)
+    shapes = {
+        0: k_peak_sequence([12.0], noise=0.0),
+        1: k_peak_sequence([6.0, 18.0], noise=0.0),
+        2: k_peak_sequence([4.0, 12.0, 20.0], noise=0.0),
+    }
+    for sid, seq in shapes.items():
+        index.add(sid, breaker.represent(seq, curve_kind="regression"))
+    return index
+
+
+class TestBuilding:
+    def test_add_and_contains(self, index_with_fevers):
+        assert len(index_with_fevers) == 3
+        assert 0 in index_with_fevers
+        assert 99 not in index_with_fevers
+
+    def test_symbols_visible(self, index_with_fevers):
+        symbols = index_with_fevers.symbols_of(1)
+        assert symbols.count("+") == 2
+
+    def test_negative_theta_rejected(self):
+        with pytest.raises(IndexError_):
+            PatternIndex(theta=-0.1)
+
+
+class TestQueries:
+    def test_match_full_two_peaks(self, index_with_fevers):
+        pattern = "(0|-)* + (0|-)^+ + (0|-)*"
+        assert index_with_fevers.match_full(pattern) == [1]
+
+    def test_match_full_one_peak(self, index_with_fevers):
+        pattern = "(0|-)* + (0|-)*"
+        assert index_with_fevers.match_full(pattern) == [0]
+
+    def test_match_full_at_least_one_peak(self, index_with_fevers):
+        pattern = "(0|-)* (+ (0|-)^+)^+ (0|-)* | (0|-)* (+ (0|-)^+)* + (0|-)*"
+        assert index_with_fevers.match_full(pattern) == [0, 1, 2]
+
+    def test_find_exact_substring(self, index_with_fevers):
+        hits = index_with_fevers.find_exact("+-")
+        assert all(isinstance(h, Occurrence) for h in hits)
+        assert {h.sequence_id for h in hits} == {0, 1, 2}
+
+    def test_search_returns_first_points(self, index_with_fevers):
+        hits = index_with_fevers.search("\\+ (0|-)^+ \\+")
+        # Only the 2- and 3-peak sequences contain rise-fall-rise.
+        assert {h.sequence_id for h in hits} == {1, 2}
+
+    def test_positional_index_uncollapsed(self):
+        index = PatternIndex(theta=0.05, collapse_runs=False)
+        breaker = InterpolationBreaker(0.5)
+        rep = breaker.represent(k_peak_sequence([6.0, 18.0], noise=0.0), curve_kind="regression")
+        index.add(7, rep)
+        # Uncollapsed string length equals the segment count.
+        assert len(index.symbols_of(7)) == len(rep)

@@ -1,0 +1,106 @@
+"""Tests for the positional suffix trie."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import IndexError_
+from repro.index.trie import Occurrence, SymbolTrie
+
+
+def brute_force_find(strings: dict[int, str], needle: str) -> list[Occurrence]:
+    hits = []
+    for sid, s in strings.items():
+        start = 0
+        while True:
+            pos = s.find(needle, start)
+            if pos < 0:
+                break
+            hits.append(Occurrence(sid, pos))
+            start = pos + 1
+    return sorted(hits)
+
+
+class TestBasics:
+    def test_single_string(self):
+        trie = SymbolTrie()
+        trie.add(0, "+-+-")
+        assert trie.find("+-") == [Occurrence(0, 0), Occurrence(0, 2)]
+        assert trie.find("-+") == [Occurrence(0, 1)]
+        assert trie.find("++") == []
+
+    def test_multiple_strings(self):
+        trie = SymbolTrie()
+        trie.add(0, "+-0")
+        trie.add(1, "0+-")
+        assert trie.find("+-") == [Occurrence(0, 0), Occurrence(1, 1)]
+
+    def test_duplicate_id_rejected(self):
+        trie = SymbolTrie()
+        trie.add(0, "+")
+        with pytest.raises(IndexError_):
+            trie.add(0, "-")
+
+    def test_symbols_of(self):
+        trie = SymbolTrie()
+        trie.add(3, "+0-")
+        assert trie.symbols_of(3) == "+0-"
+        with pytest.raises(IndexError_):
+            trie.symbols_of(99)
+
+    def test_contains_and_len(self):
+        trie = SymbolTrie()
+        trie.add(0, "+")
+        trie.add(1, "-")
+        assert 0 in trie and 1 in trie and 2 not in trie
+        assert len(trie) == 2
+
+    def test_bad_depth_rejected(self):
+        with pytest.raises(IndexError_):
+            SymbolTrie(max_depth=0)
+
+    def test_empty_needle_matches_every_position(self):
+        trie = SymbolTrie()
+        trie.add(0, "+-")
+        assert len(trie.find("")) == 2
+
+
+class TestDepthLimit:
+    def test_long_needle_verified_against_strings(self):
+        trie = SymbolTrie(max_depth=3)
+        trie.add(0, "+-+-+-+-")
+        trie.add(1, "+-+0+-+-")
+        needle = "+-+-+"  # longer than max_depth
+        assert trie.find(needle) == brute_force_find({0: "+-+-+-+-", 1: "+-+0+-+-"}, needle)
+
+    def test_depth_one_trie_still_correct(self):
+        strings = {0: "+0-+", 1: "000+"}
+        trie = SymbolTrie(max_depth=1)
+        for sid, s in strings.items():
+            trie.add(sid, s)
+        for needle in ("+", "0", "0-", "00", "+0-"):
+            assert trie.find(needle) == brute_force_find(strings, needle)
+
+
+class TestModelBased:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.text(alphabet="+-0", min_size=1, max_size=25), min_size=1, max_size=8),
+        st.text(alphabet="+-0", min_size=1, max_size=6),
+        st.integers(min_value=1, max_value=10),
+    )
+    def test_find_matches_brute_force(self, strings, needle, depth):
+        trie = SymbolTrie(max_depth=depth)
+        table = {}
+        for sid, s in enumerate(strings):
+            trie.add(sid, s)
+            table[sid] = s
+        assert trie.find(needle) == brute_force_find(table, needle)
+
+    def test_node_count_bounded(self):
+        trie = SymbolTrie(max_depth=4)
+        trie.add(0, "+-0" * 20)
+        # Bounded depth over a 3-symbol alphabet: at most sum_{d<=4} 3^d nodes.
+        assert trie.node_count() <= 1 + 3 + 9 + 27 + 81

@@ -1,0 +1,148 @@
+"""End-to-end flows across domains and configurations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.features import count_peaks
+from repro.core.transformations import BoundedNoise
+from repro.preprocessing import compress_wavelet, moving_average, znormalize
+from repro.query import PatternQuery, PeakCountQuery, SequenceDatabase, SteepnessQuery
+from repro.segmentation import (
+    BezierBreaker,
+    DynamicProgrammingBreaker,
+    InterpolationBreaker,
+    RegressionBreaker,
+    SlidingWindowBreaker,
+)
+from repro.workloads import (
+    fever_corpus,
+    goalpost_fever,
+    seismic_sequence,
+    stock_sequence,
+)
+
+GOALPOST = "(0|-)* + (0|-)^+ + (0|-)*"
+
+
+class TestBreakerInterchangeability:
+    """Any breaker can drive the database; results stay consistent."""
+
+    @pytest.mark.parametrize(
+        "breaker",
+        [
+            InterpolationBreaker(0.5),
+            SlidingWindowBreaker(0.5, window=8, degree=1),
+            DynamicProgrammingBreaker(segment_penalty=0.5, error_weight=2.0),
+        ],
+        ids=["interpolation", "online", "dp"],
+    )
+    def test_goalpost_found_by_good_breakers(self, breaker):
+        db = SequenceDatabase(breaker=breaker)
+        db.insert(goalpost_fever(noise=0.0))
+        matches = db.query(PeakCountQuery(2, count_tolerance=0))
+        assert len(matches) == 1
+
+    def test_bezier_breaker_database(self):
+        db = SequenceDatabase(breaker=BezierBreaker(0.8))
+        db.insert(goalpost_fever(noise=0.0))
+        assert db.peak_count_of(0) == 2
+
+    def test_interpolation_beats_regression_as_breaker(self):
+        """The paper's Section 5.1 finding, reproduced: the endpoint
+        interpolation instantiation "is simpler and produces better
+        results" than regression — fewer segments at the same epsilon
+        and clean breaks at the extrema (regression tends to fragment
+        and smear peak flanks into flat segments)."""
+        seq = goalpost_fever(noise=0.0)
+        interp = InterpolationBreaker(0.5).break_indices(seq)
+        regress = RegressionBreaker(0.5).break_indices(seq)
+        assert len(interp) < len(regress)
+        from repro.segmentation import fragmentation_ratio
+
+        assert fragmentation_ratio(interp) <= fragmentation_ratio(regress)
+
+
+class TestPreprocessingPipeline:
+    """Paper Section 7: filter -> normalize -> (compress) -> break."""
+
+    def test_smoothing_then_breaking_reduces_segments(self):
+        noisy = goalpost_fever(noise=0.6, seed=2)
+        breaker = InterpolationBreaker(0.5)
+        direct = breaker.break_indices(noisy)
+        smoothed = breaker.break_indices(moving_average(noisy, 3))
+        assert len(smoothed) <= len(direct)
+
+    def test_normalized_database_matches_unnormalized_patterns(self):
+        raw = goalpost_fever(noise=0.0)
+        normalized = znormalize(raw)
+        db = SequenceDatabase(breaker=InterpolationBreaker(0.1))
+        db.insert(normalized)
+        assert db.peak_count_of(0) == 2
+
+    def test_wavelet_compressed_sequence_keeps_query_answer(self):
+        seq = goalpost_fever(noise=0.0, n_points=48)
+        recon = compress_wavelet(seq, keep_fraction=0.3, wavelet="db4").reconstruct()
+        db = SequenceDatabase(breaker=InterpolationBreaker(0.5))
+        db.insert(seq.with_name("orig"))
+        db.insert(recon.with_name("compressed"))
+        names = {m.name for m in db.query(PatternQuery(GOALPOST))}
+        assert names == {"orig", "compressed"}
+
+
+class TestNoiseToleranceBoundary:
+    def test_noise_below_epsilon_harmless(self):
+        base = goalpost_fever(noise=0.0)
+        noisy = BoundedNoise(0.2, seed=3)(base)
+        rep = InterpolationBreaker(0.5).represent(noisy, curve_kind="regression")
+        assert count_peaks(rep, theta=0.05) == 2
+
+    def test_noise_far_above_epsilon_destroys_pattern(self):
+        base = goalpost_fever(noise=0.0)
+        wrecked = BoundedNoise(6.0, seed=3)(base)
+        rep = InterpolationBreaker(0.5).represent(wrecked, curve_kind="regression")
+        assert count_peaks(rep, theta=0.05) != 2
+
+
+class TestOtherDomains:
+    def test_seismic_burst_query(self):
+        seq, events = seismic_sequence(n_points=1500, event_positions=[700], seed=5)
+        db = SequenceDatabase(breaker=InterpolationBreaker(3.0), theta=1.0)
+        db.insert(seq)
+        # "Sudden vigorous activity": a very steep rise exists.
+        matches = db.query(SteepnessQuery(5.0))
+        assert len(matches) == 1
+
+    def test_quiet_seismogram_rejected(self):
+        quiet, __ = seismic_sequence(n_points=1500, event_positions=[], seed=6)
+        db = SequenceDatabase(breaker=InterpolationBreaker(3.0), theta=1.0)
+        db.insert(quiet)
+        assert db.query(SteepnessQuery(5.0)) == []
+
+    def test_stock_rise_drop_rise(self):
+        seq = stock_sequence(
+            n_points=90,
+            regimes=[(30, 0.8), (30, -0.8), (30, 0.8)],
+            volatility=0.05,
+            seed=7,
+        )
+        db = SequenceDatabase(breaker=InterpolationBreaker(2.0), theta=0.1)
+        db.insert(seq)
+        matches = db.query(PatternQuery("+ - +"))
+        assert len(matches) == 1
+
+
+class TestScaleSmoke:
+    def test_hundred_sequence_corpus(self):
+        db = SequenceDatabase(breaker=InterpolationBreaker(0.5))
+        corpus = fever_corpus(n_two_peak=40, n_one_peak=30, n_three_peak=30)
+        db.insert_all(corpus)
+        matches = db.query(PatternQuery(GOALPOST))
+        expected = {s.name for s in corpus if "2p" in s.name}
+        found = {m.name for m in matches}
+        # Noise can occasionally distort a curve; demand high agreement.
+        missed = expected - found
+        spurious = found - expected
+        assert len(missed) <= 2, f"missed: {missed}"
+        assert len(spurious) <= 2, f"spurious: {spurious}"

@@ -1,0 +1,39 @@
+"""Tests for the slope-sign alphabet."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import PatternSyntaxError
+from repro.patterns.alphabet import FALLING, FLAT, RISING, classify_slope, validate_symbols
+
+
+class TestClassify:
+    def test_zero_theta(self):
+        assert classify_slope(0.5) == RISING
+        assert classify_slope(-0.5) == FALLING
+        assert classify_slope(0.0) == FLAT
+
+    def test_theta_band(self):
+        assert classify_slope(0.05, theta=0.1) == FLAT
+        assert classify_slope(-0.05, theta=0.1) == FLAT
+        assert classify_slope(0.15, theta=0.1) == RISING
+        assert classify_slope(-0.15, theta=0.1) == FALLING
+
+    def test_boundary_is_flat(self):
+        assert classify_slope(0.1, theta=0.1) == FLAT
+        assert classify_slope(-0.1, theta=0.1) == FLAT
+
+    def test_negative_theta_rejected(self):
+        with pytest.raises(PatternSyntaxError):
+            classify_slope(1.0, theta=-0.1)
+
+
+class TestValidate:
+    def test_valid_passthrough(self):
+        assert validate_symbols("+-0") == "+-0"
+        assert validate_symbols("") == ""
+
+    def test_invalid_symbol_rejected(self):
+        with pytest.raises(PatternSyntaxError):
+            validate_symbols("+-x0")

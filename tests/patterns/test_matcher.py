@@ -1,0 +1,56 @@
+"""Tests for pattern-vs-representation matching."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.patterns.matcher import find_pattern_spans, matches_pattern
+from repro.patterns.regex import TWO_PEAKS
+from repro.segmentation import InterpolationBreaker
+from repro.workloads import k_peak_sequence
+
+
+@pytest.fixture
+def rep_two_peaks():
+    seq = k_peak_sequence([6.0, 18.0], noise=0.0)
+    return InterpolationBreaker(0.5).represent(seq, curve_kind="regression")
+
+
+@pytest.fixture
+def rep_three_peaks():
+    seq = k_peak_sequence([4.0, 12.0, 20.0], noise=0.0)
+    return InterpolationBreaker(0.5).represent(seq, curve_kind="regression")
+
+
+class TestMatchesPattern:
+    def test_two_peaks_match(self, rep_two_peaks):
+        assert matches_pattern(rep_two_peaks, TWO_PEAKS, theta=0.05)
+
+    def test_three_peaks_rejected(self, rep_three_peaks):
+        assert not matches_pattern(rep_three_peaks, TWO_PEAKS, theta=0.05)
+
+    def test_uncollapsed_option(self, rep_two_peaks):
+        # Without collapsing, the rise may span several '+' symbols, so
+        # the strict single-'+' pattern can fail; the pattern written
+        # with '^+' postfixes still matches.
+        robust = "(0|-)* +^+ (0|-)^+ +^+ (0|-)*"
+        assert matches_pattern(rep_two_peaks, robust, theta=0.05, collapse_runs=False)
+
+
+class TestFindSpans:
+    def test_spans_map_to_segments(self, rep_two_peaks):
+        spans = find_pattern_spans(rep_two_peaks, "+^+ (0|-)^+", theta=0.05)
+        assert spans
+        for span in spans:
+            assert span.first_segment <= span.last_segment
+            assert span.start_time < span.end_time
+            assert len(span.segments) == span.last_segment - span.first_segment + 1
+
+    def test_rise_fall_rise_span_present(self, rep_three_peaks):
+        spans = find_pattern_spans(rep_three_peaks, "+^+ (0|-)^+ +^+", theta=0.05)
+        assert spans
+
+    def test_no_match_no_spans(self, rep_two_peaks):
+        # Four alternations never appear in a two-peak sequence.
+        spans = find_pattern_spans(rep_two_peaks, "(+^+ -^+){4}", theta=0.05)
+        assert spans == []

@@ -1,0 +1,183 @@
+"""Tests for the symbol-regex engine, including equivalence with
+Python's ``re`` on a translated alphabet."""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import PatternSyntaxError
+from repro.patterns.regex import TWO_PEAKS, SymbolPattern
+
+
+class TestFullmatch:
+    @pytest.mark.parametrize(
+        "pattern,accepted,rejected",
+        [
+            ("+", ["+"], ["-", "0", "++", ""]),
+            ("+-", ["+-"], ["-+", "+", "+-0"]),
+            ("+*", ["", "+", "+++"], ["-", "+-"]),
+            ("+^+", ["+", "++"], ["", "-"]),
+            ("+?", ["", "+"], ["++"]),
+            ("(+|-)0", ["+0", "-0"], ["00", "+-"]),
+            (".", ["+", "-", "0"], ["", "+-"]),
+            ("[+0]", ["+", "0"], ["-"]),
+            ("[^0]", ["+", "-"], ["0"]),
+            ("+{2}", ["++"], ["+", "+++"]),
+            ("+{1,2}", ["+", "++"], ["", "+++"]),
+            ("+{2,}", ["++", "++++"], ["+", ""]),
+            ("()", [""], ["+"]),
+            ("(+-)^+", ["+-", "+-+-"], ["+", "+-+"]),
+        ],
+    )
+    def test_cases(self, pattern, accepted, rejected):
+        compiled = SymbolPattern.compile(pattern)
+        for s in accepted:
+            assert compiled.fullmatch(s), f"{pattern!r} should accept {s!r}"
+        for s in rejected:
+            assert not compiled.fullmatch(s), f"{pattern!r} should reject {s!r}"
+
+    def test_whitespace_ignored(self):
+        assert SymbolPattern.compile("( + | - ) 0").fullmatch("+0")
+
+    def test_escaped_literals(self):
+        assert SymbolPattern.compile("\\+\\-").fullmatch("+-")
+
+    def test_compile_idempotent(self):
+        p = SymbolPattern.compile("+")
+        assert SymbolPattern.compile(p) is p
+
+
+class TestGoalpostPattern:
+    @pytest.mark.parametrize(
+        "symbols,matches",
+        [
+            ("+-+-", True),  # bare two peaks
+            ("0+-+-0", True),  # flats around
+            ("-+-+-", True),  # falling prefix
+            ("+-", False),  # one peak
+            ("+-+-+-", False),  # three peaks
+            ("++", False),
+            ("", False),
+            ("+0-+-", True),  # plateau at the first peak's top is still one peak
+            ("+-0+-", True),  # flat valley between the peaks
+        ],
+    )
+    def test_two_peak_language(self, symbols, matches):
+        compiled = SymbolPattern.compile(TWO_PEAKS)
+        assert compiled.fullmatch(symbols) == matches
+
+    def test_paper_written_form(self):
+        # The exact query string from the paper, with '^+' for one-or-more.
+        compiled = SymbolPattern.compile("(0|-)* + (0|-)^+ + (0|-)*")
+        assert compiled.fullmatch("0+-+0")
+        assert not compiled.fullmatch("0+0")
+
+
+class TestSearchAndFinditer:
+    def test_finditer_positions(self):
+        compiled = SymbolPattern.compile("+-")
+        assert list(compiled.finditer("+-0+-")) == [(0, 2), (3, 5)]
+
+    def test_longest_match_reported(self):
+        compiled = SymbolPattern.compile("+^+")
+        assert list(compiled.finditer("+++")) == [(0, 3), (1, 3), (2, 3)]
+
+    def test_search_first(self):
+        compiled = SymbolPattern.compile("-0")
+        assert compiled.search("++-0-0") == (2, 4)
+        assert compiled.search("+++") is None
+
+    def test_match_prefix(self):
+        compiled = SymbolPattern.compile("+*")
+        assert compiled.match_prefix("++-") == 2
+        assert compiled.match_prefix("-") == 0  # empty prefix matches
+        assert SymbolPattern.compile("-").match_prefix("+") is None
+
+    def test_zero_length_matches_suppressed(self):
+        compiled = SymbolPattern.compile("+*")
+        spans = list(compiled.finditer("-0-"))
+        assert spans == []
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "(",
+            ")",
+            "(+",
+            "+)",
+            "*",
+            "?",
+            "+^",
+            "+^-",
+            "[",
+            "[]",
+            "[+",
+            "+{",
+            "+{}",
+            "+{2,1}",
+            "+{a}",
+            "\\",
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(PatternSyntaxError):
+            SymbolPattern.compile(bad)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(PatternSyntaxError):
+            SymbolPattern.compile("+)+")
+
+
+class TestEquivalenceWithRe:
+    """Translate to Python re over letters and compare languages."""
+
+    TRANSLATION = str.maketrans({"+": "u", "-": "d", "0": "z"})
+
+    def to_re(self, pattern: str) -> str:
+        # '^+' is our one-or-more operator; protect it before the literal
+        # '+' (and the other symbols) get renamed to letters.
+        protected = pattern.replace(" ", "").replace("^+", "\x01")
+        out = []
+        for ch in protected:
+            if ch == "+":
+                out.append("u")
+            elif ch == "-":
+                out.append("d")
+            elif ch == "0":
+                out.append("z")
+            elif ch == "\x01":
+                out.append("+")
+            else:
+                out.append(ch)
+        return "".join(out)
+
+    # Patterns built from a safe generative grammar subset.
+    @settings(max_examples=80, deadline=None)
+    @given(
+        pattern=st.sampled_from(
+            [
+                "(0|-)*+(0|-)^+ +(0|-)*",
+                "(+|-)^+",
+                "0*+0*",
+                "(+-)^+0?",
+                "(+|0)*-",
+                "+{1,3}-",
+                ".^+",
+                "(.0)*",
+                "[+0]^+-?",
+                "[^-]*",
+            ]
+        ),
+        symbols=st.text(alphabet="+-0", max_size=12),
+    )
+    def test_fullmatch_agrees(self, pattern, symbols):
+        ours = SymbolPattern.compile(pattern).fullmatch(symbols)
+        # '^+' -> '+' translation happens in to_re; map symbols too.
+        theirs = re.fullmatch(self.to_re(pattern), symbols.translate(self.TRANSLATION)) is not None
+        assert ours == theirs, f"pattern={pattern!r} symbols={symbols!r}"

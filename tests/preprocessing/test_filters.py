@@ -1,0 +1,91 @@
+"""Tests for the smoothing filters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import SequenceError
+from repro.core.sequence import Sequence
+from repro.preprocessing import exponential_smoothing, median_filter, moving_average
+
+
+@pytest.fixture
+def spiky():
+    values = np.zeros(21)
+    values[10] = 100.0
+    return Sequence.from_values(values)
+
+
+class TestMovingAverage:
+    def test_constant_unchanged(self):
+        seq = Sequence.from_values(np.full(10, 3.0))
+        out = moving_average(seq, 3)
+        assert np.allclose(out.values, 3.0)
+
+    def test_reduces_noise_variance(self):
+        rng = np.random.default_rng(21)
+        seq = Sequence.from_values(rng.normal(0, 1, 200))
+        out = moving_average(seq, 7)
+        assert out.variance() < seq.variance()
+
+    def test_length_and_times_preserved(self, spiky):
+        out = moving_average(spiky, 5)
+        assert len(out) == len(spiky)
+        assert np.array_equal(out.times, spiky.times)
+
+    def test_window_one_is_identity(self, spiky):
+        out = moving_average(spiky, 1)
+        assert np.allclose(out.values, spiky.values)
+
+    def test_bad_window_rejected(self, spiky):
+        with pytest.raises(SequenceError):
+            moving_average(spiky, 0)
+        with pytest.raises(SequenceError):
+            moving_average(spiky, 100)
+
+    def test_mean_preserved_in_interior(self):
+        rng = np.random.default_rng(22)
+        seq = Sequence.from_values(rng.normal(5, 1, 100))
+        out = moving_average(seq, 5)
+        assert out.mean() == pytest.approx(seq.mean(), abs=0.1)
+
+
+class TestMedianFilter:
+    def test_removes_impulse_completely(self, spiky):
+        out = median_filter(spiky, 5)
+        assert out.values.max() == 0.0
+
+    def test_moving_average_only_spreads_impulse(self, spiky):
+        out = moving_average(spiky, 5)
+        assert out.values.max() > 0.0  # contrast with the median filter
+
+    def test_monotone_preserved(self):
+        seq = Sequence.from_values(np.arange(20, dtype=float))
+        out = median_filter(seq, 3)
+        assert (np.diff(out.values) >= 0).all()
+
+    def test_bad_window_rejected(self, spiky):
+        with pytest.raises(SequenceError):
+            median_filter(spiky, 0)
+
+
+class TestExponentialSmoothing:
+    def test_alpha_one_identity(self, spiky):
+        out = exponential_smoothing(spiky, 1.0)
+        assert np.allclose(out.values, spiky.values)
+
+    def test_smooths_noise(self):
+        rng = np.random.default_rng(23)
+        seq = Sequence.from_values(rng.normal(0, 1, 300))
+        out = exponential_smoothing(seq, 0.2)
+        assert out.variance() < seq.variance()
+
+    def test_first_value_anchored(self, spiky):
+        out = exponential_smoothing(spiky, 0.5)
+        assert out.values[0] == spiky.values[0]
+
+    def test_bad_alpha_rejected(self, spiky):
+        for alpha in (0.0, -0.1, 1.5):
+            with pytest.raises(SequenceError):
+                exponential_smoothing(spiky, alpha)

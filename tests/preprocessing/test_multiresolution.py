@@ -1,0 +1,111 @@
+"""Tests for the multiresolution pyramid."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import SequenceError
+from repro.core.features import count_peaks, raw_peak_indices
+from repro.core.sequence import Sequence
+from repro.preprocessing import MultiresolutionPyramid
+from repro.segmentation import InterpolationBreaker
+from repro.workloads import goalpost_fever, synthetic_ecg
+
+
+class TestConstruction:
+    def test_level_sizes_halve(self):
+        seq = Sequence.from_values(np.zeros(64))
+        pyramid = MultiresolutionPyramid.build(seq, depth=3)
+        assert pyramid.sample_counts() == [64, 32, 16, 8]
+        assert pyramid.depth == 3
+
+    def test_depth_zero_is_base_only(self):
+        seq = Sequence.from_values(np.zeros(8))
+        pyramid = MultiresolutionPyramid.build(seq, depth=0)
+        assert pyramid.sample_counts() == [8]
+
+    def test_odd_length_rejected(self):
+        seq = Sequence.from_values(np.zeros(9))
+        with pytest.raises(SequenceError):
+            MultiresolutionPyramid.build(seq, depth=1)
+
+    def test_too_deep_rejected(self):
+        seq = Sequence.from_values(np.zeros(4))
+        with pytest.raises(SequenceError):
+            MultiresolutionPyramid.build(seq, depth=5)
+
+    def test_non_uniform_rejected(self):
+        seq = Sequence([0.0, 1.0, 3.0, 4.0], [0.0, 1.0, 2.0, 3.0])
+        with pytest.raises(SequenceError):
+            MultiresolutionPyramid.build(seq, depth=1)
+
+    def test_negative_depth_rejected(self):
+        seq = Sequence.from_values(np.zeros(8))
+        with pytest.raises(SequenceError):
+            MultiresolutionPyramid.build(seq, depth=-1)
+
+    def test_level_access_bounds(self):
+        seq = Sequence.from_values(np.zeros(16))
+        pyramid = MultiresolutionPyramid.build(seq, depth=2)
+        with pytest.raises(SequenceError):
+            pyramid.level(3)
+        with pytest.raises(SequenceError):
+            pyramid.level(-1)
+
+
+class TestAmplitudeFidelity:
+    def test_constant_preserved_at_every_level(self):
+        seq = Sequence.from_values(np.full(64, 7.0))
+        pyramid = MultiresolutionPyramid.build(seq, depth=3, wavelet="haar")
+        for level in pyramid:
+            assert np.allclose(level.values, 7.0, atol=1e-9)
+
+    def test_coarse_level_tracks_local_means(self):
+        values = np.concatenate([np.zeros(32), np.full(32, 10.0)])
+        pyramid = MultiresolutionPyramid.build(Sequence.from_values(values), depth=2, wavelet="haar")
+        coarse = pyramid.level(2)
+        assert coarse.values[0] == pytest.approx(0.0, abs=1e-9)
+        assert coarse.values[-1] == pytest.approx(10.0, abs=1e-9)
+
+    def test_time_span_preserved(self):
+        seq = Sequence.from_values(np.zeros(64), start=100.0, step=2.0)
+        pyramid = MultiresolutionPyramid.build(seq, depth=2)
+        coarse = pyramid.level(2)
+        assert coarse.start_time >= seq.start_time
+        assert coarse.end_time <= seq.end_time + 8.0
+
+
+class TestFeaturesFromCompressedData:
+    """The paper's goal: extract features from the compressed data."""
+
+    def test_fever_peaks_survive_one_level(self):
+        seq = goalpost_fever(noise=0.1, n_points=48)
+        pyramid = MultiresolutionPyramid.build(seq, depth=1, wavelet="db4")
+        coarse = pyramid.level(1)
+        rep = InterpolationBreaker(0.5).represent(coarse, curve_kind="regression")
+        assert count_peaks(rep, theta=0.05) == 2
+        assert pyramid.compression_at(1) == 2.0
+
+    def test_ecg_r_peaks_survive_two_levels(self):
+        seq = synthetic_ecg(rr_intervals=[136, 176], n_points=512, noise=0.5, seed=3)
+        pyramid = MultiresolutionPyramid.build(seq, depth=2, wavelet="haar")
+        coarse = pyramid.level(2)  # 128 samples instead of 512
+        # Prominence 40 keeps the R spikes (local averages ~45+) and
+        # drops the T waves (~22) at this scale.
+        peaks = raw_peak_indices(coarse, prominence=40.0)
+        assert len(peaks) == 3
+        # Peak spacing scales with the grid: ~136/4 and ~176/4 samples,
+        # but times are preserved, so time distances stay ~136 and ~176.
+        times = [coarse.times[p] for p in peaks]
+        deltas = np.diff(times)
+        assert abs(deltas[0] - 136) <= 8
+        assert abs(deltas[1] - 176) <= 8
+
+    def test_feature_extraction_cost_shrinks(self):
+        seq = synthetic_ecg(rr_intervals=[136, 176], n_points=512, noise=0.5, seed=4)
+        pyramid = MultiresolutionPyramid.build(seq, depth=2, wavelet="haar")
+        breaker = InterpolationBreaker(10.0)
+        full_segments = len(breaker.break_indices(pyramid.level(0)))
+        coarse_segments = len(breaker.break_indices(pyramid.level(2)))
+        assert coarse_segments <= full_segments

@@ -1,0 +1,77 @@
+"""Tests for normalization (paper Section 7)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sequence import Sequence
+from repro.preprocessing import min_max_normalize, normalization_parameters, znormalize
+
+
+class TestZNormalize:
+    def test_mean_zero_var_one(self):
+        rng = np.random.default_rng(31)
+        seq = Sequence.from_values(rng.normal(40, 7, 500))
+        out = znormalize(seq)
+        assert out.mean() == pytest.approx(0.0, abs=1e-9)
+        assert out.variance() == pytest.approx(1.0, abs=1e-9)
+
+    def test_constant_maps_to_zero(self):
+        out = znormalize(Sequence.from_values(np.full(10, 42.0)))
+        assert np.allclose(out.values, 0.0)
+
+    def test_eliminates_linear_transforms(self):
+        """The paper's purpose: sequences that are scale/translations of
+        each other normalize to the same sequence."""
+        rng = np.random.default_rng(32)
+        base = Sequence.from_values(rng.normal(0, 1, 100))
+        transformed = Sequence.from_values(3.0 * base.values + 17.0)
+        assert np.allclose(znormalize(base).values, znormalize(transformed).values)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=-1e4, max_value=1e4, allow_nan=False), min_size=2, max_size=50),
+        st.floats(min_value=0.1, max_value=100.0),
+        st.floats(min_value=-100.0, max_value=100.0),
+    )
+    def test_invariance_property(self, values, scale, shift):
+        from hypothesis import assume
+
+        base = Sequence.from_values(values)
+        moved_values = [scale * v + shift for v in values]
+        # Guard against float collapse: a variation tinier than the shift's
+        # ulp vanishes in the transform, which is underflow, not a
+        # normalization defect.
+        assume(np.std(values) == 0.0 or np.std(moved_values) > 0.0)
+        moved = Sequence.from_values(moved_values)
+        assert np.allclose(znormalize(base).values, znormalize(moved).values, atol=1e-6)
+
+
+class TestMinMaxNormalize:
+    def test_range_mapped(self):
+        seq = Sequence.from_values([2.0, 4.0, 6.0])
+        out = min_max_normalize(seq)
+        assert out.values.min() == 0.0
+        assert out.values.max() == 1.0
+
+    def test_custom_range(self):
+        seq = Sequence.from_values([0.0, 10.0])
+        out = min_max_normalize(seq, lo=-1.0, hi=1.0)
+        assert list(out.values) == [-1.0, 1.0]
+
+    def test_constant_maps_to_midpoint(self):
+        out = min_max_normalize(Sequence.from_values(np.full(5, 3.0)), lo=0.0, hi=2.0)
+        assert np.allclose(out.values, 1.0)
+
+
+class TestNormalizationParameters:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(33)
+        seq = Sequence.from_values(rng.normal(12, 3, 200))
+        mean, std = normalization_parameters(seq)
+        normalized = znormalize(seq)
+        restored = normalized.values * std + mean
+        assert np.allclose(restored, seq.values)

@@ -1,0 +1,140 @@
+"""Tests for the wavelet transform and compression."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import SequenceError
+from repro.core.features import raw_peak_indices
+from repro.core.sequence import Sequence
+from repro.preprocessing import compress_wavelet, dwt_level, idwt_level, wavedec, waverec
+from repro.workloads import goalpost_fever
+
+
+class TestSingleLevel:
+    @pytest.mark.parametrize("wavelet", ["haar", "db4"])
+    def test_perfect_reconstruction(self, wavelet):
+        rng = np.random.default_rng(41)
+        values = rng.normal(0, 1, 64)
+        approx, detail = dwt_level(values, wavelet)
+        restored = idwt_level(approx, detail, wavelet)
+        assert np.allclose(restored, values, atol=1e-10)
+
+    @pytest.mark.parametrize("wavelet", ["haar", "db4"])
+    def test_energy_preserved(self, wavelet):
+        """Parseval: orthonormal filters preserve the L2 norm."""
+        rng = np.random.default_rng(42)
+        values = rng.normal(0, 2, 128)
+        approx, detail = dwt_level(values, wavelet)
+        assert np.dot(values, values) == pytest.approx(
+            np.dot(approx, approx) + np.dot(detail, detail), rel=1e-9
+        )
+
+    def test_haar_constant_has_zero_detail(self):
+        approx, detail = dwt_level(np.full(16, 5.0), "haar")
+        assert np.allclose(detail, 0.0)
+        assert np.allclose(approx, 5.0 * np.sqrt(2.0))
+
+    def test_db4_linear_has_zero_detail(self):
+        # Daubechies-4 has two vanishing moments: linears vanish in the
+        # detail band (up to the periodic wrap-around taps).
+        values = np.arange(64, dtype=float)
+        __, detail = dwt_level(values, "db4")
+        assert np.abs(detail[:-1]).max() < 1e-9
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(SequenceError):
+            dwt_level(np.zeros(9), "haar")
+
+    def test_unknown_wavelet_rejected(self):
+        with pytest.raises(SequenceError):
+            dwt_level(np.zeros(8), "sym9")
+
+    def test_mismatched_bands_rejected(self):
+        with pytest.raises(SequenceError):
+            idwt_level(np.zeros(4), np.zeros(5), "haar")
+
+
+class TestMultiLevel:
+    @pytest.mark.parametrize("wavelet", ["haar", "db4"])
+    def test_full_decomposition_roundtrip(self, wavelet):
+        rng = np.random.default_rng(43)
+        values = rng.normal(0, 1, 128)
+        coeffs = wavedec(values, wavelet)
+        assert np.allclose(waverec(coeffs, wavelet), values, atol=1e-9)
+
+    def test_levels_bounded(self):
+        coeffs = wavedec(np.zeros(64), "haar", levels=2)
+        assert len(coeffs) == 3  # approx + 2 detail bands
+        assert len(coeffs[0]) == 16
+
+    def test_coefficient_count_preserved(self):
+        coeffs = wavedec(np.zeros(64), "haar")
+        assert sum(len(c) for c in coeffs) == 64
+
+    def test_too_short_rejected(self):
+        with pytest.raises(SequenceError):
+            wavedec(np.zeros(1), "haar")
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(min_value=-100, max_value=100, allow_nan=False), min_size=8, max_size=64))
+    def test_roundtrip_property(self, values):
+        n = len(values) - len(values) % 8  # multiple of 8 for 3 levels
+        arr = np.asarray(values[:n] or values[:8])
+        if len(arr) % 2:
+            arr = arr[:-1]
+        if len(arr) < 2:
+            return
+        coeffs = wavedec(arr, "haar")
+        assert np.allclose(waverec(coeffs, "haar"), arr, atol=1e-8)
+
+
+class TestCompression:
+    def test_keep_all_is_lossless(self):
+        rng = np.random.default_rng(44)
+        seq = Sequence.from_values(rng.normal(0, 1, 64))
+        comp = compress_wavelet(seq, keep_fraction=1.0)
+        assert np.allclose(comp.reconstruct().values, seq.values, atol=1e-9)
+
+    def test_compression_ratio_reported(self):
+        rng = np.random.default_rng(45)
+        seq = Sequence.from_values(rng.normal(0, 1, 128))
+        comp = compress_wavelet(seq, keep_fraction=0.25)
+        assert comp.compression_ratio >= 2.0
+
+    def test_smooth_signal_compresses_well(self):
+        t = np.arange(256, dtype=float)
+        seq = Sequence(t, np.sin(2 * np.pi * t / 64))
+        comp = compress_wavelet(seq, keep_fraction=0.15, wavelet="db4")
+        err = np.abs(comp.reconstruct().values - seq.values).max()
+        assert err < 0.15
+
+    def test_db4_beats_haar_on_smooth_signal(self):
+        t = np.arange(256, dtype=float)
+        seq = Sequence(t, np.sin(2 * np.pi * t / 64))
+        haar_err = np.abs(
+            compress_wavelet(seq, keep_fraction=0.15, wavelet="haar").reconstruct().values
+            - seq.values
+        ).max()
+        db4_err = np.abs(
+            compress_wavelet(seq, keep_fraction=0.15, wavelet="db4").reconstruct().values
+            - seq.values
+        ).max()
+        assert db4_err < haar_err
+
+    def test_peaks_survive_compression(self):
+        """The paper's requirement: compressed data keeps the features."""
+        seq = goalpost_fever(noise=0.0, n_points=48)
+        comp = compress_wavelet(seq, keep_fraction=0.3)
+        recon = comp.reconstruct()
+        assert len(raw_peak_indices(recon, prominence=2.0)) == 2
+
+    def test_bad_fraction_rejected(self):
+        seq = Sequence.from_values(np.zeros(16))
+        with pytest.raises(SequenceError):
+            compress_wavelet(seq, keep_fraction=0.0)
+        with pytest.raises(SequenceError):
+            compress_wavelet(seq, keep_fraction=1.5)

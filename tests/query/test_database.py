@@ -1,0 +1,121 @@
+"""Tests for the SequenceDatabase end-to-end flows."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import QueryError
+from repro.query import IntervalQuery, PatternQuery, PeakCountQuery, SequenceDatabase
+from repro.segmentation import InterpolationBreaker
+from repro.workloads import ecg_corpus, fever_corpus, goalpost_fever
+
+
+@pytest.fixture
+def fever_db():
+    db = SequenceDatabase(breaker=InterpolationBreaker(0.5))
+    db.insert_all(fever_corpus(n_two_peak=6, n_one_peak=4, n_three_peak=4))
+    return db
+
+
+class TestIngest:
+    def test_ids_sequential(self, fever_db):
+        assert fever_db.ids() == list(range(14))
+        assert len(fever_db) == 14
+
+    def test_names_preserved(self, fever_db):
+        assert fever_db.name_of(0).startswith("fever-2p")
+
+    def test_representation_available(self, fever_db):
+        rep = fever_db.representation_of(0)
+        assert len(rep) > 1
+        assert rep.curve_kind == "regression"
+
+    def test_unknown_id_rejected(self, fever_db):
+        with pytest.raises(QueryError):
+            fever_db.representation_of(999)
+        with pytest.raises(QueryError):
+            fever_db.name_of(-1)
+
+    def test_raw_retrievable_with_latency_accounting(self, fever_db):
+        before = fever_db.archive.log.simulated_seconds
+        raw = fever_db.raw_sequence(0)
+        assert len(raw) == 49
+        assert fever_db.archive.log.simulated_seconds > before
+
+    def test_keep_raw_false(self):
+        db = SequenceDatabase(breaker=InterpolationBreaker(0.5), keep_raw=False)
+        db.insert(goalpost_fever())
+        with pytest.raises(QueryError):
+            db.raw_sequence(0)
+
+    def test_catalog_has_default_variant(self, fever_db):
+        assert fever_db.catalog.variants_of(0) == ["default"]
+
+
+class TestQueryFlows:
+    def test_pattern_query_precision_recall(self, fever_db):
+        matches = fever_db.query(PatternQuery("(0|-)* + (0|-)^+ + (0|-)*"))
+        names = {m.name for m in matches}
+        expected = {fever_db.name_of(i) for i in fever_db.ids() if "2p" in fever_db.name_of(i)}
+        assert names == expected
+
+    def test_peak_count_query_agrees_with_pattern(self, fever_db):
+        by_pattern = {m.sequence_id for m in fever_db.query(PatternQuery("(0|-)* + (0|-)^+ + (0|-)*"))}
+        by_count = {m.sequence_id for m in fever_db.query(PeakCountQuery(2))}
+        assert by_pattern == by_count
+
+    def test_peak_count_tolerance_widens(self, fever_db):
+        strict = fever_db.query(PeakCountQuery(2))
+        loose = fever_db.query(PeakCountQuery(2, count_tolerance=1))
+        assert len(loose) > len(strict)
+        # Exact members sort first.
+        assert all(m.is_exact for m in loose[: len(strict)])
+
+    def test_exclude_approximate(self, fever_db):
+        loose = fever_db.query(PeakCountQuery(2, count_tolerance=1), include_approximate=False)
+        strict = fever_db.query(PeakCountQuery(2))
+        assert {m.sequence_id for m in loose} == {m.sequence_id for m in strict}
+
+
+class TestRRIndexPath:
+    @pytest.fixture
+    def ecg_db(self):
+        db = SequenceDatabase(breaker=InterpolationBreaker(10.0), theta=5.0)
+        db.insert_all(ecg_corpus(n_sequences=30, seed=3))
+        return db
+
+    def test_index_matches_scan(self, ecg_db):
+        for target, delta in [(120.0, 5.0), (150.0, 10.0), (180.0, 2.0), (110.0, 0.0)]:
+            index_hits = {m.sequence_id for m in ecg_db.query(IntervalQuery(target, delta))}
+            scan_hits = set(ecg_db.scan_rr(target, delta))
+            assert index_hits == scan_hits, (target, delta)
+
+    def test_interval_query_grades(self, ecg_db):
+        matches = ecg_db.query(IntervalQuery(150.0, 8.0))
+        for m in matches:
+            deviation = m.deviation_in("rr_interval")
+            assert deviation is not None
+            assert deviation.within
+
+    def test_rr_index_invariants(self, ecg_db):
+        ecg_db.rr_index.check_invariants()
+
+
+class TestStorageReport:
+    def test_report_fields(self, fever_db):
+        report = fever_db.storage_report()
+        assert report["sequences"] == 14
+        assert report["total_points"] == 14 * 49
+        assert report["raw_bytes"] > 0
+        assert report["representation_bytes"] > 0
+        assert report["paper_convention_compression"] > 1.0
+
+    def test_byte_compression_on_long_sequences(self):
+        """The paper's compression claim concerns 500-point ECGs; short
+        noisy fever logs legitimately may not compress at the byte level."""
+        db = SequenceDatabase(breaker=InterpolationBreaker(10.0), theta=5.0)
+        db.insert_all(ecg_corpus(n_sequences=10, seed=5))
+        report = db.storage_report()
+        assert report["byte_compression"] > 1.3
+        assert report["paper_convention_compression"] > 3.0

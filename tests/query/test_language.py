@@ -1,0 +1,99 @@
+"""Tests for the textual query language."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import QueryError
+from repro.query import (
+    IntervalQuery,
+    PatternQuery,
+    PeakCountQuery,
+    SequenceDatabase,
+    SteepnessQuery,
+    parse_query,
+)
+from repro.segmentation import InterpolationBreaker
+from repro.workloads import fever_corpus
+
+
+class TestParsing:
+    def test_pattern(self):
+        query = parse_query("PATTERN '(0|-)* + (0|-)^+ + (0|-)*'")
+        assert isinstance(query, PatternQuery)
+        assert query.pattern.fullmatch("+-+-")
+
+    def test_pattern_double_quotes(self):
+        query = parse_query('PATTERN "+ -"')
+        assert isinstance(query, PatternQuery)
+
+    def test_peaks(self):
+        query = parse_query("PEAKS 2")
+        assert isinstance(query, PeakCountQuery)
+        assert query.count == 2
+        assert query.tolerance.bound == 0.0
+
+    def test_peaks_with_tolerance(self):
+        query = parse_query("peaks 3 tolerance 1")  # case-insensitive
+        assert query.count == 3
+        assert query.tolerance.bound == 1.0
+
+    def test_interval(self):
+        query = parse_query("INTERVAL 135 +/- 5")
+        assert isinstance(query, IntervalQuery)
+        assert query.target == 135.0
+        assert query.tolerance.bound == 5.0
+
+    def test_interval_floats(self):
+        query = parse_query("INTERVAL 12.5 +/- 0.5")
+        assert query.target == 12.5
+
+    def test_steepness(self):
+        query = parse_query("STEEPNESS 5")
+        assert isinstance(query, SteepnessQuery)
+        assert query.min_slope == 5.0
+
+    def test_steepness_with_tolerance(self):
+        query = parse_query("STEEPNESS 5 TOLERANCE 1.5")
+        assert query.tolerance.bound == 1.5
+
+    def test_whitespace_tolerant(self):
+        assert isinstance(parse_query("   PEAKS 2   "), PeakCountQuery)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "   ",
+            "FROBNICATE 3",
+            "PATTERN missing-quotes",
+            "PEAKS",
+            "PEAKS two",
+            "INTERVAL 135",
+            "INTERVAL 135 +- 5",
+            "STEEPNESS",
+            "SHAPE 3",
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(QueryError):
+            parse_query(bad)
+
+    def test_unknown_keyword_lists_known(self):
+        with pytest.raises(QueryError) as exc:
+            parse_query("SELECT * FROM t")
+        assert "PATTERN" in str(exc.value)
+
+
+class TestEndToEnd:
+    def test_language_equals_objects(self):
+        db = SequenceDatabase(breaker=InterpolationBreaker(0.5))
+        db.insert_all(fever_corpus(n_two_peak=5, n_one_peak=3, n_three_peak=3))
+        from_text = {m.sequence_id for m in db.query(parse_query("PEAKS 2"))}
+        from_object = {m.sequence_id for m in db.query(PeakCountQuery(2))}
+        assert from_text == from_object
+
+        text_pattern = {m.sequence_id for m in db.query(parse_query("PATTERN '(0|-)* + (0|-)^+ + (0|-)*'"))}
+        assert text_pattern == from_object

@@ -1,0 +1,122 @@
+"""Tests for the individual query types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import QueryError
+from repro.core.tolerance import MatchGrade
+from repro.query import (
+    ExemplarQuery,
+    IntervalQuery,
+    PatternQuery,
+    PeakCountQuery,
+    SequenceDatabase,
+    SteepnessQuery,
+)
+from repro.segmentation import InterpolationBreaker
+from repro.workloads import goalpost_fever, k_peak_sequence
+
+
+@pytest.fixture
+def db():
+    db = SequenceDatabase(breaker=InterpolationBreaker(0.5))
+    db.insert(k_peak_sequence([12.0], noise=0.0, name="one"))
+    db.insert(k_peak_sequence([6.0, 18.0], noise=0.0, name="two"))
+    db.insert(k_peak_sequence([4.0, 12.0, 20.0], noise=0.0, name="three"))
+    return db
+
+
+class TestPatternQuery:
+    def test_exact_members_only(self, db):
+        matches = db.query(PatternQuery("(0|-)* + (0|-)^+ + (0|-)*"))
+        assert [m.name for m in matches] == ["two"]
+        assert matches[0].grade is MatchGrade.EXACT
+
+    def test_grades_are_binary(self, db):
+        query = PatternQuery("(0|-)* + (0|-)*")
+        match = query.grade(db, 0)
+        assert match.grade is MatchGrade.EXACT
+        reject = query.grade(db, 2)
+        assert reject.grade is MatchGrade.REJECT
+
+
+class TestPeakCountQuery:
+    def test_exact(self, db):
+        matches = db.query(PeakCountQuery(3))
+        assert [m.name for m in matches] == ["three"]
+
+    def test_approximate_with_tolerance(self, db):
+        matches = db.query(PeakCountQuery(2, count_tolerance=1))
+        assert {m.name for m in matches} == {"one", "two", "three"}
+        exact = [m for m in matches if m.is_exact]
+        assert [m.name for m in exact] == ["two"]
+
+    def test_deviation_amounts(self, db):
+        query = PeakCountQuery(2, count_tolerance=1)
+        match = query.grade(db, 2)  # the three-peak sequence
+        assert match.deviation_in("peak_count").amount == 1.0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(QueryError):
+            PeakCountQuery(-1)
+
+
+class TestIntervalQuery:
+    def test_exact_and_approximate(self, db):
+        # "two" has peaks near hours 6 and 18: interval ~12.
+        matches = db.query(IntervalQuery(12.0, 1.5))
+        assert any(m.name == "two" for m in matches)
+
+    def test_no_peak_sequences_rejected(self, db):
+        query = IntervalQuery(12.0, 1.0)
+        match = query.grade(db, 0)  # one peak -> no intervals
+        assert match.grade is MatchGrade.REJECT
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(QueryError):
+            IntervalQuery(0.0, 1.0)
+
+    def test_candidates_via_index(self, db):
+        query = IntervalQuery(12.0, 2.0)
+        candidates = query.candidates(db)
+        assert candidates is not None
+        scan = db.scan_rr(12.0, 2.0)
+        assert candidates == scan
+
+
+class TestSteepnessQuery:
+    def test_steep_rise_found(self, db):
+        # Fever rises are around 3-5 degrees/hour at their steepest.
+        matches = db.query(SteepnessQuery(1.0))
+        assert len(matches) == 3  # every fever curve rises that fast
+
+    def test_too_steep_rejects_all(self, db):
+        assert db.query(SteepnessQuery(100.0)) == []
+
+    def test_tolerance_admits_shortfall(self, db):
+        rep = db.representation_of(1)
+        steepest = max(s for s in rep.slopes() if s > 0)
+        demanding = SteepnessQuery(steepest + 0.5, slope_tolerance=1.0)
+        match = demanding.grade(db, 1)
+        assert match.grade is MatchGrade.APPROXIMATE
+
+    def test_bad_slope_rejected(self):
+        with pytest.raises(QueryError):
+            SteepnessQuery(0.0)
+
+
+class TestExemplarQuery:
+    def test_identical_sequence_exact(self, db):
+        exemplar = k_peak_sequence([6.0, 18.0], noise=0.0)
+        matches = db.query(ExemplarQuery(exemplar, epsilon=0.5))
+        exact = [m for m in matches if m.is_exact]
+        assert [m.name for m in exact] == ["two"]
+
+    def test_different_lengths_rejected(self, db):
+        exemplar = goalpost_fever(n_points=33)
+        assert db.query(ExemplarQuery(exemplar, epsilon=100.0)) == []
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(QueryError):
+            ExemplarQuery(goalpost_fever(), epsilon=-1.0)

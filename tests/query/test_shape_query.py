@@ -1,0 +1,81 @@
+"""Tests for exemplar-based ShapeQuery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import QueryError
+from repro.core.tolerance import MatchGrade
+from repro.core.transformations import AmplitudeScale, TimeScale, TimeShift
+from repro.query import SequenceDatabase, ShapeQuery
+from repro.segmentation import InterpolationBreaker
+from repro.workloads import goalpost_fever, k_peak_sequence
+
+
+@pytest.fixture
+def db():
+    # Normalization at ingest (paper Section 7) makes one epsilon serve
+    # every amplitude scaling of the same shape.
+    db = SequenceDatabase(breaker=InterpolationBreaker(0.1), theta=0.0, normalize=True)
+    base = goalpost_fever(noise=0.0, name="base")
+    db.insert(base)
+    db.insert(TimeShift(5.0)(base).with_name("shifted"))
+    db.insert(TimeScale(2.0)(base).with_name("dilated"))
+    db.insert(AmplitudeScale(1.7, baseline=98.0)(base).with_name("scaled"))
+    db.insert(k_peak_sequence([12.0], noise=0.0, name="one-peak"))
+    db.insert(k_peak_sequence([4.0, 12.0, 20.0], noise=0.0, name="three-peak"))
+    return db
+
+
+class TestShapeQuery:
+    def test_transforms_match_exactly(self, db):
+        query = ShapeQuery(goalpost_fever(noise=0.0), duration_tolerance=0.05, amplitude_tolerance=0.05)
+        matches = db.query(query)
+        names = {m.name for m in matches}
+        assert {"base", "shifted", "dilated", "scaled"} <= names
+        assert "one-peak" not in names
+        assert "three-peak" not in names
+        for match in matches:
+            if match.name in {"base", "shifted", "dilated", "scaled"}:
+                assert match.grade is MatchGrade.EXACT, match
+
+    def test_structurally_different_rejected(self, db):
+        query = ShapeQuery(goalpost_fever(noise=0.0))
+        reject = query.grade(db, 4)  # one-peak
+        assert reject.grade is MatchGrade.REJECT
+        assert reject.deviation_in("shape_duration").amount == float("inf")
+
+    def test_representation_exemplar_accepted(self, db):
+        rep = db.representation_of(0)
+        query = ShapeQuery(rep, duration_tolerance=0.05, amplitude_tolerance=0.05)
+        assert any(m.name == "dilated" and m.is_exact for m in db.query(query))
+
+    def test_tolerance_grades_same_structure_variants(self, db):
+        # A two-peak curve with different peak widths: same symbols,
+        # different duration proportions -> approximate under a loose
+        # tolerance, rejected under a tight one.
+        wide = k_peak_sequence([6.0, 18.0], widths=[2.8, 2.8], noise=0.0, name="wide")
+        wide_id = db.insert(wide)
+        query_loose = ShapeQuery(goalpost_fever(noise=0.0), duration_tolerance=0.5, amplitude_tolerance=0.5)
+        graded = query_loose.grade(db, wide_id)
+        if graded.grade is not MatchGrade.REJECT:
+            assert graded.deviation_in("shape_duration").within
+
+    def test_bad_exemplar_rejected(self):
+        with pytest.raises(QueryError):
+            ShapeQuery(42)
+
+
+class TestShapeQueryViaLanguage:
+    def test_shape_of_parses_and_runs(self, db):
+        from repro.query import parse_query
+
+        query = parse_query("SHAPE OF 0 DURATION 0.05 AMPLITUDE 0.05", db)
+        names = {m.name for m in db.query(query)}
+        assert "dilated" in names
+
+    def test_shape_of_needs_database(self):
+        from repro.query import parse_query
+
+        with pytest.raises(QueryError):
+            parse_query("SHAPE OF 0")

@@ -1,0 +1,58 @@
+"""Tests for multiple representation variants per sequence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import StorageError
+from repro.query import SequenceDatabase
+from repro.segmentation import BezierBreaker, InterpolationBreaker
+from repro.workloads import goalpost_fever
+
+
+@pytest.fixture
+def db():
+    db = SequenceDatabase(breaker=InterpolationBreaker(0.5))
+    db.insert(goalpost_fever(noise=0.1, name="fever"))
+    return db
+
+
+class TestVariants:
+    def test_add_and_get(self, db):
+        coarse = db.add_variant(0, "coarse", InterpolationBreaker(2.0))
+        assert db.variant_of(0, "coarse") is coarse
+        assert len(coarse) <= len(db.representation_of(0))
+
+    def test_variant_pays_archive_read(self, db):
+        reads_before = db.archive.log.reads
+        db.add_variant(0, "coarse", InterpolationBreaker(2.0))
+        assert db.archive.log.reads == reads_before + 1
+
+    def test_bezier_variant(self, db):
+        rep = db.add_variant(0, "bezier", BezierBreaker(1.0), curve_kind="bezier")
+        assert all(seg.function.family in ("bezier", "linear") for seg in rep)
+
+    def test_duplicate_variant_rejected(self, db):
+        db.add_variant(0, "coarse", InterpolationBreaker(2.0))
+        with pytest.raises(StorageError):
+            db.add_variant(0, "coarse", InterpolationBreaker(2.0))
+
+    def test_variant_listing(self, db):
+        db.add_variant(0, "coarse", InterpolationBreaker(2.0))
+        assert db.catalog.variants_of(0) == ["coarse", "default"]
+
+    def test_variant_stored_locally(self, db):
+        db.add_variant(0, "coarse", InterpolationBreaker(2.0))
+        restored = db.local_store.retrieve(0, tag="coarse")
+        assert len(restored) == len(db.variant_of(0, "coarse"))
+
+    def test_missing_variant_rejected(self, db):
+        with pytest.raises(StorageError):
+            db.variant_of(0, "nonexistent")
+
+    def test_variant_respects_normalization(self):
+        db = SequenceDatabase(breaker=InterpolationBreaker(0.1), normalize=True)
+        db.insert(goalpost_fever(noise=0.0, name="fever"))
+        variant = db.add_variant(0, "coarse", InterpolationBreaker(0.5))
+        # Normalized amplitudes: segment values live near 0, not near 98.
+        assert abs(variant[0].start_point[1]) < 5.0

@@ -1,0 +1,96 @@
+"""Tests for the dynamic-programming baseline."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.errors import SegmentationError
+from repro.core.sequence import Sequence
+from repro.functions.linear import fit_regression_line
+from repro.segmentation import DynamicProgrammingBreaker, is_partition
+from repro.segmentation.dynamic import regression_sse_table_prefix
+
+
+class TestPrefixSSE:
+    def test_matches_direct_regression_sse(self):
+        rng = np.random.default_rng(12)
+        seq = Sequence.from_values(rng.normal(0, 3, 30))
+        prefix = regression_sse_table_prefix(seq)
+        for i, j in [(0, 29), (0, 5), (10, 20), (5, 6), (7, 7)]:
+            piece = seq.subsequence(i, j)
+            if len(piece) < 2:
+                assert prefix.sse(i, j) == 0.0
+                continue
+            line = fit_regression_line(piece)
+            direct = float(np.sum(line.residuals(piece) ** 2))
+            assert prefix.sse(i, j) == pytest.approx(direct, abs=1e-8)
+
+    def test_sse_nonnegative(self):
+        rng = np.random.default_rng(13)
+        seq = Sequence.from_values(rng.normal(0, 1, 25))
+        prefix = regression_sse_table_prefix(seq)
+        for i in range(0, 25, 3):
+            for j in range(i, 25, 3):
+                assert prefix.sse(i, j) >= 0.0
+
+
+class TestDPBreaker:
+    def test_partition(self):
+        rng = np.random.default_rng(14)
+        seq = Sequence.from_values(rng.normal(0, 1, 40))
+        bounds = DynamicProgrammingBreaker(segment_penalty=1.0).break_indices(seq)
+        assert is_partition(bounds, 40)
+
+    def test_single_point(self):
+        seq = Sequence([0.0], [1.0])
+        assert DynamicProgrammingBreaker().break_indices(seq) == [(0, 0)]
+
+    def test_vee_splits_at_apex(self):
+        values = np.concatenate([np.linspace(10, 0, 11), np.linspace(1, 10, 10)])
+        seq = Sequence.from_values(values)
+        bounds = DynamicProgrammingBreaker(segment_penalty=0.5, error_weight=10.0).break_indices(seq)
+        assert len(bounds) == 2
+        assert bounds[0][1] in (9, 10, 11)
+
+    def test_optimality_against_exhaustive(self):
+        # For a short sequence, compare the DP cost with brute force over
+        # every possible partition.
+        rng = np.random.default_rng(15)
+        seq = Sequence.from_values(rng.normal(0, 2, 10))
+        breaker = DynamicProgrammingBreaker(segment_penalty=2.0, error_weight=1.0)
+        dp_bounds = breaker.break_indices(seq)
+        dp_cost = breaker.total_cost(seq, dp_bounds)
+        n = len(seq)
+        best = float("inf")
+        for mask in itertools.product([0, 1], repeat=n - 1):
+            bounds = []
+            start = 0
+            for i, cut in enumerate(mask, start=1):
+                if cut:
+                    bounds.append((start, i - 1))
+                    start = i
+            bounds.append((start, n - 1))
+            best = min(best, breaker.total_cost(seq, bounds))
+        assert dp_cost == pytest.approx(best, abs=1e-9)
+
+    def test_higher_penalty_fewer_segments(self):
+        rng = np.random.default_rng(16)
+        seq = Sequence.from_values(np.cumsum(rng.normal(0, 1, 60)))
+        few = DynamicProgrammingBreaker(segment_penalty=50.0).break_indices(seq)
+        many = DynamicProgrammingBreaker(segment_penalty=0.01).break_indices(seq)
+        assert len(few) <= len(many)
+
+    def test_zero_error_weight_single_segment(self):
+        rng = np.random.default_rng(17)
+        seq = Sequence.from_values(rng.normal(0, 1, 30))
+        bounds = DynamicProgrammingBreaker(segment_penalty=1.0, error_weight=0.0).break_indices(seq)
+        assert bounds == [(0, 29)]
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(SegmentationError):
+            DynamicProgrammingBreaker(segment_penalty=0.0)
+        with pytest.raises(SegmentationError):
+            DynamicProgrammingBreaker(error_weight=-1.0)

@@ -1,0 +1,66 @@
+"""Tests for the incremental-regression online breaker."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import SegmentationError
+from repro.core.sequence import Sequence
+from repro.segmentation import IncrementalRegressionBreaker, SlidingWindowBreaker, is_partition
+
+
+class TestIncrementalRegression:
+    def test_straight_line_one_segment(self, ramp_sequence):
+        bounds = IncrementalRegressionBreaker(0.1).break_indices(ramp_sequence)
+        assert bounds == [(0, len(ramp_sequence) - 1)]
+
+    def test_partition(self, noisy_sine):
+        bounds = IncrementalRegressionBreaker(0.3).break_indices(noisy_sine)
+        assert is_partition(bounds, len(noisy_sine))
+
+    def test_breaks_on_jump(self):
+        values = np.concatenate([np.zeros(20), np.full(20, 10.0)])
+        bounds = IncrementalRegressionBreaker(1.0).break_indices(Sequence.from_values(values))
+        assert len(bounds) >= 2
+        assert bounds[0][1] == 19
+
+    def test_catches_slow_drift_that_window_forgets(self):
+        """Whole-segment regression accumulates drift; a short trailing
+        window keeps re-fitting and tracks it forever."""
+        t = np.arange(200, dtype=float)
+        drift = 0.002 * t * t  # slowly accelerating curve
+        seq = Sequence(t, drift)
+        incremental = IncrementalRegressionBreaker(1.0).break_indices(seq)
+        windowed = SlidingWindowBreaker(1.0, window=6, degree=1).break_indices(seq)
+        assert len(incremental) > len(windowed)
+
+    def test_min_points_validation(self):
+        with pytest.raises(SegmentationError):
+            IncrementalRegressionBreaker(1.0, min_points=1)
+
+    def test_single_point(self):
+        seq = Sequence([0.0], [1.0])
+        assert IncrementalRegressionBreaker(0.5).break_indices(seq) == [(0, 0)]
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False), min_size=2, max_size=60
+        ),
+        st.floats(min_value=0.01, max_value=10.0),
+    )
+    def test_partition_property(self, values, epsilon):
+        seq = Sequence.from_values(values)
+        bounds = IncrementalRegressionBreaker(epsilon).break_indices(seq)
+        assert is_partition(bounds, len(seq))
+
+    def test_database_integration(self):
+        from repro.query import PeakCountQuery, SequenceDatabase
+        from repro.workloads import goalpost_fever
+
+        db = SequenceDatabase(breaker=IncrementalRegressionBreaker(0.5))
+        db.insert(goalpost_fever(noise=0.0))
+        assert len(db.query(PeakCountQuery(2, count_tolerance=1))) == 1

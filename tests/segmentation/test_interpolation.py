@@ -1,0 +1,183 @@
+"""Tests for the interpolation breaker — the paper's main algorithm."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.features import raw_peak_indices
+from repro.core.sequence import Sequence
+from repro.core.transformations import AmplitudeScale, AmplitudeShift, TimeScale, TimeShift
+from repro.segmentation import (
+    InterpolationBreaker,
+    breakpoints_correspond,
+    fragmentation_ratio,
+    is_partition,
+    verify_tolerance,
+)
+from repro.workloads import goalpost_fever
+
+
+class TestBasicBehaviour:
+    def test_straight_line_is_one_segment(self, ramp_sequence):
+        bounds = InterpolationBreaker(0.1).break_indices(ramp_sequence)
+        assert bounds == [(0, len(ramp_sequence) - 1)]
+
+    def test_partition_property(self, two_peak_sequence):
+        bounds = InterpolationBreaker(0.5).break_indices(two_peak_sequence)
+        assert is_partition(bounds, len(two_peak_sequence))
+
+    def test_tolerance_honored(self, two_peak_sequence):
+        epsilon = 0.5
+        bounds = InterpolationBreaker(epsilon).break_indices(two_peak_sequence)
+        assert verify_tolerance(two_peak_sequence, bounds, "interpolation", epsilon)
+
+    def test_breaks_at_apex_of_triangle(self, triangle_sequence):
+        bounds = InterpolationBreaker(0.2).break_indices(triangle_sequence)
+        # The apex (index 10) must be a segment boundary on one side.
+        boundary_indices = {b[0] for b in bounds} | {b[1] for b in bounds}
+        assert 10 in boundary_indices or 9 in boundary_indices or 11 in boundary_indices
+
+    def test_two_point_sequence(self):
+        seq = Sequence.from_values([1.0, 5.0])
+        assert InterpolationBreaker(0.1).break_indices(seq) == [(0, 1)]
+
+    def test_single_point_sequence(self):
+        seq = Sequence([0.0], [1.0])
+        assert InterpolationBreaker(0.1).break_indices(seq) == [(0, 0)]
+
+    def test_negative_epsilon_rejected(self):
+        from repro.core.errors import SegmentationError
+
+        with pytest.raises(SegmentationError):
+            InterpolationBreaker(-1.0)
+
+    def test_smaller_epsilon_more_segments(self, two_peak_sequence):
+        coarse = InterpolationBreaker(2.0).break_indices(two_peak_sequence)
+        fine = InterpolationBreaker(0.1).break_indices(two_peak_sequence)
+        assert len(fine) >= len(coarse)
+
+    def test_minor_extrema_ignored(self):
+        # A big triangle with tiny wiggles: epsilon above the wiggle size
+        # must not split on the wiggles.
+        t = np.arange(41, dtype=float)
+        big = np.where(t <= 20, t, 40.0 - t)
+        wiggle = 0.1 * np.sin(3.0 * t)
+        bounds = InterpolationBreaker(0.5).break_indices(Sequence(t, big + wiggle))
+        assert len(bounds) <= 3
+
+
+class TestFragmentation:
+    def test_fever_fragmentation_low(self, two_peak_sequence):
+        bounds = InterpolationBreaker(0.5).break_indices(two_peak_sequence)
+        assert fragmentation_ratio(bounds) <= 0.34
+
+    def test_ecg_fragmentation_low(self, ecg_pair):
+        top, __ = ecg_pair
+        bounds = InterpolationBreaker(10.0).break_indices(top)
+        assert fragmentation_ratio(bounds) <= 0.5  # R spikes are genuinely abrupt
+
+
+class TestConsistency:
+    """Paper Section 4.3: feature-preserving transforms break at
+    corresponding breakpoints."""
+
+    def test_time_shift_preserves_breaks(self):
+        seq = goalpost_fever(noise=0.0)
+        breaker = InterpolationBreaker(0.5)
+        base = breaker.break_indices(seq)
+        shifted = breaker.break_indices(TimeShift(5.0)(seq))
+        assert base == shifted  # index space is untouched by time shift
+
+    def test_amplitude_shift_preserves_breaks(self):
+        seq = goalpost_fever(noise=0.0)
+        breaker = InterpolationBreaker(0.5)
+        base = breaker.break_indices(seq)
+        assert breaker.break_indices(AmplitudeShift(10.0)(seq)) == base
+
+    def test_dilation_preserves_breaks(self):
+        # Pure time scaling does not change values at sample points, so
+        # indices are identical.
+        seq = goalpost_fever(noise=0.0)
+        breaker = InterpolationBreaker(0.5)
+        base = breaker.break_indices(seq)
+        assert breaker.break_indices(TimeScale(2.0)(seq)) == base
+
+    def test_amplitude_scale_breaks_correspond(self):
+        # Scaling amplitudes rescales deviations; scaling epsilon by the
+        # same factor yields corresponding breakpoints.
+        seq = goalpost_fever(noise=0.0)
+        base = InterpolationBreaker(0.5).break_indices(seq)
+        scaled_seq = AmplitudeScale(2.0, baseline=98.0)(seq)
+        scaled = InterpolationBreaker(1.0).break_indices(scaled_seq)
+        assert base == scaled
+
+    def test_peaks_survive_all_transforms(self):
+        seq = goalpost_fever(noise=0.0)
+        breaker = InterpolationBreaker(0.5)
+        for transform in (
+            TimeShift(4.0),
+            AmplitudeShift(-3.0),
+            AmplitudeScale(1.5, baseline=98.0),
+            TimeScale(2.0),
+            TimeScale(0.5),
+        ):
+            rep = breaker.represent(transform(seq), curve_kind="regression")
+            from repro.core.features import count_peaks
+
+            assert count_peaks(rep, theta=0.01) == 2, transform
+
+
+class TestRobustness:
+    """Paper Section 4.3: inserting a behaviour-preserving sample moves
+    breakpoints by at most the insertion count."""
+
+    def test_on_curve_insertion(self):
+        seq = goalpost_fever(noise=0.0)
+        breaker = InterpolationBreaker(0.5)
+        base = [b for b, __ in breaker.break_indices(seq)][1:]
+        # Insert a point exactly on the polyline between two samples.
+        t_new = (seq.times[20] + seq.times[21]) / 2.0
+        v_new = seq.interpolate_at(t_new)
+        augmented = seq.insert(t_new, v_new)
+        new_breaks = [b for b, __ in breaker.break_indices(augmented)][1:]
+        assert breakpoints_correspond(base, new_breaks, index_budget=1)
+
+    def test_breakpoints_correspond_helper(self):
+        assert breakpoints_correspond([5, 10], [6, 11], 1)
+        assert not breakpoints_correspond([5, 10], [8, 11], 1)
+        assert not breakpoints_correspond([5], [5, 9], 1)
+
+
+class TestSplitSideAblation:
+    def test_all_sides_give_valid_partitions(self, two_peak_sequence):
+        for side in ("closer", "left", "right"):
+            bounds = InterpolationBreaker(0.5, split_side=side).break_indices(two_peak_sequence)
+            assert is_partition(bounds, len(two_peak_sequence))
+
+    def test_unknown_side_rejected(self):
+        from repro.core.errors import SegmentationError
+
+        with pytest.raises(SegmentationError):
+            InterpolationBreaker(0.5, split_side="middle")
+
+
+class TestECGShape:
+    def test_r_peaks_become_boundaries(self, ecg_pair):
+        top, __ = ecg_pair
+        bounds = InterpolationBreaker(10.0).break_indices(top)
+        boundary_samples = set()
+        for start, end in bounds:
+            boundary_samples.add(start)
+            boundary_samples.add(end)
+        truth = raw_peak_indices(top, prominence=100.0)
+        assert len(truth) == 3
+        for r in truth:
+            assert any(abs(r - b) <= 2 for b in boundary_samples), f"R peak at {r} missed"
+
+    def test_segment_count_in_paper_ballpark(self, ecg_pair):
+        # Paper: 500 points -> "about 20 function segments" at eps=10.
+        top, bottom = ecg_pair
+        for ecg in (top, bottom):
+            bounds = InterpolationBreaker(10.0).break_indices(ecg)
+            assert 8 <= len(bounds) <= 45

@@ -1,0 +1,67 @@
+"""Tests for the generic Figure-8 recursive template."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.sequence import Sequence
+from repro.segmentation import RecursiveCurveFitBreaker, is_partition, verify_tolerance
+
+
+@pytest.fixture
+def wavy():
+    t = np.arange(100, dtype=float)
+    return Sequence(t, np.sin(t / 6.0) * 5.0, name="wavy")
+
+
+class TestTemplate:
+    @pytest.mark.parametrize("kind", ["interpolation", "regression", "poly:2"])
+    def test_partition_for_all_kinds(self, wavy, kind):
+        bounds = RecursiveCurveFitBreaker(0.5, curve_kind=kind).break_indices(wavy)
+        assert is_partition(bounds, len(wavy))
+
+    @pytest.mark.parametrize("kind", ["interpolation", "regression"])
+    def test_tolerance_for_linear_kinds(self, wavy, kind):
+        bounds = RecursiveCurveFitBreaker(0.5, curve_kind=kind).break_indices(wavy)
+        assert verify_tolerance(wavy, bounds, kind, 0.5)
+
+    def test_zero_epsilon_still_terminates(self, wavy):
+        bounds = RecursiveCurveFitBreaker(0.0, curve_kind="interpolation").break_indices(wavy)
+        assert is_partition(bounds, len(wavy))
+        # Near-zero tolerance on curved data: every segment is tiny.
+        assert all(end - start + 1 <= 3 for start, end in bounds)
+
+    def test_huge_epsilon_one_segment(self, wavy):
+        bounds = RecursiveCurveFitBreaker(1e6, curve_kind="interpolation").break_indices(wavy)
+        assert bounds == [(0, len(wavy) - 1)]
+
+    def test_poly2_fits_quadratics_whole(self):
+        t = np.linspace(0, 10, 60)
+        seq = Sequence(t, 2.0 * t * t - t)
+        bounds = RecursiveCurveFitBreaker(0.5, curve_kind="poly:2").break_indices(seq)
+        assert bounds == [(0, 59)]
+
+    def test_interpolation_splits_quadratic(self):
+        # A line cannot follow a parabola: the template must split.
+        t = np.linspace(0, 10, 60)
+        seq = Sequence(t, 2.0 * t * t - t)
+        bounds = RecursiveCurveFitBreaker(0.5, curve_kind="interpolation").break_indices(seq)
+        assert len(bounds) > 1
+
+    def test_progress_on_adversarial_spike(self):
+        # A single huge spike at the first interior sample.
+        values = np.zeros(20)
+        values[1] = 100.0
+        bounds = RecursiveCurveFitBreaker(0.5, curve_kind="interpolation").break_indices(
+            Sequence.from_values(values)
+        )
+        assert is_partition(bounds, 20)
+
+    def test_spike_at_last_interior_sample(self):
+        values = np.zeros(20)
+        values[18] = 100.0
+        bounds = RecursiveCurveFitBreaker(0.5, curve_kind="interpolation").break_indices(
+            Sequence.from_values(values)
+        )
+        assert is_partition(bounds, 20)

@@ -1,0 +1,74 @@
+"""Tests for the online sliding-window breaker."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import SegmentationError
+from repro.core.sequence import Sequence
+from repro.segmentation import SlidingWindowBreaker, is_partition
+
+
+class TestSlidingWindow:
+    def test_partition(self, noisy_sine):
+        bounds = SlidingWindowBreaker(0.3, window=8, degree=1).break_indices(noisy_sine)
+        assert is_partition(bounds, len(noisy_sine))
+
+    def test_straight_line_one_segment(self, ramp_sequence):
+        bounds = SlidingWindowBreaker(0.1, window=6, degree=1).break_indices(ramp_sequence)
+        assert bounds == [(0, len(ramp_sequence) - 1)]
+
+    def test_breaks_on_level_jump(self):
+        values = np.concatenate([np.zeros(20), np.full(20, 10.0)])
+        bounds = SlidingWindowBreaker(1.0, window=6, degree=1).break_indices(
+            Sequence.from_values(values)
+        )
+        assert len(bounds) >= 2
+        # The first segment ends right at the jump.
+        assert bounds[0][1] == 19
+
+    def test_streaming_equals_batch(self, noisy_sine):
+        breaker = SlidingWindowBreaker(0.3, window=8, degree=1)
+        batch = breaker.break_indices(noisy_sine)
+        session = breaker.session()
+        for t, v in noisy_sine:
+            session.feed(t, v)
+        assert session.finish() == batch
+
+    def test_feed_reports_segment_close(self):
+        breaker = SlidingWindowBreaker(1.0, window=4, degree=1)
+        session = breaker.session()
+        closed_events = 0
+        values = np.concatenate([np.zeros(10), np.full(10, 10.0)])
+        for t, v in Sequence.from_values(values):
+            if session.feed(t, v):
+                closed_events += 1
+        assert closed_events >= 1
+
+    def test_finish_without_samples_rejected(self):
+        session = SlidingWindowBreaker(1.0).session()
+        with pytest.raises(SegmentationError):
+            session.finish()
+
+    def test_quadratic_window_follows_parabola(self):
+        t = np.linspace(0, 10, 80)
+        seq = Sequence(t, t * t)
+        linear = SlidingWindowBreaker(0.5, window=10, degree=1).break_indices(seq)
+        quadratic = SlidingWindowBreaker(0.5, window=10, degree=2).break_indices(seq)
+        assert len(quadratic) <= len(linear)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(SegmentationError):
+            SlidingWindowBreaker(1.0, window=1)
+        with pytest.raises(SegmentationError):
+            SlidingWindowBreaker(1.0, degree=-1)
+
+    def test_online_less_accurate_than_offline(self, two_peak_sequence):
+        """The paper's observed deficiency: online breaking needs more
+        segments than offline for comparable tolerance (or worse fits)."""
+        from repro.segmentation import InterpolationBreaker
+
+        offline = InterpolationBreaker(0.5).break_indices(two_peak_sequence)
+        online = SlidingWindowBreaker(0.5, window=8, degree=1).break_indices(two_peak_sequence)
+        assert len(online) >= len(offline) - 2

@@ -1,0 +1,55 @@
+"""Tests for the regression and Bézier breaker variants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.sequence import Sequence
+from repro.segmentation import BezierBreaker, RegressionBreaker, is_partition
+
+
+@pytest.fixture
+def two_regime():
+    values = np.concatenate([np.linspace(0, 10, 15), np.linspace(10, -10, 15)])
+    return Sequence.from_values(values)
+
+
+class TestRegressionBreaker:
+    def test_partition(self, two_regime):
+        bounds = RegressionBreaker(0.5).break_indices(two_regime)
+        assert is_partition(bounds, len(two_regime))
+
+    def test_line_kept_whole(self, ramp_sequence):
+        bounds = RegressionBreaker(0.1).break_indices(ramp_sequence)
+        assert bounds == [(0, len(ramp_sequence) - 1)]
+
+    def test_splits_vee(self, two_regime):
+        bounds = RegressionBreaker(0.5).break_indices(two_regime)
+        assert len(bounds) >= 2
+
+    def test_curve_kind(self):
+        assert RegressionBreaker(1.0).curve_kind == "regression"
+
+
+class TestBezierBreaker:
+    def test_partition(self, two_regime):
+        bounds = BezierBreaker(0.5).break_indices(two_regime)
+        assert is_partition(bounds, len(two_regime))
+
+    def test_smooth_arc_few_segments(self):
+        t = np.linspace(0, np.pi, 60)
+        seq = Sequence(t, 10.0 * np.sin(t))
+        bezier_bounds = BezierBreaker(0.5).break_indices(seq)
+        from repro.segmentation import InterpolationBreaker
+
+        linear_bounds = InterpolationBreaker(0.5).break_indices(seq)
+        # A cubic follows the arc with far fewer pieces than chords do.
+        assert len(bezier_bounds) < len(linear_bounds)
+
+    def test_represent_with_bezier_functions(self, two_regime):
+        rep = BezierBreaker(0.5).represent(two_regime)
+        assert all(seg.function.family in ("bezier", "linear") for seg in rep)
+
+    def test_curve_kind(self):
+        assert BezierBreaker(1.0).curve_kind == "bezier"

@@ -1,0 +1,64 @@
+"""Tests for the multi-representation catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import StorageError
+from repro.segmentation import InterpolationBreaker
+from repro.storage.catalog import RepresentationCatalog
+from repro.workloads import goalpost_fever
+
+
+@pytest.fixture
+def catalog_with_variants():
+    seq = goalpost_fever()
+    coarse = InterpolationBreaker(2.0).represent(seq, curve_kind="regression")
+    fine = InterpolationBreaker(0.2).represent(seq, curve_kind="regression")
+    catalog = RepresentationCatalog()
+    catalog.put(0, "coarse", coarse)
+    catalog.put(0, "fine", fine)
+    catalog.put(1, "coarse", coarse)
+    return catalog
+
+
+class TestCatalog:
+    def test_put_and_get(self, catalog_with_variants):
+        assert len(catalog_with_variants.get(0, "fine")) >= len(
+            catalog_with_variants.get(0, "coarse")
+        )
+
+    def test_variants_listing(self, catalog_with_variants):
+        assert catalog_with_variants.variants_of(0) == ["coarse", "fine"]
+        assert catalog_with_variants.variants_of(1) == ["coarse"]
+        assert catalog_with_variants.variants_of(99) == []
+
+    def test_sequences_with(self, catalog_with_variants):
+        assert catalog_with_variants.sequences_with("coarse") == [0, 1]
+        assert catalog_with_variants.sequences_with("fine") == [0]
+
+    def test_contains_and_len(self, catalog_with_variants):
+        assert (0, "fine") in catalog_with_variants
+        assert (1, "fine") not in catalog_with_variants
+        assert len(catalog_with_variants) == 3
+
+    def test_duplicate_rejected(self, catalog_with_variants):
+        rep = catalog_with_variants.get(0, "coarse")
+        with pytest.raises(StorageError):
+            catalog_with_variants.put(0, "coarse", rep)
+
+    def test_empty_variant_rejected(self, catalog_with_variants):
+        rep = catalog_with_variants.get(0, "coarse")
+        with pytest.raises(StorageError):
+            catalog_with_variants.put(5, "", rep)
+
+    def test_missing_rejected(self, catalog_with_variants):
+        with pytest.raises(StorageError):
+            catalog_with_variants.get(0, "bogus")
+
+    def test_total_bytes(self, catalog_with_variants):
+        total = catalog_with_variants.total_bytes()
+        coarse_only = catalog_with_variants.total_bytes("coarse")
+        fine_only = catalog_with_variants.total_bytes("fine")
+        assert total == coarse_only + fine_only
+        assert coarse_only > 0

@@ -1,0 +1,90 @@
+"""Failure injection for the binary codec and the stores.
+
+A production library must fail loudly and precisely on corrupt bytes —
+silent misdecoding of a representation would corrupt every downstream
+query answer.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.core.errors import StorageError
+from repro.segmentation import InterpolationBreaker
+from repro.storage.serialization import (
+    decode_representation,
+    decode_sequence,
+    encode_representation,
+    encode_sequence,
+)
+from repro.workloads import goalpost_fever
+
+
+@pytest.fixture
+def sequence_blob():
+    return encode_sequence(goalpost_fever(noise=0.0))
+
+
+@pytest.fixture
+def representation_blob():
+    rep = InterpolationBreaker(0.5).represent(goalpost_fever(noise=0.0), curve_kind="regression")
+    return encode_representation(rep)
+
+
+class TestSequenceCorruption:
+    def test_truncated_header(self, sequence_blob):
+        with pytest.raises((StorageError, struct.error, ValueError)):
+            decode_sequence(sequence_blob[:3])
+
+    def test_truncated_body(self, sequence_blob):
+        with pytest.raises((StorageError, struct.error, ValueError)):
+            decode_sequence(sequence_blob[: len(sequence_blob) // 2])
+
+    def test_wrong_magic(self, sequence_blob):
+        corrupted = b"ZZZZ" + sequence_blob[4:]
+        with pytest.raises(StorageError):
+            decode_sequence(corrupted)
+
+    def test_representation_blob_rejected_as_sequence(self, representation_blob):
+        with pytest.raises(StorageError):
+            decode_sequence(representation_blob)
+
+    def test_empty_blob(self):
+        with pytest.raises((StorageError, struct.error, ValueError)):
+            decode_sequence(b"")
+
+
+class TestRepresentationCorruption:
+    def test_truncated_segment_block(self, representation_blob):
+        with pytest.raises((StorageError, struct.error, ValueError)):
+            decode_representation(representation_blob[: len(representation_blob) - 10])
+
+    def test_wrong_magic(self, representation_blob):
+        with pytest.raises(StorageError):
+            decode_representation(b"QQQQ" + representation_blob[4:])
+
+    def test_sequence_blob_rejected_as_representation(self, sequence_blob):
+        with pytest.raises(StorageError):
+            decode_representation(sequence_blob)
+
+    def test_unknown_family_tag(self, representation_blob):
+        # Locate the first segment record and stomp its family tag.
+        # Header: magic(4) + name_len(2)+name + kind_len(2)+kind +
+        # source_length+epsilon(12) + n_segments(4).
+        view = bytearray(representation_blob)
+        offset = 4
+        (name_len,) = struct.unpack_from("<H", view, offset)
+        offset += 2 + name_len
+        (kind_len,) = struct.unpack_from("<H", view, offset)
+        offset += 2 + kind_len
+        offset += 12 + 4
+        view[offset] = 250  # no such family tag
+        with pytest.raises(StorageError):
+            decode_representation(bytes(view))
+
+    def test_roundtrip_still_clean_after_copy(self, representation_blob):
+        # Control: an uncorrupted copy decodes fine.
+        rep = decode_representation(bytes(bytearray(representation_blob)))
+        assert len(rep) > 0

@@ -1,0 +1,49 @@
+"""Tests for the standalone reproduction report."""
+
+from __future__ import annotations
+
+from repro.tools.report import (
+    main,
+    report_compression,
+    report_ecg,
+    report_fig3_5,
+    report_goalpost,
+    report_rr_index,
+)
+
+
+class TestSections:
+    def test_fig3_5_verdicts(self):
+        lines = report_fig3_5()
+        body = "\n".join(lines)
+        # The noisy copy is the only value-based match; every transform
+        # is a feature-based match.
+        assert body.count("value:match") == 1
+        assert body.count("feature:match") == 6
+
+    def test_goalpost_precision_recall(self):
+        (line,) = report_goalpost(1)
+        assert "precision 1.00" in line
+        assert "recall" in line
+
+    def test_ecg_rr_lists(self):
+        lines = report_ecg()
+        assert any("[135, 175]" in line for line in lines)
+        assert any("[115, 135, 120]" in line for line in lines)
+
+    def test_rr_index_agreement(self):
+        (line,) = report_rr_index(1)
+        assert "3/3" in line
+
+    def test_compression_rows(self):
+        lines = report_compression(1)
+        assert len(lines) == 4  # header + 3 epsilon rows
+
+
+class TestMain:
+    def test_quick_run(self, capsys):
+        assert main(["--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "reproduction report" in out
+        assert "Figure 10" in out
+        assert "Compression sweep" in out

@@ -1,0 +1,67 @@
+"""Tests for the synthetic ECG generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import SequenceError
+from repro.core.features import raw_peak_indices
+from repro.workloads import ecg_corpus, figure9_pair, synthetic_ecg
+
+
+class TestSyntheticECG:
+    def test_r_peaks_at_prescribed_distances(self):
+        seq = synthetic_ecg(rr_intervals=[135, 175], n_points=500, noise=0.0, baseline_wander=0.0)
+        peaks = raw_peak_indices(seq, prominence=100.0)
+        assert len(peaks) == 3
+        assert np.diff(peaks).tolist() == [135, 175]
+
+    def test_amplitude_scale(self):
+        seq = synthetic_ecg(rr_intervals=[150], r_amplitude=150.0, noise=0.0, baseline_wander=0.0)
+        assert seq.values.max() == pytest.approx(150.0, rel=0.1)
+        assert seq.values.min() < -15.0  # S dips go negative
+
+    def test_beats_beyond_length_dropped(self):
+        seq = synthetic_ecg(rr_intervals=[400, 400], n_points=500, noise=0.0, baseline_wander=0.0)
+        peaks = raw_peak_indices(seq, prominence=100.0)
+        assert len(peaks) == 2  # third beat would land at 840
+
+    def test_deterministic(self):
+        assert synthetic_ecg([100], seed=4) == synthetic_ecg([100], seed=4)
+
+    def test_validation(self):
+        with pytest.raises(SequenceError):
+            synthetic_ecg([0])
+        with pytest.raises(SequenceError):
+            synthetic_ecg([100], first_beat=5)
+
+
+class TestFigure9Pair:
+    def test_shapes(self, ecg_pair):
+        top, bottom = ecg_pair
+        assert len(top) == 500
+        assert len(bottom) == 500
+
+    def test_rr_ground_truth(self, ecg_pair):
+        top, bottom = ecg_pair
+        assert np.diff(raw_peak_indices(top, prominence=100.0)).tolist() == [135, 175]
+        assert np.diff(raw_peak_indices(bottom, prominence=100.0)).tolist() == [115, 135, 120]
+
+
+class TestCorpus:
+    def test_size_and_names(self):
+        corpus = ecg_corpus(n_sequences=8)
+        assert len(corpus) == 8
+        assert corpus[0].name == "ecg-0"
+
+    def test_rr_intervals_within_range(self):
+        lo, hi = 100, 200
+        for seq in ecg_corpus(n_sequences=10, rr_range=(lo, hi)):
+            peaks = raw_peak_indices(seq, prominence=100.0)
+            for d in np.diff(peaks):
+                assert lo - 1 <= d <= hi + 1
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(SequenceError):
+            ecg_corpus(rr_range=(200, 100))

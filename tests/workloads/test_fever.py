@@ -1,0 +1,95 @@
+"""Tests for the goal-post fever workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import SequenceError
+from repro.core.features import raw_peak_indices
+from repro.workloads import (
+    fever_corpus,
+    figure3_sequence,
+    figure4_fluctuated,
+    figure5_variants,
+    goalpost_fever,
+    k_peak_sequence,
+)
+
+
+class TestGoalpostFever:
+    def test_deterministic(self):
+        assert goalpost_fever(seed=1, noise=0.1) == goalpost_fever(seed=1, noise=0.1)
+
+    def test_two_ground_truth_peaks(self):
+        seq = goalpost_fever(noise=0.0)
+        assert len(raw_peak_indices(seq, prominence=2.0)) == 2
+
+    def test_spans_24_hours(self):
+        seq = goalpost_fever()
+        assert seq.start_time == 0.0
+        assert seq.end_time == 24.0
+
+    def test_bad_peak_order_rejected(self):
+        with pytest.raises(SequenceError):
+            goalpost_fever(first_peak=18.0, second_peak=6.0)
+        with pytest.raises(SequenceError):
+            goalpost_fever(first_peak=-1.0)
+
+
+class TestKPeaks:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_peak_count_matches(self, k):
+        centers = list(np.linspace(4.0, 20.0, k))
+        seq = k_peak_sequence(centers, noise=0.0)
+        assert len(raw_peak_indices(seq, prominence=2.0)) == k
+
+    def test_parameter_validation(self):
+        with pytest.raises(SequenceError):
+            k_peak_sequence([])
+        with pytest.raises(SequenceError):
+            k_peak_sequence([6.0], amplitudes=[1.0, 2.0])
+        with pytest.raises(SequenceError):
+            k_peak_sequence([6.0], widths=[0.0])
+
+
+class TestPaperFigures:
+    def test_figure3_shape(self):
+        seq = figure3_sequence()
+        assert seq.values.min() == pytest.approx(95.0)
+        assert seq.values.max() == pytest.approx(107.0)
+        assert len(raw_peak_indices(seq, prominence=3.0)) == 2
+
+    def test_figure4_stays_in_band(self):
+        base = figure3_sequence()
+        noisy = figure4_fluctuated(delta=1.0)
+        assert np.abs(noisy.values - base.values).max() <= 1.0
+
+    def test_figure5_all_preserve_two_peaks(self):
+        exemplar = figure3_sequence()
+        for label, transform, variant in figure5_variants(exemplar):
+            assert transform.preserves_peaks, label
+            assert len(raw_peak_indices(variant, prominence=3.0)) == 2, label
+
+    def test_figure5_labels_unique(self):
+        labels = [label for label, __, ___ in figure5_variants(figure3_sequence())]
+        assert len(labels) == len(set(labels)) == 6
+
+
+class TestCorpus:
+    def test_sizes_and_names(self):
+        corpus = fever_corpus(n_two_peak=4, n_one_peak=3, n_three_peak=2)
+        assert len(corpus) == 9
+        assert sum("2p" in s.name for s in corpus) == 4
+        assert sum("1p" in s.name for s in corpus) == 3
+        assert sum("3p" in s.name for s in corpus) == 2
+
+    def test_ground_truth_consistent_with_names(self):
+        for seq in fever_corpus(n_two_peak=5, n_one_peak=5, n_three_peak=5, noise=0.0):
+            expected = int(seq.name.split("-")[1][0])
+            assert len(raw_peak_indices(seq, prominence=2.0)) == expected, seq.name
+
+    def test_deterministic_by_seed(self):
+        a = fever_corpus(seed=3)
+        b = fever_corpus(seed=3)
+        assert all(x == y for x, y in zip(a, b))

@@ -1,0 +1,70 @@
+"""Tests for the seismic and stock workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import SequenceError
+from repro.workloads import seismic_corpus, seismic_sequence, stock_corpus, stock_sequence
+
+
+class TestSeismic:
+    def test_events_visible(self):
+        seq, events = seismic_sequence(n_points=1000, event_positions=[400], seed=1)
+        background = np.abs(seq.values[:350]).max()
+        burst = np.abs(seq.values[400:450]).max()
+        assert burst > 5 * background
+
+    def test_event_positions_returned(self):
+        __, events = seismic_sequence(event_positions=[100, 900], n_points=2000)
+        assert events == [100, 900]
+
+    def test_random_events_generated(self):
+        __, events = seismic_sequence(n_points=2000, seed=2)
+        assert events
+        assert all(0 <= e < 2000 for e in events)
+
+    def test_bad_event_position_rejected(self):
+        with pytest.raises(SequenceError):
+            seismic_sequence(event_positions=[99999], n_points=100)
+
+    def test_bad_amplitudes_rejected(self):
+        with pytest.raises(SequenceError):
+            seismic_sequence(event_amplitude=0.0)
+
+    def test_corpus(self):
+        corpus = seismic_corpus(n_sequences=4, n_points=1500)
+        assert len(corpus) == 4
+        for seq, events in corpus:
+            assert len(seq) == 1500
+            assert events
+
+
+class TestStocks:
+    def test_explicit_regimes(self):
+        seq = stock_sequence(
+            n_points=60,
+            regimes=[(30, 1.0), (30, -1.0)],
+            volatility=0.0,
+            start_price=100.0,
+        )
+        assert seq.values[29] > seq.values[0]
+        assert seq.values[-1] < seq.values[30]
+
+    def test_prices_positive(self):
+        for seq in stock_corpus(n_sequences=5, n_points=300):
+            assert (seq.values > 0).all()
+
+    def test_deterministic(self):
+        assert stock_sequence(seed=7) == stock_sequence(seed=7)
+
+    def test_validation(self):
+        with pytest.raises(SequenceError):
+            stock_sequence(start_price=0.0)
+        with pytest.raises(SequenceError):
+            stock_sequence(regimes=[(0, 1.0)])
+
+    def test_corpus_names(self):
+        corpus = stock_corpus(n_sequences=3)
+        assert [s.name for s in corpus] == ["stock-0", "stock-1", "stock-2"]
