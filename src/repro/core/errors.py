@@ -46,6 +46,11 @@ class StorageError(ReproError):
     """Raised by the archival store and the serialization codec."""
 
 
+class EngineError(ReproError):
+    """Raised by the execution engine for columnar-store integrity
+    violations (unknown sequence ids, offset-table corruption)."""
+
+
 class TransformationError(ReproError):
     """Raised when a transformation receives parameters outside its domain
     (for example a non-positive dilation factor)."""

@@ -24,7 +24,38 @@ from repro.core.segment import Segment
 from repro.core.sequence import Sequence
 from repro.functions.fitting import get_fitter
 
-__all__ = ["FunctionSeriesRepresentation"]
+__all__ = ["FunctionSeriesRepresentation", "symbols_from_slopes", "collapse_symbol_runs"]
+
+
+def collapse_symbol_runs(symbols: str) -> str:
+    """Merge consecutive identical symbols into one behavioural run."""
+    return "".join(s for i, s in enumerate(symbols) if i == 0 or s != symbols[i - 1])
+
+
+def symbols_from_slopes(
+    slopes: "TypingSequence[float] | np.ndarray",
+    theta: float = 0.0,
+    collapse_runs: bool = False,
+) -> str:
+    """Slope-sign string over ``{'+', '-', '0'}`` from raw slope values.
+
+    The single source of the paper's Section 4.4 classification rule:
+    slopes above ``theta`` are ``'+'``, below ``-theta`` are ``'-'``,
+    flat otherwise.  Works on any slope array — a representation's own
+    slopes or a column slice of the engine's columnar store — so both
+    produce byte-identical strings.
+    """
+    symbols = []
+    for slope in slopes:
+        if slope > theta:
+            symbols.append("+")
+        elif slope < -theta:
+            symbols.append("-")
+        else:
+            symbols.append("0")
+    if collapse_runs:
+        return collapse_symbol_runs("".join(symbols))
+    return "".join(symbols)
 
 
 class FunctionSeriesRepresentation:
@@ -172,6 +203,35 @@ class FunctionSeriesRepresentation:
         """Mean slope of every segment, in order."""
         return [segment.mean_slope() for segment in self.segments]
 
+    def segment_columns(self) -> "dict[str, np.ndarray]":
+        """Array views of the per-segment scalars, one entry per column.
+
+        The stacked form the execution engine stores: start/end indices,
+        start/end ``(time, value)`` endpoints and mean slopes as
+        contiguous NumPy arrays in segment order.  Values are exactly
+        the scalars the per-segment accessors return, so vectorized
+        consumers and the object API always agree.
+        """
+        n = len(self.segments)
+        columns = {
+            "start_index": np.empty(n, dtype=np.int64),
+            "end_index": np.empty(n, dtype=np.int64),
+            "start_time": np.empty(n, dtype=np.float64),
+            "end_time": np.empty(n, dtype=np.float64),
+            "start_value": np.empty(n, dtype=np.float64),
+            "end_value": np.empty(n, dtype=np.float64),
+            "slope": np.empty(n, dtype=np.float64),
+        }
+        for i, segment in enumerate(self.segments):
+            columns["start_index"][i] = segment.start_index
+            columns["end_index"][i] = segment.end_index
+            columns["start_time"][i] = segment.start_point[0]
+            columns["start_value"][i] = segment.start_point[1]
+            columns["end_time"][i] = segment.end_point[0]
+            columns["end_value"][i] = segment.end_point[1]
+            columns["slope"][i] = segment.mean_slope()
+        return columns
+
     def symbol_string(self, theta: float = 0.0, collapse_runs: bool = False) -> str:
         """Slope-sign classification over ``{'+', '-', '0'}``.
 
@@ -186,18 +246,7 @@ class FunctionSeriesRepresentation:
         positional indexes use the uncollapsed view, whose positions map
         one-to-one onto segments.
         """
-        symbols = []
-        for slope in self.slopes():
-            if slope > theta:
-                symbols.append("+")
-            elif slope < -theta:
-                symbols.append("-")
-            else:
-                symbols.append("0")
-        if collapse_runs:
-            collapsed = [s for i, s in enumerate(symbols) if i == 0 or s != symbols[i - 1]]
-            return "".join(collapsed)
-        return "".join(symbols)
+        return symbols_from_slopes(self.slopes(), theta, collapse_runs=collapse_runs)
 
     # ------------------------------------------------------------------
     # Reconstruction

@@ -24,7 +24,19 @@ from typing import Callable, Iterable
 
 from repro.core.errors import QueryError
 
-__all__ = ["MatchGrade", "Tolerance", "DimensionDeviation", "grade_deviations"]
+__all__ = [
+    "MatchGrade",
+    "Tolerance",
+    "DimensionDeviation",
+    "grade_deviations",
+    "WITHIN_EPSILON",
+    "EXACT_EPSILON",
+]
+
+#: Slack added to a tolerance bound before comparing a deviation to it.
+WITHIN_EPSILON = 1e-12
+#: Largest deviation still considered zero (floating-point dust).
+EXACT_EPSILON = 1e-12
 
 
 class MatchGrade(enum.Enum):
@@ -72,7 +84,7 @@ class DimensionDeviation:
 
     @property
     def within(self) -> bool:
-        return self.amount <= self.bound + 1e-12
+        return self.amount <= self.bound + WITHIN_EPSILON
 
     @property
     def exact(self) -> bool:
@@ -82,7 +94,7 @@ class DimensionDeviation:
         copies of the same data; residues at the 1e-12 scale are
         numerical noise, not behavioural difference.
         """
-        return self.amount <= 1e-12
+        return self.amount <= EXACT_EPSILON
 
 
 def grade_deviations(deviations: Iterable[DimensionDeviation]) -> MatchGrade:

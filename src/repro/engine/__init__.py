@@ -1,0 +1,21 @@
+"""Execution engine: columnar storage and vectorized query plans.
+
+The engine layer stores every ingested representation column-wise
+(:class:`ColumnarSegmentStore`) and evaluates queries as staged plans
+(:class:`QueryPlan`) of index probe, columnar prefilter, vectorized
+grading and residual per-sequence grading, built by the
+:class:`QueryPlanner` and run by the :class:`QueryExecutor`.
+"""
+
+from repro.engine.columnar import ColumnarSegmentStore
+from repro.engine.executor import QueryExecutor, QueryPlanner
+from repro.engine.plan import DimensionColumn, QueryPlan, VectorVerdicts
+
+__all__ = [
+    "ColumnarSegmentStore",
+    "QueryPlan",
+    "QueryPlanner",
+    "QueryExecutor",
+    "DimensionColumn",
+    "VectorVerdicts",
+]

@@ -1,0 +1,382 @@
+"""Columnar storage of every ingested representation.
+
+The per-sequence object form (:class:`FunctionSeriesRepresentation`
+holding :class:`Segment` instances) is right for construction and for
+per-sequence inspection, but evaluating a query against it means a
+Python loop over sequences and a second loop over segments.  The
+:class:`ColumnarSegmentStore` keeps the *same* information stacked
+column-wise in contiguous NumPy arrays, so a query over the whole
+database becomes a handful of vectorized predicates:
+
+* **segment columns** — one row per stored segment (start/end indices,
+  start/end points, mean slope) plus the owning sequence id;
+* **R-R columns** — one row per inter-peak interval;
+* **sequence columns** — one row per live sequence: the offset table
+  (``sequence_id → row range``) into the segment and R-R columns, plus
+  per-sequence scalars (peak count, steepest rising slope, source
+  length) that the vectorized query filters consume directly.
+
+The store is kept in sync with the database on ``insert``/``delete``:
+inserts append (amortized via capacity doubling, with a batch
+:meth:`extend` for bulk ingest), deletes compact the columns in place so
+vectorized scans never have to skip tombstones.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Sequence as TypingSequence
+
+import numpy as np
+
+from repro.core.errors import EngineError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.representation import FunctionSeriesRepresentation
+
+__all__ = ["ColumnarSegmentStore"]
+
+
+class _ColumnSet:
+    """Named same-length NumPy columns with amortized append."""
+
+    def __init__(self, schema: "dict[str, type]") -> None:
+        self._schema = dict(schema)
+        self._arrays = {name: np.empty(0, dtype=dtype) for name, dtype in schema.items()}
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def column(self, name: str) -> np.ndarray:
+        """Writable view of one column trimmed to the live rows."""
+        return self._arrays[name][: self._size]
+
+    def extend(self, columns: "dict[str, np.ndarray]") -> None:
+        if set(columns) != set(self._schema):
+            raise EngineError(
+                f"column mismatch: expected {sorted(self._schema)}, got {sorted(columns)}"
+            )
+        n_new = len(next(iter(columns.values())))
+        if any(len(arr) != n_new for arr in columns.values()):
+            raise EngineError("appended columns disagree in length")
+        needed = self._size + n_new
+        capacity = len(next(iter(self._arrays.values())))
+        if needed > capacity:
+            new_capacity = max(needed, 2 * capacity, 16)
+            for name, arr in self._arrays.items():
+                grown = np.empty(new_capacity, dtype=arr.dtype)
+                grown[: self._size] = arr[: self._size]
+                self._arrays[name] = grown
+        for name, arr in columns.items():
+            self._arrays[name][self._size : needed] = arr
+        self._size = needed
+
+    def delete_range(self, lo: int, hi: int) -> None:
+        """Remove rows ``lo:hi``, shifting the tail left (compaction)."""
+        if not (0 <= lo <= hi <= self._size):
+            raise EngineError(f"row range [{lo}, {hi}) outside live rows [0, {self._size})")
+        count = hi - lo
+        if count == 0:
+            return
+        for arr in self._arrays.values():
+            arr[lo : self._size - count] = arr[hi : self._size]
+        self._size -= count
+
+
+_SEGMENT_SCHEMA = {
+    "sequence": np.int64,
+    "start_index": np.int64,
+    "end_index": np.int64,
+    "start_time": np.float64,
+    "end_time": np.float64,
+    "start_value": np.float64,
+    "end_value": np.float64,
+    "slope": np.float64,
+}
+
+_RR_SCHEMA = {
+    "sequence": np.int64,
+    "value": np.float64,
+}
+
+_SEQUENCE_SCHEMA = {
+    "sequence_id": np.int64,
+    "segment_start": np.int64,
+    "segment_count": np.int64,
+    "rr_start": np.int64,
+    "rr_count": np.int64,
+    "peak_count": np.int64,
+    "max_rising_slope": np.float64,
+    "source_length": np.int64,
+}
+
+
+class ColumnarSegmentStore:
+    """Column-wise mirror of every live representation.
+
+    Sequence ids must be inserted in strictly increasing order (the
+    database assigns monotonically increasing ids and never reuses
+    them), which keeps the sequence table sorted and lets lookups use
+    binary search instead of a side dictionary.
+    """
+
+    def __init__(self) -> None:
+        self._segments = _ColumnSet(_SEGMENT_SCHEMA)
+        self._rr = _ColumnSet(_RR_SCHEMA)
+        self._sequences = _ColumnSet(_SEQUENCE_SCHEMA)
+
+    # ------------------------------------------------------------------
+    # Sizing
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._sequences)
+
+    def __contains__(self, sequence_id: int) -> bool:
+        ids = self.sequence_ids
+        p = int(np.searchsorted(ids, sequence_id))
+        return p < len(ids) and int(ids[p]) == int(sequence_id)
+
+    @property
+    def n_sequences(self) -> int:
+        return len(self._sequences)
+
+    @property
+    def n_segments(self) -> int:
+        return len(self._segments)
+
+    @property
+    def n_rr(self) -> int:
+        return len(self._rr)
+
+    # ------------------------------------------------------------------
+    # Column views (trimmed to live rows; treat as read-only)
+    # ------------------------------------------------------------------
+
+    @property
+    def sequence_ids(self) -> np.ndarray:
+        return self._sequences.column("sequence_id")
+
+    @property
+    def peak_counts(self) -> np.ndarray:
+        return self._sequences.column("peak_count")
+
+    @property
+    def max_rising_slopes(self) -> np.ndarray:
+        return self._sequences.column("max_rising_slope")
+
+    @property
+    def source_lengths(self) -> np.ndarray:
+        return self._sequences.column("source_length")
+
+    @property
+    def segment_starts(self) -> np.ndarray:
+        return self._sequences.column("segment_start")
+
+    @property
+    def segment_counts(self) -> np.ndarray:
+        return self._sequences.column("segment_count")
+
+    @property
+    def rr_starts(self) -> np.ndarray:
+        return self._sequences.column("rr_start")
+
+    @property
+    def rr_counts(self) -> np.ndarray:
+        return self._sequences.column("rr_count")
+
+    @property
+    def segment_sequences(self) -> np.ndarray:
+        return self._segments.column("sequence")
+
+    @property
+    def segment_slopes(self) -> np.ndarray:
+        return self._segments.column("slope")
+
+    def segment_column(self, name: str) -> np.ndarray:
+        return self._segments.column(name)
+
+    @property
+    def rr_sequences(self) -> np.ndarray:
+        return self._rr.column("sequence")
+
+    @property
+    def rr_values(self) -> np.ndarray:
+        return self._rr.column("value")
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def position_of(self, sequence_id: int) -> int:
+        """Row of one sequence in the sequence table."""
+        ids = self.sequence_ids
+        p = int(np.searchsorted(ids, sequence_id))
+        if p >= len(ids) or int(ids[p]) != int(sequence_id):
+            raise EngineError(f"sequence {sequence_id} not in columnar store")
+        return p
+
+    def positions_of(self, sequence_ids: "TypingSequence[int] | np.ndarray") -> np.ndarray:
+        """Rows of many sequences, vectorized (ids must all be live)."""
+        wanted = np.asarray(sequence_ids, dtype=np.int64)
+        if wanted.size == 0:
+            return np.empty(0, dtype=np.int64)
+        ids = self.sequence_ids
+        if len(ids) == 0:
+            raise EngineError(f"sequences {wanted.tolist()} not in columnar store")
+        positions = np.searchsorted(ids, wanted)
+        clipped = np.minimum(positions, len(ids) - 1)
+        bad = (positions >= len(ids)) | (ids[clipped] != wanted)
+        if bool(bad.any()):
+            raise EngineError(f"sequences {wanted[bad].tolist()} not in columnar store")
+        return positions
+
+    def segment_range(self, sequence_id: int) -> "tuple[int, int]":
+        p = self.position_of(sequence_id)
+        lo = int(self.segment_starts[p])
+        return lo, lo + int(self.segment_counts[p])
+
+    def rr_range(self, sequence_id: int) -> "tuple[int, int]":
+        p = self.position_of(sequence_id)
+        lo = int(self.rr_starts[p])
+        return lo, lo + int(self.rr_counts[p])
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def insert(
+        self,
+        sequence_id: int,
+        representation: "FunctionSeriesRepresentation",
+        *,
+        peak_count: int,
+        rr: "np.ndarray | TypingSequence[float]",
+    ) -> None:
+        """Append one sequence's columns (see :meth:`extend`)."""
+        self.extend([(sequence_id, representation, peak_count, rr)])
+
+    def extend(
+        self,
+        items: "Iterable[tuple[int, FunctionSeriesRepresentation, int, np.ndarray]]",
+    ) -> None:
+        """Append many sequences at once, building each column once.
+
+        ``items`` yields ``(sequence_id, representation, peak_count,
+        rr_intervals)`` tuples in strictly increasing id order.  Bulk
+        ingest concatenates per-sequence columns and grows every array a
+        single time, which is what makes ``insert_all`` amortize.
+        """
+        batch = list(items)
+        if not batch:
+            return
+        last = int(self.sequence_ids[-1]) if len(self._sequences) else -1
+        seg_parts: "dict[str, list[np.ndarray]]" = {name: [] for name in _SEGMENT_SCHEMA}
+        rr_seq_parts: "list[np.ndarray]" = []
+        rr_val_parts: "list[np.ndarray]" = []
+        seq_rows: "dict[str, list]" = {name: [] for name in _SEQUENCE_SCHEMA}
+        seg_cursor = len(self._segments)
+        rr_cursor = len(self._rr)
+        for sequence_id, representation, peak_count, rr in batch:
+            sequence_id = int(sequence_id)
+            if sequence_id <= last:
+                raise EngineError(
+                    f"sequence ids must be inserted in increasing order "
+                    f"({sequence_id} after {last})"
+                )
+            last = sequence_id
+            columns = representation.segment_columns()
+            n_segments = len(columns["slope"])
+            slopes = columns["slope"]
+            rising = np.where(slopes > 0.0, slopes, 0.0)
+            rr_arr = np.asarray(rr, dtype=np.float64)
+            for name in _SEGMENT_SCHEMA:
+                if name == "sequence":
+                    seg_parts[name].append(np.full(n_segments, sequence_id, dtype=np.int64))
+                else:
+                    seg_parts[name].append(columns[name])
+            rr_seq_parts.append(np.full(len(rr_arr), sequence_id, dtype=np.int64))
+            rr_val_parts.append(rr_arr)
+            seq_rows["sequence_id"].append(sequence_id)
+            seq_rows["segment_start"].append(seg_cursor)
+            seq_rows["segment_count"].append(n_segments)
+            seq_rows["rr_start"].append(rr_cursor)
+            seq_rows["rr_count"].append(len(rr_arr))
+            seq_rows["peak_count"].append(int(peak_count))
+            seq_rows["max_rising_slope"].append(float(rising.max(initial=0.0)))
+            seq_rows["source_length"].append(int(representation.source_length))
+            seg_cursor += n_segments
+            rr_cursor += len(rr_arr)
+        self._segments.extend(
+            {
+                name: np.concatenate(parts).astype(_SEGMENT_SCHEMA[name], copy=False)
+                for name, parts in seg_parts.items()
+            }
+        )
+        self._rr.extend(
+            {
+                "sequence": np.concatenate(rr_seq_parts),
+                "value": np.concatenate(rr_val_parts) if rr_val_parts else np.empty(0),
+            }
+        )
+        self._sequences.extend(
+            {
+                name: np.asarray(values, dtype=_SEQUENCE_SCHEMA[name])
+                for name, values in seq_rows.items()
+            }
+        )
+
+    def delete(self, sequence_id: int) -> None:
+        """Drop one sequence and compact every column in place."""
+        p = self.position_of(sequence_id)
+        seg_lo = int(self.segment_starts[p])
+        seg_count = int(self.segment_counts[p])
+        rr_lo = int(self.rr_starts[p])
+        rr_count = int(self.rr_counts[p])
+        self._segments.delete_range(seg_lo, seg_lo + seg_count)
+        self._rr.delete_range(rr_lo, rr_lo + rr_count)
+        self._sequences.delete_range(p, p + 1)
+        # Rows past the deleted sequence shifted left; fix their offsets.
+        self.segment_starts[p:] -= seg_count
+        self.rr_starts[p:] -= rr_count
+
+    # ------------------------------------------------------------------
+    # Integrity
+    # ------------------------------------------------------------------
+
+    def check_consistency(self) -> None:
+        """Verify the offset table partitions the columns exactly."""
+        ids = self.sequence_ids
+        if len(ids) > 1 and not bool((np.diff(ids) > 0).all()):
+            raise EngineError("sequence table is not sorted by id")
+        seg_starts = self.segment_starts
+        seg_counts = self.segment_counts
+        rr_starts = self.rr_starts
+        rr_counts = self.rr_counts
+        cursor_seg = 0
+        cursor_rr = 0
+        for p in range(len(ids)):
+            if int(seg_starts[p]) != cursor_seg:
+                raise EngineError(
+                    f"segment offset of sequence {int(ids[p])} is {int(seg_starts[p])}, "
+                    f"expected {cursor_seg}"
+                )
+            if int(rr_starts[p]) != cursor_rr:
+                raise EngineError(
+                    f"rr offset of sequence {int(ids[p])} is {int(rr_starts[p])}, "
+                    f"expected {cursor_rr}"
+                )
+            seg_hi = cursor_seg + int(seg_counts[p])
+            rr_hi = cursor_rr + int(rr_counts[p])
+            if not bool((self.segment_sequences[cursor_seg:seg_hi] == ids[p]).all()):
+                raise EngineError(f"segment rows of sequence {int(ids[p])} mislabelled")
+            if not bool((self.rr_sequences[cursor_rr:rr_hi] == ids[p]).all()):
+                raise EngineError(f"rr rows of sequence {int(ids[p])} mislabelled")
+            cursor_seg = seg_hi
+            cursor_rr = rr_hi
+        if cursor_seg != len(self._segments):
+            raise EngineError(
+                f"offset table covers {cursor_seg} segment rows of {len(self._segments)}"
+            )
+        if cursor_rr != len(self._rr):
+            raise EngineError(f"offset table covers {cursor_rr} rr rows of {len(self._rr)}")

@@ -1,0 +1,97 @@
+"""Planner and executor: vectorized query evaluation over the store.
+
+The planner asks each query for its staged :class:`QueryPlan`; the
+executor runs the stages against a database and its columnar store.
+Queries that supply a ``vector_filter`` are graded entirely in NumPy —
+the executor applies the same grading rule as
+:func:`repro.core.tolerance.grade_deviations` to whole columns at once
+and materializes :class:`QueryMatch` objects only for the sequences
+that survive, so results are identical to the legacy per-sequence path
+while the hot loop disappears.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.tolerance import (
+    EXACT_EPSILON,
+    WITHIN_EPSILON,
+    DimensionDeviation,
+    MatchGrade,
+)
+from repro.engine.plan import QueryPlan, VectorVerdicts
+from repro.query.results import QueryMatch
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.query.database import SequenceDatabase
+    from repro.query.queries import Query
+
+__all__ = ["QueryPlanner", "QueryExecutor"]
+
+
+class QueryPlanner:
+    """Turns queries into staged plans."""
+
+    def plan(self, query: "Query", database: "SequenceDatabase") -> QueryPlan:
+        return query.plan(database)
+
+    def explain(self, query: "Query", database: "SequenceDatabase") -> str:
+        """One-line description of the stages a query will run."""
+        return self.plan(query, database).describe()
+
+
+class QueryExecutor:
+    """Runs a staged plan and returns graded, sorted matches."""
+
+    def execute(
+        self,
+        database: "SequenceDatabase",
+        plan: QueryPlan,
+        include_approximate: bool = True,
+    ) -> "list[QueryMatch]":
+        store = database.store
+        candidates = plan.probe(database) if plan.probe is not None else None
+        if plan.prefilter is not None:
+            candidates = plan.prefilter(database, store, candidates)
+        if plan.vector_filter is not None:
+            verdicts = plan.vector_filter(database, store, candidates)
+            return self._materialize(database, verdicts, include_approximate)
+        ids = database.ids() if candidates is None else candidates
+        matches = []
+        for sequence_id in ids:
+            match = plan.residual(database, sequence_id)
+            if match.is_exact or (
+                include_approximate and match.grade.value == "approximate"
+            ):
+                matches.append(match)
+        return sorted(matches, key=QueryMatch.sort_key)
+
+    def _materialize(
+        self,
+        database: "SequenceDatabase",
+        verdicts: VectorVerdicts,
+        include_approximate: bool,
+    ) -> "list[QueryMatch]":
+        n = len(verdicts.sequence_ids)
+        within = np.ones(n, dtype=bool)
+        exact = np.ones(n, dtype=bool)
+        for dim in verdicts.dimensions:
+            within &= dim.amounts <= dim.bound + WITHIN_EPSILON
+            exact &= dim.amounts <= EXACT_EPSILON
+        keep = within & (exact | include_approximate)
+        matches = []
+        ids = verdicts.sequence_ids
+        for i in np.flatnonzero(keep):
+            deviations = tuple(
+                DimensionDeviation(dim.dimension, float(dim.amounts[i]), dim.bound)
+                for dim in verdicts.dimensions
+            )
+            grade = MatchGrade.EXACT if exact[i] else MatchGrade.APPROXIMATE
+            sequence_id = int(ids[i])
+            matches.append(
+                QueryMatch(sequence_id, database.name_of(sequence_id), grade, deviations)
+            )
+        return sorted(matches, key=QueryMatch.sort_key)

@@ -22,6 +22,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
+import numpy as np
+
 from repro.core.errors import IndexError_
 from repro.index.btree import BTree
 
@@ -94,6 +96,31 @@ class InvertedFileIndex:
     def add_all(self, values: Iterable[float], sequence_id: int) -> None:
         for position, value in enumerate(values):
             self.add(value, sequence_id, position)
+
+    def add_array(self, values: "Iterable[float]", sequence_id: int) -> None:
+        """Record one sequence's feature column from a NumPy array.
+
+        The engine-facing ingest path: bucket keys are computed for the
+        whole column at once and postings sharing a bucket are inserted
+        through a single B-tree probe, so consuming a columnar store
+        slice costs one tree descent per *distinct* bucket instead of
+        one per posting.
+        """
+        array = np.asarray(values, dtype=float)
+        if array.size == 0:
+            return
+        keys = np.floor(array / self.bucket_width).astype(int)
+        order = np.argsort(keys, kind="stable")
+        sequence_id = int(sequence_id)
+        bucket = None
+        current_key = None
+        for position in order:
+            key = int(keys[position])
+            if key != current_key:
+                bucket = self._btree.setdefault(key, PostingBucket)
+                current_key = key
+            bucket.add(Posting(float(array[position]), sequence_id, int(position)))
+        self._count += array.size
 
     def __len__(self) -> int:
         """Total posting count (not distinct sequences)."""

@@ -42,10 +42,20 @@ class PatternIndex:
 
     def add(self, sequence_id: int, representation: FunctionSeriesRepresentation) -> None:
         """Index the representation's slope-sign string."""
-        self._trie.add(
+        self.add_symbols(
             sequence_id,
             representation.symbol_string(self.theta, collapse_runs=self.collapse_runs),
         )
+
+    def add_symbols(self, sequence_id: int, symbols: str) -> None:
+        """Index a precomputed slope-sign string.
+
+        The database's ingest path classifies each sequence's slopes
+        once and feeds both the positional and the behavioural index
+        from that single pass; the caller is responsible for applying
+        this index's ``theta`` and ``collapse_runs`` convention.
+        """
+        self._trie.add(sequence_id, symbols)
 
     def remove(self, sequence_id: int) -> None:
         """Unindex one sequence."""

@@ -8,10 +8,13 @@ This is the system of paper Section 4.4 assembled end to end:
    choice), stored compactly on the local tier;
 3. indexes are maintained over the representation: the slope-sign
    pattern index (positional and behavioural views) and the
-   inverted-file R-R interval index of Figure 10;
+   inverted-file R-R interval index of Figure 10, plus the execution
+   engine's columnar segment store, which mirrors every live
+   representation column-wise;
 4. generalized approximate queries run against representations and
-   indexes alone — raw data is touched only by explicit baseline
-   queries or ``raw_sequence`` calls.
+   indexes alone — by default as vectorized plans over the columnar
+   store (:mod:`repro.engine`); raw data is touched only by explicit
+   baseline queries or ``raw_sequence`` calls.
 """
 
 from __future__ import annotations
@@ -21,11 +24,17 @@ from typing import Iterable
 import numpy as np
 
 from repro.core.errors import QueryError
-from repro.core.features import count_peaks, find_peaks, peak_table, rr_intervals
-from repro.core.representation import FunctionSeriesRepresentation
+from repro.core.features import find_peaks, peak_table
+from repro.core.representation import (
+    FunctionSeriesRepresentation,
+    collapse_symbol_runs,
+    symbols_from_slopes,
+)
 from repro.core.sequence import Sequence
+from repro.engine import ColumnarSegmentStore, QueryExecutor, QueryPlanner
 from repro.index.inverted import InvertedFileIndex
 from repro.index.pattern_index import PatternIndex
+from repro.preprocessing.normalization import znormalize
 from repro.query.queries import Query
 from repro.query.results import QueryMatch
 from repro.segmentation.base import Breaker
@@ -87,11 +96,13 @@ class SequenceDatabase:
         self.behavior_index = PatternIndex(theta=theta, trie_depth=trie_depth, collapse_runs=True)
         #: Figure 10: inverted file over R-R interval lengths.
         self.rr_index = InvertedFileIndex(bucket_width=rr_bucket_width)
+        #: Execution engine: column-wise mirror of every live representation.
+        self.store = ColumnarSegmentStore()
+        self.planner = QueryPlanner()
+        self.executor = QueryExecutor()
 
         self._representations: dict[int, FunctionSeriesRepresentation] = {}
         self._names: dict[int, str] = {}
-        self._peak_counts: dict[int, int] = {}
-        self._rr_lists: dict[int, np.ndarray] = {}
         self._next_id = 0
 
     # ------------------------------------------------------------------
@@ -100,34 +111,95 @@ class SequenceDatabase:
 
     def insert(self, sequence: Sequence) -> int:
         """Archive, break, represent and index one sequence."""
-        sequence_id = self._next_id
-        self._next_id += 1
-
-        if self.keep_raw:
-            self.archive.store(sequence_id, sequence)
-
+        sequence_id = self._admit(sequence)
         if self.normalize:
-            from repro.preprocessing.normalization import znormalize
-
             sequence = znormalize(sequence)
         representation = self.breaker.represent(sequence, curve_kind=self.curve_kind)
-        self._representations[sequence_id] = representation
-        self._names[sequence_id] = sequence.name or f"seq-{sequence_id}"
-        self.local_store.store(sequence_id, representation)
-        self.catalog.put(sequence_id, "default", representation)
-
-        self.pattern_index.add(sequence_id, representation)
-        self.behavior_index.add(sequence_id, representation)
-
-        self._peak_counts[sequence_id] = count_peaks(representation, self.theta)
-        intervals = rr_intervals(representation, self.theta)
-        self._rr_lists[sequence_id] = intervals
-        for position, interval in enumerate(intervals):
-            self.rr_index.add(float(interval), sequence_id, position)
+        peak_count, intervals = self._ingest_one(sequence_id, representation, sequence.name)
+        self.store.insert(
+            sequence_id, representation, peak_count=peak_count, rr=intervals
+        )
         return sequence_id
 
     def insert_all(self, sequences: Iterable[Sequence]) -> list[int]:
-        return [self.insert(sequence) for sequence in sequences]
+        """Batch ingest: represent the batch, then build columns once.
+
+        Functionally identical to repeated :meth:`insert`, but the
+        breaker's batch entry point handles representation and the
+        columnar store's arrays grow a single time for the whole batch,
+        amortizing ingest cost for bulk loads.
+        """
+        batch = list(sequences)
+        sequence_ids = [self._admit(sequence) for sequence in batch]
+        if self.normalize:
+            batch = [znormalize(sequence) for sequence in batch]
+        representations = self.breaker.represent_many(batch, curve_kind=self.curve_kind)
+        store_items = []
+        for sequence_id, sequence, representation in zip(sequence_ids, batch, representations):
+            peak_count, intervals = self._ingest_one(
+                sequence_id, representation, sequence.name
+            )
+            store_items.append((sequence_id, representation, peak_count, intervals))
+        self.store.extend(store_items)
+        return sequence_ids
+
+    def insert_representation(
+        self, representation: FunctionSeriesRepresentation, name: str = ""
+    ) -> int:
+        """Ingest a pre-built representation with no raw backing.
+
+        For data that arrives already summarized (a remote site shipping
+        compact function series instead of raw samples, or benchmark
+        corpora reusing a broken pool).  The sequence is indexed and
+        queryable exactly like an inserted one; only ``raw_sequence``
+        and raw-data baselines are unavailable for it.
+        """
+        sequence_id = self._next_id
+        self._next_id += 1
+        peak_count, intervals = self._ingest_one(
+            sequence_id, representation, name or representation.name
+        )
+        self.store.insert(
+            sequence_id, representation, peak_count=peak_count, rr=intervals
+        )
+        return sequence_id
+
+    def _admit(self, sequence: Sequence) -> int:
+        """Assign the next id and archive the raw sequence."""
+        sequence_id = self._next_id
+        self._next_id += 1
+        if self.keep_raw:
+            self.archive.store(sequence_id, sequence)
+        return sequence_id
+
+    def _ingest_one(
+        self,
+        sequence_id: int,
+        representation: FunctionSeriesRepresentation,
+        name: str,
+    ) -> "tuple[int, np.ndarray]":
+        """Register one representation everywhere except the columnar store.
+
+        Classifies the slope alphabet once and feeds both pattern-index
+        views from that single pass, extracts peaks once for both the
+        peak count and the R-R intervals, and returns ``(peak_count,
+        intervals)`` so callers can forward them to the columnar store
+        (individually or batched).
+        """
+        self._representations[sequence_id] = representation
+        self._names[sequence_id] = name or f"seq-{sequence_id}"
+        self.local_store.store(sequence_id, representation)
+        self.catalog.put(sequence_id, "default", representation)
+
+        symbols = symbols_from_slopes(representation.slopes(), self.theta)
+        self.pattern_index.add_symbols(sequence_id, symbols)
+        self.behavior_index.add_symbols(sequence_id, collapse_symbol_runs(symbols))
+
+        peaks = find_peaks(representation, self.theta)
+        peak_count = len(peaks)
+        intervals = np.diff(np.asarray([peak.time for peak in peaks], dtype=float))
+        self.rr_index.add_array(intervals, sequence_id)
+        return peak_count, intervals
 
     def add_variant(
         self,
@@ -148,8 +220,6 @@ class SequenceDatabase:
         self._require(sequence_id)
         raw = self.raw_sequence(sequence_id)
         if self.normalize:
-            from repro.preprocessing.normalization import znormalize
-
             raw = znormalize(raw)
         representation = breaker.represent(raw, curve_kind=curve_kind or breaker.curve_kind)
         self.catalog.put(sequence_id, variant, representation)
@@ -165,17 +235,20 @@ class SequenceDatabase:
 
         The raw blob stays in the archive (archival media are
         append-only in the paper's setting); everything queryable —
-        representation, pattern indexes, R-R postings — is removed, so
-        subsequent queries never see the sequence.
+        representation, local-tier blobs, catalog variants, pattern
+        indexes, R-R postings, columnar store rows — is removed, so
+        subsequent queries never see the sequence and storage
+        accounting reflects only live data.
         """
         self._require(sequence_id)
         del self._representations[sequence_id]
         del self._names[sequence_id]
-        del self._peak_counts[sequence_id]
-        del self._rr_lists[sequence_id]
         self.pattern_index.remove(sequence_id)
         self.behavior_index.remove(sequence_id)
         self.rr_index.remove_sequence(sequence_id)
+        self.store.delete(sequence_id)
+        self.local_store.evict(sequence_id)
+        self.catalog.remove_sequence(sequence_id)
 
     # ------------------------------------------------------------------
     # Access
@@ -197,11 +270,17 @@ class SequenceDatabase:
 
     def peak_count_of(self, sequence_id: int) -> int:
         self._require(sequence_id)
-        return self._peak_counts[sequence_id]
+        return int(self.store.peak_counts[self.store.position_of(sequence_id)])
 
     def rr_intervals_of(self, sequence_id: int) -> np.ndarray:
+        """One sequence's R-R intervals, read from the columnar store.
+
+        Returns a copy: the store compacts its columns on delete, so a
+        view would silently change under the caller.
+        """
         self._require(sequence_id)
-        return self._rr_lists[sequence_id]
+        lo, hi = self.store.rr_range(sequence_id)
+        return self.store.rr_values[lo:hi].copy()
 
     def peaks_of(self, sequence_id: int):
         """Peak records of one sequence (see :func:`find_peaks`)."""
@@ -226,8 +305,26 @@ class SequenceDatabase:
     # Querying
     # ------------------------------------------------------------------
 
-    def query(self, query: Query, include_approximate: bool = True) -> list[QueryMatch]:
-        """Evaluate a query; exact matches first, then by deviation."""
+    def query(
+        self,
+        query: Query,
+        include_approximate: bool = True,
+        engine: bool = True,
+    ) -> list[QueryMatch]:
+        """Evaluate a query; exact matches first, then by deviation.
+
+        By default the query is planned and executed by the vectorized
+        engine (:mod:`repro.engine`); ``engine=False`` runs the legacy
+        per-sequence loop instead.  Both paths return identical results
+        — the legacy path survives as the engine's correctness oracle.
+        """
+        if engine:
+            plan = self.planner.plan(query, self)
+            return self.executor.execute(self, plan, include_approximate)
+        return self.query_legacy(query, include_approximate)
+
+    def query_legacy(self, query: Query, include_approximate: bool = True) -> list[QueryMatch]:
+        """Pre-engine evaluation: per-sequence candidate grading."""
         candidate_ids = query.candidates(self)
         if candidate_ids is None:
             candidate_ids = self.ids()
@@ -238,13 +335,21 @@ class SequenceDatabase:
                 matches.append(match)
         return sorted(matches, key=QueryMatch.sort_key)
 
+    def explain(self, query: Query) -> str:
+        """The stage list the engine will run for ``query``."""
+        return self.planner.explain(query, self)
+
     def scan_rr(self, target: float, delta: float) -> list[int]:
-        """Linear-scan answer to the R-R query (index validation path)."""
-        hits = []
-        for sequence_id, intervals in self._rr_lists.items():
-            if len(intervals) and bool((np.abs(intervals - target) <= delta).any()):
-                hits.append(sequence_id)
-        return sorted(hits)
+        """Linear-scan answer to the R-R query (index validation path).
+
+        One vectorized predicate over the columnar store's stacked R-R
+        column — the "scan" is a scan of arrays, not of Python objects.
+        """
+        values = self.store.rr_values
+        if len(values) == 0:
+            return []
+        hits = np.abs(values - target) <= delta
+        return [int(s) for s in np.unique(self.store.rr_sequences[hits])]
 
     # ------------------------------------------------------------------
     # Accounting

@@ -31,6 +31,17 @@ The concrete types:
 :class:`ExemplarQuery`
     The old value-based notion (Figure 1), kept for head-to-head
     comparisons; graded along the ``value_distance`` dimension.
+
+Evaluation is organized as *plan stages* (see
+:mod:`repro.engine.plan`): each query builds a
+:class:`~repro.engine.plan.QueryPlan` of index probe, columnar
+prefilter, vectorized grading and residual scalar grading.
+``PeakCountQuery``, ``IntervalQuery`` and ``SteepnessQuery`` grade
+entirely as NumPy predicates over the columnar store;
+``ShapeQuery``/``ExemplarQuery`` prefilter columnarly before falling
+back to per-sequence grading.  The pre-engine API survives as thin
+wrappers: ``candidates`` is the plan's probe stage and ``grade`` its
+residual stage.
 """
 
 from __future__ import annotations
@@ -43,10 +54,12 @@ import numpy as np
 from repro.core.errors import QueryError
 from repro.core.sequence import Sequence
 from repro.core.tolerance import DimensionDeviation, MatchGrade, Tolerance, grade_deviations
+from repro.engine.plan import DimensionColumn, QueryPlan, VectorVerdicts
 from repro.patterns.regex import SymbolPattern
 from repro.query.results import QueryMatch
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.engine.columnar import ColumnarSegmentStore
     from repro.query.database import SequenceDatabase
 
 __all__ = [
@@ -59,6 +72,8 @@ __all__ = [
     "ExemplarQuery",
 ]
 
+_SYMBOL_CODES = {"+": 1, "-": -1, "0": 0}
+
 
 class Query(abc.ABC):
     """A generalized approximate query."""
@@ -67,13 +82,27 @@ class Query(abc.ABC):
         """Index-assisted candidate ids, or None to scan everything.
 
         Candidate sets must have no false dismissals for the query's
-        tolerance; grading re-checks every candidate anyway.
+        tolerance; grading re-checks every candidate anyway.  This is
+        the plan's probe stage under its pre-engine name.
         """
         return None
 
     @abc.abstractmethod
     def grade(self, database: "SequenceDatabase", sequence_id: int) -> QueryMatch:
-        """Grade one stored sequence against this query."""
+        """Grade one stored sequence against this query.
+
+        This is the plan's residual stage under its pre-engine name.
+        """
+
+    def plan(self, database: "SequenceDatabase") -> QueryPlan:
+        """The staged execution plan for this query.
+
+        The default plan runs ``candidates`` as the probe and ``grade``
+        as the residual stage, so any third-party subclass evaluates
+        through the engine unchanged; built-in queries override this
+        with vectorized or prefiltered stages.
+        """
+        return QueryPlan(query=self, probe=self.candidates, residual=self.grade)
 
 
 class PatternQuery(Query):
@@ -84,10 +113,21 @@ class PatternQuery(Query):
         self.collapse_runs = collapse_runs
 
     def candidates(self, database: "SequenceDatabase") -> "list[int] | None":
+        return self._probe(database)
+
+    def grade(self, database: "SequenceDatabase", sequence_id: int) -> QueryMatch:
+        return self._grade_scalar(database, sequence_id)
+
+    def plan(self, database: "SequenceDatabase") -> QueryPlan:
+        return QueryPlan(
+            query=self, probe=self._probe, residual=self._grade_scalar, label="pattern"
+        )
+
+    def _probe(self, database: "SequenceDatabase") -> "list[int]":
         index = database.behavior_index if self.collapse_runs else database.pattern_index
         return index.match_full(self.pattern)
 
-    def grade(self, database: "SequenceDatabase", sequence_id: int) -> QueryMatch:
+    def _grade_scalar(self, database: "SequenceDatabase", sequence_id: int) -> QueryMatch:
         index = database.behavior_index if self.collapse_runs else database.pattern_index
         symbols = index.symbols_of(sequence_id)
         grade = MatchGrade.EXACT if self.pattern.fullmatch(symbols) else MatchGrade.REJECT
@@ -104,6 +144,35 @@ class PeakCountQuery(Query):
         self.tolerance = Tolerance("peak_count", float(count_tolerance))
 
     def grade(self, database: "SequenceDatabase", sequence_id: int) -> QueryMatch:
+        return self._grade_scalar(database, sequence_id)
+
+    def plan(self, database: "SequenceDatabase") -> QueryPlan:
+        return QueryPlan(
+            query=self,
+            vector_filter=self._vector_filter,
+            residual=self._grade_scalar,
+            label="peak-count",
+        )
+
+    def _vector_filter(
+        self,
+        database: "SequenceDatabase",
+        store: "ColumnarSegmentStore",
+        candidate_ids: "list[int] | None",
+    ) -> VectorVerdicts:
+        if candidate_ids is None:
+            ids = store.sequence_ids
+            observed = store.peak_counts
+        else:
+            positions = store.positions_of(candidate_ids)
+            ids = store.sequence_ids[positions]
+            observed = store.peak_counts[positions]
+        amounts = np.abs(float(self.count) - observed.astype(np.float64))
+        return VectorVerdicts(
+            ids, (DimensionColumn("peak_count", amounts, self.tolerance.bound),)
+        )
+
+    def _grade_scalar(self, database: "SequenceDatabase", sequence_id: int) -> QueryMatch:
         observed = database.peak_count_of(sequence_id)
         deviation = self.tolerance.deviation(float(self.count), float(observed))
         return QueryMatch(
@@ -130,9 +199,55 @@ class IntervalQuery(Query):
         self.tolerance = Tolerance("rr_interval", float(delta))
 
     def candidates(self, database: "SequenceDatabase") -> "list[int] | None":
-        return database.rr_index.sequences_near(self.target, self.tolerance.bound)
+        return self._probe(database)
 
     def grade(self, database: "SequenceDatabase", sequence_id: int) -> QueryMatch:
+        return self._grade_scalar(database, sequence_id)
+
+    def plan(self, database: "SequenceDatabase") -> QueryPlan:
+        return QueryPlan(
+            query=self,
+            probe=self._probe,
+            vector_filter=self._vector_filter,
+            residual=self._grade_scalar,
+            label="rr-interval",
+        )
+
+    def _probe(self, database: "SequenceDatabase") -> "list[int]":
+        return database.rr_index.sequences_near(self.target, self.tolerance.bound)
+
+    def _vector_filter(
+        self,
+        database: "SequenceDatabase",
+        store: "ColumnarSegmentStore",
+        candidate_ids: "list[int] | None",
+    ) -> VectorVerdicts:
+        if candidate_ids is None:
+            positions = np.arange(store.n_sequences)
+        else:
+            positions = store.positions_of(candidate_ids)
+        ids = store.sequence_ids[positions]
+        starts = store.rr_starts[positions]
+        counts = store.rr_counts[positions]
+        amounts = np.full(len(positions), np.inf)
+        populated = counts > 0
+        if bool(populated.any()):
+            # Ragged gather: concatenate each candidate's R-R rows, then
+            # reduce per candidate — no per-sequence Python loop.
+            sub_starts = starts[populated]
+            sub_counts = counts[populated]
+            offsets = np.zeros(len(sub_counts), dtype=np.int64)
+            np.cumsum(sub_counts[:-1], out=offsets[1:])
+            gather = np.repeat(sub_starts - offsets, sub_counts) + np.arange(
+                int(sub_counts.sum()), dtype=np.int64
+            )
+            deviations = np.abs(store.rr_values[gather] - self.target)
+            amounts[populated] = np.minimum.reduceat(deviations, offsets)
+        return VectorVerdicts(
+            ids, (DimensionColumn("rr_interval", amounts, self.tolerance.bound),)
+        )
+
+    def _grade_scalar(self, database: "SequenceDatabase", sequence_id: int) -> QueryMatch:
         intervals = database.rr_intervals_of(sequence_id)
         if len(intervals) == 0:
             deviation = DimensionDeviation("rr_interval", float("inf"), self.tolerance.bound)
@@ -162,6 +277,35 @@ class SteepnessQuery(Query):
         self.tolerance = Tolerance("steepness", float(slope_tolerance))
 
     def grade(self, database: "SequenceDatabase", sequence_id: int) -> QueryMatch:
+        return self._grade_scalar(database, sequence_id)
+
+    def plan(self, database: "SequenceDatabase") -> QueryPlan:
+        return QueryPlan(
+            query=self,
+            vector_filter=self._vector_filter,
+            residual=self._grade_scalar,
+            label="steepness",
+        )
+
+    def _vector_filter(
+        self,
+        database: "SequenceDatabase",
+        store: "ColumnarSegmentStore",
+        candidate_ids: "list[int] | None",
+    ) -> VectorVerdicts:
+        if candidate_ids is None:
+            ids = store.sequence_ids
+            steepest = store.max_rising_slopes
+        else:
+            positions = store.positions_of(candidate_ids)
+            ids = store.sequence_ids[positions]
+            steepest = store.max_rising_slopes[positions]
+        amounts = np.maximum(0.0, self.min_slope - steepest)
+        return VectorVerdicts(
+            ids, (DimensionColumn("steepness", amounts, self.tolerance.bound),)
+        )
+
+    def _grade_scalar(self, database: "SequenceDatabase", sequence_id: int) -> QueryMatch:
         representation = database.representation_of(sequence_id)
         rising = [s for s in representation.slopes() if s > 0]
         steepest = max(rising) if rising else 0.0
@@ -186,6 +330,11 @@ class ShapeQuery(Query):
     feature-preserving transformations.  Candidates with the same
     symbols but profile differences within the tolerances are
     approximate matches along ``shape_duration`` / ``shape_amplitude``.
+
+    Under the engine the columnar store prefilters structurally: run
+    boundaries of the slope-sign codes are found for every stored
+    sequence at once, and only sequences whose collapsed code string
+    equals the exemplar's signature survive to per-sequence grading.
     """
 
     def __init__(
@@ -205,6 +354,17 @@ class ShapeQuery(Query):
         self._signature_builder = shape_signature
         self._cache_key: "tuple[int, float] | None" = None
         self._signature = None
+
+    def grade(self, database: "SequenceDatabase", sequence_id: int) -> QueryMatch:
+        return self._grade_scalar(database, sequence_id)
+
+    def plan(self, database: "SequenceDatabase") -> QueryPlan:
+        return QueryPlan(
+            query=self,
+            prefilter=self._prefilter,
+            residual=self._grade_scalar,
+            label="shape",
+        )
 
     def _signature_for(self, database: "SequenceDatabase"):
         """Exemplar signature under the database's own pipeline.
@@ -232,7 +392,42 @@ class ShapeQuery(Query):
         self._cache_key = key
         return self._signature
 
-    def grade(self, database: "SequenceDatabase", sequence_id: int) -> QueryMatch:
+    def _prefilter(
+        self,
+        database: "SequenceDatabase",
+        store: "ColumnarSegmentStore",
+        candidate_ids: "list[int] | None",
+    ) -> "list[int]":
+        """Sequences whose collapsed slope-sign string equals the
+        exemplar's — the only ones :meth:`grade` could accept."""
+        wanted = self._signature_for(database).symbols
+        if store.n_sequences == 0:
+            return []
+        theta = database.theta
+        slopes = store.segment_slopes
+        owners = store.segment_sequences
+        codes = np.where(slopes > theta, 1, np.where(slopes < -theta, -1, 0)).astype(np.int8)
+        run_start = np.empty(len(codes), dtype=bool)
+        run_start[0] = True
+        run_start[1:] = (codes[1:] != codes[:-1]) | (owners[1:] != owners[:-1])
+        run_counts = np.add.reduceat(run_start.astype(np.int64), store.segment_starts)
+        matched = np.flatnonzero(run_counts == len(wanted))
+        if len(matched) == 0:
+            ids: "list[int]" = []
+        else:
+            run_offsets = np.zeros(store.n_sequences, dtype=np.int64)
+            np.cumsum(run_counts[:-1], out=run_offsets[1:])
+            run_rows = np.flatnonzero(run_start)
+            row_matrix = run_rows[run_offsets[matched][:, None] + np.arange(len(wanted))]
+            wanted_codes = np.array([_SYMBOL_CODES[c] for c in wanted], dtype=np.int8)
+            same = (codes[row_matrix] == wanted_codes).all(axis=1)
+            ids = [int(s) for s in store.sequence_ids[matched[same]]]
+        if candidate_ids is not None:
+            allowed = set(candidate_ids)
+            ids = [sequence_id for sequence_id in ids if sequence_id in allowed]
+        return ids
+
+    def _grade_scalar(self, database: "SequenceDatabase", sequence_id: int) -> QueryMatch:
         wanted = self._signature_for(database)
         observed = self._signature_builder(
             database.representation_of(sequence_id), database.theta
@@ -263,7 +458,9 @@ class ExemplarQuery(Query):
 
     Retrieves raw sequences from the archive (paying the simulated
     latency the paper's architecture avoids) and compares values
-    pointwise; used by benchmarks as the Figure 1 baseline.
+    pointwise; used by benchmarks as the Figure 1 baseline.  Under the
+    engine, candidates whose stored length differs from the exemplar's
+    are dropped columnarly before any archive read.
     """
 
     def __init__(self, exemplar: Sequence, epsilon: float) -> None:
@@ -273,6 +470,32 @@ class ExemplarQuery(Query):
         self.tolerance = Tolerance("value_distance", float(epsilon))
 
     def grade(self, database: "SequenceDatabase", sequence_id: int) -> QueryMatch:
+        return self._grade_scalar(database, sequence_id)
+
+    def plan(self, database: "SequenceDatabase") -> QueryPlan:
+        return QueryPlan(
+            query=self,
+            prefilter=self._prefilter,
+            residual=self._grade_scalar,
+            label="exemplar-value",
+        )
+
+    def _prefilter(
+        self,
+        database: "SequenceDatabase",
+        store: "ColumnarSegmentStore",
+        candidate_ids: "list[int] | None",
+    ) -> "list[int]":
+        """Length mismatches grade to an infinite deviation; drop them
+        before paying the archive's simulated latency."""
+        same_length = store.sequence_ids[store.source_lengths == len(self.exemplar)]
+        ids = [int(s) for s in same_length]
+        if candidate_ids is not None:
+            allowed = set(candidate_ids)
+            ids = [sequence_id for sequence_id in ids if sequence_id in allowed]
+        return ids
+
+    def _grade_scalar(self, database: "SequenceDatabase", sequence_id: int) -> QueryMatch:
         raw = database.raw_sequence(sequence_id)
         if len(raw) != len(self.exemplar):
             deviation = DimensionDeviation("value_distance", float("inf"), self.tolerance.bound)

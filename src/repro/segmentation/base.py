@@ -71,6 +71,19 @@ class Breaker(abc.ABC):
             epsilon=self.epsilon,
         )
 
+    def represent_many(
+        self, sequences: "TypingSequence[Sequence]", curve_kind: str | None = None
+    ) -> "list[FunctionSeriesRepresentation]":
+        """Break and represent a whole batch of sequences.
+
+        The batch entry point the database's bulk ingest path and the
+        engine benchmarks call; the base implementation simply loops,
+        but breakers with per-call setup cost (precomputed filters,
+        device-resident scratch buffers) can override it to amortize
+        that setup across the batch.
+        """
+        return [self.represent(sequence, curve_kind=curve_kind) for sequence in sequences]
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}(epsilon={self.epsilon:g})"
 

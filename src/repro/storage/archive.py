@@ -131,6 +131,17 @@ class LocalStore:
         self.log.record("read", len(blob), self._model.cost(len(blob)))
         return decode_representation(blob)
 
+    def evict(self, sequence_id: int) -> int:
+        """Drop every stored variant of one sequence; returns bytes freed.
+
+        Unlike the archival tier, the local tier is mutable: when a
+        sequence is deleted from the database its representation blobs
+        are reclaimed so storage accounting reflects only live data.
+        Evicting an unknown sequence frees nothing and is not an error.
+        """
+        keys = [key for key in self._blobs if key[0] == sequence_id]
+        return sum(len(self._blobs.pop(key)) for key in keys)
+
     def __contains__(self, key: "tuple[int, str] | int") -> bool:
         if isinstance(key, tuple):
             return key in self._blobs

@@ -40,6 +40,13 @@ class RepresentationCatalog:
     def variants_of(self, sequence_id: int) -> list[str]:
         return sorted(self._entries.get(sequence_id, {}))
 
+    def remove_sequence(self, sequence_id: int) -> list[str]:
+        """Drop every variant of one sequence; returns the variant names.
+
+        Removing an uncatalogued sequence is a no-op returning ``[]``.
+        """
+        return sorted(self._entries.pop(sequence_id, {}))
+
     def sequences_with(self, variant: str) -> list[int]:
         return sorted(sid for sid, slots in self._entries.items() if variant in slots)
 

@@ -1,0 +1,161 @@
+"""Tests for the columnar segment store: offset-table integrity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import EngineError
+from repro.engine import ColumnarSegmentStore
+from repro.query import SequenceDatabase
+from repro.segmentation import InterpolationBreaker
+from repro.workloads import ecg_corpus, fever_corpus
+
+
+@pytest.fixture
+def db():
+    db = SequenceDatabase(breaker=InterpolationBreaker(0.5))
+    db.insert_all(fever_corpus(n_two_peak=4, n_one_peak=3, n_three_peak=3))
+    return db
+
+
+class TestColumnsMirrorRepresentations:
+    def test_row_counts(self, db):
+        assert db.store.n_sequences == len(db)
+        assert db.store.n_segments == sum(len(db.representation_of(i)) for i in db.ids())
+        assert db.store.n_rr == sum(len(db.rr_intervals_of(i)) for i in db.ids())
+
+    def test_segment_columns_match_objects(self, db):
+        for sequence_id in db.ids():
+            lo, hi = db.store.segment_range(sequence_id)
+            rep = db.representation_of(sequence_id)
+            assert hi - lo == len(rep)
+            np.testing.assert_array_equal(
+                db.store.segment_column("start_index")[lo:hi],
+                [s.start_index for s in rep],
+            )
+            np.testing.assert_array_equal(
+                db.store.segment_column("end_value")[lo:hi],
+                [s.end_point[1] for s in rep],
+            )
+            np.testing.assert_array_equal(db.store.segment_slopes[lo:hi], rep.slopes())
+
+    def test_sequence_scalars_match(self, db):
+        positions = db.store.positions_of(db.ids())
+        np.testing.assert_array_equal(db.store.sequence_ids[positions], db.ids())
+        for sequence_id in db.ids():
+            p = db.store.position_of(sequence_id)
+            assert int(db.store.peak_counts[p]) == db.peak_count_of(sequence_id)
+            assert int(db.store.source_lengths[p]) == db.representation_of(
+                sequence_id
+            ).source_length
+            rising = [s for s in db.representation_of(sequence_id).slopes() if s > 0]
+            assert float(db.store.max_rising_slopes[p]) == (max(rising) if rising else 0.0)
+
+    def test_rr_columns_match(self, db):
+        for sequence_id in db.ids():
+            lo, hi = db.store.rr_range(sequence_id)
+            np.testing.assert_array_equal(
+                db.store.rr_values[lo:hi], db.rr_intervals_of(sequence_id)
+            )
+
+    def test_consistency_after_bulk_ingest(self, db):
+        db.store.check_consistency()
+
+
+class TestInsertDeleteRoundTrip:
+    def test_delete_compacts_offsets(self, db):
+        before_segments = db.store.n_segments
+        victim = 4
+        victim_segments = len(db.representation_of(victim))
+        db.delete(victim)
+        db.store.check_consistency()
+        assert db.store.n_sequences == len(db)
+        assert db.store.n_segments == before_segments - victim_segments
+        assert victim not in db.store
+
+    def test_delete_first_and_last(self, db):
+        db.delete(db.ids()[0])
+        db.delete(db.ids()[-1])
+        db.store.check_consistency()
+        assert list(db.store.sequence_ids) == db.ids()
+
+    def test_interleaved_insert_delete(self):
+        db = SequenceDatabase(breaker=InterpolationBreaker(10.0), theta=5.0)
+        corpus = ecg_corpus(n_sequences=12, seed=21)
+        db.insert_all(corpus[:8])
+        db.delete(2)
+        db.delete(5)
+        db.insert_all(corpus[8:])
+        db.store.check_consistency()
+        assert list(db.store.sequence_ids) == db.ids()
+        for sequence_id in db.ids():
+            lo, hi = db.store.segment_range(sequence_id)
+            np.testing.assert_array_equal(
+                db.store.segment_slopes[lo:hi], db.representation_of(sequence_id).slopes()
+            )
+            rr_lo, rr_hi = db.store.rr_range(sequence_id)
+            np.testing.assert_array_equal(
+                db.store.rr_values[rr_lo:rr_hi], db.rr_intervals_of(sequence_id)
+            )
+
+    def test_single_insert_matches_bulk(self):
+        corpus = fever_corpus(n_two_peak=3, n_one_peak=2, n_three_peak=2)
+        one = SequenceDatabase(breaker=InterpolationBreaker(0.5))
+        for sequence in corpus:
+            one.insert(sequence)
+        bulk = SequenceDatabase(breaker=InterpolationBreaker(0.5))
+        bulk.insert_all(corpus)
+        np.testing.assert_array_equal(one.store.sequence_ids, bulk.store.sequence_ids)
+        np.testing.assert_array_equal(one.store.segment_slopes, bulk.store.segment_slopes)
+        np.testing.assert_array_equal(one.store.rr_values, bulk.store.rr_values)
+        np.testing.assert_array_equal(one.store.peak_counts, bulk.store.peak_counts)
+        one.store.check_consistency()
+        bulk.store.check_consistency()
+
+
+class TestStoreErrors:
+    def test_unknown_id_rejected(self, db):
+        with pytest.raises(EngineError):
+            db.store.position_of(999)
+        with pytest.raises(EngineError):
+            db.store.positions_of([0, 999])
+
+    def test_out_of_order_insert_rejected(self, db):
+        rep = db.representation_of(3)
+        with pytest.raises(EngineError):
+            db.store.insert(1, rep, peak_count=2, rr=np.array([1.0]))
+
+    def test_empty_store_lookup(self):
+        store = ColumnarSegmentStore()
+        store.check_consistency()
+        with pytest.raises(EngineError):
+            store.position_of(0)
+        assert store.positions_of([]).size == 0
+
+
+class TestDeletionReclaimsStorage:
+    def test_local_store_and_catalog_evicted(self, db):
+        before = db.storage_report()["representation_bytes"]
+        assert db.catalog.variants_of(0) == ["default"]
+        db.delete(0)
+        after = db.storage_report()["representation_bytes"]
+        assert after < before
+        assert db.catalog.variants_of(0) == []
+        assert (0, "default") not in db.local_store
+
+    def test_variants_evicted_too(self, db):
+        db.add_variant(1, "coarse", InterpolationBreaker(2.0))
+        with_variant = db.local_store.total_bytes()
+        db.delete(1)
+        assert db.local_store.total_bytes() < with_variant
+        assert db.catalog.variants_of(1) == []
+        assert 1 not in db.local_store
+
+    def test_report_counts_only_live_sequences(self, db):
+        live = len(db) - 1
+        db.delete(2)
+        report = db.storage_report()
+        assert report["sequences"] == live
+        # Raw blobs stay archived (append-only tier), representations do not.
+        assert 2 in db.archive

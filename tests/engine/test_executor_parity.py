@@ -1,0 +1,179 @@
+"""Engine vs legacy parity: identical results for every query type.
+
+The vectorized executor must be indistinguishable from the legacy
+per-sequence path — same matches, same grades, same per-dimension
+deviation floats, same order.  ``QueryMatch`` is a frozen dataclass, so
+``==`` compares every field including the deviation tuples; list
+equality is therefore the byte-identical check.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.query import (
+    ExemplarQuery,
+    IntervalQuery,
+    PatternQuery,
+    PeakCountQuery,
+    SequenceDatabase,
+    ShapeQuery,
+    SteepnessQuery,
+)
+from repro.query.results import QueryMatch
+from repro.segmentation import InterpolationBreaker
+from repro.workloads import ecg_corpus, fever_corpus, goalpost_fever, k_peak_sequence
+
+GOALPOST = "(0|-)* + (0|-)^+ + (0|-)*"
+
+
+@pytest.fixture(scope="module")
+def fever_db():
+    db = SequenceDatabase(breaker=InterpolationBreaker(0.5))
+    db.insert_all(fever_corpus(n_two_peak=6, n_one_peak=4, n_three_peak=4))
+    return db
+
+
+@pytest.fixture(scope="module")
+def ecg_db():
+    db = SequenceDatabase(breaker=InterpolationBreaker(10.0), theta=5.0)
+    db.insert_all(ecg_corpus(n_sequences=25, seed=3))
+    return db
+
+
+def assert_paths_identical(db, query, include_approximate=True):
+    engine = db.query(query, include_approximate=include_approximate)
+    legacy = db.query(query, include_approximate=include_approximate, engine=False)
+    assert engine == legacy
+    return engine
+
+
+FEVER_QUERIES = [
+    PatternQuery(GOALPOST),
+    PatternQuery("(0|-)* + (0|-)*", collapse_runs=False),
+    PeakCountQuery(2),
+    PeakCountQuery(2, count_tolerance=1),
+    PeakCountQuery(7),
+    SteepnessQuery(1.0),
+    SteepnessQuery(3.0, slope_tolerance=1.5),
+    SteepnessQuery(100.0),
+    IntervalQuery(12.0, 2.0),
+    IntervalQuery(12.0, 0.0),
+    ShapeQuery(goalpost_fever(), duration_tolerance=0.5, amplitude_tolerance=0.5),
+    ExemplarQuery(k_peak_sequence([6.0, 18.0], noise=0.0), epsilon=0.5),
+    ExemplarQuery(goalpost_fever(n_points=33), epsilon=100.0),
+]
+
+
+class TestParityOnFever:
+    @pytest.mark.parametrize("query", FEVER_QUERIES, ids=lambda q: type(q).__name__)
+    def test_engine_matches_legacy(self, fever_db, query):
+        assert_paths_identical(fever_db, query)
+
+    @pytest.mark.parametrize("query", FEVER_QUERIES, ids=lambda q: type(q).__name__)
+    def test_exact_only(self, fever_db, query):
+        assert_paths_identical(fever_db, query, include_approximate=False)
+
+
+class TestParityOnEcg:
+    @pytest.mark.parametrize(
+        "target,delta", [(120.0, 5.0), (150.0, 10.0), (180.0, 2.0), (110.0, 0.0)]
+    )
+    def test_interval_queries(self, ecg_db, target, delta):
+        matches = assert_paths_identical(ecg_db, IntervalQuery(target, delta))
+        assert {m.sequence_id for m in matches} == set(ecg_db.scan_rr(target, delta))
+
+    def test_peak_and_steepness(self, ecg_db):
+        assert_paths_identical(ecg_db, PeakCountQuery(3, count_tolerance=1))
+        assert_paths_identical(ecg_db, SteepnessQuery(5.0, slope_tolerance=2.0))
+
+
+class TestParityAfterDeletion:
+    def test_all_types_after_deletes(self):
+        db = SequenceDatabase(breaker=InterpolationBreaker(0.5))
+        db.insert_all(fever_corpus(n_two_peak=5, n_one_peak=3, n_three_peak=3))
+        for victim in (0, 4, 10):
+            db.delete(victim)
+        db.insert(k_peak_sequence([8.0, 16.0], noise=0.1, name="late"))
+        db.store.check_consistency()
+        for query in [
+            PatternQuery(GOALPOST),
+            PeakCountQuery(2, count_tolerance=1),
+            SteepnessQuery(1.0),
+            IntervalQuery(10.0, 4.0),
+            ShapeQuery(goalpost_fever(), duration_tolerance=0.5, amplitude_tolerance=0.5),
+        ]:
+            assert_paths_identical(db, query)
+
+
+class TestEngineSemantics:
+    def test_empty_database(self):
+        db = SequenceDatabase(breaker=InterpolationBreaker(0.5))
+        assert db.query(PeakCountQuery(2)) == []
+        assert db.query(SteepnessQuery(1.0)) == []
+        assert db.query(IntervalQuery(10.0, 2.0)) == []
+        assert db.scan_rr(10.0, 2.0) == []
+
+    def test_explain_names_vectorized_stages(self, fever_db):
+        assert "vectorized-grade" in fever_db.explain(PeakCountQuery(2))
+        assert "index-probe" in fever_db.explain(IntervalQuery(12.0, 1.0))
+        assert "columnar-prefilter" in fever_db.explain(ShapeQuery(goalpost_fever()))
+        assert "residual-grade" in fever_db.explain(PatternQuery(GOALPOST))
+
+    def test_third_party_query_runs_through_engine(self, fever_db):
+        """A subclass overriding only the legacy API still executes."""
+        from repro.core.tolerance import DimensionDeviation, grade_deviations
+        from repro.query.queries import Query
+
+        class LengthQuery(Query):
+            def candidates(self, database):
+                return database.ids()[:5]
+
+            def grade(self, database, sequence_id):
+                amount = abs(len(database.representation_of(sequence_id)) - 10)
+                deviation = DimensionDeviation("segment_count", float(amount), 5.0)
+                return QueryMatch(
+                    sequence_id,
+                    database.name_of(sequence_id),
+                    grade_deviations([deviation]),
+                    (deviation,),
+                )
+
+        assert_paths_identical(fever_db, LengthQuery())
+
+    def test_shape_prefilter_has_no_false_dismissals(self, fever_db):
+        query = ShapeQuery(goalpost_fever(), duration_tolerance=1.0, amplitude_tolerance=1.0)
+        survivors = set(query._prefilter(fever_db, fever_db.store, None))
+        for sequence_id in fever_db.ids():
+            match = query.grade(fever_db, sequence_id)
+            if match.grade.value != "reject":
+                assert sequence_id in survivors
+
+    def test_exemplar_prefilter_skips_archive_reads(self, fever_db):
+        wrong_length = ExemplarQuery(goalpost_fever(n_points=33), epsilon=100.0)
+        reads_before = fever_db.archive.log.reads
+        assert fever_db.query(wrong_length) == []
+        assert fever_db.archive.log.reads == reads_before
+
+    def test_insert_representation_is_queryable(self):
+        db = SequenceDatabase(breaker=InterpolationBreaker(0.5))
+        rep = InterpolationBreaker(0.5).represent(
+            goalpost_fever(), curve_kind="regression"
+        )
+        sequence_id = db.insert_representation(rep, name="pre-broken")
+        matches = db.query(PatternQuery(GOALPOST))
+        assert [m.sequence_id for m in matches] == [sequence_id]
+        assert_paths_identical(db, PeakCountQuery(2))
+
+    def test_scan_rr_matches_per_sequence_definition(self, ecg_db):
+        for target, delta in [(120.0, 5.0), (150.0, 10.0)]:
+            expected = sorted(
+                sequence_id
+                for sequence_id in ecg_db.ids()
+                if len(ecg_db.rr_intervals_of(sequence_id))
+                and bool(
+                    (np.abs(ecg_db.rr_intervals_of(sequence_id) - target) <= delta).any()
+                )
+            )
+            assert ecg_db.scan_rr(target, delta) == expected
