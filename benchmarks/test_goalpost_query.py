@@ -33,7 +33,9 @@ def test_goalpost_pattern_query(benchmark, report):
     db = SequenceDatabase(breaker=InterpolationBreaker(0.5))
     db.insert_all(fever_corpus(n_two_peak=25, n_one_peak=15, n_three_peak=15, noise=0.15))
 
-    matches = benchmark(db.query, PatternQuery(GOALPOST))
+    # cache=False so every timed iteration evaluates the pattern instead
+    # of hitting the plan-result cache.
+    matches = benchmark(db.query, PatternQuery(GOALPOST), cache=False)
 
     precision, recall = score(db, matches)
     report.line(f"corpus: {len(db)} temperature logs (25 two-peak / 15 one-peak / 15 three-peak)")

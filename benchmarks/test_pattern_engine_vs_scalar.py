@@ -1,0 +1,136 @@
+"""Vectorized pattern stage and result cache vs the scalar NFA loop.
+
+Grows the database to n ∈ {100, 1k, 10k} sequences (reusing a pool of
+pre-broken representations so ingest does not dominate) and times the
+paper's goal-post fever PatternQuery three ways:
+
+* **legacy** — the per-sequence Python NFA over the behaviour trie;
+* **engine (cold)** — the tabulated DFA run across the columnar symbol
+  store with NumPy, result cache bypassed;
+* **engine (warm)** — the same query re-issued with the plan-result
+  cache enabled, so the hit skips every stage.
+
+At 10k sequences the vectorized stage must beat legacy by ≥5x and a
+warm cache hit must beat legacy by ≥100x; a mutation must provably
+invalidate the cache.  All paths must agree exactly at every size.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.query import PatternQuery, SequenceDatabase
+from repro.segmentation import InterpolationBreaker
+from repro.workloads import k_peak_sequence
+
+SIZES = [100, 1_000, 10_000]
+VECTOR_SPEEDUP_FLOOR_AT_10K = 5.0
+CACHED_SPEEDUP_FLOOR_AT_10K = 100.0
+GOALPOST = "(0|-)* + (0|-)^+ + (0|-)*"
+
+
+def _representation_pool(pool_size: int = 40):
+    """Pre-broken fever-like curves; 1 in 8 is a two-peak goal-post match."""
+    breaker = InterpolationBreaker(0.5)
+    pool = []
+    variants = [
+        [12.0],
+        [6.0, 18.0],  # the goal-post shape
+        [4.0, 12.0, 20.0],
+        [9.0],
+        [5.0, 11.0, 17.0],
+        [3.0],
+        [8.0],
+        [2.0, 9.0, 16.0],
+    ]
+    for i in range(pool_size):
+        hours = variants[i % len(variants)]
+        sequence = k_peak_sequence(hours, noise=0.3, seed=i, name=f"pool-{i}")
+        pool.append(breaker.represent(sequence, curve_kind="regression"))
+    return pool
+
+
+def _database_of(n: int) -> SequenceDatabase:
+    pool = _representation_pool()
+    db = SequenceDatabase(breaker=InterpolationBreaker(0.5), keep_raw=False)
+    for i in range(n):
+        db.insert_representation(pool[i % len(pool)], name=f"seq-{i}")
+    return db
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for __ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_pattern_engine_vs_scalar(report):
+    query = PatternQuery(GOALPOST)
+    report.line("goal-post PatternQuery: scalar NFA loop vs DFA column stage vs cache")
+    header = (
+        f"{'n':>7} {'legacy ms':>10} {'engine ms':>10} {'warm ms':>10} "
+        f"{'vector x':>9} {'cached x':>9}"
+    )
+    report.line(header)
+    report.line("-" * len(header))
+    vector_speedup_at_largest = 0.0
+    cached_speedup_at_largest = 0.0
+    for n in SIZES:
+        db = _database_of(n)
+        legacy_matches = db.query(query, engine=False)
+        engine_matches = db.query(query, cache=False)
+        assert engine_matches == legacy_matches, n
+        legacy_s = _best_of(lambda: db.query(query, engine=False))
+        engine_s = _best_of(lambda: db.query(query, cache=False))
+        db.result_cache.clear()
+        db.query(query)  # cold fill
+        warm_matches = db.query(query)
+        assert warm_matches == legacy_matches, n
+        warm_s = _best_of(lambda: db.query(query))
+        assert db.result_cache.hits >= 4  # every timed warm call hit
+        vector_x = legacy_s / engine_s if engine_s > 0 else float("inf")
+        cached_x = legacy_s / warm_s if warm_s > 0 else float("inf")
+        if n == SIZES[-1]:
+            vector_speedup_at_largest = vector_x
+            cached_speedup_at_largest = cached_x
+        report.line(
+            f"{n:>7} {legacy_s * 1e3:>10.3f} {engine_s * 1e3:>10.3f} "
+            f"{warm_s * 1e3:>10.3f} {vector_x:>8.1f}x {cached_x:>8.1f}x"
+        )
+    report.line()
+    report.line(
+        f"vectorized speedup at n={SIZES[-1]}: {vector_speedup_at_largest:.1f}x "
+        f"(floor {VECTOR_SPEEDUP_FLOOR_AT_10K:.0f}x)"
+    )
+    report.line(
+        f"cached speedup at n={SIZES[-1]}: {cached_speedup_at_largest:.1f}x "
+        f"(floor {CACHED_SPEEDUP_FLOOR_AT_10K:.0f}x)"
+    )
+    assert vector_speedup_at_largest >= VECTOR_SPEEDUP_FLOOR_AT_10K
+    assert cached_speedup_at_largest >= CACHED_SPEEDUP_FLOOR_AT_10K
+
+
+def test_cache_invalidation_cost_and_correctness(report):
+    """Cold vs warm vs post-insert re-query at 10k sequences."""
+    n = SIZES[-1]
+    db = _database_of(n)
+    query = PatternQuery(GOALPOST)
+    cold_start = time.perf_counter()
+    cold_matches = db.query(query)
+    cold_s = time.perf_counter() - cold_start
+    warm_s = _best_of(lambda: db.query(query))
+    db.insert(k_peak_sequence([6.0, 18.0], noise=0.0, name="invalidator"))
+    refresh_start = time.perf_counter()
+    refreshed = db.query(query)
+    refresh_s = time.perf_counter() - refresh_start
+    assert len(refreshed) == len(cold_matches) + 1  # the insert is visible
+    assert db.result_cache.invalidations >= 1
+    report.line(f"cold/warm/post-insert re-query at n={n}")
+    report.line(f"cold fill:            {cold_s * 1e3:>9.3f} ms")
+    report.line(f"warm hit (best of 3): {warm_s * 1e3:>9.3f} ms")
+    report.line(f"post-insert refresh:  {refresh_s * 1e3:>9.3f} ms")
+    report.line(f"cache stats: {db.result_cache.stats()}")
+    assert warm_s < cold_s

@@ -24,7 +24,52 @@ from repro.core.segment import Segment
 from repro.core.sequence import Sequence
 from repro.functions.fitting import get_fitter
 
-__all__ = ["FunctionSeriesRepresentation", "symbols_from_slopes", "collapse_symbol_runs"]
+__all__ = [
+    "FunctionSeriesRepresentation",
+    "SYMBOL_CODES",
+    "classify_slopes",
+    "decode_symbols",
+    "symbols_from_slopes",
+    "collapse_symbol_runs",
+]
+
+#: Slope-sign symbol → int8 code, the numeric form of the alphabet used
+#: by the engine's symbol columns and transition tables.
+SYMBOL_CODES = {"+": 1, "-": -1, "0": 0}
+
+#: Code → symbol, indexed by ``code + 1``.
+_CODE_TO_SYMBOL = np.array(["-", "0", "+"])
+
+
+def classify_slopes(
+    slopes: "TypingSequence[float] | np.ndarray", theta: float = 0.0
+) -> np.ndarray:
+    """Vectorized Section 4.4 classification: slopes → int8 symbol codes.
+
+    The single source of the paper's rule: slopes above ``theta`` code
+    to ``+1`` (rising), below ``-theta`` to ``-1`` (falling), ``0``
+    (flat) otherwise.  Both the string form (:func:`symbols_from_slopes`)
+    and the engine's symbol columns derive from this one function, so
+    they can never disagree.
+    """
+    arr = np.asarray(slopes, dtype=np.float64)
+    return np.where(arr > theta, 1, np.where(arr < -theta, -1, 0)).astype(np.int8)
+
+
+def decode_symbols(codes: "np.ndarray | TypingSequence[int]") -> str:
+    """Render int8 symbol codes back into a ``{+,-,0}`` string.
+
+    Codes outside ``{-1, 0, +1}`` fail loudly: a corrupted symbol
+    column must never render as a plausible-looking string.
+    """
+    arr = np.asarray(codes)
+    if arr.size == 0:
+        return ""
+    index = arr.astype(np.int64) + 1
+    bad = (index < 0) | (index >= len(_CODE_TO_SYMBOL)) | (index - 1 != arr)
+    if bool(bad.any()):
+        raise SequenceError(f"invalid symbol codes {np.unique(arr[bad]).tolist()}")
+    return "".join(_CODE_TO_SYMBOL[index])
 
 
 def collapse_symbol_runs(symbols: str) -> str:
@@ -39,23 +84,15 @@ def symbols_from_slopes(
 ) -> str:
     """Slope-sign string over ``{'+', '-', '0'}`` from raw slope values.
 
-    The single source of the paper's Section 4.4 classification rule:
-    slopes above ``theta`` are ``'+'``, below ``-theta`` are ``'-'``,
-    flat otherwise.  Works on any slope array — a representation's own
-    slopes or a column slice of the engine's columnar store — so both
-    produce byte-identical strings.
+    The string rendering of :func:`classify_slopes`.  Works on any
+    slope array — a representation's own slopes or a column slice of
+    the engine's columnar store — so both produce byte-identical
+    strings.
     """
-    symbols = []
-    for slope in slopes:
-        if slope > theta:
-            symbols.append("+")
-        elif slope < -theta:
-            symbols.append("-")
-        else:
-            symbols.append("0")
+    symbols = decode_symbols(classify_slopes(slopes, theta))
     if collapse_runs:
-        return collapse_symbol_runs("".join(symbols))
-    return "".join(symbols)
+        return collapse_symbol_runs(symbols)
+    return symbols
 
 
 class FunctionSeriesRepresentation:

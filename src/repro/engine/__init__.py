@@ -1,18 +1,26 @@
 """Execution engine: columnar storage and vectorized query plans.
 
 The engine layer stores every ingested representation column-wise
-(:class:`ColumnarSegmentStore`) and evaluates queries as staged plans
-(:class:`QueryPlan`) of index probe, columnar prefilter, vectorized
-grading and residual per-sequence grading, built by the
-:class:`QueryPlanner` and run by the :class:`QueryExecutor`.
+(:class:`ColumnarSegmentStore`, including the int8 slope-sign symbol
+columns) and evaluates queries as staged plans (:class:`QueryPlan`) of
+index probe, columnar prefilter, vectorized grading and residual
+per-sequence grading, built by the :class:`QueryPlanner` and run by the
+:class:`QueryExecutor`.  Pattern queries vectorize through
+:class:`ColumnPatternMatcher` (a tabulated DFA run over the symbol
+columns), and graded result lists are memoized per store generation by
+:class:`PlanResultCache`.
 """
 
+from repro.engine.cache import PlanResultCache
 from repro.engine.columnar import ColumnarSegmentStore
 from repro.engine.executor import QueryExecutor, QueryPlanner
+from repro.engine.nfa import ColumnPatternMatcher
 from repro.engine.plan import DimensionColumn, QueryPlan, VectorVerdicts
 
 __all__ = [
     "ColumnarSegmentStore",
+    "ColumnPatternMatcher",
+    "PlanResultCache",
     "QueryPlan",
     "QueryPlanner",
     "QueryExecutor",

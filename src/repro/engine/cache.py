@@ -1,0 +1,102 @@
+"""Plan-level result caching keyed on query content and store generation.
+
+Query answers only change when the data changes.  The columnar store
+already tracks that precisely — every ``insert``/``extend``/``delete``
+bumps its :attr:`~repro.engine.columnar.ColumnarSegmentStore.generation`
+— so a graded result list can be reused verbatim for as long as the
+generation it was computed at stays current.  :class:`PlanResultCache`
+implements exactly that contract:
+
+* entries are keyed on ``(query fingerprint, include_approximate)``,
+  where the fingerprint is the query's *content* key (see
+  :meth:`repro.query.queries.Query.fingerprint`) — never an ``id()``,
+  which can be recycled;
+* each entry remembers the generation token it was computed at (the
+  database combines the store generation with its pipeline config, see
+  ``SequenceDatabase.cache_epoch``); a lookup at any other token is a
+  miss and drops the stale entry, so ingest, deletion and config
+  reassignment invalidate implicitly and immediately;
+* capacity is bounded with LRU eviction, and `QueryMatch` objects are
+  frozen, so sharing them across callers is safe (the returned list
+  itself is fresh per call).
+
+A hit skips every plan stage — no index probe, no columnar scan, no
+grading.  ``SequenceDatabase.explain`` surfaces the would-be outcome,
+and :attr:`hits`/:attr:`misses`/:attr:`invalidations` expose running
+totals for benchmarks and monitoring.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING
+
+from repro.core.errors import EngineError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.query.results import QueryMatch
+
+__all__ = ["PlanResultCache"]
+
+
+class PlanResultCache:
+    """LRU cache of graded result lists, invalidated by store generation."""
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries <= 0:
+            raise EngineError("cache capacity must be positive")
+        self.max_entries = int(max_entries)
+        self._entries: "OrderedDict[tuple, tuple[object, tuple[QueryMatch, ...]]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: tuple, generation) -> "list[QueryMatch] | None":
+        """Cached result list for ``key`` at generation token
+        ``generation`` (any equality-comparable value — the database
+        passes its ``cache_epoch()`` tuple), or None.
+
+        A stale entry (computed at another generation) counts as a miss
+        and is evicted on the spot.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        cached_generation, matches = entry
+        if cached_generation != generation:
+            del self._entries[key]
+            self.invalidations += 1
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return list(matches)
+
+    def store(self, key: tuple, generation, matches: "list[QueryMatch]") -> None:
+        """Remember a freshly computed result list at its generation."""
+        self._entries[key] = (generation, tuple(matches))
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def peek(self, key: tuple, generation) -> bool:
+        """Whether a lookup would hit, without touching stats or LRU order."""
+        entry = self._entries.get(key)
+        return entry is not None and entry[0] == generation
+
+    def clear(self) -> None:
+        """Drop every entry (stats are kept; they are running totals)."""
+        self._entries.clear()
+
+    def stats(self) -> dict:
+        """Counters for benchmarks/monitoring."""
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+        }

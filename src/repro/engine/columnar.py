@@ -9,17 +9,31 @@ column-wise in contiguous NumPy arrays, so a query over the whole
 database becomes a handful of vectorized predicates:
 
 * **segment columns** — one row per stored segment (start/end indices,
-  start/end points, mean slope) plus the owning sequence id;
+  start/end points, mean slope, slope-sign symbol code) plus the owning
+  sequence id;
+* **behaviour columns** — one row per run-collapsed slope-sign symbol
+  (consecutive identical symbols merged), the collapsed view pattern
+  queries are written against;
 * **R-R columns** — one row per inter-peak interval;
 * **sequence columns** — one row per live sequence: the offset table
-  (``sequence_id → row range``) into the segment and R-R columns, plus
-  per-sequence scalars (peak count, steepest rising slope, source
-  length) that the vectorized query filters consume directly.
+  (``sequence_id → row range``) into the segment, behaviour and R-R
+  columns, plus per-sequence scalars (peak count, steepest rising
+  slope, source length) that the vectorized query filters consume
+  directly.
+
+Symbol codes follow :data:`~repro.core.representation.SYMBOL_CODES`: ``+1`` for rising (slope >
+theta), ``-1`` for falling (slope < -theta), ``0`` for flat — the
+paper's Section 4.4 classification applied column-wise, byte-identical
+to :func:`repro.core.representation.symbols_from_slopes` on the same
+slopes.  The vectorized pattern stage (:mod:`repro.engine.nfa`) runs
+transition tables directly over these ``int8`` columns.
 
 The store is kept in sync with the database on ``insert``/``delete``:
 inserts append (amortized via capacity doubling, with a batch
 :meth:`extend` for bulk ingest), deletes compact the columns in place so
-vectorized scans never have to skip tombstones.
+vectorized scans never have to skip tombstones.  Every mutation bumps
+:attr:`~ColumnarSegmentStore.generation`, which the plan-level result
+cache (:mod:`repro.engine.cache`) uses to invalidate stale answers.
 """
 
 from __future__ import annotations
@@ -30,10 +44,24 @@ import numpy as np
 
 from repro.core.errors import EngineError
 
+# The classification rule and symbol rendering live in core; the store
+# only stacks their output column-wise, so strings and columns can
+# never disagree.
+from repro.core.representation import classify_slopes, decode_symbols
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.representation import FunctionSeriesRepresentation
 
-__all__ = ["ColumnarSegmentStore"]
+__all__ = ["ColumnarSegmentStore", "collapse_code_runs"]
+
+def collapse_code_runs(codes: np.ndarray) -> np.ndarray:
+    """Merge consecutive identical symbol codes into behavioural runs."""
+    if len(codes) == 0:
+        return codes
+    keep = np.empty(len(codes), dtype=bool)
+    keep[0] = True
+    np.not_equal(codes[1:], codes[:-1], out=keep[1:])
+    return codes[keep]
 
 
 class _ColumnSet:
@@ -92,6 +120,12 @@ _SEGMENT_SCHEMA = {
     "start_value": np.float64,
     "end_value": np.float64,
     "slope": np.float64,
+    "symbol": np.int8,
+}
+
+_BEHAVIOR_SCHEMA = {
+    "sequence": np.int64,
+    "symbol": np.int8,
 }
 
 _RR_SCHEMA = {
@@ -103,6 +137,8 @@ _SEQUENCE_SCHEMA = {
     "sequence_id": np.int64,
     "segment_start": np.int64,
     "segment_count": np.int64,
+    "behavior_start": np.int64,
+    "behavior_count": np.int64,
     "rr_start": np.int64,
     "rr_count": np.int64,
     "peak_count": np.int64,
@@ -118,12 +154,32 @@ class ColumnarSegmentStore:
     database assigns monotonically increasing ids and never reuses
     them), which keeps the sequence table sorted and lets lookups use
     binary search instead of a side dictionary.
+
+    Parameters
+    ----------
+    theta:
+        Slope-flatness threshold used to classify each segment's mean
+        slope into the symbol columns; must match the database's
+        ``theta`` so the columns agree with the pattern indexes.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, theta: float = 0.0) -> None:
+        self.theta = float(theta)
         self._segments = _ColumnSet(_SEGMENT_SCHEMA)
+        self._behavior = _ColumnSet(_BEHAVIOR_SCHEMA)
         self._rr = _ColumnSet(_RR_SCHEMA)
         self._sequences = _ColumnSet(_SEQUENCE_SCHEMA)
+        self._generation = 0
+
+    @property
+    def generation(self) -> int:
+        """Monotone mutation counter; bumps on every insert/extend/delete.
+
+        Cached query answers are valid exactly as long as the generation
+        they were computed at is still current (see
+        :class:`repro.engine.cache.PlanResultCache`).
+        """
+        return self._generation
 
     # ------------------------------------------------------------------
     # Sizing
@@ -148,6 +204,10 @@ class ColumnarSegmentStore:
     @property
     def n_rr(self) -> int:
         return len(self._rr)
+
+    @property
+    def n_behavior(self) -> int:
+        return len(self._behavior)
 
     # ------------------------------------------------------------------
     # Column views (trimmed to live rows; treat as read-only)
@@ -186,12 +246,34 @@ class ColumnarSegmentStore:
         return self._sequences.column("rr_count")
 
     @property
+    def behavior_starts(self) -> np.ndarray:
+        return self._sequences.column("behavior_start")
+
+    @property
+    def behavior_counts(self) -> np.ndarray:
+        return self._sequences.column("behavior_count")
+
+    @property
     def segment_sequences(self) -> np.ndarray:
         return self._segments.column("sequence")
 
     @property
     def segment_slopes(self) -> np.ndarray:
         return self._segments.column("slope")
+
+    @property
+    def segment_symbols(self) -> np.ndarray:
+        """Positional int8 symbol codes, one per stored segment."""
+        return self._segments.column("symbol")
+
+    @property
+    def behavior_sequences(self) -> np.ndarray:
+        return self._behavior.column("sequence")
+
+    @property
+    def behavior_symbols(self) -> np.ndarray:
+        """Run-collapsed int8 symbol codes (behavioural view)."""
+        return self._behavior.column("symbol")
 
     def segment_column(self, name: str) -> np.ndarray:
         return self._segments.column(name)
@@ -241,6 +323,24 @@ class ColumnarSegmentStore:
         lo = int(self.rr_starts[p])
         return lo, lo + int(self.rr_counts[p])
 
+    def behavior_range(self, sequence_id: int) -> "tuple[int, int]":
+        p = self.position_of(sequence_id)
+        lo = int(self.behavior_starts[p])
+        return lo, lo + int(self.behavior_counts[p])
+
+    def symbols_of(self, sequence_id: int, collapse_runs: bool = False) -> str:
+        """One sequence's slope-sign string, read from the symbol columns.
+
+        Byte-identical to the pattern indexes' stored strings: the
+        positional view (``collapse_runs=False``) has one symbol per
+        segment, the behavioural view merges runs.
+        """
+        if collapse_runs:
+            lo, hi = self.behavior_range(sequence_id)
+            return decode_symbols(self.behavior_symbols[lo:hi])
+        lo, hi = self.segment_range(sequence_id)
+        return decode_symbols(self.segment_symbols[lo:hi])
+
     # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
@@ -272,10 +372,13 @@ class ColumnarSegmentStore:
             return
         last = int(self.sequence_ids[-1]) if len(self._sequences) else -1
         seg_parts: "dict[str, list[np.ndarray]]" = {name: [] for name in _SEGMENT_SCHEMA}
+        beh_seq_parts: "list[np.ndarray]" = []
+        beh_sym_parts: "list[np.ndarray]" = []
         rr_seq_parts: "list[np.ndarray]" = []
         rr_val_parts: "list[np.ndarray]" = []
         seq_rows: "dict[str, list]" = {name: [] for name in _SEQUENCE_SCHEMA}
         seg_cursor = len(self._segments)
+        beh_cursor = len(self._behavior)
         rr_cursor = len(self._rr)
         for sequence_id, representation, peak_count, rr in batch:
             sequence_id = int(sequence_id)
@@ -288,29 +391,44 @@ class ColumnarSegmentStore:
             columns = representation.segment_columns()
             n_segments = len(columns["slope"])
             slopes = columns["slope"]
+            codes = classify_slopes(slopes, self.theta)
+            collapsed = collapse_code_runs(codes)
             rising = np.where(slopes > 0.0, slopes, 0.0)
             rr_arr = np.asarray(rr, dtype=np.float64)
             for name in _SEGMENT_SCHEMA:
                 if name == "sequence":
                     seg_parts[name].append(np.full(n_segments, sequence_id, dtype=np.int64))
+                elif name == "symbol":
+                    seg_parts[name].append(codes)
                 else:
                     seg_parts[name].append(columns[name])
+            beh_seq_parts.append(np.full(len(collapsed), sequence_id, dtype=np.int64))
+            beh_sym_parts.append(collapsed)
             rr_seq_parts.append(np.full(len(rr_arr), sequence_id, dtype=np.int64))
             rr_val_parts.append(rr_arr)
             seq_rows["sequence_id"].append(sequence_id)
             seq_rows["segment_start"].append(seg_cursor)
             seq_rows["segment_count"].append(n_segments)
+            seq_rows["behavior_start"].append(beh_cursor)
+            seq_rows["behavior_count"].append(len(collapsed))
             seq_rows["rr_start"].append(rr_cursor)
             seq_rows["rr_count"].append(len(rr_arr))
             seq_rows["peak_count"].append(int(peak_count))
             seq_rows["max_rising_slope"].append(float(rising.max(initial=0.0)))
             seq_rows["source_length"].append(int(representation.source_length))
             seg_cursor += n_segments
+            beh_cursor += len(collapsed)
             rr_cursor += len(rr_arr)
         self._segments.extend(
             {
                 name: np.concatenate(parts).astype(_SEGMENT_SCHEMA[name], copy=False)
                 for name, parts in seg_parts.items()
+            }
+        )
+        self._behavior.extend(
+            {
+                "sequence": np.concatenate(beh_seq_parts),
+                "symbol": np.concatenate(beh_sym_parts).astype(np.int8, copy=False),
             }
         )
         self._rr.extend(
@@ -325,20 +443,26 @@ class ColumnarSegmentStore:
                 for name, values in seq_rows.items()
             }
         )
+        self._generation += 1
 
     def delete(self, sequence_id: int) -> None:
         """Drop one sequence and compact every column in place."""
         p = self.position_of(sequence_id)
         seg_lo = int(self.segment_starts[p])
         seg_count = int(self.segment_counts[p])
+        beh_lo = int(self.behavior_starts[p])
+        beh_count = int(self.behavior_counts[p])
         rr_lo = int(self.rr_starts[p])
         rr_count = int(self.rr_counts[p])
         self._segments.delete_range(seg_lo, seg_lo + seg_count)
+        self._behavior.delete_range(beh_lo, beh_lo + beh_count)
         self._rr.delete_range(rr_lo, rr_lo + rr_count)
         self._sequences.delete_range(p, p + 1)
         # Rows past the deleted sequence shifted left; fix their offsets.
         self.segment_starts[p:] -= seg_count
+        self.behavior_starts[p:] -= beh_count
         self.rr_starts[p:] -= rr_count
+        self._generation += 1
 
     # ------------------------------------------------------------------
     # Integrity
@@ -351,9 +475,12 @@ class ColumnarSegmentStore:
             raise EngineError("sequence table is not sorted by id")
         seg_starts = self.segment_starts
         seg_counts = self.segment_counts
+        beh_starts = self.behavior_starts
+        beh_counts = self.behavior_counts
         rr_starts = self.rr_starts
         rr_counts = self.rr_counts
         cursor_seg = 0
+        cursor_beh = 0
         cursor_rr = 0
         for p in range(len(ids)):
             if int(seg_starts[p]) != cursor_seg:
@@ -361,22 +488,50 @@ class ColumnarSegmentStore:
                     f"segment offset of sequence {int(ids[p])} is {int(seg_starts[p])}, "
                     f"expected {cursor_seg}"
                 )
+            if int(beh_starts[p]) != cursor_beh:
+                raise EngineError(
+                    f"behavior offset of sequence {int(ids[p])} is {int(beh_starts[p])}, "
+                    f"expected {cursor_beh}"
+                )
             if int(rr_starts[p]) != cursor_rr:
                 raise EngineError(
                     f"rr offset of sequence {int(ids[p])} is {int(rr_starts[p])}, "
                     f"expected {cursor_rr}"
                 )
             seg_hi = cursor_seg + int(seg_counts[p])
+            beh_hi = cursor_beh + int(beh_counts[p])
             rr_hi = cursor_rr + int(rr_counts[p])
             if not bool((self.segment_sequences[cursor_seg:seg_hi] == ids[p]).all()):
                 raise EngineError(f"segment rows of sequence {int(ids[p])} mislabelled")
+            if not bool((self.behavior_sequences[cursor_beh:beh_hi] == ids[p]).all()):
+                raise EngineError(f"behavior rows of sequence {int(ids[p])} mislabelled")
             if not bool((self.rr_sequences[cursor_rr:rr_hi] == ids[p]).all()):
                 raise EngineError(f"rr rows of sequence {int(ids[p])} mislabelled")
+            codes = self.segment_symbols[cursor_seg:seg_hi]
+            recomputed = classify_slopes(self.segment_slopes[cursor_seg:seg_hi], self.theta)
+            if not bool((codes == recomputed).all()):
+                raise EngineError(
+                    f"symbol column of sequence {int(ids[p])} disagrees with its slopes"
+                )
+            collapsed = self.behavior_symbols[cursor_beh:beh_hi]
+            expected_runs = collapse_code_runs(codes)
+            if len(collapsed) != len(expected_runs) or not bool(
+                (collapsed == expected_runs).all()
+            ):
+                raise EngineError(
+                    f"behavior column of sequence {int(ids[p])} is not the "
+                    f"run-collapse of its symbol column"
+                )
             cursor_seg = seg_hi
+            cursor_beh = beh_hi
             cursor_rr = rr_hi
         if cursor_seg != len(self._segments):
             raise EngineError(
                 f"offset table covers {cursor_seg} segment rows of {len(self._segments)}"
+            )
+        if cursor_beh != len(self._behavior):
+            raise EngineError(
+                f"offset table covers {cursor_beh} behavior rows of {len(self._behavior)}"
             )
         if cursor_rr != len(self._rr):
             raise EngineError(f"offset table covers {cursor_rr} rr rows of {len(self._rr)}")

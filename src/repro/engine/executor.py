@@ -12,6 +12,7 @@ while the hot loop disappears.
 
 from __future__ import annotations
 
+import warnings
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -22,6 +23,7 @@ from repro.core.tolerance import (
     DimensionDeviation,
     MatchGrade,
 )
+from repro.engine.cache import PlanResultCache
 from repro.engine.plan import QueryPlan, VectorVerdicts
 from repro.query.results import QueryMatch
 
@@ -33,13 +35,27 @@ __all__ = ["QueryPlanner", "QueryExecutor"]
 
 
 class QueryPlanner:
-    """Turns queries into staged plans."""
+    """Turns queries into staged plans.
+
+    For a human-readable account of what a query will do, use
+    ``SequenceDatabase.explain``, which renders ``plan(...).describe()``
+    plus the result cache's verdict.
+    """
 
     def plan(self, query: "Query", database: "SequenceDatabase") -> QueryPlan:
         return query.plan(database)
 
     def explain(self, query: "Query", database: "SequenceDatabase") -> str:
-        """One-line description of the stages a query will run."""
+        """Deprecated: use ``SequenceDatabase.explain`` instead.
+
+        Retained as a one-release shim so existing callers keep working;
+        the database's version adds the result-cache verdict.
+        """
+        warnings.warn(
+            "QueryPlanner.explain is deprecated; use SequenceDatabase.explain",
+            FutureWarning,
+            stacklevel=2,
+        )
         return self.plan(query, database).describe()
 
 
@@ -51,6 +67,33 @@ class QueryExecutor:
         database: "SequenceDatabase",
         plan: QueryPlan,
         include_approximate: bool = True,
+        cache: "PlanResultCache | None" = None,
+    ) -> "list[QueryMatch]":
+        """Run the plan's stages; consult ``cache`` around them if given.
+
+        With a cache and a fingerprinted plan, a hit at the database's
+        current cache epoch (store generation + pipeline config) returns
+        the remembered matches without touching a single stage; a miss
+        runs the stages and remembers the answer at that epoch, so any
+        later ``insert``/``delete`` or config reassignment invalidates
+        it.
+        """
+        if cache is not None and plan.fingerprint is not None:
+            key = (plan.fingerprint, bool(include_approximate))
+            generation = database.cache_epoch()
+            cached = cache.lookup(key, generation)
+            if cached is not None:
+                return cached
+            matches = self._run_stages(database, plan, include_approximate)
+            cache.store(key, generation, matches)
+            return matches
+        return self._run_stages(database, plan, include_approximate)
+
+    def _run_stages(
+        self,
+        database: "SequenceDatabase",
+        plan: QueryPlan,
+        include_approximate: bool,
     ) -> "list[QueryMatch]":
         store = database.store
         candidates = plan.probe(database) if plan.probe is not None else None

@@ -1,0 +1,101 @@
+"""Vectorized pattern matching over the store's symbol columns.
+
+:class:`ColumnPatternMatcher` takes a pattern tabulated by
+:func:`repro.patterns.automata.compile_table` and runs its transition
+table across the columnar store's ``int8`` slope-sign columns with
+NumPy: one state vector holds every candidate sequence's DFA state, and
+each iteration advances *all* still-alive sequences by one symbol with
+a single fancy-indexing gather.  Total work is ``O(max_length)`` NumPy
+steps regardless of how many sequences are stored — the per-sequence
+Python NFA loop disappears, which is where the engine's PatternQuery
+speedup comes from.
+
+Symbol codes are the store's convention (+1 rising, -1 falling, 0
+flat); the table's alphabet must be
+:data:`~repro.patterns.automata.SLOPE_ALPHABET` so that ``code + 1`` is
+the table column.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import EngineError
+from repro.core.representation import SYMBOL_CODES
+from repro.patterns.automata import SLOPE_ALPHABET, TransitionTable, compile_table
+from repro.patterns.regex import SymbolPattern
+
+__all__ = ["ColumnPatternMatcher"]
+
+# The column arithmetic below (table column = symbol code + 1) is only
+# valid if the tabulation alphabet lists symbols in code order.
+for _symbol, _code in SYMBOL_CODES.items():
+    if SLOPE_ALPHABET[_code + 1] != _symbol:  # pragma: no cover - layout guard
+        raise EngineError("SLOPE_ALPHABET order must match SYMBOL_CODES")
+
+
+class ColumnPatternMatcher:
+    """Batch full-match of one compiled pattern against symbol columns."""
+
+    def __init__(self, table: TransitionTable) -> None:
+        if table.alphabet != SLOPE_ALPHABET:
+            raise EngineError(
+                f"column matching needs alphabet {SLOPE_ALPHABET!r}, "
+                f"got {table.alphabet!r}"
+            )
+        self.table = table
+
+    @classmethod
+    def for_pattern(cls, pattern: "SymbolPattern | str") -> "ColumnPatternMatcher":
+        """Tabulate a pattern over the slope alphabet and wrap it.
+
+        Raises :class:`PatternSyntaxError` if the pattern exceeds the
+        tabulation budget; callers treat that as "use the NFA path".
+        """
+        return cls(compile_table(pattern, alphabet=SLOPE_ALPHABET))
+
+    def fullmatch_column(
+        self,
+        symbols: np.ndarray,
+        starts: np.ndarray,
+        counts: np.ndarray,
+    ) -> np.ndarray:
+        """Which of many packed symbol strings the pattern fully matches.
+
+        ``symbols`` is a concatenated int8 code column; string ``i``
+        occupies rows ``starts[i] : starts[i] + counts[i]``.  Returns a
+        boolean array aligned with ``starts``/``counts``.
+        """
+        starts = np.asarray(starts, dtype=np.int64)
+        counts = np.asarray(counts, dtype=np.int64)
+        n = len(starts)
+        transitions = self.table.table
+        states = np.full(n, self.table.start, dtype=np.int32)
+        if n:
+            symbols = np.asarray(symbols)
+            max_length = int(counts.max())
+            alive = np.arange(n, dtype=np.int64)
+            for step in range(max_length):
+                # Keep only sequences that still have input and are not
+                # already in the absorbing reject state.
+                keep = (counts[alive] > step) & (states[alive] != self.table.dead)
+                alive = alive[keep]
+                if len(alive) == 0:
+                    break
+                # Gather only the alive rows; +1 maps the int8 code to
+                # its table column (SLOPE_ALPHABET order), so the full
+                # column is never copied or upcast.
+                states[alive] = transitions[states[alive], symbols[starts[alive] + step] + 1]
+        return self.table.accepting[states]
+
+    def fullmatch_strings(self, symbol_strings: "list[str]") -> np.ndarray:
+        """Batch full-match of plain ``{+,-,0}`` strings (test helper)."""
+        codes = {symbol: np.int8(code) for symbol, code in SYMBOL_CODES.items()}
+        counts = np.asarray([len(s) for s in symbol_strings], dtype=np.int64)
+        starts = np.zeros(len(counts), dtype=np.int64)
+        if len(counts):
+            np.cumsum(counts[:-1], out=starts[1:])
+        packed = np.asarray(
+            [codes[symbol] for text in symbol_strings for symbol in text], dtype=np.int8
+        )
+        return self.fullmatch_column(packed, starts, counts)

@@ -74,7 +74,13 @@ ResidualStage = Callable[["SequenceDatabase", int], QueryMatch]
 
 @dataclass(frozen=True)
 class QueryPlan:
-    """An executable staged plan for one query."""
+    """An executable staged plan for one query.
+
+    ``fingerprint`` is the query's content key for the plan-level result
+    cache (:mod:`repro.engine.cache`): two queries with equal
+    fingerprints must produce equal results against the same store
+    generation.  ``None`` means the plan's results are uncacheable.
+    """
 
     query: "Query"
     residual: ResidualStage
@@ -82,6 +88,7 @@ class QueryPlan:
     prefilter: "PrefilterStage | None" = None
     vector_filter: "VectorStage | None" = None
     label: str = ""
+    fingerprint: "tuple | None" = None
 
     def stages(self) -> "list[str]":
         """Human-readable stage list, in execution order."""

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import bisect
 import math
+import warnings
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
@@ -28,6 +29,37 @@ from repro.core.errors import IndexError_
 from repro.index.btree import BTree
 
 __all__ = ["Posting", "PostingBucket", "InvertedFileIndex"]
+
+
+def _checked_sequence_id(sequence_id: object) -> int:
+    """Validate a sequence id up front, with a readable error.
+
+    Without this, a call with swapped arguments (an array where the id
+    belongs) died with an opaque ``TypeError`` deep inside the B-tree;
+    now it fails at the API boundary, naming the actual problem.
+    """
+    if isinstance(sequence_id, bool) or not isinstance(sequence_id, (int, np.integer)):
+        raise IndexError_(
+            f"sequence_id must be an integer, got {type(sequence_id).__name__!s} "
+            f"{sequence_id!r} — did you swap the argument order?"
+        )
+    return int(sequence_id)
+
+
+def _checked_value(value: object) -> float:
+    """Validate a posting value up front (finite real scalar, not an array).
+
+    NaN would land in a garbage bucket (``floor(nan)``) and break the
+    bucket's sorted-by-value invariant, so non-finite values are
+    rejected at the boundary.
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, float, np.integer, np.floating)):
+        raise IndexError_(
+            f"value must be a real number, got {type(value).__name__!s} {value!r}"
+        )
+    if not math.isfinite(value):
+        raise IndexError_(f"value must be finite, got {value!r}")
+    return float(value)
 
 
 @dataclass(frozen=True, order=True)
@@ -87,31 +119,120 @@ class InvertedFileIndex:
     # ------------------------------------------------------------------
 
     def add(self, value: float, sequence_id: int, position: int = -1) -> None:
-        """Record one feature occurrence."""
+        """Record one feature occurrence.
+
+        The posting-level entry point keeps the postings-file field
+        order (``value`` first, mirroring :class:`Posting`); the
+        sequence-level ingest methods :meth:`add_all`/:meth:`add_array`
+        take ``sequence_id`` first, like every other per-sequence ingest
+        API.  Both orders are validated up front so a swapped call fails
+        with a clear error instead of a ``TypeError`` deep in the B-tree.
+        """
+        value = _checked_value(value)
+        sequence_id = _checked_sequence_id(sequence_id)
         key = self._bucket_key(value)
         bucket = self._btree.setdefault(key, PostingBucket)
-        bucket.add(Posting(float(value), int(sequence_id), int(position)))
+        bucket.add(Posting(value, sequence_id, int(position)))
         self._count += 1
 
-    def add_all(self, values: Iterable[float], sequence_id: int) -> None:
-        for position, value in enumerate(values):
-            self.add(value, sequence_id, position)
+    @staticmethod
+    def _sequence_first(args: tuple, sequence_id, values, method: str):
+        """Resolve the unified ``(sequence_id, values)`` calling order.
 
-    def add_array(self, values: "Iterable[float]", sequence_id: int) -> None:
+        Canonical forms: ``method(sequence_id, values)`` positionally or
+        with either/both keywords.  Compatibility shim: the
+        pre-unification order — ``method(values, sequence_id)``
+        positionally, or ``method(values, sequence_id=N)`` with the
+        values array leading — is detected by shape (array-like where
+        the scalar id belongs), swapped, and warned, instead of dying
+        with an opaque error.  Genuinely malformed calls still fail
+        validation with a clear message.
+        """
+        def looks_like_values(obj) -> bool:
+            # Arrays, lists, tuples, generators, iterators — anything
+            # iterable and non-string reads as a values payload.
+            return np.ndim(obj) != 0 or (
+                hasattr(obj, "__iter__") and not isinstance(obj, str)
+            )
+
+        deprecated = None
+        if len(args) > 2:
+            raise IndexError_(f"{method}() takes (sequence_id, values), got {len(args)} positionals")
+        if len(args) == 2:
+            if sequence_id is not None or values is not None:
+                raise IndexError_(f"{method}() got both positional and keyword arguments")
+            sequence_id, values = args
+            if looks_like_values(sequence_id) and not looks_like_values(values):
+                deprecated = f"{method}(values, sequence_id) is deprecated"
+                sequence_id, values = values, sequence_id
+        elif len(args) == 1:
+            if sequence_id is not None and values is None:
+                # Legacy keyword style: method(values, sequence_id=N).
+                deprecated = f"{method}(values, sequence_id=...) is deprecated"
+                values = args[0]
+            elif values is not None and sequence_id is None:
+                sequence_id = args[0]
+            else:
+                raise IndexError_(
+                    f"{method}() got one positional argument but not exactly one of "
+                    f"sequence_id=/values= to pair it with"
+                )
+        elif sequence_id is None or values is None:
+            raise IndexError_(f"{method}() needs both sequence_id and values")
+        if deprecated:
+            # FutureWarning so the swap is visible under Python's default
+            # warning filters — a silently auto-corrected argument order
+            # would otherwise mask real caller bugs.
+            warnings.warn(
+                f"{deprecated}; call {method}(sequence_id, values)",
+                FutureWarning,
+                stacklevel=3,
+            )
+        return _checked_sequence_id(sequence_id), values
+
+    def add_all(self, *args, sequence_id: "int | None" = None, values: "Iterable[float] | None" = None) -> None:
+        """Record one sequence's feature values.
+
+        Canonical signature: ``add_all(sequence_id, values)``.  Alias of
+        :meth:`add_array` kept for the pre-engine name; both validate the
+        whole payload up front (nothing is inserted on a bad value) and
+        batch postings by bucket.
+        """
+        sequence_id, values = self._sequence_first(args, sequence_id, values, "add_all")
+        self.add_array(sequence_id=sequence_id, values=values)
+
+    def add_array(self, *args, sequence_id: "int | None" = None, values: "Iterable[float] | None" = None) -> None:
         """Record one sequence's feature column from a NumPy array.
 
-        The engine-facing ingest path: bucket keys are computed for the
+        Canonical signature: ``add_array(sequence_id, values)``.  The
+        engine-facing ingest path: bucket keys are computed for the
         whole column at once and postings sharing a bucket are inserted
         through a single B-tree probe, so consuming a columnar store
         slice costs one tree descent per *distinct* bucket instead of
         one per posting.
         """
-        array = np.asarray(values, dtype=float)
+        sequence_id, values = self._sequence_first(args, sequence_id, values, "add_array")
+        if not isinstance(values, np.ndarray):
+            if not hasattr(values, "__iter__"):
+                raise IndexError_(
+                    f"values must be iterable, got {type(values).__name__} {values!r}"
+                )
+            values = list(values)  # materialize generators/iterators
+        try:
+            array = np.asarray(values, dtype=float)
+        except (TypeError, ValueError) as exc:
+            raise IndexError_(f"values must be real numbers: {exc}") from exc
+        if array.ndim != 1:
+            raise IndexError_(
+                f"values must be one-dimensional, got shape {array.shape}"
+            )
         if array.size == 0:
             return
+        if not bool(np.isfinite(array).all()):
+            bad = array[~np.isfinite(array)]
+            raise IndexError_(f"values must be finite, got {bad.tolist()}")
         keys = np.floor(array / self.bucket_width).astype(int)
         order = np.argsort(keys, kind="stable")
-        sequence_id = int(sequence_id)
         bucket = None
         current_key = None
         for position in order:

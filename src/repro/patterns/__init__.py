@@ -1,7 +1,13 @@
 """Pattern language over the slope-sign alphabet (paper Section 4.4)."""
 
 from repro.patterns.alphabet import FALLING, FLAT, RISING, SYMBOLS, classify_slope, validate_symbols
-from repro.patterns.matcher import SegmentMatch, find_pattern_spans, matches_pattern
+from repro.patterns.automata import SLOPE_ALPHABET, TransitionTable, compile_table
+from repro.patterns.matcher import (
+    SegmentMatch,
+    find_pattern_spans,
+    matches_pattern,
+    matches_pattern_many,
+)
 from repro.patterns.regex import TWO_PEAKS, SymbolPattern
 
 __all__ = [
@@ -13,7 +19,11 @@ __all__ = [
     "validate_symbols",
     "SymbolPattern",
     "TWO_PEAKS",
+    "SLOPE_ALPHABET",
+    "TransitionTable",
+    "compile_table",
     "SegmentMatch",
     "matches_pattern",
+    "matches_pattern_many",
     "find_pattern_spans",
 ]

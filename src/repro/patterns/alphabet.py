@@ -23,7 +23,13 @@ SYMBOLS = (RISING, FALLING, FLAT)
 
 
 def classify_slope(slope: float, theta: float = 0.0) -> str:
-    """Map a slope to its symbol under flatness threshold ``theta``."""
+    """Map a slope to its symbol under flatness threshold ``theta``.
+
+    The scalar fast path of the Section 4.4 rule; must apply exactly
+    the comparisons of the vectorized
+    :func:`repro.core.representation.classify_slopes` (the pair is held
+    in lock-step by ``tests/patterns/test_alphabet.py``).
+    """
     if theta < 0:
         raise PatternSyntaxError("theta must be non-negative")
     if slope > theta:

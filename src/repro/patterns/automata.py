@@ -1,0 +1,149 @@
+"""Table-driven automata compiled from :class:`SymbolPattern` NFAs.
+
+The Thompson NFA behind a :class:`~repro.patterns.regex.SymbolPattern`
+is great for one-off matching but terrible as a batch primitive: every
+input symbol costs a Python subset-simulation step over sets of state
+objects.  Over a *known finite alphabet* the classical fix applies —
+subset construction tabulates the NFA into a dense DFA whose entire
+behaviour is two arrays:
+
+* ``table[state, symbol] -> state`` — the transition matrix, and
+* ``accepting[state]`` — the accept mask.
+
+Matching then needs no sets, no closures and no per-state Python: one
+array lookup per input symbol.  The execution engine goes further and
+runs the same table across *every stored sequence at once* with NumPy
+(:mod:`repro.engine.nfa`), which is what makes the paper's Section 4.4
+slope-pattern queries a vectorized plan stage.
+
+Subset construction can in principle explode exponentially, so
+:func:`compile_table` enforces a state budget and raises
+:class:`PatternSyntaxError` beyond it; callers fall back to the plain
+NFA matcher in that (practically unreachable for slope patterns) case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import PatternSyntaxError
+from repro.patterns.regex import SymbolPattern
+
+__all__ = ["TransitionTable", "compile_table", "SLOPE_ALPHABET"]
+
+#: Alphabet order used for slope-sign tables: the column of symbol ``s``
+#: is ``SLOPE_ALPHABET.index(s)``, chosen so that the engine's int8
+#: symbol codes (-1, 0, +1) map to columns via ``code + 1``.
+SLOPE_ALPHABET = "-0+"
+
+
+@dataclass(frozen=True)
+class TransitionTable:
+    """A tabulated DFA over a fixed alphabet.
+
+    Attributes
+    ----------
+    alphabet:
+        One character per table column, in column order.
+    table:
+        ``int32`` matrix of shape ``(n_states, len(alphabet))``;
+        ``table[s, c]`` is the successor of state ``s`` on the symbol in
+        column ``c``.
+    accepting:
+        Boolean accept mask over states.
+    start:
+        Index of the initial state.
+    dead:
+        Index of the absorbing reject state (all transitions loop back
+        to it and it never accepts).
+    """
+
+    alphabet: str
+    table: np.ndarray
+    accepting: np.ndarray
+    start: int
+    dead: int
+
+    @property
+    def n_states(self) -> int:
+        return int(self.table.shape[0])
+
+    def fullmatch(self, symbols: str) -> bool:
+        """Scalar table walk — the DFA twin of ``SymbolPattern.fullmatch``.
+
+        Symbols outside the table's alphabet reject immediately (they
+        cannot appear in the engine's symbol columns, but a caller may
+        feed arbitrary strings).
+        """
+        columns = {symbol: i for i, symbol in enumerate(self.alphabet)}
+        state = self.start
+        for symbol in symbols:
+            column = columns.get(symbol)
+            if column is None:
+                return False
+            state = int(self.table[state, column])
+            if state == self.dead:
+                return False
+        return bool(self.accepting[state])
+
+
+def compile_table(
+    pattern: "SymbolPattern | str",
+    alphabet: str = SLOPE_ALPHABET,
+    max_states: int = 4096,
+) -> TransitionTable:
+    """Subset-construct a pattern's NFA into a :class:`TransitionTable`.
+
+    ``alphabet`` fixes the input universe: ``.`` and negated character
+    classes are resolved against it, which matches NFA semantics exactly
+    as long as inputs only use alphabet symbols (always true for the
+    slope columns).  ``max_states`` bounds the construction; slope
+    patterns are tiny, so hitting it means a pathological pattern and a
+    :class:`PatternSyntaxError` the caller can treat as "stay on the
+    NFA path".
+    """
+    if len(set(alphabet)) != len(alphabet) or not alphabet:
+        raise PatternSyntaxError(f"alphabet {alphabet!r} must be non-empty and duplicate-free")
+    compiled = SymbolPattern.compile(pattern)
+    start_set = compiled.initial_states()
+    dead_set: frozenset = frozenset()
+    index: "dict[frozenset, int]" = {start_set: 0}
+    worklist = [start_set]
+    rows: "list[list[int]]" = []
+    accepting: "list[bool]" = []
+    while worklist:
+        state_set = worklist.pop()
+        # Rows are appended in index order: every set enters `index`
+        # exactly once, immediately before its worklist entry.
+        while len(rows) <= index[state_set]:
+            rows.append([0] * len(alphabet))
+            accepting.append(False)
+        accepting[index[state_set]] = compiled.accepts_states(state_set)
+        for column, symbol in enumerate(alphabet):
+            successor = compiled.step_states(state_set, symbol)
+            if successor not in index:
+                if len(index) >= max_states:
+                    raise PatternSyntaxError(
+                        f"pattern {compiled.source!r} needs more than {max_states} "
+                        f"DFA states over alphabet {alphabet!r}"
+                    )
+                index[successor] = len(index)
+                worklist.append(successor)
+            rows[index[state_set]][column] = index[successor]
+    if dead_set not in index:
+        # Unreachable dead state (pattern accepts some continuation of
+        # every reachable prefix); add one so callers can always rely on
+        # an absorbing reject state existing.
+        index[dead_set] = len(index)
+        rows.append([index[dead_set]] * len(alphabet))
+        accepting.append(False)
+    table = np.asarray(rows, dtype=np.int32)
+    return TransitionTable(
+        alphabet=alphabet,
+        table=table,
+        accepting=np.asarray(accepting, dtype=bool),
+        start=index[start_set],
+        dead=index[dead_set],
+    )

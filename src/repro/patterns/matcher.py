@@ -10,11 +10,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.errors import PatternSyntaxError
 from repro.core.representation import FunctionSeriesRepresentation
 from repro.core.segment import Segment
 from repro.patterns.regex import SymbolPattern
 
-__all__ = ["SegmentMatch", "matches_pattern", "find_pattern_spans"]
+__all__ = ["SegmentMatch", "matches_pattern", "matches_pattern_many", "find_pattern_spans"]
 
 
 @dataclass(frozen=True)
@@ -43,6 +44,38 @@ def matches_pattern(
     """
     compiled = SymbolPattern.compile(pattern)
     return compiled.fullmatch(representation.symbol_string(theta, collapse_runs=collapse_runs))
+
+
+def matches_pattern_many(
+    representations: "list[FunctionSeriesRepresentation]",
+    pattern: "SymbolPattern | str",
+    theta: float = 0.0,
+    collapse_runs: bool = True,
+) -> "list[bool]":
+    """Full-match one pattern against many representations at once.
+
+    Tabulates the pattern into a DFA once (see
+    :mod:`repro.patterns.automata`) and walks the table per string, so
+    each symbol costs one array lookup instead of an NFA subset step.
+    Falls back to the NFA matcher if the pattern exceeds the tabulation
+    budget.  Results are identical to calling :func:`matches_pattern`
+    per representation.  (Database-resident sequences should be queried
+    through :class:`~repro.query.queries.PatternQuery` instead, which
+    runs the same table over the columnar symbol store without even
+    building the strings.)
+    """
+    from repro.patterns.automata import compile_table
+
+    compiled = SymbolPattern.compile(pattern)
+    strings = [
+        representation.symbol_string(theta, collapse_runs=collapse_runs)
+        for representation in representations
+    ]
+    try:
+        table = compile_table(compiled)
+    except PatternSyntaxError:
+        return [compiled.fullmatch(symbols) for symbols in strings]
+    return [table.fullmatch(symbols) for symbols in strings]
 
 
 def find_pattern_spans(

@@ -390,6 +390,22 @@ class SymbolPattern:
             return span
         return None
 
+    # -- automaton hooks -----------------------------------------------
+    # Used by :mod:`repro.patterns.automata` to tabulate the NFA into a
+    # dense transition table via subset construction.
+
+    def initial_states(self) -> frozenset:
+        """Epsilon closure of the start state."""
+        return self._initial
+
+    def step_states(self, states: frozenset, symbol: str) -> frozenset:
+        """One subset-simulation step on a concrete symbol."""
+        return _step(states, symbol)
+
+    def accepts_states(self, states: frozenset) -> bool:
+        """Whether a state set contains the accept state."""
+        return self._accept in states
+
     def __repr__(self) -> str:
         return f"SymbolPattern({self.source!r})"
 

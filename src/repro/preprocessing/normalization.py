@@ -25,7 +25,13 @@ def znormalize(sequence: Sequence) -> Sequence:
     values = sequence.values
     mean = values.mean()
     std = values.std()
-    if std == 0.0:
+    # A sequence of identical floats is constant even when its computed
+    # std is not exactly zero: the std of three copies of 0.1 is ~1e-17
+    # of pure summation noise, and dividing by it would amplify that
+    # noise into O(1) garbage.  Exact element equality is the precise
+    # test — it can never flatten a genuine (representable) variation,
+    # however small relative to the sequence's magnitude.
+    if std == 0.0 or bool((values == values[0]).all()):
         normalized = np.zeros_like(values)
     else:
         normalized = (values - mean) / std

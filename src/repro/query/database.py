@@ -31,7 +31,7 @@ from repro.core.representation import (
     symbols_from_slopes,
 )
 from repro.core.sequence import Sequence
-from repro.engine import ColumnarSegmentStore, QueryExecutor, QueryPlanner
+from repro.engine import ColumnarSegmentStore, PlanResultCache, QueryExecutor, QueryPlanner
 from repro.index.inverted import InvertedFileIndex
 from repro.index.pattern_index import PatternIndex
 from repro.preprocessing.normalization import znormalize
@@ -81,9 +81,10 @@ class SequenceDatabase:
         normalize: bool = False,
         trie_depth: int = 12,
     ) -> None:
-        self.breaker = breaker if breaker is not None else InterpolationBreaker(0.5)
+        self._breaker = breaker if breaker is not None else InterpolationBreaker(0.5)
+        self._config_epoch = 0
         self.curve_kind = curve_kind
-        self.theta = float(theta)
+        self._theta = float(theta)
         self.keep_raw = keep_raw
         self.normalize = normalize
 
@@ -96,14 +97,59 @@ class SequenceDatabase:
         self.behavior_index = PatternIndex(theta=theta, trie_depth=trie_depth, collapse_runs=True)
         #: Figure 10: inverted file over R-R interval lengths.
         self.rr_index = InvertedFileIndex(bucket_width=rr_bucket_width)
-        #: Execution engine: column-wise mirror of every live representation.
-        self.store = ColumnarSegmentStore()
+        #: Execution engine: column-wise mirror of every live representation,
+        #: including the int8 slope-sign symbol columns (raw and collapsed).
+        self.store = ColumnarSegmentStore(theta=self.theta)
         self.planner = QueryPlanner()
         self.executor = QueryExecutor()
+        #: Plan-level result cache: graded answers memoized per store
+        #: generation, invalidated implicitly by insert/delete.
+        self.result_cache = PlanResultCache()
 
         self._representations: dict[int, FunctionSeriesRepresentation] = {}
         self._names: dict[int, str] = {}
         self._next_id = 0
+
+    @property
+    def theta(self) -> float:
+        """Slope-flatness threshold — fixed at construction.
+
+        Every derived structure (pattern-index symbol strings, the
+        store's symbol columns, peak counts, R-R intervals) is
+        classified with this value at ingest; allowing it to change
+        afterwards would silently desynchronize them.  Build a new
+        database to query under a different theta.
+        """
+        return self._theta
+
+    @property
+    def breaker(self) -> "Breaker":
+        """The breaking algorithm; reassigning invalidates cached results."""
+        return self._breaker
+
+    @breaker.setter
+    def breaker(self, value: "Breaker") -> None:
+        self._breaker = value
+        self._config_epoch += 1
+
+    def cache_epoch(self) -> tuple:
+        """Token naming everything a cached answer depends on.
+
+        Combines the store's data generation with the query pipeline's
+        configuration (``theta``/``normalize``/``curve_kind`` by value,
+        the breaker by reassignment count), so ingest, deletion and
+        config reassignment all invalidate cached results.  Config
+        objects themselves are treated as immutable: mutating a breaker
+        in place is not supported and invisible to the cache.
+        """
+        return (
+            self.store.generation,
+            self.theta,
+            self.normalize,
+            self.curve_kind,
+            self.keep_raw,
+            self._config_epoch,
+        )
 
     # ------------------------------------------------------------------
     # Ingest
@@ -151,8 +197,16 @@ class SequenceDatabase:
         For data that arrives already summarized (a remote site shipping
         compact function series instead of raw samples, or benchmark
         corpora reusing a broken pool).  The sequence is indexed and
-        queryable exactly like an inserted one; only ``raw_sequence``
-        and raw-data baselines are unavailable for it.
+        queryable exactly like an inserted one, with the limitations of
+        having no raw data:
+
+        * ``raw_sequence`` raises :class:`~repro.core.errors.StorageError`
+          (nothing was archived) and ``has_raw`` returns False;
+        * ``add_variant`` cannot rebuild it from raw samples;
+        * value-based grading (``ExemplarQuery``) rejects it with an
+          infinite ``value_distance`` deviation rather than failing —
+          representation-level queries (pattern, peak, interval,
+          steepness, shape) are unaffected.
         """
         sequence_id = self._next_id
         self._next_id += 1
@@ -198,7 +252,7 @@ class SequenceDatabase:
         peaks = find_peaks(representation, self.theta)
         peak_count = len(peaks)
         intervals = np.diff(np.asarray([peak.time for peak in peaks], dtype=float))
-        self.rr_index.add_array(intervals, sequence_id)
+        self.rr_index.add_array(sequence_id, intervals)
         return peak_count, intervals
 
     def add_variant(
@@ -290,6 +344,17 @@ class SequenceDatabase:
         """The paper's Table 1 rows for one sequence."""
         return peak_table(self.representation_of(sequence_id), self.theta)
 
+    def has_raw(self, sequence_id: int) -> bool:
+        """Whether raw data for a live sequence is actually archived.
+
+        False for sequences ingested via ``insert_representation`` (and
+        for everything when the database was built with
+        ``keep_raw=False``); such sequences can only be queried through
+        their representation.
+        """
+        self._require(sequence_id)
+        return self.keep_raw and sequence_id in self.archive
+
     def raw_sequence(self, sequence_id: int) -> Sequence:
         """Raw data from the archive — pays the simulated slow-tier cost."""
         self._require(sequence_id)
@@ -310,6 +375,7 @@ class SequenceDatabase:
         query: Query,
         include_approximate: bool = True,
         engine: bool = True,
+        cache: bool = True,
     ) -> list[QueryMatch]:
         """Evaluate a query; exact matches first, then by deviation.
 
@@ -317,10 +383,23 @@ class SequenceDatabase:
         engine (:mod:`repro.engine`); ``engine=False`` runs the legacy
         per-sequence loop instead.  Both paths return identical results
         — the legacy path survives as the engine's correctness oracle.
+
+        With ``cache=True`` (the default) the engine consults the
+        plan-level result cache: re-running a fingerprinted query on an
+        unchanged database returns the memoized answer without planning
+        a single stage, and any ``insert``/``delete`` invalidates it
+        through the store's generation counter.  ``cache=False`` forces
+        a full evaluation (and leaves the cache untouched); the legacy
+        path never caches.
         """
         if engine:
             plan = self.planner.plan(query, self)
-            return self.executor.execute(self, plan, include_approximate)
+            return self.executor.execute(
+                self,
+                plan,
+                include_approximate,
+                cache=self.result_cache if cache else None,
+            )
         return self.query_legacy(query, include_approximate)
 
     def query_legacy(self, query: Query, include_approximate: bool = True) -> list[QueryMatch]:
@@ -335,9 +414,22 @@ class SequenceDatabase:
                 matches.append(match)
         return sorted(matches, key=QueryMatch.sort_key)
 
-    def explain(self, query: Query) -> str:
-        """The stage list the engine will run for ``query``."""
-        return self.planner.explain(query, self)
+    def explain(self, query: Query, include_approximate: bool = True) -> str:
+        """The stage list the engine will run for ``query``.
+
+        Includes the result cache's verdict for this exact evaluation:
+        ``cache-hit`` (the stages would be skipped entirely),
+        ``cache-miss`` (they run and the answer is remembered), or
+        ``uncacheable`` (the query has no fingerprint).
+        """
+        plan = self.planner.plan(query, self)
+        if plan.fingerprint is None:
+            state = "uncacheable"
+        else:
+            key = (plan.fingerprint, bool(include_approximate))
+            hit = self.result_cache.peek(key, self.cache_epoch())
+            state = "cache-hit" if hit else "cache-miss"
+        return f"{plan.describe()} [{state} @ generation {self.store.generation}]"
 
     def scan_rr(self, target: float, delta: float) -> list[int]:
         """Linear-scan answer to the R-R query (index validation path).

@@ -47,13 +47,17 @@ residual stage.
 from __future__ import annotations
 
 import abc
+import hashlib
+import weakref
 from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.core.errors import QueryError
+from repro.core.errors import PatternSyntaxError, QueryError
 from repro.core.sequence import Sequence
+from repro.core.representation import SYMBOL_CODES
 from repro.core.tolerance import DimensionDeviation, MatchGrade, Tolerance, grade_deviations
+from repro.engine.nfa import ColumnPatternMatcher
 from repro.engine.plan import DimensionColumn, QueryPlan, VectorVerdicts
 from repro.patterns.regex import SymbolPattern
 from repro.query.results import QueryMatch
@@ -72,7 +76,27 @@ __all__ = [
     "ExemplarQuery",
 ]
 
-_SYMBOL_CODES = {"+": 1, "-": -1, "0": 0}
+def _exemplar_digest(exemplar: object) -> str:
+    """Content hash of a query exemplar (raw sequence or representation).
+
+    Used as the exemplar part of a query fingerprint: two exemplars with
+    equal digests query identically, and — unlike ``id()`` — a digest
+    can never be recycled onto different data.
+    """
+    from repro.core.representation import FunctionSeriesRepresentation
+
+    digest = hashlib.sha1()
+    if isinstance(exemplar, Sequence):
+        digest.update(np.ascontiguousarray(exemplar.times).tobytes())
+        digest.update(np.ascontiguousarray(exemplar.values).tobytes())
+    elif isinstance(exemplar, FunctionSeriesRepresentation):
+        columns = exemplar.segment_columns()
+        for name in sorted(columns):
+            digest.update(np.ascontiguousarray(columns[name]).tobytes())
+        digest.update(str(exemplar.source_length).encode())
+    else:  # pragma: no cover - constructors validate exemplar types
+        raise QueryError(f"cannot fingerprint exemplar of type {type(exemplar).__name__}")
+    return digest.hexdigest()
 
 
 class Query(abc.ABC):
@@ -94,6 +118,16 @@ class Query(abc.ABC):
         This is the plan's residual stage under its pre-engine name.
         """
 
+    def fingerprint(self) -> "tuple | None":
+        """Content key for the plan-level result cache, or None.
+
+        Two queries with equal fingerprints must return equal results
+        against the same database state.  The default ``None`` marks the
+        query uncacheable, which is always safe — third-party subclasses
+        opt in by returning a tuple of their defining parameters.
+        """
+        return None
+
     def plan(self, database: "SequenceDatabase") -> QueryPlan:
         """The staged execution plan for this query.
 
@@ -102,15 +136,46 @@ class Query(abc.ABC):
         through the engine unchanged; built-in queries override this
         with vectorized or prefiltered stages.
         """
-        return QueryPlan(query=self, probe=self.candidates, residual=self.grade)
+        return QueryPlan(
+            query=self,
+            probe=self.candidates,
+            residual=self.grade,
+            fingerprint=self.fingerprint(),
+        )
 
 
 class PatternQuery(Query):
-    """Full-sequence behaviour pattern over the slope alphabet."""
+    """Full-sequence behaviour pattern over the slope alphabet.
+
+    Under the engine the pattern is tabulated into a DFA transition
+    table (:mod:`repro.patterns.automata`) and run across the columnar
+    store's symbol columns as a single vectorized stage
+    (:class:`~repro.engine.nfa.ColumnPatternMatcher`): the behavioural
+    (run-collapsed) column by default, the positional column with
+    ``collapse_runs=False``.  Membership is exact by construction, so
+    the stage emits verdicts with no metric dimensions — byte-identical
+    to the legacy per-sequence NFA path, minus the Python loop.
+    """
 
     def __init__(self, pattern: "str | SymbolPattern", collapse_runs: bool = True) -> None:
-        self.pattern = SymbolPattern.compile(pattern)
-        self.collapse_runs = collapse_runs
+        self._pattern = SymbolPattern.compile(pattern)
+        self._collapse_runs = collapse_runs
+        self._matcher: "ColumnPatternMatcher | None" = None
+        self._matcher_failed = False
+
+    @property
+    def pattern(self) -> SymbolPattern:
+        """The compiled pattern — fixed at construction.
+
+        The tabulated DFA matcher and the cache fingerprint are derived
+        from it; build a new query to match a different pattern.
+        """
+        return self._pattern
+
+    @property
+    def collapse_runs(self) -> bool:
+        """Which symbol view is matched — fixed at construction."""
+        return self._collapse_runs
 
     def candidates(self, database: "SequenceDatabase") -> "list[int] | None":
         return self._probe(database)
@@ -118,10 +183,59 @@ class PatternQuery(Query):
     def grade(self, database: "SequenceDatabase", sequence_id: int) -> QueryMatch:
         return self._grade_scalar(database, sequence_id)
 
+    def fingerprint(self) -> tuple:
+        return (type(self).__qualname__, self.pattern.source, self.collapse_runs)
+
     def plan(self, database: "SequenceDatabase") -> QueryPlan:
+        if self._column_matcher() is None:
+            # Tabulation budget exceeded: stay on the index-probe + NFA path.
+            return QueryPlan(
+                query=self,
+                probe=self._probe,
+                residual=self._grade_scalar,
+                label="pattern",
+                fingerprint=self.fingerprint(),
+            )
         return QueryPlan(
-            query=self, probe=self._probe, residual=self._grade_scalar, label="pattern"
+            query=self,
+            vector_filter=self._vector_filter,
+            residual=self._grade_scalar,
+            label="pattern",
+            fingerprint=self.fingerprint(),
         )
+
+    def _column_matcher(self) -> "ColumnPatternMatcher | None":
+        if self._matcher is None and not self._matcher_failed:
+            try:
+                self._matcher = ColumnPatternMatcher.for_pattern(self.pattern)
+            except PatternSyntaxError:
+                self._matcher_failed = True
+        return self._matcher
+
+    def _vector_filter(
+        self,
+        database: "SequenceDatabase",
+        store: "ColumnarSegmentStore",
+        candidate_ids: "list[int] | None",
+    ) -> VectorVerdicts:
+        matcher = self._column_matcher()
+        if self.collapse_runs:
+            symbols = store.behavior_symbols
+            starts = store.behavior_starts
+            counts = store.behavior_counts
+        else:
+            symbols = store.segment_symbols
+            starts = store.segment_starts
+            counts = store.segment_counts
+        if candidate_ids is None:
+            ids = store.sequence_ids
+        else:
+            positions = store.positions_of(candidate_ids)
+            ids = store.sequence_ids[positions]
+            starts = starts[positions]
+            counts = counts[positions]
+        accepted = matcher.fullmatch_column(symbols, starts, counts)
+        return VectorVerdicts(ids[accepted], ())
 
     def _probe(self, database: "SequenceDatabase") -> "list[int]":
         index = database.behavior_index if self.collapse_runs else database.pattern_index
@@ -146,12 +260,16 @@ class PeakCountQuery(Query):
     def grade(self, database: "SequenceDatabase", sequence_id: int) -> QueryMatch:
         return self._grade_scalar(database, sequence_id)
 
+    def fingerprint(self) -> tuple:
+        return (type(self).__qualname__, self.count, self.tolerance.bound)
+
     def plan(self, database: "SequenceDatabase") -> QueryPlan:
         return QueryPlan(
             query=self,
             vector_filter=self._vector_filter,
             residual=self._grade_scalar,
             label="peak-count",
+            fingerprint=self.fingerprint(),
         )
 
     def _vector_filter(
@@ -204,6 +322,9 @@ class IntervalQuery(Query):
     def grade(self, database: "SequenceDatabase", sequence_id: int) -> QueryMatch:
         return self._grade_scalar(database, sequence_id)
 
+    def fingerprint(self) -> tuple:
+        return (type(self).__qualname__, self.target, self.tolerance.bound)
+
     def plan(self, database: "SequenceDatabase") -> QueryPlan:
         return QueryPlan(
             query=self,
@@ -211,6 +332,7 @@ class IntervalQuery(Query):
             vector_filter=self._vector_filter,
             residual=self._grade_scalar,
             label="rr-interval",
+            fingerprint=self.fingerprint(),
         )
 
     def _probe(self, database: "SequenceDatabase") -> "list[int]":
@@ -279,12 +401,16 @@ class SteepnessQuery(Query):
     def grade(self, database: "SequenceDatabase", sequence_id: int) -> QueryMatch:
         return self._grade_scalar(database, sequence_id)
 
+    def fingerprint(self) -> tuple:
+        return (type(self).__qualname__, self.min_slope, self.tolerance.bound)
+
     def plan(self, database: "SequenceDatabase") -> QueryPlan:
         return QueryPlan(
             query=self,
             vector_filter=self._vector_filter,
             residual=self._grade_scalar,
             label="steepness",
+            fingerprint=self.fingerprint(),
         )
 
     def _vector_filter(
@@ -331,10 +457,10 @@ class ShapeQuery(Query):
     symbols but profile differences within the tolerances are
     approximate matches along ``shape_duration`` / ``shape_amplitude``.
 
-    Under the engine the columnar store prefilters structurally: run
-    boundaries of the slope-sign codes are found for every stored
-    sequence at once, and only sequences whose collapsed code string
-    equals the exemplar's signature survive to per-sequence grading.
+    Under the engine the columnar store prefilters structurally: the
+    store's run-collapsed behaviour columns are compared against the
+    exemplar's signature wholesale, and only sequences whose collapsed
+    code string equals it survive to per-sequence grading.
     """
 
     def __init__(
@@ -352,11 +478,24 @@ class ShapeQuery(Query):
             raise QueryError("exemplar must be a Sequence or a FunctionSeriesRepresentation")
         self._exemplar = exemplar
         self._signature_builder = shape_signature
-        self._cache_key: "tuple[int, float] | None" = None
+        self._cache_ref: "weakref.ref | None" = None
+        self._cache_breaker_ref: "weakref.ref | None" = None
+        self._cache_key: "tuple | None" = None
         self._signature = None
+        self._digest: "str | None" = None
 
     def grade(self, database: "SequenceDatabase", sequence_id: int) -> QueryMatch:
         return self._grade_scalar(database, sequence_id)
+
+    def fingerprint(self) -> tuple:
+        if self._digest is None:
+            self._digest = _exemplar_digest(self._exemplar)
+        return (
+            type(self).__qualname__,
+            self._digest,
+            self.duration_tolerance.bound,
+            self.amplitude_tolerance.bound,
+        )
 
     def plan(self, database: "SequenceDatabase") -> QueryPlan:
         return QueryPlan(
@@ -364,6 +503,7 @@ class ShapeQuery(Query):
             prefilter=self._prefilter,
             residual=self._grade_scalar,
             label="shape",
+            fingerprint=self.fingerprint(),
         )
 
     def _signature_for(self, database: "SequenceDatabase"):
@@ -373,11 +513,31 @@ class ShapeQuery(Query):
         and breaking the database applies to stored sequences, so the
         comparison is apples to apples; a prebuilt representation is
         trusted as-is.
+
+        The signature is memoized per database through *weak*
+        references (to the database and its breaker, so a reassigned
+        breaker invalidates too) plus the database's pipeline
+        configuration.  A plain
+        ``id(database)`` key is unsound: after the database is
+        garbage-collected, CPython can hand its ``id`` to a brand-new
+        database, silently serving a signature built under a different
+        breaker/normalize configuration.  The weakref cannot be fooled —
+        a dead referent never compares ``is`` to a live database — and
+        it keeps the query from pinning the database alive.
         """
         from repro.core.representation import FunctionSeriesRepresentation
 
-        key = (id(database), database.theta)
-        if self._signature is not None and self._cache_key == key:
+        cached = self._cache_ref() if self._cache_ref is not None else None
+        cached_breaker = (
+            self._cache_breaker_ref() if self._cache_breaker_ref is not None else None
+        )
+        key = (database.theta, database.normalize, database.curve_kind)
+        if (
+            self._signature is not None
+            and cached is database
+            and cached_breaker is database.breaker
+            and self._cache_key == key
+        ):
             return self._signature
         if isinstance(self._exemplar, FunctionSeriesRepresentation):
             representation = self._exemplar
@@ -389,6 +549,8 @@ class ShapeQuery(Query):
                 exemplar = znormalize(exemplar)
             representation = database.breaker.represent(exemplar, curve_kind=database.curve_kind)
         self._signature = self._signature_builder(representation, database.theta)
+        self._cache_ref = weakref.ref(database)
+        self._cache_breaker_ref = weakref.ref(database.breaker)
         self._cache_key = key
         return self._signature
 
@@ -399,28 +561,23 @@ class ShapeQuery(Query):
         candidate_ids: "list[int] | None",
     ) -> "list[int]":
         """Sequences whose collapsed slope-sign string equals the
-        exemplar's — the only ones :meth:`grade` could accept."""
+        exemplar's — the only ones :meth:`grade` could accept.
+
+        Reads the store's run-collapsed behaviour columns directly:
+        exactly the classification this query compares against, already
+        materialized at ingest, so the prefilter is one length compare
+        plus one row compare over the survivors.
+        """
         wanted = self._signature_for(database).symbols
         if store.n_sequences == 0:
             return []
-        theta = database.theta
-        slopes = store.segment_slopes
-        owners = store.segment_sequences
-        codes = np.where(slopes > theta, 1, np.where(slopes < -theta, -1, 0)).astype(np.int8)
-        run_start = np.empty(len(codes), dtype=bool)
-        run_start[0] = True
-        run_start[1:] = (codes[1:] != codes[:-1]) | (owners[1:] != owners[:-1])
-        run_counts = np.add.reduceat(run_start.astype(np.int64), store.segment_starts)
-        matched = np.flatnonzero(run_counts == len(wanted))
+        matched = np.flatnonzero(store.behavior_counts == len(wanted))
         if len(matched) == 0:
             ids: "list[int]" = []
         else:
-            run_offsets = np.zeros(store.n_sequences, dtype=np.int64)
-            np.cumsum(run_counts[:-1], out=run_offsets[1:])
-            run_rows = np.flatnonzero(run_start)
-            row_matrix = run_rows[run_offsets[matched][:, None] + np.arange(len(wanted))]
-            wanted_codes = np.array([_SYMBOL_CODES[c] for c in wanted], dtype=np.int8)
-            same = (codes[row_matrix] == wanted_codes).all(axis=1)
+            wanted_codes = np.array([SYMBOL_CODES[c] for c in wanted], dtype=np.int8)
+            rows = store.behavior_starts[matched][:, None] + np.arange(len(wanted))
+            same = (store.behavior_symbols[rows] == wanted_codes).all(axis=1)
             ids = [int(s) for s in store.sequence_ids[matched[same]]]
         if candidate_ids is not None:
             allowed = set(candidate_ids)
@@ -461,16 +618,46 @@ class ExemplarQuery(Query):
     pointwise; used by benchmarks as the Figure 1 baseline.  Under the
     engine, candidates whose stored length differs from the exemplar's
     are dropped columnarly before any archive read.
+
+    Candidates with *no archived raw data* — sequences ingested through
+    ``insert_representation`` — cannot be value-graded at all: they are
+    rejected with an infinite ``value_distance`` deviation instead of
+    leaking a storage-layer error, on both the engine and legacy paths.
+    A database built with ``keep_raw=False`` archives nothing, so no
+    candidate could ever grade; that is reported as a clean
+    :class:`QueryError` up front.
     """
 
     def __init__(self, exemplar: Sequence, epsilon: float) -> None:
         if epsilon < 0:
             raise QueryError("epsilon must be non-negative")
-        self.exemplar = exemplar
+        self._exemplar_sequence = exemplar
         self.tolerance = Tolerance("value_distance", float(epsilon))
+        self._digest: "str | None" = None
+
+    @property
+    def exemplar(self) -> Sequence:
+        """The query exemplar — fixed at construction.
+
+        The cache fingerprint memoizes its content digest; build a new
+        query to search for a different exemplar.
+        """
+        return self._exemplar_sequence
+
+    def candidates(self, database: "SequenceDatabase") -> "list[int] | None":
+        # Checking the raw tier here keeps the legacy path in lockstep
+        # with the engine's prefilter: both fail fast on keep_raw=False
+        # databases, even empty ones, instead of diverging.
+        self._require_raw_tier(database)
+        return None
 
     def grade(self, database: "SequenceDatabase", sequence_id: int) -> QueryMatch:
         return self._grade_scalar(database, sequence_id)
+
+    def fingerprint(self) -> tuple:
+        if self._digest is None:
+            self._digest = _exemplar_digest(self.exemplar)
+        return (type(self).__qualname__, self._digest, self.tolerance.bound)
 
     def plan(self, database: "SequenceDatabase") -> QueryPlan:
         return QueryPlan(
@@ -478,7 +665,16 @@ class ExemplarQuery(Query):
             prefilter=self._prefilter,
             residual=self._grade_scalar,
             label="exemplar-value",
+            fingerprint=self.fingerprint(),
         )
+
+    @staticmethod
+    def _require_raw_tier(database: "SequenceDatabase") -> None:
+        if not database.keep_raw:
+            raise QueryError(
+                "value-based exemplar grading needs archived raw data, but the "
+                "database was built with keep_raw=False"
+            )
 
     def _prefilter(
         self,
@@ -488,6 +684,7 @@ class ExemplarQuery(Query):
     ) -> "list[int]":
         """Length mismatches grade to an infinite deviation; drop them
         before paying the archive's simulated latency."""
+        self._require_raw_tier(database)
         same_length = store.sequence_ids[store.source_lengths == len(self.exemplar)]
         ids = [int(s) for s in same_length]
         if candidate_ids is not None:
@@ -496,12 +693,19 @@ class ExemplarQuery(Query):
         return ids
 
     def _grade_scalar(self, database: "SequenceDatabase", sequence_id: int) -> QueryMatch:
-        raw = database.raw_sequence(sequence_id)
-        if len(raw) != len(self.exemplar):
+        self._require_raw_tier(database)
+        if not database.has_raw(sequence_id):
+            # Representation-only ingest: no raw values exist to compare.
             deviation = DimensionDeviation("value_distance", float("inf"), self.tolerance.bound)
         else:
-            distance = float(np.abs(raw.values - self.exemplar.values).max())
-            deviation = DimensionDeviation("value_distance", distance, self.tolerance.bound)
+            raw = database.raw_sequence(sequence_id)
+            if len(raw) != len(self.exemplar):
+                deviation = DimensionDeviation(
+                    "value_distance", float("inf"), self.tolerance.bound
+                )
+            else:
+                distance = float(np.abs(raw.values - self.exemplar.values).max())
+                deviation = DimensionDeviation("value_distance", distance, self.tolerance.bound)
         return QueryMatch(
             sequence_id,
             database.name_of(sequence_id),

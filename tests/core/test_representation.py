@@ -151,3 +151,37 @@ class TestStorageAccounting:
         rep = FunctionSeriesRepresentation.from_breakpoints(seq, [(0, 20)])
         with pytest.raises(SequenceError):
             rep.parameter_count("bogus")
+
+
+class TestSymbolCodecs:
+    def test_decode_symbols_round_trip(self):
+        from repro.core.representation import classify_slopes, decode_symbols
+
+        slopes = [2.0, 0.01, -3.0, 0.0, 1.5]
+        assert decode_symbols(classify_slopes(slopes, 0.05)) == "+0-0+"
+        assert decode_symbols(classify_slopes([], 0.05)) == ""
+
+    def test_decode_symbols_rejects_corrupt_codes(self):
+        import numpy as np
+        import pytest
+
+        from repro.core.errors import SequenceError
+        from repro.core.representation import decode_symbols
+
+        with pytest.raises(SequenceError, match="invalid symbol codes"):
+            decode_symbols(np.array([-2], dtype=np.int8))
+        with pytest.raises(SequenceError, match="invalid symbol codes"):
+            decode_symbols(np.array([0, 1, 2], dtype=np.int8))
+
+
+class TestDecodeSymbolsTypeSafety:
+    def test_non_integer_codes_fail_loudly(self):
+        import numpy as np
+        import pytest
+
+        from repro.core.errors import SequenceError
+        from repro.core.representation import decode_symbols
+
+        with pytest.raises(SequenceError, match="invalid symbol codes"):
+            decode_symbols(np.array([0.5, -0.5]))  # truncation must not hide these
+        assert decode_symbols(np.array([1.0, -1.0, 0.0])) == "+-0"  # exact floats ok

@@ -119,7 +119,11 @@ class TestEngineSemantics:
         assert "vectorized-grade" in fever_db.explain(PeakCountQuery(2))
         assert "index-probe" in fever_db.explain(IntervalQuery(12.0, 1.0))
         assert "columnar-prefilter" in fever_db.explain(ShapeQuery(goalpost_fever()))
-        assert "residual-grade" in fever_db.explain(PatternQuery(GOALPOST))
+        # Pattern queries tabulate to a DFA and grade over the symbol columns.
+        assert "vectorized-grade" in fever_db.explain(PatternQuery(GOALPOST))
+        assert "vectorized-grade" in fever_db.explain(
+            PatternQuery("(0|-)* + (0|-)*", collapse_runs=False)
+        )
 
     def test_third_party_query_runs_through_engine(self, fever_db):
         """A subclass overriding only the legacy API still executes."""

@@ -1,0 +1,111 @@
+"""The vectorized pattern stage: column matcher and engine parity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import ColumnPatternMatcher
+from repro.engine.nfa import SLOPE_ALPHABET
+from repro.patterns.regex import TWO_PEAKS, SymbolPattern
+from repro.query import PatternQuery, SequenceDatabase
+from repro.segmentation import InterpolationBreaker
+from repro.workloads import ecg_corpus, fever_corpus
+
+GOALPOST = "(0|-)* + (0|-)^+ + (0|-)*"
+
+
+class TestColumnMatcher:
+    def test_packed_strings_match_nfa(self):
+        pattern = SymbolPattern(TWO_PEAKS)
+        matcher = ColumnPatternMatcher.for_pattern(pattern)
+        strings = ["+-+-", "0+-0+0", "+-", "", "000", "+-+-+-", "+", "-+-+"]
+        expected = np.asarray([pattern.fullmatch(s) for s in strings])
+        np.testing.assert_array_equal(matcher.fullmatch_strings(strings), expected)
+
+    def test_empty_batch(self):
+        matcher = ColumnPatternMatcher.for_pattern("+*")
+        assert matcher.fullmatch_strings([]).shape == (0,)
+
+    def test_empty_strings_respect_empty_match(self):
+        accepts_empty = ColumnPatternMatcher.for_pattern("0*")
+        rejects_empty = ColumnPatternMatcher.for_pattern("0^+")
+        np.testing.assert_array_equal(
+            accepts_empty.fullmatch_strings(["", "0"]), [True, True]
+        )
+        np.testing.assert_array_equal(
+            rejects_empty.fullmatch_strings(["", "0"]), [False, True]
+        )
+
+    def test_dead_state_short_circuits(self):
+        # "++" then anything cannot recover; the matcher must still
+        # report neighbours correctly after dropping the dead sequence.
+        matcher = ColumnPatternMatcher.for_pattern("(0|-)*")
+        strings = ["+" * 50, "0" * 50, "-0" * 25]
+        np.testing.assert_array_equal(
+            matcher.fullmatch_strings(strings), [False, True, True]
+        )
+
+    def test_subset_of_column(self):
+        """Matching restricted to candidate positions (gathered starts)."""
+        matcher = ColumnPatternMatcher.for_pattern("+-")
+        codes = {s: i - 1 for i, s in enumerate(SLOPE_ALPHABET)}
+        packed = np.asarray(
+            [codes[c] for c in "+-0+-+"], dtype=np.int8
+        )  # strings: "+-" at 0, "0" at 2, "+-+" at 3
+        starts = np.asarray([0, 2, 3])
+        counts = np.asarray([2, 1, 3])
+        np.testing.assert_array_equal(
+            matcher.fullmatch_column(packed, starts, counts), [True, False, False]
+        )
+
+
+@pytest.fixture(scope="module")
+def fever_db():
+    db = SequenceDatabase(breaker=InterpolationBreaker(0.5))
+    db.insert_all(fever_corpus(n_two_peak=6, n_one_peak=4, n_three_peak=4))
+    return db
+
+
+class TestEnginePatternParity:
+    @pytest.mark.parametrize(
+        "source,collapse",
+        [
+            (GOALPOST, True),
+            (GOALPOST, False),
+            ("(0|-)* + (0|-)*", False),
+            (".*", True),
+            ("0*", True),
+            ("[^0]^+", True),
+        ],
+    )
+    def test_engine_equals_legacy(self, fever_db, source, collapse):
+        query = PatternQuery(source, collapse_runs=collapse)
+        engine = fever_db.query(query)
+        legacy = fever_db.query(query, engine=False)
+        assert engine == legacy
+
+    def test_parity_on_ecg_with_theta(self):
+        db = SequenceDatabase(breaker=InterpolationBreaker(10.0), theta=5.0)
+        db.insert_all(ecg_corpus(n_sequences=15, seed=11))
+        for source in [".*", "(+|-|0)*", "[^+]*", GOALPOST]:
+            query = PatternQuery(source)
+            assert db.query(query) == db.query(query, engine=False)
+
+    def test_vectorized_stage_planned(self, fever_db):
+        plan = PatternQuery(GOALPOST).plan(fever_db)
+        assert "vectorized-grade" in plan.stages()
+        assert plan.probe is None
+
+    def test_tabulation_failure_falls_back_to_probe(self, fever_db):
+        query = PatternQuery(GOALPOST)
+        query._matcher = None
+        query._matcher_failed = True
+        plan = query.plan(fever_db)
+        assert "vectorized-grade" not in plan.stages()
+        assert plan.probe is not None
+        assert fever_db.query(query, cache=False) == fever_db.query(query, engine=False)
+
+    def test_empty_database(self):
+        db = SequenceDatabase(breaker=InterpolationBreaker(0.5))
+        assert db.query(PatternQuery(GOALPOST)) == []

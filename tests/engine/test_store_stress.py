@@ -1,0 +1,128 @@
+"""Interleaved insert/delete/re-insert stress over the whole engine.
+
+Every mutation phase must leave the columnar store internally
+consistent (`check_consistency`) and the engine byte-identical to the
+legacy oracle for *every* query type — the insert-only parity suite
+cannot see offset-table corruption that only compaction can introduce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.query import (
+    ExemplarQuery,
+    IntervalQuery,
+    PatternQuery,
+    PeakCountQuery,
+    SequenceDatabase,
+    ShapeQuery,
+    SteepnessQuery,
+)
+from repro.segmentation import InterpolationBreaker
+from repro.workloads import fever_corpus, goalpost_fever, k_peak_sequence
+
+GOALPOST = "(0|-)* + (0|-)^+ + (0|-)*"
+
+
+def every_query_type():
+    return [
+        PatternQuery(GOALPOST),
+        PatternQuery("(0|-)* + (0|-)*", collapse_runs=False),
+        PeakCountQuery(2, count_tolerance=1),
+        IntervalQuery(12.0, 3.0),
+        SteepnessQuery(1.0, slope_tolerance=0.5),
+        ShapeQuery(goalpost_fever(), duration_tolerance=0.5, amplitude_tolerance=0.5),
+        ExemplarQuery(k_peak_sequence([6.0, 18.0], noise=0.0), epsilon=0.5),
+    ]
+
+
+def assert_engine_sound(db):
+    db.store.check_consistency()
+    assert list(db.store.sequence_ids) == db.ids()
+    for query in every_query_type():
+        engine = db.query(query, cache=False)
+        legacy = db.query(query, engine=False)
+        assert engine == legacy, type(query).__name__
+        cached_cold = db.query(query)
+        cached_warm = db.query(query)
+        assert cached_cold == engine and cached_warm == engine, type(query).__name__
+
+
+class TestInterleavedMutationStress:
+    def test_scripted_churn(self):
+        db = SequenceDatabase(breaker=InterpolationBreaker(0.5))
+        corpus = fever_corpus(n_two_peak=5, n_one_peak=4, n_three_peak=4)
+        db.insert_all(corpus[:8])
+        assert_engine_sound(db)
+
+        for victim in (0, 3, 7):
+            db.delete(victim)
+        assert_engine_sound(db)
+
+        db.insert_all(corpus[8:])
+        db.insert(k_peak_sequence([8.0, 16.0], noise=0.1, name="straggler"))
+        assert_engine_sound(db)
+
+        # Delete everything that currently matches the goal-post query,
+        # then re-insert fresh two-peak curves: the old answers must not
+        # survive anywhere (indexes, columns, cache).
+        for match in db.query(PatternQuery(GOALPOST)):
+            db.delete(match.sequence_id)
+        assert db.query(PatternQuery(GOALPOST), cache=False) == []
+        db.insert_all(fever_corpus(n_two_peak=3, n_one_peak=0, n_three_peak=0))
+        assert len(db.query(PatternQuery(GOALPOST), cache=False)) == 3
+        assert_engine_sound(db)
+
+    def test_randomized_churn(self):
+        rng = np.random.default_rng(17)
+        db = SequenceDatabase(breaker=InterpolationBreaker(0.5))
+        pool = fever_corpus(n_two_peak=6, n_one_peak=6, n_three_peak=6)
+        cursor = 0
+        for round_no in range(6):
+            take = int(rng.integers(1, 4))
+            batch = [pool[(cursor + i) % len(pool)] for i in range(take)]
+            cursor += take
+            db.insert_all(batch)
+            live = db.ids()
+            for victim in rng.choice(live, size=min(len(live) - 1, 2), replace=False):
+                db.delete(int(victim))
+            db.store.check_consistency()
+        assert_engine_sound(db)
+
+    def test_drain_to_empty_and_refill(self):
+        db = SequenceDatabase(breaker=InterpolationBreaker(0.5))
+        db.insert_all(fever_corpus(n_two_peak=2, n_one_peak=2, n_three_peak=2))
+        for sequence_id in list(db.ids()):
+            db.delete(sequence_id)
+        db.store.check_consistency()
+        assert db.store.n_sequences == 0
+        assert db.store.n_segments == 0
+        assert db.store.n_behavior == 0
+        assert db.store.n_rr == 0
+        for query in every_query_type():
+            assert db.query(query, cache=False) == []
+        db.insert_all(fever_corpus(n_two_peak=2, n_one_peak=1, n_three_peak=1))
+        assert_engine_sound(db)
+
+
+class TestMutationKeepsAllIndexesAligned:
+    def test_indexes_and_store_agree_after_churn(self):
+        db = SequenceDatabase(breaker=InterpolationBreaker(0.5))
+        db.insert_all(fever_corpus(n_two_peak=4, n_one_peak=3, n_three_peak=3))
+        for victim in (1, 5):
+            db.delete(victim)
+        db.insert(k_peak_sequence([6.0, 18.0], noise=0.3, name="fresh"))
+        for sequence_id in db.ids():
+            assert db.store.symbols_of(sequence_id) == db.pattern_index.symbols_of(
+                sequence_id
+            )
+            assert db.store.symbols_of(
+                sequence_id, collapse_runs=True
+            ) == db.behavior_index.symbols_of(sequence_id)
+            peak_times = [peak.time for peak in db.peaks_of(sequence_id)]
+            np.testing.assert_array_equal(
+                db.rr_intervals_of(sequence_id), np.diff(np.asarray(peak_times, dtype=float))
+            )
+        db.rr_index.check_invariants()

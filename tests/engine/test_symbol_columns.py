@@ -1,0 +1,104 @@
+"""The store's symbol columns mirror the pattern indexes exactly."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.query import PatternQuery, SequenceDatabase
+from repro.segmentation import InterpolationBreaker
+from repro.workloads import ecg_corpus, fever_corpus, goalpost_fever, k_peak_sequence
+
+GOALPOST = "(0|-)* + (0|-)^+ + (0|-)*"
+
+
+@pytest.fixture
+def db():
+    db = SequenceDatabase(breaker=InterpolationBreaker(0.5))
+    db.insert_all(fever_corpus(n_two_peak=4, n_one_peak=3, n_three_peak=3))
+    return db
+
+
+class TestSymbolColumnsMirrorIndexes:
+    def test_positional_column_matches_trie(self, db):
+        for sequence_id in db.ids():
+            assert db.store.symbols_of(sequence_id) == db.pattern_index.symbols_of(
+                sequence_id
+            )
+
+    def test_behavior_column_matches_trie(self, db):
+        for sequence_id in db.ids():
+            assert db.store.symbols_of(
+                sequence_id, collapse_runs=True
+            ) == db.behavior_index.symbols_of(sequence_id)
+
+    def test_columns_match_representation_strings(self, db):
+        for sequence_id in db.ids():
+            rep = db.representation_of(sequence_id)
+            assert db.store.symbols_of(sequence_id) == rep.symbol_string(db.theta)
+            assert db.store.symbols_of(sequence_id, collapse_runs=True) == rep.symbol_string(
+                db.theta, collapse_runs=True
+            )
+
+    def test_nonzero_theta_respected(self):
+        db = SequenceDatabase(breaker=InterpolationBreaker(10.0), theta=5.0)
+        db.insert_all(ecg_corpus(n_sequences=6, seed=7))
+        assert db.store.theta == 5.0
+        for sequence_id in db.ids():
+            rep = db.representation_of(sequence_id)
+            assert db.store.symbols_of(sequence_id) == rep.symbol_string(5.0)
+
+    def test_behavior_rows_never_exceed_segment_rows(self, db):
+        assert db.store.n_behavior <= db.store.n_segments
+        counts = np.asarray(db.store.behavior_counts)
+        assert bool((counts >= 1).all())
+
+
+class TestSymbolColumnsSurviveMutation:
+    def test_delete_compacts_symbol_columns(self, db):
+        victims = [db.ids()[0], db.ids()[3], db.ids()[-1]]
+        for victim in victims:
+            db.delete(victim)
+        db.store.check_consistency()
+        for sequence_id in db.ids():
+            assert db.store.symbols_of(sequence_id) == db.pattern_index.symbols_of(
+                sequence_id
+            )
+            assert db.store.symbols_of(
+                sequence_id, collapse_runs=True
+            ) == db.behavior_index.symbols_of(sequence_id)
+
+    def test_reinsert_after_delete(self, db):
+        db.delete(db.ids()[2])
+        new_id = db.insert(k_peak_sequence([6.0, 18.0], noise=0.2, name="late"))
+        db.store.check_consistency()
+        rep = db.representation_of(new_id)
+        assert db.store.symbols_of(new_id) == rep.symbol_string(db.theta)
+
+    def test_insert_representation_gets_symbol_columns(self):
+        db = SequenceDatabase(breaker=InterpolationBreaker(0.5))
+        rep = InterpolationBreaker(0.5).represent(goalpost_fever(), curve_kind="regression")
+        sequence_id = db.insert_representation(rep, name="pre-broken")
+        db.store.check_consistency()
+        assert db.store.symbols_of(sequence_id) == rep.symbol_string(db.theta)
+
+    def test_generation_counts_mutations(self, db):
+        generation = db.store.generation
+        db.insert(k_peak_sequence([6.0], noise=0.0, name="one"))
+        assert db.store.generation == generation + 1
+        db.delete(db.ids()[-1])
+        assert db.store.generation == generation + 2
+        db.insert_all(fever_corpus(n_two_peak=1, n_one_peak=1, n_three_peak=0))
+        assert db.store.generation == generation + 3
+
+
+class TestVectorizedPatternUsesColumns:
+    def test_pattern_query_matches_probe_answer(self, db):
+        query = PatternQuery(GOALPOST)
+        engine_ids = [m.sequence_id for m in db.query(query)]
+        assert engine_ids == db.behavior_index.match_full(query.pattern)
+
+    def test_positional_pattern_query(self, db):
+        query = PatternQuery("(0|-)* + (0|-)*", collapse_runs=False)
+        engine_ids = [m.sequence_id for m in db.query(query)]
+        assert engine_ids == db.pattern_index.match_full(query.pattern)

@@ -24,8 +24,8 @@ class TestBasics:
     def test_paper_query_shape(self):
         """The Section 5.2 example: RR = 135 ± 5 finds the right ECG."""
         index = InvertedFileIndex()
-        index.add_all([150.0, 150.0, 150.0], sequence_id=0)  # steady rhythm
-        index.add_all([115.0, 135.0, 120.0], sequence_id=1)  # paper's bottom ECG
+        index.add_all(0, [150.0, 150.0, 150.0])  # steady rhythm
+        index.add_all(1, [115.0, 135.0, 120.0])  # paper's bottom ECG
         assert index.sequences_near(135.0, 5.0) == [1]
 
     def test_postings_sorted_by_value(self):
@@ -38,13 +38,13 @@ class TestBasics:
 
     def test_positions_recorded(self):
         index = InvertedFileIndex()
-        index.add_all([100.0, 110.0, 120.0], sequence_id=5)
+        index.add_all(5, [100.0, 110.0, 120.0])
         postings = list(index.postings_in_range(0.0, 200.0))
         assert [(p.sequence_id, p.position) for p in postings] == [(5, 0), (5, 1), (5, 2)]
 
     def test_len_counts_postings(self):
         index = InvertedFileIndex()
-        index.add_all([1.0, 2.0, 3.0], sequence_id=0)
+        index.add_all(0, [1.0, 2.0, 3.0])
         assert len(index) == 3
 
     def test_invalid_parameters_rejected(self):
@@ -114,3 +114,134 @@ class TestInvariantsAndModel:
     def test_posting_ordering(self):
         assert Posting(1.0, 2) < Posting(2.0, 1)
         assert Posting(1.0, 1) < Posting(1.0, 2)
+
+
+class TestIngestSignatureUnification:
+    """add_all/add_array take (sequence_id, values); old order is shimmed."""
+
+    def test_add_array_sequence_id_first(self):
+        index = InvertedFileIndex()
+        index.add_array(3, np.array([10.0, 20.0]))
+        assert index.sequences_near(10.0, 0.0) == [3]
+        assert len(index) == 2
+
+    def test_legacy_order_swapped_with_warning(self):
+        index = InvertedFileIndex()
+        with pytest.warns(FutureWarning, match="add_array"):
+            index.add_array(np.array([10.0, 20.0]), 3)
+        assert index.sequences_near(20.0, 0.0) == [3]
+        index2 = InvertedFileIndex()
+        with pytest.warns(FutureWarning, match="add_all"):
+            index2.add_all([5.0, 6.0], 7)
+        assert index2.sequences_near(5.0, 1.0) == [7]
+
+    def test_legacy_keyword_style_swapped_with_warning(self):
+        # The pre-unification documented style: values positional,
+        # sequence_id by keyword.  Must keep working, with a warning.
+        index = InvertedFileIndex()
+        with pytest.warns(FutureWarning, match="add_all"):
+            index.add_all([150.0, 150.0], sequence_id=0)
+        with pytest.warns(FutureWarning, match="add_array"):
+            index.add_array(np.array([115.0, 135.0]), sequence_id=1)
+        assert index.sequences_near(150.0, 0.0) == [0]
+        assert index.sequences_near(135.0, 5.0) == [1]
+
+    def test_legacy_generator_values_still_shimmed(self):
+        # The old annotation was Iterable[float]: generators and
+        # iterators in the leading position must swap too, not be
+        # mistaken for a sequence id.
+        index = InvertedFileIndex()
+        with pytest.warns(FutureWarning, match="add_all"):
+            index.add_all(iter([1.0, 2.0]), 3)
+        assert index.sequences_near(1.0, 1.0) == [3]
+        index2 = InvertedFileIndex()
+        with pytest.warns(FutureWarning, match="add_array"):
+            index2.add_array((x for x in [4.0]), 9)
+        assert index2.sequences_near(4.0, 0.0) == [9]
+
+    def test_keyword_forms_accepted(self):
+        index = InvertedFileIndex()
+        index.add_all(sequence_id=2, values=[9.0])
+        index.add_array(3, values=np.array([11.0]))
+        assert index.sequences_near(9.0, 0.0) == [2]
+        assert index.sequences_near(11.0, 0.0) == [3]
+
+    def test_malformed_argument_combinations_fail_clearly(self):
+        index = InvertedFileIndex()
+        with pytest.raises(IndexError_, match="positional"):
+            index.add_array(1, np.array([1.0]), sequence_id=1)
+        with pytest.raises(IndexError_, match="needs both"):
+            index.add_array(sequence_id=1)
+        with pytest.raises(IndexError_, match="exactly one"):
+            index.add_all([1.0])
+
+    def test_non_integer_sequence_id_fails_clearly(self):
+        index = InvertedFileIndex()
+        with pytest.raises(IndexError_, match="sequence_id must be an integer"):
+            index.add_array("oops", np.array([1.0]))
+        with pytest.raises(IndexError_, match="sequence_id"):
+            index.add(5.0, sequence_id=2.5)
+        with pytest.raises(IndexError_, match="sequence_id"):
+            index.add_all(None, [1.0])
+
+    def test_swapped_add_scalar_fails_clearly(self):
+        # add() keeps the postings-file order (value, sequence_id); an
+        # array in the value slot must fail at the boundary, not in the
+        # B-tree.
+        index = InvertedFileIndex()
+        with pytest.raises(IndexError_, match="value must be a real number"):
+            index.add(np.array([1.0, 2.0]), 3)
+        with pytest.raises(IndexError_, match="value"):
+            index.add(None, 3)
+
+    def test_multidimensional_values_rejected(self):
+        index = InvertedFileIndex()
+        with pytest.raises(IndexError_, match="one-dimensional"):
+            index.add_array(1, np.zeros((2, 2)))
+
+    def test_scalar_values_fail_clearly_on_both_entry_points(self):
+        index = InvertedFileIndex()
+        with pytest.raises(IndexError_, match="values must be iterable"):
+            index.add_all(3, 5.0)
+        with pytest.raises(IndexError_, match="values must be iterable"):
+            index.add_array(3, 5.0)
+
+    def test_numpy_integer_ids_accepted(self):
+        index = InvertedFileIndex()
+        index.add_array(np.int64(4), np.array([1.5]))
+        assert index.sequences_near(1.5, 0.0) == [4]
+
+    def test_empty_values_are_a_no_op(self):
+        index = InvertedFileIndex()
+        index.add_array(0, np.array([]))
+        assert len(index) == 0
+
+
+class TestNonFiniteValuesRejected:
+    def test_add_rejects_nan_and_inf(self):
+        index = InvertedFileIndex()
+        with pytest.raises(IndexError_, match="finite"):
+            index.add(float("nan"), 1)
+        with pytest.raises(IndexError_, match="finite"):
+            index.add(float("inf"), 1)
+
+    def test_add_array_rejects_nan_and_inf(self):
+        index = InvertedFileIndex()
+        with pytest.raises(IndexError_, match="finite"):
+            index.add_array(1, np.array([1.0, np.nan]))
+        with pytest.raises(IndexError_, match="finite"):
+            index.add_array(1, np.array([-np.inf]))
+        assert len(index) == 0  # nothing partially inserted
+        index.check_invariants()
+
+
+class TestAddAllAtomicity:
+    def test_bad_value_mid_list_inserts_nothing(self):
+        index = InvertedFileIndex()
+        with pytest.raises(IndexError_, match="finite"):
+            index.add_all(1, [5.0, float("nan"), 7.0])
+        assert len(index) == 0
+        with pytest.raises(IndexError_, match="real number"):
+            index.add_all(1, [5.0, "oops"])
+        assert len(index) == 0
+        index.check_invariants()

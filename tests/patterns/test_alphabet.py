@@ -37,3 +37,22 @@ class TestValidate:
     def test_invalid_symbol_rejected(self):
         with pytest.raises(PatternSyntaxError):
             validate_symbols("+-x0")
+
+
+class TestScalarVectorLockstep:
+    def test_classify_slope_agrees_with_classify_slopes(self):
+        """The scalar fast path and the vectorized single source must
+        apply identical comparisons, including at the theta boundary."""
+        import numpy as np
+
+        from repro.core.representation import classify_slopes, decode_symbols
+        from repro.patterns.alphabet import classify_slope
+
+        rng = np.random.default_rng(23)
+        for theta in [0.0, 0.05, 1.0]:
+            slopes = list(rng.uniform(-3, 3, 200)) + [
+                theta, -theta, np.nextafter(theta, 10), np.nextafter(-theta, -10), 0.0
+            ]
+            scalar = "".join(classify_slope(float(s), theta) for s in slopes)
+            vector = decode_symbols(classify_slopes(slopes, theta))
+            assert scalar == vector

@@ -1,0 +1,80 @@
+"""Tests for the tabulated DFA compiler (subset construction)."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.errors import PatternSyntaxError
+from repro.patterns.automata import SLOPE_ALPHABET, compile_table
+from repro.patterns.regex import TWO_PEAKS, SymbolPattern
+
+PATTERNS = [
+    TWO_PEAKS,
+    "(0|-)* + (0|-)^+ + (0|-)*",
+    ".*",
+    ".*+.*",
+    "[^0]{2,4}",
+    "(+|-)?0*",
+    "+^+-",
+    "\\+{2}",
+    "",
+    "0{3,}",
+    "(+-)^+0?",
+    "[+0]* - [+0]*",
+]
+
+
+def all_strings(max_length: int):
+    for length in range(max_length + 1):
+        for chars in itertools.product(SLOPE_ALPHABET, repeat=length):
+            yield "".join(chars)
+
+
+class TestTableAgreesWithNfa:
+    @pytest.mark.parametrize("source", PATTERNS)
+    def test_exhaustive_parity_up_to_length_five(self, source):
+        pattern = SymbolPattern(source)
+        table = compile_table(pattern)
+        for text in all_strings(5):
+            assert table.fullmatch(text) == pattern.fullmatch(text), (source, text)
+
+    def test_goalpost_examples(self):
+        table = compile_table(TWO_PEAKS)
+        assert table.fullmatch("+-+-")
+        assert table.fullmatch("0+-0+0")
+        assert not table.fullmatch("+-")
+        assert not table.fullmatch("+-+-+-")
+
+
+class TestTableStructure:
+    def test_dead_state_is_absorbing_and_rejecting(self):
+        table = compile_table("+-")
+        assert not table.accepting[table.dead]
+        np.testing.assert_array_equal(
+            table.table[table.dead], np.full(len(table.alphabet), table.dead)
+        )
+
+    def test_dead_state_exists_even_when_unreachable(self):
+        # ".*" accepts every continuation, so subset construction never
+        # reaches the empty state set; one is appended for the callers.
+        table = compile_table(".*")
+        assert 0 <= table.dead < table.n_states
+        assert not table.accepting[table.dead]
+
+    def test_symbols_outside_alphabet_reject(self):
+        table = compile_table(".*")
+        assert table.fullmatch("+-0")
+        assert not table.fullmatch("x")
+
+    def test_state_budget_enforced(self):
+        with pytest.raises(PatternSyntaxError):
+            compile_table("+*", max_states=1)
+
+    def test_bad_alphabet_rejected(self):
+        with pytest.raises(PatternSyntaxError):
+            compile_table("+", alphabet="")
+        with pytest.raises(PatternSyntaxError):
+            compile_table("+", alphabet="++0")

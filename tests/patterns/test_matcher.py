@@ -54,3 +54,20 @@ class TestFindSpans:
         # Four alternations never appear in a two-peak sequence.
         spans = find_pattern_spans(rep_two_peaks, "(+^+ -^+){4}", theta=0.05)
         assert spans == []
+
+
+class TestMatchesPatternMany:
+    def test_agrees_with_scalar_matcher(self):
+        from repro.patterns import matches_pattern, matches_pattern_many
+        from repro.segmentation import InterpolationBreaker
+        from repro.workloads import fever_corpus
+
+        breaker = InterpolationBreaker(0.5)
+        reps = [
+            breaker.represent(seq, curve_kind="regression")
+            for seq in fever_corpus(n_two_peak=3, n_one_peak=2, n_three_peak=2)
+        ]
+        pattern = "(0|-)* + (0|-)^+ + (0|-)*"
+        batch = matches_pattern_many(reps, pattern)
+        assert batch == [matches_pattern(rep, pattern) for rep in reps]
+        assert any(batch) and not all(batch)

@@ -44,8 +44,13 @@ class TestZNormalize:
         moved_values = [scale * v + shift for v in values]
         # Guard against float collapse: a variation tinier than the shift's
         # ulp vanishes in the transform, which is underflow, not a
-        # normalization defect.
-        assume(np.std(values) == 0.0 or np.std(moved_values) > 0.0)
+        # normalization defect.  "Survives" means above znormalize's own
+        # relative noise floor, not merely nonzero — the std of identical
+        # floats is summation noise, not variation.
+        assume(
+            np.std(values) == 0.0
+            or np.std(moved_values) > 1e-14 * np.abs(moved_values).max()
+        )
         moved = Sequence.from_values(moved_values)
         assert np.allclose(znormalize(base).values, znormalize(moved).values, atol=1e-6)
 
@@ -75,3 +80,18 @@ class TestNormalizationParameters:
         normalized = znormalize(seq)
         restored = normalized.values * std + mean
         assert np.allclose(restored, seq.values)
+
+
+class TestZNormalizeConstancyEdges:
+    def test_numerically_constant_maps_to_zero(self):
+        # std of identical floats is summation noise, not variation.
+        out = znormalize(Sequence.from_values([0.1] * 24))
+        assert np.allclose(out.values, 0.0)
+
+    def test_tiny_signal_on_large_offset_survives(self):
+        # A representable oscillation riding a huge offset is real data
+        # and must normalize, not flatten.
+        riding = 1e8 + 5e-7 * np.sin(np.linspace(0.0, 6.28, 200))
+        out = znormalize(Sequence.from_values(riding))
+        assert not np.allclose(out.values, 0.0)
+        assert out.values.std() == pytest.approx(1.0, abs=1e-6)

@@ -119,3 +119,27 @@ class TestStorageReport:
         report = db.storage_report()
         assert report["byte_compression"] > 1.3
         assert report["paper_convention_compression"] > 3.0
+
+
+class TestConfigMutability:
+    def test_theta_is_fixed_at_construction(self):
+        from repro.query import SequenceDatabase
+        from repro.segmentation import InterpolationBreaker
+        import pytest
+
+        db = SequenceDatabase(breaker=InterpolationBreaker(0.5), theta=0.5)
+        assert db.theta == 0.5
+        # Every index and symbol column is classified with this value at
+        # ingest; mutation would silently desynchronize them.
+        with pytest.raises(AttributeError):
+            db.theta = 0.0
+
+    def test_planner_explain_deprecated_shim(self):
+        from repro.query import PeakCountQuery, SequenceDatabase
+        from repro.segmentation import InterpolationBreaker
+        import pytest
+
+        db = SequenceDatabase(breaker=InterpolationBreaker(0.5))
+        with pytest.warns(FutureWarning, match="SequenceDatabase.explain"):
+            described = db.planner.explain(PeakCountQuery(2), db)
+        assert "vectorized-grade" in described

@@ -80,8 +80,8 @@ class TestRRIndexDelete:
         from repro.index.inverted import InvertedFileIndex
 
         index = InvertedFileIndex()
-        index.add_all([10.0, 20.0, 30.0], sequence_id=1)
-        index.add_all([10.0, 40.0], sequence_id=2)
+        index.add_all(1, [10.0, 20.0, 30.0])
+        index.add_all(2, [10.0, 40.0])
         assert index.remove_sequence(1) == 3
         assert len(index) == 2
         assert index.sequences_in_range(0.0, 100.0) == [2]

@@ -1,0 +1,99 @@
+"""Regression: ExemplarQuery against representation-only sequences.
+
+Sequences ingested via ``insert_representation`` have no archived raw
+data; value-based grading used to crash with a storage-layer
+``StorageError: sequence N not archived``.  It must instead reject them
+with an infinite ``value_distance`` deviation (engine and legacy alike),
+and a database that archives nothing at all must fail with a clean
+``QueryError`` up front.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import QueryError, StorageError
+from repro.core.tolerance import MatchGrade
+from repro.query import ExemplarQuery, SequenceDatabase
+from repro.segmentation import InterpolationBreaker
+from repro.workloads import goalpost_fever, k_peak_sequence
+
+
+@pytest.fixture
+def mixed_db():
+    """Two archived sequences plus one representation-only sequence."""
+    db = SequenceDatabase(breaker=InterpolationBreaker(0.5))
+    db.insert(k_peak_sequence([6.0, 18.0], noise=0.0, name="archived-match"))
+    db.insert(k_peak_sequence([4.0, 12.0, 20.0], noise=0.2, name="archived-other"))
+    rep = InterpolationBreaker(0.5).represent(
+        k_peak_sequence([6.0, 18.0], noise=0.0, name="rep-only"), curve_kind="regression"
+    )
+    db.insert_representation(rep, name="rep-only")
+    return db
+
+
+class TestRepresentationOnlyCandidates:
+    def test_no_storage_error_on_either_path(self, mixed_db):
+        query = ExemplarQuery(k_peak_sequence([6.0, 18.0], noise=0.0), epsilon=0.5)
+        engine = mixed_db.query(query)
+        legacy = mixed_db.query(query, engine=False)
+        assert engine == legacy
+        assert [m.sequence_id for m in engine] == [0]
+
+    def test_rep_only_candidate_graded_reject_with_infinite_deviation(self, mixed_db):
+        query = ExemplarQuery(k_peak_sequence([6.0, 18.0], noise=0.0), epsilon=0.5)
+        rep_only_id = 2
+        assert not mixed_db.has_raw(rep_only_id)
+        match = query.grade(mixed_db, rep_only_id)
+        assert match.grade is MatchGrade.REJECT
+        deviation = match.deviation_in("value_distance")
+        assert deviation is not None and deviation.amount == float("inf")
+
+    def test_grading_rep_only_reads_nothing_from_archive(self, mixed_db):
+        query = ExemplarQuery(k_peak_sequence([6.0, 18.0], noise=0.0), epsilon=0.5)
+        reads_before = mixed_db.archive.log.reads
+        query.grade(mixed_db, 2)
+        assert mixed_db.archive.log.reads == reads_before
+
+    def test_all_rep_only_database_returns_empty(self):
+        db = SequenceDatabase(breaker=InterpolationBreaker(0.5))
+        rep = InterpolationBreaker(0.5).represent(goalpost_fever(), curve_kind="regression")
+        db.insert_representation(rep, name="only")
+        query = ExemplarQuery(goalpost_fever(), epsilon=100.0)
+        assert db.query(query) == []
+        assert db.query(query, engine=False) == []
+
+    def test_raw_sequence_still_raises_storage_error(self, mixed_db):
+        with pytest.raises(StorageError):
+            mixed_db.raw_sequence(2)
+
+
+class TestKeepRawFalse:
+    def test_clean_query_error_when_nothing_archived(self):
+        db = SequenceDatabase(breaker=InterpolationBreaker(0.5), keep_raw=False)
+        db.insert(goalpost_fever())
+        query = ExemplarQuery(goalpost_fever(), epsilon=1.0)
+        with pytest.raises(QueryError, match="keep_raw"):
+            db.query(query)
+        with pytest.raises(QueryError, match="keep_raw"):
+            db.query(query, engine=False)
+
+    def test_both_paths_raise_even_on_empty_database(self):
+        # Parity includes the error contract: an empty keep_raw=False
+        # database must not return [] on one path and raise on the other.
+        db = SequenceDatabase(breaker=InterpolationBreaker(0.5), keep_raw=False)
+        query = ExemplarQuery(goalpost_fever(), epsilon=1.0)
+        with pytest.raises(QueryError, match="keep_raw"):
+            db.query(query)
+        with pytest.raises(QueryError, match="keep_raw"):
+            db.query(query, engine=False)
+
+    def test_has_raw(self, mixed_db):
+        assert mixed_db.has_raw(0)
+        assert mixed_db.has_raw(1)
+        assert not mixed_db.has_raw(2)
+        no_raw = SequenceDatabase(breaker=InterpolationBreaker(0.5), keep_raw=False)
+        sequence_id = no_raw.insert(goalpost_fever())
+        assert not no_raw.has_raw(sequence_id)
+        with pytest.raises(QueryError):
+            mixed_db.has_raw(999)

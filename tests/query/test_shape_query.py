@@ -79,3 +79,73 @@ class TestShapeQueryViaLanguage:
 
         with pytest.raises(QueryError):
             parse_query("SHAPE OF 0")
+
+
+class TestSignatureCacheSafety:
+    """Regression: the per-database signature memo must not key on id().
+
+    CPython recycles object ids, so an id-keyed memo could serve a
+    signature built under a dead database's breaker/normalize config to
+    a brand-new database that happens to reuse the id.  The memo now
+    holds a weak reference plus the pipeline config.
+    """
+
+    def test_recomputes_for_a_new_database_after_gc(self):
+        import gc
+
+        exemplar = goalpost_fever(noise=0.0)
+        query = ShapeQuery(exemplar, duration_tolerance=0.5, amplitude_tolerance=0.5)
+
+        db1 = SequenceDatabase(breaker=InterpolationBreaker(0.5))
+        db1.insert(exemplar)
+        first = query._signature_for(db1)
+        assert query._cache_ref() is db1
+        del db1
+        gc.collect()
+        assert query._cache_ref() is None  # memo cannot outlive its database
+
+        # A coarser pipeline must yield its own signature, never the memo.
+        db2 = SequenceDatabase(breaker=InterpolationBreaker(8.0), theta=0.5)
+        db2.insert(exemplar)
+        second = query._signature_for(db2)
+        assert query._cache_ref() is db2
+        assert second.symbols != first.symbols or second is not first
+
+    def test_memo_does_not_pin_database(self):
+        import gc
+        import weakref
+
+        query = ShapeQuery(goalpost_fever(noise=0.0))
+        db = SequenceDatabase(breaker=InterpolationBreaker(0.5))
+        db.insert(goalpost_fever())
+        query._signature_for(db)
+        ref = weakref.ref(db)
+        del db
+        gc.collect()
+        assert ref() is None
+
+    def test_reassigned_breaker_invalidates_memo(self):
+        exemplar = goalpost_fever(noise=0.0)
+        query = ShapeQuery(exemplar, duration_tolerance=0.5, amplitude_tolerance=0.5)
+        db = SequenceDatabase(breaker=InterpolationBreaker(0.5))
+        db.insert(exemplar)
+        query._signature_for(db)
+        db.breaker = InterpolationBreaker(8.0)
+        fresh = ShapeQuery(exemplar)._signature_for(db)
+        assert query._signature_for(db).symbols == fresh.symbols
+
+    def test_memo_still_caches_repeated_calls(self):
+        query = ShapeQuery(goalpost_fever(noise=0.0))
+        db = SequenceDatabase(breaker=InterpolationBreaker(0.5))
+        db.insert(goalpost_fever())
+        assert query._signature_for(db) is query._signature_for(db)
+
+    def test_alternating_databases_stay_correct(self):
+        exemplar = goalpost_fever(noise=0.0)
+        query = ShapeQuery(exemplar, duration_tolerance=0.5, amplitude_tolerance=0.5)
+        fine = SequenceDatabase(breaker=InterpolationBreaker(0.5))
+        coarse = SequenceDatabase(breaker=InterpolationBreaker(8.0), theta=0.5)
+        for db in (fine, coarse, fine, coarse):
+            db_signature = query._signature_for(db)
+            rebuilt = ShapeQuery(exemplar)._signature_for(db)
+            assert db_signature.symbols == rebuilt.symbols
