@@ -77,6 +77,30 @@ def collapse_symbol_runs(symbols: str) -> str:
     return "".join(s for i, s in enumerate(symbols) if i == 0 or s != symbols[i - 1])
 
 
+def run_start_mask(
+    codes: np.ndarray, group_starts: "np.ndarray | None" = None
+) -> np.ndarray:
+    """Boolean mask marking the first row of every symbol-code run.
+
+    A row opens a run when its code differs from the previous row's —
+    or when it is the first row of its group (``group_starts`` holds
+    each non-empty group's first row), since runs never span groups.
+    The one definition of run boundaries shared by the scalar shape
+    signature, the engine's block run-collapse and the vectorized shape
+    grading stage; their bit-for-bit agreement depends on it staying
+    single-sourced.
+    """
+    n = len(codes)
+    mask = np.empty(n, dtype=bool)
+    if n == 0:
+        return mask
+    mask[0] = True
+    np.not_equal(codes[1:], codes[:-1], out=mask[1:])
+    if group_starts is not None:
+        mask[group_starts] = True
+    return mask
+
+
 def symbols_from_slopes(
     slopes: "TypingSequence[float] | np.ndarray",
     theta: float = 0.0,
@@ -98,7 +122,7 @@ def symbols_from_slopes(
 class FunctionSeriesRepresentation:
     """An ordered series of function segments standing in for a sequence."""
 
-    __slots__ = ("segments", "name", "source_length", "curve_kind", "epsilon")
+    __slots__ = ("segments", "name", "source_length", "curve_kind", "epsilon", "_columns")
 
     def __init__(
         self,
@@ -122,6 +146,7 @@ class FunctionSeriesRepresentation:
         self.source_length = source_length or (seg_list[-1].end_index + 1)
         self.curve_kind = curve_kind
         self.epsilon = epsilon
+        self._columns: "dict[str, np.ndarray] | None" = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -248,7 +273,14 @@ class FunctionSeriesRepresentation:
         contiguous NumPy arrays in segment order.  Values are exactly
         the scalars the per-segment accessors return, so vectorized
         consumers and the object API always agree.
+
+        The columns are built once and memoized (segments are immutable
+        after construction); treat the returned arrays as read-only —
+        every consumer (the columnar store, shape signatures, exemplar
+        digests) copies or derives rather than mutating them.
         """
+        if self._columns is not None:
+            return self._columns
         n = len(self.segments)
         columns = {
             "start_index": np.empty(n, dtype=np.int64),
@@ -267,6 +299,7 @@ class FunctionSeriesRepresentation:
             columns["end_time"][i] = segment.end_point[0]
             columns["end_value"][i] = segment.end_point[1]
             columns["slope"][i] = segment.mean_slope()
+        self._columns = columns
         return columns
 
     def symbol_string(self, theta: float = 0.0, collapse_runs: bool = False) -> str:

@@ -26,9 +26,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.errors import QueryError
-from repro.core.representation import FunctionSeriesRepresentation
+from repro.core.representation import (
+    FunctionSeriesRepresentation,
+    classify_slopes,
+    decode_symbols,
+    run_start_mask,
+)
 
-__all__ = ["ShapeSignature", "shape_signature"]
+__all__ = ["ShapeSignature", "shape_signature", "profile_runs"]
 
 
 @dataclass(frozen=True)
@@ -86,6 +91,45 @@ class ShapeSignature:
         return self.symbols
 
 
+def profile_runs(
+    durations: np.ndarray,
+    travels: np.ndarray,
+    run_offsets: np.ndarray,
+    group_offsets: np.ndarray,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Normalized per-run shares of per-group duration and travel totals.
+
+    ``durations``/``travels`` hold one entry per segment for one or more
+    concatenated groups (sequences); ``run_offsets`` marks the first
+    segment of every behavioural run, ``group_offsets`` the first *run*
+    of every group.  Returns the flattened run-major ``(duration_profile,
+    amplitude_profile)`` arrays; a group whose total is zero gets an
+    all-zero profile, exactly like the scalar definition.
+
+    This is the one reduction kernel behind both the per-representation
+    :func:`shape_signature` and the engine's batched shape grading
+    stage.  Keeping them on the same :func:`numpy.add.reduceat` calls is
+    what makes the vectorized stage *bit*-identical to the scalar path:
+    NumPy's reductions are not guaranteed to associate like a
+    left-to-right Python loop, but two reduceat calls over equally-sized
+    contiguous slices always associate like each other.
+    """
+    run_durations = np.add.reduceat(durations, run_offsets)
+    run_travels = np.add.reduceat(travels, run_offsets)
+    total_durations = np.add.reduceat(run_durations, group_offsets)
+    total_travels = np.add.reduceat(run_travels, group_offsets)
+    runs_per_group = np.diff(np.append(group_offsets, len(run_offsets)))
+    duration_divisors = np.repeat(total_durations, runs_per_group)
+    travel_divisors = np.repeat(total_travels, runs_per_group)
+    duration_profile = np.zeros(len(run_offsets))
+    amplitude_profile = np.zeros(len(run_offsets))
+    np.divide(
+        run_durations, duration_divisors, out=duration_profile, where=duration_divisors > 0
+    )
+    np.divide(run_travels, travel_divisors, out=amplitude_profile, where=travel_divisors > 0)
+    return duration_profile, amplitude_profile
+
+
 def shape_signature(
     representation: FunctionSeriesRepresentation,
     theta: float = 0.0,
@@ -95,34 +139,28 @@ def shape_signature(
     Consecutive segments with the same slope symbol merge into one run;
     each run contributes its time span and its absolute amplitude change
     (sum of per-segment endpoint deltas, so plateaus inside a rise do
-    not cancel the rise).
+    not cancel the rise).  Computed columnarly over
+    :meth:`~repro.core.representation.FunctionSeriesRepresentation.segment_columns`
+    with the same classification (:func:`classify_slopes`) and reduction
+    (:func:`profile_runs`) the execution engine applies to its stored
+    columns, so signatures and the vectorized shape stage can never
+    disagree.
     """
-    runs: list[tuple[str, float, float]] = []  # (symbol, duration, travel)
-    for segment in representation.segments:
-        slope = segment.mean_slope()
-        if slope > theta:
-            symbol = "+"
-        elif slope < -theta:
-            symbol = "-"
-        else:
-            symbol = "0"
-        duration = max(segment.duration, 0.0)
-        travel = abs(segment.end_point[1] - segment.start_point[1])
-        if runs and runs[-1][0] == symbol:
-            prev_symbol, prev_duration, prev_travel = runs[-1]
-            runs[-1] = (prev_symbol, prev_duration + duration, prev_travel + travel)
-        else:
-            runs.append((symbol, duration, travel))
-
-    symbols = "".join(symbol for symbol, __, ___ in runs)
-    total_duration = sum(duration for __, duration, ___ in runs)
-    total_travel = sum(travel for __, ___, travel in runs)
-    if total_duration <= 0:
-        duration_profile = tuple(0.0 for __ in runs)
-    else:
-        duration_profile = tuple(duration / total_duration for __, duration, ___ in runs)
-    if total_travel <= 0:
-        amplitude_profile = tuple(0.0 for __ in runs)
-    else:
-        amplitude_profile = tuple(travel / total_travel for __, ___, travel in runs)
-    return ShapeSignature(symbols, duration_profile, amplitude_profile)
+    columns = representation.segment_columns()
+    slopes = columns["slope"]
+    n = len(slopes)
+    if n == 0:
+        return ShapeSignature("", (), ())
+    codes = classify_slopes(slopes, theta)
+    durations = np.maximum(columns["end_time"] - columns["start_time"], 0.0)
+    travels = np.abs(columns["end_value"] - columns["start_value"])
+    run_offsets = np.flatnonzero(run_start_mask(codes))
+    symbols = decode_symbols(codes[run_offsets])
+    duration_profile, amplitude_profile = profile_runs(
+        durations, travels, run_offsets, np.array([0], dtype=np.int64)
+    )
+    return ShapeSignature(
+        symbols,
+        tuple(float(share) for share in duration_profile),
+        tuple(float(share) for share in amplitude_profile),
+    )

@@ -2,28 +2,36 @@
 
 The engine layer stores every ingested representation column-wise
 (:class:`ColumnarSegmentStore`, including the int8 slope-sign symbol
-columns) and evaluates queries as staged plans (:class:`QueryPlan`) of
-index probe, columnar prefilter, vectorized grading and residual
-per-sequence grading, built by the :class:`QueryPlanner` and run by the
-:class:`QueryExecutor`.  Pattern queries vectorize through
+columns) — optionally split into independent per-sequence shards
+(:class:`ShardedSegmentStore`) — and evaluates queries as staged plans
+(:class:`QueryPlan`) of index probe, columnar prefilter, vectorized
+grading and residual per-sequence grading, built by the
+:class:`QueryPlanner` and run by the :class:`QueryExecutor`.  On a
+sharded store the per-store stages scatter across shards and gather
+deterministically; :class:`ParallelExecutor` runs the scatter on a
+thread pool.  Pattern queries vectorize through
 :class:`ColumnPatternMatcher` (a tabulated DFA run over the symbol
 columns), and graded result lists are memoized per store generation by
-:class:`PlanResultCache`.
+:class:`PlanResultCache` under entry-count and byte budgets.
 """
 
 from repro.engine.cache import PlanResultCache
 from repro.engine.columnar import ColumnarSegmentStore
 from repro.engine.executor import QueryExecutor, QueryPlanner
 from repro.engine.nfa import ColumnPatternMatcher
+from repro.engine.parallel import ParallelExecutor
 from repro.engine.plan import DimensionColumn, QueryPlan, VectorVerdicts
+from repro.engine.sharding import ShardedSegmentStore
 
 __all__ = [
     "ColumnarSegmentStore",
     "ColumnPatternMatcher",
+    "ParallelExecutor",
     "PlanResultCache",
     "QueryPlan",
     "QueryPlanner",
     "QueryExecutor",
+    "ShardedSegmentStore",
     "DimensionColumn",
     "VectorVerdicts",
 ]

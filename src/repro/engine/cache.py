@@ -3,9 +3,10 @@
 Query answers only change when the data changes.  The columnar store
 already tracks that precisely — every ``insert``/``extend``/``delete``
 bumps its :attr:`~repro.engine.columnar.ColumnarSegmentStore.generation`
-— so a graded result list can be reused verbatim for as long as the
-generation it was computed at stays current.  :class:`PlanResultCache`
-implements exactly that contract:
+(and a sharded store rolls its per-shard counters up into one monotone
+token) — so a graded result list can be reused verbatim for as long as
+the generation it was computed at stays current.
+:class:`PlanResultCache` implements exactly that contract:
 
 * entries are keyed on ``(query fingerprint, include_approximate)``,
   where the fingerprint is the query's *content* key (see
@@ -16,18 +17,23 @@ implements exactly that contract:
   ``SequenceDatabase.cache_epoch``); a lookup at any other token is a
   miss and drops the stale entry, so ingest, deletion and config
   reassignment invalidate implicitly and immediately;
-* capacity is bounded with LRU eviction, and `QueryMatch` objects are
-  frozen, so sharing them across callers is safe (the returned list
-  itself is fresh per call).
+* capacity is bounded two ways, both with LRU eviction: an entry count
+  (``max_entries``) and an estimated *byte* budget (``max_bytes``)
+  covering each entry's result payload and fingerprint key, so a
+  handful of huge result lists cannot hold the memory of thousands of
+  small ones.  `QueryMatch` objects are frozen, so sharing them across
+  callers is safe (the returned list itself is fresh per call).
 
 A hit skips every plan stage — no index probe, no columnar scan, no
 grading.  ``SequenceDatabase.explain`` surfaces the would-be outcome,
-and :attr:`hits`/:attr:`misses`/:attr:`invalidations` expose running
-totals for benchmarks and monitoring.
+and :meth:`stats` (exposed through ``SequenceDatabase.storage_report``)
+reports hits/misses/invalidations/evictions and the estimated resident
+bytes for benchmarks and monitoring.
 """
 
 from __future__ import annotations
 
+import sys
 from collections import OrderedDict
 from typing import TYPE_CHECKING
 
@@ -38,21 +44,77 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = ["PlanResultCache"]
 
+#: Fixed overhead charged per entry: the OrderedDict slot, the entry
+#: tuple, and the generation token.
+_ENTRY_OVERHEAD = 200
+
+
+def _flat_sizeof(value: object) -> int:
+    """Estimated deep size of a (possibly nested) fingerprint tuple.
+
+    Fingerprints are small tuples of scalars/strings by contract, so a
+    shallow recursion over tuples is exact enough for budgeting.
+    """
+    size = sys.getsizeof(value)
+    if isinstance(value, tuple):
+        size += sum(_flat_sizeof(item) for item in value)
+    return size
+
+
+def _estimate_entry_bytes(key: tuple, matches: "tuple[QueryMatch, ...]") -> int:
+    """Estimated resident cost of one cache entry.
+
+    Counts the fingerprint key and, per match, the frozen dataclass,
+    its name string and its deviation records.  An estimate (Python
+    object graphs share plenty), but a *monotone* one: more matches or
+    fatter fingerprints always cost more, which is all eviction needs.
+    """
+    cost = _ENTRY_OVERHEAD + _flat_sizeof(key)
+    for match in matches:
+        cost += 96 + sys.getsizeof(match.name)
+        cost += 120 * len(match.deviations)
+    return cost
+
 
 class PlanResultCache:
-    """LRU cache of graded result lists, invalidated by store generation."""
+    """LRU cache of graded result lists, invalidated by store generation.
 
-    def __init__(self, max_entries: int = 256) -> None:
+    Parameters
+    ----------
+    max_entries:
+        Hard cap on the number of cached answers.
+    max_bytes:
+        Estimated-byte budget across all entries (result payloads plus
+        fingerprint keys); ``None`` disables the byte bound.  A single
+        answer larger than the whole budget is not cached at all
+        (tracked as ``oversized`` in :meth:`stats`) — storing it would
+        just evict everything else for one entry.
+    """
+
+    def __init__(self, max_entries: int = 256, max_bytes: "int | None" = 32 * 1024 * 1024) -> None:
         if max_entries <= 0:
             raise EngineError("cache capacity must be positive")
+        if max_bytes is not None and max_bytes <= 0:
+            raise EngineError("cache byte budget must be positive (or None for unbounded)")
         self.max_entries = int(max_entries)
-        self._entries: "OrderedDict[tuple, tuple[object, tuple[QueryMatch, ...]]]" = OrderedDict()
+        self.max_bytes = None if max_bytes is None else int(max_bytes)
+        self._entries: "OrderedDict[tuple, tuple[object, tuple[QueryMatch, ...], int]]" = (
+            OrderedDict()
+        )
+        self._bytes = 0
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        self.evictions = 0
+        self.oversized = 0
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    @property
+    def estimated_bytes(self) -> int:
+        """Estimated resident bytes across every cached entry."""
+        return self._bytes
 
     def lookup(self, key: tuple, generation) -> "list[QueryMatch] | None":
         """Cached result list for ``key`` at generation token
@@ -66,9 +128,10 @@ class PlanResultCache:
         if entry is None:
             self.misses += 1
             return None
-        cached_generation, matches = entry
+        cached_generation, matches, entry_bytes = entry
         if cached_generation != generation:
             del self._entries[key]
+            self._bytes -= entry_bytes
             self.invalidations += 1
             self.misses += 1
             return None
@@ -78,10 +141,27 @@ class PlanResultCache:
 
     def store(self, key: tuple, generation, matches: "list[QueryMatch]") -> None:
         """Remember a freshly computed result list at its generation."""
-        self._entries[key] = (generation, tuple(matches))
+        payload = tuple(matches)
+        entry_bytes = _estimate_entry_bytes(key, payload)
+        if self.max_bytes is not None and entry_bytes > self.max_bytes:
+            self._discard(key)
+            self.oversized += 1
+            return
+        self._discard(key)
+        self._entries[key] = (generation, payload, entry_bytes)
+        self._bytes += entry_bytes
         self._entries.move_to_end(key)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+        while len(self._entries) > self.max_entries or (
+            self.max_bytes is not None and self._bytes > self.max_bytes
+        ):
+            __, (___, ____, evicted_bytes) = self._entries.popitem(last=False)
+            self._bytes -= evicted_bytes
+            self.evictions += 1
+
+    def _discard(self, key: tuple) -> None:
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            self._bytes -= entry[2]
 
     def peek(self, key: tuple, generation) -> bool:
         """Whether a lookup would hit, without touching stats or LRU order."""
@@ -91,12 +171,18 @@ class PlanResultCache:
     def clear(self) -> None:
         """Drop every entry (stats are kept; they are running totals)."""
         self._entries.clear()
+        self._bytes = 0
 
     def stats(self) -> dict:
         """Counters for benchmarks/monitoring."""
         return {
             "entries": len(self._entries),
+            "estimated_bytes": self._bytes,
+            "max_entries": self.max_entries,
+            "max_bytes": self.max_bytes,
             "hits": self.hits,
             "misses": self.misses,
             "invalidations": self.invalidations,
+            "evictions": self.evictions,
+            "oversized": self.oversized,
         }

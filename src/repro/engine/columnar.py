@@ -47,7 +47,7 @@ from repro.core.errors import EngineError
 # The classification rule and symbol rendering live in core; the store
 # only stacks their output column-wise, so strings and columns can
 # never disagree.
-from repro.core.representation import classify_slopes, decode_symbols
+from repro.core.representation import classify_slopes, decode_symbols, run_start_mask
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.representation import FunctionSeriesRepresentation
@@ -58,14 +58,19 @@ def collapse_code_runs(codes: np.ndarray) -> np.ndarray:
     """Merge consecutive identical symbol codes into behavioural runs."""
     if len(codes) == 0:
         return codes
-    keep = np.empty(len(codes), dtype=bool)
-    keep[0] = True
-    np.not_equal(codes[1:], codes[:-1], out=keep[1:])
-    return codes[keep]
+    return codes[run_start_mask(codes)]
 
 
 class _ColumnSet:
-    """Named same-length NumPy columns with amortized append."""
+    """Named same-length NumPy columns with amortized append.
+
+    Arrays are over-allocated and grown geometrically (capacity
+    doubling), with :meth:`column` exposing a live-length view, so a
+    single-row append costs amortized O(1) instead of one full-array
+    rebuild per call; deletion compacts in place and shrinks the
+    allocation once occupancy falls below a quarter, so capacity stays
+    within a constant factor of the live rows in both directions.
+    """
 
     def __init__(self, schema: "dict[str, type]") -> None:
         self._schema = dict(schema)
@@ -75,9 +80,25 @@ class _ColumnSet:
     def __len__(self) -> int:
         return self._size
 
+    @property
+    def capacity(self) -> int:
+        """Allocated rows per column (live rows plus growth headroom)."""
+        return len(next(iter(self._arrays.values())))
+
+    @property
+    def nbytes(self) -> int:
+        """Allocated bytes across all columns, headroom included."""
+        return sum(arr.nbytes for arr in self._arrays.values())
+
     def column(self, name: str) -> np.ndarray:
         """Writable view of one column trimmed to the live rows."""
         return self._arrays[name][: self._size]
+
+    def _reallocate(self, new_capacity: int) -> None:
+        for name, arr in self._arrays.items():
+            resized = np.empty(new_capacity, dtype=arr.dtype)
+            resized[: self._size] = arr[: self._size]
+            self._arrays[name] = resized
 
     def extend(self, columns: "dict[str, np.ndarray]") -> None:
         if set(columns) != set(self._schema):
@@ -88,13 +109,8 @@ class _ColumnSet:
         if any(len(arr) != n_new for arr in columns.values()):
             raise EngineError("appended columns disagree in length")
         needed = self._size + n_new
-        capacity = len(next(iter(self._arrays.values())))
-        if needed > capacity:
-            new_capacity = max(needed, 2 * capacity, 16)
-            for name, arr in self._arrays.items():
-                grown = np.empty(new_capacity, dtype=arr.dtype)
-                grown[: self._size] = arr[: self._size]
-                self._arrays[name] = grown
+        if needed > self.capacity:
+            self._reallocate(max(needed, 2 * self.capacity, 16))
         for name, arr in columns.items():
             self._arrays[name][self._size : needed] = arr
         self._size = needed
@@ -109,6 +125,10 @@ class _ColumnSet:
         for arr in self._arrays.values():
             arr[lo : self._size - count] = arr[hi : self._size]
         self._size -= count
+        # Occupancy hysteresis: shrink to 2x live rows at < 25%, so mass
+        # deletion returns memory while delete/insert cycles never thrash.
+        if self.capacity > 16 and self._size < self.capacity // 4:
+            self._reallocate(max(2 * self._size, 16))
 
 
 _SEGMENT_SCHEMA = {
@@ -328,6 +348,43 @@ class ColumnarSegmentStore:
         lo = int(self.behavior_starts[p])
         return lo, lo + int(self.behavior_counts[p])
 
+    def peak_count_of(self, sequence_id: int) -> int:
+        """One sequence's stored peak count."""
+        return int(self.peak_counts[self.position_of(sequence_id)])
+
+    def rr_intervals_of(self, sequence_id: int) -> np.ndarray:
+        """One sequence's R-R intervals (a copy — columns compact on delete)."""
+        lo, hi = self.rr_range(sequence_id)
+        return self.rr_values[lo:hi].copy()
+
+    @property
+    def nbytes(self) -> int:
+        """Allocated bytes across every column, growth headroom included."""
+        return (
+            self._segments.nbytes
+            + self._behavior.nbytes
+            + self._rr.nbytes
+            + self._sequences.nbytes
+        )
+
+    # ------------------------------------------------------------------
+    # Shard protocol (a single store is the one-shard case)
+    # ------------------------------------------------------------------
+
+    @property
+    def shard_count(self) -> int:
+        return 1
+
+    def shards(self) -> "tuple[ColumnarSegmentStore, ...]":
+        """The leaf column stores queries scatter over — just this one."""
+        return (self,)
+
+    def partition_ids(
+        self, candidate_ids: "TypingSequence[int] | None"
+    ) -> "list[TypingSequence[int] | None]":
+        """Candidate ids split per shard, aligned with :meth:`shards`."""
+        return [candidate_ids]
+
     def symbols_of(self, sequence_id: int, collapse_runs: bool = False) -> str:
         """One sequence's slope-sign string, read from the symbol columns.
 
@@ -360,27 +417,31 @@ class ColumnarSegmentStore:
         self,
         items: "Iterable[tuple[int, FunctionSeriesRepresentation, int, np.ndarray]]",
     ) -> None:
-        """Append many sequences at once, building each column once.
+        """Append many sequences as one column block.
 
         ``items`` yields ``(sequence_id, representation, peak_count,
-        rr_intervals)`` tuples in strictly increasing id order.  Bulk
-        ingest concatenates per-sequence columns and grows every array a
-        single time, which is what makes ``insert_all`` amortize.
+        rr_intervals)`` tuples in strictly increasing id order.  The
+        whole batch is stacked first and then processed columnarly — one
+        concatenate per column, one slope classification, one run
+        collapse and one per-sequence reduction for the entire block —
+        so batched ingest pays a handful of large NumPy calls instead of
+        a dozen small ones per sequence.  This block form is what the
+        ingest pipeline appends per shard.
         """
         batch = list(items)
         if not batch:
             return
         last = int(self.sequence_ids[-1]) if len(self._sequences) else -1
-        seg_parts: "dict[str, list[np.ndarray]]" = {name: [] for name in _SEGMENT_SCHEMA}
-        beh_seq_parts: "list[np.ndarray]" = []
-        beh_sym_parts: "list[np.ndarray]" = []
-        rr_seq_parts: "list[np.ndarray]" = []
-        rr_val_parts: "list[np.ndarray]" = []
-        seq_rows: "dict[str, list]" = {name: [] for name in _SEQUENCE_SCHEMA}
-        seg_cursor = len(self._segments)
-        beh_cursor = len(self._behavior)
-        rr_cursor = len(self._rr)
-        for sequence_id, representation, peak_count, rr in batch:
+        n_batch = len(batch)
+        ids = np.empty(n_batch, dtype=np.int64)
+        seg_counts = np.empty(n_batch, dtype=np.int64)
+        rr_counts = np.empty(n_batch, dtype=np.int64)
+        peak_counts = np.empty(n_batch, dtype=np.int64)
+        source_lengths = np.empty(n_batch, dtype=np.int64)
+        representation_columns = [name for name in _SEGMENT_SCHEMA if name not in ("sequence", "symbol")]
+        column_parts: "dict[str, list[np.ndarray]]" = {name: [] for name in representation_columns}
+        rr_parts: "list[np.ndarray]" = []
+        for i, (sequence_id, representation, peak_count, rr) in enumerate(batch):
             sequence_id = int(sequence_id)
             if sequence_id <= last:
                 raise EngineError(
@@ -389,58 +450,74 @@ class ColumnarSegmentStore:
                 )
             last = sequence_id
             columns = representation.segment_columns()
-            n_segments = len(columns["slope"])
-            slopes = columns["slope"]
-            codes = classify_slopes(slopes, self.theta)
-            collapsed = collapse_code_runs(codes)
-            rising = np.where(slopes > 0.0, slopes, 0.0)
             rr_arr = np.asarray(rr, dtype=np.float64)
-            for name in _SEGMENT_SCHEMA:
-                if name == "sequence":
-                    seg_parts[name].append(np.full(n_segments, sequence_id, dtype=np.int64))
-                elif name == "symbol":
-                    seg_parts[name].append(codes)
-                else:
-                    seg_parts[name].append(columns[name])
-            beh_seq_parts.append(np.full(len(collapsed), sequence_id, dtype=np.int64))
-            beh_sym_parts.append(collapsed)
-            rr_seq_parts.append(np.full(len(rr_arr), sequence_id, dtype=np.int64))
-            rr_val_parts.append(rr_arr)
-            seq_rows["sequence_id"].append(sequence_id)
-            seq_rows["segment_start"].append(seg_cursor)
-            seq_rows["segment_count"].append(n_segments)
-            seq_rows["behavior_start"].append(beh_cursor)
-            seq_rows["behavior_count"].append(len(collapsed))
-            seq_rows["rr_start"].append(rr_cursor)
-            seq_rows["rr_count"].append(len(rr_arr))
-            seq_rows["peak_count"].append(int(peak_count))
-            seq_rows["max_rising_slope"].append(float(rising.max(initial=0.0)))
-            seq_rows["source_length"].append(int(representation.source_length))
-            seg_cursor += n_segments
-            beh_cursor += len(collapsed)
-            rr_cursor += len(rr_arr)
-        self._segments.extend(
-            {
-                name: np.concatenate(parts).astype(_SEGMENT_SCHEMA[name], copy=False)
-                for name, parts in seg_parts.items()
-            }
-        )
+            ids[i] = sequence_id
+            seg_counts[i] = len(columns["slope"])
+            rr_counts[i] = len(rr_arr)
+            peak_counts[i] = int(peak_count)
+            source_lengths[i] = int(representation.source_length)
+            for name in representation_columns:
+                column_parts[name].append(columns[name])
+            rr_parts.append(rr_arr)
+
+        block = {
+            name: np.concatenate(parts).astype(_SEGMENT_SCHEMA[name], copy=False)
+            for name, parts in column_parts.items()
+        }
+        slopes = block["slope"]
+        n_total = len(slopes)
+        codes = classify_slopes(slopes, self.theta)
+        seg_seq = np.repeat(ids, seg_counts)
+        starts = np.zeros(n_batch, dtype=np.int64)
+        np.cumsum(seg_counts[:-1], out=starts[1:])
+        nonempty = seg_counts > 0
+        beh_counts = np.zeros(n_batch, dtype=np.int64)
+        max_rising = np.zeros(n_batch, dtype=np.float64)
+        if n_total:
+            # Run collapse across the whole block, per-sequence semantics
+            # in one pass: sequence boundaries always open a run.
+            keep = run_start_mask(codes, starts[nonempty])
+            collapsed = codes[keep]
+            beh_seq = seg_seq[keep]
+            # Empty sequences occupy no rows, so consecutive non-empty
+            # slices are adjacent and reduceat over their starts is exact.
+            beh_counts[nonempty] = np.add.reduceat(keep.astype(np.int64), starts[nonempty])
+            rising = np.where(slopes > 0.0, slopes, 0.0)
+            max_rising[nonempty] = np.maximum.reduceat(rising, starts[nonempty])
+        else:
+            collapsed = codes
+            beh_seq = seg_seq
+
+        rr_values = np.concatenate(rr_parts) if rr_parts else np.empty(0)
+        rr_seq = np.repeat(ids, rr_counts)
+
+        seg_start_base = len(self._segments)
+        beh_start_base = len(self._behavior)
+        rr_start_base = len(self._rr)
+        beh_starts = np.zeros(n_batch, dtype=np.int64)
+        np.cumsum(beh_counts[:-1], out=beh_starts[1:])
+        rr_starts = np.zeros(n_batch, dtype=np.int64)
+        np.cumsum(rr_counts[:-1], out=rr_starts[1:])
+
+        block["sequence"] = seg_seq
+        block["symbol"] = codes
+        self._segments.extend(block)
         self._behavior.extend(
-            {
-                "sequence": np.concatenate(beh_seq_parts),
-                "symbol": np.concatenate(beh_sym_parts).astype(np.int8, copy=False),
-            }
+            {"sequence": beh_seq, "symbol": collapsed.astype(np.int8, copy=False)}
         )
-        self._rr.extend(
-            {
-                "sequence": np.concatenate(rr_seq_parts),
-                "value": np.concatenate(rr_val_parts) if rr_val_parts else np.empty(0),
-            }
-        )
+        self._rr.extend({"sequence": rr_seq, "value": rr_values})
         self._sequences.extend(
             {
-                name: np.asarray(values, dtype=_SEQUENCE_SCHEMA[name])
-                for name, values in seq_rows.items()
+                "sequence_id": ids,
+                "segment_start": seg_start_base + starts,
+                "segment_count": seg_counts,
+                "behavior_start": beh_start_base + beh_starts,
+                "behavior_count": beh_counts,
+                "rr_start": rr_start_base + rr_starts,
+                "rr_count": rr_counts,
+                "peak_count": peak_counts,
+                "max_rising_slope": max_rising,
+                "source_length": source_lengths,
             }
         )
         self._generation += 1

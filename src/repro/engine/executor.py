@@ -1,4 +1,4 @@
-"""Planner and executor: vectorized query evaluation over the store.
+"""Planner and executor: vectorized scatter-gather query evaluation.
 
 The planner asks each query for its staged :class:`QueryPlan`; the
 executor runs the stages against a database and its columnar store.
@@ -8,12 +8,22 @@ the executor applies the same grading rule as
 and materializes :class:`QueryMatch` objects only for the sequences
 that survive, so results are identical to the legacy per-sequence path
 while the hot loop disappears.
+
+When the database's store is sharded (:mod:`repro.engine.sharding`) the
+per-store stages — columnar prefilter and vectorized grading — are
+*scattered*: each shard runs the stage over its own columns and the
+per-shard outputs are gathered and merged (candidate unions, verdict
+concatenation in ascending id order) before grading materializes.  The
+index probe runs once, against the database-wide indexes.  The base
+executor scatters serially; :class:`repro.engine.parallel.ParallelExecutor`
+overrides :meth:`QueryExecutor._scatter` with a thread pool — results
+are collected by shard position, so answers are identical for any
+worker count, any shard count, and the single unsharded store.
 """
 
 from __future__ import annotations
 
-import warnings
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -24,10 +34,11 @@ from repro.core.tolerance import (
     MatchGrade,
 )
 from repro.engine.cache import PlanResultCache
-from repro.engine.plan import QueryPlan, VectorVerdicts
+from repro.engine.plan import DimensionColumn, QueryPlan, VectorVerdicts
 from repro.query.results import QueryMatch
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.columnar import ColumnarSegmentStore
     from repro.query.database import SequenceDatabase
     from repro.query.queries import Query
 
@@ -44,19 +55,6 @@ class QueryPlanner:
 
     def plan(self, query: "Query", database: "SequenceDatabase") -> QueryPlan:
         return query.plan(database)
-
-    def explain(self, query: "Query", database: "SequenceDatabase") -> str:
-        """Deprecated: use ``SequenceDatabase.explain`` instead.
-
-        Retained as a one-release shim so existing callers keep working;
-        the database's version adds the result-cache verdict.
-        """
-        warnings.warn(
-            "QueryPlanner.explain is deprecated; use SequenceDatabase.explain",
-            FutureWarning,
-            stacklevel=2,
-        )
-        return self.plan(query, database).describe()
 
 
 class QueryExecutor:
@@ -89,6 +87,16 @@ class QueryExecutor:
             return matches
         return self._run_stages(database, plan, include_approximate)
 
+    def _scatter(self, tasks: "list[Callable[[], object]]") -> "list[object]":
+        """Run per-shard stage tasks; results align with ``tasks``.
+
+        The serial base implementation; the parallel executor overrides
+        this with a worker pool.  Order is the merge contract: the
+        result list must line up with the task list position by
+        position, which is what keeps scatter-gather deterministic.
+        """
+        return [task() for task in tasks]
+
     def _run_stages(
         self,
         database: "SequenceDatabase",
@@ -97,11 +105,29 @@ class QueryExecutor:
     ) -> "list[QueryMatch]":
         store = database.store
         candidates = plan.probe(database) if plan.probe is not None else None
-        if plan.prefilter is not None:
-            candidates = plan.prefilter(database, store, candidates)
-        if plan.vector_filter is not None:
-            verdicts = plan.vector_filter(database, store, candidates)
-            return self._materialize(database, verdicts, include_approximate)
+        shards = store.shards()
+        if len(shards) > 1 and (plan.prefilter is not None or plan.vector_filter is not None):
+            parts = store.partition_ids(candidates)
+            tasks = [
+                self._shard_task(database, plan, shard, shard_candidates)
+                for shard, shard_candidates in zip(shards, parts)
+            ]
+            results = self._scatter(tasks)
+            if plan.vector_filter is not None:
+                merged = self._merge_verdicts(results)
+                return self._materialize(database, merged, include_approximate)
+            # Prefilter-only plans gather the per-shard survivor lists
+            # into one ascending candidate list for residual grading.
+            candidates = sorted(
+                sequence_id for survivors in results for sequence_id in survivors
+            )
+        else:
+            leaf = shards[0]
+            if plan.prefilter is not None:
+                candidates = plan.prefilter(database, leaf, candidates)
+            if plan.vector_filter is not None:
+                verdicts = plan.vector_filter(database, leaf, candidates)
+                return self._materialize(database, verdicts, include_approximate)
         ids = database.ids() if candidates is None else candidates
         matches = []
         for sequence_id in ids:
@@ -111,6 +137,47 @@ class QueryExecutor:
             ):
                 matches.append(match)
         return sorted(matches, key=QueryMatch.sort_key)
+
+    @staticmethod
+    def _shard_task(
+        database: "SequenceDatabase",
+        plan: QueryPlan,
+        shard: "ColumnarSegmentStore",
+        shard_candidates: "list[int] | None",
+    ) -> "Callable[[], object]":
+        """One shard's slice of the per-store stages, as a thunk."""
+
+        def run() -> object:
+            local = shard_candidates
+            if plan.prefilter is not None:
+                local = plan.prefilter(database, shard, local)
+            if plan.vector_filter is not None:
+                return plan.vector_filter(database, shard, local)
+            return local
+
+        return run
+
+    @staticmethod
+    def _merge_verdicts(results: "list[object]") -> VectorVerdicts:
+        """Gather per-shard verdicts into one ascending-id verdict set.
+
+        Every shard grades the same dimensions with the same bounds
+        (they run the same stage), so merging is a concatenation per
+        column; sorting by sequence id reproduces the exact array order
+        the single-store stage would have produced.
+        """
+        verdicts: "list[VectorVerdicts]" = list(results)
+        ids = np.concatenate([v.sequence_ids for v in verdicts])
+        order = np.argsort(ids, kind="stable")
+        dimensions = tuple(
+            DimensionColumn(
+                dim.dimension,
+                np.concatenate([v.dimensions[d].amounts for v in verdicts])[order],
+                dim.bound,
+            )
+            for d, dim in enumerate(verdicts[0].dimensions)
+        )
+        return VectorVerdicts(ids[order], dimensions)
 
     def _materialize(
         self,

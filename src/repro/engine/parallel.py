@@ -1,0 +1,75 @@
+"""Thread-pooled scatter for sharded query execution.
+
+:class:`ParallelExecutor` is a :class:`~repro.engine.executor.QueryExecutor`
+whose :meth:`~repro.engine.executor.QueryExecutor._scatter` dispatches
+the per-shard stage tasks to a worker pool.  Threads (not processes)
+are the right pool here: the scattered stages are NumPy reductions and
+gathers over each shard's columns, which release the GIL while they
+crunch, and shards live in process memory — forking would copy them.
+
+Determinism is structural, not best-effort: results are collected by
+task *position* (``Executor.map`` preserves order), every shard grades
+its own sequences independently, and the gather step merges in shard
+order before the final total-order sort — so any ``max_workers``, any
+shard count and the serial executor all return identical match lists.
+
+The pool is created lazily on the first scattered query and reused; a
+single-shard plan never touches it (the executor's single-leaf path
+runs inline).  Worker exceptions propagate to the caller unwrapped by
+``Executor.map``, exactly like the serial path.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable
+
+from repro.core.errors import EngineError
+from repro.engine.executor import QueryExecutor
+
+__all__ = ["ParallelExecutor"]
+
+
+class ParallelExecutor(QueryExecutor):
+    """Scatter-gather executor backed by a thread pool.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool size; defaults to the machine's CPU count.  ``1`` degrades
+        to the serial executor (no pool is ever created).
+    """
+
+    def __init__(self, max_workers: "int | None" = None) -> None:
+        # Assigned before validation so __del__ -> close() is safe even
+        # when construction fails.
+        self._pool: "ThreadPoolExecutor | None" = None
+        workers = int(max_workers) if max_workers is not None else (os.cpu_count() or 1)
+        if workers < 1:
+            raise EngineError(f"need at least one worker, got {workers}")
+        self.max_workers = workers
+
+    def _scatter(self, tasks: "list[Callable[[], object]]") -> "list[object]":
+        if self.max_workers == 1 or len(tasks) <= 1:
+            return [task() for task in tasks]
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.max_workers, thread_name_prefix="repro-shard"
+            )
+        return list(self._pool.map(lambda task: task(), tasks))
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent; pool rebuilds on use)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - finalizer best effort
+        self.close()

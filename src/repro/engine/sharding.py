@@ -1,0 +1,220 @@
+"""Horizontal partitioning of the columnar store.
+
+The representation is embarrassingly partitionable by sequence: every
+query stage grades each sequence against its own rows only, so the
+store can be split into N independent :class:`ColumnarSegmentStore`
+shards and every stage can run per shard and merge — the scatter-gather
+shape of the BrainEx-style partitioned in-memory engines.
+
+Routing is hash-by-sequence-id (``sequence_id % n_shards``); the
+database assigns monotonically increasing ids, so the modulus deals
+consecutive sequences round-robin across shards and keeps every shard's
+id column strictly increasing, preserving each shard's binary-search
+lookup invariant.  Each shard keeps its own ``generation`` mutation
+counter; the sharded store rolls them up into a single monotone token
+that the plan-result cache folds into its epoch, so a mutation on any
+shard invalidates cached answers exactly like a single-store mutation
+would.
+
+Batch :meth:`ShardedSegmentStore.extend` groups the batch by shard and
+appends one whole column block per shard — the ingest pipeline's
+append path.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Sequence as TypingSequence
+
+import numpy as np
+
+from repro.core.errors import EngineError
+from repro.engine.columnar import ColumnarSegmentStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.representation import FunctionSeriesRepresentation
+
+__all__ = ["ShardedSegmentStore"]
+
+
+class ShardedSegmentStore:
+    """N independent columnar shards behind the single-store interface.
+
+    Sequence-scoped reads route to the owning shard; whole-store scans
+    (query stages, ``scan_rr``) iterate :meth:`shards` and merge.  The
+    mutation API (``insert``/``extend``/``delete``) and the integrity
+    checker mirror :class:`ColumnarSegmentStore`, so the database and
+    the executor treat both interchangeably; ``shards()`` /
+    ``partition_ids()`` are the only operations the scatter-gather
+    executor needs.
+    """
+
+    def __init__(self, n_shards: int, theta: float = 0.0) -> None:
+        if n_shards < 1:
+            raise EngineError(f"need at least one shard, got {n_shards}")
+        self.theta = float(theta)
+        self._shards = tuple(ColumnarSegmentStore(theta=theta) for _ in range(int(n_shards)))
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    def shards(self) -> "tuple[ColumnarSegmentStore, ...]":
+        """The leaf column stores, in shard order."""
+        return self._shards
+
+    def shard_index(self, sequence_id: int) -> int:
+        """Which shard owns a sequence id (hash-by-id routing)."""
+        return int(sequence_id) % len(self._shards)
+
+    def shard_of(self, sequence_id: int) -> ColumnarSegmentStore:
+        return self._shards[self.shard_index(sequence_id)]
+
+    def partition_ids(
+        self, candidate_ids: "TypingSequence[int] | np.ndarray | None"
+    ) -> "list[list[int] | None]":
+        """Candidate ids split per shard, aligned with :meth:`shards`.
+
+        ``None`` (scan everything) stays ``None`` for every shard; a
+        concrete candidate list is routed by id, preserving the callers'
+        relative order within each shard.
+        """
+        if candidate_ids is None:
+            return [None] * len(self._shards)
+        parts: "list[list[int]]" = [[] for _ in self._shards]
+        n = len(self._shards)
+        for sequence_id in candidate_ids:
+            parts[int(sequence_id) % n].append(int(sequence_id))
+        return list(parts)
+
+    # ------------------------------------------------------------------
+    # Sizing
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def __contains__(self, sequence_id: int) -> bool:
+        return sequence_id in self.shard_of(sequence_id)
+
+    @property
+    def n_sequences(self) -> int:
+        return sum(shard.n_sequences for shard in self._shards)
+
+    @property
+    def n_segments(self) -> int:
+        return sum(shard.n_segments for shard in self._shards)
+
+    @property
+    def n_rr(self) -> int:
+        return sum(shard.n_rr for shard in self._shards)
+
+    @property
+    def n_behavior(self) -> int:
+        return sum(shard.n_behavior for shard in self._shards)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(shard.nbytes for shard in self._shards)
+
+    @property
+    def generation(self) -> int:
+        """Rolled-up mutation counter: the sum of every shard's counter.
+
+        Each shard's generation is monotone, so the sum is a monotone
+        token that changes whenever *any* shard mutates — exactly the
+        invalidation contract the plan-result cache epoch needs.
+        """
+        return sum(shard.generation for shard in self._shards)
+
+    @property
+    def sequence_ids(self) -> np.ndarray:
+        """All live sequence ids, ascending (materialized per call)."""
+        parts = [shard.sequence_ids for shard in self._shards if len(shard)]
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        merged = np.concatenate(parts)
+        merged.sort()
+        return merged
+
+    # ------------------------------------------------------------------
+    # Sequence-scoped reads (routed to the owning shard)
+    # ------------------------------------------------------------------
+
+    def peak_count_of(self, sequence_id: int) -> int:
+        return self.shard_of(sequence_id).peak_count_of(sequence_id)
+
+    def rr_intervals_of(self, sequence_id: int) -> np.ndarray:
+        return self.shard_of(sequence_id).rr_intervals_of(sequence_id)
+
+    def symbols_of(self, sequence_id: int, collapse_runs: bool = False) -> str:
+        return self.shard_of(sequence_id).symbols_of(sequence_id, collapse_runs=collapse_runs)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def insert(
+        self,
+        sequence_id: int,
+        representation: "FunctionSeriesRepresentation",
+        *,
+        peak_count: int,
+        rr: "np.ndarray | TypingSequence[float]",
+    ) -> None:
+        """Append one sequence's columns to its owning shard."""
+        self.extend([(sequence_id, representation, peak_count, rr)])
+
+    def extend(
+        self,
+        items: "Iterable[tuple[int, FunctionSeriesRepresentation, int, np.ndarray]]",
+    ) -> None:
+        """Append a batch as one whole column block per touched shard.
+
+        Items must arrive in strictly increasing id order and above
+        every live id, matching the single store's append-only contract;
+        the batch is routed by id and each shard's arrays grow at most
+        once.
+        """
+        batch = list(items)
+        if not batch:
+            return
+        last = -1
+        for shard in self._shards:
+            if len(shard):
+                last = max(last, int(shard.sequence_ids[-1]))
+        groups: "dict[int, list]" = {}
+        for item in batch:
+            sequence_id = int(item[0])
+            if sequence_id <= last:
+                raise EngineError(
+                    f"sequence ids must be inserted in increasing order "
+                    f"({sequence_id} after {last})"
+                )
+            last = sequence_id
+            groups.setdefault(self.shard_index(sequence_id), []).append(item)
+        for shard_index, group in groups.items():
+            self._shards[shard_index].extend(group)
+
+    def delete(self, sequence_id: int) -> None:
+        """Drop one sequence from its owning shard (compacting it)."""
+        self.shard_of(sequence_id).delete(sequence_id)
+
+    # ------------------------------------------------------------------
+    # Integrity
+    # ------------------------------------------------------------------
+
+    def check_consistency(self) -> None:
+        """Verify every shard's columns plus the id→shard routing."""
+        for index, shard in enumerate(self._shards):
+            shard.check_consistency()
+            ids = shard.sequence_ids
+            misrouted = ids[ids % len(self._shards) != index]
+            if len(misrouted):
+                raise EngineError(
+                    f"sequences {misrouted.tolist()} stored in shard {index}, "
+                    f"which does not own them"
+                )

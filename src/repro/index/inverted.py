@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import bisect
 import math
-import warnings
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
@@ -125,8 +124,8 @@ class InvertedFileIndex:
         order (``value`` first, mirroring :class:`Posting`); the
         sequence-level ingest methods :meth:`add_all`/:meth:`add_array`
         take ``sequence_id`` first, like every other per-sequence ingest
-        API.  Both orders are validated up front so a swapped call fails
-        with a clear error instead of a ``TypeError`` deep in the B-tree.
+        API.  Both are validated up front so a swapped call fails with a
+        clear error instead of a ``TypeError`` deep in the B-tree.
         """
         value = _checked_value(value)
         sequence_id = _checked_sequence_id(sequence_id)
@@ -135,83 +134,26 @@ class InvertedFileIndex:
         bucket.add(Posting(value, sequence_id, int(position)))
         self._count += 1
 
-    @staticmethod
-    def _sequence_first(args: tuple, sequence_id, values, method: str):
-        """Resolve the unified ``(sequence_id, values)`` calling order.
-
-        Canonical forms: ``method(sequence_id, values)`` positionally or
-        with either/both keywords.  Compatibility shim: the
-        pre-unification order — ``method(values, sequence_id)``
-        positionally, or ``method(values, sequence_id=N)`` with the
-        values array leading — is detected by shape (array-like where
-        the scalar id belongs), swapped, and warned, instead of dying
-        with an opaque error.  Genuinely malformed calls still fail
-        validation with a clear message.
-        """
-        def looks_like_values(obj) -> bool:
-            # Arrays, lists, tuples, generators, iterators — anything
-            # iterable and non-string reads as a values payload.
-            return np.ndim(obj) != 0 or (
-                hasattr(obj, "__iter__") and not isinstance(obj, str)
-            )
-
-        deprecated = None
-        if len(args) > 2:
-            raise IndexError_(f"{method}() takes (sequence_id, values), got {len(args)} positionals")
-        if len(args) == 2:
-            if sequence_id is not None or values is not None:
-                raise IndexError_(f"{method}() got both positional and keyword arguments")
-            sequence_id, values = args
-            if looks_like_values(sequence_id) and not looks_like_values(values):
-                deprecated = f"{method}(values, sequence_id) is deprecated"
-                sequence_id, values = values, sequence_id
-        elif len(args) == 1:
-            if sequence_id is not None and values is None:
-                # Legacy keyword style: method(values, sequence_id=N).
-                deprecated = f"{method}(values, sequence_id=...) is deprecated"
-                values = args[0]
-            elif values is not None and sequence_id is None:
-                sequence_id = args[0]
-            else:
-                raise IndexError_(
-                    f"{method}() got one positional argument but not exactly one of "
-                    f"sequence_id=/values= to pair it with"
-                )
-        elif sequence_id is None or values is None:
-            raise IndexError_(f"{method}() needs both sequence_id and values")
-        if deprecated:
-            # FutureWarning so the swap is visible under Python's default
-            # warning filters — a silently auto-corrected argument order
-            # would otherwise mask real caller bugs.
-            warnings.warn(
-                f"{deprecated}; call {method}(sequence_id, values)",
-                FutureWarning,
-                stacklevel=3,
-            )
-        return _checked_sequence_id(sequence_id), values
-
-    def add_all(self, *args, sequence_id: "int | None" = None, values: "Iterable[float] | None" = None) -> None:
+    def add_all(self, sequence_id: int, values: "Iterable[float]") -> None:
         """Record one sequence's feature values.
 
-        Canonical signature: ``add_all(sequence_id, values)``.  Alias of
-        :meth:`add_array` kept for the pre-engine name; both validate the
-        whole payload up front (nothing is inserted on a bad value) and
-        batch postings by bucket.
+        Alias of :meth:`add_array` kept for the pre-engine name; both
+        take ``(sequence_id, values)``, validate the whole payload up
+        front (nothing is inserted on a bad value) and batch postings by
+        bucket.
         """
-        sequence_id, values = self._sequence_first(args, sequence_id, values, "add_all")
-        self.add_array(sequence_id=sequence_id, values=values)
+        self.add_array(sequence_id, values)
 
-    def add_array(self, *args, sequence_id: "int | None" = None, values: "Iterable[float] | None" = None) -> None:
+    def add_array(self, sequence_id: int, values: "Iterable[float] | np.ndarray") -> None:
         """Record one sequence's feature column from a NumPy array.
 
-        Canonical signature: ``add_array(sequence_id, values)``.  The
-        engine-facing ingest path: bucket keys are computed for the
+        The engine-facing ingest path: bucket keys are computed for the
         whole column at once and postings sharing a bucket are inserted
         through a single B-tree probe, so consuming a columnar store
         slice costs one tree descent per *distinct* bucket instead of
         one per posting.
         """
-        sequence_id, values = self._sequence_first(args, sequence_id, values, "add_array")
+        sequence_id = _checked_sequence_id(sequence_id)
         if not isinstance(values, np.ndarray):
             if not hasattr(values, "__iter__"):
                 raise IndexError_(

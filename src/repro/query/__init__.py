@@ -1,6 +1,7 @@
 """Generalized approximate query engine (paper Sections 2, 4.4, 5.2)."""
 
 from repro.query.database import SequenceDatabase
+from repro.query.ingest import IngestPipeline
 from repro.query.language import parse_query
 from repro.query.queries import (
     ExemplarQuery,
@@ -15,6 +16,7 @@ from repro.query.results import QueryMatch
 
 __all__ = [
     "SequenceDatabase",
+    "IngestPipeline",
     "Query",
     "PatternQuery",
     "PeakCountQuery",

@@ -31,7 +31,14 @@ from repro.core.representation import (
     symbols_from_slopes,
 )
 from repro.core.sequence import Sequence
-from repro.engine import ColumnarSegmentStore, PlanResultCache, QueryExecutor, QueryPlanner
+from repro.engine import (
+    ColumnarSegmentStore,
+    ParallelExecutor,
+    PlanResultCache,
+    QueryExecutor,
+    QueryPlanner,
+    ShardedSegmentStore,
+)
 from repro.index.inverted import InvertedFileIndex
 from repro.index.pattern_index import PatternIndex
 from repro.preprocessing.normalization import znormalize
@@ -69,6 +76,20 @@ class SequenceDatabase:
         sequences that are linear transformations (scaling and
         translation) of each other".  The archive keeps the original
         amplitudes either way.
+    n_shards:
+        ``None`` (default) keeps the single columnar store; an integer
+        ``>= 1`` splits it into that many independent shards
+        (hash-by-sequence-id) and query stages scatter-gather across
+        them.  Results are identical for every setting; shard when the
+        store is large enough that per-shard stage runs (especially
+        with a parallel executor) pay for the merge.
+    max_workers:
+        ``> 1`` executes the scattered per-shard stages on a thread
+        pool of this size (:class:`~repro.engine.ParallelExecutor`);
+        ``None``/``1`` keeps the serial executor.  Only meaningful
+        together with ``n_shards >= 2`` — shards are the units of
+        scatter, so an unsharded store always runs its single leaf
+        inline.  Worker count never changes results, only wall-clock.
     """
 
     def __init__(
@@ -80,6 +101,8 @@ class SequenceDatabase:
         keep_raw: bool = True,
         normalize: bool = False,
         trie_depth: int = 12,
+        n_shards: "int | None" = None,
+        max_workers: "int | None" = None,
     ) -> None:
         self._breaker = breaker if breaker is not None else InterpolationBreaker(0.5)
         self._config_epoch = 0
@@ -98,10 +121,20 @@ class SequenceDatabase:
         #: Figure 10: inverted file over R-R interval lengths.
         self.rr_index = InvertedFileIndex(bucket_width=rr_bucket_width)
         #: Execution engine: column-wise mirror of every live representation,
-        #: including the int8 slope-sign symbol columns (raw and collapsed).
-        self.store = ColumnarSegmentStore(theta=self.theta)
+        #: including the int8 slope-sign symbol columns (raw and collapsed) —
+        #: a single store by default, hash-partitioned when sharded.
+        if n_shards is None:
+            self.store: "ColumnarSegmentStore | ShardedSegmentStore" = ColumnarSegmentStore(
+                theta=self.theta
+            )
+        else:
+            self.store = ShardedSegmentStore(n_shards, theta=self.theta)
         self.planner = QueryPlanner()
-        self.executor = QueryExecutor()
+        self.executor = (
+            ParallelExecutor(max_workers=max_workers)
+            if max_workers is not None and max_workers > 1
+            else QueryExecutor()
+        )
         #: Plan-level result cache: graded answers memoized per store
         #: generation, invalidated implicitly by insert/delete.
         self.result_cache = PlanResultCache()
@@ -218,6 +251,22 @@ class SequenceDatabase:
         )
         return sequence_id
 
+    def ingest_pipeline(self, batch_size: int = 256) -> "IngestPipeline":
+        """A batched ingest front-end for this database.
+
+        Buffers raw sequences and flushes them through
+        :meth:`insert_all` — one :meth:`Breaker.represent_many` call and
+        one column block append per touched shard per batch.  Use as a
+        context manager so a trailing partial batch always lands::
+
+            with db.ingest_pipeline(batch_size=512) as pipeline:
+                for sequence in feed:
+                    pipeline.add(sequence)
+        """
+        from repro.query.ingest import IngestPipeline
+
+        return IngestPipeline(self, batch_size=batch_size)
+
     def _admit(self, sequence: Sequence) -> int:
         """Assign the next id and archive the raw sequence."""
         sequence_id = self._next_id
@@ -324,7 +373,7 @@ class SequenceDatabase:
 
     def peak_count_of(self, sequence_id: int) -> int:
         self._require(sequence_id)
-        return int(self.store.peak_counts[self.store.position_of(sequence_id)])
+        return self.store.peak_count_of(sequence_id)
 
     def rr_intervals_of(self, sequence_id: int) -> np.ndarray:
         """One sequence's R-R intervals, read from the columnar store.
@@ -333,8 +382,7 @@ class SequenceDatabase:
         view would silently change under the caller.
         """
         self._require(sequence_id)
-        lo, hi = self.store.rr_range(sequence_id)
-        return self.store.rr_values[lo:hi].copy()
+        return self.store.rr_intervals_of(sequence_id)
 
     def peaks_of(self, sequence_id: int):
         """Peak records of one sequence (see :func:`find_peaks`)."""
@@ -434,21 +482,34 @@ class SequenceDatabase:
     def scan_rr(self, target: float, delta: float) -> list[int]:
         """Linear-scan answer to the R-R query (index validation path).
 
-        One vectorized predicate over the columnar store's stacked R-R
-        column — the "scan" is a scan of arrays, not of Python objects.
+        One vectorized predicate over each shard's stacked R-R column —
+        the "scan" is a scan of arrays, not of Python objects.
         """
-        values = self.store.rr_values
-        if len(values) == 0:
-            return []
-        hits = np.abs(values - target) <= delta
-        return [int(s) for s in np.unique(self.store.rr_sequences[hits])]
+        matched: "list[int]" = []
+        for shard in self.store.shards():
+            values = shard.rr_values
+            if len(values) == 0:
+                continue
+            hits = np.abs(values - target) <= delta
+            matched.extend(int(s) for s in np.unique(shard.rr_sequences[hits]))
+        return sorted(matched)
 
     # ------------------------------------------------------------------
     # Accounting
     # ------------------------------------------------------------------
 
+    def cache_stats(self) -> dict:
+        """The plan-result cache's counters and estimated footprint."""
+        return self.result_cache.stats()
+
     def storage_report(self) -> dict:
-        """Byte totals and compression for the storage benchmarks."""
+        """Byte totals and compression for the storage benchmarks.
+
+        Alongside the paper's raw-vs-representation accounting, reports
+        the engine's columnar allocation (``engine_bytes``, growth
+        headroom included) and the plan-result cache's counters and
+        estimated resident bytes (``result_cache``).
+        """
         raw_bytes = self.archive.total_bytes()
         rep_bytes = self.local_store.total_bytes()
         total_segments = sum(len(r) for r in self._representations.values())
@@ -459,6 +520,8 @@ class SequenceDatabase:
             "total_segments": total_segments,
             "raw_bytes": raw_bytes,
             "representation_bytes": rep_bytes,
+            "engine_bytes": self.store.nbytes,
+            "result_cache": self.cache_stats(),
             "byte_compression": raw_bytes / rep_bytes if rep_bytes else float("inf"),
             "paper_convention_compression": (
                 total_points / (3 * total_segments) if total_segments else float("inf")

@@ -55,7 +55,7 @@ import numpy as np
 
 from repro.core.errors import PatternSyntaxError, QueryError
 from repro.core.sequence import Sequence
-from repro.core.representation import SYMBOL_CODES
+from repro.core.representation import SYMBOL_CODES, run_start_mask
 from repro.core.tolerance import DimensionDeviation, MatchGrade, Tolerance, grade_deviations
 from repro.engine.nfa import ColumnPatternMatcher
 from repro.engine.plan import DimensionColumn, QueryPlan, VectorVerdicts
@@ -460,7 +460,13 @@ class ShapeQuery(Query):
     Under the engine the columnar store prefilters structurally: the
     store's run-collapsed behaviour columns are compared against the
     exemplar's signature wholesale, and only sequences whose collapsed
-    code string equals it survive to per-sequence grading.
+    code string equals it survive.  Survivors are then graded by a
+    vectorized stage that rebuilds every candidate's duration/amplitude
+    profiles straight from the store's segment columns with the same
+    reduction kernel :func:`repro.core.shape.profile_runs` the scalar
+    signature uses — one ragged gather and a handful of ``reduceat``
+    calls for the whole candidate set, bit-identical to grading each
+    candidate's signature in Python.
     """
 
     def __init__(
@@ -498,9 +504,14 @@ class ShapeQuery(Query):
         )
 
     def plan(self, database: "SequenceDatabase") -> QueryPlan:
+        # Warm the signature memo before the stages run: scattered
+        # stages may execute on worker threads, and planning is the one
+        # point guaranteed to be on the caller's thread.
+        self._signature_for(database)
         return QueryPlan(
             query=self,
             prefilter=self._prefilter,
+            vector_filter=self._vector_filter,
             residual=self._grade_scalar,
             label="shape",
             fingerprint=self.fingerprint(),
@@ -583,6 +594,76 @@ class ShapeQuery(Query):
             allowed = set(candidate_ids)
             ids = [sequence_id for sequence_id in ids if sequence_id in allowed]
         return ids
+
+    def _vector_filter(
+        self,
+        database: "SequenceDatabase",
+        store: "ColumnarSegmentStore",
+        candidate_ids: "list[int] | None",
+    ) -> VectorVerdicts:
+        """Profile deviations for every structural survivor, columnarly.
+
+        Candidates are the prefilter's output, so each one's collapsed
+        symbol string equals the exemplar's — every candidate has the
+        same number of behavioural runs, and the per-run
+        duration/amplitude shares stack into dense ``(candidates, runs)``
+        matrices.  The per-segment extents come straight from the
+        store's segment columns (the exact floats
+        :func:`~repro.core.shape.shape_signature` reads from the
+        representation), and :func:`~repro.core.shape.profile_runs` is
+        the same reduction the scalar signature applies, so the graded
+        deviations are bit-identical to the residual path.
+        """
+        from repro.core.shape import profile_runs
+
+        wanted = self._signature_for(database)
+        if candidate_ids is None:
+            candidate_ids = self._prefilter(database, store, None)
+        ids = np.asarray(candidate_ids, dtype=np.int64)
+        n = len(ids)
+        n_runs = len(wanted.symbols)
+        def dimensions(dur: np.ndarray, amp: np.ndarray) -> "tuple[DimensionColumn, ...]":
+            return (
+                DimensionColumn("shape_duration", dur, self.duration_tolerance.bound),
+                DimensionColumn("shape_amplitude", amp, self.amplitude_tolerance.bound),
+            )
+        if n == 0 or n_runs == 0:
+            # No candidates, or a dead-flat exemplar: survivors (if any)
+            # have empty profiles, which deviate by exactly 0.0.
+            zeros = np.zeros(n)
+            return VectorVerdicts(ids, dimensions(zeros, zeros.copy()))
+        positions = store.positions_of(ids)
+        starts = store.segment_starts[positions]
+        counts = store.segment_counts[positions]
+        offsets = np.zeros(n, dtype=np.int64)
+        np.cumsum(counts[:-1], out=offsets[1:])
+        gather = np.repeat(starts - offsets, counts) + np.arange(
+            int(counts.sum()), dtype=np.int64
+        )
+        start_times = store.segment_column("start_time")[gather]
+        end_times = store.segment_column("end_time")[gather]
+        start_values = store.segment_column("start_value")[gather]
+        end_values = store.segment_column("end_value")[gather]
+        codes = store.segment_symbols[gather]
+        durations = np.maximum(end_times - start_times, 0.0)
+        travels = np.abs(end_values - start_values)
+        run_offsets = np.flatnonzero(run_start_mask(codes, offsets))
+        if len(run_offsets) != n * n_runs:
+            raise QueryError(
+                "shape candidates must come from the structural prefilter "
+                f"(got {len(run_offsets)} runs for {n} candidates x {n_runs})"
+            )
+        group_offsets = np.arange(n, dtype=np.int64) * n_runs
+        duration_profile, amplitude_profile = profile_runs(
+            durations, travels, run_offsets, group_offsets
+        )
+        duration_amounts = np.abs(
+            duration_profile.reshape(n, n_runs) - np.asarray(wanted.duration_profile)
+        ).max(axis=1)
+        amplitude_amounts = np.abs(
+            amplitude_profile.reshape(n, n_runs) - np.asarray(wanted.amplitude_profile)
+        ).max(axis=1)
+        return VectorVerdicts(ids, dimensions(duration_amounts, amplitude_amounts))
 
     def _grade_scalar(self, database: "SequenceDatabase", sequence_id: int) -> QueryMatch:
         wanted = self._signature_for(database)

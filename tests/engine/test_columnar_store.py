@@ -159,3 +159,57 @@ class TestDeletionReclaimsStorage:
         assert report["sequences"] == live
         # Raw blobs stay archived (append-only tier), representations do not.
         assert 2 in db.archive
+
+
+class TestAmortizedGrowth:
+    """Single-row inserts must reuse over-allocated capacity, not
+    rebuild every column array per call (geometric growth + live-length
+    views), and mass deletion must hand memory back."""
+
+    def _items(self, n):
+        db = SequenceDatabase(breaker=InterpolationBreaker(0.5))
+        db.insert_all(fever_corpus(n_two_peak=n - 2 * (n // 3), n_one_peak=n // 3, n_three_peak=n // 3))
+        return [
+            (i, db.representation_of(i), db.peak_count_of(i), db.rr_intervals_of(i))
+            for i in db.ids()
+        ]
+
+    def test_single_row_inserts_reallocate_logarithmically(self):
+        items = self._items(60)
+        store = ColumnarSegmentStore(theta=0.05)
+        buffer_addresses = set()
+        for item in items:
+            store.insert(item[0], item[1], peak_count=item[2], rr=item[3])
+            column = store._sequences.column("sequence_id")
+            buffer_addresses.add(column.__array_interface__["data"][0])
+        # 60 appends into a doubling allocation: a handful of distinct
+        # buffers (16 → 32 → 64), never one per insert.
+        assert len(buffer_addresses) <= 4
+        assert store._sequences.capacity >= len(store)
+        store.check_consistency()
+
+    def test_capacity_stays_within_constant_factor(self):
+        items = self._items(40)
+        store = ColumnarSegmentStore(theta=0.05)
+        store.extend(items)
+        grown = store.nbytes
+        for sequence_id, *_ in items[:-4]:
+            store.delete(sequence_id)
+        store.check_consistency()
+        # Occupancy fell to 10%: the shrink-on-delete hysteresis must
+        # have returned most of the allocation.
+        assert store.nbytes < grown / 2
+        assert store._segments.capacity >= len(store._segments)
+
+    def test_shrink_preserves_contents(self):
+        items = self._items(30)
+        store = ColumnarSegmentStore(theta=0.05)
+        store.extend(items)
+        keep = items[-3:]
+        for sequence_id, *_ in items[:-3]:
+            store.delete(sequence_id)
+        store.check_consistency()
+        for sequence_id, representation, peak_count, rr in keep:
+            assert store.peak_count_of(sequence_id) == peak_count
+            np.testing.assert_array_equal(store.rr_intervals_of(sequence_id), rr)
+            assert len(store.symbols_of(sequence_id)) == len(representation)

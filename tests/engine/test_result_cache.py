@@ -259,3 +259,96 @@ class TestQueryParametersAreFixed:
         db.keep_raw = False
         with pytest.raises(QueryError, match="keep_raw"):
             db.query(query)  # must re-evaluate and raise, not serve stale
+
+
+class TestSizeAwareEviction:
+    """The cache is bounded by estimated entry bytes, not just count."""
+
+    def _matches(self, n, name="x" * 40):
+        from repro.core.tolerance import DimensionDeviation, MatchGrade
+
+        return [
+            QueryMatch(
+                i,
+                name,
+                MatchGrade.APPROXIMATE,
+                (DimensionDeviation("peak_count", 1.0, 2.0),),
+            )
+            for i in range(n)
+        ]
+
+    def test_bytes_tracked_and_released(self):
+        cache = PlanResultCache(max_entries=8, max_bytes=1 << 20)
+        assert cache.estimated_bytes == 0
+        cache.store(("a",), 0, self._matches(10))
+        one_entry = cache.estimated_bytes
+        assert one_entry > 0
+        cache.store(("b",), 0, self._matches(10))
+        assert cache.estimated_bytes > one_entry
+        assert cache.lookup(("a",), 1) is None  # stale: invalidated
+        assert cache.lookup(("b",), 1) is None
+        assert cache.estimated_bytes == 0
+
+    def test_byte_budget_evicts_lru(self):
+        cache = PlanResultCache(max_entries=100, max_bytes=None)
+        cache.store(("probe",), 0, self._matches(25))
+        per_entry = cache.estimated_bytes
+        budget = int(per_entry * 2.5)  # room for two entries, not three
+        cache = PlanResultCache(max_entries=100, max_bytes=budget)
+        cache.store(("a",), 0, self._matches(25))
+        cache.store(("b",), 0, self._matches(25))
+        cache.store(("c",), 0, self._matches(25))
+        assert cache.lookup(("a",), 0) is None  # oldest evicted by bytes
+        assert cache.lookup(("b",), 0) is not None
+        assert cache.lookup(("c",), 0) is not None
+        assert cache.evictions == 1
+        assert cache.estimated_bytes <= budget
+
+    def test_more_matches_cost_more(self):
+        small = PlanResultCache()
+        small.store(("q",), 0, self._matches(5))
+        large = PlanResultCache()
+        large.store(("q",), 0, self._matches(500))
+        assert large.estimated_bytes > small.estimated_bytes
+
+    def test_oversized_answer_not_cached(self):
+        cache = PlanResultCache(max_entries=8, max_bytes=512)
+        cache.store(("huge",), 0, self._matches(1000))
+        assert len(cache) == 0
+        assert cache.oversized == 1
+        assert cache.lookup(("huge",), 0) is None
+        # A small answer still caches fine under the same budget.
+        cache.store(("tiny",), 0, [])
+        assert cache.lookup(("tiny",), 0) == []
+
+    def test_restore_replaces_old_bytes(self):
+        cache = PlanResultCache(max_entries=8, max_bytes=1 << 20)
+        cache.store(("q",), 0, self._matches(100))
+        big = cache.estimated_bytes
+        cache.store(("q",), 1, self._matches(2))
+        assert len(cache) == 1
+        assert cache.estimated_bytes < big
+
+    def test_clear_resets_bytes(self):
+        cache = PlanResultCache()
+        cache.store(("q",), 0, self._matches(10))
+        cache.clear()
+        assert cache.estimated_bytes == 0
+        assert len(cache) == 0
+
+    def test_bad_byte_budget_rejected(self):
+        with pytest.raises(EngineError):
+            PlanResultCache(max_bytes=0)
+
+    def test_stats_surface_through_storage_report(self):
+        db = SequenceDatabase(breaker=InterpolationBreaker(0.5))
+        db.insert(k_peak_sequence([6.0], noise=0.0, name="solo"))
+        db.query(PeakCountQuery(1))
+        db.query(PeakCountQuery(1))
+        stats = db.storage_report()["result_cache"]
+        assert stats == db.cache_stats() == db.result_cache.stats()
+        assert stats["entries"] == 1
+        assert stats["hits"] == 1
+        assert stats["estimated_bytes"] > 0
+        for key in ("max_entries", "max_bytes", "misses", "invalidations", "evictions", "oversized"):
+            assert key in stats

@@ -1,0 +1,185 @@
+"""ShardedSegmentStore: routing, block appends, deletion, integrity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import EngineError
+from repro.engine import ColumnarSegmentStore, ShardedSegmentStore
+from repro.query import SequenceDatabase
+from repro.segmentation import InterpolationBreaker
+from repro.workloads import fever_corpus, k_peak_sequence
+
+
+def store_items(n=12, theta=0.05):
+    """(sequence_id, representation, peak_count, rr) tuples from a real ingest."""
+    db = SequenceDatabase(breaker=InterpolationBreaker(0.5), theta=theta)
+    db.insert_all(fever_corpus(n_two_peak=n - 2 * (n // 3), n_one_peak=n // 3, n_three_peak=n // 3))
+    return [
+        (
+            sequence_id,
+            db.representation_of(sequence_id),
+            db.peak_count_of(sequence_id),
+            db.rr_intervals_of(sequence_id),
+        )
+        for sequence_id in db.ids()
+    ]
+
+
+@pytest.fixture(scope="module")
+def items():
+    return store_items(12)
+
+
+class TestRouting:
+    def test_hash_by_sequence_id(self, items):
+        store = ShardedSegmentStore(3, theta=0.05)
+        store.extend(items)
+        for sequence_id, *_ in items:
+            assert store.shard_index(sequence_id) == sequence_id % 3
+            assert sequence_id in store.shards()[sequence_id % 3]
+            assert sequence_id in store
+        store.check_consistency()
+
+    def test_partition_ids_routes_and_preserves_order(self, items):
+        store = ShardedSegmentStore(3, theta=0.05)
+        store.extend(items)
+        candidates = [7, 1, 4, 6, 3]
+        parts = store.partition_ids(candidates)
+        assert len(parts) == 3
+        assert parts[0] == [6, 3]
+        assert parts[1] == [7, 1, 4]
+        assert parts[2] == []
+        assert store.partition_ids(None) == [None, None, None]
+
+    def test_single_store_partition_protocol(self, items):
+        store = ColumnarSegmentStore(theta=0.05)
+        store.extend(items)
+        assert store.shards() == (store,)
+        assert store.shard_count == 1
+        assert store.partition_ids([3, 1]) == [[3, 1]]
+        assert store.partition_ids(None) == [None]
+
+    def test_at_least_one_shard(self):
+        with pytest.raises(EngineError, match="at least one shard"):
+            ShardedSegmentStore(0)
+
+
+class TestMutation:
+    @pytest.mark.parametrize("n_shards", [1, 2, 7])
+    def test_extend_matches_single_store(self, items, n_shards):
+        sharded = ShardedSegmentStore(n_shards, theta=0.05)
+        sharded.extend(items)
+        single = ColumnarSegmentStore(theta=0.05)
+        single.extend(items)
+        assert len(sharded) == len(single)
+        assert sharded.n_segments == single.n_segments
+        assert sharded.n_rr == single.n_rr
+        assert sharded.n_behavior == single.n_behavior
+        assert np.array_equal(sharded.sequence_ids, single.sequence_ids)
+        for sequence_id, *_ in items:
+            assert sharded.peak_count_of(sequence_id) == single.peak_count_of(sequence_id)
+            assert np.array_equal(
+                sharded.rr_intervals_of(sequence_id), single.rr_intervals_of(sequence_id)
+            )
+            for collapse in (False, True):
+                assert sharded.symbols_of(sequence_id, collapse) == single.symbols_of(
+                    sequence_id, collapse
+                )
+        sharded.check_consistency()
+
+    def test_extend_appends_one_block_per_shard(self, items):
+        sharded = ShardedSegmentStore(3, theta=0.05)
+        before = sharded.generation
+        sharded.extend(items)
+        touched = len({sequence_id % 3 for sequence_id, *_ in items})
+        # One generation bump per touched shard: a whole block per shard.
+        assert sharded.generation == before + touched
+
+    def test_ids_must_increase_even_across_shards(self, items):
+        sharded = ShardedSegmentStore(2, theta=0.05)
+        sharded.extend(items)
+        stale_id = items[-1][0] - 1  # lands in the other shard, still stale
+        with pytest.raises(EngineError, match="increasing order"):
+            sharded.insert(stale_id, items[0][1], peak_count=items[0][2], rr=items[0][3])
+
+    def test_delete_routes_and_compacts(self, items):
+        sharded = ShardedSegmentStore(3, theta=0.05)
+        sharded.extend(items)
+        victim = items[4][0]
+        shard = sharded.shard_of(victim)
+        shard_size = len(shard)
+        sharded.delete(victim)
+        assert victim not in sharded
+        assert len(shard) == shard_size - 1
+        assert len(sharded) == len(items) - 1
+        sharded.check_consistency()
+        with pytest.raises(EngineError, match="not in columnar store"):
+            sharded.peak_count_of(victim)
+
+    def test_generation_rolls_up_monotonically(self, items):
+        sharded = ShardedSegmentStore(2, theta=0.05)
+        seen = [sharded.generation]
+        sharded.extend(items[:4])
+        seen.append(sharded.generation)
+        sharded.delete(items[0][0])
+        seen.append(sharded.generation)
+        sharded.extend(items[4:6])
+        seen.append(sharded.generation)
+        assert seen == sorted(seen)
+        assert len(set(seen)) == len(seen)
+
+    def test_empty_store(self):
+        sharded = ShardedSegmentStore(4)
+        assert len(sharded) == 0
+        assert sharded.n_sequences == 0
+        assert len(sharded.sequence_ids) == 0
+        assert 3 not in sharded
+        sharded.extend([])
+        sharded.check_consistency()
+
+    def test_nbytes_accounts_all_shards(self, items):
+        sharded = ShardedSegmentStore(3, theta=0.05)
+        empty_bytes = sharded.nbytes
+        sharded.extend(items)
+        assert sharded.nbytes > empty_bytes
+        assert sharded.nbytes == sum(shard.nbytes for shard in sharded.shards())
+
+
+class TestIntegrity:
+    def test_misrouted_sequence_detected(self, items):
+        sharded = ShardedSegmentStore(3, theta=0.05)
+        # Bypass routing: plant a sequence in a shard that does not own it.
+        wrong_shard = sharded.shards()[(items[0][0] + 1) % 3]
+        wrong_shard.insert(
+            items[0][0], items[0][1], peak_count=items[0][2], rr=items[0][3]
+        )
+        with pytest.raises(EngineError, match="does not own"):
+            sharded.check_consistency()
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 7])
+    def test_rebalance_after_delete_stress(self, n_shards):
+        """Interleaved bulk inserts and deletes keep every shard coherent."""
+        rng = np.random.default_rng(7)
+        db = SequenceDatabase(breaker=InterpolationBreaker(0.5), n_shards=n_shards)
+        db.insert_all(fever_corpus(n_two_peak=6, n_one_peak=5, n_three_peak=5))
+        live = set(db.ids())
+        for round_index in range(6):
+            victims = rng.choice(sorted(live), size=min(4, len(live)), replace=False)
+            for victim in victims:
+                db.delete(int(victim))
+                live.discard(int(victim))
+            db.store.check_consistency()
+            added = db.insert_all(
+                [
+                    k_peak_sequence([6.0 + i, 18.0 - i], noise=0.05, name=f"r{round_index}-{i}")
+                    for i in range(3)
+                ]
+            )
+            live.update(added)
+            db.store.check_consistency()
+        assert set(db.ids()) == live
+        assert len(db.store) == len(live)
+        for sequence_id in live:
+            assert db.store.symbols_of(sequence_id) == db.pattern_index.symbols_of(sequence_id)

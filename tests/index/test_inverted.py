@@ -117,7 +117,9 @@ class TestInvariantsAndModel:
 
 
 class TestIngestSignatureUnification:
-    """add_all/add_array take (sequence_id, values); old order is shimmed."""
+    """add_all/add_array take (sequence_id, values); the pre-unification
+    reversed order (shimmed with a FutureWarning for two releases) is
+    now rejected at the API boundary with a pointed error."""
 
     def test_add_array_sequence_id_first(self):
         index = InvertedFileIndex()
@@ -125,39 +127,23 @@ class TestIngestSignatureUnification:
         assert index.sequences_near(10.0, 0.0) == [3]
         assert len(index) == 2
 
-    def test_legacy_order_swapped_with_warning(self):
+    def test_legacy_order_rejected_with_swap_hint(self):
         index = InvertedFileIndex()
-        with pytest.warns(FutureWarning, match="add_array"):
+        with pytest.raises(IndexError_, match="swap the argument order"):
             index.add_array(np.array([10.0, 20.0]), 3)
-        assert index.sequences_near(20.0, 0.0) == [3]
-        index2 = InvertedFileIndex()
-        with pytest.warns(FutureWarning, match="add_all"):
-            index2.add_all([5.0, 6.0], 7)
-        assert index2.sequences_near(5.0, 1.0) == [7]
+        with pytest.raises(IndexError_, match="swap the argument order"):
+            index.add_all([5.0, 6.0], 7)
+        assert len(index) == 0  # nothing inserted by the failed calls
 
-    def test_legacy_keyword_style_swapped_with_warning(self):
-        # The pre-unification documented style: values positional,
-        # sequence_id by keyword.  Must keep working, with a warning.
+    def test_legacy_keyword_style_rejected(self):
+        # The pre-unification documented style — values positional,
+        # sequence_id by keyword — now collides on the sequence_id
+        # parameter like any other Python signature misuse.
         index = InvertedFileIndex()
-        with pytest.warns(FutureWarning, match="add_all"):
+        with pytest.raises(TypeError):
             index.add_all([150.0, 150.0], sequence_id=0)
-        with pytest.warns(FutureWarning, match="add_array"):
+        with pytest.raises(TypeError):
             index.add_array(np.array([115.0, 135.0]), sequence_id=1)
-        assert index.sequences_near(150.0, 0.0) == [0]
-        assert index.sequences_near(135.0, 5.0) == [1]
-
-    def test_legacy_generator_values_still_shimmed(self):
-        # The old annotation was Iterable[float]: generators and
-        # iterators in the leading position must swap too, not be
-        # mistaken for a sequence id.
-        index = InvertedFileIndex()
-        with pytest.warns(FutureWarning, match="add_all"):
-            index.add_all(iter([1.0, 2.0]), 3)
-        assert index.sequences_near(1.0, 1.0) == [3]
-        index2 = InvertedFileIndex()
-        with pytest.warns(FutureWarning, match="add_array"):
-            index2.add_array((x for x in [4.0]), 9)
-        assert index2.sequences_near(4.0, 0.0) == [9]
 
     def test_keyword_forms_accepted(self):
         index = InvertedFileIndex()
@@ -168,11 +154,11 @@ class TestIngestSignatureUnification:
 
     def test_malformed_argument_combinations_fail_clearly(self):
         index = InvertedFileIndex()
-        with pytest.raises(IndexError_, match="positional"):
+        with pytest.raises(TypeError):
             index.add_array(1, np.array([1.0]), sequence_id=1)
-        with pytest.raises(IndexError_, match="needs both"):
+        with pytest.raises(TypeError):
             index.add_array(sequence_id=1)
-        with pytest.raises(IndexError_, match="exactly one"):
+        with pytest.raises(TypeError):
             index.add_all([1.0])
 
     def test_non_integer_sequence_id_fails_clearly(self):

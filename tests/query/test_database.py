@@ -134,12 +134,12 @@ class TestConfigMutability:
         with pytest.raises(AttributeError):
             db.theta = 0.0
 
-    def test_planner_explain_deprecated_shim(self):
+    def test_planner_explain_shim_removed(self):
+        # The deprecated QueryPlanner.explain shim (two releases of
+        # FutureWarning) is gone; SequenceDatabase.explain is the API.
         from repro.query import PeakCountQuery, SequenceDatabase
         from repro.segmentation import InterpolationBreaker
-        import pytest
 
         db = SequenceDatabase(breaker=InterpolationBreaker(0.5))
-        with pytest.warns(FutureWarning, match="SequenceDatabase.explain"):
-            described = db.planner.explain(PeakCountQuery(2), db)
-        assert "vectorized-grade" in described
+        assert not hasattr(db.planner, "explain")
+        assert "vectorized-grade" in db.explain(PeakCountQuery(2))

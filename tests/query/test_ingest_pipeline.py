@@ -1,0 +1,98 @@
+"""IngestPipeline: buffering, auto-flush, and parity with direct ingest."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import QueryError
+from repro.query import IngestPipeline, PeakCountQuery, SequenceDatabase
+from repro.segmentation import InterpolationBreaker
+from repro.workloads import fever_corpus
+
+
+def make_db(**kwargs):
+    return SequenceDatabase(breaker=InterpolationBreaker(0.5), **kwargs)
+
+
+def corpus():
+    return fever_corpus(n_two_peak=5, n_one_peak=4, n_three_peak=4)
+
+
+class TestBuffering:
+    def test_add_buffers_until_batch_size(self):
+        db = make_db()
+        pipeline = db.ingest_pipeline(batch_size=4)
+        for i, sequence in enumerate(corpus()[:3]):
+            pipeline.add(sequence)
+            assert pipeline.pending == i + 1
+        assert len(db) == 0  # nothing queryable before the flush
+
+    def test_auto_flush_at_batch_size(self):
+        db = make_db()
+        pipeline = db.ingest_pipeline(batch_size=4)
+        pipeline.add_many(corpus()[:9])
+        # Two full batches flushed, one sequence still buffered.
+        assert len(db) == 8
+        assert pipeline.pending == 1
+        assert pipeline.ingested_ids == list(range(8))
+
+    def test_flush_returns_new_ids_and_drains(self):
+        db = make_db()
+        pipeline = db.ingest_pipeline(batch_size=100)
+        pipeline.add_many(corpus()[:5])
+        assert pipeline.flush() == [0, 1, 2, 3, 4]
+        assert pipeline.pending == 0
+        assert pipeline.flush() == []  # idempotent on an empty buffer
+        assert len(db) == 5
+
+    def test_context_manager_flushes_trailing_batch(self):
+        db = make_db()
+        with db.ingest_pipeline(batch_size=4) as pipeline:
+            pipeline.add_many(corpus()[:6])
+        assert len(db) == 6
+        assert pipeline.pending == 0
+
+    def test_no_flush_after_exception(self):
+        db = make_db()
+        with pytest.raises(RuntimeError):
+            with db.ingest_pipeline(batch_size=100) as pipeline:
+                pipeline.add_many(corpus()[:3])
+                raise RuntimeError("upstream failed")
+        assert len(db) == 0
+        assert pipeline.pending == 3  # buffer intact for inspection
+
+    def test_batch_size_validated(self):
+        with pytest.raises(QueryError, match="batch size"):
+            make_db().ingest_pipeline(batch_size=0)
+
+    def test_repr_reports_progress(self):
+        pipeline = make_db().ingest_pipeline(batch_size=4)
+        pipeline.add(corpus()[0])
+        assert "pending=1" in repr(pipeline)
+
+
+class TestParityWithDirectIngest:
+    @pytest.mark.parametrize("n_shards", [None, 3])
+    def test_same_database_state_as_per_insert(self, n_shards):
+        sequences = corpus()
+        direct = make_db(n_shards=n_shards)
+        for sequence in sequences:
+            direct.insert(sequence)
+        piped = make_db(n_shards=n_shards)
+        with piped.ingest_pipeline(batch_size=4) as pipeline:
+            pipeline.add_many(sequences)
+        assert piped.ids() == direct.ids()
+        assert [piped.name_of(i) for i in piped.ids()] == [
+            direct.name_of(i) for i in direct.ids()
+        ]
+        piped.store.check_consistency()
+        for count in (1, 2, 3):
+            assert piped.query(PeakCountQuery(count), cache=False) == direct.query(
+                PeakCountQuery(count), cache=False
+            )
+
+    def test_standalone_construction(self):
+        db = make_db()
+        pipeline = IngestPipeline(db, batch_size=2)
+        pipeline.add_many(corpus()[:2])
+        assert len(db) == 2
