@@ -24,7 +24,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.representation import FunctionSeriesRepresentation
+from repro.core.errors import SequenceError
+from repro.core.representation import (
+    FunctionSeriesRepresentation,
+    classify_slopes,
+    run_start_mask,
+)
 from repro.core.segment import Segment
 from repro.core.sequence import Sequence
 
@@ -32,6 +37,7 @@ __all__ = [
     "Peak",
     "PeakTableRow",
     "find_peaks",
+    "find_peaks_many",
     "count_peaks",
     "count_peaks_in_symbols",
     "peak_table",
@@ -124,6 +130,102 @@ def find_peaks(
         else:
             i = rise_idx + 1
     return peaks
+
+
+def find_peaks_many(
+    representations: "list[FunctionSeriesRepresentation]",
+    theta: float = 0.0,
+    skip_flats: bool = True,
+    codes: "np.ndarray | None" = None,
+) -> "list[tuple[np.ndarray, np.ndarray]]":
+    """Apex ``(times, amplitudes)`` of every peak, for a whole batch.
+
+    The columnar twin of :func:`find_peaks`, built for bulk ingest: the
+    batch's ``segment_columns`` are stacked, classified once with
+    :func:`classify_slopes` and collapsed into behavioural runs with the
+    shared :func:`run_start_mask` kernel (sequence boundaries always
+    open a run), and the peak rule is evaluated as array predicates over
+    the run columns — a ``'+'`` run peaks when the next run is ``'-'``,
+    or (with ``skip_flats``) when a single ``'0'`` run separates them,
+    which is how the scalar loop's flat-skipping plays out after run
+    collapse.  The apex is the higher of the rising run's last-segment
+    end point and the descending run's first-segment start point, read
+    from the same column scalars the scalar path compares, so times and
+    amplitudes are bit-identical to per-representation
+    :func:`find_peaks` (whose :class:`Peak` records carry the full
+    segment objects this batch form deliberately skips).
+
+    ``codes`` may carry the batch's already-classified flat symbol
+    codes (segment order, all representations concatenated) when the
+    caller has classified them anyway — the database's bulk ingest
+    shares one classification pass between the pattern indexes and the
+    peaks.  Must equal ``classify_slopes`` of the stacked slope columns
+    under the same ``theta``.
+    """
+    representations = list(representations)
+    if not representations:
+        return []
+    columns = [representation.segment_columns() for representation in representations]
+    counts = np.array([len(c["slope"]) for c in columns], dtype=np.int64)
+    group_starts = np.zeros(len(counts), dtype=np.int64)
+    np.cumsum(counts[:-1], out=group_starts[1:])
+    if codes is None:
+        codes = classify_slopes(np.concatenate([c["slope"] for c in columns]), theta)
+    elif len(codes) != int(counts.sum()):
+        raise SequenceError(
+            f"precomputed codes cover {len(codes)} segments, batch has {int(counts.sum())}"
+        )
+    run_mask = run_start_mask(codes, group_starts)
+    run_offsets = np.flatnonzero(run_mask)
+    run_codes = codes[run_offsets]
+    n_runs = len(run_offsets)
+    # A representation always has at least one segment, so consecutive
+    # reduceat slices are non-empty and the run->owner map is exact.
+    runs_per_rep = np.add.reduceat(run_mask.astype(np.int64), group_starts)
+    run_owner = np.repeat(np.arange(len(representations), dtype=np.int64), runs_per_rep)
+    run_last = np.append(run_offsets[1:], len(codes)) - 1
+
+    same_next = np.zeros(n_runs, dtype=bool)
+    same_next[:-1] = run_owner[1:] == run_owner[:-1]
+    same_next2 = np.zeros(n_runs, dtype=bool)
+    same_next2[:-2] = run_owner[2:] == run_owner[:-2]
+    next_code = np.zeros(n_runs, dtype=np.int8)
+    next_code[:-1] = run_codes[1:]
+    next_code2 = np.zeros(n_runs, dtype=np.int8)
+    next_code2[:-2] = run_codes[2:]
+
+    rising = run_codes == 1
+    direct = same_next & (next_code == -1)
+    via_flat = (
+        same_next2 & (next_code == 0) & (next_code2 == -1)
+        if skip_flats
+        else np.zeros(n_runs, dtype=bool)
+    )
+    peak_runs = np.flatnonzero(rising & (direct | via_flat))
+    fall_runs = peak_runs + np.where(direct[peak_runs], 1, 2)
+
+    end_time = np.concatenate([c["end_time"] for c in columns])
+    end_value = np.concatenate([c["end_value"] for c in columns])
+    start_time = np.concatenate([c["start_time"] for c in columns])
+    start_value = np.concatenate([c["start_value"] for c in columns])
+    rise_segment = run_last[peak_runs]
+    fall_segment = run_offsets[fall_runs]
+    rise_value = end_value[rise_segment]
+    fall_value = start_value[fall_segment]
+    # Paper step 3: the apex is the higher of REnd and DStart.
+    from_rise = rise_value >= fall_value
+    times = np.where(from_rise, end_time[rise_segment], start_time[fall_segment])
+    amplitudes = np.where(from_rise, rise_value, fall_value)
+
+    peaks_per_rep = np.bincount(run_owner[peak_runs], minlength=len(representations))
+    results: "list[tuple[np.ndarray, np.ndarray]]" = []
+    position = 0
+    for count in peaks_per_rep.tolist():
+        results.append(
+            (times[position : position + count], amplitudes[position : position + count])
+        )
+        position += count
+    return results
 
 
 def count_peaks(representation: FunctionSeriesRepresentation, theta: float = 0.0) -> int:

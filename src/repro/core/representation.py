@@ -119,6 +119,51 @@ def symbols_from_slopes(
     return symbols
 
 
+def _prefill_linear_columns(
+    representations: "list[FunctionSeriesRepresentation]",
+    sequences: "TypingSequence[Sequence]",
+    boundaries_list: "TypingSequence[TypingSequence[tuple[int, int]]]",
+    line_slopes: "list[float]",
+    line_intercepts: "list[float]",
+) -> None:
+    """Vectorized ``segment_columns`` for batches of line segments.
+
+    Values are bit-identical to the lazy per-segment loop: the index
+    and endpoint columns are gathers of the same stored scalars, and
+    the mean-slope column evaluates the identical secant expression
+    ``FittedFunction.mean_slope`` computes (falling back to the line's
+    own slope — its derivative — for zero-duration single-point
+    segments), elementwise over the whole sequence.
+    """
+    fn_slopes = np.asarray(line_slopes, dtype=np.float64)
+    fn_intercepts = np.asarray(line_intercepts, dtype=np.float64)
+    position = 0
+    for representation, sequence, boundaries in zip(representations, sequences, boundaries_list):
+        window = np.asarray(boundaries, dtype=np.int64).reshape(-1, 2)
+        n = len(window)
+        start_index = np.ascontiguousarray(window[:, 0])
+        end_index = np.ascontiguousarray(window[:, 1])
+        start_time = sequence.times[start_index]
+        end_time = sequence.times[end_index]
+        slopes = fn_slopes[position : position + n]
+        intercepts = fn_intercepts[position : position + n]
+        position += n
+        span = end_time - start_time
+        with np.errstate(invalid="ignore", divide="ignore"):
+            secant = (
+                (slopes * end_time + intercepts) - (slopes * start_time + intercepts)
+            ) / span
+        representation._columns = {
+            "start_index": start_index,
+            "end_index": end_index,
+            "start_time": start_time,
+            "end_time": end_time,
+            "start_value": sequence.values[start_index],
+            "end_value": sequence.values[end_index],
+            "slope": np.where(span == 0.0, slopes, secant),
+        }
+
+
 class FunctionSeriesRepresentation:
     """An ordered series of function segments standing in for a sequence."""
 
@@ -193,6 +238,105 @@ class FunctionSeriesRepresentation:
             curve_kind=curve_kind,
             epsilon=epsilon,
         )
+
+    @classmethod
+    def from_breakpoints_many(
+        cls,
+        sequences: "TypingSequence[Sequence]",
+        boundaries_list: "TypingSequence[TypingSequence[tuple[int, int]]]",
+        curve_kind: str = "regression",
+        epsilon: float = 0.0,
+    ) -> "list[FunctionSeriesRepresentation]":
+        """Batch twin of :meth:`from_breakpoints` with columnar assembly.
+
+        Fits the same per-window curves (on zero-copy window views, so
+        the fitted parameters are bit-identical to the scalar path) and,
+        when every fitted function is a plain line, prefills each
+        representation's :meth:`segment_columns` memo with vectorized
+        column arrays — endpoint gathers and mean slopes computed in a
+        handful of NumPy calls per sequence instead of a Python loop per
+        segment.  The engine's column-block append then consumes those
+        columns without ever touching the segment objects.
+        """
+        if len(sequences) != len(boundaries_list):
+            raise SequenceError(
+                f"sequences ({len(sequences)}) and boundaries ({len(boundaries_list)}) disagree"
+            )
+        from repro.functions.linear import (
+            LinearFunction,
+            fit_interpolation_line,
+            fit_regression_line,
+            regression_coefficients,
+        )
+
+        fitter = get_fitter(curve_kind)
+        # The two linear workhorse kinds fit straight off the window's
+        # array slices — no per-window Sequence construction, same
+        # coefficients bit for bit (see regression_coefficients).
+        fast_regression = fitter is fit_regression_line
+        fast_interpolation = fitter is fit_interpolation_line
+        representations: "list[FunctionSeriesRepresentation]" = []
+        line_slopes: "list[float]" = []
+        line_intercepts: "list[float]" = []
+        all_linear = True
+        for sequence, boundaries in zip(sequences, boundaries_list):
+            times = sequence.times
+            values = sequence.values
+            length = len(sequence)
+            segments = []
+            for start, end in boundaries:
+                if start < 0 or end >= length or start > end:
+                    # Same rejection the scalar path gets from
+                    # Sequence.subsequence — the fast paths below slice
+                    # raw arrays and would otherwise wrap negatives.
+                    raise SequenceError(
+                        f"invalid index window [{start}, {end}] for length {length}"
+                    )
+                if end == start:
+                    # A single point cannot be fitted by most families;
+                    # use a regression (constant) line, like the scalar path.
+                    function = LinearFunction(0.0, float(values[start]))
+                elif fast_regression:
+                    slope, intercept = regression_coefficients(
+                        times[start : end + 1], values[start : end + 1]
+                    )
+                    function = LinearFunction(slope, intercept)
+                elif fast_interpolation:
+                    t0 = times[start]
+                    slope = (values[end] - values[start]) / (times[end] - t0)
+                    function = LinearFunction(slope, values[start] - slope * t0)
+                else:
+                    function = fitter(sequence.window(start, end))
+                segments.append(
+                    Segment.trusted(
+                        function,
+                        start,
+                        end,
+                        (float(times[start]), float(values[start])),
+                        (float(times[end]), float(values[end])),
+                    )
+                )
+                if all_linear:
+                    if type(function) is LinearFunction:
+                        line_slopes.append(function.slope)
+                        line_intercepts.append(function.intercept)
+                    else:
+                        all_linear = False
+            representations.append(
+                cls(
+                    segments,
+                    name=sequence.name,
+                    source_length=len(sequence),
+                    curve_kind=curve_kind,
+                    epsilon=epsilon,
+                )
+            )
+
+        if all_linear:
+            _prefill_linear_columns(
+                representations, sequences, boundaries_list, line_slopes, line_intercepts
+            )
+        return representations
 
     def refit(self, sequence: Sequence, curve_kind: str) -> "FunctionSeriesRepresentation":
         """The same breakpoints, represented by a different curve kind."""

@@ -54,6 +54,29 @@ class Segment:
         if self.end_point[0] < self.start_point[0]:
             raise SequenceError("segment end time precedes start time")
 
+    @classmethod
+    def trusted(
+        cls,
+        function: FittedFunction,
+        start_index: int,
+        end_index: int,
+        start_point: "tuple[float, float]",
+        end_point: "tuple[float, float]",
+    ) -> "Segment":
+        """Construct without re-validating the index/time ordering.
+
+        For bulk assembly from windows that are ordered by construction
+        (a breaker's partition over a strictly-increasing time axis);
+        field-for-field equal to the validated constructor's result.
+        """
+        segment = object.__new__(cls)
+        object.__setattr__(segment, "function", function)
+        object.__setattr__(segment, "start_index", start_index)
+        object.__setattr__(segment, "end_index", end_index)
+        object.__setattr__(segment, "start_point", start_point)
+        object.__setattr__(segment, "end_point", end_point)
+        return segment
+
     # ------------------------------------------------------------------
     # Geometry
     # ------------------------------------------------------------------

@@ -175,7 +175,12 @@ class Sequence:
         if len(self) < 3:
             return True
         steps = np.diff(self._times)
-        return bool(np.allclose(steps, steps[0], rtol=rel_tol, atol=0.0))
+        # Inline |step - step0| <= rel_tol * |step0| — what np.allclose
+        # (rtol=rel_tol, atol=0) computes for the finite values a
+        # validated sequence guarantees, minus its dispatch overhead;
+        # this runs once per archived sequence on the ingest path.
+        first = steps[0]
+        return bool((np.abs(steps - first) <= rel_tol * abs(first)).all())
 
     def sampling_step(self) -> float:
         """The grid step of a uniform sequence.
@@ -210,6 +215,27 @@ class Sequence:
         if i_lo < 0 or i_hi >= len(self) or i_lo > i_hi:
             raise SequenceError(f"invalid index window [{i_lo}, {i_hi}] for length {len(self)}")
         return Sequence(self._times[i_lo : i_hi + 1], self._values[i_lo : i_hi + 1], name=self.name)
+
+    def window(self, i_lo: int, i_hi: int) -> "Sequence":
+        """Zero-copy view of samples ``i_lo <= i <= i_hi`` (inclusive).
+
+        The hot-path twin of :meth:`subsequence`: the returned sequence
+        shares this one's arrays instead of copying them, and skips
+        revalidation — every constructor invariant (finiteness, strictly
+        increasing times) holds by construction on a contiguous slice of
+        an already-validated sequence, and the backing arrays are
+        immutable, so the view can never be invalidated.  Values are
+        bit-identical to :meth:`subsequence`, only cheaper to produce;
+        the breaking and representation kernels call this thousands of
+        times per sequence.
+        """
+        if i_lo < 0 or i_hi >= len(self) or i_lo > i_hi:
+            raise SequenceError(f"invalid index window [{i_lo}, {i_hi}] for length {len(self)}")
+        piece = object.__new__(Sequence)
+        piece._times = self._times[i_lo : i_hi + 1]
+        piece._values = self._values[i_lo : i_hi + 1]
+        piece.name = self.name
+        return piece
 
     def shifted_to_origin(self) -> "Sequence":
         """The same shape re-based to start at time 0.

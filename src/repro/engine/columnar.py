@@ -125,6 +125,29 @@ class _ColumnSet:
         for arr in self._arrays.values():
             arr[lo : self._size - count] = arr[hi : self._size]
         self._size -= count
+        self._maybe_shrink()
+
+    def delete_where(self, drop: np.ndarray) -> None:
+        """Remove every row flagged in the boolean ``drop`` mask.
+
+        One compaction pass regardless of how many disjoint row ranges
+        the mask covers — the batched-deletion counterpart of repeated
+        :meth:`delete_range` calls, with identical surviving rows.
+        """
+        if len(drop) != self._size:
+            raise EngineError(
+                f"drop mask covers {len(drop)} rows, store has {self._size}"
+            )
+        keep = ~drop
+        kept = int(keep.sum())
+        if kept == self._size:
+            return
+        for arr in self._arrays.values():
+            arr[:kept] = arr[: self._size][keep]
+        self._size = kept
+        self._maybe_shrink()
+
+    def _maybe_shrink(self) -> None:
         # Occupancy hysteresis: shrink to 2x live rows at < 25%, so mass
         # deletion returns memory while delete/insert cycles never thrash.
         if self.capacity > 16 and self._size < self.capacity // 4:
@@ -539,6 +562,64 @@ class ColumnarSegmentStore:
         self.segment_starts[p:] -= seg_count
         self.behavior_starts[p:] -= beh_count
         self.rr_starts[p:] -= rr_count
+        self._generation += 1
+
+    def delete_many(self, sequence_ids: "TypingSequence[int] | np.ndarray") -> None:
+        """Drop many sequences in one compaction pass per column table.
+
+        The surviving rows (and recomputed offset table) are exactly
+        what repeated :meth:`delete` calls would leave, but every
+        column shifts left once for the whole batch and the store's
+        ``generation`` bumps once — so cached query answers are
+        invalidated a single time, not once per id.  Ids are de-duped;
+        all of them must be live (validated before anything changes).
+        """
+        wanted = np.unique(np.asarray(list(sequence_ids), dtype=np.int64))
+        if wanted.size == 0:
+            return
+        positions = self.positions_of(wanted)
+
+        def interval_drop_mask(starts: np.ndarray, counts: np.ndarray, n: int) -> np.ndarray:
+            # Disjoint per-sequence row ranges as a +1/-1 boundary sweep;
+            # np.add.at tolerates the equal start/stop indices that
+            # zero-count ranges produce.
+            delta = np.zeros(n + 1, dtype=np.int64)
+            np.add.at(delta, starts, 1)
+            np.add.at(delta, starts + counts, -1)
+            return np.cumsum(delta[:n]) > 0
+
+        self._segments.delete_where(
+            interval_drop_mask(
+                self.segment_starts[positions],
+                self.segment_counts[positions],
+                len(self._segments),
+            )
+        )
+        self._behavior.delete_where(
+            interval_drop_mask(
+                self.behavior_starts[positions],
+                self.behavior_counts[positions],
+                len(self._behavior),
+            )
+        )
+        self._rr.delete_where(
+            interval_drop_mask(
+                self.rr_starts[positions], self.rr_counts[positions], len(self._rr)
+            )
+        )
+        sequence_drop = np.zeros(len(self._sequences), dtype=bool)
+        sequence_drop[positions] = True
+        self._sequences.delete_where(sequence_drop)
+        # Offsets are exclusive prefix sums of the surviving counts —
+        # the same table repeated single deletes would converge to.
+        if len(self._sequences):
+            for starts, counts in (
+                (self.segment_starts, self.segment_counts),
+                (self.behavior_starts, self.behavior_counts),
+                (self.rr_starts, self.rr_counts),
+            ):
+                starts[0] = 0
+                np.cumsum(counts[:-1], out=starts[1:])
         self._generation += 1
 
     # ------------------------------------------------------------------

@@ -203,6 +203,30 @@ class ShardedSegmentStore:
         """Drop one sequence from its owning shard (compacting it)."""
         self.shard_of(sequence_id).delete(sequence_id)
 
+    def delete_many(self, sequence_ids: "TypingSequence[int] | np.ndarray") -> None:
+        """Drop many sequences, one batched pass per touched shard.
+
+        Ids are grouped by owning shard and each shard runs its own
+        :meth:`ColumnarSegmentStore.delete_many` — one column
+        compaction and one ``generation`` bump per touched shard, so
+        the rolled-up generation (and with it the result-cache epoch)
+        moves once per shard instead of once per id.  Untouched shards
+        are left entirely alone.
+        """
+        groups: "dict[int, list[int]]" = {}
+        missing = []
+        for sequence_id in sequence_ids:
+            sequence_id = int(sequence_id)
+            if sequence_id not in self:
+                missing.append(sequence_id)
+            groups.setdefault(self.shard_index(sequence_id), []).append(sequence_id)
+        if missing:
+            # Validate the whole batch up front so a bad id deletes
+            # nothing from any shard.
+            raise EngineError(f"sequences {sorted(set(missing))} not in columnar store")
+        for shard_index, ids in groups.items():
+            self._shards[shard_index].delete_many(ids)
+
     # ------------------------------------------------------------------
     # Integrity
     # ------------------------------------------------------------------

@@ -7,8 +7,20 @@ lexicographic order that makes representations indexable.
 
 from repro.functions.base import FittedFunction
 from repro.functions.bezier import CubicBezier, fit_bezier
-from repro.functions.fitting import CurveFitter, available_kinds, get_fitter, register_fitter
-from repro.functions.linear import LinearFunction, fit_interpolation_line, fit_regression_line
+from repro.functions.fitting import (
+    ChordKernel,
+    CurveFitter,
+    available_kinds,
+    get_chord_kernel,
+    get_fitter,
+    register_fitter,
+)
+from repro.functions.linear import (
+    LinearFunction,
+    fit_interpolation_line,
+    fit_interpolation_lines,
+    fit_regression_line,
+)
 from repro.functions.polynomial import PolynomialFunction, fit_polynomial
 from repro.functions.sinusoid import Sinusoid, fit_sinusoid
 
@@ -19,12 +31,15 @@ __all__ = [
     "Sinusoid",
     "CubicBezier",
     "fit_interpolation_line",
+    "fit_interpolation_lines",
     "fit_regression_line",
     "fit_polynomial",
     "fit_sinusoid",
     "fit_bezier",
     "CurveFitter",
+    "ChordKernel",
     "get_fitter",
+    "get_chord_kernel",
     "register_fitter",
     "available_kinds",
 ]

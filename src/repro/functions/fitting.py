@@ -29,19 +29,43 @@ from repro.core.errors import FittingError
 from repro.core.sequence import Sequence
 from repro.functions.base import FittedFunction
 from repro.functions.bezier import fit_bezier
-from repro.functions.linear import fit_interpolation_line, fit_regression_line
+from repro.functions.linear import (
+    fit_interpolation_line,
+    fit_interpolation_lines,
+    fit_regression_line,
+)
 from repro.functions.polynomial import fit_polynomial
 from repro.functions.sinusoid import fit_sinusoid
 
-__all__ = ["CurveFitter", "register_fitter", "get_fitter", "available_kinds"]
+__all__ = [
+    "CurveFitter",
+    "ChordKernel",
+    "register_fitter",
+    "get_fitter",
+    "get_chord_kernel",
+    "available_kinds",
+]
 
 CurveFitter = Callable[[Sequence], FittedFunction]
+
+#: Batch chord fitter: endpoint columns ``(t0, v0, t1, v1)`` in, the
+#: ``(slope, intercept)`` coefficient columns of the fitted lines out.
+ChordKernel = Callable[..., tuple]
 
 _REGISTRY: Dict[str, CurveFitter] = {
     "interpolation": fit_interpolation_line,
     "regression": fit_regression_line,
     "bezier": fit_bezier,
     "sinusoid": fit_sinusoid,
+}
+
+#: Curve kinds whose fit depends on the window *endpoints only*, with a
+#: vectorized kernel producing bit-identical line coefficients.  The
+#: frontier-batched breaker consults this table; kinds without an entry
+#: (regression, bezier, polynomials, ...) automatically fall back to the
+#: scalar per-window breaking path.
+_CHORD_KERNELS: Dict[str, ChordKernel] = {
+    "interpolation": fit_interpolation_lines,
 }
 
 
@@ -75,6 +99,16 @@ def get_fitter(kind: str) -> CurveFitter:
         raise FittingError(
             f"unknown curve kind {kind!r}; available: {', '.join(available_kinds())}"
         ) from exc
+
+
+def get_chord_kernel(kind: str) -> "ChordKernel | None":
+    """The batch endpoint-chord kernel for ``kind``, or ``None``.
+
+    ``None`` means the kind's fit cannot be expressed as a vectorized
+    function of window endpoints alone; batch consumers must fall back
+    to calling the scalar fitter per window.
+    """
+    return _CHORD_KERNELS.get(kind)
 
 
 def available_kinds() -> list[str]:

@@ -16,7 +16,9 @@ from repro.functions.base import FittedFunction
 __all__ = [
     "LinearFunction",
     "fit_interpolation_line",
+    "fit_interpolation_lines",
     "fit_regression_line",
+    "regression_coefficients",
 ]
 
 
@@ -85,6 +87,49 @@ def fit_interpolation_line(sequence: Sequence) -> LinearFunction:
     return LinearFunction(slope, v0 - slope * t0)
 
 
+def fit_interpolation_lines(
+    t0: np.ndarray, v0: np.ndarray, t1: np.ndarray, v1: np.ndarray
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Vectorized twin of :func:`fit_interpolation_line` over endpoint columns.
+
+    Takes the first/last ``(time, value)`` of many windows as flat
+    arrays and returns the ``(slope, intercept)`` coefficient columns of
+    the chords through them.  The arithmetic is the same IEEE-754
+    expression :func:`fit_interpolation_line` evaluates on Python
+    floats, applied elementwise, so the coefficients are bit-identical
+    to fitting each window one at a time — the property the batched
+    breaking kernel's parity with the scalar breaker rests on.
+
+    Callers guarantee ``t1 != t0`` per window (the breaking frontier
+    only fits windows of two or more strictly-increasing timestamps).
+    """
+    slope = (v1 - v0) / (t1 - t0)
+    return slope, v0 - slope * t0
+
+
+def regression_coefficients(times: np.ndarray, values: np.ndarray) -> "tuple[float, float]":
+    """``(slope, intercept)`` of the least-squares line through arrays.
+
+    The array-level core of :func:`fit_regression_line`, callable
+    without constructing a :class:`Sequence` — the batched
+    representation assembly fits tens of thousands of tiny windows and
+    cannot afford per-window object construction.  ``np.add.reduce`` is
+    the same pairwise summation ``ndarray.mean`` dispatches to, so the
+    coefficients are bit-identical to the mean-based formulation.
+
+    Callers guarantee at least two samples.
+    """
+    n = times.size
+    t_mean = np.add.reduce(times) / n
+    v_mean = np.add.reduce(values) / n
+    t_centered = times - t_mean
+    denom = float(np.dot(t_centered, t_centered))
+    if denom == 0.0:
+        raise FittingError("degenerate time span")
+    slope = float(np.dot(t_centered, values - v_mean)) / denom
+    return slope, v_mean - slope * t_mean
+
+
 def fit_regression_line(sequence: Sequence) -> LinearFunction:
     """Ordinary least-squares regression line through the sequence.
 
@@ -94,13 +139,5 @@ def fit_regression_line(sequence: Sequence) -> LinearFunction:
     if len(sequence) == 1:
         __, v = sequence[0]
         return LinearFunction(0.0, v)
-    times = sequence.times
-    values = sequence.values
-    t_mean = times.mean()
-    v_mean = values.mean()
-    t_centered = times - t_mean
-    denom = float(np.dot(t_centered, t_centered))
-    if denom == 0.0:
-        raise FittingError("degenerate time span")
-    slope = float(np.dot(t_centered, values - v_mean)) / denom
-    return LinearFunction(slope, v_mean - slope * t_mean)
+    slope, intercept = regression_coefficients(sequence.times, sequence.values)
+    return LinearFunction(slope, intercept)

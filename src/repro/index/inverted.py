@@ -61,6 +61,32 @@ def _checked_value(value: object) -> float:
     return float(value)
 
 
+def _checked_feature_array(values: "Iterable[float] | np.ndarray") -> np.ndarray:
+    """Validate one sequence's feature payload into a float column.
+
+    Shared by every sequence-level ingest entry point (``add_array``,
+    ``add_block``) so the accepted payload shapes — NumPy arrays, lists,
+    generators — and the rejection rules (non-numeric, multi-dimensional,
+    non-finite) can never drift between them.
+    """
+    if not isinstance(values, np.ndarray):
+        if not hasattr(values, "__iter__"):
+            raise IndexError_(
+                f"values must be iterable, got {type(values).__name__} {values!r}"
+            )
+        values = list(values)  # materialize generators/iterators
+    try:
+        array = np.asarray(values, dtype=float)
+    except (TypeError, ValueError) as exc:
+        raise IndexError_(f"values must be real numbers: {exc}") from exc
+    if array.ndim != 1:
+        raise IndexError_(f"values must be one-dimensional, got shape {array.shape}")
+    if array.size and not bool(np.isfinite(array).all()):
+        bad = array[~np.isfinite(array)]
+        raise IndexError_(f"values must be finite, got {bad.tolist()}")
+    return array
+
+
 @dataclass(frozen=True, order=True)
 class Posting:
     """One feature occurrence: exact value, owning sequence, position."""
@@ -154,25 +180,9 @@ class InvertedFileIndex:
         one per posting.
         """
         sequence_id = _checked_sequence_id(sequence_id)
-        if not isinstance(values, np.ndarray):
-            if not hasattr(values, "__iter__"):
-                raise IndexError_(
-                    f"values must be iterable, got {type(values).__name__} {values!r}"
-                )
-            values = list(values)  # materialize generators/iterators
-        try:
-            array = np.asarray(values, dtype=float)
-        except (TypeError, ValueError) as exc:
-            raise IndexError_(f"values must be real numbers: {exc}") from exc
-        if array.ndim != 1:
-            raise IndexError_(
-                f"values must be one-dimensional, got shape {array.shape}"
-            )
+        array = _checked_feature_array(values)
         if array.size == 0:
             return
-        if not bool(np.isfinite(array).all()):
-            bad = array[~np.isfinite(array)]
-            raise IndexError_(f"values must be finite, got {bad.tolist()}")
         keys = np.floor(array / self.bucket_width).astype(int)
         order = np.argsort(keys, kind="stable")
         bucket = None
@@ -184,6 +194,55 @@ class InvertedFileIndex:
                 current_key = key
             bucket.add(Posting(float(array[position]), sequence_id, int(position)))
         self._count += array.size
+
+    def add_block(
+        self, items: "Iterable[tuple[int, Iterable[float] | np.ndarray]]"
+    ) -> None:
+        """Record many sequences' feature columns as one batch.
+
+        The bulk-ingest path: every payload is validated first (a bad
+        item inserts nothing for the whole block), then bucket keys are
+        computed for the batch's stacked value column in one vectorized
+        pass, and each distinct bucket is probed in the B-tree exactly
+        once for the whole block — its new postings merged with a single
+        sort instead of one ``bisect.insort`` per posting.  The
+        resulting buckets are identical to calling :meth:`add_array`
+        per sequence.
+        """
+        columns: "list[tuple[int, np.ndarray]]" = []
+        for sequence_id, values in items:
+            columns.append(
+                (_checked_sequence_id(sequence_id), _checked_feature_array(values))
+            )
+        if not columns:
+            return
+        stacked = np.concatenate([array for __, array in columns])
+        if stacked.size == 0:
+            return
+        sequence_column = np.repeat(
+            np.array([sequence_id for sequence_id, __ in columns], dtype=np.int64),
+            np.array([array.size for __, array in columns], dtype=np.int64),
+        )
+        position_column = np.concatenate(
+            [np.arange(array.size, dtype=np.int64) for __, array in columns]
+        )
+        keys = np.floor(stacked / self.bucket_width).astype(int)
+        order = np.argsort(keys, kind="stable")
+        bucket = None
+        current_key = None
+        touched: "list[PostingBucket]" = []
+        for row in order:
+            key = int(keys[row])
+            if key != current_key:
+                bucket = self._btree.setdefault(key, PostingBucket)
+                touched.append(bucket)
+                current_key = key
+            bucket.postings.append(
+                Posting(float(stacked[row]), int(sequence_column[row]), int(position_column[row]))
+            )
+        for bucket in touched:
+            bucket.postings.sort()
+        self._count += stacked.size
 
     def __len__(self) -> int:
         """Total posting count (not distinct sequences)."""
@@ -226,10 +285,20 @@ class InvertedFileIndex:
         Buckets left empty are deleted from the B-tree so range scans
         do not visit dead keys.
         """
+        return self.remove_sequences([sequence_id])
+
+    def remove_sequences(self, sequence_ids: "Iterable[int]") -> int:
+        """Drop every posting of many sequences in one pass; count removed.
+
+        The batched-deletion twin of :meth:`remove_sequence`: the
+        postings file is filtered once for the whole id set instead of
+        once per id, and buckets left empty are deleted from the B-tree.
+        """
+        id_set = {int(sequence_id) for sequence_id in sequence_ids}
         removed = 0
         empty_keys = []
         for key, bucket in self._btree.items():
-            kept = [p for p in bucket.postings if p.sequence_id != sequence_id]
+            kept = [p for p in bucket.postings if p.sequence_id not in id_set]
             removed += len(bucket.postings) - len(kept)
             bucket.postings = kept
             if not kept:

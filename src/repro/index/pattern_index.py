@@ -57,9 +57,25 @@ class PatternIndex:
         """
         self._trie.add(sequence_id, symbols)
 
+    def add_symbols_many(self, items) -> None:
+        """Bulk-index precomputed ``(sequence_id, symbols)`` pairs.
+
+        The batched ingest path's entry point: equivalent to calling
+        :meth:`add_symbols` per pair, but the trie sorts the batch so
+        inserts share prefix paths (identical strings — ubiquitous in
+        the run-collapsed behavioural view — replay recorded node
+        paths outright).  Validated up front; a bad batch inserts
+        nothing.
+        """
+        self._trie.add_many(items)
+
     def remove(self, sequence_id: int) -> None:
         """Unindex one sequence."""
         self._trie.remove(sequence_id)
+
+    def remove_many(self, sequence_ids) -> None:
+        """Unindex many sequences in one trie prune pass."""
+        self._trie.remove_many(sequence_ids)
 
     def __len__(self) -> int:
         return len(self._trie)

@@ -16,6 +16,7 @@ linear in total symbol volume for fixed depth).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.core.errors import IndexError_
 
@@ -60,14 +61,72 @@ class SymbolTrie:
         if sequence_id in self._strings:
             raise IndexError_(f"sequence {sequence_id} already indexed")
         self._strings[sequence_id] = symbols
+        self._insert_suffixes(sequence_id, symbols)
+
+    def _insert_suffixes(self, sequence_id: int, symbols: str) -> None:
+        """Walk/extend the trie for every suffix of one string.
+
+        Occurrences are immutable, so one shared instance per suffix is
+        appended to every node on its path — value-identical to fresh
+        instances, far fewer allocations.
+        """
+        max_depth = self.max_depth
+        root = self._root
         for start in range(len(symbols)):
-            node = self._root
-            node.occurrences.append(Occurrence(sequence_id, start))
-            for depth, symbol in enumerate(symbols[start:]):
-                if depth >= self.max_depth:
-                    break
+            occurrence = Occurrence(sequence_id, start)
+            node = root
+            node.occurrences.append(occurrence)
+            for symbol in symbols[start : start + max_depth]:
                 node = node.children.setdefault(symbol, _TrieNode())
-                node.occurrences.append(Occurrence(sequence_id, start))
+                node.occurrences.append(occurrence)
+
+    def add_many(self, items: "Iterable[tuple[int, str]]") -> None:
+        """Bulk-index many ``(sequence_id, symbols)`` pairs.
+
+        Equivalent to calling :meth:`add` per pair (same nodes, same
+        occurrence sets), validated up front so a bad batch inserts
+        nothing.  The batch is processed in sorted symbol-string order
+        so shared prefixes land on consecutive inserts, and the node
+        path of every distinct suffix (trimmed to ``max_depth``) is
+        cached for the duration of the call: over a small alphabet real
+        corpora repeat the same local behaviour constantly — whole
+        run-collapsed strings, ECG beat motifs — so most suffixes
+        replay a recorded path with one list append per node instead
+        of a dict walk per symbol.  The cache dies with the call, so
+        later ``remove`` pruning can never invalidate it.
+        """
+        batch = list(items)
+        seen: "set[int]" = set()
+        for sequence_id, symbols in batch:
+            if sequence_id in self._strings or sequence_id in seen:
+                raise IndexError_(f"sequence {sequence_id} already indexed")
+            if not isinstance(symbols, str):
+                raise IndexError_(
+                    f"symbols must be a string, got {type(symbols).__name__}"
+                )
+            seen.add(sequence_id)
+        max_depth = self.max_depth
+        root = self._root
+        # Cached per suffix: the bound ``occurrences.append`` of every
+        # node on its path.  Valid for the duration of this call only —
+        # pruning replaces occurrence lists, so the cache must never
+        # outlive it (and it cannot: no removal happens mid-call).
+        path_cache: "dict[str, list]" = {}
+        for sequence_id, symbols in sorted(batch, key=lambda item: item[1]):
+            self._strings[sequence_id] = symbols
+            for start in range(len(symbols)):
+                key = symbols[start : start + max_depth]
+                path = path_cache.get(key)
+                if path is None:
+                    node = root
+                    path = [node.occurrences.append]
+                    for symbol in key:
+                        node = node.children.setdefault(symbol, _TrieNode())
+                        path.append(node.occurrences.append)
+                    path_cache[key] = path
+                occurrence = Occurrence(sequence_id, start)
+                for push in path:
+                    push(occurrence)
 
     def remove(self, sequence_id: int) -> None:
         """Unindex one sequence: drop its occurrences everywhere.
@@ -78,14 +137,33 @@ class SymbolTrie:
         if sequence_id not in self._strings:
             raise IndexError_(f"sequence {sequence_id} not indexed")
         del self._strings[sequence_id]
-        self._prune(self._root, sequence_id)
+        self._prune(self._root, {sequence_id})
 
-    def _prune(self, node: _TrieNode, sequence_id: int) -> bool:
-        """Remove occurrences below ``node``; True if the node is dead."""
-        node.occurrences = [o for o in node.occurrences if o.sequence_id != sequence_id]
+    def remove_many(self, sequence_ids: "Iterable[int]") -> None:
+        """Unindex many sequences in one trie pass.
+
+        Equivalent to calling :meth:`remove` per id, but the
+        occurrence-filtering / dead-branch-pruning walk over the whole
+        trie runs once for the batch instead of once per id.  Validated
+        up front: an unknown id fails the call before anything is
+        removed.
+        """
+        id_set = set(int(sequence_id) for sequence_id in sequence_ids)
+        missing = [sequence_id for sequence_id in id_set if sequence_id not in self._strings]
+        if missing:
+            raise IndexError_(f"sequences {sorted(missing)} not indexed")
+        if not id_set:
+            return
+        for sequence_id in id_set:
+            del self._strings[sequence_id]
+        self._prune(self._root, id_set)
+
+    def _prune(self, node: _TrieNode, sequence_ids: "set[int]") -> bool:
+        """Remove the ids' occurrences below ``node``; True if it died."""
+        node.occurrences = [o for o in node.occurrences if o.sequence_id not in sequence_ids]
         dead_children = []
         for symbol, child in node.children.items():
-            if self._prune(child, sequence_id):
+            if self._prune(child, sequence_ids):
                 dead_children.append(symbol)
         for symbol in dead_children:
             del node.children[symbol]

@@ -24,10 +24,13 @@ from typing import Iterable
 import numpy as np
 
 from repro.core.errors import QueryError
-from repro.core.features import find_peaks, peak_table
+from repro.core.features import find_peaks, find_peaks_many, peak_table
 from repro.core.representation import (
     FunctionSeriesRepresentation,
+    classify_slopes,
     collapse_symbol_runs,
+    decode_symbols,
+    run_start_mask,
     symbols_from_slopes,
 )
 from repro.core.sequence import Sequence
@@ -201,25 +204,77 @@ class SequenceDatabase:
         return sequence_id
 
     def insert_all(self, sequences: Iterable[Sequence]) -> list[int]:
-        """Batch ingest: represent the batch, then build columns once.
+        """Batch ingest: break, represent and index the batch columnarly.
 
-        Functionally identical to repeated :meth:`insert`, but the
-        breaker's batch entry point handles representation and the
-        columnar store's arrays grow a single time for the whole batch,
-        amortizing ingest cost for bulk loads.
+        Functionally identical to repeated :meth:`insert` — same
+        boundaries, representations, symbol strings, peaks and postings,
+        bit for bit — but every stage runs over the whole batch at once:
+        the breaker's frontier-batched :meth:`Breaker.represent_many`
+        breaks all sequences in lock-step rounds, slope symbols are
+        classified in one pass feeding both pattern-index views through
+        their bulk ``add_symbols_many`` entry points, peaks come from
+        :func:`find_peaks_many` over the stacked run-collapsed symbol
+        columns, R-R intervals land in the inverted index as one
+        :meth:`InvertedFileIndex.add_block`, and the columnar store's
+        arrays grow a single time per touched shard.
         """
         batch = list(sequences)
+        if not batch:
+            return []
         sequence_ids = [self._admit(sequence) for sequence in batch]
         if self.normalize:
             batch = [znormalize(sequence) for sequence in batch]
         representations = self.breaker.represent_many(batch, curve_kind=self.curve_kind)
-        store_items = []
-        for sequence_id, sequence, representation in zip(sequence_ids, batch, representations):
-            peak_count, intervals = self._ingest_one(
-                sequence_id, representation, sequence.name
+
+        # Classify and render the whole batch's slope symbols in one
+        # pass: decode_symbols is a pure per-code map and runs never
+        # span sequences (run_start_mask re-opens a run at every group
+        # start), so slicing the batch strings per sequence yields
+        # exactly the strings the scalar path computes one by one.
+        code_blocks = [
+            classify_slopes(representation.segment_columns()["slope"], self.theta)
+            for representation in representations
+        ]
+        counts = np.array([len(block) for block in code_blocks], dtype=np.int64)
+        group_starts = np.zeros(len(counts), dtype=np.int64)
+        np.cumsum(counts[:-1], out=group_starts[1:])
+        flat_codes = np.concatenate(code_blocks)
+        all_symbols = decode_symbols(flat_codes)
+        run_starts = run_start_mask(flat_codes, group_starts)
+        collapsed_counts = np.add.reduceat(run_starts.astype(np.int64), group_starts)
+        all_collapsed = decode_symbols(flat_codes[run_starts])
+
+        positional_items: "list[tuple[int, str]]" = []
+        behavior_items: "list[tuple[int, str]]" = []
+        position = 0
+        collapsed_position = 0
+        for sequence_id, sequence, representation, count, collapsed_count in zip(
+            sequence_ids, batch, representations, counts.tolist(), collapsed_counts.tolist()
+        ):
+            self._register(sequence_id, representation, sequence.name)
+            positional_items.append((sequence_id, all_symbols[position : position + count]))
+            behavior_items.append(
+                (
+                    sequence_id,
+                    all_collapsed[collapsed_position : collapsed_position + collapsed_count],
+                )
             )
-            store_items.append((sequence_id, representation, peak_count, intervals))
-        self.store.extend(store_items)
+            position += count
+            collapsed_position += collapsed_count
+        self.pattern_index.add_symbols_many(positional_items)
+        self.behavior_index.add_symbols_many(behavior_items)
+
+        peak_columns = find_peaks_many(representations, self.theta, codes=flat_codes)
+        interval_blocks = [np.diff(times) for times, __ in peak_columns]
+        self.rr_index.add_block(zip(sequence_ids, interval_blocks))
+        self.store.extend(
+            [
+                (sequence_id, representation, len(times), intervals)
+                for sequence_id, representation, (times, __), intervals in zip(
+                    sequence_ids, representations, peak_columns, interval_blocks
+                )
+            ]
+        )
         return sequence_ids
 
     def insert_representation(
@@ -275,6 +330,24 @@ class SequenceDatabase:
             self.archive.store(sequence_id, sequence)
         return sequence_id
 
+    def _register(
+        self,
+        sequence_id: int,
+        representation: FunctionSeriesRepresentation,
+        name: str,
+    ) -> None:
+        """Record one representation in the maps, local tier and catalog.
+
+        The registration block shared verbatim by per-sequence ingest
+        (:meth:`_ingest_one`) and batched :meth:`insert_all`, so the
+        default-name rule and the stored tags can never drift between
+        the two paths.
+        """
+        self._representations[sequence_id] = representation
+        self._names[sequence_id] = name or f"seq-{sequence_id}"
+        self.local_store.store(sequence_id, representation)
+        self.catalog.put(sequence_id, "default", representation)
+
     def _ingest_one(
         self,
         sequence_id: int,
@@ -289,10 +362,7 @@ class SequenceDatabase:
         intervals)`` so callers can forward them to the columnar store
         (individually or batched).
         """
-        self._representations[sequence_id] = representation
-        self._names[sequence_id] = name or f"seq-{sequence_id}"
-        self.local_store.store(sequence_id, representation)
-        self.catalog.put(sequence_id, "default", representation)
+        self._register(sequence_id, representation, name)
 
         symbols = symbols_from_slopes(representation.slopes(), self.theta)
         self.pattern_index.add_symbols(sequence_id, symbols)
@@ -352,6 +422,36 @@ class SequenceDatabase:
         self.store.delete(sequence_id)
         self.local_store.evict(sequence_id)
         self.catalog.remove_sequence(sequence_id)
+
+    def delete_many(self, sequence_ids: "Iterable[int]") -> None:
+        """Remove many sequences, every index batched (see :meth:`delete`).
+
+        End state is identical to deleting the ids one at a time, but
+        each structure pays its fixed costs once for the batch: the
+        pattern and behaviour tries prune dead branches in a single
+        pass, the inverted R-R index filters its postings file once,
+        and the columnar store compacts each touched shard's columns in
+        one sweep — bumping each shard's generation (and therefore the
+        result-cache epoch) once per shard rather than once per id.
+        The whole batch is validated up front; an unknown or duplicate
+        id removes nothing.
+        """
+        ids = [int(sequence_id) for sequence_id in sequence_ids]
+        if len(set(ids)) != len(ids):
+            raise QueryError("duplicate sequence ids in delete_many batch")
+        for sequence_id in ids:
+            self._require(sequence_id)
+        if not ids:
+            return
+        for sequence_id in ids:
+            del self._representations[sequence_id]
+            del self._names[sequence_id]
+            self.local_store.evict(sequence_id)
+            self.catalog.remove_sequence(sequence_id)
+        self.pattern_index.remove_many(ids)
+        self.behavior_index.remove_many(ids)
+        self.rr_index.remove_sequences(ids)
+        self.store.delete_many(ids)
 
     # ------------------------------------------------------------------
     # Access

@@ -1,16 +1,21 @@
-"""Batched ingest: buffer raw sequences, land them in column blocks.
+"""Batched ingest: buffer raw sequences, flush them columnarly.
 
 Per-sequence :meth:`~repro.query.database.SequenceDatabase.insert`
 pays the whole ingest stack — breaking, feature extraction, index
 maintenance, a columnar append — once per call.  The
 :class:`IngestPipeline` buffers incoming sequences and flushes whole
 batches through :meth:`~repro.query.database.SequenceDatabase.insert_all`,
-so each batch is represented with one
-:meth:`~repro.segmentation.base.Breaker.represent_many` call and
-appended to the engine's store as one whole column block per touched
-shard.  That is the bulk-load path: the store's arrays grow at most
-once per shard per flush and the per-call NumPy overhead is paid per
-*batch* instead of per sequence.
+which is columnar end to end: one frontier-batched
+:meth:`~repro.segmentation.base.Breaker.break_indices_many` recursion
+over every sequence in the batch at once, representations assembled
+with prefilled ``segment_columns``, one slope classification and
+symbol decode for the whole batch feeding both pattern-index views
+through their bulk ``add_symbols_many`` entry points, peaks and R-R
+intervals derived by :func:`~repro.core.features.find_peaks_many` and
+posted as one inverted-index block, and one whole column-block append
+per touched shard.  Flushed state is bit-identical to per-sequence
+inserts; the per-call Python and NumPy overhead is paid per *batch*
+instead of per sequence.
 
 The pipeline is a thin stateful front-end — ids are assigned at flush
 time (in arrival order), every flushed sequence is immediately

@@ -17,7 +17,7 @@ from repro.segmentation.base import (
 from repro.segmentation.bezier_breaker import BezierBreaker
 from repro.segmentation.dynamic import DynamicProgrammingBreaker
 from repro.segmentation.interpolation import InterpolationBreaker
-from repro.segmentation.offline import RecursiveCurveFitBreaker
+from repro.segmentation.offline import RecursiveCurveFitBreaker, break_frontier
 from repro.segmentation.online import (
     IncrementalRegressionBreaker,
     OnlineSession,
@@ -29,6 +29,7 @@ __all__ = [
     "Boundaries",
     "Breaker",
     "RecursiveCurveFitBreaker",
+    "break_frontier",
     "InterpolationBreaker",
     "RegressionBreaker",
     "BezierBreaker",

@@ -54,6 +54,20 @@ class Breaker(abc.ABC):
     def break_indices(self, sequence: Sequence) -> Boundaries:
         """Partition ``sequence`` into inclusive index windows."""
 
+    def break_indices_many(
+        self, sequences: "TypingSequence[Sequence]"
+    ) -> "list[Boundaries]":
+        """Partition a whole batch of sequences.
+
+        The base implementation loops :meth:`break_indices`; breakers
+        whose per-window fit vectorizes (the interpolation chord, whose
+        deviation profile is a closed-form function of window endpoints)
+        override this with a frontier-batched kernel that processes
+        every active window of the whole batch per round.  Either way
+        the boundaries are identical to breaking one sequence at a time.
+        """
+        return [self.break_indices(sequence) for sequence in sequences]
+
     def represent(
         self, sequence: Sequence, curve_kind: str | None = None
     ) -> FunctionSeriesRepresentation:
@@ -77,12 +91,27 @@ class Breaker(abc.ABC):
         """Break and represent a whole batch of sequences.
 
         The batch entry point the database's bulk ingest path and the
-        engine benchmarks call; the base implementation simply loops,
-        but breakers with per-call setup cost (precomputed filters,
-        device-resident scratch buffers) can override it to amortize
-        that setup across the batch.
+        engine benchmarks call.  Breaking goes through
+        :meth:`break_indices_many` (frontier-batched where the breaker
+        supports it) and the representations are assembled columnarly
+        by :meth:`FunctionSeriesRepresentation.from_breakpoints_many`,
+        which prefills the ``segment_columns`` arrays the engine's
+        column-block append consumes.  Output is identical to calling
+        :meth:`represent` per sequence — subclasses that override
+        :meth:`represent` itself are detected and looped through their
+        override, so per-sequence customizations keep applying to bulk
+        ingest (override this method as well to batch them).
         """
-        return [self.represent(sequence, curve_kind=curve_kind) for sequence in sequences]
+        sequences = list(sequences)
+        if type(self).represent is not Breaker.represent:
+            return [self.represent(sequence, curve_kind=curve_kind) for sequence in sequences]
+        boundaries = self.break_indices_many(sequences)
+        return FunctionSeriesRepresentation.from_breakpoints_many(
+            sequences,
+            boundaries,
+            curve_kind=curve_kind or self.curve_kind,
+            epsilon=self.epsilon,
+        )
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(epsilon={self.epsilon:g})"

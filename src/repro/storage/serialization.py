@@ -86,7 +86,9 @@ def encode_sequence(sequence: Sequence) -> bytes:
         struct.pack("<I", len(sequence)),
     ]
     if uniform:
-        step = sequence.sampling_step() if len(sequence) > 1 else 1.0
+        # Uniformity was just established; read the step directly
+        # instead of paying sampling_step()'s second is_uniform() check.
+        step = float(sequence.times[1] - sequence.times[0]) if len(sequence) > 1 else 1.0
         parts.append(struct.pack("<dd", sequence.start_time, step))
     else:
         parts.append(sequence.times.astype("<f8").tobytes())
@@ -140,17 +142,43 @@ def encode_representation(representation: FunctionSeriesRepresentation) -> bytes
         struct.pack("<Id", representation.source_length, representation.epsilon),
         struct.pack("<I", len(representation)),
     ]
-    for segment in representation.segments:
+    segments = representation.segments
+    if all(type(segment.function) is LinearFunction for segment in segments):
+        # The dominant case — every segment a 2-parameter line — packs
+        # the whole segment table with one struct call.  "<" disables
+        # alignment padding, so the fused format yields the same bytes
+        # as packing field by field.
+        linear_tag = _FAMILY_TAGS["linear"]
+        fields: "list[float]" = []
+        for segment in segments:
+            function = segment.function
+            fields += (
+                linear_tag,
+                2,
+                function.slope,
+                function.intercept,
+                segment.start_index,
+                segment.end_index,
+                segment.start_point[0],
+                segment.start_point[1],
+                segment.end_point[0],
+                segment.end_point[1],
+            )
+        parts.append(struct.pack("<" + "BH2dIIdddd" * len(segments), *fields))
+        return b"".join(parts)
+    for segment in segments:
         family = segment.function.family
         if family not in _FAMILY_TAGS:
             raise StorageError(f"family {family!r} has no storage tag")
         params = segment.function.parameters()
-        parts.append(struct.pack("<BH", _FAMILY_TAGS[family], len(params)))
-        parts.append(struct.pack(f"<{len(params)}d", *params))
-        parts.append(struct.pack("<II", segment.start_index, segment.end_index))
         parts.append(
             struct.pack(
-                "<dddd",
+                f"<BH{len(params)}dIIdddd",
+                _FAMILY_TAGS[family],
+                len(params),
+                *params,
+                segment.start_index,
+                segment.end_index,
                 segment.start_point[0],
                 segment.start_point[1],
                 segment.end_point[0],

@@ -1,0 +1,52 @@
+"""find_peaks_many vs the scalar peak walker: byte parity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.features import find_peaks, find_peaks_many
+from repro.core.sequence import Sequence
+from repro.segmentation import InterpolationBreaker
+from repro.workloads import ecg_corpus, fever_corpus
+
+
+@pytest.fixture(scope="module")
+def representations():
+    corpus = (
+        fever_corpus(n_two_peak=8, n_one_peak=6, n_three_peak=6)
+        + ecg_corpus(n_sequences=4, n_points=400)
+        + [
+            Sequence.from_values([1.0]),
+            Sequence.from_values(np.zeros(30)),
+            Sequence.from_values(np.linspace(0, 5, 20)),  # pure rise, no peak
+            Sequence.from_values(np.concatenate([np.linspace(0, 5, 8), np.full(6, 5.0), np.linspace(5, 0, 8)])),  # plateau apex
+        ]
+    )
+    return InterpolationBreaker(0.3).represent_many(corpus, curve_kind="regression")
+
+
+@pytest.mark.parametrize("theta", [0.0, 0.05, 0.5])
+@pytest.mark.parametrize("skip_flats", [True, False])
+def test_batch_matches_scalar(representations, theta, skip_flats):
+    batch = find_peaks_many(representations, theta, skip_flats=skip_flats)
+    assert len(batch) == len(representations)
+    for representation, (times, amplitudes) in zip(representations, batch):
+        peaks = find_peaks(representation, theta, skip_flats=skip_flats)
+        assert times.tolist() == [p.time for p in peaks]
+        assert amplitudes.tolist() == [p.amplitude for p in peaks]
+
+
+def test_intervals_match_scalar_diff(representations):
+    theta = 0.05
+    for representation, (times, __) in zip(
+        representations, find_peaks_many(representations, theta)
+    ):
+        scalar_times = np.asarray(
+            [p.time for p in find_peaks(representation, theta)], dtype=float
+        )
+        assert np.array_equal(np.diff(times), np.diff(scalar_times))
+
+
+def test_empty_batch():
+    assert find_peaks_many([]) == []
