@@ -1,0 +1,172 @@
+"""Delta revalidation and streaming append vs their from-scratch twins.
+
+Two floors, both recorded under ``benchmarks/results/`` and enforced in
+CI:
+
+* **Delta revalidation ≥ 10x** — a warm cached answer over a corpus
+  where each round dirties ≤ 1% of the sequences must re-validate (via
+  the mutation journal + subset re-grade) at least 10x faster than a
+  full cold evaluation of the same query, while returning byte-identical
+  matches.
+
+* **Streaming append ≥ 3x** — extending a live sequence through
+  ``db.append`` (suffix-only rescan with an online breaker, incremental
+  index maintenance, columnar splice) must beat the delete + re-insert
+  detour by at least 3x on ECG-scale sequences.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.sequence import Sequence
+from repro.query import SequenceDatabase, ShapeQuery
+from repro.segmentation import InterpolationBreaker
+from repro.segmentation.online import IncrementalRegressionBreaker
+
+DELTA_SPEEDUP_FLOOR = 10.0
+APPEND_SPEEDUP_FLOOR = 3.0
+
+N_SEQUENCES = 30_000
+DIRTY_PER_ROUND = 60  # 0.2% of the corpus (floor requires <= 1%)
+ROUNDS = 5
+
+
+def _best_of(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _piecewise(slopes, points_per_piece, name=""):
+    values = [0.0]
+    for slope, n_points in zip(slopes, points_per_piece):
+        for __ in range(n_points):
+            values.append(values[-1] + slope)
+    values = np.asarray(values)
+    return Sequence(np.arange(len(values), dtype=float), values, name=name)
+
+
+def _pool(pool_size: int = 60):
+    """Pre-broken pool: 1/3 two-peak curves sharing one behavioural
+    structure with jittered profiles (every replica survives the shape
+    prefilter and must be profile-graded — the grade-heavy workload of
+    the shard benchmark), the rest one- and three-peak shapes."""
+    breaker = InterpolationBreaker(0.05)
+    pool = []
+    for i in range(pool_size):
+        if i % 3 == 0:
+            slopes = [2.0 + 0.05 * (i % 7), -1.5, 1.0, -2.5 + 0.04 * (i % 5)]
+            points = [5 + i % 3, 6, 5, 7]
+        elif i % 3 == 1:
+            slopes = [1.8, -2.2]
+            points = [8, 9 + i % 4]
+        else:
+            slopes = [2.0, -1.0, 1.5, -1.8, 1.2, -2.0]
+            points = [4, 4, 4 + i % 3, 4, 4, 4]
+        pool.append(
+            breaker.represent(_piecewise(slopes, points, name=f"pool-{i}"), curve_kind="regression")
+        )
+    return pool
+
+
+def test_delta_revalidation_speedup(report):
+    pool = _pool()
+    db = SequenceDatabase(breaker=InterpolationBreaker(0.05), keep_raw=False)
+    for i in range(N_SEQUENCES):
+        db.insert_representation(pool[i % len(pool)], name=f"seq-{i}")
+
+    # A third of the corpus shares the exemplar's behavioural structure:
+    # every full evaluation must profile-grade ~10k candidates, while a
+    # delta revalidation re-grades only the journal-dirty ids.
+    query = ShapeQuery(pool[0], duration_tolerance=0.01, amplitude_tolerance=0.01)
+    warm = db.query(query)
+    assert warm  # the exemplar's own replicas match
+
+    full_s = _best_of(lambda: db.query(query, cache=False))
+
+    delta_times = []
+    for round_index in range(ROUNDS):
+        for j in range(DIRTY_PER_ROUND):
+            db.insert_representation(
+                pool[j % len(pool)], name=f"r{round_index}-{j}"
+            )
+        start = time.perf_counter()
+        delta = db.query(query)
+        delta_times.append(time.perf_counter() - start)
+        assert delta == db.query(query, cache=False)  # byte-identical
+    delta_s = min(delta_times)
+
+    stats = db.result_cache.stats()
+    assert stats["delta_hits"] == ROUNDS
+    assert stats["delta_fallbacks"] == 0
+
+    speedup = full_s / delta_s
+    dirty_fraction = DIRTY_PER_ROUND / N_SEQUENCES
+    report.line(
+        f"grade-heavy shape query over {N_SEQUENCES} sequences, "
+        f"{DIRTY_PER_ROUND} dirty per round ({dirty_fraction:.2%})"
+    )
+    report.line(f"full cold evaluation:  {full_s * 1e3:>9.3f} ms")
+    report.line(f"delta revalidation:    {delta_s * 1e3:>9.3f} ms (best of {ROUNDS} rounds)")
+    report.line(f"speedup: {speedup:.1f}x  (floor {DELTA_SPEEDUP_FLOOR:.0f}x)")
+    report.line(f"cache stats: {stats}")
+    assert speedup >= DELTA_SPEEDUP_FLOOR
+
+
+N_STREAMS = 40
+STREAM_LENGTH = 2_500
+APPEND_SAMPLES = 20
+APPEND_OPS = 10
+
+
+def _streams(rng):
+    t = np.arange(STREAM_LENGTH + APPEND_SAMPLES, dtype=float)
+    sequences = []
+    for i in range(N_STREAMS):
+        values = 3.0 * np.sin(2 * np.pi * t / rng.uniform(40, 120)) + rng.normal(
+            0.0, 0.1, len(t)
+        )
+        sequences.append(Sequence(t, values, name=f"stream-{i}"))
+    return sequences
+
+
+def test_streaming_append_speedup(report):
+    rng = np.random.default_rng(42)
+    full = _streams(rng)
+    db = SequenceDatabase(breaker=IncrementalRegressionBreaker(0.4))
+    db.insert_all([seq[:STREAM_LENGTH] for seq in full])
+
+    append_ids = db.ids()[:APPEND_OPS]
+    reinsert_ids = db.ids()[APPEND_OPS : 2 * APPEND_OPS]
+
+    start = time.perf_counter()
+    for sequence_id in append_ids:
+        tail = full[sequence_id]
+        db.append(
+            sequence_id,
+            tail.values[STREAM_LENGTH:],
+            times=tail.times[STREAM_LENGTH:],
+        )
+    append_s = (time.perf_counter() - start) / APPEND_OPS
+
+    start = time.perf_counter()
+    for sequence_id in reinsert_ids:
+        db.delete(sequence_id)
+        db.insert(full[sequence_id])
+    reinsert_s = (time.perf_counter() - start) / APPEND_OPS
+
+    speedup = reinsert_s / append_s
+    report.line(
+        f"{APPEND_OPS} appends of {APPEND_SAMPLES} samples onto "
+        f"{STREAM_LENGTH}-point streams ({N_STREAMS} live)"
+    )
+    report.line(f"delete + re-insert:   {reinsert_s * 1e3:>9.3f} ms/op")
+    report.line(f"streaming append:     {append_s * 1e3:>9.3f} ms/op")
+    report.line(f"speedup: {speedup:.1f}x  (floor {APPEND_SPEEDUP_FLOOR:.0f}x)")
+    assert speedup >= APPEND_SPEEDUP_FLOOR

@@ -1,0 +1,75 @@
+"""IngestPipeline buffering: the NumPy block front door vs per-add calls.
+
+Micro-benchmark for the PR 4 follow-on: buffering a same-grid batch
+through ``IngestPipeline.add_block`` (one block validation, zero-copy
+row views, bulk buffer extension) must beat constructing and adding one
+``Sequence`` at a time.  Measured at the buffering layer only — the
+flush path is identical for both and dominated by breaking, which has
+its own floors in ``test_ingest_breaking_scaling.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.sequence import Sequence
+from repro.query import SequenceDatabase
+from repro.segmentation import InterpolationBreaker
+
+BUFFER_SPEEDUP_FLOOR = 2.5
+N_SEQUENCES = 3_000
+N_SAMPLES = 64
+
+
+def _best_of(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_block_buffering_speedup(report):
+    rng = np.random.default_rng(7)
+    block = rng.normal(0.0, 1.0, (N_SEQUENCES, N_SAMPLES))
+    rows = [np.array(row) for row in block]
+
+    def scalar_path():
+        db = SequenceDatabase(breaker=InterpolationBreaker(0.5))
+        pipeline = db.ingest_pipeline(batch_size=10 * N_SEQUENCES)
+        for row in rows:
+            pipeline.add(Sequence.from_values(row))
+        assert pipeline.pending == N_SEQUENCES
+
+    def block_path():
+        db = SequenceDatabase(breaker=InterpolationBreaker(0.5))
+        pipeline = db.ingest_pipeline(batch_size=10 * N_SEQUENCES)
+        pipeline.add_block(block)
+        assert pipeline.pending == N_SEQUENCES
+
+    scalar_s = _best_of(scalar_path)
+    block_s = _best_of(block_path)
+    speedup = scalar_s / block_s
+
+    report.line(f"buffering {N_SEQUENCES} x {N_SAMPLES}-point sequences")
+    report.line(f"per-sequence add():   {scalar_s * 1e3:>9.3f} ms")
+    report.line(f"add_block():          {block_s * 1e3:>9.3f} ms")
+    report.line(f"speedup: {speedup:.1f}x  (floor {BUFFER_SPEEDUP_FLOOR:.1f}x)")
+    assert speedup >= BUFFER_SPEEDUP_FLOOR
+
+    # Both buffers flush to identical database state (spot check).
+    db_a = SequenceDatabase(breaker=InterpolationBreaker(0.5))
+    with db_a.ingest_pipeline() as pipeline:
+        for row in rows[:20]:
+            pipeline.add(Sequence.from_values(row))
+    db_b = SequenceDatabase(breaker=InterpolationBreaker(0.5))
+    with db_b.ingest_pipeline() as pipeline:
+        pipeline.add_block(block[:20])
+    assert db_a.ids() == db_b.ids()
+    for sequence_id in db_a.ids():
+        assert np.array_equal(
+            db_a.raw_sequence(sequence_id).values, db_b.raw_sequence(sequence_id).values
+        )

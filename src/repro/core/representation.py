@@ -338,6 +338,51 @@ class FunctionSeriesRepresentation:
             )
         return representations
 
+    @classmethod
+    def from_breakpoints_reusing(
+        cls,
+        sequence: Sequence,
+        boundaries: "TypingSequence[tuple[int, int]]",
+        previous: "FunctionSeriesRepresentation",
+        curve_kind: str = "regression",
+        epsilon: float = 0.0,
+    ) -> "FunctionSeriesRepresentation":
+        """Suffix-only twin of :meth:`from_breakpoints` for appends.
+
+        ``previous`` is the representation of a *prefix* of
+        ``sequence`` (the pre-append data); every leading window of
+        ``boundaries`` that matches one of ``previous``'s windows
+        exactly reuses its fitted :class:`Segment` verbatim — segments
+        are immutable and were fitted on identical samples, so reuse is
+        bit-identical to refitting — and only the remaining (changed)
+        suffix windows are fitted fresh.  The result equals
+        ``from_breakpoints(sequence, boundaries, ...)`` byte for byte,
+        at the cost of the suffix alone.
+        """
+        reuse = 0
+        prev_segments = previous.segments
+        for segment, (start, end) in zip(prev_segments, boundaries):
+            if segment.start_index == start and segment.end_index == end:
+                reuse += 1
+            else:
+                break
+        segments = list(prev_segments[:reuse])
+        if reuse < len(boundaries):
+            # Fit the changed windows through the one canonical fitting
+            # loop, so the two construction paths can never drift.
+            segments.extend(
+                cls.from_breakpoints(
+                    sequence, boundaries[reuse:], curve_kind=curve_kind, epsilon=epsilon
+                ).segments
+            )
+        return cls(
+            segments,
+            name=sequence.name,
+            source_length=len(sequence),
+            curve_kind=curve_kind,
+            epsilon=epsilon,
+        )
+
     def refit(self, sequence: Sequence, curve_kind: str) -> "FunctionSeriesRepresentation":
         """The same breakpoints, represented by a different curve kind."""
         boundaries = [(s.start_index, s.end_index) for s in self.segments]

@@ -85,6 +85,71 @@ class Sequence:
         return cls(times, values_arr, name=name)
 
     @classmethod
+    def from_block(
+        cls,
+        values: "Iterable[Iterable[float]]",
+        times: "Iterable[float] | None" = None,
+        names: "Iterable[str] | None" = None,
+    ) -> "list[Sequence]":
+        """Build many same-grid sequences from one 2-D value block.
+
+        The batched twin of :meth:`from_values` for columnar ingest
+        front-ends: the whole block is validated in one vectorized pass
+        (finiteness over the matrix, monotonicity over the shared time
+        axis) and every row becomes a zero-copy view of the block — no
+        per-sequence array copy, no per-sequence validation.  ``times``
+        defaults to the unit grid ``0..n_samples-1`` and is shared by
+        every returned sequence.
+        """
+        block = np.asarray(
+            values if isinstance(values, np.ndarray) else list(values), dtype=float
+        )
+        if block.ndim != 2:
+            raise SequenceError(f"value block must be 2-D, got shape {block.shape}")
+        n_sequences, n_samples = block.shape
+        if n_samples == 0:
+            raise SequenceError("a sequence must contain at least one sample")
+        if not np.isfinite(block).all():
+            raise SequenceError("sequences must not contain NaN or infinite samples")
+        if times is None:
+            times_arr = np.arange(n_samples, dtype=float)
+        else:
+            times_arr = np.asarray(
+                times if isinstance(times, np.ndarray) else list(times), dtype=float
+            )
+            if times_arr.shape != (n_samples,):
+                raise SequenceError(
+                    f"times cover {times_arr.shape} samples, block rows have {n_samples}"
+                )
+            if not np.isfinite(times_arr).all():
+                raise SequenceError("sequences must not contain NaN or infinite samples")
+            if n_samples > 1 and not (np.diff(times_arr) > 0).all():
+                raise SequenceError("timestamps must be strictly increasing")
+            times_arr = times_arr.copy()
+        if names is None:
+            name_list = [""] * n_sequences
+        else:
+            name_list = [str(name) for name in names]
+            if len(name_list) != n_sequences:
+                raise SequenceError(
+                    f"names cover {len(name_list)} sequences, block has {n_sequences}"
+                )
+        block = block.copy()
+        block.flags.writeable = False
+        times_arr.flags.writeable = False
+        sequences = []
+        for i in range(n_sequences):
+            # Rows of the frozen block satisfy every constructor
+            # invariant by the block-level validation above; build the
+            # views directly, like Sequence.window does.
+            piece = object.__new__(cls)
+            piece._times = times_arr
+            piece._values = block[i]
+            piece.name = name_list[i]
+            sequences.append(piece)
+        return sequences
+
+    @classmethod
     def from_pairs(cls, pairs: Iterable[tuple[float, float]], name: str = "") -> "Sequence":
         """Build a sequence from an iterable of ``(time, value)`` pairs."""
         pair_list = list(pairs)

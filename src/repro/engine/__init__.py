@@ -12,12 +12,19 @@ deterministically; :class:`ParallelExecutor` runs the scatter on a
 thread pool.  Pattern queries vectorize through
 :class:`ColumnPatternMatcher` (a tabulated DFA run over the symbol
 columns), and graded result lists are memoized per store generation by
-:class:`PlanResultCache` under entry-count and byte budgets.
+:class:`PlanResultCache` under entry-count and byte budgets.  Every
+mutation additionally records its touched ids in a per-shard
+:class:`MutationJournal`, which the executor replays to
+*delta-revalidate* stale cached answers — only the journal-dirty ids
+re-grade (:meth:`QueryExecutor.run_stages_subset`), the cached verdict
+list is patched in place, and a compacted journal falls back to a full
+re-grade.
 """
 
 from repro.engine.cache import PlanResultCache
 from repro.engine.columnar import ColumnarSegmentStore
 from repro.engine.executor import QueryExecutor, QueryPlanner
+from repro.engine.journal import JournalEntry, MutationJournal
 from repro.engine.nfa import ColumnPatternMatcher
 from repro.engine.parallel import ParallelExecutor
 from repro.engine.plan import DimensionColumn, QueryPlan, VectorVerdicts
@@ -26,6 +33,8 @@ from repro.engine.sharding import ShardedSegmentStore
 __all__ = [
     "ColumnarSegmentStore",
     "ColumnPatternMatcher",
+    "JournalEntry",
+    "MutationJournal",
     "ParallelExecutor",
     "PlanResultCache",
     "QueryPlan",

@@ -1,12 +1,13 @@
 """Plan-level result caching keyed on query content and store generation.
 
 Query answers only change when the data changes.  The columnar store
-already tracks that precisely — every ``insert``/``extend``/``delete``
+tracks that precisely — every ``insert``/``extend``/``append``/``delete``
 bumps its :attr:`~repro.engine.columnar.ColumnarSegmentStore.generation`
-(and a sharded store rolls its per-shard counters up into one monotone
-token) — so a graded result list can be reused verbatim for as long as
-the generation it was computed at stays current.
-:class:`PlanResultCache` implements exactly that contract:
+and records the touched ids in its
+:class:`~repro.engine.journal.MutationJournal` — so a graded result
+list can be reused verbatim for as long as the generation it was
+computed at stays current, and *repaired* rather than discarded when it
+does not.  :class:`PlanResultCache` implements that contract:
 
 * entries are keyed on ``(query fingerprint, include_approximate)``,
   where the fingerprint is the query's *content* key (see
@@ -14,21 +15,28 @@ the generation it was computed at stays current.
   which can be recycled;
 * each entry remembers the generation token it was computed at (the
   database combines the store generation with its pipeline config, see
-  ``SequenceDatabase.cache_epoch``); a lookup at any other token is a
-  miss and drops the stale entry, so ingest, deletion and config
-  reassignment invalidate implicitly and immediately;
+  ``SequenceDatabase.cache_epoch``) plus the store's per-shard
+  generation *vector*; a lookup at any other token is a miss, but the
+  stale entry is **retained**: the executor replays the mutation
+  journal since the entry's vector, re-grades only the dirty ids
+  (:meth:`repro.engine.executor.QueryExecutor.run_stages_subset`) and
+  :meth:`revalidate`-s the entry in place — falling back to a full
+  re-grade when the journal has compacted past the baseline;
 * capacity is bounded two ways, both with LRU eviction: an entry count
   (``max_entries``) and an estimated *byte* budget (``max_bytes``)
-  covering each entry's result payload and fingerprint key, so a
-  handful of huge result lists cannot hold the memory of thousands of
-  small ones.  `QueryMatch` objects are frozen, so sharing them across
-  callers is safe (the returned list itself is fresh per call).
+  covering each entry's result payload and fingerprint key.  Byte
+  accounting always reflects the entry's *current* payload — a
+  revalidated entry is re-estimated from its patched match list, so
+  eviction pressure stays truthful after any number of deltas.
+  `QueryMatch` objects are frozen, so sharing them across callers is
+  safe (the returned list itself is fresh per call).
 
-A hit skips every plan stage — no index probe, no columnar scan, no
-grading.  ``SequenceDatabase.explain`` surfaces the would-be outcome,
-and :meth:`stats` (exposed through ``SequenceDatabase.storage_report``)
-reports hits/misses/invalidations/evictions and the estimated resident
-bytes for benchmarks and monitoring.
+A hit skips every plan stage; a delta revalidation skips them for all
+but the dirty ids.  ``SequenceDatabase.explain`` surfaces the would-be
+outcome, and :meth:`stats` (exposed through
+``SequenceDatabase.storage_report``) reports hits / misses /
+invalidations / evictions plus ``revalidations`` / ``delta_hits`` /
+``delta_fallbacks`` and the estimated resident bytes.
 """
 
 from __future__ import annotations
@@ -45,8 +53,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["PlanResultCache"]
 
 #: Fixed overhead charged per entry: the OrderedDict slot, the entry
-#: tuple, and the generation token.
-_ENTRY_OVERHEAD = 200
+#: object, and the generation token + vector.
+_ENTRY_OVERHEAD = 240
 
 
 def _flat_sizeof(value: object) -> int:
@@ -76,8 +84,24 @@ def _estimate_entry_bytes(key: tuple, matches: "tuple[QueryMatch, ...]") -> int:
     return cost
 
 
+class _CacheEntry:
+    """One remembered answer with its epoch, baseline vector and cost."""
+
+    __slots__ = ("epoch", "payload", "entry_bytes", "vector", "stale_seen")
+
+    def __init__(self, epoch, payload, entry_bytes, vector) -> None:
+        self.epoch = epoch
+        self.payload = payload
+        self.entry_bytes = entry_bytes
+        self.vector = vector
+        #: Whether this entry has already been counted as invalidated
+        #: (it is retained for delta revalidation, so repeated stale
+        #: lookups must not inflate the counter).
+        self.stale_seen = False
+
+
 class PlanResultCache:
-    """LRU cache of graded result lists, invalidated by store generation.
+    """LRU cache of graded result lists with delta revalidation support.
 
     Parameters
     ----------
@@ -98,15 +122,16 @@ class PlanResultCache:
             raise EngineError("cache byte budget must be positive (or None for unbounded)")
         self.max_entries = int(max_entries)
         self.max_bytes = None if max_bytes is None else int(max_bytes)
-        self._entries: "OrderedDict[tuple, tuple[object, tuple[QueryMatch, ...], int]]" = (
-            OrderedDict()
-        )
+        self._entries: "OrderedDict[tuple, _CacheEntry]" = OrderedDict()
         self._bytes = 0
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
         self.evictions = 0
         self.oversized = 0
+        self.revalidations = 0
+        self.delta_hits = 0
+        self.delta_fallbacks = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -122,25 +147,44 @@ class PlanResultCache:
         passes its ``cache_epoch()`` tuple), or None.
 
         A stale entry (computed at another generation) counts as a miss
-        and is evicted on the spot.
+        and as one invalidation, but is *retained* so the executor can
+        delta-revalidate it (see :meth:`stale_entry`); it stays until
+        replaced, evicted or cleared.
         """
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
             return None
-        cached_generation, matches, entry_bytes = entry
-        if cached_generation != generation:
-            del self._entries[key]
-            self._bytes -= entry_bytes
-            self.invalidations += 1
+        if entry.epoch != generation:
+            if not entry.stale_seen:
+                entry.stale_seen = True
+                self.invalidations += 1
             self.misses += 1
             return None
         self._entries.move_to_end(key)
         self.hits += 1
-        return list(matches)
+        return list(entry.payload)
 
-    def store(self, key: tuple, generation, matches: "list[QueryMatch]") -> None:
-        """Remember a freshly computed result list at its generation."""
+    def stale_entry(self, key: tuple, generation) -> "tuple | None":
+        """The retained stale entry for ``key``, if any.
+
+        Returns ``(epoch, matches, vector)`` for an entry whose epoch
+        differs from ``generation`` — the raw material for a delta
+        revalidation — without touching stats or LRU order.  ``None``
+        when the key is absent or the entry is current.
+        """
+        entry = self._entries.get(key)
+        if entry is None or entry.epoch == generation:
+            return None
+        return (entry.epoch, entry.payload, entry.vector)
+
+    def store(self, key: tuple, generation, matches: "list[QueryMatch]", *, vector=None) -> None:
+        """Remember a freshly computed result list at its generation.
+
+        ``vector`` is the store's per-shard generation baseline
+        (``generation_vector()``); entries without one can never be
+        delta-revalidated, only replaced.
+        """
         payload = tuple(matches)
         entry_bytes = _estimate_entry_bytes(key, payload)
         if self.max_bytes is not None and entry_bytes > self.max_bytes:
@@ -148,25 +192,57 @@ class PlanResultCache:
             self.oversized += 1
             return
         self._discard(key)
-        self._entries[key] = (generation, payload, entry_bytes)
+        self._entries[key] = _CacheEntry(generation, payload, entry_bytes, vector)
         self._bytes += entry_bytes
         self._entries.move_to_end(key)
         while len(self._entries) > self.max_entries or (
             self.max_bytes is not None and self._bytes > self.max_bytes
         ):
-            __, (___, ____, evicted_bytes) = self._entries.popitem(last=False)
-            self._bytes -= evicted_bytes
+            __, evicted = self._entries.popitem(last=False)
+            self._bytes -= evicted.entry_bytes
             self.evictions += 1
+
+    def revalidate(
+        self,
+        key: tuple,
+        generation,
+        vector,
+        matches: "list[QueryMatch]",
+        dirty_count: "int | None",
+    ) -> None:
+        """Refresh a stale entry in place at a new generation.
+
+        ``dirty_count`` names how many ids the journal replay re-graded
+        (counted as a ``delta_hit``); ``None`` records a fallback full
+        re-grade (journal compacted past the baseline).  Byte accounting
+        is recomputed from the *patched* payload, so a heavily patched
+        entry weighs exactly what it currently holds.
+        """
+        self.revalidations += 1
+        if dirty_count is None:
+            self.delta_fallbacks += 1
+        else:
+            self.delta_hits += 1
+        self.store(key, generation, matches, vector=vector)
 
     def _discard(self, key: tuple) -> None:
         entry = self._entries.pop(key, None)
         if entry is not None:
-            self._bytes -= entry[2]
+            self._bytes -= entry.entry_bytes
 
     def peek(self, key: tuple, generation) -> bool:
         """Whether a lookup would hit, without touching stats or LRU order."""
         entry = self._entries.get(key)
-        return entry is not None and entry[0] == generation
+        return entry is not None and entry.epoch == generation
+
+    def export_entries(self, generation) -> "list[tuple[tuple, tuple]]":
+        """``(key, matches)`` pairs for every entry current at
+        ``generation`` — the warm set a cache snapshot persists."""
+        return [
+            (key, entry.payload)
+            for key, entry in self._entries.items()
+            if entry.epoch == generation
+        ]
 
     def clear(self) -> None:
         """Drop every entry (stats are kept; they are running totals)."""
@@ -185,4 +261,7 @@ class PlanResultCache:
             "invalidations": self.invalidations,
             "evictions": self.evictions,
             "oversized": self.oversized,
+            "revalidations": self.revalidations,
+            "delta_hits": self.delta_hits,
+            "delta_fallbacks": self.delta_fallbacks,
         }

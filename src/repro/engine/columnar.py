@@ -31,9 +31,13 @@ transition tables directly over these ``int8`` columns.
 The store is kept in sync with the database on ``insert``/``delete``:
 inserts append (amortized via capacity doubling, with a batch
 :meth:`extend` for bulk ingest), deletes compact the columns in place so
-vectorized scans never have to skip tombstones.  Every mutation bumps
-:attr:`~ColumnarSegmentStore.generation`, which the plan-level result
-cache (:mod:`repro.engine.cache`) uses to invalidate stale answers.
+vectorized scans never have to skip tombstones, and the streaming
+append path splices one sequence's rows in place (:meth:`~ColumnarSegmentStore.replace_many`).
+Every mutation bumps :attr:`~ColumnarSegmentStore.generation` *and*
+records the touched sequence ids in the store's
+:class:`~repro.engine.journal.MutationJournal`, so the plan-level
+result cache (:mod:`repro.engine.cache`) can re-grade exactly the dirty
+ids instead of discarding stale answers wholesale.
 """
 
 from __future__ import annotations
@@ -48,6 +52,7 @@ from repro.core.errors import EngineError
 # only stacks their output column-wise, so strings and columns can
 # never disagree.
 from repro.core.representation import classify_slopes, decode_symbols, run_start_mask
+from repro.engine.journal import MutationJournal
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.representation import FunctionSeriesRepresentation
@@ -126,6 +131,42 @@ class _ColumnSet:
             arr[lo : self._size - count] = arr[hi : self._size]
         self._size -= count
         self._maybe_shrink()
+
+    def replace_range(self, lo: int, hi: int, columns: "dict[str, np.ndarray]") -> None:
+        """Splice ``columns`` in place of rows ``lo:hi``.
+
+        The tail shifts by the row-count difference in one pass per
+        column; surviving rows are exactly what a ``delete_range``
+        followed by a middle insertion would leave.  This is the
+        streaming append path's primitive: an appended sequence's
+        re-broken rows overwrite its old rows without rebuilding the
+        arrays around them.
+        """
+        if set(columns) != set(self._schema):
+            raise EngineError(
+                f"column mismatch: expected {sorted(self._schema)}, got {sorted(columns)}"
+            )
+        n_new = len(next(iter(columns.values())))
+        if any(len(arr) != n_new for arr in columns.values()):
+            raise EngineError("replacement columns disagree in length")
+        if not (0 <= lo <= hi <= self._size):
+            raise EngineError(f"row range [{lo}, {hi}) outside live rows [0, {self._size})")
+        delta = n_new - (hi - lo)
+        needed = self._size + delta
+        if needed > self.capacity:
+            self._reallocate(max(needed, 2 * self.capacity, 16))
+        if delta > 0:
+            for arr in self._arrays.values():
+                # Rightward overlapping shift: stage the tail first.
+                arr[hi + delta : needed] = arr[hi : self._size].copy()
+        elif delta < 0:
+            for arr in self._arrays.values():
+                arr[hi + delta : needed] = arr[hi : self._size]
+        for name, arr in columns.items():
+            self._arrays[name][lo : lo + n_new] = arr
+        self._size = needed
+        if delta < 0:
+            self._maybe_shrink()
 
     def delete_where(self, drop: np.ndarray) -> None:
         """Remove every row flagged in the boolean ``drop`` mask.
@@ -206,13 +247,14 @@ class ColumnarSegmentStore:
         ``theta`` so the columns agree with the pattern indexes.
     """
 
-    def __init__(self, theta: float = 0.0) -> None:
+    def __init__(self, theta: float = 0.0, journal_limit: int = 1024) -> None:
         self.theta = float(theta)
         self._segments = _ColumnSet(_SEGMENT_SCHEMA)
         self._behavior = _ColumnSet(_BEHAVIOR_SCHEMA)
         self._rr = _ColumnSet(_RR_SCHEMA)
         self._sequences = _ColumnSet(_SEQUENCE_SCHEMA)
         self._generation = 0
+        self._journal = MutationJournal(max_entries=journal_limit)
 
     @property
     def generation(self) -> int:
@@ -223,6 +265,31 @@ class ColumnarSegmentStore:
         :class:`repro.engine.cache.PlanResultCache`).
         """
         return self._generation
+
+    @property
+    def journal(self) -> MutationJournal:
+        """The mutation journal: touched ids per generation bump."""
+        return self._journal
+
+    def generation_vector(self) -> "tuple[int, ...]":
+        """The per-shard generation baseline delta revalidation replays
+        from — one entry per leaf store (just this one here)."""
+        return (self._generation,)
+
+    def dirty_ids_since(self, vector: "tuple[int, ...]") -> "set[int] | None":
+        """Ids touched since a :meth:`generation_vector` baseline.
+
+        ``None`` when the baseline does not line up with this store
+        (different shard layout) or the journal has compacted past it —
+        both mean the caller must recompute from scratch.
+        """
+        if len(vector) != 1:
+            return None
+        return self._journal.dirty_since(int(vector[0]))
+
+    def journal_stats(self) -> dict:
+        """The journal's counters (entries, bytes, floor, compactions)."""
+        return self._journal.stats()
 
     # ------------------------------------------------------------------
     # Sizing
@@ -544,6 +611,7 @@ class ColumnarSegmentStore:
             }
         )
         self._generation += 1
+        self._journal.record(self._generation, "insert", ids.tolist())
 
     def delete(self, sequence_id: int) -> None:
         """Drop one sequence and compact every column in place."""
@@ -563,6 +631,7 @@ class ColumnarSegmentStore:
         self.behavior_starts[p:] -= beh_count
         self.rr_starts[p:] -= rr_count
         self._generation += 1
+        self._journal.record(self._generation, "delete", (int(sequence_id),))
 
     def delete_many(self, sequence_ids: "TypingSequence[int] | np.ndarray") -> None:
         """Drop many sequences in one compaction pass per column table.
@@ -621,6 +690,116 @@ class ColumnarSegmentStore:
                 starts[0] = 0
                 np.cumsum(counts[:-1], out=starts[1:])
         self._generation += 1
+        self._journal.record(self._generation, "delete", wanted.tolist())
+
+    def replace(
+        self,
+        sequence_id: int,
+        representation: "FunctionSeriesRepresentation",
+        *,
+        peak_count: int,
+        rr: "np.ndarray | TypingSequence[float]",
+    ) -> None:
+        """Rewrite one live sequence's rows in place (see :meth:`replace_many`)."""
+        self.replace_many([(sequence_id, representation, peak_count, rr)])
+
+    def replace_many(
+        self,
+        items: "Iterable[tuple[int, FunctionSeriesRepresentation, int, np.ndarray]]",
+    ) -> None:
+        """Rewrite many live sequences' rows in place — the streaming
+        append path's columnar tail rewrite.
+
+        Each item's segment/behaviour/R-R rows are spliced over the
+        sequence's existing row ranges (:meth:`_ColumnSet.replace_range`)
+        and its sequence-table row is refreshed, leaving columns
+        identical to deleting and re-inserting the sequence at its
+        original position.  The whole batch bumps ``generation`` once
+        and records one ``"append"`` journal entry, so cached answers
+        see exactly one mutation naming exactly the touched ids.  Ids
+        must be live and unique (validated before anything changes).
+        """
+        batch = list(items)
+        if not batch:
+            return
+        ids = [int(item[0]) for item in batch]
+        if len(set(ids)) != len(ids):
+            raise EngineError("duplicate sequence ids in replace batch")
+        self.positions_of(np.sort(np.asarray(ids, dtype=np.int64)))
+        # Materialize and validate every payload before the first splice
+        # — a malformed item must not leave the columns half-rewritten.
+        prepared = []
+        for sequence_id, representation, peak_count, rr in batch:
+            rr_arr = np.asarray(rr, dtype=np.float64)
+            if rr_arr.ndim != 1:
+                raise EngineError(
+                    f"rr intervals of sequence {int(sequence_id)} must be "
+                    f"one-dimensional, got shape {rr_arr.shape}"
+                )
+            representation.segment_columns()  # raises here, not mid-splice
+            prepared.append((int(sequence_id), representation, int(peak_count), rr_arr))
+        for sequence_id, representation, peak_count, rr_arr in prepared:
+            self._replace_one(sequence_id, representation, peak_count, rr_arr)
+        self._generation += 1
+        self._journal.record(self._generation, "append", ids)
+
+    def _replace_one(
+        self,
+        sequence_id: int,
+        representation: "FunctionSeriesRepresentation",
+        peak_count: int,
+        rr: np.ndarray,
+    ) -> None:
+        p = self.position_of(sequence_id)
+        columns = representation.segment_columns()
+        slopes = np.asarray(columns["slope"], dtype=np.float64)
+        codes = classify_slopes(slopes, self.theta)
+        collapsed = collapse_code_runs(codes)
+        n_seg = len(slopes)
+        n_beh = len(collapsed)
+        n_rr = len(rr)
+
+        seg_lo = int(self.segment_starts[p])
+        old_seg = int(self.segment_counts[p])
+        beh_lo = int(self.behavior_starts[p])
+        old_beh = int(self.behavior_counts[p])
+        rr_lo = int(self.rr_starts[p])
+        old_rr = int(self.rr_counts[p])
+
+        block = {
+            name: np.asarray(columns[name]).astype(_SEGMENT_SCHEMA[name], copy=False)
+            for name in _SEGMENT_SCHEMA
+            if name not in ("sequence", "symbol")
+        }
+        block["sequence"] = np.full(n_seg, sequence_id, dtype=np.int64)
+        block["symbol"] = codes
+        self._segments.replace_range(seg_lo, seg_lo + old_seg, block)
+        self._behavior.replace_range(
+            beh_lo,
+            beh_lo + old_beh,
+            {
+                "sequence": np.full(n_beh, sequence_id, dtype=np.int64),
+                "symbol": collapsed.astype(np.int8, copy=False),
+            },
+        )
+        self._rr.replace_range(
+            rr_lo,
+            rr_lo + old_rr,
+            {"sequence": np.full(n_rr, sequence_id, dtype=np.int64), "value": rr},
+        )
+        self.segment_counts[p] = n_seg
+        self.behavior_counts[p] = n_beh
+        self.rr_counts[p] = n_rr
+        self.segment_starts[p + 1 :] += n_seg - old_seg
+        self.behavior_starts[p + 1 :] += n_beh - old_beh
+        self.rr_starts[p + 1 :] += n_rr - old_rr
+        self.peak_counts[p] = peak_count
+        # Same clamp-then-max the batched insert reduces with, so the
+        # stored scalar is bit-identical across the two paths.
+        self.max_rising_slopes[p] = (
+            float(np.maximum(slopes, 0.0).max()) if n_seg else 0.0
+        )
+        self.source_lengths[p] = int(representation.source_length)
 
     # ------------------------------------------------------------------
     # Integrity

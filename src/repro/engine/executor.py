@@ -23,6 +23,7 @@ worker count, any shard count, and the single unsharded store.
 
 from __future__ import annotations
 
+import bisect
 from typing import TYPE_CHECKING, Callable
 
 import numpy as np
@@ -71,10 +72,15 @@ class QueryExecutor:
 
         With a cache and a fingerprinted plan, a hit at the database's
         current cache epoch (store generation + pipeline config) returns
-        the remembered matches without touching a single stage; a miss
-        runs the stages and remembers the answer at that epoch, so any
-        later ``insert``/``delete`` or config reassignment invalidates
-        it.
+        the remembered matches without touching a single stage.  A
+        *stale* hit — same pipeline config, moved data generation — is
+        **delta-revalidated**: the store's mutation journal names the
+        ids touched since the entry's generation vector, the plan's
+        stages re-run over that dirty set only
+        (:meth:`run_stages_subset`) and the cached verdicts are patched
+        in place, byte-identical to a cold re-run.  When the journal
+        has compacted past the entry (or config changed), the stages
+        run in full and the answer is remembered at the new epoch.
         """
         if cache is not None and plan.fingerprint is not None:
             key = (plan.fingerprint, bool(include_approximate))
@@ -82,10 +88,125 @@ class QueryExecutor:
             cached = cache.lookup(key, generation)
             if cached is not None:
                 return cached
+            stale = cache.stale_entry(key, generation)
+            if stale is not None:
+                revalidated = self._revalidate(
+                    database, plan, include_approximate, cache, key, generation, stale
+                )
+                if revalidated is not None:
+                    return revalidated
             matches = self._run_stages(database, plan, include_approximate)
-            cache.store(key, generation, matches)
+            cache.store(
+                key, generation, matches, vector=database.store.generation_vector()
+            )
             return matches
         return self._run_stages(database, plan, include_approximate)
+
+    @staticmethod
+    def revalidation_plan(
+        database: "SequenceDatabase", stale: tuple, generation: tuple
+    ) -> "tuple[str, tuple | None]":
+        """How a stale cache entry would be refreshed — the one place
+        the eligibility rules live, shared by :meth:`_revalidate` and
+        ``SequenceDatabase.explain`` so the reported verdict always
+        matches what an evaluation actually does.
+
+        Returns one of:
+
+        * ``("recompute", None)`` — the pipeline config changed (per-
+          sequence verdicts may have moved without a journal entry);
+          the entry is simply replaced by a fresh run.
+        * ``("full", None)`` — the journal compacted past the entry's
+          baseline, or the dirty set is so large a fraction of the
+          store that a subset re-grade plus patch would cost more than
+          starting over; full re-grade, refreshed in place (a *delta
+          fallback*).
+        * ``("delta", (live_dirty, dirty))`` — a journal replay is both
+          possible and worthwhile; ``live_dirty`` is the sorted list of
+          still-live ids to re-grade, ``dirty`` the full touched set.
+        """
+        old_epoch, __, old_vector = stale
+        # cache_epoch() = (data generation, *pipeline config): only the
+        # data part may differ for a journal replay to be sound.
+        if old_vector is None or old_epoch[1:] != generation[1:]:
+            return ("recompute", None)
+        dirty = database.store.dirty_ids_since(old_vector)
+        if dirty is None:
+            return ("full", None)
+        live_dirty = sorted(
+            sequence_id for sequence_id in dirty if sequence_id in database
+        )
+        if live_dirty and 4 * len(live_dirty) > len(database):
+            return ("full", None)
+        return ("delta", (live_dirty, dirty))
+
+    def _revalidate(
+        self,
+        database: "SequenceDatabase",
+        plan: QueryPlan,
+        include_approximate: bool,
+        cache: "PlanResultCache",
+        key: tuple,
+        generation: tuple,
+        stale: tuple,
+    ) -> "list[QueryMatch] | None":
+        """Repair a stale cached answer via the mutation journal.
+
+        Returns the patched (or fallback-recomputed) match list, or
+        ``None`` when the entry cannot be revalidated at all (see
+        :meth:`revalidation_plan`) and the caller must recompute and
+        store from scratch.
+        """
+        kind, payload = self.revalidation_plan(database, stale, generation)
+        if kind == "recompute":
+            return None
+        __, old_matches, ___ = stale
+        vector = database.store.generation_vector()
+        if kind == "full":
+            matches = self._run_stages(database, plan, include_approximate)
+            cache.revalidate(key, generation, vector, matches, dirty_count=None)
+            return matches
+        live_dirty, dirty = payload
+        fresh = (
+            self.run_stages_subset(database, plan, live_dirty, include_approximate)
+            if live_dirty
+            else []
+        )
+        # The cached list is already in sort_key order and stays so with
+        # the dirty ids filtered out.  Few fresh matches binary-insert
+        # (no key recomputed per kept match — sort_key is unique per
+        # sequence, so insertion points are unambiguous); many fresh
+        # matches re-sort outright, which timsort does in near-linear
+        # time on the two pre-sorted runs.
+        matches = [match for match in old_matches if match.sequence_id not in dirty]
+        if len(fresh) * 16 >= len(matches) + 1:
+            matches.extend(fresh)
+            matches.sort(key=QueryMatch.sort_key)
+        else:
+            for match in fresh:
+                bisect.insort(matches, match, key=QueryMatch.sort_key)
+        cache.revalidate(key, generation, vector, matches, dirty_count=len(dirty))
+        return matches
+
+    def run_stages_subset(
+        self,
+        database: "SequenceDatabase",
+        plan: QueryPlan,
+        sequence_ids: "list[int]",
+        include_approximate: bool = True,
+    ) -> "list[QueryMatch]":
+        """Run the plan's prefilter/grade stages over ``sequence_ids`` only.
+
+        The delta-revalidation workhorse: exactly the matches a full
+        run would produce *for those ids* — the probe (if any) still
+        runs and its candidate set is intersected with the subset, so
+        probe/grade boundary behaviour is identical to the cold path.
+        Every id must be live.
+        """
+        subset = sorted(int(sequence_id) for sequence_id in sequence_ids)
+        if not subset:
+            return []
+        return self._run_stages(database, plan, include_approximate, subset=subset)
 
     def _scatter(self, tasks: "list[Callable[[], object]]") -> "list[object]":
         """Run per-shard stage tasks; results align with ``tasks``.
@@ -102,9 +223,18 @@ class QueryExecutor:
         database: "SequenceDatabase",
         plan: QueryPlan,
         include_approximate: bool,
+        subset: "list[int] | None" = None,
     ) -> "list[QueryMatch]":
         store = database.store
         candidates = plan.probe(database) if plan.probe is not None else None
+        if subset is not None:
+            if candidates is None:
+                candidates = subset
+            else:
+                allowed = set(subset)
+                candidates = [
+                    sequence_id for sequence_id in candidates if sequence_id in allowed
+                ]
         shards = store.shards()
         if len(shards) > 1 and (plan.prefilter is not None or plan.vector_filter is not None):
             parts = store.partition_ids(candidates)

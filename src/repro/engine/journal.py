@@ -1,0 +1,124 @@
+"""Per-store mutation journal: which sequences changed, and when.
+
+The scalar ``generation`` counter answers *whether* a store changed;
+the :class:`MutationJournal` answers *what* changed.  Every mutation a
+:class:`~repro.engine.columnar.ColumnarSegmentStore` applies —
+insert/extend, delete, streaming append — records one
+:class:`JournalEntry` of ``(generation, kind, sequence_ids)`` at the
+post-mutation generation.  A consumer holding an answer computed at
+generation ``g`` can then ask :meth:`MutationJournal.dirty_since` for
+the exact id set touched after ``g`` and repair its answer for those
+ids only, instead of recomputing the world — the delta-revalidation
+contract the plan-result cache (:mod:`repro.engine.cache`) runs on.
+
+The journal is a bounded ring: once ``max_entries`` is exceeded the
+oldest entries are dropped and the *rebase epoch* (:attr:`floor`)
+advances to the last dropped generation.  ``dirty_since(g)`` for a
+``g`` older than the floor returns ``None`` — the precise dirty set is
+gone, and the caller must fall back to a full recomputation.  That
+makes compaction safe by construction: forgetting history can only cost
+work, never correctness.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, NamedTuple
+
+from repro.core.errors import EngineError
+
+__all__ = ["JournalEntry", "MutationJournal"]
+
+#: Fixed overhead charged per journal entry (deque slot, tuple, kind).
+_ENTRY_OVERHEAD = 120
+
+
+class JournalEntry(NamedTuple):
+    """One recorded mutation: the generation it produced, its kind
+    (``"insert"``, ``"delete"`` or ``"append"``) and the touched ids."""
+
+    generation: int
+    kind: str
+    sequence_ids: "tuple[int, ...]"
+
+
+class MutationJournal:
+    """Bounded ring of mutation records with a rebase floor.
+
+    Parameters
+    ----------
+    max_entries:
+        Retained entries before the ring compacts.  May be reassigned
+        (tests shrink it to force compaction); the new bound applies
+        from the next :meth:`record` on.
+    """
+
+    __slots__ = ("max_entries", "_entries", "_floor", "compactions")
+
+    def __init__(self, max_entries: int = 1024) -> None:
+        if max_entries < 1:
+            raise EngineError("journal must retain at least one entry")
+        self.max_entries = int(max_entries)
+        self._entries: "deque[JournalEntry]" = deque()
+        self._floor = 0
+        self.compactions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def floor(self) -> int:
+        """The rebase epoch: the newest generation compacted away.
+
+        Dirty sets are answerable exactly for baselines ``>= floor``.
+        """
+        return self._floor
+
+    def record(self, generation: int, kind: str, sequence_ids: "Iterable[int]") -> None:
+        """Append one mutation record (at its post-mutation generation)."""
+        ids = tuple(int(sequence_id) for sequence_id in sequence_ids)
+        self._entries.append(JournalEntry(int(generation), kind, ids))
+        while len(self._entries) > self.max_entries:
+            dropped = self._entries.popleft()
+            self._floor = dropped.generation
+            self.compactions += 1
+
+    def dirty_since(self, generation: int) -> "set[int] | None":
+        """Every sequence id touched after ``generation``, or ``None``.
+
+        ``None`` means the ring has compacted past ``generation`` — the
+        precise dirty set is unrecoverable and the caller must treat
+        everything as dirty (full recomputation).  Deleted ids are
+        included: the caller decides what "dirty" means for a dead id.
+        """
+        if generation < self._floor:
+            return None
+        dirty: "set[int]" = set()
+        for entry in reversed(self._entries):
+            if entry.generation <= generation:
+                break
+            dirty.update(entry.sequence_ids)
+        return dirty
+
+    def entries_since(self, generation: int) -> "list[JournalEntry] | None":
+        """The retained entries after ``generation``, oldest first
+        (``None`` once compaction has passed the baseline)."""
+        if generation < self._floor:
+            return None
+        return [entry for entry in self._entries if entry.generation > generation]
+
+    @property
+    def nbytes(self) -> int:
+        """Estimated resident bytes of the retained ring."""
+        return sum(
+            _ENTRY_OVERHEAD + 8 * len(entry.sequence_ids) for entry in self._entries
+        )
+
+    def stats(self) -> dict:
+        """Counters for ``storage_report`` and monitoring."""
+        return {
+            "entries": len(self._entries),
+            "bytes": self.nbytes,
+            "floor": self._floor,
+            "compactions": self.compactions,
+        }

@@ -130,6 +130,38 @@ class ShardedSegmentStore:
         """
         return sum(shard.generation for shard in self._shards)
 
+    def generation_vector(self) -> "tuple[int, ...]":
+        """Per-shard generations, in shard order — the precise baseline
+        delta revalidation replays each shard's journal from."""
+        return tuple(shard.generation for shard in self._shards)
+
+    def dirty_ids_since(self, vector: "tuple[int, ...]") -> "set[int] | None":
+        """Union of every shard's dirty ids since the baseline vector.
+
+        ``None`` as soon as any shard's journal has compacted past its
+        baseline (or the vector's shard count disagrees) — partial
+        dirty sets are useless, the caller must recompute everything.
+        """
+        if len(vector) != len(self._shards):
+            return None
+        dirty: "set[int]" = set()
+        for shard, baseline in zip(self._shards, vector):
+            shard_dirty = shard.dirty_ids_since((int(baseline),))
+            if shard_dirty is None:
+                return None
+            dirty |= shard_dirty
+        return dirty
+
+    def journal_stats(self) -> dict:
+        """Aggregated journal counters across every shard."""
+        per_shard = [shard.journal_stats() for shard in self._shards]
+        return {
+            "entries": sum(stats["entries"] for stats in per_shard),
+            "bytes": sum(stats["bytes"] for stats in per_shard),
+            "floor": max(stats["floor"] for stats in per_shard),
+            "compactions": sum(stats["compactions"] for stats in per_shard),
+        }
+
     @property
     def sequence_ids(self) -> np.ndarray:
         """All live sequence ids, ascending (materialized per call)."""
@@ -198,6 +230,41 @@ class ShardedSegmentStore:
             groups.setdefault(self.shard_index(sequence_id), []).append(item)
         for shard_index, group in groups.items():
             self._shards[shard_index].extend(group)
+
+    def replace(
+        self,
+        sequence_id: int,
+        representation: "FunctionSeriesRepresentation",
+        *,
+        peak_count: int,
+        rr: "np.ndarray | TypingSequence[float]",
+    ) -> None:
+        """Rewrite one live sequence's rows on its owning shard."""
+        self.replace_many([(sequence_id, representation, peak_count, rr)])
+
+    def replace_many(
+        self,
+        items: "Iterable[tuple[int, FunctionSeriesRepresentation, int, np.ndarray]]",
+    ) -> None:
+        """Rewrite many live sequences' rows, batched per owning shard.
+
+        Each touched shard splices its items in one
+        :meth:`ColumnarSegmentStore.replace_many` call — one generation
+        bump and one ``"append"`` journal entry per shard; untouched
+        shards (and their cached per-shard stage outputs) are left
+        entirely alone.  The whole batch is validated up front.
+        """
+        batch = list(items)
+        if not batch:
+            return
+        missing = [int(item[0]) for item in batch if int(item[0]) not in self]
+        if missing:
+            raise EngineError(f"sequences {sorted(set(missing))} not in columnar store")
+        groups: "dict[int, list]" = {}
+        for item in batch:
+            groups.setdefault(self.shard_index(int(item[0])), []).append(item)
+        for shard_index, group in groups.items():
+            self._shards[shard_index].replace_many(group)
 
     def delete(self, sequence_id: int) -> None:
         """Drop one sequence from its owning shard (compacting it)."""

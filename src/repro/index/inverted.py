@@ -181,6 +181,19 @@ class InvertedFileIndex:
         """
         sequence_id = _checked_sequence_id(sequence_id)
         array = _checked_feature_array(values)
+        self._insert_column(sequence_id, array)
+
+    def _insert_column(
+        self, sequence_id: int, array: np.ndarray, position_offset: int = 0
+    ) -> None:
+        """Bucket-grouped posting insert of one validated value column.
+
+        One B-tree probe per *distinct* bucket key; positions are the
+        array offsets shifted by ``position_offset`` (the tail start for
+        :meth:`replace_tail`, 0 for a whole column).  Shared by
+        :meth:`add_array` and :meth:`replace_tail` so the bucketing
+        scheme can never drift between them.
+        """
         if array.size == 0:
             return
         keys = np.floor(array / self.bucket_width).astype(int)
@@ -192,7 +205,9 @@ class InvertedFileIndex:
             if key != current_key:
                 bucket = self._btree.setdefault(key, PostingBucket)
                 current_key = key
-            bucket.add(Posting(float(array[position]), sequence_id, int(position)))
+            bucket.add(
+                Posting(float(array[position]), sequence_id, position_offset + int(position))
+            )
         self._count += array.size
 
     def add_block(
@@ -278,6 +293,51 @@ class InvertedFileIndex:
     # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
+
+    def replace_tail(
+        self,
+        sequence_id: int,
+        old_values: "Iterable[float] | np.ndarray",
+        new_values: "Iterable[float] | np.ndarray",
+    ) -> int:
+        """Swap one sequence's feature column for a tail-updated one.
+
+        The streaming append path's entry point: ``old_values`` is the
+        column as currently indexed, ``new_values`` the column after the
+        append.  Only the *changed suffix* is touched — the longest
+        common prefix of the two columns keeps its postings verbatim,
+        stale postings past it are filtered from exactly the buckets
+        that hold them (one B-tree probe per distinct stale bucket),
+        and the fresh suffix is inserted with its new positions.  End
+        state is identical to ``remove_sequence`` + ``add_array``;
+        returns how many stale postings were removed.
+        """
+        sequence_id = _checked_sequence_id(sequence_id)
+        old = _checked_feature_array(old_values)
+        new = _checked_feature_array(new_values)
+        shared = min(old.size, new.size)
+        changed = np.flatnonzero(old[:shared] != new[:shared])
+        lcp = int(changed[0]) if changed.size else shared
+        stale = old[lcp:]
+        fresh = new[lcp:]
+        removed = 0
+        if stale.size:
+            for key in np.unique(np.floor(stale / self.bucket_width).astype(int)).tolist():
+                bucket = self._btree.get(key)
+                if bucket is None:
+                    continue
+                kept = [
+                    p
+                    for p in bucket.postings
+                    if p.sequence_id != sequence_id or p.position < lcp
+                ]
+                removed += len(bucket.postings) - len(kept)
+                bucket.postings = kept
+                if not kept:
+                    self._btree.delete(key)
+            self._count -= removed
+        self._insert_column(sequence_id, fresh, position_offset=lcp)
+        return removed
 
     def remove_sequence(self, sequence_id: int) -> int:
         """Drop every posting of one sequence; returns how many went.

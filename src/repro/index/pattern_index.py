@@ -69,6 +69,17 @@ class PatternIndex:
         """
         self._trie.add_many(items)
 
+    def update_symbols(self, sequence_id: int, symbols: str) -> None:
+        """Re-index a sequence whose symbol string changed at the tail.
+
+        The streaming append path's entry point: the trie patches only
+        the suffixes the change touches (see
+        :meth:`repro.index.trie.SymbolTrie.update`), instead of a full
+        remove-and-re-add.  End state answers every query identically
+        to re-adding from scratch.
+        """
+        self._trie.update(sequence_id, symbols)
+
     def remove(self, sequence_id: int) -> None:
         """Unindex one sequence."""
         self._trie.remove(sequence_id)

@@ -51,6 +51,13 @@ class SymbolTrie:
         self.max_depth = int(max_depth)
         self._root = _TrieNode()
         self._strings: dict[int, str] = {}
+        #: Occurrence entries currently appended across all nodes, the
+        #: estimated subset of them left stale by lazy updates, and the
+        #: ids whose entries may be stale or duplicated (only those need
+        #: query-time verification).
+        self._total_occurrences = 0
+        self._stale_occurrences = 0
+        self._stale_ids: "set[int]" = set()
 
     # ------------------------------------------------------------------
     # Building
@@ -72,13 +79,103 @@ class SymbolTrie:
         """
         max_depth = self.max_depth
         root = self._root
+        appended = 0
         for start in range(len(symbols)):
             occurrence = Occurrence(sequence_id, start)
             node = root
             node.occurrences.append(occurrence)
+            appended += 1
             for symbol in symbols[start : start + max_depth]:
                 node = node.children.setdefault(symbol, _TrieNode())
                 node.occurrences.append(occurrence)
+                appended += 1
+        self._total_occurrences += appended
+
+    def update(self, sequence_id: int, symbols: str) -> None:
+        """Re-index one sequence whose string changed at the tail.
+
+        The streaming append path's entry point.  Work is proportional
+        to the *changed suffix*: suffixes wholly inside the common
+        prefix of the old and new strings are untouched (their indexed
+        substrings are identical), and each affected suffix walks only
+        the part of its path that diverges from the old one.  Stale
+        occurrences left behind on old diverged paths are tolerated —
+        :meth:`find` verifies every hit against the live strings, so
+        they can never surface — counted, and compacted away by a full
+        rebuild once they outweigh the live entries (amortized
+        suffix-only cost).
+        """
+        old = self._strings.get(sequence_id)
+        if old is None:
+            raise IndexError_(f"sequence {sequence_id} not indexed")
+        if not isinstance(symbols, str):
+            raise IndexError_(f"symbols must be a string, got {type(symbols).__name__}")
+        if old == symbols:
+            return
+        max_depth = self.max_depth
+        lcp = 0
+        limit = min(len(old), len(symbols))
+        while lcp < limit and old[lcp] == symbols[lcp]:
+            lcp += 1
+        # Suffixes starting at or before lcp - max_depth index substrings
+        # entirely inside the common prefix — nothing about them changed.
+        affected = max(0, lcp - max_depth + 1)
+        self._strings[sequence_id] = symbols
+        root = self._root
+        appended = 0
+        stale = 0
+        for start in range(affected, len(symbols)):
+            occurrence = Occurrence(sequence_id, start)
+            new_sub = symbols[start : start + max_depth]
+            old_sub = old[start : start + max_depth] if start < len(old) else ""
+            shared = 0
+            shared_limit = min(len(new_sub), len(old_sub))
+            while shared < shared_limit and new_sub[shared] == old_sub[shared]:
+                shared += 1
+            node = root
+            if start >= len(old):
+                # A brand-new suffix: its root entry does not exist yet.
+                node.occurrences.append(occurrence)
+                appended += 1
+            for i in range(len(new_sub)):
+                symbol = new_sub[i]
+                if i < shared:
+                    # The old path spelled the same symbols here; the
+                    # occurrence is already on these nodes.
+                    node = node.children[symbol]
+                else:
+                    node = node.children.setdefault(symbol, _TrieNode())
+                    node.occurrences.append(occurrence)
+                    appended += 1
+            stale += max(len(old_sub) - shared, 0)
+        if len(old) > len(symbols):
+            # Old suffixes past the new end are dead entirely, root
+            # entries included.
+            for start in range(max(affected, len(symbols)), len(old)):
+                stale += 1 + len(old[start : start + max_depth])
+        self._total_occurrences += appended
+        self._stale_occurrences += stale
+        if stale:
+            self._stale_ids.add(sequence_id)
+        if (
+            self._stale_occurrences > 256
+            and self._stale_occurrences * 2 > self._total_occurrences
+        ):
+            self._rebuild()
+
+    def _rebuild(self) -> None:
+        """Compact away stale occurrences by re-inserting every string."""
+        self._root = _TrieNode()
+        self._total_occurrences = 0
+        self._stale_occurrences = 0
+        self._stale_ids.clear()
+        for sequence_id in sorted(self._strings):
+            self._insert_suffixes(sequence_id, self._strings[sequence_id])
+
+    @property
+    def stale_occurrences(self) -> int:
+        """Estimated stale node entries awaiting compaction."""
+        return self._stale_occurrences
 
     def add_many(self, items: "Iterable[tuple[int, str]]") -> None:
         """Bulk-index many ``(sequence_id, symbols)`` pairs.
@@ -112,6 +209,7 @@ class SymbolTrie:
         # pruning replaces occurrence lists, so the cache must never
         # outlive it (and it cannot: no removal happens mid-call).
         path_cache: "dict[str, list]" = {}
+        appended = 0
         for sequence_id, symbols in sorted(batch, key=lambda item: item[1]):
             self._strings[sequence_id] = symbols
             for start in range(len(symbols)):
@@ -127,6 +225,8 @@ class SymbolTrie:
                 occurrence = Occurrence(sequence_id, start)
                 for push in path:
                     push(occurrence)
+                appended += len(path)
+        self._total_occurrences += appended
 
     def remove(self, sequence_id: int) -> None:
         """Unindex one sequence: drop its occurrences everywhere.
@@ -137,6 +237,7 @@ class SymbolTrie:
         if sequence_id not in self._strings:
             raise IndexError_(f"sequence {sequence_id} not indexed")
         del self._strings[sequence_id]
+        self._stale_ids.discard(sequence_id)
         self._prune(self._root, {sequence_id})
 
     def remove_many(self, sequence_ids: "Iterable[int]") -> None:
@@ -156,17 +257,26 @@ class SymbolTrie:
             return
         for sequence_id in id_set:
             del self._strings[sequence_id]
+        self._stale_ids -= id_set
         self._prune(self._root, id_set)
 
     def _prune(self, node: _TrieNode, sequence_ids: "set[int]") -> bool:
         """Remove the ids' occurrences below ``node``; True if it died."""
-        node.occurrences = [o for o in node.occurrences if o.sequence_id not in sequence_ids]
+        kept = [o for o in node.occurrences if o.sequence_id not in sequence_ids]
+        self._total_occurrences -= len(node.occurrences) - len(kept)
+        node.occurrences = kept
         dead_children = []
         for symbol, child in node.children.items():
             if self._prune(child, sequence_ids):
                 dead_children.append(symbol)
         for symbol in dead_children:
             del node.children[symbol]
+        if node is self._root:
+            # Pruning removed an unknown share of the stale entries;
+            # clamp the estimate so it can only trigger compaction early.
+            self._stale_occurrences = min(
+                self._stale_occurrences, self._total_occurrences
+            )
         return not node.occurrences and not node.children
 
     def __contains__(self, sequence_id: int) -> bool:
@@ -189,8 +299,12 @@ class SymbolTrie:
         """All occurrences of an exact symbol substring.
 
         Substrings within ``max_depth`` are answered from the trie
-        alone; longer ones descend as far as the trie goes and then
-        verify the tail against the stored strings.
+        alone for every sequence that has never left stale entries
+        behind (the pure-insert fast path); occurrences of the — few —
+        ids touched by a diverging lazy :meth:`update` are verified
+        against the live strings (screening out stale entries and
+        de-duplicating re-inserted paths).  Substrings longer than the
+        depth bound verify everything, as before.
         """
         node = self._root
         for symbol in substring[: self.max_depth]:
@@ -198,14 +312,34 @@ class SymbolTrie:
             if child is None:
                 return []
             node = child
-        hits = node.occurrences
-        if len(substring) <= self.max_depth:
-            return sorted(hits)
-        verified = [
+        length = len(substring)
+        strings = self._strings
+        stale_ids = self._stale_ids
+        if length <= self.max_depth:
+            if not stale_ids:
+                return sorted(node.occurrences)
+            clean = [
+                occ for occ in node.occurrences if occ.sequence_id not in stale_ids
+            ]
+            # Only suspect ids need verification (and only they can be
+            # duplicated).  The position bound matters for the empty
+            # substring: a stale occurrence past a shrunken string's end
+            # would slice "" == "" and bogusly verify.
+            suspects = {
+                occ
+                for occ in node.occurrences
+                if occ.sequence_id in stale_ids
+                and occ.position < len(strings[occ.sequence_id])
+                and strings[occ.sequence_id][occ.position : occ.position + length]
+                == substring
+            }
+            return sorted(clean + list(suspects))
+        verified = {
             occ
-            for occ in hits
-            if self._strings[occ.sequence_id][occ.position : occ.position + len(substring)] == substring
-        ]
+            for occ in node.occurrences
+            if occ.position < len(strings[occ.sequence_id])
+            and strings[occ.sequence_id][occ.position : occ.position + length] == substring
+        }
         return sorted(verified)
 
     def node_count(self) -> int:

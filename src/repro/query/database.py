@@ -374,6 +374,159 @@ class SequenceDatabase:
         self.rr_index.add_array(sequence_id, intervals)
         return peak_count, intervals
 
+    # ------------------------------------------------------------------
+    # Streaming append
+    # ------------------------------------------------------------------
+
+    def append(
+        self,
+        sequence_id: int,
+        values: "Iterable[float] | np.ndarray",
+        times: "Iterable[float] | np.ndarray | None" = None,
+    ) -> int:
+        """Extend one live sequence with new trailing samples.
+
+        The streaming write path: the raw tail lands in the archive,
+        the representation is re-broken *from the last breakpoint only*
+        when the breaker supports online extension
+        (:meth:`~repro.segmentation.base.Breaker.extend_indices`), the
+        pattern/behaviour tries and the inverted R-R index are patched
+        for the affected suffix only, and the columnar store splices
+        the sequence's rows in place — journalled as one ``"append"``
+        touching exactly this id, so cached query answers re-grade one
+        sequence instead of the world.  End state is byte-identical to
+        deleting the sequence and re-inserting its full data (same
+        boundaries, symbols, peaks, postings and columns), which the
+        parity suite enforces for every query type.
+
+        ``times`` defaults to continuing the sequence's uniform grid.
+        Raw data must be archived (``keep_raw=True`` and not
+        representation-only); representation *variants* of the sequence
+        are dropped — they described the shorter data.  Returns the
+        sequence's new length.
+        """
+        return self.append_many([(sequence_id, values, times)])[0]
+
+    def append_many(
+        self,
+        items: "Iterable[tuple]",
+    ) -> list[int]:
+        """Extend many live sequences in one batch (see :meth:`append`).
+
+        ``items`` yields ``(sequence_id, values)`` or ``(sequence_id,
+        values, times)`` tuples.  Breaking runs through the breaker's
+        batch :meth:`~repro.segmentation.base.Breaker.extend_indices_many`
+        (frontier-batched suffix rescans for online breakers, the
+        frontier-batched full re-break otherwise) and the columnar
+        store splices all touched rows with one generation bump per
+        touched shard.  The whole batch is validated before anything
+        mutates.  Returns the new lengths, in item order.
+        """
+        batch: "list[tuple[int, np.ndarray, object]]" = []
+        for item in items:
+            sequence_id = int(item[0])
+            values = item[1]
+            times = item[2] if len(item) > 2 else None
+            batch.append((sequence_id, values, times))
+        if not batch:
+            return []
+        ids = [entry[0] for entry in batch]
+        if len(set(ids)) != len(ids):
+            raise QueryError("duplicate sequence ids in append batch")
+        for sequence_id in ids:
+            self._require(sequence_id)
+            if not self.has_raw(sequence_id):
+                raise QueryError(
+                    f"append needs archived raw data for sequence {sequence_id}; "
+                    "it was ingested without raw backing"
+                )
+
+        # Build every extended raw sequence first: a bad payload in the
+        # batch must mutate nothing.
+        extended: "list[Sequence]" = []
+        for sequence_id, values, times in batch:
+            old = self.archive.peek(sequence_id)
+            new_values = np.asarray(
+                values if isinstance(values, np.ndarray) else list(values), dtype=float
+            )
+            if new_values.ndim != 1 or new_values.size == 0:
+                raise QueryError("appended values must be a non-empty 1-D array")
+            if times is None:
+                step = float(old.times[-1] - old.times[-2]) if len(old) > 1 else 1.0
+                new_times = old.times[-1] + step * np.arange(
+                    1, new_values.size + 1, dtype=float
+                )
+            else:
+                new_times = np.asarray(
+                    times if isinstance(times, np.ndarray) else list(times), dtype=float
+                )
+                if new_times.shape != new_values.shape:
+                    raise QueryError("appended times and values disagree in length")
+            extended.append(
+                Sequence(
+                    np.concatenate([old.times, new_times]),
+                    np.concatenate([old.values, new_values]),
+                    name=old.name,
+                )
+            )
+
+        if self.normalize:
+            # Z-normalization is global: new samples move every old
+            # sample's normalized value, so the whole sequence re-breaks
+            # (still batched through represent_many).
+            normalized = [znormalize(sequence) for sequence in extended]
+            representations = self.breaker.represent_many(
+                normalized, curve_kind=self.curve_kind
+            )
+        else:
+            previous = [
+                [
+                    (segment.start_index, segment.end_index)
+                    for segment in self._representations[sequence_id].segments
+                ]
+                for sequence_id in ids
+            ]
+            boundaries = self.breaker.extend_indices_many(list(zip(extended, previous)))
+            representations = [
+                FunctionSeriesRepresentation.from_breakpoints_reusing(
+                    sequence,
+                    bounds,
+                    self._representations[sequence_id],
+                    curve_kind=self.curve_kind,
+                    epsilon=self.breaker.epsilon,
+                )
+                for sequence_id, sequence, bounds in zip(ids, extended, boundaries)
+            ]
+
+        # Breaking/refitting (the stage a user-supplied breaker can fail
+        # in) is done; only now touch durable state, archive first.
+        for sequence_id, sequence in zip(ids, extended):
+            self.archive.replace(sequence_id, sequence)
+
+        store_items = []
+        for sequence_id, representation in zip(ids, representations):
+            symbols = symbols_from_slopes(representation.slopes(), self.theta)
+            self.pattern_index.update_symbols(sequence_id, symbols)
+            self.behavior_index.update_symbols(
+                sequence_id, collapse_symbol_runs(symbols)
+            )
+            peaks = find_peaks(representation, self.theta)
+            intervals = np.diff(
+                np.asarray([peak.time for peak in peaks], dtype=float)
+            )
+            old_intervals = self.store.rr_intervals_of(sequence_id)
+            self.rr_index.replace_tail(sequence_id, old_intervals, intervals)
+            self._representations[sequence_id] = representation
+            # The local tier and catalog replace the default blob; other
+            # variants described the shorter data and are dropped.
+            self.local_store.evict(sequence_id)
+            self.local_store.store(sequence_id, representation)
+            self.catalog.remove_sequence(sequence_id)
+            self.catalog.put(sequence_id, "default", representation)
+            store_items.append((sequence_id, representation, len(peaks), intervals))
+        self.store.replace_many(store_items)
+        return [len(sequence) for sequence in extended]
+
     def add_variant(
         self,
         sequence_id: int,
@@ -459,6 +612,9 @@ class SequenceDatabase:
 
     def __len__(self) -> int:
         return len(self._representations)
+
+    def __contains__(self, sequence_id: int) -> bool:
+        return sequence_id in self._representations
 
     def ids(self) -> list[int]:
         return sorted(self._representations)
@@ -567,16 +723,29 @@ class SequenceDatabase:
 
         Includes the result cache's verdict for this exact evaluation:
         ``cache-hit`` (the stages would be skipped entirely),
-        ``cache-miss`` (they run and the answer is remembered), or
-        ``uncacheable`` (the query has no fingerprint).
+        ``cache: delta-revalidated (k dirty)`` (a stale answer would be
+        patched by re-grading the ``k`` journal-dirty ids only),
+        ``cache-miss`` (the stages run in full and the answer is
+        remembered), or ``uncacheable`` (the query has no fingerprint).
         """
         plan = self.planner.plan(query, self)
         if plan.fingerprint is None:
             state = "uncacheable"
         else:
             key = (plan.fingerprint, bool(include_approximate))
-            hit = self.result_cache.peek(key, self.cache_epoch())
-            state = "cache-hit" if hit else "cache-miss"
+            epoch = self.cache_epoch()
+            if self.result_cache.peek(key, epoch):
+                state = "cache-hit"
+            else:
+                state = "cache-miss"
+                stale = self.result_cache.stale_entry(key, epoch)
+                if stale is not None:
+                    # The one eligibility rule the evaluation itself
+                    # applies — verdict and behaviour cannot diverge.
+                    kind, payload = QueryExecutor.revalidation_plan(self, stale, epoch)
+                    if kind == "delta":
+                        live_dirty, __ = payload
+                        state = f"cache: delta-revalidated ({len(live_dirty)} dirty)"
         return f"{plan.describe()} [{state} @ generation {self.store.generation}]"
 
     def scan_rr(self, target: float, delta: float) -> list[int]:
@@ -602,13 +771,37 @@ class SequenceDatabase:
         """The plan-result cache's counters and estimated footprint."""
         return self.result_cache.stats()
 
+    def save_result_cache(self, path) -> int:
+        """Persist the warm plan-result cache entries to ``path``.
+
+        See :func:`repro.storage.catalog.save_result_cache`; returns the
+        number of entries written.
+        """
+        from repro.storage.catalog import save_result_cache
+
+        return save_result_cache(self, path)
+
+    def load_result_cache(self, path) -> int:
+        """Adopt a persisted cache snapshot, if it still matches.
+
+        See :func:`repro.storage.catalog.load_result_cache`; returns the
+        number of entries adopted (0 when the data has mutated
+        underneath the snapshot).
+        """
+        from repro.storage.catalog import load_result_cache
+
+        return load_result_cache(self, path)
+
     def storage_report(self) -> dict:
         """Byte totals and compression for the storage benchmarks.
 
         Alongside the paper's raw-vs-representation accounting, reports
         the engine's columnar allocation (``engine_bytes``, growth
-        headroom included) and the plan-result cache's counters and
-        estimated resident bytes (``result_cache``).
+        headroom included), the plan-result cache's counters and
+        estimated resident bytes (``result_cache``, including
+        ``revalidations`` / ``delta_hits`` / ``delta_fallbacks``) and
+        the mutation journal's footprint (``journal``: retained
+        entries, estimated bytes, rebase floor, compactions).
         """
         raw_bytes = self.archive.total_bytes()
         rep_bytes = self.local_store.total_bytes()
@@ -622,6 +815,7 @@ class SequenceDatabase:
             "representation_bytes": rep_bytes,
             "engine_bytes": self.store.nbytes,
             "result_cache": self.cache_stats(),
+            "journal": self.store.journal_stats(),
             "byte_compression": raw_bytes / rep_bytes if rep_bytes else float("inf"),
             "paper_convention_compression": (
                 total_points / (3 * total_segments) if total_segments else float("inf")

@@ -73,9 +73,39 @@ class IngestPipeline:
             self.flush()
 
     def add_many(self, sequences: "Iterable[Sequence]") -> None:
-        """Buffer many sequences, flushing whenever a batch fills."""
-        for sequence in sequences:
-            self.add(sequence)
+        """Buffer many sequences, flushing whenever a batch fills.
+
+        One bulk buffer extension plus whole-batch flushes — no
+        per-sequence Python call, no per-item flush check.  Batches are
+        sliced at exactly ``batch_size``, so the flushed groups (and
+        therefore the assigned ids) are identical to looping
+        :meth:`add`.
+        """
+        buffer = self._buffer
+        buffer.extend(
+            sequences if isinstance(sequences, list) else list(sequences)
+        )
+        batch_size = self.batch_size
+        while len(buffer) >= batch_size:
+            batch = buffer[:batch_size]
+            del buffer[:batch_size]
+            self._ingested_ids.extend(self.database.insert_all(batch))
+
+    def add_block(
+        self,
+        values: "Iterable[Iterable[float]]",
+        times: "Iterable[float] | None" = None,
+        names: "Iterable[str] | None" = None,
+    ) -> None:
+        """Buffer a whole 2-D value block of same-grid sequences.
+
+        The columnar front door: the block is validated once and its
+        rows are wrapped as zero-copy :class:`Sequence` views
+        (:meth:`Sequence.from_block`) before flowing through
+        :meth:`add_many` — skipping the per-sequence array copy and
+        validation the scalar path pays per :meth:`add`.
+        """
+        self.add_many(Sequence.from_block(values, times=times, names=names))
 
     def flush(self) -> "list[int]":
         """Ingest everything buffered as one batch; returns its new ids."""

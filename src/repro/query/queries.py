@@ -582,18 +582,22 @@ class ShapeQuery(Query):
         wanted = self._signature_for(database).symbols
         if store.n_sequences == 0:
             return []
-        matched = np.flatnonzero(store.behavior_counts == len(wanted))
-        if len(matched) == 0:
-            ids: "list[int]" = []
-        else:
-            wanted_codes = np.array([SYMBOL_CODES[c] for c in wanted], dtype=np.int8)
-            rows = store.behavior_starts[matched][:, None] + np.arange(len(wanted))
-            same = (store.behavior_symbols[rows] == wanted_codes).all(axis=1)
-            ids = [int(s) for s in store.sequence_ids[matched[same]]]
         if candidate_ids is not None:
-            allowed = set(candidate_ids)
-            ids = [sequence_id for sequence_id in ids if sequence_id in allowed]
-        return ids
+            # Compare only the candidate rows (they are live by the
+            # stage contract): the delta-revalidation subset path stays
+            # proportional to the dirty set, not the store.
+            if not len(candidate_ids):
+                return []
+            positions = store.positions_of(candidate_ids)
+            matched = positions[store.behavior_counts[positions] == len(wanted)]
+        else:
+            matched = np.flatnonzero(store.behavior_counts == len(wanted))
+        if len(matched) == 0:
+            return []
+        wanted_codes = np.array([SYMBOL_CODES[c] for c in wanted], dtype=np.int8)
+        rows = store.behavior_starts[matched][:, None] + np.arange(len(wanted))
+        same = (store.behavior_symbols[rows] == wanted_codes).all(axis=1)
+        return [int(s) for s in store.sequence_ids[matched[same]]]
 
     def _vector_filter(
         self,
@@ -766,12 +770,20 @@ class ExemplarQuery(Query):
         """Length mismatches grade to an infinite deviation; drop them
         before paying the archive's simulated latency."""
         self._require_raw_tier(database)
-        same_length = store.sequence_ids[store.source_lengths == len(self.exemplar)]
-        ids = [int(s) for s in same_length]
         if candidate_ids is not None:
-            allowed = set(candidate_ids)
-            ids = [sequence_id for sequence_id in ids if sequence_id in allowed]
-        return ids
+            # Check only the candidate rows; the delta-revalidation
+            # subset path stays proportional to the dirty set.
+            if not len(candidate_ids):
+                return []
+            positions = store.positions_of(candidate_ids)
+            same_length = store.sequence_ids[
+                positions[store.source_lengths[positions] == len(self.exemplar)]
+            ]
+        else:
+            same_length = store.sequence_ids[
+                store.source_lengths == len(self.exemplar)
+            ]
+        return [int(s) for s in same_length]
 
     def _grade_scalar(self, database: "SequenceDatabase", sequence_id: int) -> QueryMatch:
         self._require_raw_tier(database)

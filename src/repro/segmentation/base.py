@@ -68,6 +68,48 @@ class Breaker(abc.ABC):
         """
         return [self.break_indices(sequence) for sequence in sequences]
 
+    def extend_indices(
+        self, sequence: Sequence, previous_boundaries: Boundaries
+    ) -> Boundaries:
+        """Boundaries for ``sequence`` after trailing samples were added.
+
+        ``previous_boundaries`` is the full partition of a *prefix* of
+        ``sequence`` (the pre-append break, trailing window closed at
+        the old last sample).  The contract is strict: the result must
+        equal :meth:`break_indices` of the whole extended sequence, bit
+        for bit — the streaming append path's parity guarantee rests on
+        it.
+
+        The base implementation simply re-breaks from scratch, which is
+        always correct.  *Online* breakers override it with a
+        suffix-only rescan: their per-sample decisions depend only on
+        the current open segment, so resuming from the last closed
+        boundary provably reproduces the from-scratch break at the cost
+        of the tail alone.
+        """
+        return self.break_indices(sequence)
+
+    def extend_indices_many(
+        self, items: "TypingSequence[tuple[Sequence, Boundaries]]"
+    ) -> "list[Boundaries]":
+        """Batch twin of :meth:`extend_indices`.
+
+        ``items`` yields ``(extended_sequence, previous_boundaries)``
+        pairs.  Breakers that override :meth:`extend_indices` are
+        looped through their override (suffix-only work per sequence);
+        otherwise the batch falls through to the frontier-batched
+        :meth:`break_indices_many` full re-break — correct for every
+        breaker, and still vectorized where the chord kernel exists.
+        Online breakers may override this as well with a lock-step
+        frontier over all suffixes at once.
+        """
+        items = list(items)
+        if type(self).extend_indices is not Breaker.extend_indices:
+            return [
+                self.extend_indices(sequence, previous) for sequence, previous in items
+            ]
+        return self.break_indices_many([sequence for sequence, __ in items])
+
     def represent(
         self, sequence: Sequence, curve_kind: str | None = None
     ) -> FunctionSeriesRepresentation:

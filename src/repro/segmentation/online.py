@@ -10,9 +10,22 @@ loss of accuracy versus the offline algorithms).
 a time, keeps a polynomial fitted over a trailing window of the current
 segment, and closes the segment when the incoming sample deviates from
 the polynomial's extrapolation by more than ``epsilon``.
+
+Both online breakers share the property the streaming append path
+(:meth:`repro.query.database.SequenceDatabase.append`) is built on:
+every per-sample decision depends only on the samples of the *current
+open segment*.  When trailing samples are appended, rescanning from the
+last closed boundary therefore reproduces the from-scratch break bit
+for bit — :meth:`~repro.segmentation.base.Breaker.extend_indices` costs
+the tail, not the sequence.  :class:`IncrementalRegressionBreaker`
+additionally batches those rescans into a lock-step *frontier* (one
+vectorized round per sample position across every appended sequence),
+the online counterpart of the offline ``break_frontier`` kernel.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.core.errors import SegmentationError
 from repro.core.sequence import Sequence
@@ -20,6 +33,19 @@ from repro.functions.polynomial import fit_polynomial
 from repro.segmentation.base import Boundaries, Breaker
 
 __all__ = ["SlidingWindowBreaker", "OnlineSession", "IncrementalRegressionBreaker"]
+
+
+def _resume_index(previous_boundaries: Boundaries) -> "int | None":
+    """Start of the trailing open segment in a previous break, or None.
+
+    The previous break's last window was closed artificially at the old
+    final sample; on the extended sequence that segment is still open,
+    so an online rescan resumes at its start with fresh state — exactly
+    the state the from-scratch scan holds at that sample.
+    """
+    if not previous_boundaries:
+        return None
+    return int(previous_boundaries[-1][0])
 
 
 class OnlineSession:
@@ -90,12 +116,34 @@ class IncrementalRegressionBreaker(Breaker):
         self.min_points = int(min_points)
 
     def break_indices(self, sequence: Sequence) -> Boundaries:
+        return self._scan(sequence.times, sequence.values, 0)
+
+    def _scan(
+        self,
+        times: np.ndarray,
+        values: np.ndarray,
+        first: int,
+        start: "int | None" = None,
+        n: int = 0,
+        s_t: float = 0.0,
+        s_v: float = 0.0,
+        s_tt: float = 0.0,
+        s_tv: float = 0.0,
+    ) -> Boundaries:
+        """The running-sums scan from sample ``first``.
+
+        State defaults to a fresh segment opening at ``first``; the
+        frontier kernel passes mid-segment state to finish straggler
+        lanes scalar-ly (float64 scalars convert to Python floats
+        exactly, so the continuation is bit-identical).
+        """
         boundaries: Boundaries = []
-        start = 0
-        # Running sums over the current segment.
-        n = 0
-        s_t = s_v = s_tt = s_tv = 0.0
-        for i, (t, v) in enumerate(sequence):
+        if start is None:
+            start = first
+        length = len(times)
+        for i in range(first, length):
+            t = float(times[i])
+            v = float(values[i])
             if n >= self.min_points:
                 denom = n * s_tt - s_t * s_t
                 if denom != 0.0:
@@ -115,8 +163,158 @@ class IncrementalRegressionBreaker(Breaker):
             s_v += v
             s_tt += t * t
             s_tv += t * v
-        boundaries.append((start, len(sequence) - 1))
+        boundaries.append((start, length - 1))
         return boundaries
+
+    def extend_indices(
+        self, sequence: Sequence, previous_boundaries: Boundaries
+    ) -> Boundaries:
+        """Suffix-only rescan: resume at the trailing open segment.
+
+        The scan's state depends only on samples since the current
+        segment start, so restarting there with fresh sums reproduces
+        the from-scratch break of the extended sequence bit for bit.
+        """
+        resume = _resume_index(previous_boundaries)
+        if resume is None:
+            return self.break_indices(sequence)
+        if not 0 <= resume < len(sequence):
+            raise SegmentationError(
+                f"previous boundaries end at {resume}, outside the extended "
+                f"sequence of length {len(sequence)}"
+            )
+        return list(previous_boundaries[:-1]) + self._scan(
+            sequence.times, sequence.values, resume
+        )
+
+    #: Below this many live lanes the vectorized round is all overhead;
+    #: stragglers finish through the scalar scan with carried-over state.
+    _MIN_FRONTIER = 8
+
+    def extend_indices_many(self, items) -> "list[Boundaries]":
+        """Frontier-batched suffix rescans: all appends in lock-step.
+
+        Round ``r`` advances every *live* lane's scan by one sample with
+        vectorized state updates (running sums, regression prediction,
+        deviation test) — the online counterpart of the offline
+        ``break_frontier`` recursion.  Suffixes stay as one flat
+        concatenated array (no padding to the longest lane), lanes
+        retire from the frontier as their suffixes end, and once fewer
+        than ``_MIN_FRONTIER`` lanes remain they finish through the
+        scalar scan continuing from their vector state — so cost and
+        memory are O(sum of suffix lengths), not O(lanes x longest).
+        Elementwise float64 arithmetic matches the scalar scan's
+        operation order exactly, so the boundaries are identical to
+        per-sequence :meth:`extend_indices`.
+        """
+        items = list(items)
+        if len(items) <= 2:
+            # Frontier setup does not pay for itself on tiny batches.
+            return [self.extend_indices(sequence, previous) for sequence, previous in items]
+        n_items = len(items)
+        resumes = np.empty(n_items, dtype=np.int64)
+        prefixes: "list[Boundaries]" = []
+        suffix_times: "list[np.ndarray]" = []
+        suffix_values: "list[np.ndarray]" = []
+        for j, (sequence, previous) in enumerate(items):
+            resume = _resume_index(previous)
+            if resume is None:
+                resume = 0
+                prefixes.append([])
+            else:
+                if not 0 <= resume < len(sequence):
+                    raise SegmentationError(
+                        f"previous boundaries end at {resume}, outside the extended "
+                        f"sequence of length {len(sequence)}"
+                    )
+                prefixes.append(list(previous[:-1]))
+            resumes[j] = resume
+            suffix_times.append(np.asarray(sequence.times[resume:], dtype=np.float64))
+            suffix_values.append(np.asarray(sequence.values[resume:], dtype=np.float64))
+
+        suffix_lengths = np.array([len(t) for t in suffix_times], dtype=np.int64)
+        flat_times = np.concatenate(suffix_times)
+        flat_values = np.concatenate(suffix_values)
+        lane_offsets = np.zeros(n_items, dtype=np.int64)
+        np.cumsum(suffix_lengths[:-1], out=lane_offsets[1:])
+
+        seg_start = resumes.copy()
+        n_arr = np.zeros(n_items, dtype=np.int64)
+        s_t = np.zeros(n_items)
+        s_v = np.zeros(n_items)
+        s_tt = np.zeros(n_items)
+        s_tv = np.zeros(n_items)
+        closed: "list[Boundaries]" = [[] for _ in range(n_items)]
+
+        live = np.arange(n_items, dtype=np.int64)
+        r = 0
+        while len(live) >= self._MIN_FRONTIER:
+            rows = lane_offsets[live] + r
+            t = flat_times[rows]
+            v = flat_values[rows]
+            n_local = n_arr[live]
+            st_local = s_t[live]
+            sv_local = s_v[live]
+            stt_local = s_tt[live]
+            stv_local = s_tv[live]
+            fit = n_local >= self.min_points
+            if bool(fit.any()):
+                n_f = n_local.astype(np.float64)
+                denom = n_f * stt_local - st_local * st_local
+                nz = denom != 0.0
+                safe_denom = np.where(nz, denom, 1.0)
+                safe_n = np.where(n_f == 0.0, 1.0, n_f)
+                slope = np.where(nz, (n_f * stv_local - st_local * sv_local) / safe_denom, 0.0)
+                intercept = np.where(
+                    nz, (sv_local - slope * st_local) / safe_n, sv_local / safe_n
+                )
+                predicted = slope * t + intercept
+                breaks = fit & (np.abs(predicted - v) > self.epsilon)
+                if bool(breaks.any()):
+                    broken = live[breaks]
+                    for j in broken:
+                        closed[j].append((int(seg_start[j]), int(resumes[j]) + r - 1))
+                    seg_start[broken] = resumes[broken] + r
+                    n_local[breaks] = 0
+                    st_local[breaks] = 0.0
+                    sv_local[breaks] = 0.0
+                    stt_local[breaks] = 0.0
+                    stv_local[breaks] = 0.0
+            n_arr[live] = n_local + 1
+            s_t[live] = st_local + t
+            s_v[live] = sv_local + v
+            s_tt[live] = stt_local + t * t
+            s_tv[live] = stv_local + t * v
+            r += 1
+            alive = suffix_lengths[live] > r
+            if not bool(alive.all()):
+                live = live[alive]
+
+        # Straggler lanes: continue each scalar scan from its carried
+        # state (same floats, same operation order — bit-identical).
+        scalar_tails: "dict[int, Boundaries]" = {}
+        for j in live:
+            local = self._scan(
+                suffix_times[j],
+                suffix_values[j],
+                r,
+                start=int(seg_start[j] - resumes[j]),
+                n=int(n_arr[j]),
+                s_t=float(s_t[j]),
+                s_v=float(s_v[j]),
+                s_tt=float(s_tt[j]),
+                s_tv=float(s_tv[j]),
+            )
+            offset = int(resumes[j])
+            scalar_tails[int(j)] = [(a + offset, b + offset) for a, b in local]
+
+        results: "list[Boundaries]" = []
+        for j in range(n_items):
+            tail = scalar_tails.get(j)
+            if tail is None:
+                tail = [(int(seg_start[j]), int(resumes[j] + suffix_lengths[j]) - 1)]
+            results.append(prefixes[j] + closed[j] + tail)
+        return results
 
 
 class SlidingWindowBreaker(Breaker):
@@ -154,3 +352,31 @@ class SlidingWindowBreaker(Breaker):
         for time, value in sequence:
             session.feed(time, value)
         return session.finish()
+
+    def extend_indices(
+        self, sequence: Sequence, previous_boundaries: Boundaries
+    ) -> Boundaries:
+        """Suffix-only rescan: re-feed from the trailing open segment.
+
+        The window is cleared whenever a segment closes, so a fresh
+        session fed from the last boundary start holds exactly the
+        state the from-scratch scan holds there; its (rebased)
+        boundaries complete the previous break bit for bit.
+        """
+        resume = _resume_index(previous_boundaries)
+        if resume is None:
+            return self.break_indices(sequence)
+        if not 0 <= resume < len(sequence):
+            raise SegmentationError(
+                f"previous boundaries end at {resume}, outside the extended "
+                f"sequence of length {len(sequence)}"
+            )
+        session = self.session()
+        times = sequence.times
+        values = sequence.values
+        for i in range(resume, len(sequence)):
+            session.feed(float(times[i]), float(values[i]))
+        tail = session.finish()
+        return list(previous_boundaries[:-1]) + [
+            (start + resume, end + resume) for start, end in tail
+        ]

@@ -15,6 +15,7 @@ tier the compact representations live on.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 from repro.core.errors import StorageError
@@ -94,6 +95,37 @@ class ArchivalStore:
         self.log.record("read", len(blob), self._model.cost(len(blob)))
         return decode_sequence(blob)
 
+    def peek(self, sequence_id: int) -> Sequence:
+        """Read raw data without latency accounting.
+
+        The streaming append path's internal read: the writer that
+        extends a live sequence is modelled as holding its tail warm,
+        so consulting the archived prefix is not a tape mount.  Query
+        paths must keep using :meth:`retrieve` — their raw access *is*
+        the cost the paper's architecture avoids.
+        """
+        try:
+            return decode_sequence(self._blobs[sequence_id])
+        except KeyError as exc:
+            raise StorageError(f"sequence {sequence_id} not archived") from exc
+
+    def replace(self, sequence_id: int, sequence: Sequence) -> int:
+        """Overwrite an archived sequence with its extended form.
+
+        The streaming tail write: only the *net new* bytes are
+        accounted (appending to an archival file streams the tail, not
+        the whole history).  Returns the new encoded size.
+        """
+        try:
+            old_blob = self._blobs[sequence_id]
+        except KeyError as exc:
+            raise StorageError(f"sequence {sequence_id} not archived") from exc
+        blob = encode_sequence(sequence)
+        self._blobs[sequence_id] = blob
+        appended = max(len(blob) - len(old_blob), 0)
+        self.log.record("write", appended, self._model.cost(appended))
+        return len(blob)
+
     def __contains__(self, sequence_id: int) -> bool:
         return sequence_id in self._blobs
 
@@ -102,6 +134,18 @@ class ArchivalStore:
 
     def total_bytes(self) -> int:
         return sum(len(b) for b in self._blobs.values())
+
+    def content_digest(self) -> str:
+        """SHA-1 over every archived ``(id, blob)`` pair, id-ordered.
+
+        No latency is accounted — this is bookkeeping (cache-snapshot
+        validation), not a data access.
+        """
+        digest = hashlib.sha1()
+        for sequence_id in sorted(self._blobs):
+            digest.update(str(sequence_id).encode("utf-8"))
+            digest.update(self._blobs[sequence_id])
+        return digest.hexdigest()
 
 
 class LocalStore:

@@ -1,4 +1,5 @@
-"""Catalog of multiple representations per sequence.
+"""Catalog of multiple representations per sequence, plus engine-state
+persistence.
 
 "Since our representation is quite compact, it would be possible to
 compute and store multiple representations and indices for the same
@@ -6,15 +7,42 @@ data.  This would be useful for simultaneously supporting several
 common query forms" (Section 5.2).  The catalog names each
 representation variant (e.g. ``"regression-eps0.5"`` vs
 ``"bezier-eps2"``) and tracks per-variant byte totals.
+
+The module also persists the *warm* plan-result cache across restarts
+(:func:`save_result_cache` / :func:`load_result_cache`): a snapshot
+records every cache entry valid at save time together with a content
+digest of the columnar store and the journal's rebase epoch.  A
+restarted database that rebuilds to the same data adopts the entries
+warm — ``db.query()`` answers without running a single stage — while a
+database whose files mutated underneath the snapshot adopts nothing
+(the digest disagrees) and a corrupted snapshot fails loudly on its
+checksum.
 """
 
 from __future__ import annotations
 
+import hashlib
+from pathlib import Path
+from typing import TYPE_CHECKING
+
 from repro.core.errors import StorageError
 from repro.core.representation import FunctionSeriesRepresentation
-from repro.storage.serialization import representation_size_bytes
+from repro.storage.serialization import (
+    decode_cache_snapshot,
+    encode_cache_snapshot,
+    representation_size_bytes,
+)
 
-__all__ = ["RepresentationCatalog"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.query.database import SequenceDatabase
+    from repro.query.results import QueryMatch
+
+__all__ = [
+    "RepresentationCatalog",
+    "engine_state_digest",
+    "save_result_cache",
+    "load_result_cache",
+]
 
 
 class RepresentationCatalog:
@@ -65,3 +93,140 @@ class RepresentationCatalog:
                 if variant is None or name == variant:
                     total += representation_size_bytes(rep)
         return total
+
+
+# ----------------------------------------------------------------------
+# Result-cache persistence
+# ----------------------------------------------------------------------
+
+_SNAPSHOT_VERSION = 1
+
+
+def engine_state_digest(database: "SequenceDatabase") -> str:
+    """Content digest of everything a cached answer depends on.
+
+    Hashes the pipeline configuration, the sequence names (they ride
+    along in every ``QueryMatch``), the raw-archive contents (the
+    exemplar query grades against them) and, per shard, the columnar
+    store's query-visible columns (ids, segment geometry and symbols,
+    behaviour runs, R-R values, peak counts, source lengths).  Two
+    databases with equal digests answer every fingerprinted query
+    identically, so a cache snapshot taken on one is valid on the other
+    — the contract :func:`load_result_cache` checks before adopting.
+    """
+    digest = hashlib.sha1()
+    digest.update(
+        repr(
+            (
+                database.theta,
+                database.normalize,
+                database.curve_kind,
+                database.keep_raw,
+                database.store.shard_count,
+            )
+        ).encode("utf-8")
+    )
+    for sequence_id in database.ids():
+        digest.update(f"{sequence_id}={database.name_of(sequence_id)};".encode("utf-8"))
+    digest.update(database.archive.content_digest().encode("utf-8"))
+    for shard in database.store.shards():
+        digest.update(shard.sequence_ids.tobytes())
+        digest.update(shard.segment_counts.tobytes())
+        digest.update(shard.segment_slopes.tobytes())
+        digest.update(shard.segment_symbols.tobytes())
+        digest.update(shard.segment_column("start_time").tobytes())
+        digest.update(shard.segment_column("end_time").tobytes())
+        digest.update(shard.segment_column("start_value").tobytes())
+        digest.update(shard.segment_column("end_value").tobytes())
+        digest.update(shard.behavior_symbols.tobytes())
+        digest.update(shard.rr_values.tobytes())
+        digest.update(shard.peak_counts.tobytes())
+        digest.update(shard.source_lengths.tobytes())
+    return digest.hexdigest()
+
+
+def _encode_match(match: "QueryMatch") -> list:
+    return [
+        match.sequence_id,
+        match.name,
+        match.grade.value,
+        [[d.dimension, d.amount, d.bound] for d in match.deviations],
+    ]
+
+
+def _decode_match(record: list) -> "QueryMatch":
+    from repro.core.tolerance import DimensionDeviation, MatchGrade
+    from repro.query.results import QueryMatch
+
+    sequence_id, name, grade, deviations = record
+    return QueryMatch(
+        int(sequence_id),
+        str(name),
+        MatchGrade(grade),
+        tuple(
+            DimensionDeviation(str(dim), float(amount), float(bound))
+            for dim, amount, bound in deviations
+        ),
+    )
+
+
+def _key_to_tuple(obj):
+    """JSON round-trip turns fingerprint tuples into lists; undo that."""
+    if isinstance(obj, list):
+        return tuple(_key_to_tuple(item) for item in obj)
+    return obj
+
+
+def save_result_cache(database: "SequenceDatabase", path) -> int:
+    """Persist the database's warm cache entries to ``path``.
+
+    Writes every entry valid at the current cache epoch, plus the
+    content digest, the store's generation vector and the journal's
+    rebase state (so a report can tell how far the snapshot's epoch
+    was from compaction).  Returns the number of entries written.
+    """
+    epoch = database.cache_epoch()
+    entries = database.result_cache.export_entries(epoch)
+    payload = {
+        "version": _SNAPSHOT_VERSION,
+        "digest": engine_state_digest(database),
+        "generation_vector": list(database.store.generation_vector()),
+        "journal": database.store.journal_stats(),
+        "entries": [
+            {"key": list(key), "matches": [_encode_match(m) for m in matches]}
+            for key, matches in entries
+        ],
+    }
+    Path(path).write_bytes(encode_cache_snapshot(payload))
+    return len(entries)
+
+
+def load_result_cache(database: "SequenceDatabase", path) -> int:
+    """Adopt a cache snapshot into ``database``, if it still applies.
+
+    The snapshot's content digest is recomputed against the live store:
+    on a match every persisted entry is adopted at the database's
+    *current* epoch (the data is identical, so the answers are valid
+    now — queries hit warm instead of starting cold); on a mismatch —
+    the data mutated underneath the snapshot — nothing is adopted and 0
+    is returned.  A corrupted or truncated snapshot raises
+    :class:`~repro.core.errors.StorageError` from its checksum.
+    """
+    payload = decode_cache_snapshot(Path(path).read_bytes())
+    if payload.get("version") != _SNAPSHOT_VERSION:
+        raise StorageError(
+            f"unsupported cache snapshot version {payload.get('version')!r}"
+        )
+    if payload.get("digest") != engine_state_digest(database):
+        return 0
+    epoch = database.cache_epoch()
+    vector = database.store.generation_vector()
+    adopted = []
+    for entry in payload.get("entries", []):
+        key = _key_to_tuple(entry["key"])
+        matches = [_decode_match(record) for record in entry["matches"]]
+        database.result_cache.store(key, epoch, matches, vector=vector)
+        adopted.append(key)
+    # store() may reject oversized entries or LRU-evict earlier ones
+    # under the live cache's budgets; report only what actually stuck.
+    return sum(1 for key in adopted if database.result_cache.peek(key, epoch))

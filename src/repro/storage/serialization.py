@@ -16,6 +16,8 @@ so a round-tripped representation answers queries identically.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import struct
 
 import numpy as np
@@ -35,12 +37,15 @@ __all__ = [
     "decode_sequence",
     "encode_representation",
     "decode_representation",
+    "encode_cache_snapshot",
+    "decode_cache_snapshot",
     "raw_size_bytes",
     "representation_size_bytes",
 ]
 
 _MAGIC_SEQ = b"RSQ1"
 _MAGIC_REP = b"RRP1"
+_MAGIC_CACHE = b"RCS1"
 
 _FAMILY_TAGS = {"linear": 1, "poly": 2, "sin": 3, "bezier": 4}
 _TAG_FAMILIES = {v: k for k, v in _FAMILY_TAGS.items()}
@@ -239,3 +244,42 @@ def decode_representation(blob: bytes) -> FunctionSeriesRepresentation:
 def representation_size_bytes(representation: FunctionSeriesRepresentation) -> int:
     """Encoded size of a representation."""
     return len(encode_representation(representation))
+
+
+# ----------------------------------------------------------------------
+# Result-cache snapshots
+# ----------------------------------------------------------------------
+
+
+def encode_cache_snapshot(payload: dict) -> bytes:
+    """Serialize a plan-result-cache snapshot (see storage.catalog).
+
+    Magic + SHA-1 checksum + canonical JSON body.  The payload is a
+    JSON-safe dict of primitives (fingerprint keys become nested lists;
+    infinite deviation amounts round-trip through Python's JSON
+    ``Infinity`` extension).  The checksum makes tampering or torn
+    writes loudly detectable at load time.
+    """
+    body = json.dumps(payload, separators=(",", ":"), sort_keys=True).encode("utf-8")
+    return _MAGIC_CACHE + hashlib.sha1(body).digest() + body
+
+
+def decode_cache_snapshot(blob: bytes) -> dict:
+    """Verify and parse a cache snapshot blob.
+
+    Raises :class:`~repro.core.errors.StorageError` on a bad magic,
+    a checksum mismatch (corrupted/mutated file) or malformed JSON.
+    """
+    if len(blob) < 24 or bytes(blob[:4]) != _MAGIC_CACHE:
+        raise StorageError("not a serialized cache snapshot (bad magic)")
+    checksum = bytes(blob[4:24])
+    body = bytes(blob[24:])
+    if hashlib.sha1(body).digest() != checksum:
+        raise StorageError("cache snapshot corrupted (checksum mismatch)")
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise StorageError(f"cache snapshot unreadable: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise StorageError("cache snapshot body is not an object")
+    return payload

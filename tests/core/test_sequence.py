@@ -226,3 +226,39 @@ class TestOperations:
     def test_with_name(self):
         seq = Sequence.from_values([1.0, 2.0]).with_name("renamed")
         assert seq.name == "renamed"
+
+
+class TestFromBlock:
+    """Zero-copy batch construction on a shared grid."""
+
+    def test_rows_equal_from_values(self):
+        block = np.array([[1.0, 2.0, 0.5], [0.0, -1.0, 3.0]])
+        batch = Sequence.from_block(block, names=["a", "b"])
+        assert len(batch) == 2
+        for row, name, sequence in zip(block, ["a", "b"], batch):
+            assert sequence == Sequence.from_values(row, name=name)
+            assert sequence.name == name
+
+    def test_views_share_the_grid_and_are_frozen(self):
+        batch = Sequence.from_block([[1.0, 2.0], [3.0, 4.0]])
+        assert batch[0].times is batch[1].times
+        assert not batch[0].values.flags.writeable
+        assert not batch[0].times.flags.writeable
+
+    def test_source_block_mutation_cannot_leak_in(self):
+        source = np.array([[1.0, 2.0]])
+        (sequence,) = Sequence.from_block(source)
+        source[0, 0] = 99.0
+        assert sequence.values[0] == 1.0
+
+    def test_validation(self):
+        with pytest.raises(SequenceError):
+            Sequence.from_block(np.ones((2, 0)))
+        with pytest.raises(SequenceError):
+            Sequence.from_block([[np.inf, 1.0]])
+        with pytest.raises(SequenceError):
+            Sequence.from_block([[1.0, 2.0]], times=[1.0])
+        with pytest.raises(SequenceError):
+            Sequence.from_block([[1.0, 2.0]], times=[2.0, 1.0])
+        with pytest.raises(SequenceError):
+            Sequence.from_block([[1.0]], names=[])

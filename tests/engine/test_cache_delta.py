@@ -1,0 +1,219 @@
+"""Delta revalidation: patched cached answers equal cold re-runs, always.
+
+The acceptance contract of the journal-backed cache: after any
+interleaving of insert / append / delete, a stale cached answer that is
+delta-revalidated (only the journal-dirty ids re-graded) must be
+byte-identical to evaluating the query from scratch — for every query
+type, every shard count, and with the parallel executor.  When the
+journal has compacted past the entry, the cache must fall back to a
+full re-grade and still be right.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.sequence import Sequence
+from repro.query import (
+    ExemplarQuery,
+    IntervalQuery,
+    PatternQuery,
+    PeakCountQuery,
+    SequenceDatabase,
+    ShapeQuery,
+    SteepnessQuery,
+)
+from repro.segmentation.online import IncrementalRegressionBreaker
+from repro.workloads import fever_corpus, goalpost_fever, k_peak_sequence
+
+GOALPOST = "(0|-)* + (0|-)^+ + (0|-)*"
+SHARD_COUNTS = [None, 2, 7]
+
+
+def _fever_db(n_shards, max_workers=None):
+    db = SequenceDatabase(
+        breaker=IncrementalRegressionBreaker(0.5),
+        n_shards=n_shards,
+        max_workers=max_workers,
+    )
+    db.insert_all(fever_corpus(n_two_peak=6, n_one_peak=4, n_three_peak=4))
+    return db
+
+
+def _queries():
+    return [
+        PatternQuery(GOALPOST),
+        PatternQuery("(0|-)* + (0|-|\\+)*", collapse_runs=False),
+        PeakCountQuery(2, count_tolerance=1),
+        IntervalQuery(12.0, 2.0),
+        SteepnessQuery(3.0, slope_tolerance=1.5),
+        ShapeQuery(goalpost_fever(), duration_tolerance=0.5, amplitude_tolerance=0.5),
+        ExemplarQuery(k_peak_sequence([6.0, 18.0], noise=0.0), epsilon=0.5),
+    ]
+
+
+def _mutate_script(db):
+    """Interleaved insert / append / delete steps, yielding after each."""
+    yield "insert", db.insert(k_peak_sequence([7.0, 19.0], noise=0.0, name="fresh"))
+    victims = db.ids()[1:3]
+    db.delete_many(victims)
+    yield "delete", victims
+    appended = db.ids()[0]
+    db.append(appended, [1.5, 9.0, 1.5])
+    yield "append", appended
+    yield "insert_all", db.insert_all(
+        fever_corpus(n_two_peak=1, n_one_peak=1, n_three_peak=0)
+    )
+    db.delete(db.ids()[-1])
+    yield "delete-last", None
+    db.append(db.ids()[2], [2.0, 2.5])
+    yield "append-2", None
+
+
+@pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+class TestDeltaEqualsCold:
+    def test_interleaved_mutations_all_query_types(self, n_shards):
+        db = _fever_db(n_shards)
+        queries = _queries()
+        # Warm every entry.
+        for query in queries:
+            for include_approximate in (True, False):
+                db.query(query, include_approximate)
+        for step, __ in _mutate_script(db):
+            for query in queries:
+                for include_approximate in (True, False):
+                    delta = db.query(query, include_approximate)
+                    cold = db.query(query, include_approximate, cache=False)
+                    assert delta == cold, f"{type(query).__name__} diverged after {step}"
+        # Every stale refresh went through the journal, never a fallback.
+        stats = db.result_cache.stats()
+        assert stats["delta_hits"] > 0
+        assert stats["delta_fallbacks"] == 0
+
+    def test_parallel_executor_agrees(self, n_shards):
+        if n_shards is None:
+            pytest.skip("workers only scatter over shards")
+        serial = _fever_db(n_shards)
+        parallel = _fever_db(n_shards, max_workers=4)
+        query = PeakCountQuery(2, count_tolerance=1)
+        for db in (serial, parallel):
+            db.query(query)
+            db.insert(k_peak_sequence([6.0, 18.0], noise=0.0, name="par"))
+            db.append(db.ids()[0], [3.0, 8.0])
+        assert serial.query(query) == parallel.query(query)
+        assert parallel.result_cache.delta_hits > 0
+
+
+class TestDeltaMechanics:
+    def test_delta_skips_clean_sequences(self):
+        from repro.query.queries import PeakCountQuery as Base
+
+        class CountingQuery(Base):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                self.graded_ids = []
+
+            def _vector_filter(self, database, store, candidate_ids):
+                if candidate_ids is not None:
+                    self.graded_ids.extend(candidate_ids)
+                else:
+                    self.graded_ids.extend(int(s) for s in store.sequence_ids)
+                return super()._vector_filter(database, store, candidate_ids)
+
+        db = _fever_db(None)
+        query = CountingQuery(2, count_tolerance=1)
+        db.query(query)
+        full_count = len(query.graded_ids)
+        assert full_count == len(db)
+        new_id = db.insert(k_peak_sequence([6.0, 18.0], noise=0.0, name="one"))
+        query.graded_ids.clear()
+        db.query(query)
+        assert query.graded_ids == [new_id]  # only the dirty id re-graded
+
+    def test_journal_compaction_falls_back_to_full_regrade(self):
+        db = _fever_db(None)
+        query = PeakCountQuery(2, count_tolerance=1)
+        db.query(query)
+        db.store.journal.max_entries = 2
+        for i in range(5):
+            db.insert(k_peak_sequence([6.0 + i], noise=0.0, name=f"c{i}"))
+        delta = db.query(query)
+        assert delta == db.query(query, cache=False)
+        stats = db.result_cache.stats()
+        assert stats["delta_fallbacks"] == 1
+        assert stats["revalidations"] == 1
+        # The refreshed entry is a plain hit afterwards.
+        db.query(query)
+        assert db.result_cache.hits >= 1
+
+    def test_bulk_dirty_set_falls_back_to_full_regrade(self):
+        # Doubling the corpus dirties more than a quarter of the store:
+        # a subset re-grade would cost more than starting over, so the
+        # revalidation runs the stages in full (counted as a fallback)
+        # and still answers identically.
+        db = _fever_db(None)
+        query = PeakCountQuery(2, count_tolerance=1)
+        db.query(query)
+        db.insert_all(fever_corpus(n_two_peak=6, n_one_peak=4, n_three_peak=4))
+        assert db.query(query) == db.query(query, cache=False)
+        stats = db.result_cache.stats()
+        assert stats["delta_fallbacks"] == 1
+        assert stats["delta_hits"] == 0
+        db.query(query)
+        assert db.result_cache.hits >= 1  # refreshed in place
+
+    def test_config_change_bypasses_delta(self):
+        db = _fever_db(None)
+        query = ShapeQuery(goalpost_fever(), duration_tolerance=0.5, amplitude_tolerance=0.5)
+        db.query(query)
+        db.breaker = IncrementalRegressionBreaker(2.0)
+        assert db.query(query) == db.query(query, cache=False)
+        stats = db.result_cache.stats()
+        assert stats["revalidations"] == 0  # recomputed, not revalidated
+
+    def test_explain_reports_dirty_count(self):
+        db = _fever_db(2)
+        query = SteepnessQuery(1.0)
+        db.query(query)
+        db.insert_all(
+            [
+                k_peak_sequence([6.0], noise=0.0, name="a"),
+                k_peak_sequence([7.0], noise=0.0, name="b"),
+            ]
+        )
+        db.delete(db.ids()[0])
+        # Three journal-dirty ids, but one is the deleted sequence: the
+        # verdict counts the two a revalidation would actually re-grade.
+        assert "cache: delta-revalidated (2 dirty)" in db.explain(query)
+        db.query(query)
+        assert "cache-hit" in db.explain(query)
+
+    def test_explain_matches_the_fallback_decision(self):
+        # On a tiny database one dirty id already exceeds the 4x
+        # threshold: explain must report cache-miss (the evaluation will
+        # run a full-re-grade fallback), never a delta it won't take.
+        db = SequenceDatabase(breaker=IncrementalRegressionBreaker(0.5))
+        db.insert(k_peak_sequence([6.0, 18.0], noise=0.0, name="a"))
+        db.insert(k_peak_sequence([7.0], noise=0.0, name="b"))
+        query = PeakCountQuery(2, count_tolerance=1)
+        db.query(query)
+        db.append(db.ids()[0], [1.0, 9.0])
+        assert "cache-miss" in db.explain(query)
+        assert "delta-revalidated" not in db.explain(query)
+        db.query(query)
+        stats = db.result_cache.stats()
+        assert stats["delta_fallbacks"] == 1
+        assert stats["delta_hits"] == 0
+
+    def test_insert_then_delete_nets_out(self):
+        # A sequence inserted and deleted between lookups is dirty but
+        # dead; the patched answer must simply not contain it.
+        db = _fever_db(None)
+        query = PeakCountQuery(2, count_tolerance=1)
+        before = db.query(query)
+        doomed = db.insert(k_peak_sequence([6.0, 18.0], noise=0.0, name="doomed"))
+        db.delete(doomed)
+        after = db.query(query)
+        assert after == before
+        assert db.result_cache.delta_hits == 1

@@ -1,0 +1,141 @@
+"""Mutation journal: recording, dirty sets, ring compaction, wiring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import EngineError
+from repro.engine import ColumnarSegmentStore, MutationJournal, ShardedSegmentStore
+from repro.query import SequenceDatabase
+from repro.segmentation import InterpolationBreaker
+from repro.workloads import fever_corpus, k_peak_sequence
+
+
+class TestMutationJournal:
+    def test_records_and_reports_dirty_sets(self):
+        journal = MutationJournal()
+        journal.record(1, "insert", [0, 1, 2])
+        journal.record(2, "delete", [1])
+        journal.record(3, "append", [2, 5])
+        assert journal.dirty_since(0) == {0, 1, 2, 5}
+        assert journal.dirty_since(1) == {1, 2, 5}
+        assert journal.dirty_since(2) == {2, 5}
+        assert journal.dirty_since(3) == set()
+
+    def test_compaction_advances_floor(self):
+        journal = MutationJournal(max_entries=2)
+        journal.record(1, "insert", [0])
+        journal.record(2, "insert", [1])
+        assert journal.compactions == 0
+        journal.record(3, "insert", [2])
+        assert journal.compactions == 1
+        assert journal.floor == 1
+        # Baselines at or after the floor stay answerable...
+        assert journal.dirty_since(1) == {1, 2}
+        assert journal.dirty_since(2) == {2}
+        # ...older baselines are unrecoverable.
+        assert journal.dirty_since(0) is None
+
+    def test_entries_since(self):
+        journal = MutationJournal(max_entries=4)
+        journal.record(1, "insert", [0])
+        journal.record(2, "delete", [0])
+        entries = journal.entries_since(1)
+        assert [(e.generation, e.kind, e.sequence_ids) for e in entries] == [
+            (2, "delete", (0,))
+        ]
+
+    def test_stats_and_bytes(self):
+        journal = MutationJournal()
+        journal.record(1, "insert", list(range(10)))
+        stats = journal.stats()
+        assert stats["entries"] == 1
+        assert stats["bytes"] > 0
+        assert stats["compactions"] == 0
+        assert stats["floor"] == 0
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(EngineError):
+            MutationJournal(max_entries=0)
+
+
+def _rep(values, name="j"):
+    from repro.core.sequence import Sequence
+
+    breaker = InterpolationBreaker(0.5)
+    return breaker.represent(Sequence.from_values(values, name=name), curve_kind="regression")
+
+
+class TestStoreWiring:
+    def test_every_mutation_is_journalled(self):
+        store = ColumnarSegmentStore()
+        rep = _rep([0.0, 1.0, 2.0, 1.0, 0.0])
+        store.insert(0, rep, peak_count=1, rr=np.array([]))
+        store.extend([(3, rep, 1, np.array([])), (5, rep, 1, np.array([]))])
+        store.replace(3, rep, peak_count=1, rr=np.array([1.5]))
+        store.delete(0)
+        store.delete_many([3, 5])
+        kinds = [(e.kind, e.sequence_ids) for e in store.journal.entries_since(0)]
+        assert kinds == [
+            ("insert", (0,)),
+            ("insert", (3, 5)),
+            ("append", (3,)),
+            ("delete", (0,)),
+            ("delete", (3, 5)),
+        ]
+        assert store.dirty_ids_since((0,)) == {0, 3, 5}
+        assert store.dirty_ids_since(store.generation_vector()) == set()
+
+    def test_replace_many_bad_payload_mutates_nothing(self):
+        store = ColumnarSegmentStore()
+        rep = _rep([0.0, 1.0, 2.0, 1.0, 0.0])
+        store.extend([(0, rep, 1, np.array([1.0])), (1, rep, 1, np.array([2.0]))])
+        generation = store.generation
+        with pytest.raises(EngineError, match="one-dimensional"):
+            store.replace_many(
+                [
+                    (0, rep, 1, np.array([9.0])),
+                    (1, rep, 1, np.array([[1.0, 2.0]])),  # malformed: 2-D
+                ]
+            )
+        # The valid first item must not have been spliced either.
+        assert store.generation == generation
+        assert np.array_equal(store.rr_intervals_of(0), np.array([1.0]))
+        store.check_consistency()
+
+    def test_sharded_vector_and_dirty_union(self):
+        store = ShardedSegmentStore(3)
+        rep = _rep([0.0, 1.0, 2.0, 1.0, 0.0])
+        baseline = store.generation_vector()
+        assert baseline == (0, 0, 0)
+        store.extend([(i, rep, 1, np.array([])) for i in range(5)])
+        assert store.dirty_ids_since(baseline) == {0, 1, 2, 3, 4}
+        mid = store.generation_vector()
+        store.delete(4)
+        assert store.dirty_ids_since(mid) == {4}
+        # A vector from a different shard layout is unanswerable.
+        assert store.dirty_ids_since((0,)) is None
+
+    def test_sharded_compaction_poisons_the_union(self):
+        store = ShardedSegmentStore(2)
+        rep = _rep([0.0, 1.0, 2.0, 1.0, 0.0])
+        baseline = store.generation_vector()
+        for shard in store.shards():
+            shard.journal.max_entries = 1
+        for i in range(6):
+            store.insert(i, rep, peak_count=1, rr=np.array([]))
+        assert store.dirty_ids_since(baseline) is None
+        assert store.journal_stats()["compactions"] > 0
+
+    def test_storage_report_exposes_journal(self):
+        db = SequenceDatabase(breaker=InterpolationBreaker(0.5), n_shards=2)
+        db.insert_all(fever_corpus(n_two_peak=2, n_one_peak=1, n_three_peak=1))
+        db.insert(k_peak_sequence([6.0], noise=0.0, name="solo"))
+        report = db.storage_report()["journal"]
+        assert report["entries"] >= 2
+        assert report["bytes"] > 0
+        assert report["compactions"] == 0
+        stats = db.storage_report()["result_cache"]
+        for key in ("revalidations", "delta_hits", "delta_fallbacks"):
+            assert key in stats

@@ -171,13 +171,14 @@ class TestInvalidation:
 
 
 class TestExplainShowsCacheState:
-    def test_miss_then_hit(self, db):
+    def test_miss_then_hit_then_delta(self, db):
         query = PeakCountQuery(2)
         assert "cache-miss" in db.explain(query)
         db.query(query)
         assert "cache-hit" in db.explain(query)
         db.insert(k_peak_sequence([6.0], noise=0.0, name="bump"))
-        assert "cache-miss" in db.explain(query)
+        # The stale entry would be patched, not recomputed: one dirty id.
+        assert "cache: delta-revalidated (1 dirty)" in db.explain(query)
 
     def test_explain_does_not_touch_stats(self, db):
         query = PeakCountQuery(2)
@@ -198,12 +199,28 @@ class TestCacheMechanics:
         assert cache.lookup(("a",), 0) == []
         assert cache.lookup(("c",), 0) == []
 
-    def test_stale_entry_dropped_on_lookup(self):
+    def test_stale_entry_retained_for_revalidation(self):
+        # A stale entry is a miss, but it is *kept*: the executor
+        # delta-revalidates it from the mutation journal instead of
+        # recomputing the world.  Invalidation is counted once per
+        # staleness, not once per lookup.
         cache = PlanResultCache()
         cache.store(("q",), 3, [])
         assert cache.lookup(("q",), 4) is None
         assert cache.invalidations == 1
-        assert len(cache) == 0
+        assert len(cache) == 1
+        assert cache.lookup(("q",), 4) is None
+        assert cache.invalidations == 1
+        assert cache.misses == 2
+        epoch, matches, vector = cache.stale_entry(("q",), 4)
+        assert epoch == 3 and matches == () and vector is None
+        # Refreshing it at the new epoch makes it a hit again.
+        cache.revalidate(("q",), 4, (7,), [], dirty_count=2)
+        assert cache.stale_entry(("q",), 4) is None
+        assert cache.lookup(("q",), 4) == []
+        assert cache.revalidations == 1
+        assert cache.delta_hits == 1
+        assert cache.delta_fallbacks == 0
 
     def test_returned_list_is_a_copy(self):
         cache = PlanResultCache()
@@ -285,9 +302,29 @@ class TestSizeAwareEviction:
         assert one_entry > 0
         cache.store(("b",), 0, self._matches(10))
         assert cache.estimated_bytes > one_entry
-        assert cache.lookup(("a",), 1) is None  # stale: invalidated
+        # Stale entries stay resident (awaiting delta revalidation) and
+        # keep paying for their bytes until replaced or cleared.
+        assert cache.lookup(("a",), 1) is None
         assert cache.lookup(("b",), 1) is None
+        assert cache.estimated_bytes > one_entry
+        cache.clear()
         assert cache.estimated_bytes == 0
+
+    def test_revalidation_accounts_patched_payload(self):
+        # The byte budget must reflect what the entry holds *now*: a
+        # revalidated answer that shrank (or grew) re-estimates from the
+        # patched match list, not the original insert.
+        cache = PlanResultCache(max_entries=8, max_bytes=1 << 20)
+        cache.store(("q",), 0, self._matches(200), vector=(0,))
+        original = cache.estimated_bytes
+        cache.revalidate(("q",), 1, (1,), self._matches(3), dirty_count=5)
+        shrunk = cache.estimated_bytes
+        assert shrunk < original
+        control = PlanResultCache(max_entries=8, max_bytes=1 << 20)
+        control.store(("q",), 1, self._matches(3), vector=(1,))
+        assert shrunk == control.estimated_bytes
+        cache.revalidate(("q",), 2, (2,), self._matches(400), dirty_count=5)
+        assert cache.estimated_bytes > original
 
     def test_byte_budget_evicts_lru(self):
         cache = PlanResultCache(max_entries=100, max_bytes=None)

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.errors import QueryError
+from repro.core.sequence import Sequence
 from repro.query import IngestPipeline, PeakCountQuery, SequenceDatabase
 from repro.segmentation import InterpolationBreaker
 from repro.workloads import fever_corpus
@@ -96,3 +97,63 @@ class TestParityWithDirectIngest:
         pipeline = IngestPipeline(db, batch_size=2)
         pipeline.add_many(corpus()[:2])
         assert len(db) == 2
+
+
+class TestBlockBuffering:
+    """The NumPy front door: add_block / bulk add_many."""
+
+    def test_add_block_matches_per_sequence_adds(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        block = rng.normal(0.0, 1.0, (7, 40))
+        names = [f"b{i}" for i in range(7)]
+
+        direct = make_db()
+        with direct.ingest_pipeline(batch_size=3) as pipeline:
+            for row, name in zip(block, names):
+                pipeline.add(Sequence.from_values(row, name=name))
+
+        blocked = make_db()
+        with blocked.ingest_pipeline(batch_size=3) as pipeline:
+            pipeline.add_block(block, names=names)
+
+        assert blocked.ids() == direct.ids()
+        for sequence_id in direct.ids():
+            assert blocked.name_of(sequence_id) == direct.name_of(sequence_id)
+            assert blocked.raw_sequence(sequence_id) == direct.raw_sequence(sequence_id)
+        query = PeakCountQuery(1, count_tolerance=5)
+        assert blocked.query(query, cache=False) == direct.query(query, cache=False)
+
+    def test_add_block_with_explicit_times(self):
+        import numpy as np
+
+        db = make_db()
+        times = np.array([0.0, 0.5, 1.5, 4.0])
+        with db.ingest_pipeline(batch_size=10) as pipeline:
+            pipeline.add_block([[1.0, 2.0, 1.0, 0.0]], times=times)
+        assert np.array_equal(db.raw_sequence(0).times, times)
+
+    def test_add_block_validates_like_sequences(self):
+        import numpy as np
+
+        from repro.core.errors import SequenceError
+
+        db = make_db()
+        pipeline = db.ingest_pipeline()
+        with pytest.raises(SequenceError):
+            pipeline.add_block(np.ones((2, 3, 1)))  # not 2-D
+        with pytest.raises(SequenceError):
+            pipeline.add_block([[1.0, float("nan")]])
+        with pytest.raises(SequenceError):
+            pipeline.add_block([[1.0, 2.0]], times=[3.0, 1.0])  # not increasing
+        with pytest.raises(SequenceError):
+            pipeline.add_block([[1.0, 2.0]], names=["only-one", "too-many"])
+        assert pipeline.pending == 0  # nothing buffered from bad blocks
+
+    def test_add_many_accepts_any_iterable(self):
+        db = make_db()
+        pipeline = db.ingest_pipeline(batch_size=4)
+        pipeline.add_many(iter(corpus()[:6]))
+        assert len(db) == 4
+        assert pipeline.pending == 2

@@ -1,0 +1,139 @@
+"""Streaming extension of breaks: suffix rescans equal from-scratch breaks.
+
+The append path's foundation: for the online breakers,
+``extend_indices(extended, previous)`` must reproduce
+``break_indices(extended)`` bit for bit while touching only the suffix
+past the last closed boundary, and the frontier-batched
+``extend_indices_many`` must match the per-sequence scalar path for any
+batch.  Offline breakers fall back to a full (frontier-batched)
+re-break, which is trivially identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.sequence import Sequence
+from repro.segmentation import InterpolationBreaker
+from repro.segmentation.online import IncrementalRegressionBreaker, SlidingWindowBreaker
+
+
+def _wavy(rng, n, name="w"):
+    t = np.arange(n, dtype=float)
+    values = (
+        np.sin(2 * np.pi * t / rng.uniform(12, 40))
+        + 0.3 * np.sin(2 * np.pi * t / rng.uniform(3, 9))
+        + rng.normal(0.0, 0.05, n)
+    )
+    return Sequence(t, values, name=name)
+
+
+def _cases(seed=7, count=12):
+    rng = np.random.default_rng(seed)
+    cases = []
+    for i in range(count):
+        n = int(rng.integers(40, 220))
+        full = _wavy(rng, n, name=f"w{i}")
+        prefix_len = int(rng.integers(10, n - 5))
+        cases.append((full, prefix_len))
+    return cases
+
+
+BREAKERS = [
+    IncrementalRegressionBreaker(0.2),
+    IncrementalRegressionBreaker(0.6, min_points=4),
+    SlidingWindowBreaker(0.25, window=8, degree=1),
+    SlidingWindowBreaker(0.4, window=5, degree=2),
+]
+
+
+@pytest.mark.parametrize("breaker", BREAKERS, ids=lambda b: repr(b))
+class TestExtendEqualsFromScratch:
+    def test_single_extension(self, breaker):
+        for full, prefix_len in _cases():
+            prefix = full[:prefix_len]
+            previous = breaker.break_indices(prefix)
+            extended = breaker.extend_indices(full, previous)
+            assert extended == breaker.break_indices(full)
+
+    def test_chained_extensions(self, breaker):
+        # Appending in several installments must agree with one big break.
+        full, _ = _cases(seed=3, count=1)[0]
+        cuts = [30, 60, 110, len(full)]
+        boundaries = breaker.break_indices(full[: cuts[0]])
+        for cut in cuts[1:]:
+            boundaries = breaker.extend_indices(full[:cut], boundaries)
+        assert boundaries == breaker.break_indices(full)
+
+
+class TestFrontierBatch:
+    def test_batch_equals_scalar(self):
+        breaker = IncrementalRegressionBreaker(0.3)
+        items = []
+        for full, prefix_len in _cases(seed=11, count=9):
+            previous = breaker.break_indices(full[:prefix_len])
+            items.append((full, previous))
+        batched = breaker.extend_indices_many(items)
+        scalar = [breaker.extend_indices(seq, prev) for seq, prev in items]
+        assert batched == scalar
+        # And both equal from-scratch breaking of the extended data.
+        assert batched == [breaker.break_indices(seq) for seq, __ in items]
+
+    def test_uneven_suffixes_one_long_straggler(self):
+        # One lane's rescan runs ~100x longer than the rest: it must
+        # retire the short lanes from the frontier and finish scalar-ly,
+        # still bit-identical to per-sequence extension.
+        rng = np.random.default_rng(23)
+        breaker = IncrementalRegressionBreaker(0.25)
+        items = []
+        long_full = _wavy(rng, 3000, name="long")
+        items.append((long_full, breaker.break_indices(long_full[:10])))
+        for i in range(10):
+            full = _wavy(rng, 60, name=f"short-{i}")
+            items.append((full, breaker.break_indices(full[:45])))
+        batched = breaker.extend_indices_many(items)
+        assert batched == [breaker.extend_indices(seq, prev) for seq, prev in items]
+
+    def test_sub_frontier_batches_are_scalar_finished(self):
+        # 3..7 items: below the frontier minimum, everything runs through
+        # the state-carrying scalar finish from round zero.
+        rng = np.random.default_rng(29)
+        breaker = IncrementalRegressionBreaker(0.3)
+        for count in (3, 5, 7):
+            items = []
+            for i in range(count):
+                full = _wavy(rng, 80 + 13 * i, name=f"s{i}")
+                items.append((full, breaker.break_indices(full[: 30 + 7 * i])))
+            assert breaker.extend_indices_many(items) == [
+                breaker.extend_indices(seq, prev) for seq, prev in items
+            ]
+
+    def test_small_batches_take_the_scalar_path(self):
+        breaker = IncrementalRegressionBreaker(0.3)
+        full, prefix_len = _cases(seed=5, count=1)[0]
+        previous = breaker.break_indices(full[:prefix_len])
+        assert breaker.extend_indices_many([(full, previous)]) == [
+            breaker.break_indices(full)
+        ]
+        assert breaker.extend_indices_many([]) == []
+
+    def test_empty_previous_breaks_from_scratch(self):
+        breaker = IncrementalRegressionBreaker(0.3)
+        full, __ = _cases(seed=9, count=1)[0]
+        assert breaker.extend_indices(full, []) == breaker.break_indices(full)
+
+
+class TestOfflineFallback:
+    def test_base_extend_rebreaks_fully(self):
+        breaker = InterpolationBreaker(0.5)
+        for full, prefix_len in _cases(seed=13, count=4):
+            previous = breaker.break_indices(full[:prefix_len])
+            assert breaker.extend_indices(full, previous) == breaker.break_indices(full)
+        items = [
+            (full, breaker.break_indices(full[:prefix_len]))
+            for full, prefix_len in _cases(seed=17, count=4)
+        ]
+        assert breaker.extend_indices_many(items) == breaker.break_indices_many(
+            [seq for seq, __ in items]
+        )

@@ -1,0 +1,204 @@
+"""Result-cache snapshots: warm after restart, invalid after mutation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import StorageError
+from repro.query import (
+    IntervalQuery,
+    PatternQuery,
+    PeakCountQuery,
+    SequenceDatabase,
+    ShapeQuery,
+    SteepnessQuery,
+)
+from repro.segmentation import InterpolationBreaker
+from repro.storage.catalog import engine_state_digest, load_result_cache, save_result_cache
+from repro.storage.serialization import decode_cache_snapshot, encode_cache_snapshot
+from repro.workloads import fever_corpus, goalpost_fever, k_peak_sequence
+
+GOALPOST = "(0|-)* + (0|-)^+ + (0|-)*"
+
+
+def _db(n_shards=None):
+    db = SequenceDatabase(breaker=InterpolationBreaker(0.5), n_shards=n_shards)
+    db.insert_all(fever_corpus(n_two_peak=4, n_one_peak=3, n_three_peak=3))
+    return db
+
+
+def _queries():
+    return [
+        PatternQuery(GOALPOST),
+        PeakCountQuery(2, count_tolerance=1),
+        IntervalQuery(12.0, 2.0),
+        SteepnessQuery(3.0, slope_tolerance=1.5),
+        ShapeQuery(goalpost_fever(), duration_tolerance=0.5, amplitude_tolerance=0.5),
+    ]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("n_shards", [None, 2, 7])
+    def test_restart_is_warm(self, tmp_path, n_shards):
+        db = _db(n_shards)
+        expected = {}
+        for query in _queries():
+            expected[query.fingerprint()] = db.query(query)
+        path = tmp_path / "cache.snap"
+        assert save_result_cache(db, path) == len(expected)
+
+        # "Restart": a fresh process rebuilds the same database, then
+        # adopts the snapshot.
+        restarted = _db(n_shards)
+        assert load_result_cache(restarted, path) == len(expected)
+        for query in _queries():
+            assert "cache-hit" in restarted.explain(query)
+            assert restarted.query(query) == expected[query.fingerprint()]
+        # Every answer above came from the adopted entries.
+        assert restarted.result_cache.hits == len(expected)
+        assert restarted.result_cache.misses == 0
+
+    def test_adopted_entries_delta_revalidate_after_restart(self, tmp_path):
+        db = _db()
+        query = PeakCountQuery(2, count_tolerance=1)
+        db.query(query)
+        path = tmp_path / "cache.snap"
+        save_result_cache(db, path)
+        restarted = _db()
+        load_result_cache(restarted, path)
+        new_id = restarted.insert(
+            k_peak_sequence([6.0, 18.0], noise=0.0, name="post-restart")
+        )
+        answer = restarted.query(query)
+        assert new_id in {m.sequence_id for m in answer}
+        assert answer == restarted.query(query, cache=False)
+        assert restarted.result_cache.delta_hits == 1
+
+    def test_db_convenience_methods(self, tmp_path):
+        db = _db()
+        db.query(PeakCountQuery(2))
+        path = tmp_path / "cache.snap"
+        assert db.save_result_cache(path) == 1
+        restarted = _db()
+        assert restarted.load_result_cache(path) == 1
+
+    def test_adopted_count_reflects_resident_entries(self, tmp_path):
+        # Loading into a cache too small for the snapshot must report
+        # only the entries that actually stuck, not everything offered.
+        from repro.engine import PlanResultCache
+
+        db = _db()
+        for query in _queries():
+            db.query(query)
+        path = tmp_path / "cache.snap"
+        written = save_result_cache(db, path)
+        assert written == len(_queries())
+        restarted = _db()
+        restarted.result_cache = PlanResultCache(max_entries=2)
+        adopted = load_result_cache(restarted, path)
+        assert adopted == 2 == len(restarted.result_cache)
+
+    def test_stale_entries_are_not_persisted(self, tmp_path):
+        db = _db()
+        db.query(PeakCountQuery(2))
+        db.query(SteepnessQuery(1.0))
+        db.insert(k_peak_sequence([6.0], noise=0.0, name="staler"))
+        db.query(SteepnessQuery(1.0))  # revalidated: warm again
+        path = tmp_path / "cache.snap"
+        assert save_result_cache(db, path) == 1  # only the warm entry
+
+
+class TestInvalidation:
+    def test_mutated_database_adopts_nothing(self, tmp_path):
+        db = _db()
+        db.query(PeakCountQuery(2))
+        path = tmp_path / "cache.snap"
+        save_result_cache(db, path)
+        mutated = _db()
+        mutated.insert(k_peak_sequence([6.0], noise=0.0, name="drift"))
+        assert load_result_cache(mutated, path) == 0
+        assert len(mutated.result_cache) == 0
+        assert "cache-miss" in mutated.explain(PeakCountQuery(2))
+
+    def test_different_names_adopt_nothing(self, tmp_path):
+        # QueryMatch carries the sequence name, so a rebuild with the
+        # same values but different names must not adopt the snapshot —
+        # it would serve matches labelled with the old names.
+        a = SequenceDatabase(breaker=InterpolationBreaker(0.5))
+        a.insert(k_peak_sequence([6.0, 18.0], noise=0.0, name="alice"))
+        a.query(PeakCountQuery(2))
+        path = tmp_path / "cache.snap"
+        save_result_cache(a, path)
+        b = SequenceDatabase(breaker=InterpolationBreaker(0.5))
+        b.insert(k_peak_sequence([6.0, 18.0], noise=0.0, name="bob"))
+        assert load_result_cache(b, path) == 0
+        assert [m.name for m in b.query(PeakCountQuery(2))] == ["bob"]
+
+    def test_different_raw_values_adopt_nothing(self, tmp_path):
+        # The exemplar query grades archived raw bytes; a corpus whose
+        # representations coincide but whose raw samples differ must
+        # digest differently.
+        import numpy as np
+
+        from repro.core.sequence import Sequence
+
+        def build(jitter):
+            db = SequenceDatabase(breaker=InterpolationBreaker(10.0))
+            values = np.array([0.0, 1.0, 2.0, 1.0, 0.0]) + jitter
+            db.insert(Sequence.from_values(values, name="r"))
+            return db
+
+        a = build(0.0)
+        a.query(PeakCountQuery(1))
+        path = tmp_path / "cache.snap"
+        save_result_cache(a, path)
+        b = build(0.05)  # same breakpoints under the loose epsilon
+        assert load_result_cache(b, path) == 0
+
+    def test_different_config_adopts_nothing(self, tmp_path):
+        db = _db()
+        db.query(PeakCountQuery(2))
+        path = tmp_path / "cache.snap"
+        save_result_cache(db, path)
+        other = SequenceDatabase(breaker=InterpolationBreaker(0.5), theta=0.2)
+        other.insert_all(fever_corpus(n_two_peak=4, n_one_peak=3, n_three_peak=3))
+        assert load_result_cache(other, path) == 0
+
+    def test_corrupted_snapshot_fails_loudly(self, tmp_path):
+        db = _db()
+        db.query(PeakCountQuery(2))
+        path = tmp_path / "cache.snap"
+        save_result_cache(db, path)
+        blob = bytearray(path.read_bytes())
+        blob[-3] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(StorageError, match="checksum"):
+            load_result_cache(db, path)
+        path.write_bytes(b"garbage")
+        with pytest.raises(StorageError, match="magic"):
+            load_result_cache(db, path)
+
+
+class TestDigestAndCodec:
+    def test_digest_tracks_content_not_history(self):
+        # Two databases with the same live data but different mutation
+        # histories digest identically — snapshots survive a rebuild
+        # that took a different path to the same state.
+        a = _db()
+        b = _db()
+        assert engine_state_digest(a) == engine_state_digest(b)
+        victim = a.ids()[0]
+        a.delete(victim)
+        assert engine_state_digest(a) != engine_state_digest(b)
+        b.delete(victim)
+        assert engine_state_digest(a) == engine_state_digest(b)
+
+    def test_snapshot_codec_roundtrips_infinities(self):
+        payload = {
+            "version": 1,
+            "entries": [{"key": [["Q", 1.5, True], False], "amount": float("inf")}],
+        }
+        decoded = decode_cache_snapshot(encode_cache_snapshot(payload))
+        assert decoded["entries"][0]["amount"] == float("inf")
+        assert decoded["entries"][0]["key"] == [["Q", 1.5, True], False]
