@@ -1,0 +1,103 @@
+"""Top-k pruned search vs full-grade-then-sort, with a CI-enforced floor.
+
+The cluster-representative index must answer k-nearest queries at least
+``TOPK_SPEEDUP_FLOOR``x faster than the vectorized full scan (grade
+every sequence's profile, sort, cut at k) on a 10k-sequence
+server-metrics corpus — while returning the *identical* ranked answer,
+which every probe asserts.  Both sides run the same distance kernel, so
+the ratio measures pruning alone, not kernel tricks.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.engine.clustering import N_FEATURES
+from repro.query import SequenceDatabase
+from repro.segmentation.online import IncrementalRegressionBreaker
+from repro.workloads import server_metrics_corpus
+
+TOPK_SPEEDUP_FLOOR = 5.0
+
+N_SEQUENCES = 10_000
+POOL_SIZE = 500  # distinct broken traces; replicas share a representation
+K = 10
+N_PROBES = 8
+
+
+def _best_of(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _corpus_db():
+    breaker = IncrementalRegressionBreaker(0.5)
+    pool = [
+        breaker.represent(seq)
+        for seq in server_metrics_corpus(n_sequences=POOL_SIZE, n_families=16, seed=29)
+    ]
+    db = SequenceDatabase(breaker=IncrementalRegressionBreaker(0.5), keep_raw=False)
+    for i in range(N_SEQUENCES):
+        db.insert_representation(pool[i % POOL_SIZE], name=f"metrics-{i}")
+    return db
+
+
+def _full_scan_topk(index, query_features, k):
+    """The honest baseline: grade every profile, sort, cut at k —
+    same kernel, same (distance, id) order as the pruned path."""
+    ids, distances = index.all_distances(query_features)
+    order = np.lexsort((ids, distances))[:k]
+    return [(float(distances[i]), int(ids[i])) for i in order]
+
+
+def test_topk_pruning_speedup(report):
+    build_start = time.perf_counter()
+    db = _corpus_db()
+    ingest_s = time.perf_counter() - build_start
+
+    index_start = time.perf_counter()
+    index = db.store.cluster_index()
+    index_s = time.perf_counter() - index_start
+
+    rng = np.random.default_rng(7)
+    probe_ids = rng.choice(db.ids(), size=N_PROBES, replace=False)
+    probes = [
+        index.features_of(int(sequence_id))
+        + rng.normal(scale=2.0, size=N_FEATURES)
+        for sequence_id in probe_ids
+    ]
+
+    full_times, pruned_times, pruned_fractions = [], [], []
+    for query_features in probes:
+        expected = _full_scan_topk(index, query_features, K)
+        got = index.topk(query_features, K)
+        assert got == expected  # identical ranked answer, every probe
+        full_times.append(_best_of(lambda: _full_scan_topk(index, query_features, K)))
+        pruned_times.append(_best_of(lambda: index.topk(query_features, K)))
+        pruned_fractions.append(index.report()["last_pruned_fraction"])
+
+    full_s = float(np.median(full_times))
+    pruned_s = float(np.median(pruned_times))
+    speedup = full_s / pruned_s
+
+    stats = index.report()
+    report.line(
+        f"top-{K} over {N_SEQUENCES} sequences "
+        f"({POOL_SIZE} distinct profiles, {stats['representatives']} clusters)"
+    )
+    report.line(f"ingest: {ingest_s:.2f} s, cluster-index build: {index_s * 1e3:.1f} ms")
+    report.line(f"full grade-then-sort:  {full_s * 1e6:>9.1f} us/query (median of {N_PROBES} probes)")
+    report.line(f"pruned topk:           {pruned_s * 1e6:>9.1f} us/query")
+    report.line(
+        f"pruned fraction: {min(pruned_fractions):.3f}..{max(pruned_fractions):.3f} "
+        f"of rows never refined"
+    )
+    report.line(f"speedup: {speedup:.1f}x  (floor {TOPK_SPEEDUP_FLOOR:.0f}x)")
+    assert min(pruned_fractions) > 0.5
+    assert speedup >= TOPK_SPEEDUP_FLOOR

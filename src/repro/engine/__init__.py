@@ -19,9 +19,18 @@ mutation additionally records its touched ids in a per-shard
 re-grade (:meth:`QueryExecutor.run_stages_subset`), the cached verdict
 list is patched in place, and a compacted journal falls back to a full
 re-grade.
+
+Top-k similarity search adds a pruned path: each leaf store lazily
+builds a :class:`ClusterIndex` (:mod:`repro.engine.clustering`) —
+profile features, PAA sketches and seeded sketch clusters maintained through
+the same mutation journal — and a top-k plan's single stage probes
+representatives, prunes on a provable distance lower bound and
+heap-refines survivors with early abandoning, per shard, merged and
+cut at ``k`` by the executor.
 """
 
 from repro.engine.cache import PlanResultCache
+from repro.engine.clustering import ClusterIndex
 from repro.engine.columnar import ColumnarSegmentStore
 from repro.engine.executor import QueryExecutor, QueryPlanner
 from repro.engine.journal import JournalEntry, MutationJournal
@@ -31,6 +40,7 @@ from repro.engine.plan import DimensionColumn, QueryPlan, VectorVerdicts
 from repro.engine.sharding import ShardedSegmentStore
 
 __all__ = [
+    "ClusterIndex",
     "ColumnarSegmentStore",
     "ColumnPatternMatcher",
     "JournalEntry",

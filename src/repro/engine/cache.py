@@ -9,8 +9,10 @@ list can be reused verbatim for as long as the generation it was
 computed at stays current, and *repaired* rather than discarded when it
 does not.  :class:`PlanResultCache` implements that contract:
 
-* entries are keyed on ``(query fingerprint, include_approximate)``,
-  where the fingerprint is the query's *content* key (see
+* entries are keyed on ``(query fingerprint, include_approximate)`` —
+  extended to ``(fingerprint, include_approximate, limit)`` for top-k /
+  limited plans, so the same query at different ``k`` caches separately
+  — where the fingerprint is the query's *content* key (see
   :meth:`repro.query.queries.Query.fingerprint`) — never an ``id()``,
   which can be recycled;
 * each entry remembers the generation token it was computed at (the
@@ -132,6 +134,7 @@ class PlanResultCache:
         self.revalidations = 0
         self.delta_hits = 0
         self.delta_fallbacks = 0
+        self.topk_refills = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -209,20 +212,27 @@ class PlanResultCache:
         vector,
         matches: "list[QueryMatch]",
         dirty_count: "int | None",
+        refill: bool = False,
     ) -> None:
         """Refresh a stale entry in place at a new generation.
 
         ``dirty_count`` names how many ids the journal replay re-graded
         (counted as a ``delta_hit``); ``None`` records a fallback full
-        re-grade (journal compacted past the baseline).  Byte accounting
-        is recomputed from the *patched* payload, so a heavily patched
-        entry weighs exactly what it currently holds.
+        re-grade (journal compacted past the baseline).  ``refill=True``
+        marks a top-k heap patch that could not prove its k-th boundary
+        from survivors alone and had to re-run the pruned search — it is
+        counted as ``topk_refills`` *in addition to* the hit/fallback
+        outcome.  Byte accounting is recomputed from the *patched*
+        payload, so a heavily patched entry weighs exactly what it
+        currently holds.
         """
         self.revalidations += 1
         if dirty_count is None:
             self.delta_fallbacks += 1
         else:
             self.delta_hits += 1
+        if refill:
+            self.topk_refills += 1
         self.store(key, generation, matches, vector=vector)
 
     def _discard(self, key: tuple) -> None:
@@ -253,6 +263,7 @@ class PlanResultCache:
         """Counters for benchmarks/monitoring."""
         return {
             "entries": len(self._entries),
+            "topk_entries": sum(1 for key in self._entries if len(key) > 2),
             "estimated_bytes": self._bytes,
             "max_entries": self.max_entries,
             "max_bytes": self.max_bytes,
@@ -264,4 +275,5 @@ class PlanResultCache:
             "revalidations": self.revalidations,
             "delta_hits": self.delta_hits,
             "delta_fallbacks": self.delta_fallbacks,
+            "topk_refills": self.topk_refills,
         }

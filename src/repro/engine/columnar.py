@@ -255,6 +255,31 @@ class ColumnarSegmentStore:
         self._sequences = _ColumnSet(_SEQUENCE_SCHEMA)
         self._generation = 0
         self._journal = MutationJournal(max_entries=journal_limit)
+        self._cluster_index = None
+
+    def cluster_index(self):
+        """This store's cluster-representative pruning index, in sync.
+
+        Built lazily on first use (profiling every row once) and kept
+        current afterwards by replaying the mutation journal — see
+        :class:`repro.engine.clustering.ClusterIndex`.  Mutations never
+        touch it eagerly; the generation comparison inside ``sync``
+        makes every access self-repairing.
+        """
+        from repro.engine.clustering import ClusterIndex
+
+        if self._cluster_index is None:
+            self._cluster_index = ClusterIndex(self)
+        self._cluster_index.sync()
+        return self._cluster_index
+
+    def cluster_report(self) -> dict:
+        """The cluster index's telemetry, without forcing a build."""
+        if self._cluster_index is None:
+            from repro.engine.clustering import ClusterIndex
+
+            return ClusterIndex(self).report()
+        return self._cluster_index.report()
 
     @property
     def generation(self) -> int:
@@ -468,6 +493,11 @@ class ColumnarSegmentStore:
     def shards(self) -> "tuple[ColumnarSegmentStore, ...]":
         """The leaf column stores queries scatter over — just this one."""
         return (self,)
+
+    def shard_of(self, sequence_id: int) -> "ColumnarSegmentStore":
+        """The leaf store owning a sequence — just this one, matching
+        the sharded store's routing interface."""
+        return self
 
     def partition_ids(
         self, candidate_ids: "TypingSequence[int] | None"

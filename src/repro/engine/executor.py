@@ -19,6 +19,19 @@ executor scatters serially; :class:`repro.engine.parallel.ParallelExecutor`
 overrides :meth:`QueryExecutor._scatter` with a thread pool — results
 are collected by shard position, so answers are identical for any
 worker count, any shard count, and the single unsharded store.
+
+Top-k plans (``plan.topk`` set) scatter the pruned search itself: each
+shard runs probe-representatives → lower-bound-prune → heap-refine over
+its own cluster index (:mod:`repro.engine.clustering`) and returns its
+partial top-k heap as a sorted match list; the executor merges the
+partials by :meth:`QueryMatch.sort_key` — ``(grade, deviation, id)``,
+so ties break on ascending sequence id — and cuts the merged list at
+``plan.limit``.  Plans with ``limit`` but no ``topk`` stage simply
+truncate their sorted matches.  Cached limited answers are repaired by
+a *heap patch*: dirty ids are re-graded, survivors keep their order,
+and the patched list is provably exact whenever the old k-th boundary
+still covers ``limit`` candidates — otherwise the pruned search re-runs
+(a bounded *re-fill*, counted by the cache as ``topk_refills``).
 """
 
 from __future__ import annotations
@@ -84,6 +97,11 @@ class QueryExecutor:
         """
         if cache is not None and plan.fingerprint is not None:
             key = (plan.fingerprint, bool(include_approximate))
+            if plan.limit is not None:
+                # Limited plans cache the *truncated* list, so the same
+                # query at a different k is a different entry.  Unlimited
+                # plans keep the historical two-element key shape.
+                key = key + (plan.limit,)
             generation = database.cache_epoch()
             cached = cache.lookup(key, generation)
             if cached is not None:
@@ -95,12 +113,30 @@ class QueryExecutor:
                 )
                 if revalidated is not None:
                     return revalidated
-            matches = self._run_stages(database, plan, include_approximate)
+            matches = self._run_plan(database, plan, include_approximate)
             cache.store(
                 key, generation, matches, vector=database.store.generation_vector()
             )
             return matches
-        return self._run_stages(database, plan, include_approximate)
+        return self._run_plan(database, plan, include_approximate)
+
+    def _run_plan(
+        self,
+        database: "SequenceDatabase",
+        plan: QueryPlan,
+        include_approximate: bool,
+    ) -> "list[QueryMatch]":
+        """Run every stage and apply the plan's ``limit`` truncation.
+
+        The per-shard top-k stage already bounds each partial list at
+        ``limit``, but the merged gather can hold up to ``shards *
+        limit`` matches — the cut here is what makes the scattered
+        answer identical to a single-store run.
+        """
+        matches = self._run_stages(database, plan, include_approximate)
+        if plan.limit is not None:
+            matches = matches[: plan.limit]
+        return matches
 
     @staticmethod
     def revalidation_plan(
@@ -163,7 +199,7 @@ class QueryExecutor:
         __, old_matches, ___ = stale
         vector = database.store.generation_vector()
         if kind == "full":
-            matches = self._run_stages(database, plan, include_approximate)
+            matches = self._run_plan(database, plan, include_approximate)
             cache.revalidate(key, generation, vector, matches, dirty_count=None)
             return matches
         live_dirty, dirty = payload
@@ -172,6 +208,11 @@ class QueryExecutor:
             if live_dirty
             else []
         )
+        if plan.limit is not None:
+            return self._patch_topk(
+                database, plan, include_approximate, cache, key, generation,
+                vector, old_matches, fresh, dirty,
+            )
         # The cached list is already in sort_key order and stays so with
         # the dirty ids filtered out.  Few fresh matches binary-insert
         # (no key recomputed per kept match — sort_key is unique per
@@ -186,6 +227,61 @@ class QueryExecutor:
             for match in fresh:
                 bisect.insort(matches, match, key=QueryMatch.sort_key)
         cache.revalidate(key, generation, vector, matches, dirty_count=len(dirty))
+        return matches
+
+    def _patch_topk(
+        self,
+        database: "SequenceDatabase",
+        plan: QueryPlan,
+        include_approximate: bool,
+        cache: "PlanResultCache",
+        key: tuple,
+        generation: tuple,
+        vector: tuple,
+        old_matches: "tuple[QueryMatch, ...]",
+        fresh: "list[QueryMatch]",
+        dirty: "set[int]",
+    ) -> "list[QueryMatch]":
+        """Patch a cached *top-k* answer after a journal replay.
+
+        A limited entry only remembers the k best matches, so unlike the
+        unlimited patch it cannot always be repaired from cached state:
+        a match that was k+1-th at store time was never cached, and if
+        the k-th best has worsened it may now belong in the answer.
+        The patch is provably exact in two cases:
+
+        * the stale list held fewer than ``limit`` matches — it was the
+          *complete* qualifying set, so survivors plus the re-graded
+          dirty ids are again complete;
+        * at least ``limit`` candidates (survivors + fresh) sort at or
+          inside the stale k-th boundary — every uncached match sorted
+          strictly outside that boundary (sort keys are unique per
+          sequence), so the top ``limit`` of the candidates are the top
+          ``limit`` overall.
+
+        Otherwise the pruned search re-runs in full — a bounded
+        *re-fill*, recorded by the cache as a ``topk_refill`` on top of
+        the delta outcome.
+        """
+        limit = plan.limit
+        survivors = [
+            match for match in old_matches if match.sequence_id not in dirty
+        ]
+        combined = sorted(survivors + fresh, key=QueryMatch.sort_key)
+        if len(old_matches) < limit:
+            matches = combined[:limit]
+            cache.revalidate(key, generation, vector, matches, dirty_count=len(dirty))
+            return matches
+        boundary = old_matches[-1].sort_key()
+        qualified = sum(1 for match in combined if match.sort_key() <= boundary)
+        if qualified >= limit:
+            matches = combined[:limit]
+            cache.revalidate(key, generation, vector, matches, dirty_count=len(dirty))
+            return matches
+        matches = self._run_plan(database, plan, include_approximate)
+        cache.revalidate(
+            key, generation, vector, matches, dirty_count=len(dirty), refill=True
+        )
         return matches
 
     def run_stages_subset(
@@ -226,6 +322,19 @@ class QueryExecutor:
         subset: "list[int] | None" = None,
     ) -> "list[QueryMatch]":
         store = database.store
+        if plan.topk is not None and subset is None:
+            # The pruned search runs whole-shard (its cluster index owns
+            # the shard's rows), so it scatters as its own stage; subset
+            # re-grades fall through to the residual path below, which
+            # is exactly what the heap patch needs.
+            tasks = [
+                self._topk_task(database, plan, shard, include_approximate)
+                for shard in store.shards()
+            ]
+            results = self._scatter(tasks)
+            merged = [match for partial in results for match in partial]
+            merged.sort(key=QueryMatch.sort_key)
+            return merged
         candidates = plan.probe(database) if plan.probe is not None else None
         if subset is not None:
             if candidates is None:
@@ -267,6 +376,20 @@ class QueryExecutor:
             ):
                 matches.append(match)
         return sorted(matches, key=QueryMatch.sort_key)
+
+    @staticmethod
+    def _topk_task(
+        database: "SequenceDatabase",
+        plan: QueryPlan,
+        shard: "ColumnarSegmentStore",
+        include_approximate: bool,
+    ) -> "Callable[[], object]":
+        """One shard's pruned top-k search, as a thunk."""
+
+        def run() -> object:
+            return plan.topk(database, shard, include_approximate)
+
+        return run
 
     @staticmethod
     def _shard_task(

@@ -17,6 +17,13 @@ The pool is created lazily on the first scattered query and reused; a
 single-shard plan never touches it (the executor's single-leaf path
 runs inline).  Worker exceptions propagate to the caller unwrapped by
 ``Executor.map``, exactly like the serial path.
+
+Top-k plans scatter unchanged: each task runs one shard's pruned
+search, which may lazily build or journal-sync that shard's
+:class:`~repro.engine.clustering.ClusterIndex` on the worker thread —
+safe because the scatter dispatches exactly one task per shard, so no
+two threads ever touch the same shard's index, and the query-side
+feature vector is computed once at plan time on the caller's thread.
 """
 
 from __future__ import annotations

@@ -20,6 +20,14 @@ stages, each optional except the last:
     Per-sequence scalar grading, used when no ``vector_filter`` exists
     (shape/exemplar/pattern queries and third-party ``Query``
     subclasses).  This is exactly the legacy ``Query.grade``.
+
+Top-k plans replace the per-store stages with a single ``topk`` stage
+(probe cluster representatives, lower-bound prune, heap-refine — see
+:mod:`repro.engine.clustering`) that each shard runs over its own
+cluster index; the executor merges the per-shard partial heaps and
+cuts the result at ``limit``.  ``limit`` alone (no ``topk`` stage)
+truncates an ordinary plan's sorted matches — the ``db.query(...,
+limit=k)`` form for queries without a distance-pruned path.
 """
 
 from __future__ import annotations
@@ -70,6 +78,9 @@ VectorStage = Callable[
     ["SequenceDatabase", "ColumnarSegmentStore", "list[int] | None"], VectorVerdicts
 ]
 ResidualStage = Callable[["SequenceDatabase", int], QueryMatch]
+TopKStage = Callable[
+    ["SequenceDatabase", "ColumnarSegmentStore", bool], "list[QueryMatch]"
+]
 
 
 @dataclass(frozen=True)
@@ -87,11 +98,15 @@ class QueryPlan:
     probe: "ProbeStage | None" = None
     prefilter: "PrefilterStage | None" = None
     vector_filter: "VectorStage | None" = None
+    topk: "TopKStage | None" = None
+    limit: "int | None" = None
     label: str = ""
     fingerprint: "tuple | None" = None
 
     def stages(self) -> "list[str]":
         """Human-readable stage list, in execution order."""
+        if self.topk is not None:
+            return ["probe-representatives", "lower-bound-prune", "heap-refine"]
         names = []
         if self.probe is not None:
             names.append("index-probe")
@@ -105,4 +120,7 @@ class QueryPlan:
 
     def describe(self) -> str:
         label = self.label or type(self.query).__name__
-        return f"{label}: {' -> '.join(self.stages())}"
+        described = f"{label}: {' -> '.join(self.stages())}"
+        if self.limit is not None:
+            described += f" [limit={self.limit}]"
+        return described

@@ -162,6 +162,33 @@ class ShardedSegmentStore:
             "compactions": sum(stats["compactions"] for stats in per_shard),
         }
 
+    def cluster_report(self) -> dict:
+        """Aggregated cluster-index telemetry across every shard.
+
+        Counters sum; ``last_pruned_fraction`` is recomputed from the
+        shards' last-query row/refine totals, so it describes the last
+        scattered query as a whole rather than averaging per-shard
+        ratios with different weights.
+        """
+        per_shard = [shard.cluster_report() for shard in self._shards]
+        summed = {
+            key: sum(report[key] for report in per_shard)
+            for key in (
+                "sequences", "representatives", "builds", "rebuilds",
+                "stale_mutations", "nbytes", "queries", "clusters_probed",
+                "clusters_pruned", "members_pruned", "candidates_refined",
+                "early_abandoned", "last_rows_considered",
+                "last_candidates_refined",
+            )
+        }
+        last_rows = summed["last_rows_considered"]
+        last_refined = summed["last_candidates_refined"]
+        summed["built"] = any(report["built"] for report in per_shard)
+        summed["last_pruned_fraction"] = (
+            1.0 - last_refined / last_rows if last_rows else 0.0
+        )
+        return summed
+
     @property
     def sequence_ids(self) -> np.ndarray:
         """All live sequence ids, ascending (materialized per call)."""

@@ -3,6 +3,7 @@ slope-pattern index (paper Section 4.4)."""
 
 from repro.index.btree import BTree
 from repro.index.inverted import InvertedFileIndex, Posting, PostingBucket
+from repro.index.maintenance import stale_rebuild_due
 from repro.index.pattern_index import PatternIndex
 from repro.index.trie import Occurrence, SymbolTrie
 
@@ -14,4 +15,5 @@ __all__ = [
     "PatternIndex",
     "SymbolTrie",
     "Occurrence",
+    "stale_rebuild_due",
 ]

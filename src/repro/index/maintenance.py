@@ -1,0 +1,37 @@
+"""Shared maintenance policies for incrementally patched indexes.
+
+Several structures in this codebase are patched in place by streaming
+mutations and accumulate *stale* residue while doing so: the symbol
+trie leaves dead occurrence entries on its nodes when a suffix is
+rewritten (:meth:`repro.index.trie.SymbolTrie.update`), and the
+cluster-representative index keeps assigning mutated sequences to the
+leader partition chosen at build time
+(:class:`repro.engine.clustering.ClusterIndex`).  Both degrade
+gracefully — correctness never depends on compaction — but both
+eventually want a full rebuild, and both want the *same* shape of
+trigger: don't bother below a fixed floor of staleness, and above it
+rebuild once the stale fraction dominates the structure.
+
+Keeping the rule here means the two can never drift apart, and gives
+third-party incremental indexes the identical knob.
+"""
+
+from __future__ import annotations
+
+__all__ = ["stale_rebuild_due"]
+
+#: Default staleness floor: below this many stale entries a rebuild
+#: can never be worth its O(total) cost, whatever the ratio.
+STALE_REBUILD_FLOOR = 256
+
+
+def stale_rebuild_due(stale: int, total: int, floor: int = STALE_REBUILD_FLOOR) -> bool:
+    """Whether accumulated staleness justifies an O(total) rebuild.
+
+    True when more than ``floor`` stale entries have accumulated *and*
+    they outnumber half of ``total`` — i.e. the amortized cost of the
+    rebuild is charged against at least as much dead weight as live
+    structure.  With every mutation adding O(1) stale entries, rebuilds
+    triggered by this rule cost O(1) amortized per mutation.
+    """
+    return stale > floor and 2 * stale > total

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.core.errors import IndexError_
+from repro.index.maintenance import stale_rebuild_due
 
 __all__ = ["SymbolTrie", "Occurrence"]
 
@@ -157,10 +158,7 @@ class SymbolTrie:
         self._stale_occurrences += stale
         if stale:
             self._stale_ids.add(sequence_id)
-        if (
-            self._stale_occurrences > 256
-            and self._stale_occurrences * 2 > self._total_occurrences
-        ):
+        if stale_rebuild_due(self._stale_occurrences, self._total_occurrences):
             self._rebuild()
 
     def _rebuild(self) -> None:

@@ -11,6 +11,7 @@ from repro.query.queries import (
     Query,
     ShapeQuery,
     SteepnessQuery,
+    TopKQuery,
 )
 from repro.query.results import QueryMatch
 
@@ -24,6 +25,7 @@ __all__ = [
     "SteepnessQuery",
     "ShapeQuery",
     "ExemplarQuery",
+    "TopKQuery",
     "QueryMatch",
     "parse_query",
 ]

@@ -45,7 +45,7 @@ from repro.engine import (
 from repro.index.inverted import InvertedFileIndex
 from repro.index.pattern_index import PatternIndex
 from repro.preprocessing.normalization import znormalize
-from repro.query.queries import Query
+from repro.query.queries import Query, TopKQuery
 from repro.query.results import QueryMatch
 from repro.segmentation.base import Breaker
 from repro.segmentation.interpolation import InterpolationBreaker
@@ -680,6 +680,7 @@ class SequenceDatabase:
         include_approximate: bool = True,
         engine: bool = True,
         cache: bool = True,
+        limit: "int | None" = None,
     ) -> list[QueryMatch]:
         """Evaluate a query; exact matches first, then by deviation.
 
@@ -687,6 +688,13 @@ class SequenceDatabase:
         engine (:mod:`repro.engine`); ``engine=False`` runs the legacy
         per-sequence loop instead.  Both paths return identical results
         — the legacy path survives as the engine's correctness oracle.
+
+        ``limit`` keeps only the first ``limit`` matches of the sorted
+        answer (a positive integer).  :class:`TopKQuery` carries its
+        own ``k`` and rejects an extra ``limit``; for every other query
+        the limited answer is cached under its own key, so the same
+        query at different limits coexists in the cache and each entry
+        is repaired by the top-k heap patch on mutation.
 
         With ``cache=True`` (the default) the engine consults the
         plan-level result cache: re-running a fingerprinted query on an
@@ -696,15 +704,42 @@ class SequenceDatabase:
         a full evaluation (and leaves the cache untouched); the legacy
         path never caches.
         """
+        limit = self._validated_limit(query, limit)
         if engine:
-            plan = self.planner.plan(query, self)
+            plan = self._planned(query, limit)
             return self.executor.execute(
                 self,
                 plan,
                 include_approximate,
                 cache=self.result_cache if cache else None,
             )
-        return self.query_legacy(query, include_approximate)
+        matches = self.query_legacy(query, include_approximate)
+        # The legacy loop grades everything; apply the same cut the
+        # engine's plan would (a TopKQuery's k, or the explicit limit).
+        effective = query.k if isinstance(query, TopKQuery) else limit
+        return matches if effective is None else matches[:effective]
+
+    @staticmethod
+    def _validated_limit(query: Query, limit: "int | None") -> "int | None":
+        if limit is None:
+            return None
+        if isinstance(limit, bool) or not isinstance(limit, (int, np.integer)) or limit <= 0:
+            raise QueryError(f"limit must be a positive integer, got {limit!r}")
+        if isinstance(query, TopKQuery):
+            raise QueryError(
+                "top-k queries carry their own k; build the query with the "
+                "wanted k instead of passing limit"
+            )
+        return int(limit)
+
+    def _planned(self, query: Query, limit: "int | None"):
+        """The query's plan with any validated ``limit`` applied."""
+        import dataclasses
+
+        plan = self.planner.plan(query, self)
+        if limit is not None:
+            plan = dataclasses.replace(plan, limit=limit)
+        return plan
 
     def query_legacy(self, query: Query, include_approximate: bool = True) -> list[QueryMatch]:
         """Pre-engine evaluation: per-sequence candidate grading."""
@@ -718,8 +753,19 @@ class SequenceDatabase:
                 matches.append(match)
         return sorted(matches, key=QueryMatch.sort_key)
 
-    def explain(self, query: Query, include_approximate: bool = True) -> str:
+    def explain(
+        self,
+        query: Query,
+        include_approximate: bool = True,
+        limit: "int | None" = None,
+    ) -> str:
         """The stage list the engine will run for ``query``.
+
+        A top-k plan renders its pruned pipeline
+        (``probe-representatives -> lower-bound-prune -> heap-refine
+        [limit=k]``); pass the same ``limit`` as the matching
+        :meth:`query` call so the cache verdict inspects the right
+        entry.
 
         Includes the result cache's verdict for this exact evaluation:
         ``cache-hit`` (the stages would be skipped entirely),
@@ -728,11 +774,14 @@ class SequenceDatabase:
         ``cache-miss`` (the stages run in full and the answer is
         remembered), or ``uncacheable`` (the query has no fingerprint).
         """
-        plan = self.planner.plan(query, self)
+        limit = self._validated_limit(query, limit)
+        plan = self._planned(query, limit)
         if plan.fingerprint is None:
             state = "uncacheable"
         else:
             key = (plan.fingerprint, bool(include_approximate))
+            if plan.limit is not None:
+                key = key + (plan.limit,)
             epoch = self.cache_epoch()
             if self.result_cache.peek(key, epoch):
                 state = "cache-hit"
@@ -799,9 +848,13 @@ class SequenceDatabase:
         the engine's columnar allocation (``engine_bytes``, growth
         headroom included), the plan-result cache's counters and
         estimated resident bytes (``result_cache``, including
-        ``revalidations`` / ``delta_hits`` / ``delta_fallbacks``) and
-        the mutation journal's footprint (``journal``: retained
-        entries, estimated bytes, rebase floor, compactions).
+        ``revalidations`` / ``delta_hits`` / ``delta_fallbacks`` and
+        the top-k counters ``topk_entries`` / ``topk_refills``), the
+        mutation journal's footprint (``journal``: retained entries,
+        estimated bytes, rebase floor, compactions), and the cluster-
+        representative pruning telemetry (``topk``: representatives,
+        builds/rebuilds, clusters probed and pruned, candidates
+        refined, early abandons, and the last query's pruned fraction).
         """
         raw_bytes = self.archive.total_bytes()
         rep_bytes = self.local_store.total_bytes()
@@ -816,6 +869,7 @@ class SequenceDatabase:
             "engine_bytes": self.store.nbytes,
             "result_cache": self.cache_stats(),
             "journal": self.store.journal_stats(),
+            "topk": self.store.cluster_report(),
             "byte_compression": raw_bytes / rep_bytes if rep_bytes else float("inf"),
             "paper_convention_compression": (
                 total_points / (3 * total_segments) if total_segments else float("inf")

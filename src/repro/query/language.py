@@ -15,11 +15,16 @@ minimal, keyword-based one covering every query type in
     STEEPNESS 5 TOLERANCE 1.5
     SHAPE OF 3
     SHAPE OF 3 DURATION 0.15 AMPLITUDE 0.2
+    NEAREST 10 TO 3
+    NEAREST 10 TO 3 WITHIN 2.5
 
 Keywords are case-insensitive; pattern text sits inside single or
-double quotes.  ``SHAPE OF <id>`` uses the stored representation of an
-already-ingested sequence as the exemplar, so it needs the database at
-parse time; the other forms are database-independent.
+double quotes.  ``SHAPE OF <id>`` and ``NEAREST <k> TO <id>`` use the
+stored representation of an already-ingested sequence as the exemplar,
+so they need the database at parse time; the other forms are
+database-independent.  ``NEAREST`` builds a
+:class:`~repro.query.queries.TopKQuery` — the ``k`` most similar
+sequences by profile distance, optionally capped at ``WITHIN <d>``.
 """
 
 from __future__ import annotations
@@ -35,6 +40,7 @@ from repro.query.queries import (
     Query,
     ShapeQuery,
     SteepnessQuery,
+    TopKQuery,
 )
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -58,6 +64,11 @@ _SHAPE_RE = re.compile(
     rf"^SHAPE\s+OF\s+(?P<sid>\d+)"
     rf"(?:\s+DURATION\s+(?P<dur>{_NUMBER}))?"
     rf"(?:\s+AMPLITUDE\s+(?P<amp>{_NUMBER}))?\s*$",
+    re.IGNORECASE,
+)
+_NEAREST_RE = re.compile(
+    rf"^NEAREST\s+(?P<k>\d+)\s+TO\s+(?P<sid>\d+)"
+    rf"(?:\s+WITHIN\s+(?P<dist>{_NUMBER}))?\s*$",
     re.IGNORECASE,
 )
 
@@ -106,8 +117,18 @@ def parse_query(text: str, database: "SequenceDatabase | None" = None) -> Query:
             amplitude_tolerance=amplitude_tol,
         )
 
+    match = _NEAREST_RE.match(statement)
+    if match:
+        if database is None:
+            raise QueryError("NEAREST queries need the database to resolve the exemplar")
+        exemplar = database.representation_of(int(match.group("sid")))
+        max_distance = (
+            float(match.group("dist")) if match.group("dist") else float("inf")
+        )
+        return TopKQuery(exemplar, int(match.group("k")), max_distance=max_distance)
+
     keyword = statement.split()[0].upper()
-    known = ("PATTERN", "PEAKS", "INTERVAL", "STEEPNESS", "SHAPE")
+    known = ("PATTERN", "PEAKS", "INTERVAL", "STEEPNESS", "SHAPE", "NEAREST")
     if keyword in known:
         raise QueryError(f"malformed {keyword} query: {statement!r}")
     raise QueryError(

@@ -31,6 +31,13 @@ The concrete types:
 :class:`ExemplarQuery`
     The old value-based notion (Figure 1), kept for head-to-head
     comparisons; graded along the ``value_distance`` dimension.
+:class:`TopKQuery`
+    The ``k`` stored sequences most similar to an exemplar, by
+    Euclidean distance between resampled representation profiles
+    (:mod:`repro.engine.clustering`) — graded along the
+    ``profile_distance`` dimension and evaluated through the
+    cluster-representative pruned search (probe representatives,
+    lower-bound prune, heap-refine with early abandoning).
 
 Evaluation is organized as *plan stages* (see
 :mod:`repro.engine.plan`): each query builds a
@@ -56,7 +63,14 @@ import numpy as np
 from repro.core.errors import PatternSyntaxError, QueryError
 from repro.core.sequence import Sequence
 from repro.core.representation import SYMBOL_CODES, run_start_mask
-from repro.core.tolerance import DimensionDeviation, MatchGrade, Tolerance, grade_deviations
+from repro.core.tolerance import (
+    EXACT_EPSILON,
+    WITHIN_EPSILON,
+    DimensionDeviation,
+    MatchGrade,
+    Tolerance,
+    grade_deviations,
+)
 from repro.engine.nfa import ColumnPatternMatcher
 from repro.engine.plan import DimensionColumn, QueryPlan, VectorVerdicts
 from repro.patterns.regex import SymbolPattern
@@ -74,6 +88,7 @@ __all__ = [
     "SteepnessQuery",
     "ShapeQuery",
     "ExemplarQuery",
+    "TopKQuery",
 ]
 
 def _exemplar_digest(exemplar: object) -> str:
@@ -445,6 +460,178 @@ class SteepnessQuery(Query):
         )
 
 
+class TopKQuery(Query):
+    """The ``k`` most similar stored sequences to an exemplar.
+
+    Similarity is the Euclidean distance between *profiles* — the
+    representation resampled at :data:`repro.engine.clustering.N_FEATURES`
+    uniformly spaced times (:func:`repro.engine.clustering.profile_features`)
+    — so the query runs entirely on the reduced representation tier, no
+    raw-archive reads.  ``max_distance`` (optional) caps how far a
+    reported neighbour may be; results within it grade approximate
+    along the ``profile_distance`` dimension, zero-distance results
+    grade exact.
+
+    The plan has a single ``topk`` stage: each shard's
+    :class:`~repro.engine.clustering.ClusterIndex` runs
+    probe-representatives → lower-bound-prune → heap-refine over its
+    own rows, and the executor merges the per-shard partial heaps and
+    cuts at ``k``.  Pruning is lossless (the sketch lower bound never
+    exceeds the true distance), so the answer is identical — match for
+    match, float for float — to grading every stored sequence through
+    the same distance kernel and keeping the ``k`` best, ties broken
+    toward the smaller sequence id.  The residual stage grades one
+    sequence through the identical kernel; it backs ``query_legacy``
+    and the cached heap's delta repair.
+    """
+
+    def __init__(
+        self,
+        exemplar: "Sequence | object",
+        k: int,
+        max_distance: float = float("inf"),
+    ) -> None:
+        from repro.core.representation import FunctionSeriesRepresentation
+
+        if not isinstance(exemplar, (Sequence, FunctionSeriesRepresentation)):
+            raise QueryError("exemplar must be a Sequence or a FunctionSeriesRepresentation")
+        if isinstance(k, bool) or not isinstance(k, (int, np.integer)) or k <= 0:
+            raise QueryError(f"k must be a positive integer, got {k!r}")
+        max_distance = float(max_distance)
+        if not max_distance >= 0.0:  # also rejects NaN
+            raise QueryError("max_distance must be non-negative")
+        self._exemplar = exemplar
+        self.k = int(k)
+        self.tolerance = Tolerance("profile_distance", max_distance)
+        self._digest: "str | None" = None
+        self._features: "np.ndarray | None" = None
+        self._cache_ref: "weakref.ref | None" = None
+        self._cache_breaker_ref: "weakref.ref | None" = None
+        self._cache_key: "tuple | None" = None
+
+    @property
+    def max_distance(self) -> float:
+        return self.tolerance.bound
+
+    def grade(self, database: "SequenceDatabase", sequence_id: int) -> QueryMatch:
+        return self._grade_scalar(database, sequence_id)
+
+    def fingerprint(self) -> tuple:
+        if self._digest is None:
+            self._digest = _exemplar_digest(self._exemplar)
+        return (type(self).__qualname__, self._digest, self.k, self.tolerance.bound)
+
+    def plan(self, database: "SequenceDatabase") -> QueryPlan:
+        # Warm the query-feature memo before the stages run: scattered
+        # per-shard stages may execute on worker threads, and planning
+        # is the one point guaranteed to be on the caller's thread.
+        self._features_for(database)
+        return QueryPlan(
+            query=self,
+            topk=self._topk_stage,
+            residual=self._grade_scalar,
+            limit=self.k,
+            label="top-k",
+            fingerprint=self.fingerprint(),
+        )
+
+    def _features_for(self, database: "SequenceDatabase") -> np.ndarray:
+        """The exemplar's profile under the database's own pipeline.
+
+        A raw exemplar sequence goes through exactly the preprocessing
+        and breaking the database applies to stored sequences; a
+        prebuilt representation is profiled as-is.  Memoized per
+        database with the same weakref discipline as
+        :meth:`ShapeQuery._signature_for` — computed once per
+        execution, shared read-only by every scattered shard stage.
+        """
+        from repro.core.representation import FunctionSeriesRepresentation
+        from repro.engine.clustering import profile_features
+
+        cached = self._cache_ref() if self._cache_ref is not None else None
+        cached_breaker = (
+            self._cache_breaker_ref() if self._cache_breaker_ref is not None else None
+        )
+        key = (database.theta, database.normalize, database.curve_kind)
+        if (
+            self._features is not None
+            and cached is database
+            and cached_breaker is database.breaker
+            and self._cache_key == key
+        ):
+            return self._features
+        if isinstance(self._exemplar, FunctionSeriesRepresentation):
+            representation = self._exemplar
+        else:
+            exemplar = self._exemplar
+            if database.normalize:
+                from repro.preprocessing.normalization import znormalize
+
+                exemplar = znormalize(exemplar)
+            representation = database.breaker.represent(exemplar, curve_kind=database.curve_kind)
+        columns = representation.segment_columns()
+        self._features = profile_features(
+            columns["start_time"], columns["end_time"],
+            columns["start_value"], columns["end_value"],
+        )
+        self._cache_ref = weakref.ref(database)
+        self._cache_breaker_ref = weakref.ref(database.breaker)
+        self._cache_key = key
+        return self._features
+
+    def _threshold(self, include_approximate: bool) -> float:
+        """Largest distance the pruned search may report.
+
+        Mirrors the executor's grading comparisons exactly: ``within``
+        allows ``bound + WITHIN_EPSILON``, and excluding approximates
+        tightens the cap to the exactness dust ``EXACT_EPSILON`` — so
+        the stage emits precisely the matches the residual path would
+        keep.
+        """
+        threshold = self.tolerance.bound + WITHIN_EPSILON
+        if not include_approximate:
+            threshold = min(threshold, EXACT_EPSILON)
+        return threshold
+
+    def _topk_stage(
+        self,
+        database: "SequenceDatabase",
+        store: "ColumnarSegmentStore",
+        include_approximate: bool,
+    ) -> "list[QueryMatch]":
+        index = store.cluster_index()
+        pairs = index.topk(
+            self._features_for(database), self.k,
+            threshold=self._threshold(include_approximate),
+        )
+        return [
+            self._match_for(database, sequence_id, distance)
+            for distance, sequence_id in pairs
+        ]
+
+    def _match_for(
+        self, database: "SequenceDatabase", sequence_id: int, distance: float
+    ) -> QueryMatch:
+        deviation = DimensionDeviation(
+            "profile_distance", float(distance), self.tolerance.bound
+        )
+        return QueryMatch(
+            sequence_id,
+            database.name_of(sequence_id),
+            grade_deviations([deviation]),
+            (deviation,),
+        )
+
+    def _grade_scalar(self, database: "SequenceDatabase", sequence_id: int) -> QueryMatch:
+        from repro.engine.clustering import chunked_distances
+
+        index = database.store.shard_of(sequence_id).cluster_index()
+        distances, __ = chunked_distances(
+            index.features_of(sequence_id), self._features_for(database)
+        )
+        return self._match_for(database, sequence_id, float(distances[0]))
+
+
 class ShapeQuery(Query):
     """Query by exemplar: same behavioural shape, any scale.
 
@@ -489,6 +676,12 @@ class ShapeQuery(Query):
         self._cache_key: "tuple | None" = None
         self._signature = None
         self._digest: "str | None" = None
+        # Query-side arrays derived from the signature, hoisted so the
+        # scattered per-shard stages read them instead of rebuilding
+        # them once per shard (see _signature_for).
+        self._wanted_codes: "np.ndarray | None" = None
+        self._duration_profile: "np.ndarray | None" = None
+        self._amplitude_profile: "np.ndarray | None" = None
 
     def grade(self, database: "SequenceDatabase", sequence_id: int) -> QueryMatch:
         return self._grade_scalar(database, sequence_id)
@@ -559,7 +752,16 @@ class ShapeQuery(Query):
 
                 exemplar = znormalize(exemplar)
             representation = database.breaker.represent(exemplar, curve_kind=database.curve_kind)
-        self._signature = self._signature_builder(representation, database.theta)
+        signature = self._signature_builder(representation, database.theta)
+        self._signature = signature
+        # Hoist the query-side comparison arrays alongside the memoized
+        # signature: each scattered shard stage reuses one prebuilt
+        # code/profile array instead of re-deriving it per shard.
+        self._wanted_codes = np.array(
+            [SYMBOL_CODES[c] for c in signature.symbols], dtype=np.int8
+        )
+        self._duration_profile = np.asarray(signature.duration_profile)
+        self._amplitude_profile = np.asarray(signature.amplitude_profile)
         self._cache_ref = weakref.ref(database)
         self._cache_breaker_ref = weakref.ref(database.breaker)
         self._cache_key = key
@@ -594,7 +796,7 @@ class ShapeQuery(Query):
             matched = np.flatnonzero(store.behavior_counts == len(wanted))
         if len(matched) == 0:
             return []
-        wanted_codes = np.array([SYMBOL_CODES[c] for c in wanted], dtype=np.int8)
+        wanted_codes = self._wanted_codes
         rows = store.behavior_starts[matched][:, None] + np.arange(len(wanted))
         same = (store.behavior_symbols[rows] == wanted_codes).all(axis=1)
         return [int(s) for s in store.sequence_ids[matched[same]]]
@@ -662,10 +864,10 @@ class ShapeQuery(Query):
             durations, travels, run_offsets, group_offsets
         )
         duration_amounts = np.abs(
-            duration_profile.reshape(n, n_runs) - np.asarray(wanted.duration_profile)
+            duration_profile.reshape(n, n_runs) - self._duration_profile
         ).max(axis=1)
         amplitude_amounts = np.abs(
-            amplitude_profile.reshape(n, n_runs) - np.asarray(wanted.amplitude_profile)
+            amplitude_profile.reshape(n, n_runs) - self._amplitude_profile
         ).max(axis=1)
         return VectorVerdicts(ids, dimensions(duration_amounts, amplitude_amounts))
 
@@ -719,6 +921,8 @@ class ExemplarQuery(Query):
         self._exemplar_sequence = exemplar
         self.tolerance = Tolerance("value_distance", float(epsilon))
         self._digest: "str | None" = None
+        # Hoisted once here rather than re-measured per scattered shard.
+        self._exemplar_length = len(exemplar)
 
     @property
     def exemplar(self) -> Sequence:
@@ -777,11 +981,11 @@ class ExemplarQuery(Query):
                 return []
             positions = store.positions_of(candidate_ids)
             same_length = store.sequence_ids[
-                positions[store.source_lengths[positions] == len(self.exemplar)]
+                positions[store.source_lengths[positions] == self._exemplar_length]
             ]
         else:
             same_length = store.sequence_ids[
-                store.source_lengths == len(self.exemplar)
+                store.source_lengths == self._exemplar_length
             ]
         return [int(s) for s in same_length]
 

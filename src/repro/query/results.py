@@ -35,8 +35,16 @@ class QueryMatch:
                 return deviation
         return None
 
+    @property
+    def total_deviation(self) -> float:
+        """Summed deviation across every dimension — the ranking metric.
+
+        For a single-dimension distance query (top-k similarity) this is
+        simply that distance; ``0.0`` for dimensionless pattern matches.
+        """
+        return sum(d.amount for d in self.deviations)
+
     def sort_key(self) -> tuple[int, float, int]:
         """Exact first, then by total deviation, then by id."""
         grade_rank = 0 if self.grade is MatchGrade.EXACT else 1
-        total = sum(d.amount for d in self.deviations)
-        return (grade_rank, total, self.sequence_id)
+        return (grade_rank, self.total_deviation, self.sequence_id)

@@ -1,7 +1,13 @@
 """Deterministic workload generators standing in for the paper's data
-(medical ECGs and fever logs, seismic traces, stock series)."""
+(medical ECGs and fever logs, seismic traces, stock series, server
+operational metrics)."""
 
 from repro.workloads.ecg import ecg_corpus, figure9_pair, synthetic_ecg
+from repro.workloads.server_metrics import (
+    cpu_trace,
+    latency_trace,
+    server_metrics_corpus,
+)
 from repro.workloads.fever import (
     fever_corpus,
     figure3_sequence,
@@ -27,4 +33,7 @@ __all__ = [
     "seismic_corpus",
     "stock_sequence",
     "stock_corpus",
+    "latency_trace",
+    "cpu_trace",
+    "server_metrics_corpus",
 ]

@@ -1,0 +1,266 @@
+"""Cluster-representative pruning index: lower-bound invariants,
+journal-driven maintenance, and topk-vs-oracle equality.
+
+The load-bearing property is GEMINI-style losslessness: the sketch
+lower bound must never exceed the true profile distance, for member
+bounds and for cluster (representative - radius) bounds alike, so every
+prune in :meth:`ClusterIndex.topk` is a proof and the pruned answer
+equals the full-grade-then-sort oracle exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.clustering import (
+    N_FEATURES,
+    ClusterIndex,
+    chunked_distances,
+    lower_bound_scale,
+    profile_features,
+    sketch_of,
+)
+from repro.index import stale_rebuild_due
+from repro.query import SequenceDatabase
+from repro.workloads import server_metrics_corpus
+
+
+def _metrics_db(n=40, seed=17):
+    db = SequenceDatabase()
+    db.insert_all(server_metrics_corpus(n_sequences=n, seed=seed))
+    return db
+
+
+# ----------------------------------------------------------------------
+# Profile features
+# ----------------------------------------------------------------------
+
+
+def test_profile_features_shape_and_determinism():
+    db = _metrics_db(n=8)
+    index = db.store.cluster_index()
+    for sequence_id in db.ids():
+        features = index.features_of(sequence_id)
+        assert features.shape == (N_FEATURES,)
+        assert np.array_equal(features, index.features_of(sequence_id))
+
+
+def test_profile_features_store_matches_representation():
+    # The store copies the segment columns verbatim at ingest, so a
+    # profile built from the representation equals the index's row bit
+    # for bit — the foundation of query-side/store-side parity.
+    db = _metrics_db(n=10)
+    index = db.store.cluster_index()
+    for sequence_id in db.ids():
+        columns = db.representation_of(sequence_id).segment_columns()
+        direct = profile_features(
+            columns["start_time"], columns["end_time"],
+            columns["start_value"], columns["end_value"],
+        )
+        assert np.array_equal(direct, index.features_of(sequence_id))
+
+
+def test_profile_features_empty_and_single_segment():
+    assert np.array_equal(
+        profile_features(np.array([]), np.array([]), np.array([]), np.array([])),
+        np.zeros(N_FEATURES),
+    )
+    single = profile_features(
+        np.array([0.0]), np.array([4.0]), np.array([1.0]), np.array([9.0])
+    )
+    assert single.shape == (N_FEATURES,)
+    assert single[0] == pytest.approx(1.0)
+    assert single[-1] == pytest.approx(9.0)
+
+
+# ----------------------------------------------------------------------
+# Lower-bound invariants (property tests over random profiles)
+# ----------------------------------------------------------------------
+
+
+def test_sketch_lower_bound_never_exceeds_true_distance():
+    rng = np.random.default_rng(3)
+    scale = lower_bound_scale()
+    for _ in range(200):
+        q = rng.normal(scale=rng.uniform(0.1, 50.0), size=N_FEATURES)
+        s = rng.normal(scale=rng.uniform(0.1, 50.0), size=N_FEATURES)
+        true = float(np.linalg.norm(q - s))
+        bound = scale * float(np.linalg.norm(sketch_of(q) - sketch_of(s)))
+        assert bound <= true
+
+
+def test_sketch_lower_bound_holds_on_real_profiles():
+    db = _metrics_db(n=30)
+    index = db.store.cluster_index()
+    scale = lower_bound_scale()
+    ids = db.ids()
+    rng = np.random.default_rng(5)
+    for _ in range(100):
+        a, b = rng.choice(ids, size=2, replace=False)
+        fa, fb = index.features_of(int(a)), index.features_of(int(b))
+        true, __ = chunked_distances(fa, fb)
+        bound = scale * float(np.linalg.norm(sketch_of(fa) - sketch_of(fb)))
+        assert bound <= float(true[0])
+
+
+def test_cluster_level_bound_never_exceeds_member_distance():
+    db = _metrics_db(n=40)
+    index = db.store.cluster_index()
+    scale = lower_bound_scale()
+    rng = np.random.default_rng(7)
+    queries = [
+        index.features_of(int(rng.choice(db.ids()))) + rng.normal(scale=3.0, size=N_FEATURES)
+        for _ in range(10)
+    ]
+    for query in queries:
+        query_sketch = sketch_of(query)
+        for cluster in index._clusters:
+            if not cluster.member_ids:
+                continue
+            gap = float(np.linalg.norm(cluster.representative - query_sketch))
+            cluster_bound = scale * max(0.0, gap - cluster.radius)
+            for member in cluster.member_ids:
+                true, __ = chunked_distances(index.features_of(member), query)
+                assert cluster_bound <= float(true[0])
+
+
+def test_chunked_distances_matches_norm_and_abandons_soundly():
+    rng = np.random.default_rng(11)
+    rows = rng.normal(size=(64, N_FEATURES))
+    query = rng.normal(size=N_FEATURES)
+    distances, abandoned = chunked_distances(rows, query)
+    assert abandoned == 0
+    assert np.allclose(distances, np.linalg.norm(rows - query, axis=1))
+    bound = float(np.median(distances))
+    pruned, abandoned = chunked_distances(rows, query, abandon_above=bound)
+    assert abandoned > 0
+    finite = np.isfinite(pruned)
+    # Surviving rows carry their exact distance; abandoned rows are all
+    # provably beyond the bound.
+    assert np.array_equal(pruned[finite], distances[finite])
+    assert (distances[~finite] > bound).all()
+
+
+# ----------------------------------------------------------------------
+# topk vs the full-grade oracle
+# ----------------------------------------------------------------------
+
+
+def _oracle(index, query, k, threshold=np.inf):
+    ids, distances = index.all_distances(query)
+    order = sorted(zip(distances.tolist(), ids.tolist()))
+    return [(d, i) for d, i in order if d <= threshold][:k]
+
+
+def test_topk_equals_oracle_for_many_queries_and_ks():
+    db = _metrics_db(n=60)
+    index = db.store.cluster_index()
+    rng = np.random.default_rng(13)
+    for trial in range(12):
+        anchor = index.features_of(int(rng.choice(db.ids())))
+        query = anchor + rng.normal(scale=rng.uniform(0.0, 10.0), size=N_FEATURES)
+        for k in (1, 5, 17, 200):
+            assert index.topk(query, k) == _oracle(index, query, k)
+
+
+def test_topk_threshold_and_empty_cases():
+    db = _metrics_db(n=20)
+    index = db.store.cluster_index()
+    query = index.features_of(db.ids()[0])
+    ids, distances = index.all_distances(query)
+    threshold = float(np.median(distances))
+    assert index.topk(query, 50, threshold=threshold) == _oracle(
+        index, query, 50, threshold=threshold
+    )
+    assert index.topk(query, 0) == []
+    empty = ClusterIndex(SequenceDatabase().store)
+    empty.sync()
+    assert empty.topk(query, 5) == []
+
+
+def test_topk_tie_breaks_on_ascending_id():
+    db = SequenceDatabase()
+    corpus = server_metrics_corpus(n_sequences=6, seed=23)
+    db.insert_all(corpus)
+    # Re-ingest the same trace twice: identical profiles, distinct ids.
+    twin_a = db.insert(corpus[0])
+    twin_b = db.insert(corpus[0])
+    index = db.store.cluster_index()
+    query = index.features_of(twin_a)
+    top = index.topk(query, 2)
+    assert [sequence_id for __, sequence_id in top] == [0, twin_a]
+    # 0 and the twins are equidistant groups; within the twin pair the
+    # smaller id must come first when both fit.
+    top4 = index.topk(query, 3)
+    assert top4[1][1] < top4[2][1]
+    assert top4[1][0] == top4[2][0]
+
+
+# ----------------------------------------------------------------------
+# Maintenance: sync vs rebuild, staleness, compaction
+# ----------------------------------------------------------------------
+
+
+def test_incremental_sync_equals_fresh_rebuild():
+    db = _metrics_db(n=40)
+    index = db.store.cluster_index()  # built at generation g0
+    extra = server_metrics_corpus(n_sequences=12, seed=99)
+    db.insert_all(extra[:6])
+    db.delete_many(db.ids()[1:4])
+    db.append(db.ids()[0], [55.0, 60.0, 52.0, 49.0])
+    db.insert_all(extra[6:])
+    synced = db.store.cluster_index()  # journal replay, not rebuild
+    assert synced is index
+    fresh = ClusterIndex(db.store)
+    fresh.sync()
+    assert np.array_equal(synced._ids, fresh._ids)
+    assert np.array_equal(synced._features, fresh._features)
+    rng = np.random.default_rng(31)
+    for _ in range(6):
+        query = fresh.features_of(int(rng.choice(db.ids())))
+        assert synced.topk(query, 9) == fresh.topk(query, 9)
+
+
+def test_staleness_ratio_triggers_rebuild():
+    db = _metrics_db(n=30)
+    index = db.store.cluster_index()
+    assert index.rebuilds == 0
+    # Push enough journal-dirty ids through sync to trip the shared
+    # staleness policy (floor 64, ratio 2*stale > total).
+    sequence_id = db.ids()[0]
+    for round_ in range(70):
+        db.append(sequence_id, [float(round_)])
+        db.store.cluster_index()
+    assert index.rebuilds >= 1
+    assert stale_rebuild_due(65, 30, ClusterIndex._STALE_FLOOR)
+
+
+def test_journal_compaction_forces_rebuild():
+    db = _metrics_db(n=20)
+    index = db.store.cluster_index()
+    before = index.rebuilds
+    db.store.journal.max_entries = 2
+    for round_ in range(4):
+        db.append(db.ids()[round_], [9.0, 11.0])
+    synced = db.store.cluster_index()
+    assert synced.rebuilds == before + 1
+    fresh = ClusterIndex(db.store)
+    fresh.sync()
+    assert np.array_equal(synced._features, fresh._features)
+
+
+def test_report_counters_move():
+    db = _metrics_db(n=30)
+    index = db.store.cluster_index()
+    report = index.report()
+    assert report["built"] and report["sequences"] == 30
+    assert report["representatives"] == index.n_clusters > 1
+    query = index.features_of(db.ids()[3])
+    index.topk(query, 3)
+    after = index.report()
+    assert after["queries"] == 1
+    assert after["clusters_probed"] >= 1
+    assert after["last_rows_considered"] == 30
+    assert 0.0 <= after["last_pruned_fraction"] <= 1.0
+    assert after["nbytes"] > 0

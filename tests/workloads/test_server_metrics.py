@@ -1,0 +1,80 @@
+"""Server-metrics workload generators: shape, determinism, validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import SequenceError
+from repro.workloads import cpu_trace, latency_trace, server_metrics_corpus
+
+
+def test_latency_trace_baseline_and_bursts():
+    trace = latency_trace(n_points=200, baseline=20.0, n_bursts=4, noise=0.0, seed=3)
+    values = trace.values
+    assert len(values) == 200
+    # Most samples sit on the baseline; the bursts rise well above it.
+    on_baseline = np.isclose(values, 20.0).sum()
+    assert on_baseline > 120
+    assert values.max() > 20.0 + 30.0
+    assert values.min() >= 20.0
+    flat = latency_trace(n_bursts=0, noise=0.0, baseline=5.0)
+    assert np.allclose(flat.values, 5.0)
+
+
+def test_cpu_trace_plateaus_and_ramps():
+    trace = cpu_trace(n_points=150, levels=(10.0, 80.0, 30.0), noise=0.0, seed=4)
+    values = trace.values
+    assert len(values) == 150
+    for level in (10.0, 80.0, 30.0):
+        assert np.isclose(values, level).sum() > 20
+    assert values.min() >= 10.0 - 1e-9
+    assert values.max() <= 80.0 + 1e-9
+
+
+def test_traces_deterministic_per_seed():
+    assert np.array_equal(latency_trace(seed=9).values, latency_trace(seed=9).values)
+    assert not np.array_equal(latency_trace(seed=9).values, latency_trace(seed=10).values)
+    assert np.array_equal(cpu_trace(seed=9).values, cpu_trace(seed=9).values)
+    assert not np.array_equal(cpu_trace(seed=9).values, cpu_trace(seed=10).values)
+
+
+def test_corpus_families_names_and_determinism():
+    corpus = server_metrics_corpus(n_sequences=24, n_families=6, seed=2)
+    assert len(corpus) == 24
+    assert corpus[0].name == "metrics-0-0"
+    assert corpus[7].name == "metrics-1-7"
+    again = server_metrics_corpus(n_sequences=24, n_families=6, seed=2)
+    for a, b in zip(corpus, again):
+        assert a.name == b.name
+        assert np.array_equal(a.values, b.values)
+    # Families live in separated amplitude bands: family 0's traces
+    # stay well below family 5's baseline.
+    family0 = [s for s in corpus if s.name.startswith("metrics-0-")]
+    family5 = [s for s in corpus if s.name.startswith("metrics-5-")]
+    assert max(float(s.values.mean()) for s in family0) < min(
+        float(s.values.mean()) for s in family5
+    )
+
+
+def test_validation_errors():
+    with pytest.raises(SequenceError):
+        latency_trace(n_points=8)
+    with pytest.raises(SequenceError):
+        latency_trace(baseline=-1.0)
+    with pytest.raises(SequenceError):
+        latency_trace(burst_height=0.0)
+    with pytest.raises(SequenceError):
+        latency_trace(n_bursts=-1)
+    with pytest.raises(SequenceError):
+        cpu_trace(n_points=4)
+    with pytest.raises(SequenceError):
+        cpu_trace(levels=())
+    with pytest.raises(SequenceError):
+        cpu_trace(levels=(10.0, -5.0))
+    with pytest.raises(SequenceError):
+        cpu_trace(ramp=0)
+    with pytest.raises(SequenceError):
+        server_metrics_corpus(n_sequences=0)
+    with pytest.raises(SequenceError):
+        server_metrics_corpus(n_families=0)
