@@ -144,7 +144,7 @@ class PlanResultCache:
         """Estimated resident bytes across every cached entry."""
         return self._bytes
 
-    def lookup(self, key: tuple, generation) -> "list[QueryMatch] | None":
+    def lookup(self, key: tuple, generation: object) -> "list[QueryMatch] | None":
         """Cached result list for ``key`` at generation token
         ``generation`` (any equality-comparable value — the database
         passes its ``cache_epoch()`` tuple), or None.
@@ -168,7 +168,7 @@ class PlanResultCache:
         self.hits += 1
         return list(entry.payload)
 
-    def stale_entry(self, key: tuple, generation) -> "tuple | None":
+    def stale_entry(self, key: tuple, generation: object) -> "tuple | None":
         """The retained stale entry for ``key``, if any.
 
         Returns ``(epoch, matches, vector)`` for an entry whose epoch
@@ -181,7 +181,14 @@ class PlanResultCache:
             return None
         return (entry.epoch, entry.payload, entry.vector)
 
-    def store(self, key: tuple, generation, matches: "list[QueryMatch]", *, vector=None) -> None:
+    def store(
+        self,
+        key: tuple,
+        generation: object,
+        matches: "list[QueryMatch]",
+        *,
+        vector: "tuple | None" = None,
+    ) -> None:
         """Remember a freshly computed result list at its generation.
 
         ``vector`` is the store's per-shard generation baseline
@@ -208,8 +215,8 @@ class PlanResultCache:
     def revalidate(
         self,
         key: tuple,
-        generation,
-        vector,
+        generation: object,
+        vector: "tuple | None",
         matches: "list[QueryMatch]",
         dirty_count: "int | None",
         refill: bool = False,
@@ -240,12 +247,12 @@ class PlanResultCache:
         if entry is not None:
             self._bytes -= entry.entry_bytes
 
-    def peek(self, key: tuple, generation) -> bool:
+    def peek(self, key: tuple, generation: object) -> bool:
         """Whether a lookup would hit, without touching stats or LRU order."""
         entry = self._entries.get(key)
         return entry is not None and entry.epoch == generation
 
-    def export_entries(self, generation) -> "list[tuple[tuple, tuple]]":
+    def export_entries(self, generation: object) -> "list[tuple[tuple, tuple]]":
         """``(key, matches)`` pairs for every entry current at
         ``generation`` — the warm set a cache snapshot persists."""
         return [

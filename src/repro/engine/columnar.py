@@ -56,6 +56,7 @@ from repro.engine.journal import MutationJournal
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.representation import FunctionSeriesRepresentation
+    from repro.engine.clustering import ClusterIndex
 
 __all__ = ["ColumnarSegmentStore", "collapse_code_runs"]
 
@@ -257,7 +258,7 @@ class ColumnarSegmentStore:
         self._journal = MutationJournal(max_entries=journal_limit)
         self._cluster_index = None
 
-    def cluster_index(self):
+    def cluster_index(self) -> "ClusterIndex":
         """This store's cluster-representative pruning index, in sync.
 
         Built lazily on first use (profiling every row once) and kept

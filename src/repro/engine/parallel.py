@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ThreadPoolExecutor
+from types import TracebackType
 from typing import Callable
 
 from repro.core.errors import EngineError
@@ -75,7 +76,12 @@ class ParallelExecutor(QueryExecutor):
     def __enter__(self) -> "ParallelExecutor":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: "type[BaseException] | None",
+        exc: "BaseException | None",
+        tb: "TracebackType | None",
+    ) -> None:
         self.close()
 
     def __del__(self) -> None:  # pragma: no cover - finalizer best effort

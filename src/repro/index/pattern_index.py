@@ -18,6 +18,8 @@ positional suffix trie and answers
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from repro.core.errors import IndexError_
 from repro.core.representation import FunctionSeriesRepresentation
 from repro.index.trie import Occurrence, SymbolTrie
@@ -57,7 +59,7 @@ class PatternIndex:
         """
         self._trie.add(sequence_id, symbols)
 
-    def add_symbols_many(self, items) -> None:
+    def add_symbols_many(self, items: "Iterable[tuple[int, str]]") -> None:
         """Bulk-index precomputed ``(sequence_id, symbols)`` pairs.
 
         The batched ingest path's entry point: equivalent to calling
@@ -84,7 +86,7 @@ class PatternIndex:
         """Unindex one sequence."""
         self._trie.remove(sequence_id)
 
-    def remove_many(self, sequence_ids) -> None:
+    def remove_many(self, sequence_ids: "Iterable[int]") -> None:
         """Unindex many sequences in one trie prune pass."""
         self._trie.remove_many(sequence_ids)
 

@@ -248,9 +248,11 @@ class SymbolTrie:
         removed.
         """
         id_set = set(int(sequence_id) for sequence_id in sequence_ids)
-        missing = [sequence_id for sequence_id in id_set if sequence_id not in self._strings]
+        missing = sorted(
+            sequence_id for sequence_id in id_set if sequence_id not in self._strings
+        )
         if missing:
-            raise IndexError_(f"sequences {sorted(missing)} not indexed")
+            raise IndexError_(f"sequences {missing} not indexed")
         if not id_set:
             return
         for sequence_id in id_set:

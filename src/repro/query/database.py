@@ -19,12 +19,13 @@ This is the system of paper Section 4.4 assembled end to end:
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Iterable
 
 import numpy as np
 
 from repro.core.errors import QueryError
-from repro.core.features import find_peaks, find_peaks_many, peak_table
+from repro.core.features import Peak, PeakTableRow, find_peaks, find_peaks_many, peak_table
 from repro.core.representation import (
     FunctionSeriesRepresentation,
     classify_slopes,
@@ -640,11 +641,11 @@ class SequenceDatabase:
         self._require(sequence_id)
         return self.store.rr_intervals_of(sequence_id)
 
-    def peaks_of(self, sequence_id: int):
+    def peaks_of(self, sequence_id: int) -> "list[Peak]":
         """Peak records of one sequence (see :func:`find_peaks`)."""
         return find_peaks(self.representation_of(sequence_id), self.theta)
 
-    def peak_table_of(self, sequence_id: int):
+    def peak_table_of(self, sequence_id: int) -> "list[PeakTableRow]":
         """The paper's Table 1 rows for one sequence."""
         return peak_table(self.representation_of(sequence_id), self.theta)
 
@@ -820,7 +821,7 @@ class SequenceDatabase:
         """The plan-result cache's counters and estimated footprint."""
         return self.result_cache.stats()
 
-    def save_result_cache(self, path) -> int:
+    def save_result_cache(self, path: "str | Path") -> int:
         """Persist the warm plan-result cache entries to ``path``.
 
         See :func:`repro.storage.catalog.save_result_cache`; returns the
@@ -830,7 +831,7 @@ class SequenceDatabase:
 
         return save_result_cache(self, path)
 
-    def load_result_cache(self, path) -> int:
+    def load_result_cache(self, path: "str | Path") -> int:
         """Adopt a persisted cache snapshot, if it still matches.
 
         See :func:`repro.storage.catalog.load_result_cache`; returns the

@@ -24,6 +24,7 @@ queryable, and nothing is buffered past a ``flush()``/``with`` exit.
 
 from __future__ import annotations
 
+from types import TracebackType
 from typing import TYPE_CHECKING, Iterable
 
 from repro.core.errors import QueryError
@@ -119,7 +120,12 @@ class IngestPipeline:
     def __enter__(self) -> "IngestPipeline":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: "type[BaseException] | None",
+        exc: "BaseException | None",
+        tb: "TracebackType | None",
+    ) -> None:
         # Flush only on a clean exit: after an exception the buffer's
         # provenance is unclear, and silently ingesting it would hide
         # the failure.

@@ -219,7 +219,9 @@ class PatternQuery(Query):
             fingerprint=self.fingerprint(),
         )
 
-    def _column_matcher(self) -> "ColumnPatternMatcher | None":
+    # Memo writes below are warmed by plan() on the caller's thread
+    # before any stage scatters; shard workers only ever read them.
+    def _column_matcher(self) -> "ColumnPatternMatcher | None":  # repro: ignore[RL004]
         if self._matcher is None and not self._matcher_failed:
             try:
                 self._matcher = ColumnPatternMatcher.for_pattern(self.pattern)
@@ -269,8 +271,18 @@ class PeakCountQuery(Query):
     def __init__(self, count: int, count_tolerance: int = 0) -> None:
         if count < 0:
             raise QueryError("peak count must be non-negative")
-        self.count = int(count)
-        self.tolerance = Tolerance("peak_count", float(count_tolerance))
+        self._count = int(count)
+        self._tolerance = Tolerance("peak_count", float(count_tolerance))
+
+    @property
+    def count(self) -> int:
+        """The required peak count — fixed at construction."""
+        return self._count
+
+    @property
+    def tolerance(self) -> Tolerance:
+        """The ``peak_count`` tolerance — fixed at construction."""
+        return self._tolerance
 
     def grade(self, database: "SequenceDatabase", sequence_id: int) -> QueryMatch:
         return self._grade_scalar(database, sequence_id)
@@ -328,8 +340,18 @@ class IntervalQuery(Query):
     def __init__(self, target: float, delta: float) -> None:
         if target <= 0:
             raise QueryError("interval target must be positive")
-        self.target = float(target)
-        self.tolerance = Tolerance("rr_interval", float(delta))
+        self._target = float(target)
+        self._tolerance = Tolerance("rr_interval", float(delta))
+
+    @property
+    def target(self) -> float:
+        """The sought interval length — fixed at construction."""
+        return self._target
+
+    @property
+    def tolerance(self) -> Tolerance:
+        """The ``rr_interval`` tolerance — fixed at construction."""
+        return self._tolerance
 
     def candidates(self, database: "SequenceDatabase") -> "list[int] | None":
         return self._probe(database)
@@ -410,8 +432,18 @@ class SteepnessQuery(Query):
     def __init__(self, min_slope: float, slope_tolerance: float = 0.0) -> None:
         if min_slope <= 0:
             raise QueryError("min_slope must be positive")
-        self.min_slope = float(min_slope)
-        self.tolerance = Tolerance("steepness", float(slope_tolerance))
+        self._min_slope = float(min_slope)
+        self._tolerance = Tolerance("steepness", float(slope_tolerance))
+
+    @property
+    def min_slope(self) -> float:
+        """The required rise steepness — fixed at construction."""
+        return self._min_slope
+
+    @property
+    def tolerance(self) -> Tolerance:
+        """The ``steepness`` tolerance — fixed at construction."""
+        return self._tolerance
 
     def grade(self, database: "SequenceDatabase", sequence_id: int) -> QueryMatch:
         return self._grade_scalar(database, sequence_id)
@@ -501,8 +533,8 @@ class TopKQuery(Query):
         if not max_distance >= 0.0:  # also rejects NaN
             raise QueryError("max_distance must be non-negative")
         self._exemplar = exemplar
-        self.k = int(k)
-        self.tolerance = Tolerance("profile_distance", max_distance)
+        self._k = int(k)
+        self._tolerance = Tolerance("profile_distance", max_distance)
         self._digest: "str | None" = None
         self._features: "np.ndarray | None" = None
         self._cache_ref: "weakref.ref | None" = None
@@ -510,8 +542,18 @@ class TopKQuery(Query):
         self._cache_key: "tuple | None" = None
 
     @property
+    def k(self) -> int:
+        """How many neighbours to report — fixed at construction."""
+        return self._k
+
+    @property
+    def tolerance(self) -> Tolerance:
+        """The ``profile_distance`` tolerance — fixed at construction."""
+        return self._tolerance
+
+    @property
     def max_distance(self) -> float:
-        return self.tolerance.bound
+        return self._tolerance.bound
 
     def grade(self, database: "SequenceDatabase", sequence_id: int) -> QueryMatch:
         return self._grade_scalar(database, sequence_id)
@@ -535,7 +577,9 @@ class TopKQuery(Query):
             fingerprint=self.fingerprint(),
         )
 
-    def _features_for(self, database: "SequenceDatabase") -> np.ndarray:
+    # Memo writes below are warmed by plan() on the caller's thread
+    # before any stage scatters; shard workers only ever read them.
+    def _features_for(self, database: "SequenceDatabase") -> np.ndarray:  # repro: ignore[RL004]
         """The exemplar's profile under the database's own pipeline.
 
         A raw exemplar sequence goes through exactly the preprocessing
@@ -663,14 +707,12 @@ class ShapeQuery(Query):
         amplitude_tolerance: float = 0.1,
     ) -> None:
         from repro.core.representation import FunctionSeriesRepresentation
-        from repro.core.shape import shape_signature
 
-        self.duration_tolerance = Tolerance("shape_duration", float(duration_tolerance))
-        self.amplitude_tolerance = Tolerance("shape_amplitude", float(amplitude_tolerance))
+        self._duration_tolerance = Tolerance("shape_duration", float(duration_tolerance))
+        self._amplitude_tolerance = Tolerance("shape_amplitude", float(amplitude_tolerance))
         if not isinstance(exemplar, (Sequence, FunctionSeriesRepresentation)):
             raise QueryError("exemplar must be a Sequence or a FunctionSeriesRepresentation")
         self._exemplar = exemplar
-        self._signature_builder = shape_signature
         self._cache_ref: "weakref.ref | None" = None
         self._cache_breaker_ref: "weakref.ref | None" = None
         self._cache_key: "tuple | None" = None
@@ -682,6 +724,16 @@ class ShapeQuery(Query):
         self._wanted_codes: "np.ndarray | None" = None
         self._duration_profile: "np.ndarray | None" = None
         self._amplitude_profile: "np.ndarray | None" = None
+
+    @property
+    def duration_tolerance(self) -> Tolerance:
+        """The ``shape_duration`` tolerance — fixed at construction."""
+        return self._duration_tolerance
+
+    @property
+    def amplitude_tolerance(self) -> Tolerance:
+        """The ``shape_amplitude`` tolerance — fixed at construction."""
+        return self._amplitude_tolerance
 
     def grade(self, database: "SequenceDatabase", sequence_id: int) -> QueryMatch:
         return self._grade_scalar(database, sequence_id)
@@ -710,7 +762,9 @@ class ShapeQuery(Query):
             fingerprint=self.fingerprint(),
         )
 
-    def _signature_for(self, database: "SequenceDatabase"):
+    # Memo writes below are warmed by plan() on the caller's thread
+    # before any stage scatters; shard workers only ever read them.
+    def _signature_for(self, database: "SequenceDatabase"):  # repro: ignore[RL004]
         """Exemplar signature under the database's own pipeline.
 
         A raw exemplar sequence goes through exactly the preprocessing
@@ -730,6 +784,7 @@ class ShapeQuery(Query):
         it keeps the query from pinning the database alive.
         """
         from repro.core.representation import FunctionSeriesRepresentation
+        from repro.core.shape import shape_signature
 
         cached = self._cache_ref() if self._cache_ref is not None else None
         cached_breaker = (
@@ -752,7 +807,7 @@ class ShapeQuery(Query):
 
                 exemplar = znormalize(exemplar)
             representation = database.breaker.represent(exemplar, curve_kind=database.curve_kind)
-        signature = self._signature_builder(representation, database.theta)
+        signature = shape_signature(representation, database.theta)
         self._signature = signature
         # Hoist the query-side comparison arrays alongside the memoized
         # signature: each scattered shard stage reuses one prebuilt
@@ -872,8 +927,10 @@ class ShapeQuery(Query):
         return VectorVerdicts(ids, dimensions(duration_amounts, amplitude_amounts))
 
     def _grade_scalar(self, database: "SequenceDatabase", sequence_id: int) -> QueryMatch:
+        from repro.core.shape import shape_signature
+
         wanted = self._signature_for(database)
-        observed = self._signature_builder(
+        observed = shape_signature(
             database.representation_of(sequence_id), database.theta
         )
         name = database.name_of(sequence_id)
@@ -919,10 +976,17 @@ class ExemplarQuery(Query):
         if epsilon < 0:
             raise QueryError("epsilon must be non-negative")
         self._exemplar_sequence = exemplar
-        self.tolerance = Tolerance("value_distance", float(epsilon))
+        self._tolerance = Tolerance("value_distance", float(epsilon))
         self._digest: "str | None" = None
         # Hoisted once here rather than re-measured per scattered shard.
-        self._exemplar_length = len(exemplar)
+        # Derived from the exemplar, whose content digest is already the
+        # fingerprint's exemplar component.
+        self._exemplar_length = len(exemplar)  # repro: ignore[RL002]
+
+    @property
+    def tolerance(self) -> Tolerance:
+        """The ``value_distance`` tolerance — fixed at construction."""
+        return self._tolerance
 
     @property
     def exemplar(self) -> Sequence:

@@ -31,7 +31,7 @@ Two execution strategies share the algorithm:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
@@ -107,7 +107,7 @@ class RecursiveCurveFitBreaker(Breaker):
         segments = sorted(resolved)
         return segments
 
-    def break_indices_many(self, sequences) -> "list[Boundaries]":
+    def break_indices_many(self, sequences: "Iterable[Sequence]") -> "list[Boundaries]":
         """Batch breaking: frontier-vectorized when the curve allows it.
 
         Curve kinds with a registered chord kernel (the endpoint

@@ -25,6 +25,8 @@ the online counterpart of the offline ``break_frontier`` kernel.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 import numpy as np
 
 from repro.core.errors import SegmentationError
@@ -191,7 +193,9 @@ class IncrementalRegressionBreaker(Breaker):
     #: stragglers finish through the scalar scan with carried-over state.
     _MIN_FRONTIER = 8
 
-    def extend_indices_many(self, items) -> "list[Boundaries]":
+    def extend_indices_many(
+        self, items: "Iterable[tuple[Sequence, Boundaries]]"
+    ) -> "list[Boundaries]":
         """Frontier-batched suffix rescans: all appends in lock-step.
 
         Round ``r`` advances every *live* lane's scan by one sample with

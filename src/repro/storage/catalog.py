@@ -177,7 +177,7 @@ def _key_to_tuple(obj):
     return obj
 
 
-def save_result_cache(database: "SequenceDatabase", path) -> int:
+def save_result_cache(database: "SequenceDatabase", path: "str | Path") -> int:
     """Persist the database's warm cache entries to ``path``.
 
     Writes every entry valid at the current cache epoch, plus the
@@ -201,7 +201,7 @@ def save_result_cache(database: "SequenceDatabase", path) -> int:
     return len(entries)
 
 
-def load_result_cache(database: "SequenceDatabase", path) -> int:
+def load_result_cache(database: "SequenceDatabase", path: "str | Path") -> int:
     """Adopt a cache snapshot into ``database``, if it still applies.
 
     The snapshot's content digest is recomputed against the live store:

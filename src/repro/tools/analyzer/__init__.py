@@ -1,0 +1,41 @@
+"""Engine-contract static analyzer.
+
+Pure-stdlib AST analysis encoding the repo's cross-cutting invariants
+as machine-checked rules:
+
+========  =========================  =============================================
+rule id   name                       contract
+========  =========================  =============================================
+RL001     journalled-mutation        store mutations bump the generation and
+                                     journal the touched ids on every path
+RL002     fingerprint-completeness   query-defining parameters appear in
+                                     ``fingerprint()`` and are immutable
+RL003     cache-epoch-coverage       config reads inside plan stages are
+                                     components of ``cache_epoch()``
+RL004     scatter-purity             scatter-reachable callables never write
+                                     shared state
+RL005     determinism                no ordered results from bare set
+                                     iteration; stable sorts on merge paths
+========  =========================  =============================================
+
+Run it with ``python -m repro.tools.analyzer src/`` or call
+:func:`analyze_paths` directly.  Suppress a deliberate violation with
+``# repro: ignore[RL004]`` on the offending line (on a ``def`` line the
+suppression covers the whole body; ``# repro: ignore-file[RLxxx]``
+anywhere covers the file).
+"""
+
+from repro.tools.analyzer.cli import analyze_paths, main
+from repro.tools.analyzer.findings import Finding
+from repro.tools.analyzer.project import Project, load_project
+from repro.tools.analyzer.registry import Rule, all_rules
+
+__all__ = [
+    "Finding",
+    "Project",
+    "Rule",
+    "all_rules",
+    "analyze_paths",
+    "load_project",
+    "main",
+]

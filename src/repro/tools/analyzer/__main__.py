@@ -1,0 +1,10 @@
+"""``python -m repro.tools.analyzer`` entry point."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.tools.analyzer.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

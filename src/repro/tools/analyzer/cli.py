@@ -1,0 +1,140 @@
+"""Command line front-end: ``python -m repro.tools.analyzer src/``.
+
+Exit codes: 0 — clean, 1 — findings reported, 2 — usage or parse
+error.  ``--format json`` emits a machine-readable report (one object
+per finding) for the CI artifact; ``--select`` narrows to a comma
+separated list of rule ids.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence, TextIO
+
+from repro.tools.analyzer.findings import Finding
+from repro.tools.analyzer.project import load_project
+from repro.tools.analyzer.registry import Rule, all_rules
+
+
+def analyze_paths(
+    paths: "Sequence[str]", select: "Sequence[str] | None" = None
+) -> "list[Finding]":
+    """All findings for the files/directories in ``paths``, sorted.
+
+    ``select`` narrows to the given rule ids; None means every
+    registered rule.  This is the library entry point the CLI and the
+    test suite share.
+    """
+    rules = _select_rules(select)
+    project = load_project(list(paths))
+    findings: "list[Finding]" = []
+    for rule in rules:
+        findings.extend(rule.run(project))
+    return sorted(findings)
+
+
+def _select_rules(select: "Sequence[str] | None") -> "list[Rule]":
+    rules = all_rules()
+    if select is None:
+        return rules
+    wanted = {rule_id.strip().upper() for rule_id in select if rule_id.strip()}
+    known = {rule.rule_id for rule in rules}
+    unknown = wanted - known
+    if unknown:
+        raise ValueError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+    return [rule for rule in rules if rule.rule_id in wanted]
+
+
+def _render_text(findings: "list[Finding]", stream: TextIO) -> None:
+    for finding in findings:
+        print(finding.render(), file=stream)
+    count = len(findings)
+    noun = "finding" if count == 1 else "findings"
+    print(f"{count} {noun}", file=stream)
+
+
+def _render_json(findings: "list[Finding]", stream: TextIO) -> None:
+    report = {
+        "findings": [finding.to_json() for finding in findings],
+        "count": len(findings),
+    }
+    json.dump(report, stream, indent=2, sort_keys=True)
+    print(file=stream)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.analyzer",
+        description="Engine-contract static analyzer (rules RL001-RL005).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="files or directories to analyze"
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="write the report to a file instead of stdout",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.name}: {rule.synopsis}")
+        return 0
+
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("error: no paths given", file=sys.stderr)
+        return 2
+
+    select = args.select.split(",") if args.select else None
+    try:
+        findings = analyze_paths(args.paths, select=select)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except SyntaxError as exc:
+        print(f"error: cannot parse {exc.filename}: {exc.msg}", file=sys.stderr)
+        return 2
+
+    if args.output is not None:
+        with open(args.output, "w") as stream:
+            _render(findings, args.format, stream)
+        # Still summarize on stdout so CI logs show the verdict inline.
+        count = len(findings)
+        noun = "finding" if count == 1 else "findings"
+        print(f"{count} {noun} (report written to {args.output})")
+    else:
+        _render(findings, args.format, sys.stdout)
+
+    return 1 if findings else 0
+
+
+def _render(findings: "list[Finding]", fmt: str, stream: TextIO) -> None:
+    if fmt == "json":
+        _render_json(findings, stream)
+    else:
+        _render_text(findings, stream)

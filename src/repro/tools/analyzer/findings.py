@@ -1,0 +1,36 @@
+"""Structured findings: what a rule reports, and how it renders.
+
+Every rule yields :class:`Finding` instances — one per violation, each
+carrying the rule id, the offending location and a human-readable
+message.  The CLI sorts findings by path, then line, then rule id, so
+output is deterministic regardless of rule execution order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def render(self) -> str:
+        """The canonical one-line text form: ``path:line:col RLxxx msg``."""
+        return f"{self.path}:{self.line}:{self.col} {self.rule_id} {self.message}"
+
+    def to_json(self) -> "dict[str, object]":
+        """The finding as a JSON-serializable mapping."""
+        return {
+            "rule_id": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }

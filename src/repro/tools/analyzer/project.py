@@ -1,0 +1,256 @@
+"""Parsed-project model shared by every rule.
+
+The analyzer parses each file once into a :class:`ModuleInfo` (source,
+AST, suppression index) and pre-digests each class into a
+:class:`ClassModel` — methods, ``__init__``-assigned attributes,
+property/getter indirection, the intra-class call graph — so rules
+express their contract checks over a uniform model instead of each
+re-walking raw AST.  All analysis is purely syntactic: nothing is
+imported or executed, so seeded-violation fixtures are safe to analyze.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.tools.analyzer.suppress import SuppressionIndex
+
+FunctionNode = "ast.FunctionDef | ast.AsyncFunctionDef"
+
+
+def is_self_attribute(node: ast.AST, self_name: str = "self") -> "str | None":
+    """The attribute name when ``node`` is ``self.<attr>``, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == self_name
+    ):
+        return node.attr
+    return None
+
+
+def assigned_self_attrs(node: ast.stmt) -> "list[tuple[str, ast.AST]]":
+    """``(attr, value)`` pairs for every ``self.X = ...`` in one statement."""
+    pairs: "list[tuple[str, ast.AST]]" = []
+    if isinstance(node, ast.Assign):
+        for target in node.targets:
+            for element in ast.walk(target):
+                attr = is_self_attribute(element)
+                if attr is not None:
+                    pairs.append((attr, node.value))
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        attr = is_self_attribute(node.target)
+        if attr is not None and node.value is not None:
+            pairs.append((attr, node.value))
+    return pairs
+
+
+def decorator_names(func: ast.AST) -> "set[str]":
+    """Flat decorator names (``property``, ``x.setter`` -> ``setter``)."""
+    names: "set[str]" = set()
+    for dec in getattr(func, "decorator_list", []):
+        if isinstance(dec, ast.Name):
+            names.add(dec.id)
+        elif isinstance(dec, ast.Attribute):
+            names.add(dec.attr)
+        elif isinstance(dec, ast.Call):
+            names.update(decorator_names_from_expr(dec.func))
+    return names
+
+
+def decorator_names_from_expr(expr: ast.AST) -> "set[str]":
+    if isinstance(expr, ast.Name):
+        return {expr.id}
+    if isinstance(expr, ast.Attribute):
+        return {expr.attr}
+    return set()
+
+
+@dataclass
+class ClassModel:
+    """One class, pre-digested for contract rules."""
+
+    name: str
+    node: ast.ClassDef
+    module: "ModuleInfo"
+    base_names: "list[str]" = field(default_factory=list)
+    #: method name -> its def node (latest definition wins, except that
+    #: property getters are kept separate from same-named setters).
+    methods: "dict[str, ast.FunctionDef]" = field(default_factory=dict)
+    #: property name -> getter def node
+    properties: "dict[str, ast.FunctionDef]" = field(default_factory=dict)
+    #: property name -> setter def node
+    setters: "dict[str, ast.FunctionDef]" = field(default_factory=dict)
+    #: attr -> first value expression assigned in __init__
+    init_attrs: "dict[str, ast.AST]" = field(default_factory=dict)
+    #: attr -> methods (other than __init__) that assign it
+    assigned_outside_init: "dict[str, set[str]]" = field(default_factory=dict)
+
+    @property
+    def path(self) -> str:
+        return self.module.path
+
+    def method_like(self, name: str) -> "ast.FunctionDef | None":
+        """A method or property getter by name."""
+        return self.methods.get(name) or self.properties.get(name)
+
+    def self_calls(self, method: ast.FunctionDef) -> "set[str]":
+        """Names of this class's methods referenced through ``self``.
+
+        Both calls (``self.m(...)``) and bare references (``self.m``,
+        e.g. a bound method handed to a plan stage) count: either way
+        the referenced method can run wherever the referencing one does.
+        """
+        names: "set[str]" = set()
+        for node in ast.walk(method):
+            attr = is_self_attribute(node)
+            if attr is not None and (attr in self.methods or attr in self.properties):
+                names.add(attr)
+        return names
+
+    def reachable_methods(self, seeds: "set[str]") -> "set[str]":
+        """Transitive closure of :meth:`self_calls` from ``seeds``."""
+        seen: "set[str]" = set()
+        frontier = [name for name in seeds if self.method_like(name) is not None]
+        while frontier:
+            name = frontier.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            func = self.method_like(name)
+            if func is None:
+                continue
+            frontier.extend(self.self_calls(func) - seen)
+        return seen
+
+    def attr_reads(self, method: ast.FunctionDef) -> "set[str]":
+        """``self.X`` attributes loaded (not stored) in one method."""
+        reads: "set[str]" = set()
+        for node in ast.walk(method):
+            attr = is_self_attribute(node)
+            if attr is not None and isinstance(node.ctx, ast.Load):
+                reads.add(attr)
+        return reads
+
+    def property_backing(self, name: str) -> "set[str]":
+        """Instance attributes a property getter reads."""
+        getter = self.properties.get(name)
+        if getter is None:
+            return set()
+        return self.attr_reads(getter)
+
+    def resolve_attr(self, name: str) -> "set[str]":
+        """A read of ``self.<name>`` as the underlying stored attrs.
+
+        Plain data attributes resolve to themselves; property reads
+        resolve to the attributes the getter touches, so fingerprint /
+        epoch coverage sees through read-only property indirection.
+        """
+        if name in self.init_attrs or name in self.assigned_outside_init:
+            return {name}
+        if name in self.properties:
+            return self.property_backing(name) or {name}
+        return {name}
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    suppressions: SuppressionIndex
+    classes: "list[ClassModel]" = field(default_factory=list)
+
+    @classmethod
+    def parse(cls, path: Path, root: "Path | None" = None) -> "ModuleInfo":
+        source = path.read_text()
+        tree = ast.parse(source, filename=str(path))
+        shown = str(path.relative_to(root)) if root is not None else str(path)
+        info = cls(
+            path=shown,
+            source=source,
+            tree=tree,
+            suppressions=SuppressionIndex(source, tree),
+        )
+        for node in tree.body:
+            if isinstance(node, ast.ClassDef):
+                info.classes.append(_digest_class(node, info))
+        return info
+
+
+def _digest_class(node: ast.ClassDef, module: ModuleInfo) -> ClassModel:
+    model = ClassModel(name=node.name, node=node, module=module)
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            model.base_names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            model.base_names.append(base.attr)
+    for item in node.body:
+        if not isinstance(item, ast.FunctionDef):
+            continue
+        decorators = decorator_names(item)
+        if "property" in decorators or "cached_property" in decorators:
+            model.properties[item.name] = item
+        elif "setter" in decorators:
+            model.setters[item.name] = item
+        else:
+            model.methods[item.name] = item
+    init = model.methods.get("__init__")
+    for name, func in model.methods.items():
+        for stmt in ast.walk(func):
+            for attr, value in assigned_self_attrs(stmt) if isinstance(stmt, ast.stmt) else []:
+                if func is init:
+                    model.init_attrs.setdefault(attr, value)
+                else:
+                    model.assigned_outside_init.setdefault(attr, set()).add(name)
+    # Property setters assign their backing attribute too.
+    for name, func in model.setters.items():
+        for stmt in ast.walk(func):
+            for attr, _value in assigned_self_attrs(stmt) if isinstance(stmt, ast.stmt) else []:
+                model.assigned_outside_init.setdefault(attr, set()).add(name)
+    return model
+
+
+@dataclass
+class Project:
+    """Every parsed module of one analyzer invocation."""
+
+    modules: "list[ModuleInfo]"
+
+    def classes_named(self, name: str) -> "list[ClassModel]":
+        return [
+            model
+            for module in self.modules
+            for model in module.classes
+            if model.name == name
+        ]
+
+    def all_classes(self) -> "list[ClassModel]":
+        return [model for module in self.modules for model in module.classes]
+
+
+def collect_files(paths: "list[str]") -> "list[Path]":
+    """Every ``*.py`` under the given files/directories, sorted."""
+    files: "set[Path]" = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.update(
+                candidate
+                for candidate in path.rglob("*.py")
+                if not any(part.startswith(".") for part in candidate.parts)
+            )
+        elif path.suffix == ".py":
+            files.add(path)
+    return sorted(files)
+
+
+def load_project(paths: "list[str]", root: "Path | None" = None) -> Project:
+    """Parse every Python file under ``paths`` into a :class:`Project`."""
+    return Project(
+        modules=[ModuleInfo.parse(path, root=root) for path in collect_files(paths)]
+    )

@@ -1,0 +1,59 @@
+"""Rule registry: id -> rule, populated by the ``@rule`` decorator.
+
+A rule is a callable ``(Project) -> Iterable[Finding]``; registering it
+attaches the rule id and one-line synopsis the CLI lists and selects
+by.  Findings a rule yields are filtered against each file's
+suppression index centrally, so individual rules never need to know
+the suppression syntax exists.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.tools.analyzer.findings import Finding
+from repro.tools.analyzer.project import Project
+
+RuleCheck = Callable[[Project], Iterable[Finding]]
+
+
+class Rule:
+    """One registered rule."""
+
+    def __init__(self, rule_id: str, name: str, synopsis: str, check: RuleCheck) -> None:
+        self.rule_id = rule_id
+        self.name = name
+        self.synopsis = synopsis
+        self.check = check
+
+    def run(self, project: Project) -> "list[Finding]":
+        """The rule's unsuppressed findings, sorted."""
+        suppressions = {module.path: module.suppressions for module in project.modules}
+        kept = [
+            finding
+            for finding in self.check(project)
+            if not suppressions[finding.path].is_suppressed(self.rule_id, finding.line)
+        ]
+        return sorted(kept)
+
+
+_REGISTRY: "dict[str, Rule]" = {}
+
+
+def rule(rule_id: str, name: str, synopsis: str) -> "Callable[[RuleCheck], RuleCheck]":
+    """Register a check function under ``rule_id``."""
+
+    def register(check: RuleCheck) -> RuleCheck:
+        if rule_id in _REGISTRY:
+            raise ValueError(f"duplicate rule id {rule_id}")
+        _REGISTRY[rule_id] = Rule(rule_id, name, synopsis, check)
+        return check
+
+    return register
+
+
+def all_rules() -> "list[Rule]":
+    """Every registered rule, in id order (imports the rule modules)."""
+    import repro.tools.analyzer.rules  # noqa: F401  (registration side effect)
+
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]

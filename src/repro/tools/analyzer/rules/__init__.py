@@ -1,0 +1,9 @@
+"""Rule modules — importing this package registers every rule."""
+
+from repro.tools.analyzer.rules import (  # noqa: F401  (registration side effect)
+    cache_epoch,
+    determinism,
+    fingerprint_completeness,
+    journalled_mutation,
+    scatter_purity,
+)

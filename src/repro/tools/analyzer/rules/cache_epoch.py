@@ -1,0 +1,191 @@
+"""RL003 — cache-epoch coverage.
+
+``SequenceDatabase.cache_epoch()`` is the token every cached query
+answer is keyed on: it must name *everything* an answer depends on.
+The store's data generation covers mutations; the rest of the tuple
+must cover pipeline configuration.  A stage callable that reads a
+config attribute the epoch does not cover produces answers the cache
+can never know to invalidate — exactly the stale-memo class of bug
+PR 2 patched after the fact.
+
+The rule reconstructs both sides from source:
+
+* **Epoch components** — the ``self`` attributes read inside
+  ``cache_epoch`` (property indirection resolved, so ``self.theta``
+  covers ``_theta``).
+* **Config attributes** — ``SequenceDatabase`` attributes assigned in
+  ``__init__`` directly from a constructor parameter (bare name or a
+  builtin scalar cast of one).  Constructed components (indexes,
+  stores) are not config: their contents are covered by the data
+  generation.
+
+A config attribute is *covered* when it (or a property reading it) is
+an epoch component, or when reassigning it routes through a property
+setter that bumps an epoch component (the ``breaker`` /
+``_config_epoch`` pattern).  Every read of an uncovered config
+attribute off the database parameter inside a *stage callable* —
+methods bound into ``QueryPlan(...)`` stage arguments, plus everything
+transitively reachable from them through ``self`` — is an error.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.tools.analyzer.findings import Finding
+from repro.tools.analyzer.project import ClassModel, Project, is_self_attribute
+from repro.tools.analyzer.registry import rule
+from repro.tools.analyzer.rules.scatter_purity import plan_stage_seeds
+
+RULE_ID = "RL003"
+
+#: Builtin casts that keep a constructor-parameter assignment "scalar
+#: config" rather than a constructed component.
+_SCALAR_CASTS = frozenset({"float", "int", "bool", "str", "tuple"})
+
+#: QueryPlan stage keywords whose callables read the database during
+#: evaluation (residual included: it runs per sequence at gather time).
+STAGE_KEYWORDS = ("probe", "prefilter", "vector_filter", "residual", "topk")
+
+
+def _database_model(project: Project) -> "ClassModel | None":
+    for model in project.classes_named("SequenceDatabase"):
+        if "cache_epoch" in model.methods:
+            return model
+    return None
+
+
+def _epoch_components(model: ClassModel) -> "set[str]":
+    func = model.methods["cache_epoch"]
+    components: "set[str]" = set()
+    for attr in model.attr_reads(func):
+        components.add(attr)
+        components.update(model.resolve_attr(attr))
+    return components
+
+
+def _config_attrs(model: ClassModel) -> "set[str]":
+    init = model.methods.get("__init__")
+    if init is None:
+        return set()
+    params = {
+        arg.arg
+        for arg in init.args.posonlyargs + init.args.args + init.args.kwonlyargs
+        if arg.arg != "self"
+    }
+
+    def from_param(value: ast.AST) -> bool:
+        if isinstance(value, ast.Name):
+            return value.id in params
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in _SCALAR_CASTS
+            and len(value.args) == 1
+        ):
+            return from_param(value.args[0])
+        return False
+
+    return {attr for attr, value in model.init_attrs.items() if from_param(value)}
+
+
+def _setter_covered(model: ClassModel, attr: str, epoch: "set[str]") -> bool:
+    """Reassignment routes through a setter that bumps an epoch part."""
+    for name, setter in model.setters.items():
+        assigns: "set[str]" = set()
+        bumps: "set[str]" = set()
+        for node in ast.walk(setter):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    maybe = is_self_attribute(target)
+                    if maybe is not None:
+                        assigns.add(maybe)
+            elif isinstance(node, ast.AugAssign):
+                maybe = is_self_attribute(node.target)
+                if maybe is not None:
+                    bumps.add(maybe)
+        if attr in assigns and bumps & epoch:
+            return True
+    return False
+
+
+def _covered_config(model: ClassModel) -> "tuple[set[str], set[str]]":
+    """(config attrs, the covered subset), public aliases included."""
+    epoch = _epoch_components(model)
+    config = _config_attrs(model)
+    covered: "set[str]" = set()
+    aliases: "dict[str, set[str]]" = {
+        name: model.property_backing(name) for name in model.properties
+    }
+    for attr in config:
+        if attr in epoch:
+            covered.add(attr)
+        elif any(attr in backing and name in epoch for name, backing in aliases.items()):
+            covered.add(attr)
+        elif _setter_covered(model, attr, epoch):
+            covered.add(attr)
+    # A read through a public property alias counts as a read of its
+    # backing attr; expose the alias -> attr mapping via names.
+    full_config = set(config)
+    for name, backing in aliases.items():
+        if backing & config:
+            full_config.add(name)
+            if backing & covered or name in epoch:
+                covered.add(name)
+    return full_config, covered
+
+
+def _database_param(func: ast.FunctionDef) -> "str | None":
+    for arg in func.args.posonlyargs + func.args.args:
+        if arg.arg == "database":
+            return arg.arg
+    return None
+
+
+@rule(
+    RULE_ID,
+    "cache-epoch-coverage",
+    "database config attributes read inside plan stage callables must be "
+    "components of SequenceDatabase.cache_epoch()",
+)
+def check(project: Project) -> "list[Finding]":
+    database = _database_model(project)
+    if database is None:
+        return []
+    config, covered = _covered_config(database)
+    uncovered = config - covered
+    findings: "list[Finding]" = []
+    for model in project.all_classes():
+        seeds = plan_stage_seeds(model, STAGE_KEYWORDS)
+        if not seeds:
+            continue
+        for name in sorted(model.reachable_methods(seeds)):
+            func = model.method_like(name)
+            if func is None:
+                continue
+            param = _database_param(func)
+            if param is None:
+                continue
+            for node in ast.walk(func):
+                if (
+                    isinstance(node, ast.Attribute)
+                    and isinstance(node.ctx, ast.Load)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == param
+                    and node.attr in uncovered
+                ):
+                    findings.append(
+                        Finding(
+                            path=model.path,
+                            line=node.lineno,
+                            col=node.col_offset,
+                            rule_id=RULE_ID,
+                            message=(
+                                f"{model.name}.{name} reads database.{node.attr} "
+                                f"inside a plan stage, but {node.attr} is not a "
+                                f"component of cache_epoch(); cached answers "
+                                f"would survive a config change"
+                            ),
+                        )
+                    )
+    return findings

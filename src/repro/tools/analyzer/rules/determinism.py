@@ -1,0 +1,225 @@
+"""RL005 — determinism.
+
+The engine's answers are defined to be byte-identical across shard
+counts, worker counts and cache states; every ordered result is sorted
+by an explicit total key.  Two constructs quietly break that:
+
+* **Bare set iteration materialized in order** — ``list(set(...))``,
+  ``tuple({...})``, a comprehension over a set, or a loop that appends
+  set elements to a list.  Set iteration order depends on insertion
+  history and hash seeding; the fix is ``sorted(...)``, which is why
+  every legitimate site in the engine already spells it that way.
+  Materializations directly inside ``sorted`` / ``min`` / ``max`` /
+  ``sum`` are not flagged: those consumers erase iteration order.
+* **Unstable array sorts in merge/tie-break modules** —
+  ``np.argsort`` defaults to an unstable introsort, so equal keys
+  (tied grades, equal bounds) permute by partition luck.  Modules on
+  the merge path must pass ``kind="stable"`` (or ``"mergesort"``).
+  ``np.lexsort`` is stable by contract and value-sorting a scalar
+  array (``np.sort``) has no observable tie order, so neither is
+  flagged.
+
+The set check runs repo-wide; the sort check is scoped to modules
+whose path matches :data:`MERGE_MODULE_MARKERS`, the merge/tie-break
+surfaces where equal keys are routine.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.tools.analyzer.findings import Finding
+from repro.tools.analyzer.project import ModuleInfo, Project
+from repro.tools.analyzer.registry import rule
+
+RULE_ID = "RL005"
+
+#: Path fragments naming merge/tie-break modules (unstable-sort scope).
+MERGE_MODULE_MARKERS = (
+    "executor",
+    "sharding",
+    "parallel",
+    "clustering",
+    "cache",
+    "results",
+    "merge",
+    "index",
+)
+
+_STABLE_KINDS = frozenset({"stable", "mergesort"})
+
+
+def _is_set_literal_or_call(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in ("set", "frozenset"):
+            return True
+    return False
+
+
+class _SetTracker(ast.NodeVisitor):
+    """Flags ordered materializations of set-typed expressions.
+
+    Set-typed locals are tracked per function scope: a name assigned a
+    set expression (and never reassigned to anything else) is
+    set-typed.  Binary ops over set-typed operands (``|&-^``) stay
+    set-typed.
+    """
+
+    def __init__(self, module: ModuleInfo) -> None:
+        self.module = module
+        self.findings: "list[Finding]" = []
+        self._set_names: "list[set[str]]" = [set()]
+        self._sorted_depth = 0
+
+    def _is_set_typed(self, node: ast.AST) -> bool:
+        if _is_set_literal_or_call(node):
+            return True
+        if isinstance(node, ast.Name):
+            return any(node.id in scope for scope in reversed(self._set_names))
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self._is_set_typed(node.left) or self._is_set_typed(node.right)
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in ("union", "intersection", "difference", "symmetric_difference"):
+                return self._is_set_typed(node.func.value)
+        return False
+
+    def _flag(self, node: ast.AST, what: str) -> None:
+        self.findings.append(
+            Finding(
+                path=self.module.path,
+                line=node.lineno,
+                col=node.col_offset,
+                rule_id=RULE_ID,
+                message=(
+                    f"{what} iterates a bare set into an ordered result; "
+                    f"set order is hash-dependent — sort first "
+                    f"(e.g. sorted(...))"
+                ),
+            )
+        )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._set_names.append(set())
+        self.generic_visit(node)
+        self._set_names.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                if self._is_set_typed(node.value):
+                    self._set_names[-1].add(target.id)
+                else:
+                    self._set_names[-1].discard(target.id)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Name) and node.func.id in ("sorted", "min", "max", "sum"):
+            # sorted() imposes a total order; min/max/sum are
+            # order-insensitive reductions.  Materializations directly
+            # under them are harmless.
+            self._sorted_depth += 1
+            self.generic_visit(node)
+            self._sorted_depth -= 1
+            return
+        if self._sorted_depth == 0:
+            if (
+                isinstance(node.func, ast.Name)
+                and node.func.id in ("list", "tuple")
+                and len(node.args) == 1
+                and self._is_set_typed(node.args[0])
+            ):
+                self._flag(node, f"{node.func.id}(...) over a set")
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "join"
+                and len(node.args) == 1
+                and self._is_set_typed(node.args[0])
+            ):
+                self._flag(node, "str.join over a set")
+        self.generic_visit(node)
+
+    def _check_comprehension(self, node: ast.AST, generators: "list[ast.comprehension]") -> None:
+        if self._sorted_depth:
+            return
+        for generator in generators:
+            if self._is_set_typed(generator.iter):
+                self._flag(node, "a comprehension")
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._check_comprehension(node, node.generators)
+        self.generic_visit(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        # Only flagged when the consumer imposes order; sorted(...) and
+        # set(...) consumers are fine.  Conservatively skip bare
+        # generator expressions — the list()/tuple() visitor catches the
+        # ordering consumers that matter.
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        if self._is_set_typed(node.iter):
+            appends = any(
+                isinstance(inner, ast.Call)
+                and isinstance(inner.func, ast.Attribute)
+                and inner.func.attr in ("append", "extend", "insert")
+                for stmt in node.body
+                for inner in ast.walk(stmt)
+            )
+            if appends:
+                self._flag(node, "a for-loop building a list")
+        self.generic_visit(node)
+
+
+def _argsort_findings(module: ModuleInfo) -> "list[Finding]":
+    findings: "list[Finding]" = []
+    for node in ast.walk(module.tree):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            continue
+        if node.func.attr != "argsort":
+            continue
+        kinds = [
+            keyword.value
+            for keyword in node.keywords
+            if keyword.arg == "kind"
+        ]
+        stable = any(
+            isinstance(kind, ast.Constant) and kind.value in _STABLE_KINDS
+            for kind in kinds
+        )
+        if not stable:
+            findings.append(
+                Finding(
+                    path=module.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule_id=RULE_ID,
+                    message=(
+                        "argsort without kind=\"stable\" in a merge/tie-break "
+                        "module; equal keys would permute non-deterministically"
+                    ),
+                )
+            )
+    return findings
+
+
+@rule(
+    RULE_ID,
+    "determinism",
+    "no ordered results from bare set iteration; argsort in merge/tie-break "
+    "modules must be stable",
+)
+def check(project: Project) -> "list[Finding]":
+    findings: "list[Finding]" = []
+    for module in project.modules:
+        tracker = _SetTracker(module)
+        tracker.visit(module.tree)
+        findings.extend(tracker.findings)
+        if any(marker in module.path for marker in MERGE_MODULE_MARKERS):
+            findings.extend(_argsort_findings(module))
+    return findings

@@ -1,0 +1,193 @@
+"""RL002 — fingerprint-completeness.
+
+The plan-result cache memoizes query answers keyed on
+``Query.fingerprint()`` (PR 2): two queries with equal fingerprints
+*must* answer identically against the same store state.  That breaks
+in two ways, both seen in past reviews:
+
+* a parameter that changes what the query matches but is **missing
+  from the fingerprint** — two different queries share a cache entry;
+* a query-defining parameter that is **mutable after construction** —
+  the fingerprint was computed from a value the query no longer uses.
+
+The rule applies to direct subclasses of ``Query`` that define
+``fingerprint`` (a query without one inherits ``None`` and is
+uncacheable, which is always safe).  *Query-defining parameters* are
+instance attributes assigned in ``__init__`` and never reassigned
+elsewhere in the class; attributes also written outside ``__init__``
+are derived memos (lazily computed digests, per-database caches) and
+are exempt — but only when private, since a publicly reassignable
+attribute is an implicit setter.  For each query-defining parameter
+read anywhere on the evaluation path — ``plan`` / ``grade`` /
+``candidates`` and every method transitively reachable from them,
+with property indirection resolved — the rule requires:
+
+1. the attribute (directly or through a read-only property) is read
+   inside ``fingerprint``;
+2. no property setter targets it;
+3. it is private (name-mangled conventionally with a leading
+   underscore) — a bare public attribute can be assigned by anyone,
+   which is a public setter in all but syntax.
+"""
+
+from __future__ import annotations
+
+from repro.tools.analyzer.findings import Finding
+from repro.tools.analyzer.project import ClassModel, Project
+from repro.tools.analyzer.registry import rule
+
+RULE_ID = "RL002"
+
+#: Methods whose reads define the evaluation path.
+EVALUATION_ROOTS = ("plan", "grade", "candidates")
+
+
+def _is_query_subclass(model: ClassModel) -> bool:
+    return "Query" in model.base_names
+
+
+def _evaluation_reads(model: ClassModel) -> "set[str]":
+    """Underlying attrs read on the evaluation path (property-resolved)."""
+    reachable = model.reachable_methods(set(EVALUATION_ROOTS))
+    reachable.discard("__init__")
+    reachable.discard("fingerprint")
+    reads: "set[str]" = set()
+    for name in reachable:
+        func = model.method_like(name)
+        if func is None:
+            continue
+        for attr in model.attr_reads(func):
+            reads.update(model.resolve_attr(attr))
+    return reads
+
+
+def _fingerprint_reads(model: ClassModel) -> "set[str]":
+    func = model.methods.get("fingerprint")
+    if func is None:
+        return set()
+    reads: "set[str]" = set()
+    for attr in model.attr_reads(func):
+        reads.update(model.resolve_attr(attr))
+    return reads
+
+
+def _public_alias(model: ClassModel, attr: str) -> "str | None":
+    """A public read-only property exposing ``attr``, if any."""
+    for name in model.properties:
+        if attr in model.property_backing(name):
+            return name
+    return None
+
+
+@rule(
+    RULE_ID,
+    "fingerprint-completeness",
+    "every query-defining parameter read on the evaluation path must appear "
+    "in fingerprint() and be immutable after construction",
+)
+def check(project: Project) -> "list[Finding]":
+    findings: "list[Finding]" = []
+    for model in project.all_classes():
+        if not _is_query_subclass(model) or "fingerprint" not in model.methods:
+            continue
+        eval_reads = _evaluation_reads(model)
+        fingerprint_reads = _fingerprint_reads(model)
+        setter_assigned = {
+            attr: name
+            for name in model.setters
+            for attr in _setter_targets(model, name)
+        }
+        init = model.methods.get("__init__")
+        init_line = init.lineno if init is not None else model.node.lineno
+        for attr in sorted(model.init_attrs):
+            if attr not in eval_reads:
+                continue
+            value = model.init_attrs[attr]
+            line = getattr(value, "lineno", init_line)
+            col = getattr(value, "col_offset", 0)
+            if attr in setter_assigned:
+                setter = model.setters[setter_assigned[attr]]
+                findings.append(
+                    Finding(
+                        path=model.path,
+                        line=setter.lineno,
+                        col=setter.col_offset,
+                        rule_id=RULE_ID,
+                        message=(
+                            f"{model.name}.{setter_assigned[attr]} is a public "
+                            f"setter for query-defining parameter {attr}; query "
+                            f"parameters must be fixed at construction"
+                        ),
+                    )
+                )
+                continue
+            reassigners = model.assigned_outside_init.get(attr, set())
+            if reassigners:
+                if attr.startswith("_"):
+                    # Private derived memo (digest, per-database cache):
+                    # recomputed from the defining parameters, so the
+                    # fingerprint does not need it.
+                    continue
+                findings.append(
+                    Finding(
+                        path=model.path,
+                        line=line,
+                        col=col,
+                        rule_id=RULE_ID,
+                        message=(
+                            f"{model.name}.{attr} is query-defining but reassigned "
+                            f"in {', '.join(sorted(reassigners))}; cached "
+                            f"fingerprints cannot follow a mutable parameter"
+                        ),
+                    )
+                )
+                continue
+            if attr not in fingerprint_reads:
+                findings.append(
+                    Finding(
+                        path=model.path,
+                        line=line,
+                        col=col,
+                        rule_id=RULE_ID,
+                        message=(
+                            f"{model.name}.{attr} is read on the evaluation path "
+                            f"but missing from fingerprint(); two distinct queries "
+                            f"could share one cache entry"
+                        ),
+                    )
+                )
+            if not attr.startswith("_"):
+                alias = _public_alias(model, attr)
+                hint = (
+                    "store it privately and expose it through a read-only property"
+                    if alias is None
+                    else f"store it privately behind the read-only property {alias!r}"
+                )
+                findings.append(
+                    Finding(
+                        path=model.path,
+                        line=line,
+                        col=col,
+                        rule_id=RULE_ID,
+                        message=(
+                            f"{model.name}.{attr} is a plain public attribute but "
+                            f"query-defining; {hint} so it cannot drift from the "
+                            f"fingerprint"
+                        ),
+                    )
+                )
+    return findings
+
+
+def _setter_targets(model: ClassModel, setter_name: str) -> "set[str]":
+    """Attributes a property setter assigns."""
+    import ast
+
+    from repro.tools.analyzer.project import assigned_self_attrs
+
+    func = model.setters[setter_name]
+    attrs: "set[str]" = set()
+    for stmt in ast.walk(func):
+        if isinstance(stmt, ast.stmt):
+            attrs.update(attr for attr, _value in assigned_self_attrs(stmt))
+    return attrs

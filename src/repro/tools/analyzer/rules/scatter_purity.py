@@ -1,0 +1,152 @@
+"""RL004 — scatter purity.
+
+The parallel executor (PR 3) scatters the per-shard plan stages onto a
+thread pool.  Stage callables therefore run concurrently — one task
+per shard, but the *same query object* is shared by every task — so a
+stage that assigns ``self.*``, a ``nonlocal``, or a module global is a
+data race waiting for a second shard: results become dependent on
+thread interleaving, which breaks the engine's answers-identical-for-
+any-worker-count guarantee.
+
+Scatter-reachable callables are found statically:
+
+* methods bound into the *scattered* ``QueryPlan`` stage slots —
+  ``prefilter=self._m`` / ``vector_filter=self._m`` / ``topk=self._m``
+  (``probe`` runs once on the caller's thread and ``residual``
+  materializes at gather time, so neither is scattered);
+* nested functions defined inside methods of executor classes (any
+  class defining ``_scatter`` or overriding it) — the per-shard task
+  thunks themselves;
+* everything transitively reachable from those through ``self`` calls
+  or bound-method references within the same class.
+
+Flagged inside a reachable callable: assignments (plain, augmented or
+annotated) whose target is ``self.<attr>`` or a subscript of one, and
+``global`` / ``nonlocal`` declarations.  Memo writes that are provably
+warmed on the caller's thread before the stages run (the
+``plan()``-time warm-up pattern) are legitimate — suppress them at the
+function level with ``# repro: ignore[RL004]`` and a comment naming
+the warm-up site, which documents the invariant where it lives.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.tools.analyzer.findings import Finding
+from repro.tools.analyzer.project import ClassModel, Project, is_self_attribute
+from repro.tools.analyzer.registry import rule
+
+RULE_ID = "RL004"
+
+#: QueryPlan stage slots whose callables run on scatter worker threads.
+SCATTERED_STAGE_KEYWORDS = ("prefilter", "vector_filter", "topk")
+
+
+def plan_stage_seeds(model: ClassModel, keywords: "tuple[str, ...]") -> "set[str]":
+    """Methods of ``model`` bound into ``QueryPlan(...)`` stage slots."""
+    seeds: "set[str]" = set()
+    for func in list(model.methods.values()) + list(model.properties.values()):
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            called = node.func
+            called_name = (
+                called.id
+                if isinstance(called, ast.Name)
+                else getattr(called, "attr", "")
+            )
+            if called_name != "QueryPlan":
+                continue
+            for keyword in node.keywords:
+                if keyword.arg in keywords:
+                    attr = is_self_attribute(keyword.value)
+                    if attr is not None:
+                        seeds.add(attr)
+    return seeds
+
+
+def _is_executor_class(model: ClassModel) -> bool:
+    return "_scatter" in model.methods or any(
+        base.endswith("Executor") for base in model.base_names
+    )
+
+
+def _impure_statements(func: ast.AST) -> "list[tuple[int, int, str]]":
+    """(line, col, description) for every impure write in a callable."""
+    hits: "list[tuple[int, int, str]]" = []
+    for node in ast.walk(func):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            if isinstance(node, ast.AnnAssign) and node.value is None:
+                continue
+            for target in targets:
+                root = target
+                while isinstance(root, (ast.Subscript, ast.Attribute)) and not (
+                    is_self_attribute(root)
+                ):
+                    root = root.value
+                attr = is_self_attribute(root)
+                if attr is not None:
+                    hits.append(
+                        (
+                            node.lineno,
+                            node.col_offset,
+                            f"assigns self.{attr}",
+                        )
+                    )
+        elif isinstance(node, ast.Global):
+            hits.append(
+                (node.lineno, node.col_offset, f"declares global {', '.join(node.names)}")
+            )
+        elif isinstance(node, ast.Nonlocal):
+            hits.append(
+                (
+                    node.lineno,
+                    node.col_offset,
+                    f"declares nonlocal {', '.join(node.names)}",
+                )
+            )
+    return hits
+
+
+@rule(
+    RULE_ID,
+    "scatter-purity",
+    "callables reachable from the scatter path must not assign self state, "
+    "nonlocals or module globals (thread-pool race)",
+)
+def check(project: Project) -> "list[Finding]":
+    findings: "list[Finding]" = []
+    for model in project.all_classes():
+        reachable: "dict[str, ast.AST]" = {}
+        seeds = plan_stage_seeds(model, SCATTERED_STAGE_KEYWORDS)
+        for name in model.reachable_methods(seeds):
+            func = model.method_like(name)
+            if func is not None:
+                reachable[name] = func
+        if _is_executor_class(model):
+            # The scatter task thunks: nested callables inside methods.
+            for method_name, method in model.methods.items():
+                for node in ast.walk(method):
+                    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node is not method:
+                        reachable[f"{method_name}.<{node.name}>"] = node
+                    elif isinstance(node, ast.Lambda):
+                        reachable[f"{method_name}.<lambda:{node.lineno}>"] = node
+        for name in sorted(reachable):
+            func = reachable[name]
+            for line, col, description in _impure_statements(func):
+                findings.append(
+                    Finding(
+                        path=model.path,
+                        line=line,
+                        col=col,
+                        rule_id=RULE_ID,
+                        message=(
+                            f"{model.name}.{name} runs on the scatter thread-pool "
+                            f"path but {description}; shared-state writes race "
+                            f"across shard workers"
+                        ),
+                    )
+                )
+    return findings

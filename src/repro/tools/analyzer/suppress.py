@@ -1,0 +1,64 @@
+"""Inline suppression comments: ``# repro: ignore[RLxxx]``.
+
+Three scopes, all carrying an explicit rule list so a suppression can
+never silently swallow an unrelated rule:
+
+* **line** — a comment on the offending line suppresses findings that
+  rule reports *on that line*;
+* **scope** — the same comment on a ``def`` or ``class`` line
+  suppresses the rule throughout that definition's body (used for
+  whole-function exemptions such as plan-time-warmed memo writes);
+* **file** — ``# repro: ignore-file[RLxxx]`` anywhere in a file
+  suppresses the rule for the entire file (fixture files seed
+  violations of one rule and suppress the others this way).
+
+Suppressions are parsed per physical line with a comment-shaped
+pattern, so they work on any line a finding can point at without a
+tokenizer round-trip.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+_LINE_PATTERN = re.compile(r"#\s*repro:\s*ignore\[([A-Z0-9,\s]+)\]")
+_FILE_PATTERN = re.compile(r"#\s*repro:\s*ignore-file\[([A-Z0-9,\s]+)\]")
+
+
+def _rule_ids(spec: str) -> "frozenset[str]":
+    return frozenset(part.strip() for part in spec.split(",") if part.strip())
+
+
+class SuppressionIndex:
+    """Which rules are suppressed on which lines of one file."""
+
+    def __init__(self, source: str, tree: ast.Module) -> None:
+        self._by_line: "dict[int, frozenset[str]]" = {}
+        self._file_wide: "frozenset[str]" = frozenset()
+        marked: "dict[int, frozenset[str]]" = {}
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = _FILE_PATTERN.search(text)
+            if match:
+                self._file_wide = self._file_wide | _rule_ids(match.group(1))
+                continue
+            match = _LINE_PATTERN.search(text)
+            if match:
+                marked[lineno] = _rule_ids(match.group(1))
+        self._by_line.update(marked)
+        # A marker on a def/class line widens to the whole definition.
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            rules = marked.get(node.lineno)
+            if not rules:
+                continue
+            end = node.end_lineno or node.lineno
+            for lineno in range(node.lineno, end + 1):
+                self._by_line[lineno] = self._by_line.get(lineno, frozenset()) | rules
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """Whether ``rule_id`` findings on ``line`` are silenced."""
+        if rule_id in self._file_wide:
+            return True
+        return rule_id in self._by_line.get(line, frozenset())

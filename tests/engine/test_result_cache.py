@@ -255,8 +255,9 @@ class TestQueryParametersAreFixed:
             query.collapse_runs = False
 
     def test_exemplar_query_exemplar_read_only(self):
-        query = PeakCountQuery(2)  # control: unrelated attrs still settable
-        query.count = 3
+        query = PeakCountQuery(2)
+        with pytest.raises(AttributeError):
+            query.count = 3  # query-defining params are read-only everywhere
         from repro.query import ExemplarQuery
         from repro.workloads import goalpost_fever
 

@@ -1,0 +1,36 @@
+"""Seeded RL002 violations: incomplete / mutable query fingerprints."""
+
+
+class Query:
+    def grade(self, database, sequence_id):
+        raise NotImplementedError
+
+
+class WindowQuery(Query):
+    def __init__(self, width, mode, phase):
+        self.width = float(width)  # expect[RL002]
+        self._mode = str(mode)
+        self._phase = float(phase)  # expect[RL002]
+        self._digest = None
+
+    @property
+    def mode(self):
+        return self._mode
+
+    @mode.setter
+    def mode(self, value):  # expect[RL002]
+        self._mode = str(value)
+
+    def grade(self, database, sequence_id):
+        # Reads all three parameters on the evaluation path.
+        score = database.width_of(sequence_id) - self.width
+        if self.mode == "strict":
+            score += self._phase
+        return score
+
+    def fingerprint(self):
+        # _phase is missing; width is covered but publicly assignable;
+        # mode has a public setter.
+        if self._digest is None:
+            self._digest = (self.width, self.mode)
+        return (type(self).__qualname__,) + self._digest

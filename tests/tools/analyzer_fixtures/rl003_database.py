@@ -1,0 +1,33 @@
+"""Seeded RL003 violation: a config read the cache epoch misses."""
+
+
+class SequenceDatabase:
+    def __init__(self, theta, smoothing, store=None):
+        self._theta = float(theta)
+        self.smoothing = float(smoothing)
+        self.store = store
+
+    @property
+    def theta(self):
+        return self._theta
+
+    def cache_epoch(self):
+        # smoothing is missing: answers depending on it cache forever.
+        return (self.store.generation, self.theta)
+
+
+class SmoothedQuery:
+    def plan(self, database):
+        return QueryPlan(query=self, prefilter=self._prefilter)
+
+    def _prefilter(self, database, store, candidate_ids):
+        # theta is an epoch component (through the property); smoothing
+        # is not, so this read makes cached answers stale on change.
+        threshold = database.theta
+        if database.smoothing > threshold:  # expect[RL003]
+            return []
+        return self._narrow(database, candidate_ids)
+
+    def _narrow(self, database, candidate_ids):
+        # Transitively reachable from the stage: still checked.
+        return [i for i in candidate_ids or [] if i > database.smoothing]  # expect[RL003]

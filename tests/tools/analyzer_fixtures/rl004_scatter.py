@@ -1,0 +1,27 @@
+"""Seeded RL004 violations: shared-state writes on the scatter path."""
+
+
+class ShardQuery:
+    def plan(self, database):
+        return QueryPlan(query=self, topk=self._topk_stage)
+
+    def _topk_stage(self, database, store, include_approximate):
+        self._last_store = store  # expect[RL004]
+        return self._collect(store)
+
+    def _collect(self, store):
+        # Transitively reachable from the scattered stage.
+        self._seen += 1  # expect[RL004]
+        return []
+
+
+class ParallelExecutor:
+    def _scatter(self, tasks):
+        return [task() for task in tasks]
+
+    def _shard_task(self, shard):
+        def run():
+            self._hits += 1  # expect[RL004]
+            return shard
+
+        return run

@@ -1,0 +1,25 @@
+"""Seeded RL005 violations (filename puts it in the merge-module scope)."""
+
+import numpy as np
+
+
+def merge_ids(ids):
+    unique = set(ids)
+    return list(unique)  # expect[RL005]
+
+
+def tagged(labels):
+    return [label for label in set(labels)]  # expect[RL005]
+
+
+def order_rows(values):
+    return np.argsort(values)  # expect[RL005]
+
+
+def stable_order(values):
+    # Compliant: stable kind requested.
+    return np.argsort(values, kind="stable")
+
+
+def ordered_union(left, right):
+    return sorted(left | set(right))  # sorted() erases set order: clean

@@ -1,0 +1,146 @@
+"""The invariant analyzer catches exactly its seeded violations.
+
+Each fixture under ``analyzer_fixtures/`` marks every line the analyzer
+must report with a trailing ``# expect[RLxxx]`` comment; the tests
+compare the analyzer's findings against the marked set *exactly*, so
+both missed violations and false positives fail.  A self-check asserts
+the shipped ``src/repro`` tree is clean — the same gate CI enforces.
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.tools.analyzer import Finding, all_rules, analyze_paths
+
+FIXTURES = Path(__file__).parent / "analyzer_fixtures"
+SRC_ROOT = Path(repro.__file__).parents[1]
+
+_EXPECT = re.compile(r"#\s*expect\[([A-Z0-9,\s]+)\]")
+
+RULE_IDS = ("RL001", "RL002", "RL003", "RL004", "RL005")
+
+
+def expected_markers(path: Path) -> "set[tuple[str, int]]":
+    """(rule_id, line) pairs marked with ``# expect[...]`` comments."""
+    expected = set()
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        match = _EXPECT.search(line)
+        if match:
+            for rule_id in match.group(1).split(","):
+                expected.add((rule_id.strip(), lineno))
+    return expected
+
+
+def reported(path: Path, select=None) -> "set[tuple[str, int]]":
+    return {
+        (finding.rule_id, finding.line)
+        for finding in analyze_paths([str(path)], select=select)
+    }
+
+
+class TestSeededFixtures:
+    @pytest.mark.parametrize(
+        "fixture",
+        sorted(p.name for p in FIXTURES.glob("*.py")),
+    )
+    def test_findings_match_markers_exactly(self, fixture):
+        path = FIXTURES / fixture
+        assert reported(path) == expected_markers(path)
+
+    @pytest.mark.parametrize("rule_id", RULE_IDS)
+    def test_every_rule_catches_its_seeded_violation(self, rule_id):
+        found = set()
+        for path in FIXTURES.glob("*.py"):
+            found.update(rule for rule, _line in reported(path))
+        assert rule_id in found
+
+    def test_suppressions_silence_all_seeded_violations(self):
+        assert reported(FIXTURES / "suppressed_merge.py") == set()
+
+    def test_select_narrows_to_one_rule(self):
+        path = FIXTURES / "rl005_merge.py"
+        assert reported(path, select=["RL005"]) == expected_markers(path)
+        assert reported(path, select=["RL001"]) == set()
+
+
+class TestShippedTreeIsClean:
+    def test_src_repro_has_zero_findings(self):
+        findings = analyze_paths([str(SRC_ROOT / "repro")])
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+
+class TestRegistry:
+    def test_all_five_rules_registered(self):
+        assert tuple(rule.rule_id for rule in all_rules()) == RULE_IDS
+
+    def test_unknown_rule_id_rejected(self):
+        with pytest.raises(ValueError, match="RL999"):
+            analyze_paths([str(FIXTURES)], select=["RL999"])
+
+    def test_findings_are_ordered_and_renderable(self):
+        findings = analyze_paths([str(FIXTURES / "rl001_store.py")])
+        assert findings == sorted(findings)
+        for finding in findings:
+            assert isinstance(finding, Finding)
+            rendered = finding.render()
+            assert finding.rule_id in rendered
+            assert f":{finding.line}:" in rendered
+
+
+def run_cli(*args: str) -> "subprocess.CompletedProcess":
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_ROOT) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.tools.analyzer", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+
+
+class TestCommandLine:
+    def test_violations_exit_1_and_print_rule_ids(self):
+        result = run_cli(str(FIXTURES / "rl005_merge.py"))
+        assert result.returncode == 1
+        assert "RL005" in result.stdout
+
+    def test_clean_file_exits_0(self):
+        result = run_cli(str(FIXTURES / "suppressed_merge.py"))
+        assert result.returncode == 0
+        assert "0 findings" in result.stdout
+
+    def test_json_report(self, tmp_path):
+        out = tmp_path / "report.json"
+        result = run_cli(
+            str(FIXTURES / "rl005_merge.py"),
+            "--format",
+            "json",
+            "--output",
+            str(out),
+        )
+        assert result.returncode == 1
+        report = json.loads(out.read_text())
+        assert report["count"] == len(report["findings"]) > 0
+        assert {f["rule_id"] for f in report["findings"]} == {"RL005"}
+
+    def test_unknown_rule_exits_2(self):
+        result = run_cli(str(FIXTURES), "--select", "RL999")
+        assert result.returncode == 2
+        assert "RL999" in result.stderr
+
+    def test_no_paths_exits_2(self):
+        result = run_cli()
+        assert result.returncode == 2
+
+    def test_list_rules(self):
+        result = run_cli("--list-rules")
+        assert result.returncode == 0
+        for rule_id in RULE_IDS:
+            assert rule_id in result.stdout
