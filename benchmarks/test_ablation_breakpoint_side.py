@@ -7,7 +7,6 @@ compares that policy against always-left and always-right assignment.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.segmentation import InterpolationBreaker, fragmentation_ratio, is_partition
 from repro.workloads import figure9_pair, goalpost_fever

@@ -10,7 +10,6 @@ factor, and reconstruction fidelity.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.segmentation import InterpolationBreaker
 from repro.storage.serialization import raw_size_bytes, representation_size_bytes

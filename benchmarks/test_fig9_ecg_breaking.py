@@ -9,7 +9,6 @@ benchmark regenerates the segment tables and times the breaking of one
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.core.features import raw_peak_indices
 from repro.segmentation import InterpolationBreaker, is_partition

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
 
 from repro.core.features import raw_peak_indices
 from repro.preprocessing import MultiresolutionPyramid

@@ -8,7 +8,6 @@ successive peak times.  This benchmark regenerates both.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.core.features import peak_table, raw_peak_indices, rr_intervals
 from repro.segmentation import InterpolationBreaker

@@ -15,7 +15,7 @@ from repro import (
     PeakCountQuery,
     SequenceDatabase,
 )
-from repro.workloads import fever_corpus, goalpost_fever
+from repro.workloads import fever_corpus
 
 GOALPOST = "(0|-)* + (0|-)^+ + (0|-)*"  # the paper's two-peak pattern
 

@@ -32,7 +32,7 @@ limit=k)`` form for queries without a distance-pruned path.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
 import numpy as np

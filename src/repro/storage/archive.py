@@ -16,7 +16,7 @@ tier the compact representations live on.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.errors import StorageError
 from repro.core.representation import FunctionSeriesRepresentation

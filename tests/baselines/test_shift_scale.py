@@ -8,7 +8,7 @@ import pytest
 from repro.baselines.shift_scale import ShiftScaleMatcher, normalized_distance
 from repro.core.errors import QueryError
 from repro.core.sequence import Sequence
-from repro.core.transformations import AmplitudeScale, AmplitudeShift, TimeScale
+from repro.core.transformations import AmplitudeScale, AmplitudeShift
 from repro.workloads import figure3_sequence
 
 

@@ -13,7 +13,6 @@ from repro.core.features import (
     raw_peak_indices,
     rr_intervals,
 )
-from repro.core.representation import FunctionSeriesRepresentation
 from repro.core.sequence import Sequence
 from repro.segmentation import InterpolationBreaker
 from repro.workloads import goalpost_fever, k_peak_sequence

@@ -7,9 +7,7 @@ import pytest
 
 from repro.core.errors import SequenceError
 from repro.core.representation import FunctionSeriesRepresentation
-from repro.core.segment import Segment
 from repro.core.sequence import Sequence
-from repro.functions.linear import LinearFunction
 
 
 def vee_sequence() -> Sequence:

@@ -11,10 +11,8 @@ full re-grade and still be right.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.core.sequence import Sequence
 from repro.query import (
     ExemplarQuery,
     IntervalQuery,

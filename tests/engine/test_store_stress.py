@@ -9,7 +9,6 @@ cannot see offset-table corruption that only compaction can introduce.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.query import (
     ExemplarQuery,

@@ -12,7 +12,7 @@ import pytest
 
 from repro.baselines.dft import dominant_frequency
 from repro.baselines.euclidean import EpsilonMatcher
-from repro.core.features import count_peaks, peak_table, rr_intervals
+from repro.core.features import count_peaks, rr_intervals
 from repro.query import IntervalQuery, PatternQuery, SequenceDatabase
 from repro.segmentation import InterpolationBreaker
 from repro.workloads import (

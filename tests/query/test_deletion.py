@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.errors import IndexError_, QueryError
-from repro.query import IntervalQuery, PatternQuery, PeakCountQuery, SequenceDatabase
+from repro.query import PatternQuery, PeakCountQuery, SequenceDatabase
 from repro.segmentation import InterpolationBreaker
 from repro.workloads import ecg_corpus, fever_corpus
 

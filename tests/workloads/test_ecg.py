@@ -7,7 +7,7 @@ import pytest
 
 from repro.core.errors import SequenceError
 from repro.core.features import raw_peak_indices
-from repro.workloads import ecg_corpus, figure9_pair, synthetic_ecg
+from repro.workloads import ecg_corpus, synthetic_ecg
 
 
 class TestSyntheticECG:
