@@ -3,11 +3,15 @@
 Every benchmark regenerates one of the paper's tables or figures.  The
 ``report`` fixture collects the reproduced rows and writes them to
 ``benchmarks/results/<test>.txt`` so the artifacts survive the run (the
-same lines are also printed, visible with ``pytest -s``).
+same lines are also printed, visible with ``pytest -s``).  Benchmarks
+that publish machine-readable numbers call :meth:`Report.metric`; the
+metrics land next to the text report as ``BENCH_<group>.json`` so CI
+(and trend tooling) can diff them without parsing tables.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -18,9 +22,11 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 class Report:
     """Accumulates the reproduced table for one benchmark."""
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, metrics_group: "str | None" = None) -> None:
         self.name = name
         self.lines: list[str] = []
+        self.metrics_group = metrics_group
+        self.metrics: dict[str, object] = {}
 
     def line(self, text: str = "") -> None:
         self.lines.append(text)
@@ -32,15 +38,42 @@ class Report:
         for row in rows:
             self.line(row)
 
+    def metric(self, name: str, value: object) -> None:
+        """Record one machine-readable number for ``BENCH_<group>.json``."""
+        self.metrics[name] = value
+
     def flush(self) -> None:
         RESULTS_DIR.mkdir(exist_ok=True)
         path = RESULTS_DIR / f"{self.name}.txt"
         path.write_text("\n".join(self.lines) + "\n", encoding="utf-8")
+        if self.metrics and self.metrics_group is not None:
+            metrics_path = RESULTS_DIR / f"BENCH_{self.metrics_group}.json"
+            merged: dict[str, object] = {}
+            if metrics_path.exists():
+                merged = json.loads(metrics_path.read_text(encoding="utf-8"))
+            # Replace this benchmark's entry wholesale: stale keys from a
+            # renamed metric must not survive a re-run.  Other benchmarks
+            # sharing the group keep their entries.
+            merged[self.name] = dict(self.metrics)
+            metrics_path.write_text(
+                json.dumps(merged, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+            )
 
 
 @pytest.fixture
 def report(request):
-    rep = Report(request.node.name.replace("/", "_"))
+    group = getattr(request.node.get_closest_marker("metrics") or None, "args", None)
+    rep = Report(
+        request.node.name.replace("/", "_"),
+        metrics_group=group[0] if group else None,
+    )
     rep.line(f"== {request.node.nodeid} ==")
     yield rep
     rep.flush()
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "metrics(group): flush Report.metric() values to BENCH_<group>.json",
+    )

@@ -1,0 +1,280 @@
+"""Concurrent serving: serial vs thread-pool vs process-pool backends.
+
+A closed-loop serving harness: ``N_CLIENTS`` request threads each fire
+a fixed mix of read queries (grade-heavy shape queries plus cheap
+pattern/peak-count lookups, ``cache=False`` so every request pays its
+stages) while one writer thread interleaves inserts and deletes — the
+mixed read/write workload the MVCC-lite snapshot path exists for.  The
+same sharded shared-memory database serves all three backends (the
+executor is swapped between phases), so answers are byte-identical by
+construction and the comparison isolates the execution backend:
+
+* **serial** — one thread, stages inline.
+* **thread** — ``ParallelExecutor``: shard stages on a thread pool.
+  NumPy stages drop the GIL, pure-Python residuals serialize on it.
+* **process** — ``ProcessParallelExecutor``: shard stages in spawned
+  worker processes attached read-only to the shared-memory columns;
+  the GIL stops mattering, at the price of one pickle of the query
+  and a snapshot-pinned manifest per scatter.
+
+Latency is recorded per request (p50/p99) and throughput as completed
+requests over wall time.  The ≥2x process-vs-serial QPS floor is the
+PR's acceptance bar and is enforced only when the machine has the
+cores to honour it (``os.cpu_count() >= 4`` — CI runners do); on a
+single-core box the pool cannot beat the GIL-free serial loop and the
+report records that honestly, cpu_count included, like the shard
+scaling benchmark before it.
+
+Metrics land in ``benchmarks/results/BENCH_serving.json`` via the
+``metrics`` marker for machine consumption alongside the text table.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.sequence import Sequence
+from repro.engine import ParallelExecutor, ProcessParallelExecutor, QueryExecutor
+from repro.query import PatternQuery, PeakCountQuery, SequenceDatabase, ShapeQuery
+from repro.segmentation import InterpolationBreaker
+
+N_SEQUENCES = 12_000
+N_SHARDS = 8
+MAX_WORKERS = 4
+N_CLIENTS = 4
+TOTAL_REQUESTS = 48
+PROCESS_QPS_FLOOR = 2.0
+GOALPOST = "(0|-)* + (0|-)^+ + (0|-)*"
+
+
+def _piecewise(slopes, points_per_piece, name=""):
+    values = [0.0]
+    for slope, n_points in zip(slopes, points_per_piece):
+        for __ in range(n_points):
+            values.append(values[-1] + slope)
+    values = np.asarray(values)
+    return Sequence(np.arange(len(values), dtype=float), values, name=name)
+
+
+def _pool(pool_size: int = 60):
+    """Grade-heavy pool (see test_shard_scaling): a third of the corpus
+    shares the exemplar's behavioural structure, so shape queries carry
+    thousands of candidates into the profile-grade stage."""
+    breaker = InterpolationBreaker(0.05)
+    pool = []
+    for i in range(pool_size):
+        if i % 3 == 0:
+            slopes = [2.0 + 0.05 * (i % 7), -1.5, 1.0, -2.5 + 0.04 * (i % 5)]
+            points = [5 + i % 3, 6, 5, 7]
+        elif i % 3 == 1:
+            slopes = [1.8, -2.2]
+            points = [8, 9 + i % 4]
+        else:
+            slopes = [2.0, -1.0, 1.5, -1.8, 1.2, -2.0]
+            points = [4, 4, 4 + i % 3, 4, 4, 4]
+        pool.append(
+            breaker.represent(_piecewise(slopes, points, name=f"pool-{i}"), curve_kind="regression")
+        )
+    return pool
+
+
+def _serving_database(pool) -> SequenceDatabase:
+    db = SequenceDatabase(
+        breaker=InterpolationBreaker(0.05),
+        keep_raw=False,
+        n_shards=N_SHARDS,
+        max_workers=MAX_WORKERS,
+        backend="process",
+    )
+    for i in range(N_SEQUENCES):
+        db.insert_representation(pool[i % len(pool)], name=f"seq-{i}")
+    return db
+
+
+def _request_mix(pool):
+    return [
+        ShapeQuery(pool[0], duration_tolerance=0.08, amplitude_tolerance=0.08),
+        PatternQuery(GOALPOST),
+        ShapeQuery(pool[3], duration_tolerance=0.08, amplitude_tolerance=0.08),
+        PeakCountQuery(2, count_tolerance=1),
+    ]
+
+
+def _percentile(latencies: "list[float]", fraction: float) -> float:
+    ordered = sorted(latencies)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _serve(db: SequenceDatabase, queries, pool, n_clients: int) -> "dict[str, float]":
+    """One serving phase: ``n_clients`` reader threads + 1 writer thread.
+
+    ``TOTAL_REQUESTS`` is fixed across load levels so QPS numbers are
+    comparable: one client issues the whole stream sequentially, four
+    clients split it.
+    """
+    requests_per_client = TOTAL_REQUESTS // n_clients
+    latencies: "list[float]" = []
+    latency_lock = threading.Lock()
+    errors: "list[BaseException]" = []
+    done = threading.Event()
+    # Parties: n_clients clients + the writer + the timing main thread.
+    start_barrier = threading.Barrier(n_clients + 2)
+
+    def client(client_index: int) -> None:
+        start_barrier.wait()
+        try:
+            for request_index in range(requests_per_client):
+                query = queries[(client_index + request_index) % len(queries)]
+                begin = time.perf_counter()
+                db.query(query, cache=False)
+                elapsed = time.perf_counter() - begin
+                with latency_lock:
+                    latencies.append(elapsed)
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    def writer() -> None:
+        start_barrier.wait()
+        hot = 0
+        try:
+            while not done.is_set():
+                new_id = db.insert_representation(
+                    pool[hot % len(pool)], name=f"hot-{hot}"
+                )
+                time.sleep(0.005)
+                db.delete(new_id)
+                hot += 1
+                time.sleep(0.01)
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=client, args=(index,)) for index in range(n_clients)
+    ]
+    writer_thread = threading.Thread(target=writer)
+    for thread in threads:
+        thread.start()
+    writer_thread.start()
+    start_barrier.wait()
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.join(timeout=600)
+    wall = time.perf_counter() - wall_start
+    done.set()
+    writer_thread.join(timeout=60)
+    assert not errors, errors
+    assert len(latencies) == n_clients * requests_per_client
+    return {
+        "qps": len(latencies) / wall,
+        "p50_ms": _percentile(latencies, 0.50) * 1e3,
+        "p99_ms": _percentile(latencies, 0.99) * 1e3,
+        "wall_s": wall,
+    }
+
+
+@pytest.mark.metrics("serving")
+def test_concurrent_serving(report):
+    pool = _pool()
+    queries = _request_mix(pool)
+    db = _serving_database(pool)
+    cpu_count = os.cpu_count() or 1
+
+    report.line(
+        f"mixed read/write serving, n={N_SEQUENCES}, shards={N_SHARDS}, "
+        f"requests/phase={TOTAL_REQUESTS}, workers={MAX_WORKERS}, "
+        f"cpu_count={cpu_count}"
+    )
+    report.line(
+        "(single-core runners see pooled backends <= serial: there is no "
+        "second core to scatter to and the pool only adds dispatch cost; "
+        "the 2x process floor is enforced at clients=1 where cpu_count >= 4 "
+        "-- a single request stream can only reach extra cores via scatter)"
+    )
+    report.metric("cpu_count", cpu_count)
+    report.metric("n_sequences", N_SEQUENCES)
+    report.metric("n_shards", N_SHARDS)
+    report.metric("clients", N_CLIENTS)
+    report.metric("workers", MAX_WORKERS)
+
+    # Parity first: every backend must return the same bytes before any
+    # of them is worth timing.
+    process_executor = db.executor
+    assert isinstance(process_executor, ProcessParallelExecutor)
+    serial_executor = QueryExecutor()
+    thread_executor = ParallelExecutor(max_workers=MAX_WORKERS)
+    baseline = [db.query(query, cache=False) for query in queries]
+    for executor in (serial_executor, thread_executor):
+        db.executor = executor
+        assert [db.query(query, cache=False) for query in queries] == baseline
+    db.executor = process_executor
+
+    backends = [
+        ("serial", serial_executor),
+        (f"thread(w={MAX_WORKERS})", thread_executor),
+        (f"process(w={MAX_WORKERS})", process_executor),
+    ]
+    header = (
+        f"{'backend':<14} {'clients':>8} {'qps':>8} "
+        f"{'p50 ms':>9} {'p99 ms':>9} {'wall s':>8}"
+    )
+    report.line()
+    report.line(header)
+    report.line("-" * len(header))
+    measured: "dict[tuple[str, int], dict[str, float]]" = {}
+    for n_clients in (1, N_CLIENTS):
+        for label, executor in backends:
+            db.executor = executor
+            stats = _serve(db, queries, pool, n_clients)
+            key = label.split("(")[0]
+            measured[(key, n_clients)] = stats
+            report.metric(f"{key}_c{n_clients}_qps", round(stats["qps"], 3))
+            report.metric(f"{key}_c{n_clients}_p50_ms", round(stats["p50_ms"], 3))
+            report.metric(f"{key}_c{n_clients}_p99_ms", round(stats["p99_ms"], 3))
+            report.line(
+                f"{label:<14} {n_clients:>8} {stats['qps']:>8.2f} "
+                f"{stats['p50_ms']:>9.1f} {stats['p99_ms']:>9.1f} "
+                f"{stats['wall_s']:>8.2f}"
+            )
+    db.executor = process_executor
+
+    executor_stats = process_executor.stats()
+    report.line()
+    report.line(
+        f"process executor: {executor_stats['tasks_dispatched']} shard tasks "
+        f"dispatched, {executor_stats['inline_fallbacks']} inline fallbacks, "
+        f"{executor_stats['snapshot_retries']} snapshot retries, "
+        f"{executor_stats['pool_breaks']} pool breaks"
+    )
+    report.metric("tasks_dispatched", executor_stats["tasks_dispatched"])
+    report.metric("snapshot_retries", executor_stats["snapshot_retries"])
+    # The serving phases must actually have exercised the pool — a
+    # silently inline process backend would "win" by not being one.
+    assert executor_stats["tasks_dispatched"] > 0
+    assert executor_stats["pool_breaks"] == 0
+
+    speedup = measured[("process", 1)]["qps"] / measured[("serial", 1)]["qps"]
+    saturated = (
+        measured[("process", N_CLIENTS)]["qps"] / measured[("serial", N_CLIENTS)]["qps"]
+    )
+    report.metric("process_vs_serial_qps_c1", round(speedup, 3))
+    report.metric(f"process_vs_serial_qps_c{N_CLIENTS}", round(saturated, 3))
+    floor_enforced = cpu_count >= 4
+    report.metric("floor_enforced", floor_enforced)
+    report.line(
+        f"process vs serial throughput: {speedup:.2f}x at clients=1, "
+        f"{saturated:.2f}x at clients={N_CLIENTS} "
+        f"(floor {PROCESS_QPS_FLOOR:.0f}x at clients=1, "
+        f"{'enforced' if floor_enforced else f'not enforced at cpu_count={cpu_count}'})"
+    )
+
+    thread_executor.close()
+    db.close()
+
+    if floor_enforced:
+        assert speedup >= PROCESS_QPS_FLOOR

@@ -47,6 +47,13 @@ class MatchGrade(enum.Enum):
     REJECT = "reject"
 
 
+def _absolute_difference(a: float, b: float) -> float:
+    """The default metric — a module-level function (not a lambda) so
+    default-metric tolerances, and therefore queries, pickle across to
+    process-pool workers."""
+    return abs(a - b)
+
+
 @dataclass(frozen=True)
 class Tolerance:
     """A metric tolerance on one feature dimension.
@@ -64,7 +71,7 @@ class Tolerance:
 
     dimension: str
     bound: float
-    metric: Callable[[float, float], float] = lambda a, b: abs(a - b)
+    metric: Callable[[float, float], float] = _absolute_difference
 
     def __post_init__(self) -> None:
         if self.bound < 0:

@@ -20,6 +20,15 @@ re-grade (:meth:`QueryExecutor.run_stages_subset`), the cached verdict
 list is patched in place, and a compacted journal falls back to a full
 re-grade.
 
+Concurrent serving adds snapshot reads and a process backend: every
+execution pins a :class:`SnapshotToken` (per-shard generations plus
+seqlock words) and retries — never returns — a read that observed a
+concurrent mutation (:class:`SnapshotMoved`); shard columns can be
+backed by named shared-memory blocks (:class:`SharedMemoryArena`) so
+:class:`ProcessParallelExecutor` scatters stages to worker *processes*
+that attach the blocks by name, zero-copy, and re-run the same stage
+code byte-identically.
+
 Top-k similarity search adds a pruned path: each leaf store lazily
 builds a :class:`ClusterIndex` (:mod:`repro.engine.clustering`) —
 profile features, PAA sketches and seeded sketch clusters maintained through
@@ -37,7 +46,10 @@ from repro.engine.journal import JournalEntry, MutationJournal
 from repro.engine.nfa import ColumnPatternMatcher
 from repro.engine.parallel import ParallelExecutor
 from repro.engine.plan import DimensionColumn, QueryPlan, VectorVerdicts
+from repro.engine.procpool import ProcessParallelExecutor
 from repro.engine.sharding import ShardedSegmentStore
+from repro.engine.shm import SharedMemoryArena
+from repro.engine.snapshot import SnapshotMoved, SnapshotToken
 
 __all__ = [
     "ClusterIndex",
@@ -47,10 +59,14 @@ __all__ = [
     "MutationJournal",
     "ParallelExecutor",
     "PlanResultCache",
+    "ProcessParallelExecutor",
     "QueryPlan",
     "QueryPlanner",
     "QueryExecutor",
     "ShardedSegmentStore",
+    "SharedMemoryArena",
+    "SnapshotMoved",
+    "SnapshotToken",
     "DimensionColumn",
     "VectorVerdicts",
 ]

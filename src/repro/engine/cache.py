@@ -44,6 +44,7 @@ invalidations / evictions plus ``revalidations`` / ``delta_hits`` /
 from __future__ import annotations
 
 import sys
+import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING
 
@@ -124,6 +125,12 @@ class PlanResultCache:
             raise EngineError("cache byte budget must be positive (or None for unbounded)")
         self.max_entries = int(max_entries)
         self.max_bytes = None if max_bytes is None else int(max_bytes)
+        #: Serializes every read *and* write: concurrent serving runs
+        #: queries from many threads against one cache, and even lookup
+        #: mutates shared state (LRU order, hit/miss counters).  An
+        #: RLock (not a plain Lock) so a future caller composing two
+        #: public methods under the lock cannot deadlock itself.
+        self._lock = threading.RLock()
         self._entries: "OrderedDict[tuple, _CacheEntry]" = OrderedDict()
         self._bytes = 0
         self.hits = 0
@@ -154,19 +161,20 @@ class PlanResultCache:
         delta-revalidate it (see :meth:`stale_entry`); it stays until
         replaced, evicted or cleared.
         """
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        if entry.epoch != generation:
-            if not entry.stale_seen:
-                entry.stale_seen = True
-                self.invalidations += 1
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return list(entry.payload)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            if entry.epoch != generation:
+                if not entry.stale_seen:
+                    entry.stale_seen = True
+                    self.invalidations += 1
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return list(entry.payload)
 
     def stale_entry(self, key: tuple, generation: object) -> "tuple | None":
         """The retained stale entry for ``key``, if any.
@@ -176,10 +184,11 @@ class PlanResultCache:
         revalidation — without touching stats or LRU order.  ``None``
         when the key is absent or the entry is current.
         """
-        entry = self._entries.get(key)
-        if entry is None or entry.epoch == generation:
-            return None
-        return (entry.epoch, entry.payload, entry.vector)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or entry.epoch == generation:
+                return None
+            return (entry.epoch, entry.payload, entry.vector)
 
     def store(
         self,
@@ -197,20 +206,21 @@ class PlanResultCache:
         """
         payload = tuple(matches)
         entry_bytes = _estimate_entry_bytes(key, payload)
-        if self.max_bytes is not None and entry_bytes > self.max_bytes:
+        with self._lock:
+            if self.max_bytes is not None and entry_bytes > self.max_bytes:
+                self._discard(key)
+                self.oversized += 1
+                return
             self._discard(key)
-            self.oversized += 1
-            return
-        self._discard(key)
-        self._entries[key] = _CacheEntry(generation, payload, entry_bytes, vector)
-        self._bytes += entry_bytes
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.max_entries or (
-            self.max_bytes is not None and self._bytes > self.max_bytes
-        ):
-            __, evicted = self._entries.popitem(last=False)
-            self._bytes -= evicted.entry_bytes
-            self.evictions += 1
+            self._entries[key] = _CacheEntry(generation, payload, entry_bytes, vector)
+            self._bytes += entry_bytes
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries or (
+                self.max_bytes is not None and self._bytes > self.max_bytes
+            ):
+                __, evicted = self._entries.popitem(last=False)
+                self._bytes -= evicted.entry_bytes
+                self.evictions += 1
 
     def revalidate(
         self,
@@ -233,14 +243,15 @@ class PlanResultCache:
         payload, so a heavily patched entry weighs exactly what it
         currently holds.
         """
-        self.revalidations += 1
-        if dirty_count is None:
-            self.delta_fallbacks += 1
-        else:
-            self.delta_hits += 1
-        if refill:
-            self.topk_refills += 1
-        self.store(key, generation, matches, vector=vector)
+        with self._lock:
+            self.revalidations += 1
+            if dirty_count is None:
+                self.delta_fallbacks += 1
+            else:
+                self.delta_hits += 1
+            if refill:
+                self.topk_refills += 1
+            self.store(key, generation, matches, vector=vector)
 
     def _discard(self, key: tuple) -> None:
         entry = self._entries.pop(key, None)
@@ -249,38 +260,42 @@ class PlanResultCache:
 
     def peek(self, key: tuple, generation: object) -> bool:
         """Whether a lookup would hit, without touching stats or LRU order."""
-        entry = self._entries.get(key)
-        return entry is not None and entry.epoch == generation
+        with self._lock:
+            entry = self._entries.get(key)
+            return entry is not None and entry.epoch == generation
 
     def export_entries(self, generation: object) -> "list[tuple[tuple, tuple]]":
         """``(key, matches)`` pairs for every entry current at
         ``generation`` — the warm set a cache snapshot persists."""
-        return [
-            (key, entry.payload)
-            for key, entry in self._entries.items()
-            if entry.epoch == generation
-        ]
+        with self._lock:
+            return [
+                (key, entry.payload)
+                for key, entry in self._entries.items()
+                if entry.epoch == generation
+            ]
 
     def clear(self) -> None:
         """Drop every entry (stats are kept; they are running totals)."""
-        self._entries.clear()
-        self._bytes = 0
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
 
     def stats(self) -> dict:
         """Counters for benchmarks/monitoring."""
-        return {
-            "entries": len(self._entries),
-            "topk_entries": sum(1 for key in self._entries if len(key) > 2),
-            "estimated_bytes": self._bytes,
-            "max_entries": self.max_entries,
-            "max_bytes": self.max_bytes,
-            "hits": self.hits,
-            "misses": self.misses,
-            "invalidations": self.invalidations,
-            "evictions": self.evictions,
-            "oversized": self.oversized,
-            "revalidations": self.revalidations,
-            "delta_hits": self.delta_hits,
-            "delta_fallbacks": self.delta_fallbacks,
-            "topk_refills": self.topk_refills,
-        }
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "topk_entries": sum(1 for key in self._entries if len(key) > 2),
+                "estimated_bytes": self._bytes,
+                "max_entries": self.max_entries,
+                "max_bytes": self.max_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "invalidations": self.invalidations,
+                "evictions": self.evictions,
+                "oversized": self.oversized,
+                "revalidations": self.revalidations,
+                "delta_hits": self.delta_hits,
+                "delta_fallbacks": self.delta_fallbacks,
+                "topk_refills": self.topk_refills,
+            }

@@ -42,7 +42,7 @@ ids instead of discarding stale answers wholesale.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, Sequence as TypingSequence
+from typing import TYPE_CHECKING, Any, Iterable, Sequence as TypingSequence
 
 import numpy as np
 
@@ -53,12 +53,13 @@ from repro.core.errors import EngineError
 # never disagree.
 from repro.core.representation import classify_slopes, decode_symbols, run_start_mask
 from repro.engine.journal import MutationJournal
+from repro.engine.shm import BlockAttachments, SharedBlock, SharedMemoryArena
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.representation import FunctionSeriesRepresentation
     from repro.engine.clustering import ClusterIndex
 
-__all__ = ["ColumnarSegmentStore", "collapse_code_runs"]
+__all__ = ["ColumnarSegmentStore", "attach_from_manifest", "collapse_code_runs"]
 
 def collapse_code_runs(codes: np.ndarray) -> np.ndarray:
     """Merge consecutive identical symbol codes into behavioural runs."""
@@ -78,8 +79,16 @@ class _ColumnSet:
     within a constant factor of the live rows in both directions.
     """
 
-    def __init__(self, schema: "dict[str, type]") -> None:
+    def __init__(
+        self,
+        schema: "dict[str, type]",
+        arena: "SharedMemoryArena | None" = None,
+        label: str = "col",
+    ) -> None:
         self._schema = dict(schema)
+        self._arena = arena
+        self._label = label
+        self._blocks: "dict[str, SharedBlock]" = {}
         self._arrays = {name: np.empty(0, dtype=dtype) for name, dtype in schema.items()}
         self._size = 0
 
@@ -101,10 +110,39 @@ class _ColumnSet:
         return self._arrays[name][: self._size]
 
     def _reallocate(self, new_capacity: int) -> None:
+        arena = self._arena
+        if arena is not None and arena.closed:
+            arena = None  # heap fallback after the owning database closed
         for name, arr in self._arrays.items():
-            resized = np.empty(new_capacity, dtype=arr.dtype)
-            resized[: self._size] = arr[: self._size]
-            self._arrays[name] = resized
+            if arena is not None:
+                dtype = np.dtype(self._schema[name])
+                block = arena.allocate(
+                    new_capacity * dtype.itemsize, label=f"{self._label}.{name}"
+                )
+                resized = np.ndarray((new_capacity,), dtype=dtype, buffer=block.buf)
+                resized[: self._size] = arr[: self._size]
+                old_block = self._blocks.get(name)
+                self._blocks[name] = block
+                self._arrays[name] = resized
+                if old_block is not None:
+                    arena.retire(old_block)
+            else:
+                resized = np.empty(new_capacity, dtype=arr.dtype)
+                resized[: self._size] = arr[: self._size]
+                self._arrays[name] = resized
+
+    def manifest(self) -> "dict[str, Any]":
+        """Attachment manifest for worker processes: per column, the
+        shared block's name (``None`` while empty) and dtype, plus the
+        live row count and allocated capacity."""
+        columns: "dict[str, tuple[str | None, str]]" = {}
+        for name in self._schema:
+            block = self._blocks.get(name)
+            columns[name] = (
+                block.name if block is not None else None,
+                np.dtype(self._schema[name]).str,
+            )
+        return {"size": self._size, "capacity": self.capacity, "columns": columns}
 
     def extend(self, columns: "dict[str, np.ndarray]") -> None:
         if set(columns) != set(self._schema):
@@ -248,13 +286,21 @@ class ColumnarSegmentStore:
         ``theta`` so the columns agree with the pattern indexes.
     """
 
-    def __init__(self, theta: float = 0.0, journal_limit: int = 1024) -> None:
+    def __init__(
+        self,
+        theta: float = 0.0,
+        journal_limit: int = 1024,
+        arena: "SharedMemoryArena | None" = None,
+        label: str = "s",
+    ) -> None:
         self.theta = float(theta)
-        self._segments = _ColumnSet(_SEGMENT_SCHEMA)
-        self._behavior = _ColumnSet(_BEHAVIOR_SCHEMA)
-        self._rr = _ColumnSet(_RR_SCHEMA)
-        self._sequences = _ColumnSet(_SEQUENCE_SCHEMA)
+        self._arena = arena
+        self._segments = _ColumnSet(_SEGMENT_SCHEMA, arena=arena, label=f"{label}.seg")
+        self._behavior = _ColumnSet(_BEHAVIOR_SCHEMA, arena=arena, label=f"{label}.beh")
+        self._rr = _ColumnSet(_RR_SCHEMA, arena=arena, label=f"{label}.rr")
+        self._sequences = _ColumnSet(_SEQUENCE_SCHEMA, arena=arena, label=f"{label}.seq")
         self._generation = 0
+        self._seqlock = 0
         self._journal = MutationJournal(max_entries=journal_limit)
         self._cluster_index = None
 
@@ -316,6 +362,38 @@ class ColumnarSegmentStore:
     def journal_stats(self) -> dict:
         """The journal's counters (entries, bytes, floor, compactions)."""
         return self._journal.stats()
+
+    # ------------------------------------------------------------------
+    # Snapshot support (MVCC-lite read side)
+    # ------------------------------------------------------------------
+
+    def _begin_write(self) -> None:
+        # Odd seqlock: a writer is between its first column write and
+        # its journal record; snapshot pins taken now are unsettled.
+        self._seqlock += 1
+
+    def _commit_write(self) -> None:
+        # Back to even: the generation bump and journal record landed.
+        self._seqlock += 1
+
+    def read_token(self) -> "tuple[int, ...]":
+        """Per-leaf write seqlocks (odd while a mutation is in flight)."""
+        return (self._seqlock,)
+
+    def shm_manifest(self) -> "dict[str, Any] | None":
+        """Worker attachment manifest; ``None`` when heap-backed."""
+        if self._arena is None or self._arena.closed:
+            return None
+        return {
+            "theta": self.theta,
+            "generation": self._generation,
+            "tables": {
+                "segments": self._segments.manifest(),
+                "behavior": self._behavior.manifest(),
+                "rr": self._rr.manifest(),
+                "sequences": self._sequences.manifest(),
+            },
+        }
 
     # ------------------------------------------------------------------
     # Sizing
@@ -622,6 +700,7 @@ class ColumnarSegmentStore:
 
         block["sequence"] = seg_seq
         block["symbol"] = codes
+        self._begin_write()
         self._segments.extend(block)
         self._behavior.extend(
             {"sequence": beh_seq, "symbol": collapsed.astype(np.int8, copy=False)}
@@ -643,6 +722,7 @@ class ColumnarSegmentStore:
         )
         self._generation += 1
         self._journal.record(self._generation, "insert", ids.tolist())
+        self._commit_write()
 
     def delete(self, sequence_id: int) -> None:
         """Drop one sequence and compact every column in place."""
@@ -653,6 +733,7 @@ class ColumnarSegmentStore:
         beh_count = int(self.behavior_counts[p])
         rr_lo = int(self.rr_starts[p])
         rr_count = int(self.rr_counts[p])
+        self._begin_write()
         self._segments.delete_range(seg_lo, seg_lo + seg_count)
         self._behavior.delete_range(beh_lo, beh_lo + beh_count)
         self._rr.delete_range(rr_lo, rr_lo + rr_count)
@@ -663,6 +744,7 @@ class ColumnarSegmentStore:
         self.rr_starts[p:] -= rr_count
         self._generation += 1
         self._journal.record(self._generation, "delete", (int(sequence_id),))
+        self._commit_write()
 
     def delete_many(self, sequence_ids: "TypingSequence[int] | np.ndarray") -> None:
         """Drop many sequences in one compaction pass per column table.
@@ -678,6 +760,7 @@ class ColumnarSegmentStore:
         if wanted.size == 0:
             return
         positions = self.positions_of(wanted)
+        self._begin_write()
 
         def interval_drop_mask(starts: np.ndarray, counts: np.ndarray, n: int) -> np.ndarray:
             # Disjoint per-sequence row ranges as a +1/-1 boundary sweep;
@@ -722,6 +805,7 @@ class ColumnarSegmentStore:
                 np.cumsum(counts[:-1], out=starts[1:])
         self._generation += 1
         self._journal.record(self._generation, "delete", wanted.tolist())
+        self._commit_write()
 
     def replace(
         self,
@@ -769,10 +853,12 @@ class ColumnarSegmentStore:
                 )
             representation.segment_columns()  # raises here, not mid-splice
             prepared.append((int(sequence_id), representation, int(peak_count), rr_arr))
+        self._begin_write()
         for sequence_id, representation, peak_count, rr_arr in prepared:
             self._replace_one(sequence_id, representation, peak_count, rr_arr)
         self._generation += 1
         self._journal.record(self._generation, "append", ids)
+        self._commit_write()
 
     def _replace_one(
         self,
@@ -903,3 +989,41 @@ class ColumnarSegmentStore:
             )
         if cursor_rr != len(self._rr):
             raise EngineError(f"offset table covers {cursor_rr} rr rows of {len(self._rr)}")
+
+
+def attach_from_manifest(
+    manifest: "dict[str, Any]", attachments: BlockAttachments
+) -> ColumnarSegmentStore:
+    """Rebuild a zero-copy read view of a store from its shm manifest.
+
+    Worker processes call this with a manifest produced by
+    :meth:`ColumnarSegmentStore.shm_manifest` in the parent: every
+    column becomes a NumPy view over an attached shared block (no rows
+    are copied).  The view must never be mutated — workers only run
+    read stages — and a retired block name raises ``FileNotFoundError``
+    from ``attachments.get``, which the process executor converts into
+    a snapshot retry.
+    """
+    store = ColumnarSegmentStore(theta=float(manifest["theta"]))
+    tables: "dict[str, dict[str, Any]]" = manifest["tables"]
+    specs: "tuple[tuple[_ColumnSet, str], ...]" = (
+        (store._segments, "segments"),
+        (store._behavior, "behavior"),
+        (store._rr, "rr"),
+        (store._sequences, "sequences"),
+    )
+    for column_set, key in specs:
+        table = tables[key]
+        capacity = int(table["capacity"])
+        arrays: "dict[str, np.ndarray]" = {}
+        for name, (block_name, dtype_str) in table["columns"].items():
+            dtype = np.dtype(dtype_str)
+            if block_name is None:
+                arrays[name] = np.empty(0, dtype=dtype)
+            else:
+                buf = attachments.get(block_name)
+                arrays[name] = np.ndarray((capacity,), dtype=dtype, buffer=buf)
+        column_set._arrays = arrays
+        column_set._size = int(table["size"])
+    store._generation = int(manifest["generation"])
+    return store

@@ -37,6 +37,7 @@ still covers ``limit`` candidates — otherwise the pruned search re-runs
 from __future__ import annotations
 
 import bisect
+import time
 from typing import TYPE_CHECKING, Callable
 
 import numpy as np
@@ -49,6 +50,7 @@ from repro.core.tolerance import (
 )
 from repro.engine.cache import PlanResultCache
 from repro.engine.plan import DimensionColumn, QueryPlan, VectorVerdicts
+from repro.engine.snapshot import SnapshotMoved, SnapshotToken
 from repro.query.results import QueryMatch
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -71,8 +73,47 @@ class QueryPlanner:
         return query.plan(database)
 
 
+_SNAPSHOT_ATTEMPTS = 5
+_SNAPSHOT_BACKOFF_S = 0.0005
+
+
+def _mutation_seq(database: "SequenceDatabase") -> "int | None":
+    """The database-level mutation seqlock, ``None`` for duck-typed dbs."""
+    seq = getattr(database, "mutation_seq", None)
+    return seq if isinstance(seq, int) else None
+
+
+# A deferred cache write: built while an attempt runs, executed only
+# after the attempt's snapshot validated — so a torn read can never
+# poison the plan-result cache.
+CacheCommit = Callable[[], None]
+
+
 class QueryExecutor:
-    """Runs a staged plan and returns graded, sorted matches."""
+    """Runs a staged plan and returns graded, sorted matches.
+
+    Reads are snapshot-isolated (MVCC-lite): each attempt pins the
+    store's per-shard generation vector and write seqlocks up front,
+    validates them at scatter time and again after grading, and retries
+    against a fresh pin when a concurrent writer moved any shard —
+    never returning (or caching) torn results.  After
+    ``_SNAPSHOT_ATTEMPTS`` collisions the read falls back to running
+    under the database's ``mutation_lock``, which cannot starve.
+    """
+
+    def __init__(self) -> None:
+        self._queries = 0
+        self._snapshot_retries = 0
+        self._locked_fallbacks = 0
+
+    def stats(self) -> "dict[str, object]":
+        """Executor telemetry for ``storage_report()["executor"]``."""
+        return {
+            "backend": "serial",
+            "queries": self._queries,
+            "snapshot_retries": self._snapshot_retries,
+            "locked_fallbacks": self._locked_fallbacks,
+        }
 
     def execute(
         self,
@@ -95,6 +136,112 @@ class QueryExecutor:
         has compacted past the entry (or config changed), the stages
         run in full and the answer is remembered at the new epoch.
         """
+        self._queries += 1
+        attempts = 0
+        while True:
+            pinned_seq = _mutation_seq(database)
+            token = SnapshotToken.pin(database.store)
+            unsettled = (token is not None and not token.settled) or (
+                pinned_seq is not None and pinned_seq % 2 == 1
+            )
+            if unsettled:
+                attempts += 1
+                if attempts <= _SNAPSHOT_ATTEMPTS:
+                    time.sleep(_SNAPSHOT_BACKOFF_S)
+                    continue
+                return self._execute_locked(database, plan, include_approximate, cache)
+            try:
+                matches, commit = self._attempt(
+                    database, plan, include_approximate, cache, token
+                )
+            except SnapshotMoved:
+                self._snapshot_retries += 1
+                attempts += 1
+                if attempts <= _SNAPSHOT_ATTEMPTS:
+                    continue
+                return self._execute_locked(database, plan, include_approximate, cache)
+            except Exception:
+                # A stage tripping over a concurrently mutated store can
+                # raise anything; only swallow it when the snapshot
+                # provably moved — the store generation shifted or the
+                # database seqlock ticked (a mutator touched the side
+                # indexes even if the store bump hasn't landed yet).  A
+                # genuine stage bug stays loud.
+                if self._view_moved(database, token, pinned_seq):
+                    self._snapshot_retries += 1
+                    attempts += 1
+                    if attempts <= _SNAPSHOT_ATTEMPTS:
+                        continue
+                    return self._execute_locked(
+                        database, plan, include_approximate, cache
+                    )
+                raise
+            if self._view_moved(database, token, pinned_seq):
+                self._snapshot_retries += 1
+                attempts += 1
+                if attempts <= _SNAPSHOT_ATTEMPTS:
+                    continue
+                return self._execute_locked(database, plan, include_approximate, cache)
+            if commit is not None:
+                commit()
+            return matches
+
+    @staticmethod
+    def _view_moved(
+        database: "SequenceDatabase",
+        token: "SnapshotToken | None",
+        pinned_seq: "int | None",
+    ) -> bool:
+        """Did the pinned view (store generations + db seqlock) move?"""
+        if pinned_seq is not None and _mutation_seq(database) != pinned_seq:
+            return True
+        return token is not None and bool(token.moved(database.store))
+
+    def _execute_locked(
+        self,
+        database: "SequenceDatabase",
+        plan: QueryPlan,
+        include_approximate: bool,
+        cache: "PlanResultCache | None",
+    ) -> "list[QueryMatch]":
+        """Starvation-proof fallback: run one attempt under the writer lock.
+
+        With the database's ``mutation_lock`` held no writer can move
+        the store mid-read, so no snapshot validation is needed (and
+        the commit is safe).  Duck-typed databases without the lock run
+        unprotected, which matches their pre-snapshot behaviour.
+        """
+        self._locked_fallbacks += 1
+        lock = getattr(database, "mutation_lock", None)
+        if lock is None:
+            matches, commit = self._attempt(
+                database, plan, include_approximate, cache, None
+            )
+            if commit is not None:
+                commit()
+            return matches
+        with lock:
+            matches, commit = self._attempt(
+                database, plan, include_approximate, cache, None
+            )
+            if commit is not None:
+                commit()
+            return matches
+
+    def _attempt(
+        self,
+        database: "SequenceDatabase",
+        plan: QueryPlan,
+        include_approximate: bool,
+        cache: "PlanResultCache | None",
+        snapshot: "SnapshotToken | None",
+    ) -> "tuple[list[QueryMatch], CacheCommit | None]":
+        """One uncommitted evaluation against a pinned snapshot.
+
+        Returns the matches plus a deferred cache commit (``None`` for
+        uncached runs and cache hits); the caller validates the
+        snapshot before running the commit.
+        """
         if cache is not None and plan.fingerprint is not None:
             key = (plan.fingerprint, bool(include_approximate))
             if plan.limit is not None:
@@ -105,26 +252,30 @@ class QueryExecutor:
             generation = database.cache_epoch()
             cached = cache.lookup(key, generation)
             if cached is not None:
-                return cached
+                return cached, None
             stale = cache.stale_entry(key, generation)
             if stale is not None:
                 revalidated = self._revalidate(
-                    database, plan, include_approximate, cache, key, generation, stale
+                    database, plan, include_approximate, cache, key, generation,
+                    stale, snapshot,
                 )
                 if revalidated is not None:
                     return revalidated
-            matches = self._run_plan(database, plan, include_approximate)
-            cache.store(
-                key, generation, matches, vector=database.store.generation_vector()
-            )
-            return matches
-        return self._run_plan(database, plan, include_approximate)
+            matches = self._run_plan(database, plan, include_approximate, snapshot)
+            vector = database.store.generation_vector()
+
+            def commit() -> None:
+                cache.store(key, generation, matches, vector=vector)
+
+            return matches, commit
+        return self._run_plan(database, plan, include_approximate, snapshot), None
 
     def _run_plan(
         self,
         database: "SequenceDatabase",
         plan: QueryPlan,
         include_approximate: bool,
+        snapshot: "SnapshotToken | None" = None,
     ) -> "list[QueryMatch]":
         """Run every stage and apply the plan's ``limit`` truncation.
 
@@ -133,7 +284,7 @@ class QueryExecutor:
         limit`` matches — the cut here is what makes the scattered
         answer identical to a single-store run.
         """
-        matches = self._run_stages(database, plan, include_approximate)
+        matches = self._run_stages(database, plan, include_approximate, snapshot=snapshot)
         if plan.limit is not None:
             matches = matches[: plan.limit]
         return matches
@@ -185,13 +336,16 @@ class QueryExecutor:
         key: tuple,
         generation: tuple,
         stale: tuple,
-    ) -> "list[QueryMatch] | None":
+        snapshot: "SnapshotToken | None" = None,
+    ) -> "tuple[list[QueryMatch], CacheCommit] | None":
         """Repair a stale cached answer via the mutation journal.
 
-        Returns the patched (or fallback-recomputed) match list, or
-        ``None`` when the entry cannot be revalidated at all (see
-        :meth:`revalidation_plan`) and the caller must recompute and
-        store from scratch.
+        Returns the patched (or fallback-recomputed) match list plus a
+        deferred cache commit, or ``None`` when the entry cannot be
+        revalidated at all (see :meth:`revalidation_plan`) and the
+        caller must recompute and store from scratch.  The commit runs
+        only after the caller's snapshot validated, so a torn replay
+        can never overwrite a healthy cache entry.
         """
         kind, payload = self.revalidation_plan(database, stale, generation)
         if kind == "recompute":
@@ -199,19 +353,24 @@ class QueryExecutor:
         __, old_matches, ___ = stale
         vector = database.store.generation_vector()
         if kind == "full":
-            matches = self._run_plan(database, plan, include_approximate)
-            cache.revalidate(key, generation, vector, matches, dirty_count=None)
-            return matches
+            matches = self._run_plan(database, plan, include_approximate, snapshot)
+
+            def commit_full() -> None:
+                cache.revalidate(key, generation, vector, matches, dirty_count=None)
+
+            return matches, commit_full
         live_dirty, dirty = payload
         fresh = (
-            self.run_stages_subset(database, plan, live_dirty, include_approximate)
+            self.run_stages_subset(
+                database, plan, live_dirty, include_approximate, snapshot=snapshot
+            )
             if live_dirty
             else []
         )
         if plan.limit is not None:
             return self._patch_topk(
                 database, plan, include_approximate, cache, key, generation,
-                vector, old_matches, fresh, dirty,
+                vector, old_matches, fresh, dirty, snapshot,
             )
         # The cached list is already in sort_key order and stays so with
         # the dirty ids filtered out.  Few fresh matches binary-insert
@@ -219,15 +378,18 @@ class QueryExecutor:
         # sequence, so insertion points are unambiguous); many fresh
         # matches re-sort outright, which timsort does in near-linear
         # time on the two pre-sorted runs.
-        matches = [match for match in old_matches if match.sequence_id not in dirty]
-        if len(fresh) * 16 >= len(matches) + 1:
-            matches.extend(fresh)
-            matches.sort(key=QueryMatch.sort_key)
+        patched = [match for match in old_matches if match.sequence_id not in dirty]
+        if len(fresh) * 16 >= len(patched) + 1:
+            patched.extend(fresh)
+            patched.sort(key=QueryMatch.sort_key)
         else:
             for match in fresh:
-                bisect.insort(matches, match, key=QueryMatch.sort_key)
-        cache.revalidate(key, generation, vector, matches, dirty_count=len(dirty))
-        return matches
+                bisect.insort(patched, match, key=QueryMatch.sort_key)
+
+        def commit_delta() -> None:
+            cache.revalidate(key, generation, vector, patched, dirty_count=len(dirty))
+
+        return patched, commit_delta
 
     def _patch_topk(
         self,
@@ -241,7 +403,8 @@ class QueryExecutor:
         old_matches: "tuple[QueryMatch, ...]",
         fresh: "list[QueryMatch]",
         dirty: "set[int]",
-    ) -> "list[QueryMatch]":
+        snapshot: "SnapshotToken | None" = None,
+    ) -> "tuple[list[QueryMatch], CacheCommit]":
         """Patch a cached *top-k* answer after a journal replay.
 
         A limited entry only remembers the k best matches, so unlike the
@@ -270,19 +433,32 @@ class QueryExecutor:
         combined = sorted(survivors + fresh, key=QueryMatch.sort_key)
         if len(old_matches) < limit:
             matches = combined[:limit]
-            cache.revalidate(key, generation, vector, matches, dirty_count=len(dirty))
-            return matches
+
+            def commit_patch() -> None:
+                cache.revalidate(
+                    key, generation, vector, matches, dirty_count=len(dirty)
+                )
+
+            return matches, commit_patch
         boundary = old_matches[-1].sort_key()
         qualified = sum(1 for match in combined if match.sort_key() <= boundary)
         if qualified >= limit:
-            matches = combined[:limit]
-            cache.revalidate(key, generation, vector, matches, dirty_count=len(dirty))
-            return matches
-        matches = self._run_plan(database, plan, include_approximate)
-        cache.revalidate(
-            key, generation, vector, matches, dirty_count=len(dirty), refill=True
-        )
-        return matches
+            patched = combined[:limit]
+
+            def commit_boundary() -> None:
+                cache.revalidate(
+                    key, generation, vector, patched, dirty_count=len(dirty)
+                )
+
+            return patched, commit_boundary
+        refilled = self._run_plan(database, plan, include_approximate, snapshot)
+
+        def commit_refill() -> None:
+            cache.revalidate(
+                key, generation, vector, refilled, dirty_count=len(dirty), refill=True
+            )
+
+        return refilled, commit_refill
 
     def run_stages_subset(
         self,
@@ -290,6 +466,7 @@ class QueryExecutor:
         plan: QueryPlan,
         sequence_ids: "list[int]",
         include_approximate: bool = True,
+        snapshot: "SnapshotToken | None" = None,
     ) -> "list[QueryMatch]":
         """Run the plan's prefilter/grade stages over ``sequence_ids`` only.
 
@@ -302,7 +479,9 @@ class QueryExecutor:
         subset = sorted(int(sequence_id) for sequence_id in sequence_ids)
         if not subset:
             return []
-        return self._run_stages(database, plan, include_approximate, subset=subset)
+        return self._run_stages(
+            database, plan, include_approximate, subset=subset, snapshot=snapshot
+        )
 
     def _scatter(self, tasks: "list[Callable[[], object]]") -> "list[object]":
         """Run per-shard stage tasks; results align with ``tasks``.
@@ -314,14 +493,40 @@ class QueryExecutor:
         """
         return [task() for task in tasks]
 
+    def _scatter_stages(
+        self,
+        database: "SequenceDatabase",
+        plan: QueryPlan,
+        shards: "tuple[ColumnarSegmentStore, ...]",
+        parts: "list[list[int] | None]",
+        snapshot: "SnapshotToken | None",
+    ) -> "list[object]":
+        """Run the per-store stages for every shard; results align with
+        ``shards`` position by position.
+
+        The base form wraps each shard's stage slice in a thunk and
+        hands the list to :meth:`_scatter` (serial here, a thread pool
+        in :class:`~repro.engine.parallel.ParallelExecutor`); the
+        process executor overrides this whole hook because closures
+        over the live store do not cross process boundaries.
+        """
+        tasks = [
+            self._shard_task(database, plan, shard, shard_candidates)
+            for shard, shard_candidates in zip(shards, parts)
+        ]
+        return self._scatter(tasks)
+
     def _run_stages(
         self,
         database: "SequenceDatabase",
         plan: QueryPlan,
         include_approximate: bool,
         subset: "list[int] | None" = None,
+        snapshot: "SnapshotToken | None" = None,
     ) -> "list[QueryMatch]":
         store = database.store
+        if snapshot is not None:
+            snapshot.validate(store)
         if plan.topk is not None and subset is None:
             # The pruned search runs whole-shard (its cluster index owns
             # the shard's rows), so it scatters as its own stage; subset
@@ -347,11 +552,11 @@ class QueryExecutor:
         shards = store.shards()
         if len(shards) > 1 and (plan.prefilter is not None or plan.vector_filter is not None):
             parts = store.partition_ids(candidates)
-            tasks = [
-                self._shard_task(database, plan, shard, shard_candidates)
-                for shard, shard_candidates in zip(shards, parts)
-            ]
-            results = self._scatter(tasks)
+            if snapshot is not None:
+                # Scatter-time check: the pin must still hold per shard
+                # before any worker reads shard state.
+                snapshot.validate(store)
+            results = self._scatter_stages(database, plan, shards, parts, snapshot)
             if plan.vector_filter is not None:
                 merged = self._merge_verdicts(results)
                 return self._materialize(database, merged, include_approximate)

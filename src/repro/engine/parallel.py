@@ -53,18 +53,40 @@ class ParallelExecutor(QueryExecutor):
         # Assigned before validation so __del__ -> close() is safe even
         # when construction fails.
         self._pool: "ThreadPoolExecutor | None" = None
+        super().__init__()
         workers = int(max_workers) if max_workers is not None else (os.cpu_count() or 1)
         if workers < 1:
             raise EngineError(f"need at least one worker, got {workers}")
         self.max_workers = workers
+        self._pool_workers = 0
+        self._tasks_dispatched = 0
+        self._inline_batches = 0
+
+    def stats(self) -> "dict[str, object]":
+        """Pool telemetry on top of the base executor's counters."""
+        base = super().stats()
+        base.update(
+            backend="thread",
+            max_workers=self.max_workers,
+            pool_workers=self._pool_workers,
+            tasks_dispatched=self._tasks_dispatched,
+            inline_batches=self._inline_batches,
+        )
+        return base
 
     def _scatter(self, tasks: "list[Callable[[], object]]") -> "list[object]":
         if self.max_workers == 1 or len(tasks) <= 1:
+            self._inline_batches += 1
             return [task() for task in tasks]
         if self._pool is None:
+            # Scatter dispatches at most one task per shard, so a pool
+            # wider than the shard count would only idle: cap at the
+            # first batch's width (shard counts are fixed per store).
+            self._pool_workers = min(self.max_workers, len(tasks))
             self._pool = ThreadPoolExecutor(
-                max_workers=self.max_workers, thread_name_prefix="repro-shard"
+                max_workers=self._pool_workers, thread_name_prefix="repro-shard"
             )
+        self._tasks_dispatched += len(tasks)
         return list(self._pool.map(lambda task: task(), tasks))
 
     def close(self) -> None:

@@ -1,0 +1,279 @@
+"""Process-pooled scatter over shared-memory columns.
+
+:class:`ProcessParallelExecutor` runs the scattered per-store stages
+(columnar prefilter, vectorized grade) in worker *processes*, sidestepping
+the GIL entirely for the merge/materialize-adjacent Python work the
+thread pool cannot parallelize.  The parent never ships column data:
+each task carries only the query (pickled once per plan), the
+database's pipeline config, a shard's shared-memory *manifest* (block
+names + dtypes + row counts) and the pinned generation — the worker
+attaches the named blocks (:class:`~repro.engine.shm.BlockAttachments`)
+and wraps them in NumPy views with zero copies.
+
+Stage callables are *reconstructed on the worker*: the query is
+unpickled and re-planned against a config-only database stand-in
+(stages never read the database object — they read the store and the
+query's own memo, which plan-time warming rebuilds from the shipped
+breaker), so the worker's prefilter/grade arithmetic is the very same
+code path the serial executor runs — byte-identical results, merged by
+shard position.
+
+Safety/fallback ladder:
+
+* heap-backed shards (no arena), unpicklable queries (e.g. test-local
+  ``Query`` subclasses) or unpicklable breakers fall back to the
+  inherited inline scatter — same answers, no pool;
+* a worker attaching a retired block name gets ``FileNotFoundError``,
+  surfaced here as :class:`~repro.engine.snapshot.SnapshotMoved` so the
+  executor's retry loop re-pins and re-scatters;
+* a broken pool (killed worker) is torn down and reported as an
+  :class:`~repro.core.errors.EngineError`; the next query lazily builds
+  a fresh pool.
+
+The pool uses the ``spawn`` start method: the serving harness mixes
+writer threads with queries, and forking a multithreaded parent is
+undefined behaviour waiting to happen.  Top-k plans keep running inline
+on the parent (their cluster index lives there); everything else
+scatters.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from multiprocessing import get_context
+from types import TracebackType
+from typing import TYPE_CHECKING, Any
+
+from repro.core.errors import EngineError
+from repro.engine.columnar import ColumnarSegmentStore, attach_from_manifest
+from repro.engine.executor import QueryExecutor
+from repro.engine.plan import QueryPlan
+from repro.engine.shm import BlockAttachments
+from repro.engine.snapshot import SnapshotMoved, SnapshotToken
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.query.database import SequenceDatabase
+
+__all__ = ["ProcessParallelExecutor"]
+
+
+class _WorkerDatabase:
+    """Config-only stand-in for the database inside a worker.
+
+    Stages never read the database object (they take it as an argument
+    but only touch the store and the query's memo); what *does* read it
+    is plan-time memo warming — ``ShapeQuery._signature_for`` /
+    ``TopKQuery._features_for`` — which needs exactly this pipeline
+    config to rebuild the query-side arrays bit-identically.
+    """
+
+    # __weakref__ because queries memoize plan-time work keyed on a
+    # weak reference to the database they planned against.
+    __slots__ = ("theta", "normalize", "curve_kind", "breaker", "keep_raw", "__weakref__")
+
+    def __init__(
+        self,
+        theta: float,
+        normalize: bool,
+        curve_kind: str,
+        keep_raw: bool,
+        breaker: object,
+    ) -> None:
+        self.theta = theta
+        self.normalize = normalize
+        self.curve_kind = curve_kind
+        self.keep_raw = keep_raw
+        self.breaker = breaker
+
+
+# Per-worker state (each spawn gets its own copies).
+_ATTACHMENTS: "BlockAttachments | None" = None
+_PLAN_MEMO: "OrderedDict[tuple[bytes, bytes], tuple[QueryPlan, _WorkerDatabase]]" = (
+    OrderedDict()
+)
+_PLAN_MEMO_LIMIT = 32
+
+
+def _worker_plan(
+    query_blob: bytes, config_blob: bytes
+) -> "tuple[QueryPlan, _WorkerDatabase]":
+    """Reconstruct (and memoize) the staged plan on the worker."""
+    memo_key = (query_blob, config_blob)
+    cached = _PLAN_MEMO.get(memo_key)
+    if cached is not None:
+        _PLAN_MEMO.move_to_end(memo_key)
+        return cached
+    theta, normalize, curve_kind, keep_raw, breaker = pickle.loads(config_blob)
+    stub = _WorkerDatabase(
+        float(theta), bool(normalize), str(curve_kind), bool(keep_raw), breaker
+    )
+    query = pickle.loads(query_blob)
+    plan: QueryPlan = query.plan(stub)
+    _PLAN_MEMO[memo_key] = (plan, stub)
+    while len(_PLAN_MEMO) > _PLAN_MEMO_LIMIT:
+        _PLAN_MEMO.popitem(last=False)
+    return plan, stub
+
+
+def _run_shard_stages(
+    query_blob: bytes,
+    config_blob: bytes,
+    manifest: "dict[str, Any]",
+    candidates: "list[int] | None",
+    pinned_generation: int,
+) -> object:
+    """One shard's prefilter/vector stages, executed in a worker.
+
+    Raises ``FileNotFoundError`` when any block name in the manifest
+    was retired by the parent's arena — the parent converts that into a
+    snapshot retry.  The return value is either a per-shard
+    ``VectorVerdicts`` or a survivor id list, exactly what the inline
+    shard task returns.
+    """
+    global _ATTACHMENTS
+    if _ATTACHMENTS is None:
+        _ATTACHMENTS = BlockAttachments()
+    if int(manifest["generation"]) != int(pinned_generation):
+        raise FileNotFoundError("manifest generation disagrees with pinned snapshot")
+    plan, stub = _worker_plan(query_blob, config_blob)
+    store: ColumnarSegmentStore = attach_from_manifest(manifest, _ATTACHMENTS)
+    local = candidates
+    try:
+        if plan.prefilter is not None:
+            local = plan.prefilter(stub, store, local)  # type: ignore[arg-type]
+        if plan.vector_filter is not None:
+            return plan.vector_filter(stub, store, local)  # type: ignore[arg-type]
+        return local
+    finally:
+        _ATTACHMENTS.evict_stale()
+
+
+class ProcessParallelExecutor(QueryExecutor):
+    """Scatter-gather executor backed by a spawn process pool.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool size cap; defaults to the machine's CPU count.  The lazily
+        created pool is additionally capped at the shard count, since
+        scatter dispatches at most one task per shard.
+    """
+
+    def __init__(self, max_workers: "int | None" = None) -> None:
+        self._pool: "ProcessPoolExecutor | None" = None
+        super().__init__()
+        workers = int(max_workers) if max_workers is not None else (os.cpu_count() or 1)
+        if workers < 1:
+            raise EngineError(f"need at least one worker, got {workers}")
+        self.max_workers = workers
+        self._pool_workers = 0
+        self._tasks_dispatched = 0
+        self._inline_fallbacks = 0
+        self._pool_breaks = 0
+
+    def stats(self) -> "dict[str, object]":
+        """Pool telemetry on top of the base executor's counters."""
+        base = super().stats()
+        base.update(
+            backend="process",
+            max_workers=self.max_workers,
+            pool_workers=self._pool_workers,
+            tasks_dispatched=self._tasks_dispatched,
+            inline_fallbacks=self._inline_fallbacks,
+            pool_breaks=self._pool_breaks,
+        )
+        return base
+
+    def _ensure_pool(self, n_shards: int) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool_workers = max(1, min(self.max_workers, n_shards))
+            self._pool = ProcessPoolExecutor(
+                max_workers=self._pool_workers, mp_context=get_context("spawn")
+            )
+        return self._pool
+
+    def _scatter_stages(
+        self,
+        database: "SequenceDatabase",
+        plan: QueryPlan,
+        shards: "tuple[ColumnarSegmentStore, ...]",
+        parts: "list[list[int] | None]",
+        snapshot: "SnapshotToken | None",
+    ) -> "list[object]":
+        if self.max_workers == 1:
+            self._inline_fallbacks += 1
+            return super()._scatter_stages(database, plan, shards, parts, snapshot)
+        manifests = [shard.shm_manifest() for shard in shards]
+        if any(manifest is None for manifest in manifests):
+            # Heap-backed shards: nothing for a worker to attach to.
+            self._inline_fallbacks += 1
+            return super()._scatter_stages(database, plan, shards, parts, snapshot)
+        try:
+            query_blob = pickle.dumps(plan.query)
+            config_blob = pickle.dumps(
+                (
+                    database.theta,
+                    database.normalize,
+                    database.curve_kind,
+                    database.keep_raw,
+                    database.breaker,
+                )
+            )
+        except Exception:
+            # Test-local Query subclasses (or exotic breakers) don't
+            # pickle; run them inline with identical semantics.
+            self._inline_fallbacks += 1
+            return super()._scatter_stages(database, plan, shards, parts, snapshot)
+        # Pin each shard to the generation captured in the snapshot
+        # token at plan time — never to the manifest itself, or a stale
+        # manifest would carry a matching stale pin and slip through.
+        if snapshot is not None and len(snapshot.generations) == len(shards):
+            pins = [int(value) for value in snapshot.generations]
+        else:
+            pins = [int(manifest["generation"]) for manifest in manifests]
+        pool = self._ensure_pool(len(shards))
+        try:
+            futures = [
+                pool.submit(
+                    _run_shard_stages,
+                    query_blob,
+                    config_blob,
+                    manifest,
+                    list(part) if part is not None else None,
+                    pin,
+                )
+                for manifest, part, pin in zip(manifests, parts, pins)
+                if manifest is not None
+            ]
+            self._tasks_dispatched += len(futures)
+            return [future.result() for future in futures]
+        except FileNotFoundError as exc:
+            raise SnapshotMoved(f"shared block retired under a pinned read: {exc}")
+        except BrokenProcessPool as exc:
+            self._pool_breaks += 1
+            self.close()
+            raise EngineError(f"process pool broke mid-scatter: {exc}")
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent; pool rebuilds on use)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ProcessParallelExecutor":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: "type[BaseException] | None",
+        exc: "BaseException | None",
+        tb: "TracebackType | None",
+    ) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - finalizer best effort
+        self.close()

@@ -31,7 +31,10 @@ from repro.core.errors import EngineError
 from repro.engine.columnar import ColumnarSegmentStore
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from typing import Any
+
     from repro.core.representation import FunctionSeriesRepresentation
+    from repro.engine.shm import SharedMemoryArena
 
 __all__ = ["ShardedSegmentStore"]
 
@@ -48,11 +51,19 @@ class ShardedSegmentStore:
     executor needs.
     """
 
-    def __init__(self, n_shards: int, theta: float = 0.0) -> None:
+    def __init__(
+        self,
+        n_shards: int,
+        theta: float = 0.0,
+        arena: "SharedMemoryArena | None" = None,
+    ) -> None:
         if n_shards < 1:
             raise EngineError(f"need at least one shard, got {n_shards}")
         self.theta = float(theta)
-        self._shards = tuple(ColumnarSegmentStore(theta=theta) for _ in range(int(n_shards)))
+        self._shards = tuple(
+            ColumnarSegmentStore(theta=theta, arena=arena, label=f"s{index}")
+            for index in range(int(n_shards))
+        )
 
     # ------------------------------------------------------------------
     # Routing
@@ -151,6 +162,14 @@ class ShardedSegmentStore:
                 return None
             dirty |= shard_dirty
         return dirty
+
+    def read_token(self) -> "tuple[int, ...]":
+        """Per-shard write seqlocks, aligned with :meth:`generation_vector`."""
+        return tuple(shard.read_token()[0] for shard in self._shards)
+
+    def shm_manifests(self) -> "list[dict[str, Any] | None]":
+        """Per-shard worker attachment manifests (``None`` = heap-backed)."""
+        return [shard.shm_manifest() for shard in self._shards]
 
     def journal_stats(self) -> dict:
         """Aggregated journal counters across every shard."""

@@ -1,0 +1,248 @@
+"""Named shared-memory arena backing columnar arrays.
+
+:class:`SharedMemoryArena` owns a set of named
+:mod:`multiprocessing.shared_memory` blocks.  A columnar store backed
+by an arena allocates one block per column reallocation; worker
+processes attach to blocks *by name* (see :class:`BlockAttachments`)
+and wrap them in NumPy views with zero copies.
+
+Lifecycle contract (machine-checked by analyzer rule RL006):
+
+* the arena is the **single owner** of every block it allocates —
+  ``unlink()`` happens only inside this class;
+* ``retire()`` frees a superseded block's *name* immediately (so a
+  worker attaching a stale manifest fails fast with
+  ``FileNotFoundError`` and the read retries against a fresh snapshot)
+  but keeps the parent's mapping open in a bounded grace list, because
+  concurrent reader threads may still hold NumPy views over the old
+  buffer;
+* ``close()`` releases every mapping and name.  Databases call it from
+  their own ``close()``; it is also safe (and idempotent) from
+  ``__del__``.
+
+Workers never unlink: :class:`BlockAttachments` only maps existing
+names, and attaches with resource-tracker registration suppressed (a
+CPython 3.11 quirk: plain attachment registers the segment with the
+attaching process's tracker — which spawn workers *share* with the
+parent, so either the worker's exit would unlink arena-owned blocks or
+an after-the-fact unregister would erase the parent's own entry).
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+from collections import OrderedDict, deque
+from multiprocessing import resource_tracker, shared_memory
+from types import TracebackType
+
+from repro.core.errors import EngineError
+
+__all__ = ["BlockAttachments", "SharedBlock", "SharedMemoryArena"]
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach an existing block without resource-tracker registration.
+
+    CPython 3.11's ``SharedMemory.__init__`` registers the segment even
+    on plain attachment (bpo-38119), and spawn workers share the
+    parent's tracker process — so a tracked attachment would have the
+    segment torn down behind the owning arena, and unregistering after
+    the fact would erase the parent's own registration instead.
+    Suppressing the register call for the duration of the attach keeps
+    the tracker's books exactly as the owner wrote them.  ``track=``
+    says this natively from 3.13 on.
+    """
+    original = resource_tracker.register
+    resource_tracker.register = lambda *_args, **_kwargs: None  # type: ignore[assignment]
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+class SharedBlock:
+    """One named shared-memory allocation owned by an arena."""
+
+    __slots__ = ("_shm", "nbytes")
+
+    def __init__(self, shm: shared_memory.SharedMemory, nbytes: int) -> None:
+        self._shm = shm
+        self.nbytes = nbytes
+
+    @property
+    def name(self) -> str:
+        """The attachable system-wide name of this block."""
+        return self._shm.name
+
+    @property
+    def buf(self) -> memoryview:
+        """The writable buffer backing this block."""
+        return self._shm.buf
+
+
+class SharedMemoryArena:
+    """Allocator and single owner of named shared-memory blocks.
+
+    Blocks are allocated with :meth:`allocate`, superseded with
+    :meth:`retire` (geometric column growth re-allocates rather than
+    resizing in place), and all released by :meth:`close`.
+    """
+
+    def __init__(self, label: str = "repro", retire_grace: int = 16) -> None:
+        self._prefix = f"{label[:16]}-{os.getpid()}-{secrets.token_hex(4)}"
+        self._counter = 0
+        self._blocks: "dict[str, SharedBlock]" = {}
+        self._graveyard: "deque[shared_memory.SharedMemory]" = deque()
+        self._retire_grace = max(0, int(retire_grace))
+        self._retired_total = 0
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def allocate(self, nbytes: int, label: str = "col") -> SharedBlock:
+        """Create a new named block of at least ``nbytes`` bytes."""
+        if self._closed:
+            raise EngineError("shared-memory arena is closed")
+        self._counter += 1
+        name = f"{self._prefix}-{label[:24]}-{self._counter}"
+        shm = shared_memory.SharedMemory(name=name, create=True, size=max(1, int(nbytes)))
+        block = SharedBlock(shm, max(1, int(nbytes)))
+        self._blocks[block.name] = block
+        return block
+
+    def retire(self, block: SharedBlock) -> None:
+        """Free ``block``'s name now; unmap after a short grace window.
+
+        Unlinking immediately guarantees stale manifests fail fast in
+        workers, while deferring ``close()`` keeps live NumPy views in
+        concurrent reader threads valid until they re-pin.
+        """
+        owned = self._blocks.pop(block.name, None)
+        if owned is None:
+            return
+        shm = owned._shm
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+        self._retired_total += 1
+        self._graveyard.append(shm)
+        while len(self._graveyard) > self._retire_grace:
+            old = self._graveyard.popleft()
+            try:
+                old.close()
+            except BufferError:  # pragma: no cover - a reader still views it
+                self._graveyard.append(old)
+                break
+
+    def close(self) -> None:
+        """Release every mapping and name owned by this arena."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            for block in list(self._blocks.values()):
+                shm = block._shm
+                try:
+                    shm.unlink()
+                except FileNotFoundError:  # pragma: no cover - already gone
+                    pass
+                try:
+                    shm.close()
+                except BufferError:  # pragma: no cover - a view outlives us
+                    pass
+            while self._graveyard:
+                try:
+                    self._graveyard.popleft().close()
+                except BufferError:  # pragma: no cover - a view outlives us
+                    pass
+        finally:
+            self._blocks.clear()
+
+    def stats(self) -> "dict[str, object]":
+        """Accounting for ``storage_report()``."""
+        return {
+            "backend": "shared_memory",
+            "prefix": self._prefix,
+            "blocks": len(self._blocks),
+            "bytes": sum(block.nbytes for block in self._blocks.values()),
+            "retired": self._retired_total,
+            "retired_pending_unmap": len(self._graveyard),
+        }
+
+    def __enter__(self) -> "SharedMemoryArena":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: "type[BaseException] | None",
+        exc: "BaseException | None",
+        tb: "TracebackType | None",
+    ) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - best effort
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+class BlockAttachments:
+    """Worker-side cache of attached shared blocks.
+
+    Attachments map existing names read-only-by-convention and are
+    **never unlinked** here — the arena in the parent process owns
+    every name.  The cache is bounded; eviction only runs between
+    tasks, long after any NumPy views over the evicted buffer are gone.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        self._shms: "OrderedDict[str, shared_memory.SharedMemory]" = OrderedDict()
+        self._capacity = max(8, int(capacity))
+
+    def get(self, name: str) -> memoryview:
+        """Attach (or reuse) the block called ``name`` and return its buffer.
+
+        Raises ``FileNotFoundError`` when the name was retired — the
+        caller treats that as a moved snapshot and retries.
+        """
+        shm = self._shms.get(name)
+        if shm is None:
+            shm = _attach_untracked(name)
+            self._shms[name] = shm
+        else:
+            self._shms.move_to_end(name)
+        return shm.buf
+
+    def evict_stale(self) -> None:
+        """Drop least-recently-used attachments beyond capacity."""
+        while len(self._shms) > self._capacity:
+            _, shm = self._shms.popitem(last=False)
+            shm.close()
+
+    def close(self) -> None:
+        """Detach every cached block (mapping only; never unlink)."""
+        while self._shms:
+            _, shm = self._shms.popitem(last=False)
+            shm.close()
+
+    def __enter__(self) -> "BlockAttachments":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: "type[BaseException] | None",
+        exc: "BaseException | None",
+        tb: "TracebackType | None",
+    ) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - best effort
+        try:
+            self.close()
+        except Exception:
+            pass

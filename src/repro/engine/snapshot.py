@@ -1,0 +1,95 @@
+"""MVCC-lite snapshot tokens for reads concurrent with writers.
+
+A query pins the store's per-shard :meth:`generation_vector` (plus the
+per-shard write seqlocks, when the store exposes them) at plan time.
+The executor validates the pin per shard at scatter time and again
+after grading; any observed movement raises :class:`SnapshotMoved`,
+and the executor retries the whole read against a freshly pinned
+snapshot instead of returning torn results.  Writers keep journaling
+exactly as before — the token is read-side only.
+
+Seqlock convention (see ``ColumnarSegmentStore``): a shard's write
+seqlock is incremented to *odd* on mutation entry and back to *even*
+after the generation bump and journal record.  A token captured while
+any seqlock is odd is *unsettled* — the executor re-pins rather than
+racing an in-flight writer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import EngineError
+
+__all__ = ["SnapshotMoved", "SnapshotToken"]
+
+
+class SnapshotMoved(EngineError):
+    """A pinned read observed shard state newer than its snapshot."""
+
+
+def _read_seqlocks(store: object) -> "tuple[int, ...] | None":
+    token_fn = getattr(store, "read_token", None)
+    if not callable(token_fn):
+        return None
+    return tuple(int(value) for value in token_fn())
+
+
+@dataclass(frozen=True)
+class SnapshotToken:
+    """A pinned view of per-shard store state.
+
+    ``generations`` mirrors ``store.generation_vector()``; ``seqlocks``
+    mirrors ``store.read_token()`` (``None`` for duck-typed stores
+    without one).  ``settled`` is ``False`` when the capture raced an
+    in-flight writer and must be re-pinned before use.
+    """
+
+    generations: "tuple[int, ...]"
+    seqlocks: "tuple[int, ...] | None"
+    settled: bool = True
+
+    @classmethod
+    def pin(cls, store: object) -> "SnapshotToken | None":
+        """Capture a snapshot of ``store``; ``None`` if it has no vector."""
+        vector_fn = getattr(store, "generation_vector", None)
+        if not callable(vector_fn):
+            return None
+        before = _read_seqlocks(store)
+        generations = tuple(int(value) for value in vector_fn())
+        after = _read_seqlocks(store)
+        settled = before == after and (
+            before is None or all(value % 2 == 0 for value in before)
+        )
+        return cls(generations=generations, seqlocks=after, settled=settled)
+
+    def moved(self, store: object) -> "list[int]":
+        """Indices of shards whose state moved past this snapshot."""
+        vector_fn = getattr(store, "generation_vector", None)
+        if not callable(vector_fn):
+            return []
+        current = tuple(int(value) for value in vector_fn())
+        if len(current) != len(self.generations):
+            return list(range(max(len(current), len(self.generations))))
+        shifted = [
+            index
+            for index, (pinned, now) in enumerate(zip(self.generations, current))
+            if pinned != now
+        ]
+        if self.seqlocks is not None:
+            locks = _read_seqlocks(store)
+            if locks is not None and len(locks) == len(self.seqlocks):
+                for index, (pinned, now) in enumerate(zip(self.seqlocks, locks)):
+                    if (pinned != now or now % 2 == 1) and index not in shifted:
+                        shifted.append(index)
+                shifted.sort()
+        return shifted
+
+    def validate(self, store: object) -> None:
+        """Raise :class:`SnapshotMoved` if any shard moved past the pin."""
+        shifted = self.moved(store)
+        if shifted:
+            raise SnapshotMoved(
+                "snapshot moved for shard(s) "
+                + ", ".join(str(index) for index in shifted)
+            )

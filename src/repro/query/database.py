@@ -19,8 +19,11 @@ This is the system of paper Section 4.4 assembled end to end:
 
 from __future__ import annotations
 
+import functools
+import threading
 from pathlib import Path
-from typing import Iterable
+from types import TracebackType
+from typing import Callable, Concatenate, Iterable, ParamSpec, TypeVar
 
 import numpy as np
 
@@ -39,9 +42,11 @@ from repro.engine import (
     ColumnarSegmentStore,
     ParallelExecutor,
     PlanResultCache,
+    ProcessParallelExecutor,
     QueryExecutor,
     QueryPlanner,
     ShardedSegmentStore,
+    SharedMemoryArena,
 )
 from repro.index.inverted import InvertedFileIndex
 from repro.index.pattern_index import PatternIndex
@@ -54,6 +59,47 @@ from repro.storage.archive import ArchivalStore, LocalStore
 from repro.storage.catalog import RepresentationCatalog
 
 __all__ = ["SequenceDatabase"]
+
+_P = ParamSpec("_P")
+_R = TypeVar("_R")
+
+
+def _mutator(
+    method: "Callable[Concatenate[SequenceDatabase, _P], _R]",
+) -> "Callable[Concatenate[SequenceDatabase, _P], _R]":
+    """Run a database mutation under the database's mutation lock.
+
+    Writes are serialized against each other (concurrent serving runs
+    writer threads next to query threads); reads stay lock-free — the
+    executor's snapshot tokens detect and retry any read that raced a
+    write, and only its last-resort fallback takes this lock to grade
+    in mutual exclusion.  The lock is re-entrant so batched mutators
+    can delegate to each other (``append`` -> ``append_many``).
+
+    The decorator also maintains ``mutation_seq``, a database-level
+    seqlock: odd while the outermost mutator is in flight, bumped even
+    on exit.  The store's own generation only moves at the *end* of a
+    mutation, after the side indexes (pattern trie, name/representation
+    maps) have already changed — the seqlock closes that window so the
+    executor can tell "a writer is mid-flight" apart from "a stage bug"
+    and retry instead of surfacing a torn read.
+    """
+
+    @functools.wraps(method)
+    def locked(self: "SequenceDatabase", /, *args: _P.args, **kwargs: _P.kwargs) -> _R:
+        with self.mutation_lock:
+            outermost = self._mutation_depth == 0
+            if outermost:
+                self.mutation_seq += 1
+            self._mutation_depth += 1
+            try:
+                return method(self, *args, **kwargs)
+            finally:
+                self._mutation_depth -= 1
+                if outermost:
+                    self.mutation_seq += 1
+
+    return locked
 
 
 class SequenceDatabase:
@@ -94,6 +140,23 @@ class SequenceDatabase:
         together with ``n_shards >= 2`` — shards are the units of
         scatter, so an unsharded store always runs its single leaf
         inline.  Worker count never changes results, only wall-clock.
+    backend:
+        Explicit executor choice: ``"serial"``, ``"thread"`` or
+        ``"process"`` (:class:`~repro.engine.ProcessParallelExecutor`,
+        which scatters stages to worker *processes* attaching the
+        shards' shared-memory columns by name).  ``None`` (default)
+        keeps the legacy rule: ``max_workers > 1`` means threads,
+        otherwise serial.  Every backend returns identical results.
+    shared_memory:
+        Back the columnar store's arrays with named shared-memory
+        blocks (:class:`~repro.engine.SharedMemoryArena`) so worker
+        processes can attach them zero-copy.  ``None`` (default)
+        enables it exactly when ``backend="process"``; ``True`` forces
+        it (useful to pre-stage a store a process executor will serve
+        later), ``False`` keeps heap arrays — the process backend then
+        silently degrades to inline scatter.  Call :meth:`close` (or
+        use the database as a context manager) to release the blocks
+        deterministically.
     """
 
     def __init__(
@@ -107,6 +170,8 @@ class SequenceDatabase:
         trie_depth: int = 12,
         n_shards: "int | None" = None,
         max_workers: "int | None" = None,
+        backend: "str | None" = None,
+        shared_memory: "bool | None" = None,
     ) -> None:
         self._breaker = breaker if breaker is not None else InterpolationBreaker(0.5)
         self._config_epoch = 0
@@ -114,6 +179,18 @@ class SequenceDatabase:
         self._theta = float(theta)
         self.keep_raw = keep_raw
         self.normalize = normalize
+        if backend not in (None, "serial", "thread", "process"):
+            raise QueryError(
+                f"unknown backend {backend!r}; expected 'serial', 'thread' or 'process'"
+            )
+        #: Serializes mutations against each other; queries never take
+        #: it except in the executor's snapshot-retry fallback.
+        self.mutation_lock = threading.RLock()
+        #: Database-level seqlock: odd while a mutator is in flight,
+        #: even when settled.  Readers pin it next to the store's
+        #: generation vector (see ``_mutator``).
+        self.mutation_seq = 0
+        self._mutation_depth = 0
 
         self.archive = ArchivalStore()
         self.local_store = LocalStore()
@@ -127,18 +204,24 @@ class SequenceDatabase:
         #: Execution engine: column-wise mirror of every live representation,
         #: including the int8 slope-sign symbol columns (raw and collapsed) —
         #: a single store by default, hash-partitioned when sharded.
+        if shared_memory is None:
+            shared_memory = backend == "process"
+        self._arena = SharedMemoryArena(label="repro") if shared_memory else None
         if n_shards is None:
             self.store: "ColumnarSegmentStore | ShardedSegmentStore" = ColumnarSegmentStore(
-                theta=self.theta
+                theta=self.theta, arena=self._arena
             )
         else:
-            self.store = ShardedSegmentStore(n_shards, theta=self.theta)
+            self.store = ShardedSegmentStore(n_shards, theta=self.theta, arena=self._arena)
         self.planner = QueryPlanner()
-        self.executor = (
-            ParallelExecutor(max_workers=max_workers)
-            if max_workers is not None and max_workers > 1
-            else QueryExecutor()
-        )
+        if backend is None:
+            backend = "thread" if max_workers is not None and max_workers > 1 else "serial"
+        if backend == "process":
+            self.executor: QueryExecutor = ProcessParallelExecutor(max_workers=max_workers)
+        elif backend == "thread":
+            self.executor = ParallelExecutor(max_workers=max_workers)
+        else:
+            self.executor = QueryExecutor()
         #: Plan-level result cache: graded answers memoized per store
         #: generation, invalidated implicitly by insert/delete.
         self.result_cache = PlanResultCache()
@@ -192,6 +275,7 @@ class SequenceDatabase:
     # Ingest
     # ------------------------------------------------------------------
 
+    @_mutator
     def insert(self, sequence: Sequence) -> int:
         """Archive, break, represent and index one sequence."""
         sequence_id = self._admit(sequence)
@@ -204,6 +288,7 @@ class SequenceDatabase:
         )
         return sequence_id
 
+    @_mutator
     def insert_all(self, sequences: Iterable[Sequence]) -> list[int]:
         """Batch ingest: break, represent and index the batch columnarly.
 
@@ -278,6 +363,7 @@ class SequenceDatabase:
         )
         return sequence_ids
 
+    @_mutator
     def insert_representation(
         self, representation: FunctionSeriesRepresentation, name: str = ""
     ) -> int:
@@ -379,6 +465,7 @@ class SequenceDatabase:
     # Streaming append
     # ------------------------------------------------------------------
 
+    @_mutator
     def append(
         self,
         sequence_id: int,
@@ -408,6 +495,7 @@ class SequenceDatabase:
         """
         return self.append_many([(sequence_id, values, times)])[0]
 
+    @_mutator
     def append_many(
         self,
         items: "Iterable[tuple]",
@@ -528,6 +616,7 @@ class SequenceDatabase:
         self.store.replace_many(store_items)
         return [len(sequence) for sequence in extended]
 
+    @_mutator
     def add_variant(
         self,
         sequence_id: int,
@@ -557,6 +646,7 @@ class SequenceDatabase:
         """A previously stored representation variant."""
         return self.catalog.get(sequence_id, variant)
 
+    @_mutator
     def delete(self, sequence_id: int) -> None:
         """Remove a sequence from the database and every index.
 
@@ -577,6 +667,7 @@ class SequenceDatabase:
         self.local_store.evict(sequence_id)
         self.catalog.remove_sequence(sequence_id)
 
+    @_mutator
     def delete_many(self, sequence_ids: "Iterable[int]") -> None:
         """Remove many sequences, every index batched (see :meth:`delete`).
 
@@ -855,7 +946,12 @@ class SequenceDatabase:
         estimated bytes, rebase floor, compactions), and the cluster-
         representative pruning telemetry (``topk``: representatives,
         builds/rebuilds, clusters probed and pruned, candidates
-        refined, early abandons, and the last query's pruned fraction).
+        refined, early abandons, and the last query's pruned fraction),
+        the executor's backend/pool telemetry (``executor``: backend
+        name, query/retry/fallback counters and, for pooled backends,
+        worker and dispatch counts), and the shared-memory arena's
+        block accounting (``shared_memory``: live blocks, bytes,
+        retired counts — ``None`` when columns live on the heap).
         """
         raw_bytes = self.archive.total_bytes()
         rep_bytes = self.local_store.total_bytes()
@@ -871,8 +967,43 @@ class SequenceDatabase:
             "result_cache": self.cache_stats(),
             "journal": self.store.journal_stats(),
             "topk": self.store.cluster_report(),
+            "executor": self.executor.stats(),
+            "shared_memory": self._arena.stats() if self._arena is not None else None,
             "byte_compression": raw_bytes / rep_bytes if rep_bytes else float("inf"),
             "paper_convention_compression": (
                 total_points / (3 * total_segments) if total_segments else float("inf")
             ),
         }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release pooled workers and shared-memory blocks (idempotent).
+
+        Heap-backed, serially executed databases have nothing to
+        release and every database stays usable after ``close`` for
+        reads of heap state — but a shared-memory-backed store's
+        columns are freed here, so treat ``close`` as end-of-life.
+        Garbage collection would get there eventually (the arena and
+        pools have finalizers); serving code should still close
+        deterministically, and the analyzer's RL006 rule holds the
+        engine layer to the same standard.
+        """
+        closer = getattr(self.executor, "close", None)
+        if closer is not None:
+            closer()
+        if self._arena is not None:
+            self._arena.close()
+
+    def __enter__(self) -> "SequenceDatabase":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: "type[BaseException] | None",
+        exc: "BaseException | None",
+        tb: "TracebackType | None",
+    ) -> None:
+        self.close()

@@ -541,6 +541,17 @@ class TopKQuery(Query):
         self._cache_breaker_ref: "weakref.ref | None" = None
         self._cache_key: "tuple | None" = None
 
+    def __getstate__(self) -> "dict[str, object]":
+        # Weakref memos neither pickle nor make sense in another
+        # process; a worker recomputes its features memo from the
+        # database config it was shipped (see repro.engine.procpool).
+        state = self.__dict__.copy()
+        state["_cache_ref"] = None
+        state["_cache_breaker_ref"] = None
+        state["_cache_key"] = None
+        state["_features"] = None
+        return state
+
     @property
     def k(self) -> int:
         """How many neighbours to report — fixed at construction."""
@@ -724,6 +735,20 @@ class ShapeQuery(Query):
         self._wanted_codes: "np.ndarray | None" = None
         self._duration_profile: "np.ndarray | None" = None
         self._amplitude_profile: "np.ndarray | None" = None
+
+    def __getstate__(self) -> "dict[str, object]":
+        # Weakref memos neither pickle nor make sense in another
+        # process; a worker recomputes its signature memo from the
+        # database config it was shipped (see repro.engine.procpool).
+        state = self.__dict__.copy()
+        state["_cache_ref"] = None
+        state["_cache_breaker_ref"] = None
+        state["_cache_key"] = None
+        state["_signature"] = None
+        state["_wanted_codes"] = None
+        state["_duration_profile"] = None
+        state["_amplitude_profile"] = None
+        return state
 
     @property
     def duration_tolerance(self) -> Tolerance:

@@ -16,6 +16,9 @@ RL004     scatter-purity             scatter-reachable callables never write
                                      shared state
 RL005     determinism                no ordered results from bare set
                                      iteration; stable sorts on merge paths
+RL006     shm-lifecycle              shared-memory blocks are closed by an
+                                     owning class on all exit paths; one
+                                     unlink owner per module
 ========  =========================  =============================================
 
 Run it with ``python -m repro.tools.analyzer src/`` or call

@@ -6,4 +6,5 @@ from repro.tools.analyzer.rules import (  # noqa: F401  (registration side effec
     fingerprint_completeness,
     journalled_mutation,
     scatter_purity,
+    shm_lifecycle,
 )

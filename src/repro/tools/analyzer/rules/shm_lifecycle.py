@@ -1,0 +1,207 @@
+"""RL006 — shm-lifecycle.
+
+Named shared-memory blocks are system-global resources: a block that is
+never closed leaks a file under ``/dev/shm`` until reboot, and a block
+unlinked by two parties tears the mapping out from under whichever one
+believed it still owned the name.  The engine's contract
+(:mod:`repro.engine.shm`) is therefore:
+
+* every ``SharedMemory`` construction is **contained**: it happens
+  inside a class that defines ``close()`` (an owning arena/attachment
+  cache whose lifecycle releases it), as a ``with`` context item, or as
+  the immediate value of a ``return`` statement (a helper handing
+  ownership straight back to such an owner);
+* ``unlink()`` is owned by **exactly one party per module** — the class
+  that creates blocks.  Unlink calls in any other class, or in
+  module-level functions, are flagged: a second unlinker is a
+  use-after-free factory.
+
+The rule scopes itself by *import*: only modules importing
+``multiprocessing.shared_memory`` are scanned, so ``Path.unlink()``
+and friends elsewhere never false-positive.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.tools.analyzer.findings import Finding
+from repro.tools.analyzer.project import ModuleInfo, Project
+from repro.tools.analyzer.registry import rule
+
+RULE_ID = "RL006"
+
+
+def _imports_shared_memory(module: ModuleInfo) -> bool:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            if any(alias.name == "multiprocessing.shared_memory" for alias in node.names):
+                return True
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "multiprocessing.shared_memory":
+                return True
+            if node.module == "multiprocessing" and any(
+                alias.name == "shared_memory" for alias in node.names
+            ):
+                return True
+    return False
+
+
+def _is_shared_memory_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == "SharedMemory"
+    if isinstance(func, ast.Attribute):
+        return func.attr == "SharedMemory"
+    return False
+
+
+def _is_unlink_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "unlink"
+    )
+
+
+def _class_defines_close(node: ast.ClassDef) -> bool:
+    return any(
+        isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)) and stmt.name == "close"
+        for stmt in node.body
+    )
+
+
+class _LifecycleScanner(ast.NodeVisitor):
+    """Collects constructions and unlink sites with their enclosing class."""
+
+    def __init__(self) -> None:
+        self._class_stack: "list[ast.ClassDef]" = []
+        #: (call node, enclosing class or None, construction is contained)
+        self.constructions: "list[tuple[ast.Call, ast.ClassDef | None, bool]]" = []
+        #: (call node, enclosing class or None)
+        self.unlinks: "list[tuple[ast.Call, ast.ClassDef | None]]" = []
+        self._containment_depth = 0
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def _enclosing(self) -> "ast.ClassDef | None":
+        return self._class_stack[-1] if self._class_stack else None
+
+    def visit_With(self, node: ast.With) -> None:
+        # A `with SharedMemory(...)` item releases on every exit path by
+        # construction; so does anything nested under it that the with
+        # body closes — but only the items themselves are exempted.
+        for item in node.items:
+            if _is_shared_memory_call(item.context_expr):
+                self._containment_depth += 1
+                self.visit(item.context_expr)
+                self._containment_depth -= 1
+            else:
+                self.visit(item.context_expr)
+        for stmt in node.body:
+            self.visit(stmt)
+
+    def visit_Return(self, node: ast.Return) -> None:
+        # `return SharedMemory(...)` hands ownership to the caller; the
+        # containment requirement moves to the call site's class.
+        if node.value is not None and _is_shared_memory_call(node.value):
+            self._containment_depth += 1
+            self.generic_visit(node)
+            self._containment_depth -= 1
+            return
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if _is_shared_memory_call(node):
+            enclosing = self._enclosing()
+            contained = self._containment_depth > 0 or (
+                enclosing is not None and _class_defines_close(enclosing)
+            )
+            self.constructions.append((node, enclosing, contained))
+        elif _is_unlink_call(node):
+            self.unlinks.append((node, self._enclosing()))
+        self.generic_visit(node)
+
+
+def _module_findings(module: ModuleInfo) -> "list[Finding]":
+    scanner = _LifecycleScanner()
+    scanner.visit(module.tree)
+    findings: "list[Finding]" = []
+
+    for call, __, contained in scanner.constructions:
+        if not contained:
+            findings.append(
+                Finding(
+                    path=module.path,
+                    line=call.lineno,
+                    col=call.col_offset,
+                    rule_id=RULE_ID,
+                    message=(
+                        "SharedMemory constructed outside an owning class with "
+                        "close() (and not a with-item or returned to one); the "
+                        "block leaks on exit paths"
+                    ),
+                )
+            )
+
+    creator_classes = {
+        enclosing for __, enclosing, _c in scanner.constructions if enclosing is not None
+    }
+    unlink_owners = {enclosing for __, enclosing in scanner.unlinks if enclosing is not None}
+    # The legitimate unlinker is the creating class; with no creator in
+    # the module, a single unlinking class is accepted as the owner.
+    if creator_classes:
+        allowed = unlink_owners & creator_classes
+    elif len(unlink_owners) == 1:
+        allowed = unlink_owners
+    else:
+        allowed = set()
+    for call, enclosing in scanner.unlinks:
+        if enclosing is None:
+            findings.append(
+                Finding(
+                    path=module.path,
+                    line=call.lineno,
+                    col=call.col_offset,
+                    rule_id=RULE_ID,
+                    message=(
+                        "unlink() outside any class; shared-memory names must "
+                        "be unlinked by their single owning class"
+                    ),
+                )
+            )
+        elif enclosing not in allowed:
+            findings.append(
+                Finding(
+                    path=module.path,
+                    line=call.lineno,
+                    col=call.col_offset,
+                    rule_id=RULE_ID,
+                    message=(
+                        f"unlink() in class {enclosing.name!r}, which does not "
+                        "create the blocks; exactly one party per module may "
+                        "unlink"
+                    ),
+                )
+            )
+    return findings
+
+
+@rule(
+    RULE_ID,
+    "shm-lifecycle",
+    "shared-memory blocks are released by an owning close() on all exit "
+    "paths; unlink() is owned by exactly one class per module",
+)
+def check(project: Project) -> "list[Finding]":
+    findings: "list[Finding]" = []
+    for module in project.modules:
+        if not _imports_shared_memory(module):
+            continue
+        findings.extend(_module_findings(module))
+    return findings

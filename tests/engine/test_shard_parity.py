@@ -16,7 +16,7 @@ import pytest
 
 from repro.core.sequence import Sequence
 from repro.core.tolerance import DimensionDeviation, grade_deviations
-from repro.engine import ParallelExecutor
+from repro.engine import ParallelExecutor, ProcessParallelExecutor
 from repro.query import (
     ExemplarQuery,
     IntervalQuery,
@@ -35,9 +35,12 @@ GOALPOST = "(0|-)* + (0|-)^+ + (0|-)*"
 SHARD_COUNTS = [1, 2, 7]
 
 
-def make_db(n_shards=None, max_workers=None):
+def make_db(n_shards=None, max_workers=None, backend=None):
     return SequenceDatabase(
-        breaker=InterpolationBreaker(0.5), n_shards=n_shards, max_workers=max_workers
+        breaker=InterpolationBreaker(0.5),
+        n_shards=n_shards,
+        max_workers=max_workers,
+        backend=backend,
     )
 
 
@@ -192,6 +195,214 @@ class TestResidualScatter:
         assert db.query(LengthQuery(), cache=False) == single_db.query(
             LengthQuery(), cache=False
         )
+
+
+PROCESS_MATRIX = [
+    (n_shards, max_workers) for n_shards in SHARD_COUNTS for max_workers in (1, 2, 4)
+]
+
+
+@pytest.fixture(scope="module", params=PROCESS_MATRIX, ids=lambda p: f"s{p[0]}w{p[1]}")
+def process_db(request):
+    """One shared-memory process-backend database per (shards, workers).
+
+    Module-scoped so each spawn-pool (and shm arena) is paid for once
+    across the query matrix; closed at teardown so no blocks leak into
+    later test modules.
+    """
+    n_shards, max_workers = request.param
+    db = make_db(n_shards=n_shards, max_workers=max_workers, backend="process")
+    db.insert_all(corpus())
+    yield db
+    db.close()
+
+
+class TestProcessBackendParity:
+    @pytest.mark.parametrize("query", QUERIES, ids=lambda q: type(q).__name__)
+    def test_matches_byte_identical(self, single_db, process_db, query):
+        for include_approximate in (True, False):
+            process = process_db.query(query, include_approximate, cache=False)
+            single = single_db.query(query, include_approximate, cache=False)
+            assert process == single
+
+    def test_backend_selected_and_accounted(self, process_db):
+        assert isinstance(process_db.executor, ProcessParallelExecutor)
+        report = process_db.storage_report()
+        assert report["executor"]["backend"] == "process"
+        assert report["shared_memory"]["backend"] == "shared_memory"
+        assert report["shared_memory"]["blocks"] > 0
+
+    def test_scatter_really_used_the_pool(self):
+        """With >1 worker and >1 shard every query type must dispatch to
+        worker processes — zero inline fallbacks — or the perf story is
+        silently running serial."""
+        db = make_db(n_shards=2, max_workers=2, backend="process")
+        try:
+            db.insert_all(corpus())
+            for query in QUERIES:
+                db.query(query, cache=False)
+            stats = db.executor.stats()
+            # Top-k runs parent-side by design; the six scattered plans
+            # must all have gone through the pool.
+            assert stats["inline_fallbacks"] == 0
+            assert stats["tasks_dispatched"] >= 2 * len(QUERIES)
+            assert stats["pool_workers"] == 2
+        finally:
+            db.close()
+
+    def test_parity_under_interleaved_mutation(self):
+        """Mutations retire shared blocks and bump generations; the next
+        scatter must ship fresh manifests and stay byte-identical."""
+        reference = make_db()
+        db = make_db(n_shards=2, max_workers=2, backend="process")
+        try:
+            for target in (reference, db):
+                target.insert_all(corpus())
+            script = [
+                ("delete", 0),
+                ("insert", k_peak_sequence([8.0, 16.0], noise=0.1, name="late-a")),
+                ("delete", 5),
+                ("insert", k_peak_sequence([7.0, 14.0, 21.0], noise=0.1, name="late-b")),
+            ]
+            for action, payload in script:
+                for target in (reference, db):
+                    if action == "delete":
+                        target.delete(payload)
+                    else:
+                        target.insert(payload)
+                for query in QUERIES:
+                    assert db.query(query, cache=False) == reference.query(
+                        query, cache=False
+                    )
+        finally:
+            db.close()
+            reference.close()
+
+    def test_stale_manifest_triggers_snapshot_retry(self, monkeypatch):
+        """A worker handed a manifest whose generation disagrees with the
+        pin reports a moved snapshot; the executor re-pins and retries —
+        deterministically exercised by staling one manifest once."""
+        from repro.engine.columnar import ColumnarSegmentStore
+
+        reference = make_db()
+        reference.insert_all(corpus())
+        db = make_db(n_shards=2, max_workers=2, backend="process")
+        try:
+            db.insert_all(corpus())
+            real_manifest = ColumnarSegmentStore.shm_manifest
+            staled = {"done": False}
+
+            def stale_once(self):
+                manifest = real_manifest(self)
+                if manifest is not None and not staled["done"]:
+                    staled["done"] = True
+                    manifest = dict(manifest)
+                    manifest["generation"] = manifest["generation"] - 1
+                return manifest
+
+            monkeypatch.setattr(ColumnarSegmentStore, "shm_manifest", stale_once)
+            query = PeakCountQuery(2, count_tolerance=1)
+            assert db.query(query, cache=False) == reference.query(query, cache=False)
+            assert db.executor.stats()["snapshot_retries"] >= 1
+        finally:
+            db.close()
+
+    def test_unpicklable_query_falls_back_inline(self, single_db):
+        """Test-local Query subclasses cannot cross a process boundary;
+        the scatter must degrade to the inline path, same answers."""
+
+        class LocalQuery(Query):
+            def grade(self, database, sequence_id):  # pragma: no cover
+                raise AssertionError
+
+            def plan(self, database):
+                from repro.engine.plan import QueryPlan
+
+                def prefilter(database, store, candidates):
+                    return sorted(int(s) for s in store.sequence_ids)
+
+                def residual(database, sequence_id):
+                    amount = float(sequence_id % 3)
+                    deviation = DimensionDeviation("mod3", amount, 2.0)
+                    return QueryMatch(
+                        sequence_id,
+                        database.name_of(sequence_id),
+                        grade_deviations([deviation]),
+                        (deviation,),
+                    )
+
+                return QueryPlan(query=self, prefilter=prefilter, residual=residual)
+
+        db = make_db(n_shards=2, max_workers=2, backend="process")
+        try:
+            db.insert_all(corpus())
+            before = db.executor.stats()["inline_fallbacks"]
+            result = db.query(LocalQuery(), cache=False)
+            assert db.executor.stats()["inline_fallbacks"] == before + 1
+            assert sorted(m.sequence_id for m in result) == sorted(db.ids())
+        finally:
+            db.close()
+
+    def test_heap_backed_store_falls_back_inline(self):
+        """backend='process' with shared_memory=False cannot ship columns;
+        every scatter runs inline and answers stay correct."""
+        reference = make_db()
+        reference.insert_all(corpus())
+        db = SequenceDatabase(
+            breaker=InterpolationBreaker(0.5),
+            n_shards=2,
+            max_workers=2,
+            backend="process",
+            shared_memory=False,
+        )
+        try:
+            db.insert_all(corpus())
+            for query in QUERIES:
+                assert db.query(query, cache=False) == reference.query(query, cache=False)
+            stats = db.executor.stats()
+            assert stats["tasks_dispatched"] == 0
+            assert stats["inline_fallbacks"] > 0
+            assert db.storage_report()["shared_memory"] is None
+        finally:
+            db.close()
+
+
+class TestSnapshotRetrySerial:
+    def test_stage_racing_a_writer_retries_and_matches(self):
+        """A mutation landing between pin and gather must force a retry,
+        and the returned answer must reflect a settled snapshot."""
+        db = make_db(n_shards=2)
+        db.insert_all(corpus())
+        fired = {"done": False}
+
+        class RacingQuery(Query):
+            def grade(self, database, sequence_id):
+                deviation = DimensionDeviation("noop", 0.0, 1.0)
+                return QueryMatch(
+                    sequence_id,
+                    database.name_of(sequence_id),
+                    grade_deviations([deviation]),
+                    (deviation,),
+                )
+
+            def plan(self, database):
+                from repro.engine.plan import QueryPlan
+
+                def prefilter(database, store, candidates):
+                    if not fired["done"]:
+                        fired["done"] = True
+                        database.insert(
+                            k_peak_sequence([9.0, 18.0], noise=0.0, name="racer")
+                        )
+                    return sorted(int(s) for s in store.sequence_ids)
+
+                return QueryPlan(query=self, prefilter=prefilter, residual=self.grade)
+
+        result = db.query(RacingQuery(), cache=False)
+        assert db.executor.stats()["snapshot_retries"] >= 1
+        # The retry re-ran against the post-insert snapshot, so the
+        # racer sequence is part of the answer.
+        assert any(match.name == "racer" for match in result)
 
 
 class TestShapeBitParity:

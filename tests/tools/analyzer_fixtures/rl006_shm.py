@@ -1,0 +1,60 @@
+"""Seeded RL006 violations (imports shared_memory, so the rule scans it)."""
+
+from multiprocessing import shared_memory
+
+
+def leaky_scratch(nbytes):
+    block = shared_memory.SharedMemory(create=True, size=nbytes)  # expect[RL006]
+    return block.name
+
+
+class GrabBag:
+    """Creates blocks but defines no close(): nothing releases them."""
+
+    def __init__(self):
+        self._blocks = []
+
+    def grab(self, nbytes):
+        self._blocks.append(
+            shared_memory.SharedMemory(create=True, size=nbytes)  # expect[RL006]
+        )
+
+
+class Owner:
+    """Compliant: creates, closes and unlinks its own blocks."""
+
+    def __init__(self):
+        self._blocks = {}
+
+    def allocate(self, nbytes):
+        shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        self._blocks[shm.name] = shm
+        return shm
+
+    def close(self):
+        for shm in self._blocks.values():
+            shm.unlink()
+            shm.close()
+        self._blocks.clear()
+
+
+class Rogue:
+    """Second unlinker: tears names out from under the Owner."""
+
+    def reap(self, shm):
+        shm.unlink()  # expect[RL006]
+
+
+def orphan_cleanup(shm):
+    shm.unlink()  # expect[RL006]
+
+
+def borrowed_view(name):
+    # Compliant: a with-item releases on every exit path.
+    with shared_memory.SharedMemory(name=name) as shm:
+        return bytes(shm.buf[:8])
+
+
+def attach(name):
+    # Compliant: ownership returns to the caller (an owning class).
+    return shared_memory.SharedMemory(name=name)
