@@ -36,11 +36,19 @@ the same mutation journal — and a top-k plan's single stage probes
 representatives, prunes on a provable distance lower bound and
 heap-refines survivors with early abandoning, per shard, merged and
 cut at ``k`` by the executor.
+
+Succinct symbol columns (:mod:`repro.engine.succinct`) add a scan-free
+counting path: under ``symbol_backend="succinct"`` each leaf store
+lazily builds a :class:`SuccinctSymbolIndex` — rank/select bitvectors
+composed into wavelet matrices over both symbol views, maintained
+through the same mutation journal — and count/position queries answer
+from rank/select probes, byte-identical to the uncompressed scan
+oracle.
 """
 
 from repro.engine.cache import PlanResultCache
 from repro.engine.clustering import ClusterIndex
-from repro.engine.columnar import ColumnarSegmentStore
+from repro.engine.columnar import SYMBOL_BACKENDS, ColumnarSegmentStore
 from repro.engine.executor import QueryExecutor, QueryPlanner
 from repro.engine.journal import JournalEntry, MutationJournal
 from repro.engine.nfa import ColumnPatternMatcher
@@ -50,10 +58,15 @@ from repro.engine.procpool import ProcessParallelExecutor
 from repro.engine.sharding import ShardedSegmentStore
 from repro.engine.shm import SharedMemoryArena
 from repro.engine.snapshot import SnapshotMoved, SnapshotToken
+from repro.engine.succinct import BitVector, SuccinctSymbolIndex, WaveletMatrix
 
 __all__ = [
+    "BitVector",
     "ClusterIndex",
     "ColumnarSegmentStore",
+    "SuccinctSymbolIndex",
+    "SYMBOL_BACKENDS",
+    "WaveletMatrix",
     "ColumnPatternMatcher",
     "JournalEntry",
     "MutationJournal",

@@ -58,8 +58,20 @@ from repro.engine.shm import BlockAttachments, SharedBlock, SharedMemoryArena
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.representation import FunctionSeriesRepresentation
     from repro.engine.clustering import ClusterIndex
+    from repro.engine.succinct import SuccinctSymbolIndex
 
-__all__ = ["ColumnarSegmentStore", "attach_from_manifest", "collapse_code_runs"]
+__all__ = [
+    "ColumnarSegmentStore",
+    "attach_from_manifest",
+    "collapse_code_runs",
+    "SYMBOL_BACKENDS",
+]
+
+#: Storage strategies for the symbol views' query path: "uncompressed"
+#: answers counting/position queries by scanning the int8 columns (the
+#: byte-parity oracle), "succinct" maintains a rank/select wavelet
+#: matrix (:mod:`repro.engine.succinct`) and answers them scan-free.
+SYMBOL_BACKENDS = ("uncompressed", "succinct")
 
 def collapse_code_runs(codes: np.ndarray) -> np.ndarray:
     """Merge consecutive identical symbol codes into behavioural runs."""
@@ -292,8 +304,15 @@ class ColumnarSegmentStore:
         journal_limit: int = 1024,
         arena: "SharedMemoryArena | None" = None,
         label: str = "s",
+        symbol_backend: str = "uncompressed",
     ) -> None:
+        if symbol_backend not in SYMBOL_BACKENDS:
+            raise EngineError(
+                f"unknown symbol backend {symbol_backend!r}; "
+                f"expected one of {SYMBOL_BACKENDS}"
+            )
         self.theta = float(theta)
+        self.symbol_backend = symbol_backend
         self._arena = arena
         self._segments = _ColumnSet(_SEGMENT_SCHEMA, arena=arena, label=f"{label}.seg")
         self._behavior = _ColumnSet(_BEHAVIOR_SCHEMA, arena=arena, label=f"{label}.beh")
@@ -303,6 +322,7 @@ class ColumnarSegmentStore:
         self._seqlock = 0
         self._journal = MutationJournal(max_entries=journal_limit)
         self._cluster_index = None
+        self._succinct: "SuccinctSymbolIndex | None" = None
 
     def cluster_index(self) -> "ClusterIndex":
         """This store's cluster-representative pruning index, in sync.
@@ -327,6 +347,45 @@ class ColumnarSegmentStore:
 
             return ClusterIndex(self).report()
         return self._cluster_index.report()
+
+    def succinct_index(self) -> "SuccinctSymbolIndex":
+        """This store's rank/select symbol index, in sync.
+
+        Built lazily on first use and kept current afterwards by
+        replaying the mutation journal — overlay patching for small
+        dirty sets, staleness-ratio full rebuild otherwise; see
+        :class:`repro.engine.succinct.SuccinctSymbolIndex`.  The
+        generation comparison inside ``sync`` makes every access
+        self-repairing, exactly like :meth:`cluster_index`.
+        """
+        from repro.engine.succinct import SuccinctSymbolIndex
+
+        if self._succinct is None:
+            self._succinct = SuccinctSymbolIndex(self, arena=self._arena)
+        self._succinct.sync()
+        return self._succinct
+
+    def succinct_report(self) -> dict:
+        """The succinct index's telemetry, without forcing a build."""
+        if self._succinct is None:
+            from repro.engine.succinct import SuccinctSymbolIndex
+
+            report = SuccinctSymbolIndex(self).report()
+        else:
+            report = self._succinct.report()
+        report["backend"] = self.symbol_backend
+        return report
+
+    def _succinct_mark_stale(self) -> None:
+        """Let the succinct index snapshot its built row layout.
+
+        Every mutator calls this *before* its first column write (the
+        RL007 contract): once the columns move, the layout the wavelet
+        matrices were built over is unrecoverable and the index could
+        only rebuild, never patch.
+        """
+        if self._succinct is not None:
+            self._succinct.note_mutation()
 
     @property
     def generation(self) -> int:
@@ -384,9 +443,15 @@ class ColumnarSegmentStore:
         """Worker attachment manifest; ``None`` when heap-backed."""
         if self._arena is None or self._arena.closed:
             return None
+        # A succinct index is published only when its arena block is
+        # current for this generation; workers without one fall back to
+        # the scan kernels, which answer identically.
+        succinct = self._succinct.shm_manifest() if self._succinct is not None else None
         return {
             "theta": self.theta,
             "generation": self._generation,
+            "symbol_backend": self.symbol_backend,
+            "succinct": succinct,
             "tables": {
                 "segments": self._segments.manifest(),
                 "behavior": self._behavior.manifest(),
@@ -700,6 +765,7 @@ class ColumnarSegmentStore:
 
         block["sequence"] = seg_seq
         block["symbol"] = codes
+        self._succinct_mark_stale()
         self._begin_write()
         self._segments.extend(block)
         self._behavior.extend(
@@ -733,6 +799,7 @@ class ColumnarSegmentStore:
         beh_count = int(self.behavior_counts[p])
         rr_lo = int(self.rr_starts[p])
         rr_count = int(self.rr_counts[p])
+        self._succinct_mark_stale()
         self._begin_write()
         self._segments.delete_range(seg_lo, seg_lo + seg_count)
         self._behavior.delete_range(beh_lo, beh_lo + beh_count)
@@ -760,6 +827,7 @@ class ColumnarSegmentStore:
         if wanted.size == 0:
             return
         positions = self.positions_of(wanted)
+        self._succinct_mark_stale()
         self._begin_write()
 
         def interval_drop_mask(starts: np.ndarray, counts: np.ndarray, n: int) -> np.ndarray:
@@ -853,6 +921,7 @@ class ColumnarSegmentStore:
                 )
             representation.segment_columns()  # raises here, not mid-splice
             prepared.append((int(sequence_id), representation, int(peak_count), rr_arr))
+        self._succinct_mark_stale()
         self._begin_write()
         for sequence_id, representation, peak_count, rr_arr in prepared:
             self._replace_one(sequence_id, representation, peak_count, rr_arr)
@@ -867,6 +936,7 @@ class ColumnarSegmentStore:
         peak_count: int,
         rr: np.ndarray,
     ) -> None:
+        self._succinct_mark_stale()  # idempotent under the batch's earlier call
         p = self.position_of(sequence_id)
         columns = representation.segment_columns()
         slopes = np.asarray(columns["slope"], dtype=np.float64)
@@ -989,6 +1059,9 @@ class ColumnarSegmentStore:
             )
         if cursor_rr != len(self._rr):
             raise EngineError(f"offset table covers {cursor_rr} rr rows of {len(self._rr)}")
+        if self._succinct is not None and self._succinct.built:
+            self._succinct.sync()
+            self._succinct.check_parity()
 
 
 def attach_from_manifest(
@@ -1004,7 +1077,10 @@ def attach_from_manifest(
     from ``attachments.get``, which the process executor converts into
     a snapshot retry.
     """
-    store = ColumnarSegmentStore(theta=float(manifest["theta"]))
+    store = ColumnarSegmentStore(
+        theta=float(manifest["theta"]),
+        symbol_backend=str(manifest.get("symbol_backend", "uncompressed")),
+    )
     tables: "dict[str, dict[str, Any]]" = manifest["tables"]
     specs: "tuple[tuple[_ColumnSet, str], ...]" = (
         (store._segments, "segments"),
@@ -1026,4 +1102,9 @@ def attach_from_manifest(
         column_set._arrays = arrays
         column_set._size = int(table["size"])
     store._generation = int(manifest["generation"])
+    succinct_manifest = manifest.get("succinct")
+    if succinct_manifest is not None:
+        from repro.engine.succinct import attach_succinct_index
+
+        store._succinct = attach_succinct_index(store, succinct_manifest, attachments)
     return store

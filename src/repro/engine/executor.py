@@ -527,13 +527,15 @@ class QueryExecutor:
         store = database.store
         if snapshot is not None:
             snapshot.validate(store)
-        if plan.topk is not None and subset is None:
-            # The pruned search runs whole-shard (its cluster index owns
-            # the shard's rows), so it scatters as its own stage; subset
-            # re-grades fall through to the residual path below, which
-            # is exactly what the heap patch needs.
+        whole_shard = plan.topk if plan.topk is not None else plan.collect
+        if whole_shard is not None and subset is None:
+            # The pruned search (and likewise a motif collect) runs
+            # whole-shard — its per-shard index owns the shard's rows —
+            # so it scatters as its own stage; subset re-grades fall
+            # through to the residual path below, which is exactly what
+            # the cache patch needs.
             tasks = [
-                self._topk_task(database, plan, shard, include_approximate)
+                self._topk_task(database, whole_shard, shard, include_approximate)
                 for shard in store.shards()
             ]
             results = self._scatter(tasks)
@@ -585,14 +587,14 @@ class QueryExecutor:
     @staticmethod
     def _topk_task(
         database: "SequenceDatabase",
-        plan: QueryPlan,
+        stage: "Callable[..., object]",
         shard: "ColumnarSegmentStore",
         include_approximate: bool,
     ) -> "Callable[[], object]":
-        """One shard's pruned top-k search, as a thunk."""
+        """One shard's whole-shard stage (top-k or collect), as a thunk."""
 
         def run() -> object:
-            return plan.topk(database, shard, include_approximate)
+            return stage(database, shard, include_approximate)
 
         return run
 

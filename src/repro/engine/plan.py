@@ -28,6 +28,12 @@ cluster index; the executor merges the per-shard partial heaps and
 cuts the result at ``limit``.  ``limit`` alone (no ``topk`` stage)
 truncates an ordinary plan's sorted matches — the ``db.query(...,
 limit=k)`` form for queries without a distance-pruned path.
+
+``collect`` plans are the whole-shard analogue without a heap: each
+shard produces its complete match list in one stage (e.g. a motif
+query reading positions straight off the succinct symbol index) and
+the executor merges the per-shard lists in sort order — the
+scatter-gather shape of ``topk`` with no cut.
 """
 
 from __future__ import annotations
@@ -99,6 +105,7 @@ class QueryPlan:
     prefilter: "PrefilterStage | None" = None
     vector_filter: "VectorStage | None" = None
     topk: "TopKStage | None" = None
+    collect: "TopKStage | None" = None
     limit: "int | None" = None
     label: str = ""
     fingerprint: "tuple | None" = None
@@ -107,6 +114,8 @@ class QueryPlan:
         """Human-readable stage list, in execution order."""
         if self.topk is not None:
             return ["probe-representatives", "lower-bound-prune", "heap-refine"]
+        if self.collect is not None:
+            return ["motif-collect"]
         names = []
         if self.probe is not None:
             names.append("index-probe")

@@ -56,12 +56,19 @@ class ShardedSegmentStore:
         n_shards: int,
         theta: float = 0.0,
         arena: "SharedMemoryArena | None" = None,
+        symbol_backend: str = "uncompressed",
     ) -> None:
         if n_shards < 1:
             raise EngineError(f"need at least one shard, got {n_shards}")
         self.theta = float(theta)
+        self.symbol_backend = symbol_backend
         self._shards = tuple(
-            ColumnarSegmentStore(theta=theta, arena=arena, label=f"s{index}")
+            ColumnarSegmentStore(
+                theta=theta,
+                arena=arena,
+                label=f"s{index}",
+                symbol_backend=symbol_backend,
+            )
             for index in range(int(n_shards))
         )
 
@@ -206,6 +213,31 @@ class ShardedSegmentStore:
         summed["last_pruned_fraction"] = (
             1.0 - last_refined / last_rows if last_rows else 0.0
         )
+        return summed
+
+    def succinct_report(self) -> dict:
+        """Aggregated succinct-index telemetry across every shard.
+
+        Counters sum; ``bits_per_symbol`` is recomputed from the summed
+        matrix footprints so it describes the whole store rather than
+        averaging per-shard ratios with different weights.
+        """
+        per_shard = [shard.succinct_report() for shard in self._shards]
+        summed = {
+            key: sum(report[key] for report in per_shard)
+            for key in (
+                "symbols", "rank_blocks", "nbytes", "builds", "rebuilds",
+                "patches", "overlay_entries", "stale_mutations", "queries",
+            )
+        }
+        summed["built"] = any(report["built"] for report in per_shard)
+        weighted_bits = sum(
+            report["bits_per_symbol"] * report["symbols"] for report in per_shard
+        )
+        summed["bits_per_symbol"] = (
+            weighted_bits / summed["symbols"] if summed["symbols"] else 0.0
+        )
+        summed["backend"] = self.symbol_backend
         return summed
 
     @property

@@ -39,6 +39,7 @@ from repro.core.representation import (
 )
 from repro.core.sequence import Sequence
 from repro.engine import (
+    SYMBOL_BACKENDS,
     ColumnarSegmentStore,
     ParallelExecutor,
     PlanResultCache,
@@ -157,6 +158,14 @@ class SequenceDatabase:
         silently degrades to inline scatter.  Call :meth:`close` (or
         use the database as a context manager) to release the blocks
         deterministically.
+    symbol_backend:
+        Storage strategy for the symbol columns' counting/position
+        queries: ``"uncompressed"`` (default) scans the ``int8``
+        columns, ``"succinct"`` maintains per-shard rank/select wavelet
+        matrices (:mod:`repro.engine.succinct`) and answers
+        :class:`~repro.query.queries.CountQuery` /
+        :class:`~repro.query.queries.MotifQuery` scan-free.  Answers
+        are byte-identical for both settings.
     """
 
     def __init__(
@@ -172,6 +181,7 @@ class SequenceDatabase:
         max_workers: "int | None" = None,
         backend: "str | None" = None,
         shared_memory: "bool | None" = None,
+        symbol_backend: str = "uncompressed",
     ) -> None:
         self._breaker = breaker if breaker is not None else InterpolationBreaker(0.5)
         self._config_epoch = 0
@@ -182,6 +192,11 @@ class SequenceDatabase:
         if backend not in (None, "serial", "thread", "process"):
             raise QueryError(
                 f"unknown backend {backend!r}; expected 'serial', 'thread' or 'process'"
+            )
+        if symbol_backend not in SYMBOL_BACKENDS:
+            raise QueryError(
+                f"unknown symbol backend {symbol_backend!r}; "
+                f"expected one of {SYMBOL_BACKENDS}"
             )
         #: Serializes mutations against each other; queries never take
         #: it except in the executor's snapshot-retry fallback.
@@ -209,10 +224,15 @@ class SequenceDatabase:
         self._arena = SharedMemoryArena(label="repro") if shared_memory else None
         if n_shards is None:
             self.store: "ColumnarSegmentStore | ShardedSegmentStore" = ColumnarSegmentStore(
-                theta=self.theta, arena=self._arena
+                theta=self.theta, arena=self._arena, symbol_backend=symbol_backend
             )
         else:
-            self.store = ShardedSegmentStore(n_shards, theta=self.theta, arena=self._arena)
+            self.store = ShardedSegmentStore(
+                n_shards,
+                theta=self.theta,
+                arena=self._arena,
+                symbol_backend=symbol_backend,
+            )
         self.planner = QueryPlanner()
         if backend is None:
             backend = "thread" if max_workers is not None and max_workers > 1 else "serial"
@@ -904,6 +924,35 @@ class SequenceDatabase:
             matched.extend(int(s) for s in np.unique(shard.rr_sequences[hits]))
         return sorted(matched)
 
+    def count_matching(self, motif: str, collapse_runs: bool = True) -> int:
+        """How many stored sequences contain ``motif`` as a substring.
+
+        The ``COUNT MATCHING '<motif>'`` language form: a
+        :class:`~repro.query.queries.CountQuery` over the behavioural
+        symbol view (positional with ``collapse_runs=False``), answered
+        scan-free under ``symbol_backend="succinct"``.
+        """
+        from repro.query.queries import CountQuery
+
+        return len(self.query(CountQuery(motif, collapse_runs=collapse_runs)))
+
+    def motif_positions(
+        self, motif: str, collapse_runs: bool = True
+    ) -> "dict[int, tuple[int, ...]]":
+        """Occurrence start offsets of ``motif``, per matching sequence.
+
+        The ``POSITIONS OF '<motif>'`` language form: a
+        :class:`~repro.query.queries.MotifQuery`, returned as
+        ``{sequence_id: ascending offsets}`` over the chosen symbol
+        view.  Sequences without an occurrence are absent.
+        """
+        from repro.query.queries import MotifQuery
+
+        return {
+            match.sequence_id: match.positions
+            for match in self.query(MotifQuery(motif, collapse_runs=collapse_runs))
+        }
+
     # ------------------------------------------------------------------
     # Accounting
     # ------------------------------------------------------------------
@@ -949,9 +998,12 @@ class SequenceDatabase:
         refined, early abandons, and the last query's pruned fraction),
         the executor's backend/pool telemetry (``executor``: backend
         name, query/retry/fallback counters and, for pooled backends,
-        worker and dispatch counts), and the shared-memory arena's
-        block accounting (``shared_memory``: live blocks, bytes,
-        retired counts — ``None`` when columns live on the heap).
+        worker and dispatch counts), the succinct symbol-index
+        telemetry (``succinct``: backend, bits per symbol, rank
+        blocks, builds/rebuilds/patches, overlay size), and the
+        shared-memory arena's block accounting (``shared_memory``:
+        live blocks, bytes, retired counts — ``None`` when columns
+        live on the heap).
         """
         raw_bytes = self.archive.total_bytes()
         rep_bytes = self.local_store.total_bytes()
@@ -967,6 +1019,7 @@ class SequenceDatabase:
             "result_cache": self.cache_stats(),
             "journal": self.store.journal_stats(),
             "topk": self.store.cluster_report(),
+            "succinct": self.store.succinct_report(),
             "executor": self.executor.stats(),
             "shared_memory": self._arena.stats() if self._arena is not None else None,
             "byte_compression": raw_bytes / rep_bytes if rep_bytes else float("inf"),

@@ -17,6 +17,10 @@ minimal, keyword-based one covering every query type in
     SHAPE OF 3 DURATION 0.15 AMPLITUDE 0.2
     NEAREST 10 TO 3
     NEAREST 10 TO 3 WITHIN 2.5
+    COUNT MATCHING '+-+'
+    COUNT MATCHING '+-+' POSITIONAL
+    POSITIONS OF '+-+'
+    POSITIONS OF '+-+' POSITIONAL
 
 Keywords are case-insensitive; pattern text sits inside single or
 double quotes.  ``SHAPE OF <id>`` and ``NEAREST <k> TO <id>`` use the
@@ -25,6 +29,12 @@ so they need the database at parse time; the other forms are
 database-independent.  ``NEAREST`` builds a
 :class:`~repro.query.queries.TopKQuery` — the ``k`` most similar
 sequences by profile distance, optionally capped at ``WITHIN <d>``.
+``COUNT MATCHING`` / ``POSITIONS OF`` take a literal slope-symbol
+motif (``+``, ``-``, ``0`` only — substring containment, not a regex)
+and build a :class:`~repro.query.queries.CountQuery` /
+:class:`~repro.query.queries.MotifQuery` over the behavioural view;
+the trailing ``POSITIONAL`` keyword switches to the positional
+(per-segment) symbol view.
 """
 
 from __future__ import annotations
@@ -34,7 +44,9 @@ from typing import TYPE_CHECKING
 
 from repro.core.errors import QueryError
 from repro.query.queries import (
+    CountQuery,
     IntervalQuery,
+    MotifQuery,
     PatternQuery,
     PeakCountQuery,
     Query,
@@ -69,6 +81,16 @@ _SHAPE_RE = re.compile(
 _NEAREST_RE = re.compile(
     rf"^NEAREST\s+(?P<k>\d+)\s+TO\s+(?P<sid>\d+)"
     rf"(?:\s+WITHIN\s+(?P<dist>{_NUMBER}))?\s*$",
+    re.IGNORECASE,
+)
+_COUNT_RE = re.compile(
+    r"^COUNT\s+MATCHING\s+(?P<quote>['\"])(?P<motif>.*)(?P=quote)"
+    r"(?P<positional>\s+POSITIONAL)?\s*$",
+    re.IGNORECASE,
+)
+_POSITIONS_RE = re.compile(
+    r"^POSITIONS\s+OF\s+(?P<quote>['\"])(?P<motif>.*)(?P=quote)"
+    r"(?P<positional>\s+POSITIONAL)?\s*$",
     re.IGNORECASE,
 )
 
@@ -127,8 +149,23 @@ def parse_query(text: str, database: "SequenceDatabase | None" = None) -> Query:
         )
         return TopKQuery(exemplar, int(match.group("k")), max_distance=max_distance)
 
+    match = _COUNT_RE.match(statement)
+    if match:
+        return CountQuery(
+            match.group("motif"), collapse_runs=match.group("positional") is None
+        )
+
+    match = _POSITIONS_RE.match(statement)
+    if match:
+        return MotifQuery(
+            match.group("motif"), collapse_runs=match.group("positional") is None
+        )
+
     keyword = statement.split()[0].upper()
-    known = ("PATTERN", "PEAKS", "INTERVAL", "STEEPNESS", "SHAPE", "NEAREST")
+    known = (
+        "PATTERN", "PEAKS", "INTERVAL", "STEEPNESS", "SHAPE", "NEAREST",
+        "COUNT", "POSITIONS",
+    )
     if keyword in known:
         raise QueryError(f"malformed {keyword} query: {statement!r}")
     raise QueryError(

@@ -38,6 +38,20 @@ The concrete types:
     ``profile_distance`` dimension and evaluated through the
     cluster-representative pruned search (probe representatives,
     lower-bound prune, heap-refine with early abandoning).
+:class:`CountQuery`
+    "How many sequences contain this motif" — substring containment of
+    a literal slope-symbol motif, exact by construction.  Under the
+    ``succinct`` symbol backend the stage is answered from rank/select
+    probes on the wavelet-matrix symbol index
+    (:mod:`repro.engine.succinct`) with no column scan; the
+    ``uncompressed`` backend scans with the shared motif kernel, which
+    is also the byte-parity oracle.
+:class:`MotifQuery`
+    "Where does this motif occur" — the position-reporting sibling of
+    :class:`CountQuery`: every match carries the ascending start
+    offsets of the motif's occurrences inside the sequence's symbol
+    view (``QueryMatch.positions``), evaluated as a whole-shard
+    ``collect`` stage and merged scatter-gather like top-k.
 
 Evaluation is organized as *plan stages* (see
 :mod:`repro.engine.plan`): each query builds a
@@ -73,6 +87,7 @@ from repro.core.tolerance import (
 )
 from repro.engine.nfa import ColumnPatternMatcher
 from repro.engine.plan import DimensionColumn, QueryPlan, VectorVerdicts
+from repro.engine.succinct import column_motif_hits, motif_occurrences
 from repro.patterns.regex import SymbolPattern
 from repro.query.results import QueryMatch
 
@@ -89,6 +104,8 @@ __all__ = [
     "ShapeQuery",
     "ExemplarQuery",
     "TopKQuery",
+    "CountQuery",
+    "MotifQuery",
 ]
 
 def _exemplar_digest(exemplar: object) -> str:
@@ -263,6 +280,209 @@ class PatternQuery(Query):
         symbols = index.symbols_of(sequence_id)
         grade = MatchGrade.EXACT if self.pattern.fullmatch(symbols) else MatchGrade.REJECT
         return QueryMatch(sequence_id, database.name_of(sequence_id), grade)
+
+
+class _SymbolMotifQuery(Query):
+    """Shared machinery of the motif (counting / position) query family.
+
+    A *motif* is a literal string over the slope alphabet (``+``, ``-``,
+    ``0``) matched as a substring of one symbol view — the behavioural
+    (run-collapsed) view by default, the positional view with
+    ``collapse_runs=False``.  Membership is exact by construction, so
+    the family emits no metric dimensions.
+
+    Both backends answer through the same reductions: the
+    ``uncompressed`` path scans the symbol columns with the shared
+    motif kernels (:func:`repro.engine.succinct.column_motif_hits`),
+    the ``succinct`` path reads the per-shard rank/select index —
+    whose answers are byte-identical to those kernels by construction.
+    """
+
+    def __init__(self, motif: str, collapse_runs: bool = True) -> None:
+        motif = str(motif)
+        if not motif:
+            raise QueryError("motif must not be empty")
+        unknown = sorted(set(motif) - set(SYMBOL_CODES))
+        if unknown:
+            raise QueryError(
+                f"motif may only use the slope symbols "
+                f"{sorted(SYMBOL_CODES)}, got {unknown}"
+            )
+        self._motif = motif
+        self._collapse_runs = bool(collapse_runs)
+        self._codes = np.array([SYMBOL_CODES[ch] for ch in motif], dtype=np.int8)
+
+    @property
+    def motif(self) -> str:
+        """The literal slope-symbol motif — fixed at construction."""
+        return self._motif
+
+    @property
+    def collapse_runs(self) -> bool:
+        """Which symbol view is searched — fixed at construction."""
+        return self._collapse_runs
+
+    def fingerprint(self) -> tuple:
+        return (type(self).__qualname__, self.motif, self.collapse_runs)
+
+    # The succinct indexes are built (or journal-synced) by plan() on
+    # the caller's thread before any stage scatters; shard workers only
+    # ever re-enter the accessor at the same generation, where sync is
+    # a pure no-op read.
+    def _warm_succinct(self, database: "SequenceDatabase") -> None:
+        store = getattr(database, "store", None)
+        if store is None or getattr(store, "symbol_backend", None) != "succinct":
+            return
+        for shard in store.shards():
+            shard.succinct_index()
+
+    @staticmethod
+    def _use_succinct(store: "ColumnarSegmentStore") -> bool:
+        return getattr(store, "symbol_backend", None) == "succinct"
+
+    def _view_arrays(
+        self, store: "ColumnarSegmentStore"
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        if self._collapse_runs:
+            return store.behavior_symbols, store.behavior_starts, store.behavior_counts
+        return store.segment_symbols, store.segment_starts, store.segment_counts
+
+    def _occurrences_scan(
+        self, store: "ColumnarSegmentStore"
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """One shard's ``(owner_rows, offsets)`` via the scan oracle."""
+        symbols, starts, counts = self._view_arrays(store)
+        return column_motif_hits(symbols, starts, counts, self._codes)
+
+    def _sequence_occurrences(
+        self, database: "SequenceDatabase", sequence_id: int
+    ) -> np.ndarray:
+        """One sequence's occurrence offsets — the residual-grade path."""
+        store = database.store.shard_of(sequence_id)
+        symbols, __, ___ = self._view_arrays(store)
+        if self._collapse_runs:
+            lo, hi = store.behavior_range(sequence_id)
+        else:
+            lo, hi = store.segment_range(sequence_id)
+        return motif_occurrences(symbols[lo:hi], self._codes)
+
+
+class CountQuery(_SymbolMotifQuery):
+    """Sequences containing a literal slope-symbol motif.
+
+    ``len(db.query(CountQuery("+-+")))`` is "how many sequences contain
+    up-down-up"; the language form is ``COUNT MATCHING '+-+'``.  The
+    stage is a vector filter, so it scatters per shard and crosses
+    process boundaries under ``backend="process"`` — succinct-backed
+    workers answer from the shared-memory bitvectors zero-copy.
+    """
+
+    def grade(self, database: "SequenceDatabase", sequence_id: int) -> QueryMatch:
+        return self._grade_scalar(database, sequence_id)
+
+    def plan(self, database: "SequenceDatabase") -> QueryPlan:
+        self._warm_succinct(database)
+        return QueryPlan(
+            query=self,
+            vector_filter=self._vector_filter,
+            residual=self._grade_scalar,
+            label="count-matching",
+            fingerprint=self.fingerprint(),
+        )
+
+    def _vector_filter(
+        self,
+        database: "SequenceDatabase",
+        store: "ColumnarSegmentStore",
+        candidate_ids: "list[int] | None",
+    ) -> VectorVerdicts:
+        if self._use_succinct(store):
+            ids = store.succinct_index().sequences_containing(
+                self._codes, self._collapse_runs
+            )
+        else:
+            owners, __ = self._occurrences_scan(store)
+            ids = (
+                store.sequence_ids[np.unique(owners)]
+                if owners.size
+                else np.empty(0, dtype=np.int64)
+            )
+        if candidate_ids is not None:
+            ids = np.intersect1d(ids, np.asarray(candidate_ids, dtype=np.int64))
+        return VectorVerdicts(ids.astype(np.int64, copy=False), ())
+
+    def _grade_scalar(self, database: "SequenceDatabase", sequence_id: int) -> QueryMatch:
+        hits = self._sequence_occurrences(database, sequence_id)
+        grade = MatchGrade.EXACT if hits.size else MatchGrade.REJECT
+        return QueryMatch(sequence_id, database.name_of(sequence_id), grade)
+
+
+class MotifQuery(_SymbolMotifQuery):
+    """Positions where a literal slope-symbol motif occurs.
+
+    Every match's ``positions`` tuple holds the ascending start offsets
+    of the motif inside the sequence's symbol view; the language form
+    is ``POSITIONS OF '+-+'``.  Evaluated as a whole-shard ``collect``
+    stage — each shard reads its complete answer off the succinct index
+    (or the scan kernel) and the executor merges in sort order, the
+    scatter-gather shape of top-k with no cut.
+    """
+
+    def grade(self, database: "SequenceDatabase", sequence_id: int) -> QueryMatch:
+        return self._grade_scalar(database, sequence_id)
+
+    def plan(self, database: "SequenceDatabase") -> QueryPlan:
+        self._warm_succinct(database)
+        return QueryPlan(
+            query=self,
+            collect=self._collect_stage,
+            residual=self._grade_scalar,
+            label="motif-positions",
+            fingerprint=self.fingerprint(),
+        )
+
+    def _collect_stage(
+        self,
+        database: "SequenceDatabase",
+        store: "ColumnarSegmentStore",
+        include_approximate: bool,
+    ) -> "list[QueryMatch]":
+        if self._use_succinct(store):
+            found = store.succinct_index().occurrences(self._codes, self._collapse_runs)
+        else:
+            owners, offsets = self._occurrences_scan(store)
+            found = []
+            if owners.size:
+                # Global hits ascend, so owner rows arrive grouped and
+                # each group's offsets already ascend.
+                boundaries = np.flatnonzero(np.diff(owners)) + 1
+                ids = store.sequence_ids
+                for rows, offs in zip(
+                    np.split(owners, boundaries), np.split(offsets, boundaries)
+                ):
+                    found.append((int(ids[rows[0]]), offs))
+        return [
+            QueryMatch(
+                int(sequence_id),
+                database.name_of(int(sequence_id)),
+                MatchGrade.EXACT,
+                (),
+                tuple(int(offset) for offset in offs),
+            )
+            for sequence_id, offs in found
+        ]
+
+    def _grade_scalar(self, database: "SequenceDatabase", sequence_id: int) -> QueryMatch:
+        hits = self._sequence_occurrences(database, sequence_id)
+        if hits.size:
+            return QueryMatch(
+                sequence_id,
+                database.name_of(sequence_id),
+                MatchGrade.EXACT,
+                (),
+                tuple(int(offset) for offset in hits),
+            )
+        return QueryMatch(sequence_id, database.name_of(sequence_id), MatchGrade.REJECT)
 
 
 class PeakCountQuery(Query):

@@ -18,12 +18,19 @@ __all__ = ["QueryMatch"]
 
 @dataclass(frozen=True)
 class QueryMatch:
-    """One matching sequence with its grade and deviations."""
+    """One matching sequence with its grade and deviations.
+
+    ``positions`` is populated by position-reporting queries (e.g.
+    :class:`~repro.query.queries.MotifQuery`): the ascending start
+    offsets of every occurrence inside the matched sequence's symbol
+    view.  Empty for every other query family.
+    """
 
     sequence_id: int
     name: str
     grade: MatchGrade
     deviations: tuple[DimensionDeviation, ...] = ()
+    positions: tuple[int, ...] = ()
 
     @property
     def is_exact(self) -> bool:

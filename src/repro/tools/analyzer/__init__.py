@@ -19,6 +19,9 @@ RL005     determinism                no ordered results from bare set
 RL006     shm-lifecycle              shared-memory blocks are closed by an
                                      owning class on all exit paths; one
                                      unlink owner per module
+RL007     succinct-sync              column mutations in a succinct-backed
+                                     store notify the succinct symbol index
+                                     in the same method
 ========  =========================  =============================================
 
 Run it with ``python -m repro.tools.analyzer src/`` or call

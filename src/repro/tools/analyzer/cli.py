@@ -67,7 +67,7 @@ def _render_json(findings: "list[Finding]", stream: TextIO) -> None:
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.tools.analyzer",
-        description="Engine-contract static analyzer (rules RL001-RL005).",
+        description="Engine-contract static analyzer (rules RL001-RL007).",
     )
     parser.add_argument(
         "paths", nargs="*", help="files or directories to analyze"

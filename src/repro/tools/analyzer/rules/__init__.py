@@ -7,4 +7,5 @@ from repro.tools.analyzer.rules import (  # noqa: F401  (registration side effec
     journalled_mutation,
     scatter_purity,
     shm_lifecycle,
+    succinct_sync,
 )

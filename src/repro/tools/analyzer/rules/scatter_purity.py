@@ -12,8 +12,9 @@ Scatter-reachable callables are found statically:
 
 * methods bound into the *scattered* ``QueryPlan`` stage slots —
   ``prefilter=self._m`` / ``vector_filter=self._m`` / ``topk=self._m``
-  (``probe`` runs once on the caller's thread and ``residual``
-  materializes at gather time, so neither is scattered);
+  / ``collect=self._m`` (``probe`` runs once on the caller's thread
+  and ``residual`` materializes at gather time, so neither is
+  scattered);
 * nested functions defined inside methods of executor classes (any
   class defining ``_scatter`` or overriding it) — the per-shard task
   thunks themselves;
@@ -40,7 +41,7 @@ from repro.tools.analyzer.registry import rule
 RULE_ID = "RL004"
 
 #: QueryPlan stage slots whose callables run on scatter worker threads.
-SCATTERED_STAGE_KEYWORDS = ("prefilter", "vector_filter", "topk")
+SCATTERED_STAGE_KEYWORDS = ("prefilter", "vector_filter", "topk", "collect")
 
 
 def plan_stage_seeds(model: ClassModel, keywords: "tuple[str, ...]") -> "set[str]":

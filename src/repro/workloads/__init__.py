@@ -2,6 +2,11 @@
 (medical ECGs and fever logs, seismic traces, stock series, server
 operational metrics)."""
 
+from repro.workloads.clickstream import (
+    burst_trace,
+    clickstream_corpus,
+    session_trace,
+)
 from repro.workloads.ecg import ecg_corpus, figure9_pair, synthetic_ecg
 from repro.workloads.server_metrics import (
     cpu_trace,
@@ -36,4 +41,7 @@ __all__ = [
     "latency_trace",
     "cpu_trace",
     "server_metrics_corpus",
+    "session_trace",
+    "burst_trace",
+    "clickstream_corpus",
 ]

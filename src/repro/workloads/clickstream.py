@@ -1,0 +1,175 @@
+"""Synthetic clickstream workloads (session activity traces).
+
+Web-analytics activity counts are a natural motif corpus: a session
+trace rises while the user is engaged, falls as they idle, and plateaus
+between page loads — so its slope-sign string is rich in short
+up/down/flat motifs, which is exactly what the succinct counting
+queries (``COUNT MATCHING`` / ``POSITIONS OF``) probe for.  Two trace
+shapes:
+
+``session_trace``
+    Per-interval activity of one browsing session: engagement ramps
+    up to a seeded peak, decays through idle gaps, and re-engages a
+    seeded number of times before tailing off.
+``burst_trace``
+    Campaign-style traffic: a low ambient level interrupted by sharp
+    arrival *bursts* (push notification, mail blast) that collapse
+    back to ambient within a few intervals.
+
+``clickstream_corpus`` mixes the two into seeded families with
+distinct re-engagement/burst regimes, giving a corpus whose symbol
+columns contain every short slope motif at predictable densities —
+the counting-query parity suite and the symbol-compression benchmark
+both draw from it.  Every generator is deterministic given its seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import SequenceError
+from repro.core.sequence import Sequence
+
+__all__ = ["session_trace", "burst_trace", "clickstream_corpus"]
+
+
+def session_trace(
+    n_points: int = 96,
+    peak: float = 30.0,
+    n_reengagements: int = 2,
+    idle_depth: float = 0.35,
+    noise: float = 0.5,
+    seed: int = 0,
+    name: str = "session",
+) -> Sequence:
+    """One browsing-session activity trace: ramps, idles, re-engagements.
+
+    Activity climbs to a seeded fraction of ``peak``, sinks toward
+    ``idle_depth`` of the way back down during idle gaps, and repeats
+    for ``n_reengagements`` further engagement cycles before the final
+    tail-off — so the slope string alternates ``+`` runs, ``-`` runs
+    and ``0`` plateaus in session-sized blocks.
+    """
+    if n_points < 16:
+        raise SequenceError("session traces need at least 16 points")
+    if peak <= 0:
+        raise SequenceError("peak activity must be positive")
+    if n_reengagements < 0:
+        raise SequenceError("n_reengagements must be non-negative")
+    if not 0.0 <= idle_depth <= 1.0:
+        raise SequenceError("idle_depth must lie in [0, 1]")
+    rng = np.random.default_rng(seed)
+    cycles = n_reengagements + 1
+    segment = n_points // (2 * cycles + 1)
+    if segment < 2:
+        raise SequenceError(
+            "too many re-engagements for the trace length; "
+            "each cycle needs at least four points"
+        )
+    values = np.empty(n_points)
+    cursor = 0
+    level = 0.0
+    for cycle in range(cycles):
+        top = peak * rng.uniform(0.7, 1.0) * (1.0 - 0.15 * cycle)
+        rise = segment + int(rng.integers(-2, 3))
+        rise = max(2, min(rise, n_points - cursor - 2))
+        values[cursor : cursor + rise] = np.linspace(level, top, rise)
+        cursor += rise
+        floor = top * idle_depth * rng.uniform(0.8, 1.2)
+        fall = segment + int(rng.integers(-2, 3))
+        fall = max(2, min(fall, n_points - cursor))
+        values[cursor : cursor + fall] = np.linspace(top, floor, fall)
+        cursor += fall
+        level = floor
+        if cursor >= n_points:
+            break
+    values[cursor:] = np.linspace(level, level * 0.25, n_points - cursor)
+    if noise > 0:
+        values += rng.uniform(-noise, noise, size=n_points)
+    return Sequence.from_values(values, name=name)
+
+
+def burst_trace(
+    n_points: int = 96,
+    ambient: float = 4.0,
+    n_bursts: int = 3,
+    burst_height: float = 40.0,
+    noise: float = 0.4,
+    seed: int = 0,
+    name: str = "burst",
+) -> Sequence:
+    """One campaign-traffic trace: ambient level plus arrival bursts.
+
+    Each burst jumps ``burst_height`` (±30%, seeded) above ambient and
+    collapses geometrically over the next few intervals — the push-
+    notification arrival signature, a dense source of ``+-`` and
+    ``+--`` motifs.  Burst onsets are spread with seeded jitter.
+    """
+    if n_points < 16:
+        raise SequenceError("burst traces need at least 16 points")
+    if ambient < 0 or burst_height <= 0:
+        raise SequenceError("ambient must be non-negative and burst_height positive")
+    if n_bursts < 0:
+        raise SequenceError("n_bursts must be non-negative")
+    rng = np.random.default_rng(seed)
+    values = np.full(n_points, ambient)
+    if n_bursts:
+        spacing = n_points / (n_bursts + 1)
+        for burst in range(n_bursts):
+            onset = int((burst + 1) * spacing + rng.integers(-3, 4))
+            onset = min(max(onset, 1), n_points - 2)
+            height = burst_height * rng.uniform(0.7, 1.3)
+            collapse = rng.uniform(0.35, 0.55)
+            length = min(6, n_points - onset)
+            values[onset : onset + length] += height * collapse ** np.arange(length)
+    if noise > 0:
+        values += rng.uniform(-noise, noise, size=n_points)
+    return Sequence.from_values(values, name=name)
+
+
+def clickstream_corpus(
+    n_sequences: int = 100,
+    n_points: int = 96,
+    n_families: int = 6,
+    seed: int = 23,
+) -> "list[Sequence]":
+    """A corpus of session/burst traces in seeded families.
+
+    Families alternate between session-shaped and burst-shaped traces
+    with per-family engagement and burst regimes, so every short slope
+    motif (``+-+``, ``++--``, ``-0``, …) occurs at a predictable
+    density — the counting-query parity suite's corpus.  Deterministic
+    per seed; sequences are named ``click-<family>-<i>``.
+    """
+    if n_sequences < 1:
+        raise SequenceError("corpus needs at least one sequence")
+    if n_families < 1:
+        raise SequenceError("corpus needs at least one family")
+    rng = np.random.default_rng(seed)
+    corpus: "list[Sequence]" = []
+    for i in range(n_sequences):
+        family = i % n_families
+        trace_seed = int(rng.integers(1 << 30))
+        name = f"click-{family}-{i}"
+        if family % 2 == 0:
+            corpus.append(
+                session_trace(
+                    n_points=n_points,
+                    peak=20.0 + 8.0 * family,
+                    n_reengagements=1 + family // 2 % 3,
+                    seed=trace_seed,
+                    name=name,
+                )
+            )
+        else:
+            corpus.append(
+                burst_trace(
+                    n_points=n_points,
+                    ambient=3.0 + 2.0 * family,
+                    n_bursts=2 + family % 4,
+                    burst_height=25.0 + 10.0 * family,
+                    seed=trace_seed,
+                    name=name,
+                )
+            )
+    return corpus

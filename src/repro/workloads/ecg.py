@@ -127,10 +127,10 @@ def ecg_corpus(
     if not 10 <= lo < hi:
         raise SequenceError("rr_range must satisfy 10 <= lo < hi")
     rng = np.random.default_rng(seed)
-    corpus = []
+    corpus: "list[Sequence]" = []
     for i in range(n_sequences):
         base = int(rng.integers(lo, hi + 1))
-        intervals = []
+        intervals: "list[int]" = []
         position = 40
         while position < n_points:
             jitter = int(rng.integers(-5, 6))

@@ -58,14 +58,14 @@ def seismic_sequence(
 def seismic_corpus(n_sequences: int = 20, n_points: int = 2000, seed: int = 13) -> "list[tuple[Sequence, list[int]]]":
     """Seismograms with randomized event counts and positions."""
     rng = np.random.default_rng(seed)
-    corpus = []
+    corpus: "list[tuple[Sequence, list[int]]]" = []
     for i in range(n_sequences):
         n_events = int(rng.integers(1, 4))
         positions = sorted(
             int(p) for p in rng.integers(n_points // 10, n_points - n_points // 5, size=n_events)
         )
         # Enforce separation so bursts do not merge.
-        separated = []
+        separated: "list[int]" = []
         for p in positions:
             if not separated or p - separated[-1] > n_points // 8:
                 separated.append(p)

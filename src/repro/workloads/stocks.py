@@ -41,7 +41,7 @@ def stock_sequence(
             drift = float(rng.choice([-0.5, -0.2, 0.0, 0.2, 0.5]))
             regimes.append((length, drift))
             remaining -= length
-    steps = []
+    steps: "list[np.ndarray]" = []
     for length, drift in regimes:
         if length <= 0:
             raise SequenceError("regime lengths must be positive")

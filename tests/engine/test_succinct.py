@@ -1,0 +1,247 @@
+"""Succinct structures vs brute force: rank/select, wavelet, index sync.
+
+Property tests compare :class:`BitVector` and :class:`WaveletMatrix`
+against NumPy brute-force oracles over seeded random inputs spanning
+block/superblock boundaries, and exercise the
+:class:`SuccinctSymbolIndex` maintenance protocol (eager snapshot,
+overlay patch, staleness-driven rebuild) against the store's own
+uncompressed columns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import EngineError
+from repro.engine.columnar import ColumnarSegmentStore
+from repro.engine.succinct import (
+    BitVector,
+    SuccinctSymbolIndex,
+    WaveletMatrix,
+    column_motif_hits,
+    motif_occurrences,
+)
+
+#: Lengths straddling word (64), block (128), superblock (65536) and
+#: select-sample (8192) boundaries, plus tiny and empty edge cases.
+LENGTHS = [0, 1, 63, 64, 65, 127, 128, 129, 1000, 8191, 8192, 8193, 65535, 65536, 70000]
+DENSITIES = [0.0, 0.03, 0.5, 0.97, 1.0]
+
+
+def random_bits(n: int, density: float, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return (rng.random(n) < density).astype(np.uint8)
+
+
+class TestBitVector:
+    @pytest.mark.parametrize("n", LENGTHS)
+    @pytest.mark.parametrize("density", DENSITIES)
+    def test_rank_matches_cumsum(self, n, density):
+        bits = random_bits(n, density, seed=n * 31 + int(density * 100))
+        vector = BitVector(bits)
+        brute = np.concatenate(([0], np.cumsum(bits)))
+        positions = np.arange(n + 1)
+        assert np.array_equal(vector.rank1(positions), brute)
+        assert np.array_equal(vector.rank0(positions), positions - brute)
+
+    @pytest.mark.parametrize("n", [l for l in LENGTHS if l > 0])
+    @pytest.mark.parametrize("density", [0.03, 0.5, 0.97])
+    def test_select_matches_flatnonzero(self, n, density):
+        bits = random_bits(n, density, seed=n * 17 + int(density * 100))
+        vector = BitVector(bits)
+        ones = np.flatnonzero(bits)
+        zeros = np.flatnonzero(1 - bits)
+        if len(ones):
+            assert np.array_equal(vector.select1(np.arange(len(ones))), ones)
+        if len(zeros):
+            assert np.array_equal(vector.select0(np.arange(len(zeros))), zeros)
+
+    def test_get_and_counts(self):
+        bits = random_bits(5000, 0.4, seed=5)
+        vector = BitVector(bits)
+        assert vector.n == 5000
+        assert vector.n_ones == int(bits.sum())
+        assert vector.n_zeros == 5000 - vector.n_ones
+        probe = np.arange(0, 5000, 7)
+        assert np.array_equal(vector.get(probe), bits[probe])
+
+    def test_select_out_of_range(self):
+        vector = BitVector(random_bits(100, 0.5, seed=1))
+        with pytest.raises(EngineError):
+            vector.select1(np.array([vector.n_ones]))
+        with pytest.raises(EngineError):
+            vector.select0(np.array([-1]))
+
+    def test_rank_select_inverse(self):
+        bits = random_bits(20000, 0.3, seed=9)
+        vector = BitVector(bits)
+        ranks = np.arange(vector.n_ones)
+        positions = vector.select1(ranks)
+        assert np.array_equal(vector.rank1(positions), ranks)
+        assert np.array_equal(vector.get(positions), np.ones(len(ranks), np.uint8))
+
+    def test_from_arrays_roundtrip(self):
+        bits = random_bits(9000, 0.5, seed=3)
+        vector = BitVector(bits)
+        clone = BitVector.from_arrays(vector.n, vector.n_ones, **vector.arrays())
+        probe = np.arange(0, 9001, 13)
+        assert np.array_equal(clone.rank1(probe), vector.rank1(probe))
+        assert np.array_equal(
+            clone.select1(np.arange(vector.n_ones)),
+            vector.select1(np.arange(vector.n_ones)),
+        )
+
+    def test_rank_directory_is_sublinear(self):
+        vector = BitVector(random_bits(100000, 0.5, seed=2))
+        # Packed words dominate; the rank directory stays a small fraction.
+        assert vector.nbytes < 100000 // 8 * 1.4
+        assert vector.n_rank_blocks == -(-100000 // 128)
+
+
+class TestWaveletMatrix:
+    @pytest.mark.parametrize("n", [0, 1, 100, 8192, 30000])
+    @pytest.mark.parametrize("alphabet", [1, 2, 3, 4])
+    def test_access_rank_count_vs_brute(self, n, alphabet):
+        rng = np.random.default_rng(n * 7 + alphabet)
+        values = rng.integers(0, alphabet, size=n).astype(np.int64)
+        matrix = WaveletMatrix(values, n_levels=2)
+        positions = np.arange(n)
+        assert np.array_equal(matrix.access(positions), values)
+        for symbol in range(alphabet):
+            brute = np.concatenate(([0], np.cumsum(values == symbol)))
+            assert np.array_equal(matrix.rank(symbol, np.arange(n + 1)), brute)
+            assert matrix.count(symbol) == int((values == symbol).sum())
+            assert np.array_equal(
+                matrix.positions_of(symbol), np.flatnonzero(values == symbol)
+            )
+
+    def test_out_of_alphabet_symbol(self):
+        values = np.zeros(50, np.int64)
+        matrix = WaveletMatrix(values, n_levels=2)
+        assert matrix.count(3) == 0
+        assert len(matrix.positions_of(3)) == 0
+
+    def test_from_levels_roundtrip(self):
+        rng = np.random.default_rng(11)
+        values = rng.integers(0, 3, size=4000).astype(np.int64)
+        matrix = WaveletMatrix(values, n_levels=2)
+        clone = WaveletMatrix.from_levels(matrix.n, matrix.levels)
+        assert np.array_equal(clone.access(np.arange(4000)), values)
+        assert np.array_equal(clone.positions_of(2), matrix.positions_of(2))
+
+
+class TestScanKernels:
+    def test_motif_occurrences_vs_substring(self):
+        rng = np.random.default_rng(4)
+        symbols = rng.integers(-1, 2, size=500).astype(np.int8)
+        text = "".join({-1: "-", 0: "0", 1: "+"}[int(s)] for s in symbols)
+        for motif in ("+-", "+-+", "0", "--0", "+"):
+            codes = np.array(
+                [{"+": 1, "-": -1, "0": 0}[c] for c in motif], dtype=np.int8
+            )
+            brute = [
+                i for i in range(len(text) - len(motif) + 1)
+                if text[i : i + len(motif)] == motif
+            ]
+            assert motif_occurrences(symbols, codes).tolist() == brute
+
+    def test_column_motif_hits_respects_row_boundaries(self):
+        # Two rows [+,-] [+,-]: the cross-boundary "-+" must not match.
+        symbols = np.array([1, -1, 1, -1], np.int8)
+        starts = np.array([0, 2], np.int64)
+        counts = np.array([2, 2], np.int64)
+        codes = np.array([-1, 1], np.int8)
+        owners, offsets = column_motif_hits(symbols, starts, counts, codes)
+        assert owners.tolist() == [] and offsets.tolist() == []
+        codes = np.array([1, -1], np.int8)
+        owners, offsets = column_motif_hits(symbols, starts, counts, codes)
+        assert owners.tolist() == [0, 1] and offsets.tolist() == [0, 0]
+
+
+def seeded_database(n_rows: int = 30, seed: int = 0) -> "SequenceDatabase":
+    from repro.query.database import SequenceDatabase
+    from repro.workloads import clickstream_corpus
+
+    db = SequenceDatabase(symbol_backend="succinct")
+    db.insert_all(clickstream_corpus(n_sequences=n_rows, seed=seed + 23))
+    return db
+
+
+class TestSuccinctSymbolIndex:
+    def test_build_then_parity(self):
+        with seeded_database() as db:
+            index = db.store.succinct_index()
+            assert index.built
+            index.check_parity()
+            report = index.report()
+            assert report["builds"] == 1 and report["rebuilds"] == 0
+            assert 0 < report["bits_per_symbol"] < 8
+
+    def test_mutations_patch_then_rebuild(self):
+        with seeded_database(120) as db:
+            store = db.store
+            index = store.succinct_index()
+            # A single delete patches via the overlay, no rebuild.
+            db.delete(db.ids()[3])
+            index.sync()
+            index.check_parity()
+            assert index.report()["patches"] == 1
+            assert index.report()["rebuilds"] == 0
+            # Massive churn crosses the staleness ratio: full rebuild.
+            db.delete_many(db.ids()[:90])
+            index.sync()
+            index.check_parity()
+            assert index.report()["rebuilds"] >= 1
+            assert index.report()["overlay_entries"] == 0
+
+    def test_sync_is_idempotent(self):
+        with seeded_database() as db:
+            index = db.store.succinct_index()
+            before = dict(index.report())
+            index.sync()
+            index.sync()
+            after = index.report()
+            assert after["builds"] == before["builds"]
+            assert after["patches"] == before["patches"]
+
+    def test_queries_match_scan_after_interleaved_mutations(self):
+        from repro.workloads import clickstream_corpus
+
+        db = seeded_database(35, seed=8)
+        store = db.store
+        index = store.succinct_index()
+        fresh = iter(clickstream_corpus(n_sequences=12, seed=99))
+        for round_number in range(4):
+            db.delete_many(db.ids()[:: 6 + round_number])
+            for _ in range(3):
+                db.insert(next(fresh))
+            index.sync()
+            index.check_parity()
+            for motif in ("+-", "-0+", "0"):
+                codes = np.array(
+                    [{"+": 1, "-": -1, "0": 0}[c] for c in motif], dtype=np.int8
+                )
+                for collapse in (False, True):
+                    got = index.occurrences(codes, collapse_runs=collapse)
+                    symbols, starts, counts, ids = _view(store, collapse)
+                    owners, offsets = column_motif_hits(symbols, starts, counts, codes)
+                    brute: "dict[int, list[int]]" = {}
+                    for owner, offset in zip(owners, offsets):
+                        brute.setdefault(int(ids[owner]), []).append(int(offset))
+                    assert {
+                        int(sid): hits.tolist() for sid, hits in got
+                    } == brute, (round_number, motif, collapse)
+                    containing = index.sequences_containing(codes, collapse_runs=collapse)
+                    assert containing.tolist() == sorted(brute)
+
+
+def _view(store: ColumnarSegmentStore, collapse: bool):
+    if collapse:
+        symbols = store.behavior_symbols
+        counts = store.behavior_counts.astype(np.int64)
+    else:
+        symbols = store.segment_symbols
+        counts = store.segment_counts.astype(np.int64)
+    starts = np.concatenate(([0], np.cumsum(counts)))[:-1]
+    return symbols, starts, counts, store.sequence_ids

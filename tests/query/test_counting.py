@@ -1,0 +1,273 @@
+"""Counting/position queries: succinct vs scan parity, language, cache.
+
+The acceptance contract for the succinct symbol backend: ``CountQuery``
+and ``MotifQuery`` answers are byte-identical between the succinct
+rank/select path, the uncompressed scan path and the legacy per-
+sequence grader — for every motif × shard count × symbol view, across
+interleaved insert/append/delete churn — and the language forms,
+result cache, process backend and storage telemetry all compose with
+the new query family.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import QueryError
+from repro.query.database import SequenceDatabase
+from repro.query.language import parse_query
+from repro.query.queries import CountQuery, MotifQuery
+from repro.workloads import clickstream_corpus
+
+MOTIFS = ("+", "+-", "+-+", "-0", "++--", "0-", "+0+")
+SHARDS = (None, 2, 7)
+
+
+def make_pair(n_shards: "int | None", n_sequences: int = 36, seed: int = 23):
+    """(succinct, uncompressed) databases over the same corpus."""
+    corpus = clickstream_corpus(n_sequences=n_sequences, seed=seed)
+    pair = []
+    for backend in ("succinct", "uncompressed"):
+        db = SequenceDatabase(n_shards=n_shards, symbol_backend=backend)
+        db.insert_all(corpus)
+        pair.append(db)
+    return pair
+
+
+def count_ids(db: SequenceDatabase, motif: str, collapse: bool) -> "list[int]":
+    return sorted(
+        m.sequence_id for m in db.query(CountQuery(motif, collapse_runs=collapse))
+    )
+
+
+def position_map(db: SequenceDatabase, motif: str, collapse: bool):
+    matches = db.query(MotifQuery(motif, collapse_runs=collapse))
+    assert [m.sequence_id for m in matches] == sorted(m.sequence_id for m in matches)
+    return {m.sequence_id: m.positions for m in matches}
+
+
+class TestParity:
+    @pytest.mark.parametrize("n_shards", SHARDS)
+    def test_count_and_positions_match_scan_and_legacy(self, n_shards):
+        succinct, uncompressed = make_pair(n_shards)
+        try:
+            for motif in MOTIFS:
+                for collapse in (True, False):
+                    expected = count_ids(uncompressed, motif, collapse)
+                    assert count_ids(succinct, motif, collapse) == expected
+                    legacy = sorted(
+                        m.sequence_id
+                        for m in succinct.query_legacy(
+                            CountQuery(motif, collapse_runs=collapse)
+                        )
+                    )
+                    assert legacy == expected
+                    assert position_map(succinct, motif, collapse) == position_map(
+                        uncompressed, motif, collapse
+                    )
+        finally:
+            succinct.close()
+            uncompressed.close()
+
+    @pytest.mark.parametrize("n_shards", SHARDS)
+    def test_parity_survives_interleaved_mutations(self, n_shards):
+        succinct, uncompressed = make_pair(n_shards, n_sequences=30)
+        fresh = iter(clickstream_corpus(n_sequences=20, seed=77))
+        rng = np.random.default_rng(5)
+        try:
+            for round_number in range(3):
+                ids = succinct.ids()
+                victims = ids[:: 5 + round_number]
+                grow = [s for s in ids[2::7] if s not in victims]
+                tails = {
+                    s: np.cumsum(rng.normal(0, 2.0, size=9)) + 10.0 for s in grow
+                }
+                arrivals = [next(fresh) for _ in range(4)]
+                for db in (succinct, uncompressed):
+                    db.delete_many(victims)
+                    for sequence_id in grow:
+                        if db.has_raw(sequence_id):
+                            db.append(sequence_id, tails[sequence_id])
+                    for sequence in arrivals:
+                        db.insert(sequence)
+                for motif in ("+-+", "-0", "+"):
+                    for collapse in (True, False):
+                        assert count_ids(succinct, motif, collapse) == count_ids(
+                            uncompressed, motif, collapse
+                        ), (round_number, motif, collapse, n_shards)
+                        assert position_map(succinct, motif, collapse) == position_map(
+                            uncompressed, motif, collapse
+                        ), (round_number, motif, collapse, n_shards)
+                succinct.store.check_consistency()
+        finally:
+            succinct.close()
+            uncompressed.close()
+
+    def test_absent_motif_and_collapsed_runs(self):
+        with SequenceDatabase(symbol_backend="succinct") as db:
+            db.insert_all(clickstream_corpus(n_sequences=10))
+            # Runs collapse in the behavioural view: "++" can never occur.
+            assert db.count_matching("++") == 0
+            assert db.motif_positions("++") == {}
+            # But the positional view keeps the raw run.
+            assert db.count_matching("++", collapse_runs=False) > 0
+
+    def test_positions_are_ascending_occurrence_offsets(self):
+        with SequenceDatabase(symbol_backend="succinct") as db:
+            db.insert_all(clickstream_corpus(n_sequences=20))
+            for sequence_id, positions in db.motif_positions(
+                "+-", collapse_runs=False
+            ).items():
+                assert positions == tuple(sorted(positions))
+                text = db.store.symbols_of(sequence_id)
+                for offset in positions:
+                    assert text[offset : offset + 2] == "+-"
+
+
+class TestValidation:
+    @pytest.mark.parametrize("motif", ["", "+x", "ab", "+ -", "±"])
+    def test_bad_motifs_rejected(self, motif):
+        with pytest.raises(QueryError):
+            CountQuery(motif)
+        with pytest.raises(QueryError):
+            MotifQuery(motif)
+
+    def test_unknown_symbol_backend_rejected(self):
+        with pytest.raises(QueryError, match="symbol backend"):
+            SequenceDatabase(symbol_backend="lz77")
+
+    def test_queries_are_immutable_fingerprinted(self):
+        query = CountQuery("+-+")
+        assert query.fingerprint() == ("CountQuery", "+-+", True)
+        assert MotifQuery("+-+", collapse_runs=False).fingerprint() == (
+            "MotifQuery",
+            "+-+",
+            False,
+        )
+        with pytest.raises(AttributeError):
+            query.motif = "--"
+
+
+class TestLanguage:
+    def test_count_matching_forms(self):
+        query = parse_query("COUNT MATCHING '+-+'")
+        assert isinstance(query, CountQuery)
+        assert query.motif == "+-+" and query.collapse_runs
+        positional = parse_query('count matching "+-+" positional')
+        assert isinstance(positional, CountQuery)
+        assert not positional.collapse_runs
+
+    def test_positions_of_forms(self):
+        query = parse_query("POSITIONS OF '-0'")
+        assert isinstance(query, MotifQuery)
+        assert query.motif == "-0" and query.collapse_runs
+        positional = parse_query("POSITIONS OF '-0' POSITIONAL")
+        assert not positional.collapse_runs
+
+    @pytest.mark.parametrize(
+        "statement",
+        [
+            "COUNT '+-+'",
+            "COUNT MATCHING +-+",
+            "COUNT MATCHING '+-+",
+            "POSITIONS '+-+'",
+            "POSITIONS OF",
+            "COUNT MATCHING 'ab'",
+        ],
+    )
+    def test_malformed_statements(self, statement):
+        with pytest.raises(QueryError):
+            parse_query(statement)
+
+    def test_language_round_trip_through_database(self):
+        with SequenceDatabase(symbol_backend="succinct") as db:
+            db.insert_all(clickstream_corpus(n_sequences=15))
+            count = len(db.query(parse_query("COUNT MATCHING '+-'")))
+            assert count == db.count_matching("+-")
+            by_query = {
+                m.sequence_id: m.positions
+                for m in db.query(parse_query("POSITIONS OF '+-' POSITIONAL"))
+            }
+            assert by_query == db.motif_positions("+-", collapse_runs=False)
+
+
+class TestCacheAndExplain:
+    def test_cache_hit_then_delta_revalidation(self):
+        with SequenceDatabase(n_shards=2, symbol_backend="succinct") as db:
+            db.insert_all(clickstream_corpus(n_sequences=24))
+            query = CountQuery("+-+")
+            first = db.query(query)
+            hits_before = db.cache_stats()["hits"]
+            second = db.query(query)
+            assert db.cache_stats()["hits"] == hits_before + 1
+            assert [m.sequence_id for m in first] == [m.sequence_id for m in second]
+            # Mutate one sequence: the cached answer is delta-patched
+            # and still matches a cold legacy grade.
+            db.delete(db.ids()[0])
+            third = sorted(m.sequence_id for m in db.query(query))
+            legacy = sorted(m.sequence_id for m in db.query_legacy(query))
+            assert third == legacy
+
+    def test_motif_positions_cache_roundtrip(self):
+        with SequenceDatabase(symbol_backend="succinct") as db:
+            db.insert_all(clickstream_corpus(n_sequences=18))
+            query = MotifQuery("-0")
+            first = db.query(query)
+            second = db.query(query)
+            assert first == second  # positions participate in equality
+            db.delete(db.ids()[1])
+            third = db.query(query)
+            cold = db.query_legacy(query)
+            assert [(m.sequence_id, m.positions) for m in third] == [
+                (m.sequence_id, m.positions) for m in cold
+            ]
+
+    def test_explain_names_the_stages(self):
+        with SequenceDatabase(symbol_backend="succinct") as db:
+            db.insert_all(clickstream_corpus(n_sequences=8))
+            assert "count-matching" in db.explain(CountQuery("+-"))
+            assert "motif-collect" in db.explain(MotifQuery("+-"))
+
+
+class TestProcessBackend:
+    def test_workers_attach_succinct_views_zero_copy(self):
+        corpus = clickstream_corpus(n_sequences=24, seed=31)
+        with SequenceDatabase(
+            n_shards=4, backend="process", symbol_backend="succinct"
+        ) as db, SequenceDatabase(n_shards=4) as reference:
+            db.insert_all(corpus)
+            reference.insert_all(corpus)
+            for motif in ("+-+", "-0"):
+                assert count_ids(db, motif, True) == count_ids(reference, motif, True)
+                assert position_map(db, motif, False) == position_map(
+                    reference, motif, False
+                )
+            # Mutations regenerate the manifests workers attach to.
+            victims = db.ids()[:5]
+            db.delete_many(victims)
+            reference.delete_many(victims)
+            assert count_ids(db, "+-", True) == count_ids(reference, "+-", True)
+
+
+class TestTelemetry:
+    def test_storage_report_surfaces_succinct_stats(self):
+        with SequenceDatabase(n_shards=2, symbol_backend="succinct") as db:
+            db.insert_all(clickstream_corpus(n_sequences=16))
+            db.count_matching("+-")
+            report = db.storage_report()["succinct"]
+            assert report["backend"] == "succinct"
+            assert report["built"]
+            assert report["builds"] >= 1
+            assert report["symbols"] > 0
+            assert 0 < report["bits_per_symbol"] < 8
+            assert report["rank_blocks"] > 0
+            assert report["queries"] > 0
+
+    def test_uncompressed_backend_reports_unbuilt(self):
+        with SequenceDatabase() as db:
+            db.insert_all(clickstream_corpus(n_sequences=6))
+            db.count_matching("+-")
+            report = db.storage_report()["succinct"]
+            assert report["backend"] == "uncompressed"
+            assert not report["built"]

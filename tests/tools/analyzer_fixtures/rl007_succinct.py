@@ -1,0 +1,65 @@
+"""Seeded RL007 violations: succinct-sync contract breaches.
+
+Each ``# expect[RLxxx]`` trailing comment marks a line the analyzer
+must report; the test compares the marked set exactly against the
+findings.  Never imported — the analyzer only parses.
+"""
+
+
+class _ColumnSet:
+    def __init__(self, schema):
+        self.schema = schema
+
+    def extend(self, rows):
+        pass
+
+    def delete_range(self, lo, hi):
+        pass
+
+
+class SuccinctSymbolIndex:
+    def note_mutation(self):
+        pass
+
+
+class SuccinctBackedStore:
+    def __init__(self):
+        self._segments = _ColumnSet(())
+        self._succinct = SuccinctSymbolIndex()
+
+    def extend(self, rows):
+        # Compliant: the mark-stale hook snapshots before the write.
+        self._succinct_mark_stale()
+        self._segments.extend(rows)
+
+    def replace(self, rows):
+        # Compliant: notifies the index object directly.
+        self._succinct.note_mutation()
+        self._segments.extend(rows)
+
+    def reset(self, rows):
+        # Compliant: dropping the index is also a (blunt) notification.
+        self._succinct = None
+        self._segments.extend(rows)
+
+    def delete(self, lo, hi):  # expect[RL007]
+        # Rewrites columns with no notification: the wavelet-matrix
+        # mirror keeps answering over the pre-delete layout.
+        self._segments.delete_range(lo, hi)
+
+    def compact(self):  # expect[RL007]
+        # Subscript write through the column set, equally unnotified.
+        self._segments[0] = ()
+
+    def _succinct_mark_stale(self):
+        pass
+
+
+class PlainStore:
+    # No _succinct attribute: outside the rule's scope even though it
+    # mutates columns without any notification.
+    def __init__(self):
+        self._segments = _ColumnSet(())
+
+    def delete(self, lo, hi):
+        self._segments.delete_range(lo, hi)

@@ -24,7 +24,7 @@ SRC_ROOT = Path(repro.__file__).parents[1]
 
 _EXPECT = re.compile(r"#\s*expect\[([A-Z0-9,\s]+)\]")
 
-RULE_IDS = ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006")
+RULE_IDS = ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007")
 
 
 def expected_markers(path: Path) -> "set[tuple[str, int]]":

@@ -1,0 +1,86 @@
+"""Clickstream workload generators: shape, determinism, validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import SequenceError
+from repro.workloads import burst_trace, clickstream_corpus, session_trace
+
+
+def test_session_trace_shape():
+    trace = session_trace(n_points=120, peak=30.0, n_reengagements=2, noise=0.0, seed=3)
+    values = trace.values
+    assert len(values) == 120
+    # Engagement actually climbs toward the peak band and idles below it.
+    assert values.max() > 30.0 * 0.6
+    assert values.min() < values.max() * 0.5
+    # Multiple engagement cycles: the trace crosses its midline repeatedly.
+    mid = (values.max() + values.min()) / 2
+    crossings = int(np.sum(np.diff(values > mid) != 0))
+    assert crossings >= 3
+
+
+def test_burst_trace_ambient_and_bursts():
+    trace = burst_trace(n_points=200, ambient=4.0, n_bursts=4, noise=0.0, seed=3)
+    values = trace.values
+    assert len(values) == 200
+    on_ambient = np.isclose(values, 4.0).sum()
+    assert on_ambient > 120
+    assert values.max() > 4.0 + 15.0
+    assert values.min() >= 4.0
+    flat = burst_trace(n_bursts=0, noise=0.0, ambient=2.0)
+    assert np.allclose(flat.values, 2.0)
+
+
+def test_traces_deterministic_per_seed():
+    assert np.array_equal(session_trace(seed=9).values, session_trace(seed=9).values)
+    assert not np.array_equal(session_trace(seed=9).values, session_trace(seed=10).values)
+    assert np.array_equal(burst_trace(seed=9).values, burst_trace(seed=9).values)
+    assert not np.array_equal(burst_trace(seed=9).values, burst_trace(seed=10).values)
+
+
+def test_corpus_families_and_names():
+    corpus = clickstream_corpus(n_sequences=30, n_families=5, seed=7)
+    assert len(corpus) == 30
+    assert corpus[0].name == "click-0-0"
+    assert corpus[13].name == "click-3-13"
+    again = clickstream_corpus(n_sequences=30, n_families=5, seed=7)
+    assert all(np.array_equal(a.values, b.values) for a, b in zip(corpus, again))
+    other = clickstream_corpus(n_sequences=30, n_families=5, seed=8)
+    assert not all(np.array_equal(a.values, b.values) for a, b in zip(corpus, other))
+
+
+def test_corpus_is_motif_rich():
+    # The whole point of the corpus: short slope motifs occur densely
+    # in both symbol views once ingested.
+    from repro.query.database import SequenceDatabase
+
+    with SequenceDatabase() as db:
+        db.insert_all(clickstream_corpus(n_sequences=40))
+        assert db.count_matching("+-") > 10
+        assert db.count_matching("-0") > 10
+        positional = db.motif_positions("++--", collapse_runs=False)
+        assert len(positional) > 5
+
+
+@pytest.mark.parametrize(
+    "factory, kwargs",
+    [
+        (session_trace, {"n_points": 8}),
+        (session_trace, {"peak": 0.0}),
+        (session_trace, {"n_reengagements": -1}),
+        (session_trace, {"idle_depth": 1.5}),
+        (session_trace, {"n_points": 16, "n_reengagements": 6}),
+        (burst_trace, {"n_points": 8}),
+        (burst_trace, {"burst_height": 0.0}),
+        (burst_trace, {"ambient": -1.0}),
+        (burst_trace, {"n_bursts": -1}),
+        (clickstream_corpus, {"n_sequences": 0}),
+        (clickstream_corpus, {"n_families": 0}),
+    ],
+)
+def test_validation(factory, kwargs):
+    with pytest.raises(SequenceError):
+        factory(**kwargs)
